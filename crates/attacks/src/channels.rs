@@ -1,0 +1,335 @@
+//! Prime+Probe covert channels over the LLC and the TLB (paper Figs. 4d-f).
+//!
+//! A sender/receiver pair agrees on a group of cache (or TLB) sets — the
+//! *channels* — and transmits one bit per channel per round: the receiver
+//! primes the set, the sender touches it (bit 1) or stays quiet (bit 0), and
+//! the receiver probes. CJAG (Maurice et al., NDSS 2017) additionally runs a
+//! jamming-agreement initialisation protocol to establish the channel sets
+//! without shared memory; its initialisation grows with the number of
+//! channels, which is why more channels transmit *fewer* bits before
+//! Valkyrie's throttle lands (Fig. 4d).
+
+use rand::Rng;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+use valkyrie_uarch::{Cache, CacheConfig, Tlb, TlbConfig};
+
+/// The shared micro-architectural medium a channel runs over.
+#[derive(Debug, Clone)]
+pub enum Medium {
+    /// Last-level-cache sets (CJAG, Yarom's Mastik-style channel).
+    Llc(Box<Cache>),
+    /// TLB sets (Gras et al.'s TLBleed-style channel).
+    Tlb(Tlb),
+}
+
+impl Medium {
+    /// A fresh LLC medium.
+    pub fn llc() -> Self {
+        Medium::Llc(Box::new(Cache::new(CacheConfig::llc())))
+    }
+
+    /// A fresh TLB medium.
+    pub fn tlb() -> Self {
+        Medium::Tlb(Tlb::new(TlbConfig::dtlb()))
+    }
+
+    fn set_count(&self) -> usize {
+        match self {
+            Medium::Llc(c) => c.config().sets,
+            Medium::Tlb(t) => t.config().sets,
+        }
+    }
+
+    /// Receiver primes/evicts the set.
+    fn prime(&mut self, set: usize, tag: u64) {
+        match self {
+            Medium::Llc(c) => {
+                c.prime_set(set, tag);
+            }
+            Medium::Tlb(t) => {
+                t.evict_set(set, tag);
+            }
+        }
+    }
+
+    /// Sender touches the set (transmitting a 1).
+    fn touch(&mut self, set: usize, tag: u64) {
+        match self {
+            Medium::Llc(c) => {
+                c.access(c.address_in_set(set, tag));
+            }
+            Medium::Tlb(t) => {
+                t.translate(t.address_in_set(set, tag));
+            }
+        }
+    }
+
+    /// Receiver probes; true when contention (≥1 miss) was observed.
+    fn probe(&mut self, set: usize, tag: u64) -> bool {
+        match self {
+            Medium::Llc(c) => c.probe_set(set, tag).0 > 0,
+            Medium::Tlb(t) => t.probe_set(set, tag).0 > 0,
+        }
+    }
+}
+
+/// Channel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Parallel channels (agreed sets).
+    pub channels: usize,
+    /// Rounds per full (unthrottled) epoch.
+    pub rounds_per_epoch: u64,
+    /// Jamming-agreement initialisation rounds *per channel* (CJAG); 0 for
+    /// channels with out-of-band agreement.
+    pub init_rounds_per_channel: u64,
+    /// Probability a probe observation flips.
+    pub observation_noise: f64,
+}
+
+impl ChannelConfig {
+    /// The CJAG high-speed LLC channel with `channels` parallel sets.
+    pub fn cjag(channels: usize) -> Self {
+        Self {
+            channels,
+            rounds_per_epoch: 2000,
+            init_rounds_per_channel: 4000,
+            observation_noise: 0.05,
+        }
+    }
+
+    /// A plain LLC Prime+Probe channel (Mastik-style, single set).
+    pub fn llc() -> Self {
+        Self {
+            channels: 1,
+            rounds_per_epoch: 1500,
+            init_rounds_per_channel: 500,
+            observation_noise: 0.08,
+        }
+    }
+
+    /// A TLB Evict+Time channel.
+    pub fn tlb() -> Self {
+        Self {
+            channels: 1,
+            rounds_per_epoch: 1000,
+            init_rounds_per_channel: 800,
+            observation_noise: 0.12,
+        }
+    }
+}
+
+/// A Prime+Probe covert channel workload (sender + receiver pair).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_attacks::channels::{ChannelConfig, CovertChannel, Medium};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut ch = CovertChannel::new(Medium::llc(), ChannelConfig::llc());
+/// ch.run_rounds(1000, &mut rng);
+/// assert!(ch.bits_transmitted() > 0);
+/// ```
+#[derive(Debug)]
+pub struct CovertChannel {
+    config: ChannelConfig,
+    medium: Medium,
+    sets: Vec<usize>,
+    init_remaining: u64,
+    bits_transmitted: u64,
+    bit_errors: u64,
+    rounds: u64,
+    signature: Signature,
+    name: String,
+}
+
+impl CovertChannel {
+    const RECEIVER_TAG: u64 = 0x4000;
+    const SENDER_TAG: u64 = 0x8000;
+
+    /// Creates the channel; sets are spread across the medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(medium: Medium, config: ChannelConfig) -> Self {
+        assert!(config.channels > 0, "need at least one channel");
+        let total = medium.set_count();
+        let sets = (0..config.channels)
+            .map(|i| (i * total / config.channels + 7) % total)
+            .collect();
+        let kind = match &medium {
+            Medium::Llc(_) => "llc",
+            Medium::Tlb(_) => "tlb",
+        };
+        Self {
+            init_remaining: config.init_rounds_per_channel * config.channels as u64,
+            config,
+            medium,
+            sets,
+            bits_transmitted: 0,
+            bit_errors: 0,
+            rounds: 0,
+            signature: Signature::llc_thrashing(),
+            name: format!("covert-channel-{kind}"),
+        }
+    }
+
+    /// Bits successfully decoded by the receiver so far.
+    pub fn bits_transmitted(&self) -> u64 {
+        self.bits_transmitted
+    }
+
+    /// Bits decoded incorrectly so far.
+    pub fn bit_errors(&self) -> u64 {
+        self.bit_errors
+    }
+
+    /// True while the jamming agreement is still running.
+    pub fn initializing(&self) -> bool {
+        self.init_remaining > 0
+    }
+
+    /// Data rounds completed (excludes initialisation).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Executes `n` protocol rounds (initialisation first, then data).
+    pub fn run_rounds<R: Rng + ?Sized>(&mut self, n: u64, rng: &mut R) {
+        let mut left = n;
+        // Initialisation consumes rounds without transmitting bits.
+        let init = self.init_remaining.min(left);
+        self.init_remaining -= init;
+        left -= init;
+
+        for _ in 0..left {
+            for (ci, &set) in self.sets.iter().enumerate() {
+                let bit = rng.gen::<bool>();
+                self.medium.prime(set, Self::RECEIVER_TAG + ci as u64 * 64);
+                if bit {
+                    self.medium.touch(set, Self::SENDER_TAG + ci as u64);
+                }
+                let mut observed = self.medium.probe(set, Self::RECEIVER_TAG + ci as u64 * 64);
+                if rng.gen::<f64>() < self.config.observation_noise {
+                    observed = !observed;
+                }
+                self.bits_transmitted += 1;
+                if observed != bit {
+                    self.bit_errors += 1;
+                }
+            }
+            self.rounds += 1;
+        }
+    }
+
+    /// Fraction of decoded bits that were wrong.
+    pub fn error_rate(&self) -> f64 {
+        if self.bits_transmitted == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits_transmitted as f64
+        }
+    }
+}
+
+impl Workload for CovertChannel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let share = ctx.cpu_share();
+        let n = (self.config.rounds_per_epoch as f64 * share).round() as u64;
+        let before = self.bits_transmitted;
+        self.run_rounds(n, ctx.rng);
+        EpochReport {
+            progress: (self.bits_transmitted - before) as f64,
+            hpc: self.signature.sample(ctx.rng, share),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initialization_blocks_transmission() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = CovertChannel::new(Medium::llc(), ChannelConfig::cjag(2));
+        assert!(ch.initializing());
+        ch.run_rounds(1000, &mut rng);
+        assert!(ch.initializing());
+        assert_eq!(ch.bits_transmitted(), 0);
+    }
+
+    #[test]
+    fn transmits_after_initialization() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = CovertChannel::new(Medium::llc(), ChannelConfig::llc());
+        ch.run_rounds(500 + 200, &mut rng);
+        assert!(!ch.initializing());
+        assert_eq!(ch.bits_transmitted(), 200);
+    }
+
+    #[test]
+    fn error_rate_is_low_over_clean_medium() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = ChannelConfig::llc();
+        cfg.observation_noise = 0.0;
+        let mut ch = CovertChannel::new(Medium::llc(), cfg);
+        ch.run_rounds(500 + 1000, &mut rng);
+        assert_eq!(ch.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn noise_produces_errors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ch = CovertChannel::new(Medium::llc(), ChannelConfig::llc());
+        ch.run_rounds(500 + 2000, &mut rng);
+        let e = ch.error_rate();
+        assert!(e > 0.02 && e < 0.2, "error rate {e}");
+    }
+
+    #[test]
+    fn tlb_medium_also_works() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ch = CovertChannel::new(Medium::tlb(), ChannelConfig::tlb());
+        ch.run_rounds(800 + 300, &mut rng);
+        assert_eq!(ch.bits_transmitted(), 300);
+        assert!(ch.error_rate() < 0.3);
+    }
+
+    #[test]
+    fn more_channels_multiply_throughput_and_init_cost() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut one = CovertChannel::new(Medium::llc(), ChannelConfig::cjag(1));
+        let mut four = CovertChannel::new(Medium::llc(), ChannelConfig::cjag(4));
+        // Enough rounds to finish 1-channel init but not 4-channel init.
+        let budget = 6000;
+        one.run_rounds(budget, &mut rng);
+        four.run_rounds(budget, &mut rng);
+        assert!(one.bits_transmitted() > 0);
+        assert_eq!(four.bits_transmitted(), 0, "4-channel init is 4x longer");
+        // Given a long run, 4 channels out-transmit 1.
+        one.run_rounds(20_000, &mut rng);
+        four.run_rounds(20_000, &mut rng);
+        assert!(four.bits_transmitted() > one.bits_transmitted() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        let _ = CovertChannel::new(Medium::llc(), ChannelConfig::cjag(0));
+    }
+}

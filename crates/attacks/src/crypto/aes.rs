@@ -1,0 +1,297 @@
+//! AES-128 encryption using T-table lookups, with an access trace.
+//!
+//! The classic software AES implementation performs four 1 KiB table
+//! lookups per round; the *index* of each first-round lookup is
+//! `plaintext[i] ^ key[i]`, which is what the Prime+Probe attack on the L1
+//! data cache observes at cache-line granularity (Osvik, Shamir, Tromer,
+//! "Cache Attacks and Countermeasures: The Case of AES").
+//!
+//! Tables are generated from the AES S-box at first use; the implementation
+//! is validated against the FIPS-197 Appendix C known-answer test.
+
+use std::sync::OnceLock;
+
+/// Number of 32-bit entries per T-table.
+pub const TABLE_ENTRIES: usize = 256;
+
+/// One T-table lookup: `(table_index ∈ 0..4, byte_index ∈ 0..256)`.
+pub type TableAccess = (u8, u8);
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1B } else { 0 })
+}
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+fn build_sbox() -> [u8; 256] {
+    // Multiplicative inverse in GF(2^8) followed by the affine transform.
+    let mut inv = [0u8; 256];
+    for x in 1..=255u8 {
+        for y in 1..=255u8 {
+            if gf_mul(x, y) == 1 {
+                inv[x as usize] = y;
+                break;
+            }
+        }
+    }
+    let mut sbox = [0u8; 256];
+    for (i, s) in sbox.iter_mut().enumerate() {
+        let b = inv[i];
+        *s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+    }
+    sbox
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    te: [[u32; TABLE_ENTRIES]; 4],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let sbox = build_sbox();
+        let mut te = [[0u32; TABLE_ENTRIES]; 4];
+        for i in 0..256 {
+            let s = sbox[i];
+            let s2 = xtime(s);
+            let s3 = s2 ^ s;
+            // Te0[i] = [s2, s, s, s3] packed big-endian.
+            let t0 = u32::from_be_bytes([s2, s, s, s3]);
+            te[0][i] = t0;
+            te[1][i] = t0.rotate_right(8);
+            te[2][i] = t0.rotate_right(16);
+            te[3][i] = t0.rotate_right(24);
+        }
+        Tables { sbox, te }
+    })
+}
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+
+/// An AES-128 key schedule plus trace machinery.
+///
+/// # Examples
+///
+/// FIPS-197 Appendix C known-answer test:
+///
+/// ```
+/// use valkyrie_attacks::crypto::aes::Aes128;
+/// let key = [0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+///            0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f];
+/// let pt = [0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+///           0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff];
+/// let aes = Aes128::new(&key);
+/// let ct = aes.encrypt_block(&pt);
+/// assert_eq!(ct[..4], [0x69, 0xc4, 0xe0, 0xd8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u32; 4]; 11],
+    key: [u8; 16],
+}
+
+impl Aes128 {
+    /// Expands the 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let t = tables();
+        let mut w = [0u32; 44];
+        for i in 0..4 {
+            w[i] = u32::from_be_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]);
+        }
+        for i in 4..44 {
+            let mut tmp = w[i - 1];
+            if i % 4 == 0 {
+                tmp = tmp.rotate_left(8);
+                let b = tmp.to_be_bytes();
+                tmp = u32::from_be_bytes([
+                    t.sbox[b[0] as usize],
+                    t.sbox[b[1] as usize],
+                    t.sbox[b[2] as usize],
+                    t.sbox[b[3] as usize],
+                ]);
+                tmp ^= (RCON[i / 4 - 1] as u32) << 24;
+            }
+            w[i] = w[i - 4] ^ tmp;
+        }
+        let mut round_keys = [[0u32; 4]; 11];
+        for r in 0..11 {
+            round_keys[r].copy_from_slice(&w[4 * r..4 * r + 4]);
+        }
+        Self {
+            round_keys,
+            key: *key,
+        }
+    }
+
+    /// The raw key bytes (the attack's ground truth).
+    pub fn key(&self) -> &[u8; 16] {
+        &self.key
+    }
+
+    /// Encrypts one block.
+    pub fn encrypt_block(&self, pt: &[u8; 16]) -> [u8; 16] {
+        self.encrypt_traced(pt).0
+    }
+
+    /// Encrypts one block and returns the T-table access trace
+    /// (the side channel the spy observes through the cache).
+    pub fn encrypt_traced(&self, pt: &[u8; 16]) -> ([u8; 16], Vec<TableAccess>) {
+        let t = tables();
+        let mut trace = Vec::with_capacity(40);
+        let mut s = [0u32; 4];
+        for i in 0..4 {
+            s[i] = u32::from_be_bytes([
+                pt[4 * i],
+                pt[4 * i + 1],
+                pt[4 * i + 2],
+                pt[4 * i + 3],
+            ]) ^ self.round_keys[0][i];
+        }
+        for round in 1..10 {
+            let mut next = [0u32; 4];
+            for i in 0..4 {
+                let b0 = (s[i] >> 24) as u8;
+                let b1 = (s[(i + 1) % 4] >> 16) as u8;
+                let b2 = (s[(i + 2) % 4] >> 8) as u8;
+                let b3 = s[(i + 3) % 4] as u8;
+                trace.push((0, b0));
+                trace.push((1, b1));
+                trace.push((2, b2));
+                trace.push((3, b3));
+                next[i] = t.te[0][b0 as usize]
+                    ^ t.te[1][b1 as usize]
+                    ^ t.te[2][b2 as usize]
+                    ^ t.te[3][b3 as usize]
+                    ^ self.round_keys[round][i];
+            }
+            s = next;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey (via the S-box).
+        let mut out = [0u8; 16];
+        for i in 0..4 {
+            let b0 = t.sbox[(s[i] >> 24) as usize];
+            let b1 = t.sbox[((s[(i + 1) % 4] >> 16) & 0xff) as usize];
+            let b2 = t.sbox[((s[(i + 2) % 4] >> 8) & 0xff) as usize];
+            let b3 = t.sbox[(s[(i + 3) % 4] & 0xff) as usize];
+            let word =
+                u32::from_be_bytes([b0, b1, b2, b3]) ^ self.round_keys[10][i];
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        (out, trace)
+    }
+
+    /// The 16 first-round T-table accesses for a plaintext: access `i` hits
+    /// table `i % 4` at index `pt[f(i)] ^ key[f(i)]` — the leakage the L1-D
+    /// attack keys on.
+    pub fn first_round_accesses(&self, pt: &[u8; 16]) -> [TableAccess; 16] {
+        let mut out = [(0u8, 0u8); 16];
+        // State word i consumes bytes (col-major with ShiftRows offsets).
+        let mut n = 0;
+        for i in 0..4 {
+            for (tbl, src) in [(0usize, i), (1, (i + 1) % 4), (2, (i + 2) % 4), (3, (i + 3) % 4)]
+            {
+                let byte_pos = 4 * src + tbl;
+                out[n] = (tbl as u8, pt[byte_pos] ^ self.key[byte_pos]);
+                n += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_KEY: [u8; 16] = [
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+        0x0e, 0x0f,
+    ];
+    const FIPS_PT: [u8; 16] = [
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+        0xee, 0xff,
+    ];
+    const FIPS_CT: [u8; 16] = [
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+        0xc5, 0x5a,
+    ];
+
+    #[test]
+    fn fips197_known_answer() {
+        let aes = Aes128::new(&FIPS_KEY);
+        assert_eq!(aes.encrypt_block(&FIPS_PT), FIPS_CT);
+    }
+
+    #[test]
+    fn sbox_spot_values() {
+        let t = tables();
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.sbox[0xff], 0x16);
+    }
+
+    #[test]
+    fn trace_has_36_rounds_of_lookups() {
+        let aes = Aes128::new(&FIPS_KEY);
+        let (_, trace) = aes.encrypt_traced(&FIPS_PT);
+        // 9 full rounds × 16 lookups.
+        assert_eq!(trace.len(), 144);
+        assert!(trace.iter().all(|&(t, _)| t < 4));
+    }
+
+    #[test]
+    fn first_round_accesses_are_pt_xor_key() {
+        let aes = Aes128::new(&FIPS_KEY);
+        let accesses = aes.first_round_accesses(&FIPS_PT);
+        // Every byte position is covered exactly once and the index is
+        // pt XOR key for that position.
+        let mut seen = [false; 16];
+        for (tbl, idx) in accesses {
+            let found = (0..16).find(|&p| {
+                !seen[p] && (FIPS_PT[p] ^ FIPS_KEY[p]) == idx && (p % 4) == tbl as usize
+            });
+            let p = found.expect("access must match a byte position");
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_round_matches_traced_prefix() {
+        let aes = Aes128::new(&FIPS_KEY);
+        let (_, trace) = aes.encrypt_traced(&FIPS_PT);
+        let first = aes.first_round_accesses(&FIPS_PT);
+        assert_eq!(&trace[..16], &first[..]);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(&FIPS_KEY);
+        let mut key2 = FIPS_KEY;
+        key2[0] ^= 1;
+        let b = Aes128::new(&key2);
+        assert_ne!(a.encrypt_block(&FIPS_PT), b.encrypt_block(&FIPS_PT));
+    }
+}

@@ -1,0 +1,15 @@
+//! Cryptographic primitives implemented in-crate (no external crypto
+//! dependencies): the victims and payloads of the evaluated attacks.
+//!
+//! * [`aes`] — AES-128 with T-table lookups, exposing the table-access trace
+//!   the L1-D Prime+Probe attack exploits (Osvik/Shamir/Tromer).
+//! * [`sha256`] — FIPS-180 SHA-256, the cryptominer's proof-of-work hash.
+//! * [`stream`] — a xorshift64*-based stream cipher, the ransomware's
+//!   payload encryption.
+//! * [`modexp`] — square-and-multiply modular exponentiation with an
+//!   operation trace, the L1-I cache attack's RSA victim.
+
+pub mod aes;
+pub mod modexp;
+pub mod sha256;
+pub mod stream;

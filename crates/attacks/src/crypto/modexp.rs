@@ -1,0 +1,132 @@
+//! Square-and-multiply modular exponentiation with an operation trace —
+//! the RSA-style victim of the L1 instruction-cache attack.
+//!
+//! The left-to-right binary method executes a *square* for every exponent
+//! bit and a *multiply* only for the `1` bits. The multiply routine lives in
+//! its own instruction-cache lines, so a spy probing those lines between
+//! squarings reads the secret exponent bit by bit (Aciiçmez, Brumley,
+//! Grabher, "New Results on Instruction Cache Attacks").
+
+/// One executed operation of the square-and-multiply loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModExpOp {
+    /// The squaring routine ran.
+    Square,
+    /// The multiply routine ran (ergo, the current exponent bit is 1).
+    Multiply,
+}
+
+/// Computes `base^exp mod modulus` (left-to-right square-and-multiply).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_attacks::crypto::modexp::mod_exp;
+/// assert_eq!(mod_exp(4, 13, 497), 445);
+/// assert_eq!(mod_exp(2, 10, 1_000_000), 1024);
+/// ```
+pub fn mod_exp(base: u64, exp: u64, modulus: u64) -> u64 {
+    mod_exp_traced(base, exp, modulus).0
+}
+
+/// Like [`mod_exp`] but also returns the executed operation sequence.
+pub fn mod_exp_traced(base: u64, exp: u64, modulus: u64) -> (u64, Vec<ModExpOp>) {
+    assert!(modulus != 0, "modulus must be non-zero");
+    let m = modulus as u128;
+    let b = (base as u128) % m;
+    let mut acc: u128 = 1;
+    let mut trace = Vec::new();
+    if exp == 0 {
+        return (1 % modulus, trace);
+    }
+    let bits = 64 - exp.leading_zeros();
+    for i in (0..bits).rev() {
+        acc = acc * acc % m;
+        trace.push(ModExpOp::Square);
+        if (exp >> i) & 1 == 1 {
+            acc = acc * b % m;
+            trace.push(ModExpOp::Multiply);
+        }
+    }
+    (acc as u64, trace)
+}
+
+/// Recovers the exponent bits implied by an operation trace: a `Multiply`
+/// directly after a `Square` means the bit was 1 (what the I-cache spy
+/// reconstructs).
+pub fn bits_from_trace(trace: &[ModExpOp]) -> Vec<bool> {
+    let mut bits = Vec::new();
+    let mut i = 0;
+    while i < trace.len() {
+        debug_assert_eq!(trace[i], ModExpOp::Square, "trace must start windows with squares");
+        if i + 1 < trace.len() && trace[i + 1] == ModExpOp::Multiply {
+            bits.push(true);
+            i += 2;
+        } else {
+            bits.push(false);
+            i += 1;
+        }
+    }
+    bits
+}
+
+/// The true bits of `exp`, most significant first (ground truth for error
+/// rates).
+pub fn exponent_bits(exp: u64) -> Vec<bool> {
+    if exp == 0 {
+        return Vec::new();
+    }
+    let bits = 64 - exp.leading_zeros();
+    (0..bits).rev().map(|i| (exp >> i) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(mod_exp(4, 13, 497), 445);
+        assert_eq!(mod_exp(5, 0, 7), 1);
+        assert_eq!(mod_exp(7, 1, 13), 7);
+        assert_eq!(mod_exp(2, 63, u64::MAX), 2u64.pow(63) % u64::MAX);
+    }
+
+    #[test]
+    fn matches_naive_for_small_inputs() {
+        for base in 1..=10u64 {
+            for exp in 0..=12u64 {
+                let m = 1009;
+                let naive = (0..exp).fold(1u64, |acc, _| acc * base % m);
+                assert_eq!(mod_exp(base, exp, m), naive, "{base}^{exp}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_reveals_exponent() {
+        let exp = 0b1011_0010_1110_0101u64;
+        let (_, trace) = mod_exp_traced(3, exp, 1_000_003);
+        assert_eq!(bits_from_trace(&trace), exponent_bits(exp));
+    }
+
+    #[test]
+    fn trace_length_is_squares_plus_multiplies() {
+        let exp = 0b1101u64;
+        let (_, trace) = mod_exp_traced(2, exp, 101);
+        let squares = trace.iter().filter(|&&o| o == ModExpOp::Square).count();
+        let muls = trace.iter().filter(|&&o| o == ModExpOp::Multiply).count();
+        assert_eq!(squares, 4); // one per bit
+        assert_eq!(muls, 3); // one per set bit
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus")]
+    fn zero_modulus_panics() {
+        let _ = mod_exp(2, 3, 0);
+    }
+}

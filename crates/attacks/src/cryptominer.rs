@@ -1,0 +1,160 @@
+//! The cryptominer workload: a double-SHA-256 proof-of-work search
+//! (paper Fig. 6c).
+//!
+//! Purely CPU-bound — the paper throttles it with the cgroup CPU actuator
+//! and reports a 99.04 % slowdown in the suspicious state. Progress is
+//! hashes computed.
+
+use crate::crypto::sha256::pow_attempt;
+use rand::Rng;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+
+/// Miner configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CryptominerConfig {
+    /// Hash throughput at 100 % CPU, hashes per tick (1 tick = 1 ms).
+    pub hashes_per_tick: f64,
+    /// Difficulty in leading zero bits for a share.
+    pub difficulty_bits: u32,
+    /// How many of each epoch's hashes are computed for real (the rest are
+    /// accounted numerically to keep simulation time bounded).
+    pub real_hashes_per_epoch: u64,
+}
+
+impl Default for CryptominerConfig {
+    fn default() -> Self {
+        Self {
+            hashes_per_tick: 2_000.0, // 2 MH/s-class CPU miner
+            difficulty_bits: 18,
+            real_hashes_per_epoch: 64,
+        }
+    }
+}
+
+/// The cryptominer workload.
+#[derive(Debug, Clone)]
+pub struct Cryptominer {
+    config: CryptominerConfig,
+    nonce: u64,
+    hashes: u64,
+    shares_found: u64,
+    signature: Signature,
+}
+
+impl Cryptominer {
+    /// Creates the miner.
+    pub fn new(config: CryptominerConfig) -> Self {
+        Self {
+            config,
+            nonce: 0,
+            hashes: 0,
+            shares_found: 0,
+            signature: Signature::cryptominer(),
+        }
+    }
+
+    /// Total hashes computed.
+    pub fn hashes(&self) -> u64 {
+        self.hashes
+    }
+
+    /// Proof-of-work shares found.
+    pub fn shares_found(&self) -> u64 {
+        self.shares_found
+    }
+}
+
+impl Default for Cryptominer {
+    fn default() -> Self {
+        Self::new(CryptominerConfig::default())
+    }
+}
+
+impl Workload for Cryptominer {
+    fn name(&self) -> &str {
+        "cryptominer"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let budget = (ctx.cpu_ticks as f64 * self.config.hashes_per_tick) as u64;
+        // Run a bounded number of genuine double-SHA-256 attempts; the
+        // remainder is the same arithmetic, accounted statistically.
+        let real = budget.min(self.config.real_hashes_per_epoch);
+        for _ in 0..real {
+            if pow_attempt(b"valkyrie-block-header", self.nonce, self.config.difficulty_bits) {
+                self.shares_found += 1;
+            }
+            self.nonce += 1;
+        }
+        let skipped = budget - real;
+        self.nonce += skipped;
+        // Expected shares among the skipped attempts.
+        let p = 2f64.powi(-(self.config.difficulty_bits as i32));
+        let expected = skipped as f64 * p;
+        self.shares_found += expected.floor() as u64;
+        if ctx.rng.gen_bool(expected.fract().clamp(0.0, 1.0)) {
+            self.shares_found += 1;
+        }
+        self.hashes += budget;
+
+        EpochReport {
+            progress: budget as f64,
+            hpc: self.signature.sample(ctx.rng, ctx.cpu_share()),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valkyrie_sim::machine::{Machine, MachineConfig};
+
+    #[test]
+    fn unthrottled_hash_rate_matches_calibration() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Cryptominer::default()));
+        let mut hashes = 0.0;
+        for _ in 0..10 {
+            hashes += m.run_epoch()[&pid].progress;
+        }
+        // 1 second at 2000 hashes/ms = 2.0e6.
+        assert!((hashes - 2.0e6).abs() < 1e5, "hashes {hashes}");
+    }
+
+    #[test]
+    fn one_percent_cpu_gives_99_percent_slowdown() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Cryptominer::default()));
+        m.set_cpu_quota(pid, 0.01);
+        let mut hashes = 0.0;
+        for _ in 0..10 {
+            hashes += m.run_epoch()[&pid].progress;
+        }
+        let slowdown = 1.0 - hashes / 2.0e6;
+        assert!(
+            slowdown > 0.985 && slowdown <= 1.0,
+            "slowdown {slowdown} should be ~0.99"
+        );
+    }
+
+    #[test]
+    fn shares_appear_at_low_difficulty() {
+        let mut m = Machine::new(MachineConfig::default());
+        let miner = Cryptominer::new(CryptominerConfig {
+            difficulty_bits: 6,
+            real_hashes_per_epoch: 512,
+            ..CryptominerConfig::default()
+        });
+        let pid = m.spawn(Box::new(miner));
+        for _ in 0..5 {
+            m.run_epoch();
+        }
+        let _ = pid; // shares tracked internally; progress is hash count
+    }
+}

@@ -1,0 +1,266 @@
+//! Evict+Time on the L1 data cache against a T-table AES victim
+//! (Osvik-Shamir-Tromer's second technique; paper Section I lists "L1 and
+//! TLB Evict+Time attacks \[29\], \[50\]" among the case studies).
+//!
+//! Unlike Prime+Probe, the attacker measures the *victim's* execution time:
+//! evict one cache set, trigger an encryption, and time it. Encryptions
+//! whose first-round lookups touch the evicted set run measurably slower;
+//! correlating slow encryptions with the predicted set per key-nibble
+//! candidate recovers the key's high nibbles. Progress is guessing entropy,
+//! exactly as in the Prime+Probe variant.
+
+use crate::crypto::aes::Aes128;
+use rand::Rng;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+use valkyrie_uarch::{Cache, CacheConfig};
+
+/// Key-byte positions in an AES-128 key.
+const KEY_BYTES: usize = 16;
+/// High-nibble candidates per key byte.
+const NIBBLES: usize = 16;
+/// Sets covered by one 1 KiB T-table.
+const SETS_PER_TABLE: usize = 16;
+
+/// Attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvictTimeConfig {
+    /// Timed encryptions per full (unthrottled) epoch.
+    pub samples_per_epoch: u64,
+    /// Standard deviation of timing noise, in cycles (scheduler jitter,
+    /// TLB effects, interrupts).
+    pub timing_noise_cycles: f64,
+    /// Secret key seed.
+    pub key_seed: u64,
+}
+
+impl Default for EvictTimeConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_epoch: 60,
+            timing_noise_cycles: 220.0,
+            key_seed: 0xE71C_0001,
+        }
+    }
+}
+
+/// The Evict+Time attack workload.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_attacks::evict_time::{EvictTimeAttack, EvictTimeConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut atk = EvictTimeAttack::new(EvictTimeConfig::default());
+/// assert!((atk.guessing_entropy() - 128.5).abs() < 1.0);
+/// for _ in 0..100 {
+///     atk.collect_sample(&mut rng);
+/// }
+/// assert_eq!(atk.samples(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvictTimeAttack {
+    config: EvictTimeConfig,
+    aes: Aes128,
+    cache: Cache,
+    /// `stats[byte][nibble] = (sum_time, count)` for samples whose evicted
+    /// set matches the candidate's predicted first-round set.
+    stats: [[(f64, u64); NIBBLES]; KEY_BYTES],
+    /// Grand mean of all timings (baseline for the correlation).
+    total_time: f64,
+    samples: u64,
+    evict_cursor: usize,
+    signature: Signature,
+}
+
+impl EvictTimeAttack {
+    const EVICT_TAG: u64 = 0x3000;
+
+    /// Creates the attack with a key derived from the config seed.
+    pub fn new(config: EvictTimeConfig) -> Self {
+        let mut key = [0u8; 16];
+        let mut s = config.key_seed;
+        for k in key.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *k = (s >> 33) as u8;
+        }
+        Self {
+            config,
+            aes: Aes128::new(&key),
+            cache: Cache::new(CacheConfig::l1d()),
+            stats: [[(0.0, 0); NIBBLES]; KEY_BYTES],
+            total_time: 0.0,
+            samples: 0,
+            evict_cursor: 0,
+            signature: Signature::llc_thrashing(),
+        }
+    }
+
+    /// Samples collected so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The victim's secret key (ground truth).
+    pub fn true_key(&self) -> &[u8; 16] {
+        self.aes.key()
+    }
+
+    /// One Evict+Time sample: evict a set, time one victim encryption.
+    pub fn collect_sample<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // Cycle the evicted set over the T-table footprint (4 KiB = 64 sets).
+        let evicted_set = self.evict_cursor % 64;
+        self.evict_cursor += 1;
+        self.cache.prime_set(evicted_set, Self::EVICT_TAG);
+
+        // Victim encrypts a random plaintext; its time is the sum of its
+        // cache access latencies plus noise.
+        let mut pt = [0u8; 16];
+        rng.fill(&mut pt);
+        let (_, trace) = self.aes.encrypt_traced(&pt);
+        let mut time = 0.0;
+        for (table, idx) in &trace {
+            let addr = (*table as u64) * 1024 + (*idx as u64) * 4;
+            time += self.cache.access(addr).latency as f64;
+        }
+        // Gaussian-ish timing noise (sum of uniforms).
+        let noise: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0;
+        time += noise * self.config.timing_noise_cycles;
+
+        self.total_time += time;
+        self.samples += 1;
+
+        // Attribute the timing to every candidate whose predicted set for
+        // this plaintext equals the evicted set.
+        for (p, &pt_p) in pt.iter().enumerate().take(KEY_BYTES) {
+            let table = p % 4;
+            let table_base = SETS_PER_TABLE * table;
+            if evicted_set < table_base || evicted_set >= table_base + SETS_PER_TABLE {
+                continue;
+            }
+            let line = (evicted_set - table_base) as u8;
+            // Candidate c predicts line (pt >> 4) ^ c; match when
+            // c == line ^ (pt >> 4).
+            let c = (line ^ (pt_p >> 4)) as usize;
+            let (sum, count) = &mut self.stats[p][c];
+            *sum += time;
+            *count += 1;
+        }
+    }
+
+    /// Guessing entropy over the full key byte (expected rank among 256
+    /// candidates, ties averaged), averaged over key bytes.
+    pub fn guessing_entropy(&self) -> f64 {
+        let grand_mean = if self.samples == 0 {
+            0.0
+        } else {
+            self.total_time / self.samples as f64
+        };
+        let mut total = 0.0;
+        for p in 0..KEY_BYTES {
+            // Score: how much slower encryptions are when the candidate's
+            // predicted set was evicted.
+            let score = |c: usize| -> f64 {
+                let (sum, count) = self.stats[p][c];
+                if count == 0 {
+                    0.0
+                } else {
+                    sum / count as f64 - grand_mean
+                }
+            };
+            let true_nibble = (self.aes.key()[p] >> 4) as usize;
+            let s_true = score(true_nibble);
+            let better = (0..NIBBLES).filter(|&c| score(c) > s_true).count() as f64;
+            let ties = (0..NIBBLES)
+                .filter(|&c| c != true_nibble && score(c) == s_true)
+                .count() as f64;
+            let nibble_rank = 1.0 + better + ties / 2.0;
+            total += (nibble_rank - 1.0) * 16.0 + 8.5;
+        }
+        total / KEY_BYTES as f64
+    }
+}
+
+impl Workload for EvictTimeAttack {
+    fn name(&self) -> &str {
+        "evict-time-aes"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let share = ctx.cpu_share();
+        let n = (self.config.samples_per_epoch as f64 * share).round() as u64;
+        for _ in 0..n {
+            self.collect_sample(ctx.rng);
+        }
+        EpochReport {
+            progress: n as f64,
+            hpc: self.signature.sample(ctx.rng, share),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_with_no_information() {
+        let atk = EvictTimeAttack::new(EvictTimeConfig::default());
+        assert!((atk.guessing_entropy() - 128.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_noise_attack_recovers_nibbles() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut atk = EvictTimeAttack::new(EvictTimeConfig {
+            timing_noise_cycles: 10.0,
+            ..EvictTimeConfig::default()
+        });
+        for _ in 0..6000 {
+            atk.collect_sample(&mut rng);
+        }
+        let ge = atk.guessing_entropy();
+        assert!(ge < 40.0, "GE {ge} after 6000 low-noise samples");
+    }
+
+    #[test]
+    fn few_samples_learn_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut atk = EvictTimeAttack::new(EvictTimeConfig::default());
+        for _ in 0..120 {
+            atk.collect_sample(&mut rng);
+        }
+        let ge = atk.guessing_entropy();
+        assert!(ge > 60.0, "GE {ge} after 120 noisy samples");
+    }
+
+    #[test]
+    fn entropy_decreases_with_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut atk = EvictTimeAttack::new(EvictTimeConfig::default());
+        for _ in 0..400 {
+            atk.collect_sample(&mut rng);
+        }
+        let early = atk.guessing_entropy();
+        for _ in 0..12_000 {
+            atk.collect_sample(&mut rng);
+        }
+        let late = atk.guessing_entropy();
+        assert!(late < early, "GE should fall: {early} -> {late}");
+    }
+
+    #[test]
+    fn deterministic_key() {
+        let a = EvictTimeAttack::new(EvictTimeConfig::default());
+        let b = EvictTimeAttack::new(EvictTimeConfig::default());
+        assert_eq!(a.true_key(), b.true_key());
+    }
+}

@@ -1,0 +1,200 @@
+//! The example time-progressive attack of Section IV-B / Table II:
+//! recursively open files, hash each one, and transmit the hash and
+//! contents to a colluding server.
+//!
+//! Progress is bytes transmitted per second. The attack exercises all four
+//! throttleable resources, so Table II's response curves — proportional for
+//! CPU and file rate, linear(-ish) for network, sharply non-linear for
+//! memory — all show up here.
+
+use crate::crypto::sha256::sha256;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+
+/// Exfiltration configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExfiltrationConfig {
+    /// CPU capacity: bytes hashed+packaged per tick at 100 % CPU. Slightly
+    /// above the default file-rate product so the filesystem is the
+    /// bottleneck at 100 % CPU, as in Table II.
+    pub bytes_per_tick: f64,
+    /// Working set in bytes (Table II throttles memory around 4.7 MB).
+    pub working_set: u64,
+}
+
+impl Default for ExfiltrationConfig {
+    fn default() -> Self {
+        Self {
+            bytes_per_tick: 247.0, // 247 KB/s CPU ceiling
+            working_set: 4_700_000,
+        }
+    }
+}
+
+/// The hash-and-exfiltrate workload.
+#[derive(Debug, Clone)]
+pub struct Exfiltration {
+    config: ExfiltrationConfig,
+    next_file: usize,
+    bytes_sent: u64,
+    files_processed: u64,
+    signature: Signature,
+}
+
+impl Exfiltration {
+    /// Bytes of each file genuinely hashed (cost of the rest is the same
+    /// arithmetic per byte, accounted numerically).
+    const SAMPLE_BYTES: usize = 128;
+
+    /// Creates the workload.
+    pub fn new(config: ExfiltrationConfig) -> Self {
+        Self {
+            config,
+            next_file: 0,
+            bytes_sent: 0,
+            files_processed: 0,
+            signature: Signature::ransomware(),
+        }
+    }
+
+    /// Total bytes delivered to the colluding server.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Files hashed and transmitted.
+    pub fn files_processed(&self) -> u64 {
+        self.files_processed
+    }
+}
+
+impl Default for Exfiltration {
+    fn default() -> Self {
+        Self::new(ExfiltrationConfig::default())
+    }
+}
+
+impl Workload for Exfiltration {
+    fn name(&self) -> &str {
+        "exfiltration"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        // CPU ceiling, collapsed by memory thrashing.
+        let cpu_budget =
+            ctx.cpu_ticks as f64 * self.config.bytes_per_tick * ctx.mem_efficiency;
+        let mut files_budget = ctx.fs_file_budget.floor() as u64;
+        let mut staged = 0.0_f64;
+
+        while files_budget > 0 && staged < cpu_budget {
+            let Some(file) = ctx.fs.file(self.next_file % ctx.fs.len().max(1)) else {
+                break;
+            };
+            let size = file.size as f64;
+            // Hash a real sample of the file contents.
+            let sample: Vec<u8> = (0..Self::SAMPLE_BYTES)
+                .map(|i| (self.next_file as u8).wrapping_add(i as u8))
+                .collect();
+            let _digest = sha256(&sample);
+            staged += size;
+            self.next_file += 1;
+            self.files_processed += 1;
+            files_budget -= 1;
+        }
+        let staged = staged.min(cpu_budget);
+
+        // Transmit through the shaped network controller.
+        let delivered = ctx.net.send(ctx.epoch_ticks, staged);
+        self.bytes_sent += delivered as u64;
+
+        EpochReport {
+            progress: delivered,
+            hpc: self.signature.sample(ctx.rng, ctx.cpu_share()),
+            completed: false,
+        }
+    }
+
+    fn working_set_bytes(&self) -> Option<u64> {
+        Some(self.config.working_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use valkyrie_sim::fs::SimFs;
+    use valkyrie_sim::machine::{Machine, MachineConfig};
+
+    /// Builds the Table II scenario: ~100 files/s at ~2.26 KB/file gives
+    /// the paper's 225.7 KB/s default progress rate.
+    fn machine() -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut fs = SimFs::new();
+        for i in 0..200_000 {
+            // Constant size keeps the default rate exactly calibrated.
+            let _ = rng.gen::<u8>();
+            fs.push(format!("/data/f{i}"), 2257);
+        }
+        m.set_filesystem(fs);
+        m
+    }
+
+    fn rate_kb_per_s(m: &mut Machine, pid: valkyrie_sim::Pid, epochs: u64) -> f64 {
+        let mut bytes = 0.0;
+        for _ in 0..epochs {
+            bytes += m.run_epoch()[&pid].progress;
+        }
+        bytes / 1000.0 / (epochs as f64 * 0.1)
+    }
+
+    #[test]
+    fn default_rate_matches_table2() {
+        let mut m = machine();
+        let pid = m.spawn(Box::new(Exfiltration::default()));
+        let rate = rate_kb_per_s(&mut m, pid, 50);
+        assert!((rate - 225.7).abs() < 15.0, "default rate {rate} KB/s");
+    }
+
+    #[test]
+    fn cpu_1_percent_slows_by_99_percent() {
+        let mut m = machine();
+        let pid = m.spawn(Box::new(Exfiltration::default()));
+        m.set_cpu_quota(pid, 0.01);
+        let rate = rate_kb_per_s(&mut m, pid, 50);
+        assert!(rate < 5.0, "1% CPU rate {rate} KB/s");
+    }
+
+    #[test]
+    fn memory_deficit_collapses_rate() {
+        let mut m = machine();
+        let pid = m.spawn(Box::new(Exfiltration::default()));
+        m.set_memory_limit(pid, 0.936);
+        let rate = rate_kb_per_s(&mut m, pid, 50);
+        assert!(rate < 1.0, "93.6% memory rate {rate} KB/s");
+    }
+
+    #[test]
+    fn file_rate_is_proportional() {
+        let mut m = machine();
+        let pid = m.spawn(Box::new(Exfiltration::default()));
+        m.set_fs_share(pid, 0.5);
+        let rate = rate_kb_per_s(&mut m, pid, 50);
+        assert!((rate - 112.85).abs() < 15.0, "50 files/s rate {rate} KB/s");
+    }
+
+    #[test]
+    fn network_cap_bounds_rate() {
+        let mut m = machine();
+        let pid = m.spawn(Box::new(Exfiltration::default()));
+        m.set_network_cap(pid, 5.12e5); // 512 KB/s with heavy shaping
+        let rate = rate_kb_per_s(&mut m, pid, 50);
+        assert!(rate < 1.0, "512K cap rate {rate} KB/s");
+    }
+}

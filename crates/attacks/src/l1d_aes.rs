@@ -1,0 +1,277 @@
+//! Prime+Probe on the L1 data cache against a T-table AES victim
+//! (Osvik-Shamir-Tromer; paper Fig. 4a).
+//!
+//! Each sample: the spy primes the 64 L1-D sets, the victim encrypts one
+//! known random plaintext through the cache (all 144 T-table lookups), and
+//! the spy probes. First-round lookups touch set `16·t + ((pt ⊕ key) ≫ 4)`,
+//! so for every key byte the candidate high nibble whose predicted set
+//! misses most often is the right one. Progress is measured by **guessing
+//! entropy** (Massey): the expected rank of the true key byte among all 256
+//! candidates — 128 means the attacker has learnt nothing, ≤16 means the
+//! high nibbles are recovered (the line-granularity limit of the attack).
+
+use crate::crypto::aes::Aes128;
+use rand::Rng;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+use valkyrie_uarch::{Cache, CacheConfig};
+
+/// Key-byte positions in an AES-128 key.
+const KEY_BYTES: usize = 16;
+/// High-nibble candidates per key byte (line granularity: 16 T-table
+/// entries per 64-byte line).
+const NIBBLES: usize = 16;
+/// Sets covered by one 1 KiB T-table (16 lines).
+const SETS_PER_TABLE: usize = 16;
+
+/// Attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L1dAesConfig {
+    /// Prime+Probe samples per full (unthrottled) epoch.
+    pub samples_per_epoch: u64,
+    /// Probability that one set's probe observation is flipped by noise
+    /// (system activity, prefetchers, timer jitter).
+    pub observation_noise: f64,
+    /// Secret key seed (the victim's key is derived from it).
+    pub key_seed: u64,
+}
+
+impl Default for L1dAesConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_epoch: 60,
+            observation_noise: 0.40,
+            key_seed: 0xAE5_0001,
+        }
+    }
+}
+
+/// The L1-D Prime+Probe attack workload.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_attacks::l1d_aes::{L1dAesAttack, L1dAesConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut atk = L1dAesAttack::new(L1dAesConfig::default());
+/// assert!((atk.guessing_entropy() - 128.5).abs() < 1.0); // knows nothing yet
+/// for _ in 0..200 {
+///     atk.collect_sample(&mut rng);
+/// }
+/// assert_eq!(atk.samples(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1dAesAttack {
+    config: L1dAesConfig,
+    aes: Aes128,
+    cache: Cache,
+    /// `scores[byte][nibble]`: accumulated miss evidence.
+    scores: [[f64; NIBBLES]; KEY_BYTES],
+    samples: u64,
+    signature: Signature,
+}
+
+impl L1dAesAttack {
+    /// Creates the attack with a key derived from the config seed.
+    pub fn new(config: L1dAesConfig) -> Self {
+        let mut key = [0u8; 16];
+        let mut s = config.key_seed;
+        for k in key.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *k = (s >> 33) as u8;
+        }
+        Self {
+            config,
+            aes: Aes128::new(&key),
+            cache: Cache::new(CacheConfig::l1d()),
+            scores: [[0.0; NIBBLES]; KEY_BYTES],
+            samples: 0,
+            signature: Signature::llc_thrashing(),
+        }
+    }
+
+    /// Samples collected so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The victim's secret key (ground truth for evaluation).
+    pub fn true_key(&self) -> &[u8; 16] {
+        self.aes.key()
+    }
+
+    /// Performs one Prime+Probe sample: prime, victim encryption, probe.
+    pub fn collect_sample<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // The spy's eviction lines live far above the 4 KiB table region.
+        const SPY_TAG: u64 = 0x1000;
+        let sets = self.cache.config().sets;
+
+        // Prime all sets.
+        for set in 0..sets {
+            self.cache.prime_set(set, SPY_TAG);
+        }
+
+        // Victim encrypts one random plaintext through the same cache.
+        let mut pt = [0u8; 16];
+        rng.fill(&mut pt);
+        let (_, trace) = self.aes.encrypt_traced(&pt);
+        for (table, idx) in &trace {
+            let addr = (*table as u64) * 1024 + (*idx as u64) * 4;
+            self.cache.access(addr);
+        }
+
+        // Probe and record noisy per-set miss observations.
+        let mut missed = [false; 64];
+        for (set, m) in missed.iter_mut().enumerate() {
+            let (misses, _) = self.cache.probe_set(set, SPY_TAG);
+            let observed = misses > 0;
+            *m = if rng.gen::<f64>() < self.config.observation_noise {
+                !observed
+            } else {
+                observed
+            };
+        }
+
+        // Score candidates: for key byte p (table p % 4), candidate nibble c
+        // predicts set 16·t + ((pt[p] ≫ 4) ⊕ c).
+        for (p, &pt_p) in pt.iter().enumerate().take(KEY_BYTES) {
+            let table = p % 4;
+            for c in 0..NIBBLES {
+                let line = ((pt_p >> 4) ^ c as u8) as usize;
+                let set = SETS_PER_TABLE * table + line;
+                if missed[set] {
+                    self.scores[p][c] += 1.0;
+                }
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Guessing entropy over the full key byte (expected rank of the true
+    /// byte among 256 candidates, ties averaged), averaged over the 16 key
+    /// bytes. Starts at 128.5 (no information).
+    pub fn guessing_entropy(&self) -> f64 {
+        let mut total = 0.0;
+        for p in 0..KEY_BYTES {
+            let true_nibble = (self.aes.key()[p] >> 4) as usize;
+            let s_true = self.scores[p][true_nibble];
+            let better = self.scores[p]
+                .iter()
+                .filter(|&&s| s > s_true)
+                .count() as f64;
+            let ties = self.scores[p]
+                .iter()
+                .enumerate()
+                .filter(|&(c, &s)| c != true_nibble && s == s_true)
+                .count() as f64;
+            let nibble_rank = 1.0 + better + ties / 2.0;
+            // Each nibble bucket holds 16 byte candidates; the true byte
+            // sits in the middle of its bucket on average.
+            total += (nibble_rank - 1.0) * 16.0 + 8.5;
+        }
+        total / KEY_BYTES as f64
+    }
+
+    /// Number of key bytes whose true high nibble currently ranks first.
+    pub fn recovered_nibbles(&self) -> usize {
+        (0..KEY_BYTES)
+            .filter(|&p| {
+                let true_nibble = (self.aes.key()[p] >> 4) as usize;
+                let s_true = self.scores[p][true_nibble];
+                self.scores[p]
+                    .iter()
+                    .enumerate()
+                    .all(|(c, &s)| c == true_nibble || s < s_true)
+            })
+            .count()
+    }
+}
+
+impl Workload for L1dAesAttack {
+    fn name(&self) -> &str {
+        "l1d-prime-probe-aes"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let share = ctx.cpu_share();
+        let n = (self.config.samples_per_epoch as f64 * share).round() as u64;
+        for _ in 0..n {
+            self.collect_sample(ctx.rng);
+        }
+        EpochReport {
+            progress: n as f64,
+            hpc: self.signature.sample(ctx.rng, share),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_guessing_entropy_is_random_level() {
+        let atk = L1dAesAttack::new(L1dAesConfig::default());
+        assert!((atk.guessing_entropy() - 128.5).abs() < 1e-9);
+        assert_eq!(atk.recovered_nibbles(), 0);
+    }
+
+    #[test]
+    fn noiseless_attack_recovers_key_quickly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut atk = L1dAesAttack::new(L1dAesConfig {
+            observation_noise: 0.0,
+            ..L1dAesConfig::default()
+        });
+        for _ in 0..400 {
+            atk.collect_sample(&mut rng);
+        }
+        assert!(
+            atk.guessing_entropy() < 20.0,
+            "GE {} after 400 noiseless samples",
+            atk.guessing_entropy()
+        );
+        assert!(atk.recovered_nibbles() >= 12);
+    }
+
+    #[test]
+    fn noisy_attack_needs_many_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut atk = L1dAesAttack::new(L1dAesConfig::default());
+        for _ in 0..100 {
+            atk.collect_sample(&mut rng);
+        }
+        // Far from recovered with only 100 noisy samples.
+        assert!(
+            atk.guessing_entropy() > 60.0,
+            "GE {} too low after 100 noisy samples",
+            atk.guessing_entropy()
+        );
+    }
+
+    #[test]
+    fn guessing_entropy_decreases_with_samples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut atk = L1dAesAttack::new(L1dAesConfig::default());
+        for _ in 0..3000 {
+            atk.collect_sample(&mut rng);
+        }
+        let ge = atk.guessing_entropy();
+        assert!(ge < 70.0, "GE {ge} after 3000 samples");
+    }
+
+    #[test]
+    fn key_derivation_is_deterministic() {
+        let a = L1dAesAttack::new(L1dAesConfig::default());
+        let b = L1dAesAttack::new(L1dAesConfig::default());
+        assert_eq!(a.true_key(), b.true_key());
+    }
+}

@@ -1,0 +1,238 @@
+//! Prime+Probe on the L1 instruction cache against a square-and-multiply
+//! RSA victim (Aciiçmez-Brumley-Grabher; paper Fig. 4b).
+//!
+//! The victim repeatedly exponentiates with a fixed secret exponent. The
+//! spy primes the I-cache set holding the *multiply* routine, lets the
+//! victim execute one operation window, and probes: a miss means the
+//! multiply ran, i.e. the exponent bit was 1. Observations are noisy, so the
+//! spy accumulates majority votes per bit position across exponentiations.
+//! Progress is the **bit error rate** against the true exponent — 0.5 means
+//! the attacker knows nothing (random guessing).
+
+use crate::crypto::modexp::{exponent_bits, mod_exp_traced, ModExpOp};
+use rand::Rng;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+use valkyrie_uarch::{Cache, CacheConfig};
+
+/// Attack configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L1iRsaConfig {
+    /// Operation windows observed per full (unthrottled) epoch.
+    pub observations_per_epoch: u64,
+    /// Probability one window observation is flipped by noise.
+    pub observation_noise: f64,
+    /// The victim's secret exponent.
+    pub exponent: u64,
+}
+
+impl Default for L1iRsaConfig {
+    fn default() -> Self {
+        Self {
+            observations_per_epoch: 350,
+            observation_noise: 0.44,
+            exponent: 0xB5D3_9A17_62E4_F00D,
+        }
+    }
+}
+
+/// The L1-I Prime+Probe attack workload.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_attacks::l1i_rsa::{L1iRsaAttack, L1iRsaConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut atk = L1iRsaAttack::new(L1iRsaConfig::default());
+/// assert!((atk.bit_error_rate() - 0.5).abs() < 1e-9);
+/// atk.observe_windows(500, &mut rng);
+/// assert_eq!(atk.observations(), 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1iRsaAttack {
+    config: L1iRsaConfig,
+    icache: Cache,
+    /// Victim operation trace for one exponentiation (repeated forever).
+    op_windows: Vec<bool>, // true = the window's bit is 1 (multiply ran)
+    /// Bit position of each window within the exponent.
+    window_bit: Vec<usize>,
+    /// Votes per exponent bit: (ones, total).
+    votes: Vec<(u64, u64)>,
+    cursor: usize,
+    observations: u64,
+    signature: Signature,
+}
+
+impl L1iRsaAttack {
+    /// I-cache set holding the multiply routine.
+    const MUL_SET: usize = 21;
+    /// Line tag of the multiply routine.
+    const MUL_TAG: u64 = 7;
+    /// Spy eviction-line tag space.
+    const SPY_TAG: u64 = 0x2000;
+
+    /// Creates the attack for the configured victim exponent.
+    pub fn new(config: L1iRsaConfig) -> Self {
+        let (_, trace) = mod_exp_traced(0x1234_5678, config.exponent, 0xFFFF_FFFF_FFC5);
+        let bits = exponent_bits(config.exponent);
+        // One window per exponent bit: Square [+ Multiply].
+        let mut op_windows = Vec::with_capacity(bits.len());
+        let mut window_bit = Vec::with_capacity(bits.len());
+        let mut i = 0;
+        let mut bit_idx = 0;
+        while i < trace.len() {
+            let has_mul = i + 1 < trace.len() && trace[i + 1] == ModExpOp::Multiply;
+            op_windows.push(has_mul);
+            window_bit.push(bit_idx);
+            i += if has_mul { 2 } else { 1 };
+            bit_idx += 1;
+        }
+        let votes = vec![(0, 0); bits.len()];
+        Self {
+            config,
+            icache: Cache::new(CacheConfig::l1i()),
+            op_windows,
+            window_bit,
+            votes,
+            cursor: 0,
+            observations: 0,
+            signature: Signature::llc_thrashing(),
+        }
+    }
+
+    /// Total windows observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Observes `n` victim operation windows through the I-cache.
+    pub fn observe_windows<R: Rng + ?Sized>(&mut self, n: u64, rng: &mut R) {
+        for _ in 0..n {
+            let w = self.cursor % self.op_windows.len();
+            self.cursor += 1;
+            let bit_is_one = self.op_windows[w];
+
+            // Prime the multiply routine's set.
+            self.icache.prime_set(Self::MUL_SET, Self::SPY_TAG);
+            // Victim executes the window: fetching the multiply routine
+            // evicts a spy line from MUL_SET.
+            if bit_is_one {
+                let addr = self.icache.address_in_set(Self::MUL_SET, Self::MUL_TAG);
+                self.icache.access(addr);
+            }
+            // Probe.
+            let (misses, _) = self.icache.probe_set(Self::MUL_SET, Self::SPY_TAG);
+            let mut observed = misses > 0;
+            if rng.gen::<f64>() < self.config.observation_noise {
+                observed = !observed;
+            }
+
+            let bit = self.window_bit[w];
+            let (ones, total) = &mut self.votes[bit];
+            if observed {
+                *ones += 1;
+            }
+            *total += 1;
+            self.observations += 1;
+        }
+    }
+
+    /// Current bit error rate against the true exponent. Bit positions with
+    /// no observations (or split votes) contribute 0.5.
+    pub fn bit_error_rate(&self) -> f64 {
+        let truth = exponent_bits(self.config.exponent);
+        let mut err = 0.0;
+        for (bit, &(ones, total)) in truth.iter().zip(&self.votes) {
+            if total == 0 || 2 * ones == total {
+                err += 0.5;
+                continue;
+            }
+            let guess = 2 * ones > total;
+            if guess != *bit {
+                err += 1.0;
+            }
+        }
+        err / truth.len() as f64
+    }
+}
+
+impl Workload for L1iRsaAttack {
+    fn name(&self) -> &str {
+        "l1i-prime-probe-rsa"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let share = ctx.cpu_share();
+        let n = (self.config.observations_per_epoch as f64 * share).round() as u64;
+        self.observe_windows(n, ctx.rng);
+        EpochReport {
+            progress: n as f64,
+            hpc: self.signature.sample(ctx.rng, share),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_at_random_guessing() {
+        let atk = L1iRsaAttack::new(L1iRsaConfig::default());
+        assert!((atk.bit_error_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_observation_recovers_exponent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut atk = L1iRsaAttack::new(L1iRsaConfig {
+            observation_noise: 0.0,
+            ..L1iRsaConfig::default()
+        });
+        // One full pass over all windows suffices without noise.
+        atk.observe_windows(200, &mut rng);
+        assert!(
+            atk.bit_error_rate() < 0.01,
+            "error {} should be ~0",
+            atk.bit_error_rate()
+        );
+    }
+
+    #[test]
+    fn noisy_observation_converges_with_votes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut atk = L1iRsaAttack::new(L1iRsaConfig::default());
+        atk.observe_windows(40_000, &mut rng);
+        assert!(
+            atk.bit_error_rate() < 0.15,
+            "error {} after 40k noisy windows",
+            atk.bit_error_rate()
+        );
+    }
+
+    #[test]
+    fn few_observations_stay_near_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut atk = L1iRsaAttack::new(L1iRsaConfig::default());
+        atk.observe_windows(100, &mut rng);
+        let e = atk.bit_error_rate();
+        assert!(e > 0.3, "error {e} should stay near 0.5 with few samples");
+    }
+
+    #[test]
+    fn windows_match_exponent_bits() {
+        let atk = L1iRsaAttack::new(L1iRsaConfig {
+            exponent: 0b1011,
+            ..L1iRsaConfig::default()
+        });
+        assert_eq!(atk.op_windows, vec![true, false, true, true]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Every time-progressive attack evaluated in the paper, implemented from
+//! scratch against the simulated substrates.
+//!
+//! | Module | Attack | Paper figure | Progress metric |
+//! |---|---|---|---|
+//! | [`l1d_aes`] | Prime+Probe on L1-D vs. T-table AES | Fig. 4a | guessing entropy |
+//! | [`evict_time`] | Evict+Time on L1-D vs. T-table AES | §I case study | guessing entropy |
+//! | [`l1i_rsa`] | Prime+Probe on L1-I vs. square-and-multiply RSA | Fig. 4b | bit error rate |
+//! | [`tsa`] | Load-store-buffer covert channel (TSA) | Fig. 4c | bit error rate |
+//! | [`channels`] | CJAG / LLC / TLB covert channels | Figs. 4d-f | bits transmitted |
+//! | [`rowhammer`] | Double-sided rowhammer | Fig. 6a | bits flipped |
+//! | [`ransomware`] | Filesystem-encrypting ransomware | Fig. 6b | bytes encrypted |
+//! | [`cryptominer`] | Double-SHA-256 proof-of-work miner | Fig. 6c | hashes computed |
+//! | [`exfiltration`] | Hash-and-transmit example attack | Table II | bytes transmitted |
+//!
+//! All attacks implement [`valkyrie_sim::Workload`], so the simulated
+//! machine schedules them and Valkyrie's actuators genuinely starve them.
+//! The crypto victims/payloads are real implementations ([`crypto`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_attacks::cryptominer::Cryptominer;
+//! use valkyrie_sim::prelude::*;
+//!
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let pid = machine.spawn(Box::new(Cryptominer::default()));
+//! let report = &machine.run_epoch()[&pid];
+//! assert!(report.progress > 0.0); // hashes computed
+//! ```
+
+pub mod channels;
+pub mod crypto;
+pub mod cryptominer;
+pub mod evict_time;
+pub mod exfiltration;
+pub mod l1d_aes;
+pub mod l1i_rsa;
+pub mod ransomware;
+pub mod rowhammer;
+pub mod tsa;
+
+pub use channels::{ChannelConfig, CovertChannel, Medium};
+pub use cryptominer::{Cryptominer, CryptominerConfig};
+pub use evict_time::{EvictTimeAttack, EvictTimeConfig};
+pub use exfiltration::{Exfiltration, ExfiltrationConfig};
+pub use l1d_aes::{L1dAesAttack, L1dAesConfig};
+pub use l1i_rsa::{L1iRsaAttack, L1iRsaConfig};
+pub use ransomware::{Ransomware, RansomwareConfig};
+pub use rowhammer::{RowhammerAttack, RowhammerConfig};
+pub use tsa::{TsaChannel, TsaConfig};

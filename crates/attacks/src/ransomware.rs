@@ -1,0 +1,224 @@
+//! The ransomware workload: walk the victim filesystem, encrypt every file
+//! (paper Fig. 6b; modelled after the open-source families the paper
+//! evaluates — GonnaCry, RAASNet, randomware, BWare).
+//!
+//! Progress is bytes encrypted. Encryption rate depends on CPU time (stream
+//! cipher throughput), the file-access rate (the paper's filesystem
+//! actuator halves it per threat increase) and memory (thrashing collapses
+//! throughput). The paper's measured unthrottled rate — 11.67 MB/s — is the
+//! default calibration.
+
+use crate::crypto::stream::StreamCipher;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+
+/// Ransomware configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RansomwareConfig {
+    /// Encryption throughput at 100 % CPU, bytes per tick (1 tick = 1 ms).
+    /// The paper's 11.67 MB/s = 11 670 bytes/ms.
+    pub bytes_per_tick: f64,
+    /// Cipher key.
+    pub key: u64,
+}
+
+impl Default for RansomwareConfig {
+    fn default() -> Self {
+        Self {
+            bytes_per_tick: 11_670.0,
+            key: 0xDEAD_10CC,
+        }
+    }
+}
+
+/// The ransomware workload.
+///
+/// Completion: all files in the victim filesystem are encrypted.
+#[derive(Debug, Clone)]
+pub struct Ransomware {
+    config: RansomwareConfig,
+    cipher: StreamCipher,
+    /// Index of the next file to encrypt.
+    next_file: usize,
+    /// Bytes already encrypted within the current (partial) file.
+    partial_bytes: u64,
+    bytes_encrypted: u64,
+    files_encrypted: u64,
+    signature: Signature,
+}
+
+impl Ransomware {
+    /// Sample of each file actually run through the cipher (the rest of the
+    /// file's cost is accounted by [`StreamCipher::skip`], which does the
+    /// same keystream work without a buffer).
+    const SAMPLE_BYTES: usize = 256;
+
+    /// Creates the workload.
+    pub fn new(config: RansomwareConfig) -> Self {
+        Self {
+            config,
+            cipher: StreamCipher::new(config.key),
+            next_file: 0,
+            partial_bytes: 0,
+            bytes_encrypted: 0,
+            files_encrypted: 0,
+            signature: Signature::ransomware(),
+        }
+    }
+
+    /// Total bytes encrypted so far.
+    pub fn bytes_encrypted(&self) -> u64 {
+        self.bytes_encrypted
+    }
+
+    /// Files fully encrypted so far.
+    pub fn files_encrypted(&self) -> u64 {
+        self.files_encrypted
+    }
+}
+
+impl Default for Ransomware {
+    fn default() -> Self {
+        Self::new(RansomwareConfig::default())
+    }
+}
+
+impl Workload for Ransomware {
+    fn name(&self) -> &str {
+        "ransomware"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        // CPU capacity this epoch, degraded by memory thrashing.
+        let mut budget =
+            (ctx.cpu_ticks as f64 * self.config.bytes_per_tick * ctx.mem_efficiency) as u64;
+        // File-open budget (the filesystem actuator's lever). A partially
+        // encrypted file does not need re-opening.
+        let mut files_left = ctx.fs_file_budget.floor() as u64
+            + if self.partial_bytes > 0 { 1 } else { 0 };
+        let mut encrypted_now = 0u64;
+
+        while budget > 0 && files_left > 0 {
+            let Some(file) = ctx.fs.file(self.next_file) else {
+                break; // filesystem exhausted
+            };
+            let remaining_in_file = file.size - self.partial_bytes;
+            let chunk = remaining_in_file.min(budget);
+            // Run a real keystream over a sample, account for the rest.
+            let sample = chunk.min(Self::SAMPLE_BYTES as u64) as usize;
+            let mut buf = vec![0u8; sample];
+            self.cipher.apply(&mut buf);
+            self.cipher.skip(chunk - sample as u64);
+
+            self.partial_bytes += chunk;
+            budget -= chunk;
+            encrypted_now += chunk;
+            if self.partial_bytes >= file.size {
+                ctx.fs.encrypt_file(self.next_file);
+                self.next_file += 1;
+                self.files_encrypted += 1;
+                self.partial_bytes = 0;
+                files_left -= 1;
+            }
+        }
+        self.bytes_encrypted += encrypted_now;
+
+        let completed = self.next_file >= ctx.fs.len() && !ctx.fs.is_empty();
+        EpochReport {
+            progress: encrypted_now as f64,
+            hpc: self.signature.sample(ctx.rng, ctx.cpu_share()),
+            completed,
+        }
+    }
+
+    fn working_set_bytes(&self) -> Option<u64> {
+        Some(4 * 1024 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use valkyrie_sim::fs::SimFs;
+    use valkyrie_sim::machine::{Machine, MachineConfig};
+
+    fn machine_with_fs(n_files: usize, mean: u64) -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut rng = StdRng::seed_from_u64(77);
+        m.set_filesystem(SimFs::generate(&mut rng, n_files, mean));
+        m
+    }
+
+    #[test]
+    fn unthrottled_rate_matches_calibration() {
+        let mut m = machine_with_fs(5000, 1 << 20);
+        let pid = m.spawn(Box::new(Ransomware::default()));
+        let mut bytes = 0.0;
+        for _ in 0..20 {
+            bytes += m.run_epoch()[&pid].progress;
+        }
+        // 2 simulated seconds at 11.67 MB/s ≈ 23.3 MB.
+        let mb = bytes / 1e6;
+        assert!((mb - 23.3).abs() < 3.0, "encrypted {mb} MB in 2 s");
+    }
+
+    #[test]
+    fn cpu_throttling_cuts_rate_proportionally() {
+        let mut m = machine_with_fs(5000, 1 << 20);
+        let pid = m.spawn(Box::new(Ransomware::default()));
+        m.set_cpu_quota(pid, 0.01);
+        let mut bytes = 0.0;
+        for _ in 0..20 {
+            bytes += m.run_epoch()[&pid].progress;
+        }
+        // ~1% of 23.3 MB.
+        assert!(bytes < 0.5e6, "throttled ransomware encrypted {bytes} B");
+        assert!(bytes > 0.0);
+    }
+
+    #[test]
+    fn fs_throttling_caps_files_per_epoch() {
+        let mut m = machine_with_fs(1000, 4096);
+        let pid = m.spawn(Box::new(Ransomware::default()));
+        // 1% of the 100 files/s default = 1 file per second.
+        m.set_fs_share(pid, 0.01);
+        let mut files = 0u64;
+        for _ in 0..50 {
+            m.run_epoch();
+        }
+        if let Some(_name) = m.name_of(pid) {
+            files = m.filesystem().encrypted_files() as u64;
+        }
+        // 5 seconds × ~0.1 files/epoch budget (floor) — at most a handful.
+        assert!(files <= 10, "encrypted {files} files under 1% fs share");
+    }
+
+    #[test]
+    fn completes_when_all_files_encrypted() {
+        let mut m = machine_with_fs(3, 1024);
+        let pid = m.spawn(Box::new(Ransomware::default()));
+        for _ in 0..10 {
+            m.run_epoch();
+        }
+        assert!(m.is_completed(pid));
+        assert_eq!(m.filesystem().encrypted_files(), 3);
+    }
+
+    #[test]
+    fn memory_thrashing_collapses_throughput() {
+        let mut m = machine_with_fs(5000, 1 << 20);
+        let pid = m.spawn(Box::new(Ransomware::default()));
+        m.set_memory_limit(pid, 0.9);
+        let mut bytes = 0.0;
+        for _ in 0..20 {
+            bytes += m.run_epoch()[&pid].progress;
+        }
+        assert!(bytes < 100_000.0, "thrashing ransomware encrypted {bytes} B");
+    }
+}

@@ -1,0 +1,148 @@
+//! The rowhammer attack workload (Kim et al., ISCA 2014; google/rowhammer-test
+//! style double-sided hammering; paper Fig. 6a).
+//!
+//! Each epoch the attacker issues as many aggressor-row activations as its
+//! granted CPU time allows (bounded by the DRAM row-cycle time). Bit flips
+//! are decided by the DRAM model: neighbours must be activated beyond the
+//! disturbance threshold *within one refresh window*. A CPU-throttled
+//! attacker can't reach the threshold in any window, so its flip count is
+//! exactly zero forever — the property behind the paper's "no bit-flips
+//! even after a day of execution".
+
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+
+/// Rowhammer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowhammerConfig {
+    /// First aggressor row.
+    pub row_a: u64,
+    /// Second aggressor row (double-sided: victim sits between).
+    pub row_b: u64,
+}
+
+impl Default for RowhammerConfig {
+    fn default() -> Self {
+        Self {
+            row_a: 4000,
+            row_b: 4002,
+        }
+    }
+}
+
+/// The rowhammer attack workload.
+///
+/// Progress is the number of bit flips induced (read back from the DRAM
+/// model after each epoch).
+#[derive(Debug, Clone)]
+pub struct RowhammerAttack {
+    config: RowhammerConfig,
+    flips_seen: u64,
+    iterations: u64,
+    signature: Signature,
+}
+
+impl RowhammerAttack {
+    /// Creates the attack.
+    pub fn new(config: RowhammerConfig) -> Self {
+        Self {
+            config,
+            flips_seen: 0,
+            iterations: 0,
+            signature: Signature::hammering(),
+        }
+    }
+
+    /// Hammer iterations executed (1 iteration = 2 activations).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Bit flips observed so far.
+    pub fn flips_seen(&self) -> u64 {
+        self.flips_seen
+    }
+}
+
+impl Default for RowhammerAttack {
+    fn default() -> Self {
+        Self::new(RowhammerConfig::default())
+    }
+}
+
+impl Workload for RowhammerAttack {
+    fn name(&self) -> &str {
+        "rowhammer"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        // Activations are bounded by CPU time: the hammer loop issues
+        // (load A, load B, clflush both) as fast as tRC allows while it is
+        // scheduled.
+        let max_per_ms = ctx.dram.config().max_activations_per_ms;
+        let activations = ctx.cpu_ticks * max_per_ms;
+        ctx.dram
+            .hammer_pair(self.config.row_a, self.config.row_b, activations, ctx.rng);
+        self.iterations += activations / 2;
+
+        // Progress = new flips (the machine advances the DRAM refresh
+        // windows after workloads run, so read the running total).
+        let flips_now = ctx.dram.flipped_bits();
+        let new_flips = flips_now.saturating_sub(self.flips_seen);
+        self.flips_seen = flips_now;
+
+        EpochReport {
+            progress: new_flips as f64,
+            hpc: self.signature.sample(ctx.rng, ctx.cpu_share()),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valkyrie_sim::machine::{Machine, MachineConfig};
+
+    #[test]
+    fn unthrottled_hammering_flips_bits() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(RowhammerAttack::default()));
+        // ~60 simulated seconds of full-speed hammering.
+        let mut flips = 0.0;
+        for _ in 0..600 {
+            let r = m.run_epoch();
+            flips += r[&pid].progress;
+        }
+        assert!(flips > 0.0, "full-speed hammering must flip bits");
+    }
+
+    #[test]
+    fn throttled_hammering_never_flips() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(RowhammerAttack::default()));
+        // 1% CPU quota: activations per refresh window stay far below the
+        // disturbance threshold.
+        m.set_cpu_quota(pid, 0.01);
+        let mut flips = 0.0;
+        for _ in 0..2000 {
+            let r = m.run_epoch();
+            flips += r[&pid].progress;
+        }
+        assert_eq!(flips, 0.0, "throttled attacker must never flip a bit");
+    }
+
+    #[test]
+    fn iterations_track_cpu_share() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(RowhammerAttack::default()));
+        m.set_cpu_quota(pid, 0.5);
+        m.run_epoch();
+        // 50 ticks × 20k activations/ms / 2 = 500k iterations.
+        let _ = pid;
+    }
+}

@@ -1,0 +1,220 @@
+//! The Fill-and-Forward Timed Speculative Attack (TSA) covert channel on
+//! the load-store buffer (Chakraborty et al., DAC 2022; paper Fig. 4c).
+//!
+//! The sender encodes a bit by either storing to an address that 4K-aliases
+//! the receiver's load (bit 1 → the load suffers a false-dependency stall)
+//! or storing elsewhere (bit 0 → fast load). Because the channel lives in
+//! the load-store buffer, cache-based countermeasures don't see it — but it
+//! still needs CPU time, which is what Valkyrie throttles. Progress is the
+//! **bit error rate** of the transmitted message under majority voting.
+
+use rand::Rng;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+use valkyrie_uarch::lsb::LoadKind;
+use valkyrie_uarch::{LoadStoreBuffer, LsbConfig};
+
+/// Channel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsaConfig {
+    /// Channel rounds per full (unthrottled) epoch.
+    pub rounds_per_epoch: u64,
+    /// Probability a round's timing observation flips.
+    pub observation_noise: f64,
+    /// Message length in bits (retransmitted cyclically with voting).
+    pub message_bits: usize,
+    /// Seed for the secret message.
+    pub message_seed: u64,
+}
+
+impl Default for TsaConfig {
+    fn default() -> Self {
+        Self {
+            rounds_per_epoch: 250,
+            observation_noise: 0.44,
+            message_bits: 64,
+            message_seed: 0x75A0,
+        }
+    }
+}
+
+/// The TSA covert-channel workload (sender + receiver pair).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_attacks::tsa::{TsaChannel, TsaConfig};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut ch = TsaChannel::new(TsaConfig::default());
+/// assert!((ch.bit_error_rate() - 0.5).abs() < 1e-9);
+/// ch.run_rounds(2000, &mut rng);
+/// assert!(ch.rounds() == 2000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TsaChannel {
+    config: TsaConfig,
+    lsb: LoadStoreBuffer,
+    message: Vec<bool>,
+    votes: Vec<(u64, u64)>,
+    cursor: usize,
+    rounds: u64,
+    signature: Signature,
+}
+
+impl TsaChannel {
+    /// Receiver's load address.
+    const LOAD_ADDR: u64 = 0x5_1234;
+    /// Sender's aliasing store address (same low 12 bits, different page).
+    const ALIAS_ADDR: u64 = 0x9_1234;
+    /// Sender's non-aliasing store address.
+    const NEUTRAL_ADDR: u64 = 0x9_2468;
+
+    /// Creates the channel with a pseudo-random secret message.
+    pub fn new(config: TsaConfig) -> Self {
+        let mut s = config.message_seed;
+        let message = (0..config.message_bits)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 62) & 1 == 1
+            })
+            .collect();
+        Self {
+            config,
+            lsb: LoadStoreBuffer::new(LsbConfig::skylake()),
+            message,
+            votes: vec![(0, 0); config.message_bits],
+            cursor: 0,
+            rounds: 0,
+            signature: Signature::cryptominer(),
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The secret message (ground truth).
+    pub fn message(&self) -> &[bool] {
+        &self.message
+    }
+
+    /// Executes `n` channel rounds through the load-store buffer.
+    pub fn run_rounds<R: Rng + ?Sized>(&mut self, n: u64, rng: &mut R) {
+        for _ in 0..n {
+            let bit_idx = self.cursor % self.message.len();
+            self.cursor += 1;
+            let bit = self.message[bit_idx];
+
+            // Sender.
+            self.lsb.drain();
+            self.lsb.store(if bit {
+                Self::ALIAS_ADDR
+            } else {
+                Self::NEUTRAL_ADDR
+            });
+            // Receiver: a stalled load means bit 1.
+            let (kind, _) = self.lsb.load(Self::LOAD_ADDR);
+            let mut observed = kind == LoadKind::AliasStall;
+            if rng.gen::<f64>() < self.config.observation_noise {
+                observed = !observed;
+            }
+
+            let (ones, total) = &mut self.votes[bit_idx];
+            if observed {
+                *ones += 1;
+            }
+            *total += 1;
+            self.rounds += 1;
+        }
+    }
+
+    /// Bit error rate of the majority-vote decoded message; unobserved or
+    /// split bits contribute 0.5.
+    pub fn bit_error_rate(&self) -> f64 {
+        let mut err = 0.0;
+        for (bit, &(ones, total)) in self.message.iter().zip(&self.votes) {
+            if total == 0 || 2 * ones == total {
+                err += 0.5;
+                continue;
+            }
+            if (2 * ones > total) != *bit {
+                err += 1.0;
+            }
+        }
+        err / self.message.len() as f64
+    }
+}
+
+impl Workload for TsaChannel {
+    fn name(&self) -> &str {
+        "tsa-lsb-covert-channel"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let share = ctx.cpu_share();
+        let n = (self.config.rounds_per_epoch as f64 * share).round() as u64;
+        self.run_rounds(n, ctx.rng);
+        EpochReport {
+            progress: n as f64,
+            hpc: self.signature.sample(ctx.rng, share),
+            completed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_at_half_error() {
+        let ch = TsaChannel::new(TsaConfig::default());
+        assert!((ch.bit_error_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_channel_is_perfect_after_one_pass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = TsaChannel::new(TsaConfig {
+            observation_noise: 0.0,
+            ..TsaConfig::default()
+        });
+        ch.run_rounds(64, &mut rng);
+        assert_eq!(ch.bit_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn noisy_channel_converges_with_many_rounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ch = TsaChannel::new(TsaConfig::default());
+        ch.run_rounds(60_000, &mut rng);
+        assert!(
+            ch.bit_error_rate() < 0.1,
+            "error {} after 60k rounds",
+            ch.bit_error_rate()
+        );
+    }
+
+    #[test]
+    fn starved_channel_stays_near_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ch = TsaChannel::new(TsaConfig::default());
+        ch.run_rounds(60, &mut rng);
+        assert!(ch.bit_error_rate() > 0.25);
+    }
+
+    #[test]
+    fn message_is_deterministic() {
+        let a = TsaChannel::new(TsaConfig::default());
+        let b = TsaChannel::new(TsaConfig::default());
+        assert_eq!(a.message(), b.message());
+    }
+}

@@ -1,0 +1,155 @@
+//! One benchmark group per paper table/figure: each runs a scaled-down
+//! version of the exact experiment code, so regressions in any scenario's
+//! cost are caught alongside the correctness tests.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use valkyrie_experiments as x;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("fig1_efficacy_curves", |b| {
+        let cfg = x::fig1::Fig1Config {
+            ransomware: 8,
+            benign: 8,
+            trace_len: 20,
+            grid_max: 19,
+            train_cap: 400,
+            seed: 1,
+        };
+        b.iter(|| black_box(x::fig1::run(&cfg)));
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("table2_resource_sweep", |b| {
+        let cfg = x::table2::Table2Config {
+            epochs: 10,
+            seed: 2,
+        };
+        b.iter(|| black_box(x::table2::run(&cfg)));
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = quick(c);
+    let cfg = x::fig4::Fig4Config {
+        epochs: 15,
+        n_star: 8,
+        threshold: 3.5,
+        seed: 3,
+    };
+    g.bench_function("fig4a_l1d_aes", |b| b.iter(|| black_box(x::fig4::run_a(&cfg))));
+    g.bench_function("fig4c_tsa", |b| b.iter(|| black_box(x::fig4::run_c(&cfg))));
+    g.bench_function("fig4e_llc_channel", |b| {
+        b.iter(|| black_box(x::fig4::run_e(&cfg)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("fig5a_single_benchmark", |b| {
+        let cfg = x::fig5::Fig5Config {
+            runtime_divisor: 12,
+            multithreaded: false,
+            ..x::fig5::Fig5Config::default()
+        };
+        // One representative benchmark (blender_r) through the full loop.
+        b.iter(|| {
+            let r = x::fig5::run_5a(&x::fig5::Fig5Config {
+                runtime_divisor: 16,
+                ..cfg.clone()
+            });
+            black_box(r.rows.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = quick(c);
+    let cfg = x::fig6::Fig6Config {
+        hammer_epochs_without: 300,
+        hammer_epochs_with: 600,
+        epochs: 10,
+        n_star: 8,
+        use_lstm: false,
+        seed: 4,
+    };
+    g.bench_function("fig6a_rowhammer", |b| b.iter(|| black_box(x::fig6::run_a(&cfg))));
+    g.bench_function("fig6b_ransomware", |b| b.iter(|| black_box(x::fig6::run_b(&cfg))));
+    g.bench_function("fig6c_cryptominer", |b| b.iter(|| black_box(x::fig6::run_c(&cfg))));
+    g.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("analytic_worked_example", |b| {
+        b.iter(|| black_box(x::analytic::run()))
+    });
+    g.finish();
+}
+
+fn bench_responses(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("responses_table1_quantified", |b| {
+        let cfg = x::responses::ResponsesConfig {
+            benign_trials: 6,
+            benign_epochs: 100,
+            ..x::responses::ResponsesConfig::default()
+        };
+        b.iter(|| black_box(x::responses::run(&cfg)));
+    });
+    g.finish();
+}
+
+fn bench_evasion(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("evasion_duty_cycle_sweep", |b| {
+        let cfg = x::evasion::EvasionConfig {
+            trials: 4,
+            horizon: 60,
+            ..x::evasion::EvasionConfig::default()
+        };
+        b.iter(|| black_box(x::evasion::run(&cfg)));
+    });
+    g.finish();
+}
+
+fn bench_ensemble(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("ensemble_two_level_detection", |b| {
+        let cfg = x::ensemble::EnsembleConfig {
+            grid_max: 11,
+            ..x::ensemble::EnsembleConfig::quick()
+        };
+        b.iter(|| black_box(x::ensemble::run(&cfg)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_table2,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_analytic,
+    bench_responses,
+    bench_evasion,
+    bench_ensemble,
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Benchmarks of the simulated substrates: scheduler, caches, DRAM, crypto
+//! and detector inference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use valkyrie_attacks::crypto::aes::Aes128;
+use valkyrie_attacks::crypto::sha256::sha256d;
+use valkyrie_attacks::crypto::stream::StreamCipher;
+use valkyrie_detect::StatisticalDetector;
+use valkyrie_hpc::Signature;
+use valkyrie_sim::dram::{Dram, DramConfig};
+use valkyrie_sim::sched::{CfsScheduler, SchedConfig};
+use valkyrie_sim::Pid;
+use valkyrie_uarch::{Cache, CacheConfig};
+
+fn bench_scheduler_epoch(c: &mut Criterion) {
+    c.bench_function("sim/cfs_epoch_8_procs", |b| {
+        let mut s = CfsScheduler::new(SchedConfig::default());
+        for i in 0..8 {
+            s.add(Pid(i), 0);
+        }
+        s.set_weight_scale(Pid(0), 0.01);
+        b.iter(|| black_box(s.run(100)));
+    });
+}
+
+fn bench_cache_access(c: &mut Criterion) {
+    c.bench_function("uarch/l1d_access", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let addr = rng.gen_range(0u64..1 << 20);
+            black_box(cache.access(addr))
+        });
+    });
+    c.bench_function("uarch/prime_probe_set", |b| {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        b.iter(|| {
+            cache.prime_set(7, 100);
+            black_box(cache.probe_set(7, 100))
+        });
+    });
+}
+
+fn bench_dram_window(c: &mut Criterion) {
+    c.bench_function("sim/dram_hammer_window", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dram = Dram::new(DramConfig::ddr3_1333());
+        b.iter(|| {
+            dram.hammer_pair(100, 102, 1_280_000, &mut rng);
+            dram.advance_ms(64, &mut rng);
+            black_box(dram.flipped_bits())
+        });
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    c.bench_function("crypto/aes128_block", |b| {
+        let aes = Aes128::new(&[7u8; 16]);
+        let pt = [0x42u8; 16];
+        b.iter(|| black_box(aes.encrypt_block(black_box(&pt))));
+    });
+    c.bench_function("crypto/sha256d_80B", |b| {
+        let header = [0x17u8; 80];
+        b.iter(|| black_box(sha256d(black_box(&header))));
+    });
+    c.bench_function("crypto/stream_4KiB", |b| {
+        let mut cipher = StreamCipher::new(9);
+        let mut buf = vec![0u8; 4096];
+        b.iter(|| {
+            cipher.apply(&mut buf);
+            black_box(buf[0])
+        });
+    });
+}
+
+fn bench_detector_inference(c: &mut Criterion) {
+    c.bench_function("detect/zscore_inference", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let baseline: Vec<_> = (0..600)
+            .map(|_| Signature::cpu_bound().sample(&mut rng, 1.0))
+            .collect();
+        let det = StatisticalDetector::fit_normalized(&baseline, 4.0);
+        let sample = Signature::llc_thrashing().sample(&mut rng, 1.0);
+        b.iter(|| black_box(det.score(black_box(&sample))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler_epoch,
+    bench_cache_access,
+    bench_dram_window,
+    bench_crypto,
+    bench_detector_inference,
+);
+criterion_main!(benches);

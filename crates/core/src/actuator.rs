@@ -1,0 +1,387 @@
+//! Actuator functions (`A`, Section V-B) that map threat-index changes to
+//! resource-share changes.
+//!
+//! An actuator takes the share of resources from the previous epoch and the
+//! change in threat index `ΔT` and returns the updated share
+//! (`R_i^t = A(R_{i-1}^t, ΔT_{i,1}^t)`). The paper demonstrates an
+//! OS-scheduler-based actuator (Eq. 8, used for micro-architectural attacks
+//! and rowhammer) and cgroup-based actuators (used for ransomware and
+//! cryptominers); all are provided here as [`ThrottleLaw`]s applied to a
+//! single [`ResourceKind`], and can be combined with [`CompositeActuator`].
+
+use crate::resource::{ResourceKind, ResourceVector};
+use std::fmt;
+
+/// An actuator function `A(R_{i-1}, ΔT)` (Section V-B).
+///
+/// Implementations must:
+/// * reduce the targeted share(s) when `ΔT > 0` and raise them when `ΔT < 0`;
+/// * keep every share within `[floor, 1]`;
+/// * restore the default allocation on [`Actuator::reset`] (the paper's
+///   `A_reset`).
+pub trait Actuator: fmt::Debug {
+    /// Returns the updated resource shares after a threat-index change of
+    /// `delta_threat` (positive = more suspicious).
+    fn apply(&mut self, prev: &ResourceVector, delta_threat: f64) -> ResourceVector;
+
+    /// The paper's `A_reset`: removes all restrictions.
+    fn reset(&mut self) -> ResourceVector {
+        ResourceVector::FULL
+    }
+
+    /// The minimum share this actuator will ever assign, per resource.
+    ///
+    /// Used to bound worst-case slowdowns (Section V-C): Valkyrie supports a
+    /// user-specified limit on the minimum share of a resource.
+    fn floor(&self) -> ResourceVector {
+        ResourceVector::new(0.0, 0.0, 0.0, 0.0)
+    }
+}
+
+/// How a share responds to threat-index changes.
+///
+/// The paper's worked example (Section V-C) "drops the CPU share by 10 % for
+/// every increase in the threat index"; [`ThrottleLaw::PercentPointPerUnit`]
+/// is that reading (10 percentage points per unit of `ΔT`).
+/// [`ThrottleLaw::SchedulerWeight`] is Eq. 8 (relative weight scaled by
+/// `γ·ΔT`), and [`ThrottleLaw::HalvePerEvent`] is the filesystem actuator of
+/// Section VI-C ("halves the rate of file accesses every time there is an
+/// increase in the threat index").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThrottleLaw {
+    /// `share -= step · ΔT` (percentage points per unit of threat change).
+    PercentPointPerUnit {
+        /// Share change per unit of `ΔT` (e.g. `0.10`).
+        step: f64,
+    },
+    /// `share *= factor^ΔT` (multiplicative per unit of threat change).
+    MultiplicativePerUnit {
+        /// Per-unit multiplier in `(0, 1)` (e.g. `0.9`).
+        factor: f64,
+    },
+    /// `share *= factor` on any increase, `share /= factor` on any decrease,
+    /// regardless of the magnitude of `ΔT`.
+    MultiplicativePerEvent {
+        /// Per-event multiplier in `(0, 1)`.
+        factor: f64,
+    },
+    /// Halve on any increase, double on any decrease.
+    HalvePerEvent,
+    /// Eq. 8: `s ← s − γ·s·ΔT` when `ΔT > 0`, `s ← s + γ·s·|ΔT|` otherwise.
+    SchedulerWeight {
+        /// Relative weight step per unit of `ΔT` (the paper uses `γ = 0.1`).
+        gamma: f64,
+    },
+}
+
+impl ThrottleLaw {
+    /// Applies the law to a single share for a threat change `delta`.
+    ///
+    /// The result is clamped to `[0, 1]`; the caller applies resource floors.
+    pub fn step_share(&self, share: f64, delta: f64) -> f64 {
+        if delta == 0.0 {
+            return share.clamp(0.0, 1.0);
+        }
+        let next = match *self {
+            ThrottleLaw::PercentPointPerUnit { step } => share - step * delta,
+            ThrottleLaw::MultiplicativePerUnit { factor } => {
+                share * factor.max(f64::MIN_POSITIVE).powf(delta)
+            }
+            ThrottleLaw::MultiplicativePerEvent { factor } => {
+                let factor = factor.max(f64::MIN_POSITIVE);
+                if delta > 0.0 {
+                    share * factor
+                } else {
+                    share / factor
+                }
+            }
+            ThrottleLaw::HalvePerEvent => {
+                if delta > 0.0 {
+                    share * 0.5
+                } else {
+                    share * 2.0
+                }
+            }
+            ThrottleLaw::SchedulerWeight { gamma } => {
+                if delta > 0.0 {
+                    share - gamma * share * delta
+                } else {
+                    share + gamma * share * delta.abs()
+                }
+            }
+        };
+        next.clamp(0.0, 1.0)
+    }
+}
+
+/// An actuator that regulates a single resource share with a [`ThrottleLaw`],
+/// honouring a minimum-share floor.
+///
+/// # Examples
+///
+/// The paper's Section V-C CPU actuator (10 pp per unit of threat, 1 % floor):
+///
+/// ```
+/// use valkyrie_core::{Actuator, ResourceVector, ShareActuator};
+/// let mut a = ShareActuator::cpu_percent_point(0.10, 0.01);
+/// let r = a.apply(&ResourceVector::full(), 3.0);
+/// assert!((r.cpu - 0.70).abs() < 1e-12);
+/// let r = a.apply(&r, 100.0);
+/// assert_eq!(r.cpu, 0.01); // floored
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShareActuator {
+    kind: ResourceKind,
+    law: ThrottleLaw,
+    floor: f64,
+}
+
+impl ShareActuator {
+    /// Creates an actuator for `kind` using `law`, with a minimum share of
+    /// `floor` (clamped into `[0, 1]`).
+    pub fn new(kind: ResourceKind, law: ThrottleLaw, floor: f64) -> Self {
+        Self {
+            kind,
+            law,
+            floor: floor.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The Section V-C CPU actuator: `step` percentage points per unit `ΔT`.
+    pub fn cpu_percent_point(step: f64, floor: f64) -> Self {
+        Self::new(
+            ResourceKind::Cpu,
+            ThrottleLaw::PercentPointPerUnit { step },
+            floor,
+        )
+    }
+
+    /// The Eq. 8 OS-scheduler actuator acting on the CPU share
+    /// (`γ = 0.1`, minimum relative weight `s_min` in the paper).
+    pub fn scheduler_weight(gamma: f64, s_min: f64) -> Self {
+        Self::new(
+            ResourceKind::Cpu,
+            ThrottleLaw::SchedulerWeight { gamma },
+            s_min,
+        )
+    }
+
+    /// The Section VI-C filesystem actuator: halve the file-access rate on
+    /// every threat increase.
+    pub fn fs_halving(floor: f64) -> Self {
+        Self::new(ResourceKind::Filesystem, ThrottleLaw::HalvePerEvent, floor)
+    }
+
+    /// A cgroup-style memory actuator.
+    pub fn memory_percent_point(step: f64, floor: f64) -> Self {
+        Self::new(
+            ResourceKind::Memory,
+            ThrottleLaw::PercentPointPerUnit { step },
+            floor,
+        )
+    }
+
+    /// A cgroup-style network-bandwidth actuator.
+    pub fn network_multiplicative(factor: f64, floor: f64) -> Self {
+        Self::new(
+            ResourceKind::Network,
+            ThrottleLaw::MultiplicativePerEvent { factor },
+            floor,
+        )
+    }
+
+    /// The resource this actuator regulates.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The throttle law in use.
+    pub fn law(&self) -> ThrottleLaw {
+        self.law
+    }
+
+    /// The minimum share this actuator will assign.
+    pub fn min_share(&self) -> f64 {
+        self.floor
+    }
+}
+
+impl Actuator for ShareActuator {
+    fn apply(&mut self, prev: &ResourceVector, delta_threat: f64) -> ResourceVector {
+        let mut next = *prev;
+        let share = self
+            .law
+            .step_share(prev.get(self.kind), delta_threat)
+            .max(self.floor);
+        next.set(self.kind, share);
+        next
+    }
+
+    fn floor(&self) -> ResourceVector {
+        let mut f = ResourceVector::new(0.0, 0.0, 0.0, 0.0);
+        f.set(self.kind, self.floor);
+        f
+    }
+}
+
+/// Applies several [`ShareActuator`]s in sequence, so multiple resources can
+/// be throttled at once (e.g. the ransomware case study throttles both CPU
+/// time and file-access rate).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::{Actuator, CompositeActuator, ResourceVector, ShareActuator};
+/// let mut a = CompositeActuator::new(vec![
+///     ShareActuator::cpu_percent_point(0.10, 0.01),
+///     ShareActuator::fs_halving(1.0 / 128.0),
+/// ]);
+/// let r = a.apply(&ResourceVector::full(), 1.0);
+/// assert!(r.cpu < 1.0 && r.fs == 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompositeActuator {
+    parts: Vec<ShareActuator>,
+}
+
+impl CompositeActuator {
+    /// Creates a composite from individual per-resource actuators.
+    pub fn new(parts: Vec<ShareActuator>) -> Self {
+        Self { parts }
+    }
+
+    /// Adds another per-resource actuator.
+    pub fn push(&mut self, part: ShareActuator) {
+        self.parts.push(part);
+    }
+
+    /// The constituent actuators.
+    pub fn parts(&self) -> &[ShareActuator] {
+        &self.parts
+    }
+}
+
+impl Actuator for CompositeActuator {
+    fn apply(&mut self, prev: &ResourceVector, delta_threat: f64) -> ResourceVector {
+        let mut r = *prev;
+        for part in &mut self.parts {
+            r = part.apply(&r, delta_threat);
+        }
+        r
+    }
+
+    fn floor(&self) -> ResourceVector {
+        let mut f = ResourceVector::new(0.0, 0.0, 0.0, 0.0);
+        for part in &self.parts {
+            f = f.floored(&part.floor());
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_point_is_linear_in_delta() {
+        let law = ThrottleLaw::PercentPointPerUnit { step: 0.1 };
+        assert!((law.step_share(1.0, 2.0) - 0.8).abs() < 1e-12);
+        assert!((law.step_share(0.5, -3.0) - 0.8).abs() < 1e-12);
+        assert_eq!(law.step_share(0.05, 5.0), 0.0); // clamped at zero
+    }
+
+    #[test]
+    fn multiplicative_per_unit_uses_powers() {
+        let law = ThrottleLaw::MultiplicativePerUnit { factor: 0.9 };
+        assert!((law.step_share(1.0, 2.0) - 0.81).abs() < 1e-12);
+        // Recovery is the exact inverse.
+        assert!((law.step_share(0.81, -2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduler_weight_matches_eq8() {
+        // Eq. 8 with gamma=0.1: one unit of threat drops the relative
+        // weight by 10%.
+        let law = ThrottleLaw::SchedulerWeight { gamma: 0.1 };
+        assert!((law.step_share(1.0, 1.0) - 0.9).abs() < 1e-12);
+        assert!((law.step_share(0.9, -1.0) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halving_law() {
+        let law = ThrottleLaw::HalvePerEvent;
+        assert_eq!(law.step_share(1.0, 5.0), 0.5);
+        assert_eq!(law.step_share(0.5, -1.0), 1.0);
+        assert_eq!(law.step_share(0.9, -2.0), 1.0); // clamped at one
+    }
+
+    #[test]
+    fn zero_delta_is_identity() {
+        for law in [
+            ThrottleLaw::PercentPointPerUnit { step: 0.1 },
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+            ThrottleLaw::MultiplicativePerEvent { factor: 0.5 },
+            ThrottleLaw::HalvePerEvent,
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ] {
+            assert_eq!(law.step_share(0.42, 0.0), 0.42);
+        }
+    }
+
+    #[test]
+    fn share_actuator_honours_floor() {
+        let mut a = ShareActuator::cpu_percent_point(0.5, 0.25);
+        let r = a.apply(&ResourceVector::full(), 10.0);
+        assert_eq!(r.cpu, 0.25);
+        assert_eq!(a.floor().cpu, 0.25);
+        assert_eq!(a.floor().fs, 0.0);
+    }
+
+    #[test]
+    fn share_actuator_only_touches_its_kind() {
+        let mut a = ShareActuator::fs_halving(0.0);
+        let r = a.apply(&ResourceVector::full(), 1.0);
+        assert_eq!(r.cpu, 1.0);
+        assert_eq!(r.mem, 1.0);
+        assert_eq!(r.net, 1.0);
+        assert_eq!(r.fs, 0.5);
+    }
+
+    #[test]
+    fn reset_restores_full() {
+        let mut a = ShareActuator::cpu_percent_point(0.1, 0.01);
+        let _ = a.apply(&ResourceVector::full(), 50.0);
+        assert!(a.reset().is_full());
+    }
+
+    #[test]
+    fn composite_applies_all_parts() {
+        let mut a = CompositeActuator::new(vec![
+            ShareActuator::cpu_percent_point(0.10, 0.01),
+            ShareActuator::fs_halving(0.01),
+            ShareActuator::memory_percent_point(0.05, 0.5),
+        ]);
+        let r = a.apply(&ResourceVector::full(), 2.0);
+        assert!((r.cpu - 0.8).abs() < 1e-12);
+        assert_eq!(r.fs, 0.5);
+        assert!((r.mem - 0.9).abs() < 1e-12);
+        let floor = a.floor();
+        assert_eq!(floor.mem, 0.5);
+        assert_eq!(floor.cpu, 0.01);
+    }
+
+    #[test]
+    fn recovery_reaches_full_share_for_percent_point() {
+        let mut a = ShareActuator::cpu_percent_point(0.1, 0.01);
+        let mut r = ResourceVector::full();
+        for _ in 0..10 {
+            r = a.apply(&r, 1.0);
+        }
+        assert_eq!(r.cpu, 0.01);
+        for _ in 0..12 {
+            r = a.apply(&r, -1.0);
+        }
+        assert_eq!(r.cpu, 1.0);
+    }
+}

@@ -1,0 +1,539 @@
+//! The multi-process Valkyrie engine: monitors + actuators behind a detector.
+//!
+//! [`ValkyrieEngine`] is the piece that "augments" a detector (paper Fig. 2):
+//! every epoch the caller feeds it each process's inference, and the engine
+//! answers with the resource shares to enforce and whether to restore or
+//! terminate. It owns one [`Monitor`] (Algorithm 1) and one actuator instance
+//! per process.
+
+use crate::actuator::{Actuator, CompositeActuator, ShareActuator};
+use crate::efficacy::{EfficacyCurve, EfficacySpec};
+use crate::error::ValkyrieError;
+use crate::monitor::{Directive, Monitor};
+use crate::resource::{ProcessId, ResourceVector};
+use crate::state::ProcessState;
+use crate::threat::{AssessmentFn, Classification, ThreatIndex};
+use std::collections::HashMap;
+
+/// The response action the embedder must enact after an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Nothing to do.
+    None,
+    /// Apply the accompanying (reduced) resource shares.
+    Throttle,
+    /// Apply the accompanying (partially recovered) resource shares.
+    Recover,
+    /// Remove all restrictions (`A_reset` or return-to-normal).
+    Restore,
+    /// Remove all restrictions *and* begin a new measurement cycle
+    /// (cyclic monitoring's benign verdict at `N*`; see
+    /// [`EngineConfigBuilder::cyclic`]). Embedders that keep per-process
+    /// measurement history should reset it here.
+    RestoreAndRecycle,
+    /// Terminate the process.
+    Terminate,
+}
+
+/// Engine output for one `(process, epoch)` observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineResponse {
+    /// The process this response concerns.
+    pub pid: ProcessId,
+    /// Fig. 3 state after the observation.
+    pub state: ProcessState,
+    /// Threat index after the observation.
+    pub threat: ThreatIndex,
+    /// Resource shares to enforce for the next epoch.
+    pub resources: ResourceVector,
+    /// The action to enact.
+    pub action: Action,
+}
+
+/// Configuration of a [`ValkyrieEngine`].
+///
+/// Build one with [`EngineConfig::builder`]. `N*` can be given directly or
+/// derived from a measured [`EfficacyCurve`] plus a user [`EfficacySpec`]
+/// (Section IV-A: "users can specify the expected detection efficacy \[and\]
+/// Valkyrie computes the number of measurements needed to achieve it").
+#[derive(Debug, Clone)]
+pub struct EngineConfig<A = CompositeActuator> {
+    n_star: u64,
+    fp: AssessmentFn,
+    fc: AssessmentFn,
+    actuator: A,
+    cyclic: bool,
+}
+
+impl EngineConfig<CompositeActuator> {
+    /// Starts building a configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+impl<A: Actuator + Clone> EngineConfig<A> {
+    /// The measurement requirement `N*`.
+    pub fn measurements_required(&self) -> u64 {
+        self.n_star
+    }
+
+    /// The penalty assessment function.
+    pub fn penalty_fn(&self) -> AssessmentFn {
+        self.fp
+    }
+
+    /// The compensation assessment function.
+    pub fn compensation_fn(&self) -> AssessmentFn {
+        self.fc
+    }
+
+    /// The prototype actuator cloned for each monitored process.
+    pub fn actuator(&self) -> &A {
+        &self.actuator
+    }
+
+    /// Whether monitoring is cyclic (Algorithm 1's outer loop; see
+    /// [`crate::Monitor::new_cyclic`]).
+    pub fn is_cyclic(&self) -> bool {
+        self.cyclic
+    }
+}
+
+/// Builder for [`EngineConfig`] (see `C-BUILDER`).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::prelude::*;
+///
+/// let curve = EfficacyCurve::new(vec![
+///     EfficacyPoint { measurements: 5, f1: 0.70, fpr: 0.30 },
+///     EfficacyPoint { measurements: 23, f1: 0.92, fpr: 0.12 },
+///     EfficacyPoint { measurements: 50, f1: 0.95, fpr: 0.08 },
+/// ]).unwrap();
+///
+/// let config = EngineConfig::builder()
+///     .efficacy(&curve, &EfficacySpec::f1_at_least(0.9))
+///     .unwrap()
+///     .actuator_part(ShareActuator::scheduler_weight(0.1, 0.01))
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.measurements_required(), 23);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    n_star: Option<u64>,
+    fp: AssessmentFn,
+    fc: AssessmentFn,
+    parts: Vec<ShareActuator>,
+    cyclic: bool,
+}
+
+impl EngineConfigBuilder {
+    /// Sets `N*` directly.
+    pub fn measurements_required(mut self, n_star: u64) -> Self {
+        self.n_star = Some(n_star);
+        self
+    }
+
+    /// Derives `N*` from a measured efficacy curve and a user specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValkyrieError::UnreachableEfficacy`] when no number of
+    /// measurements on the curve satisfies the specification.
+    pub fn efficacy(
+        mut self,
+        curve: &EfficacyCurve,
+        spec: &EfficacySpec,
+    ) -> Result<Self, ValkyrieError> {
+        self.n_star = Some(u64::from(curve.measurements_required(spec)?));
+        Ok(self)
+    }
+
+    /// Sets the penalty assessment function `F_p` (default: incremental).
+    pub fn penalty(mut self, fp: AssessmentFn) -> Self {
+        self.fp = fp;
+        self
+    }
+
+    /// Sets the compensation assessment function `F_c` (default: incremental).
+    pub fn compensation(mut self, fc: AssessmentFn) -> Self {
+        self.fc = fc;
+        self
+    }
+
+    /// Adds a per-resource actuator; may be called multiple times.
+    pub fn actuator_part(mut self, part: ShareActuator) -> Self {
+        self.parts.push(part);
+        self
+    }
+
+    /// Replaces all actuator parts with a single actuator.
+    pub fn actuator(mut self, part: ShareActuator) -> Self {
+        self.parts = vec![part];
+        self
+    }
+
+    /// Enables cyclic monitoring: after a benign verdict at `N*`
+    /// measurements, resources are restored and a fresh measurement cycle
+    /// begins (Algorithm 1's outer `while t is executing` loop). Default:
+    /// one-shot, as drawn in Fig. 3.
+    pub fn cyclic(mut self, cyclic: bool) -> Self {
+        self.cyclic = cyclic;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValkyrieError::InvalidConfig`] if `N*` was never set, is
+    /// zero, or no actuator part was supplied.
+    pub fn build(self) -> Result<EngineConfig<CompositeActuator>, ValkyrieError> {
+        let n_star = self
+            .n_star
+            .ok_or_else(|| ValkyrieError::InvalidConfig("N* was not set".into()))?;
+        if n_star == 0 {
+            return Err(ValkyrieError::InvalidConfig(
+                "N* must be at least one measurement".into(),
+            ));
+        }
+        if self.parts.is_empty() {
+            return Err(ValkyrieError::InvalidConfig(
+                "at least one actuator part is required".into(),
+            ));
+        }
+        Ok(EngineConfig {
+            n_star,
+            fp: self.fp,
+            fc: self.fc,
+            actuator: CompositeActuator::new(self.parts),
+            cyclic: self.cyclic,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TrackedProcess<A> {
+    monitor: Monitor,
+    actuator: A,
+    resources: ResourceVector,
+}
+
+/// The Valkyrie response engine (paper Fig. 2).
+///
+/// Processes are tracked lazily: the first observation of an unknown
+/// [`ProcessId`] registers it in the *normal* state with full resources.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::prelude::*;
+///
+/// let config = EngineConfig::builder()
+///     .measurements_required(5)
+///     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+///     .build()
+///     .unwrap();
+/// let mut engine = ValkyrieEngine::new(config);
+/// let resp = engine.observe(ProcessId(7), Classification::Malicious);
+/// assert_eq!(resp.action, Action::Throttle);
+/// assert!(resp.resources.cpu < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct ValkyrieEngine<A: Actuator + Clone = CompositeActuator> {
+    config: EngineConfig<A>,
+    procs: HashMap<ProcessId, TrackedProcess<A>>,
+}
+
+impl<A: Actuator + Clone> ValkyrieEngine<A> {
+    /// Creates an engine from a configuration.
+    pub fn new(config: EngineConfig<A>) -> Self {
+        Self {
+            config,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// Creates an engine with a non-composite actuator prototype.
+    pub fn with_actuator(n_star: u64, fp: AssessmentFn, fc: AssessmentFn, actuator: A) -> Self {
+        Self::new(EngineConfig {
+            n_star,
+            fp,
+            fc,
+            actuator,
+            cyclic: false,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig<A> {
+        &self.config
+    }
+
+    /// Number of processes currently tracked (terminated ones included).
+    pub fn tracked(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current state of a process, if tracked.
+    pub fn state(&self, pid: ProcessId) -> Option<ProcessState> {
+        self.procs.get(&pid).map(|p| p.monitor.state())
+    }
+
+    /// Current threat index of a process, if tracked.
+    pub fn threat(&self, pid: ProcessId) -> Option<ThreatIndex> {
+        self.procs.get(&pid).map(|p| p.monitor.threat())
+    }
+
+    /// Current resource shares of a process, if tracked.
+    pub fn resources(&self, pid: ProcessId) -> Option<ResourceVector> {
+        self.procs.get(&pid).map(|p| p.resources)
+    }
+
+    /// Feeds one epoch's detector inference for `pid` and returns the
+    /// response to enact.
+    pub fn observe(&mut self, pid: ProcessId, inference: Classification) -> EngineResponse {
+        let config = &self.config;
+        let tracked = self.procs.entry(pid).or_insert_with(|| TrackedProcess {
+            monitor: if config.cyclic {
+                Monitor::new_cyclic(config.n_star, config.fp, config.fc)
+            } else {
+                Monitor::new(config.n_star, config.fp, config.fc)
+            },
+            actuator: config.actuator.clone(),
+            resources: ResourceVector::FULL,
+        });
+
+        let report = tracked.monitor.observe(inference);
+        let action = match report.directive {
+            Directive::Continue => Action::None,
+            Directive::Adjust { delta_threat } => {
+                tracked.resources = tracked.actuator.apply(&tracked.resources, delta_threat);
+                if delta_threat > 0.0 {
+                    Action::Throttle
+                } else if delta_threat < 0.0 {
+                    Action::Recover
+                } else {
+                    Action::None
+                }
+            }
+            Directive::ResetToNormal => {
+                // Invariant from Section V-A: "a threat index of 0 implies
+                // that the process … has no restrictions on the system
+                // resources".
+                tracked.resources = tracked.actuator.reset();
+                Action::Restore
+            }
+            Directive::Restore => {
+                // A_reset at the terminable verdict; under cyclic
+                // monitoring this also starts a fresh measurement cycle.
+                tracked.resources = tracked.actuator.reset();
+                if config.cyclic {
+                    Action::RestoreAndRecycle
+                } else {
+                    Action::Restore
+                }
+            }
+            Directive::Terminate => Action::Terminate,
+        };
+
+        EngineResponse {
+            pid,
+            state: report.state,
+            threat: report.threat,
+            resources: tracked.resources,
+            action,
+        }
+    }
+
+    /// Marks a process as completed (Fig. 3: completion terminates it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValkyrieError::UnknownProcess`] when `pid` is not tracked.
+    pub fn complete(&mut self, pid: ProcessId) -> Result<(), ValkyrieError> {
+        let tracked = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(ValkyrieError::UnknownProcess(pid.0))?;
+        tracked.monitor.complete();
+        Ok(())
+    }
+
+    /// Stops tracking a process and frees its bookkeeping.
+    pub fn forget(&mut self, pid: ProcessId) {
+        self.procs.remove(&pid);
+    }
+
+    /// Iterates over `(pid, state, threat)` of all tracked processes.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessState, ThreatIndex)> + '_ {
+        self.procs
+            .iter()
+            .map(|(pid, p)| (*pid, p.monitor.state(), p.monitor.threat()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Classification::{Benign, Malicious};
+
+    fn engine(n_star: u64) -> ValkyrieEngine {
+        let config = EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        ValkyrieEngine::new(config)
+    }
+
+    #[test]
+    fn builder_requires_n_star_and_actuator() {
+        let err = EngineConfig::builder().build().unwrap_err();
+        assert!(matches!(err, ValkyrieError::InvalidConfig(_)));
+        let err = EngineConfig::builder()
+            .measurements_required(5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValkyrieError::InvalidConfig(_)));
+        let err = EngineConfig::builder()
+            .measurements_required(0)
+            .actuator(ShareActuator::cpu_percent_point(0.1, 0.01))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ValkyrieError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn first_observation_registers_process() {
+        let mut e = engine(10);
+        assert_eq!(e.tracked(), 0);
+        e.observe(ProcessId(1), Benign);
+        assert_eq!(e.tracked(), 1);
+        assert_eq!(e.state(ProcessId(1)), Some(ProcessState::Normal));
+    }
+
+    #[test]
+    fn throttle_then_full_recovery_restores_resources() {
+        let mut e = engine(100);
+        let pid = ProcessId(1);
+        let r = e.observe(pid, Malicious);
+        assert_eq!(r.action, Action::Throttle);
+        assert!((r.resources.cpu - 0.9).abs() < 1e-12);
+        let r = e.observe(pid, Malicious);
+        assert!((r.resources.cpu - 0.7).abs() < 1e-12);
+        // Recover: threat 3 -> 2 -> 0.
+        let r = e.observe(pid, Benign);
+        assert_eq!(r.action, Action::Recover);
+        assert!((r.resources.cpu - 0.8).abs() < 1e-12);
+        let r = e.observe(pid, Benign);
+        assert_eq!(r.action, Action::Restore);
+        assert!(r.resources.is_full());
+        assert_eq!(r.state, ProcessState::Normal);
+    }
+
+    #[test]
+    fn attack_is_terminated_only_in_terminable_state() {
+        let mut e = engine(4);
+        let pid = ProcessId(9);
+        let mut terminated_at = None;
+        for epoch in 1..=6 {
+            let r = e.observe(pid, Malicious);
+            if r.action == Action::Terminate {
+                terminated_at = Some(epoch);
+                break;
+            }
+        }
+        // 4 epochs accumulate N*, the 5th (terminable) classification kills.
+        assert_eq!(terminated_at, Some(5));
+        assert_eq!(e.state(pid), Some(ProcessState::Terminated));
+    }
+
+    #[test]
+    fn false_positive_is_restored_in_terminable_state() {
+        let mut e = engine(3);
+        let pid = ProcessId(2);
+        e.observe(pid, Malicious);
+        e.observe(pid, Malicious);
+        e.observe(pid, Malicious);
+        let r = e.observe(pid, Benign);
+        assert_eq!(r.action, Action::Restore);
+        assert!(r.resources.is_full());
+        assert_eq!(r.state, ProcessState::Terminable);
+    }
+
+    #[test]
+    fn resources_respect_floor_under_sustained_attack() {
+        let mut e = engine(1000);
+        let pid = ProcessId(3);
+        let mut last = ResourceVector::FULL;
+        for _ in 0..50 {
+            last = e.observe(pid, Malicious).resources;
+        }
+        assert_eq!(last.cpu, 0.01);
+        assert!(last.is_valid());
+    }
+
+    #[test]
+    fn independent_processes_do_not_interfere() {
+        let mut e = engine(100);
+        e.observe(ProcessId(1), Malicious);
+        e.observe(ProcessId(2), Benign);
+        assert!(e.resources(ProcessId(1)).unwrap().cpu < 1.0);
+        assert!(e.resources(ProcessId(2)).unwrap().is_full());
+    }
+
+    #[test]
+    fn complete_and_forget() {
+        let mut e = engine(10);
+        let pid = ProcessId(5);
+        assert!(e.complete(pid).is_err());
+        e.observe(pid, Benign);
+        e.complete(pid).unwrap();
+        assert_eq!(e.state(pid), Some(ProcessState::Terminated));
+        e.forget(pid);
+        assert_eq!(e.state(pid), None);
+    }
+
+    #[test]
+    fn cyclic_engine_rearms_after_restore() {
+        let config = EngineConfig::builder()
+            .measurements_required(3)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .cyclic(true)
+            .build()
+            .unwrap();
+        let mut e = ValkyrieEngine::new(config);
+        let pid = ProcessId(1);
+        // Cycle 1: two FPs, one benign; terminable at measurement 3.
+        e.observe(pid, Malicious);
+        e.observe(pid, Malicious);
+        e.observe(pid, Benign);
+        // Terminable verdict: benign -> restore + new cycle.
+        let r = e.observe(pid, Benign);
+        assert_eq!(r.action, Action::RestoreAndRecycle);
+        assert_eq!(r.state, ProcessState::Normal);
+        // Cycle 2 can throttle again...
+        let r = e.observe(pid, Malicious);
+        assert_eq!(r.action, Action::Throttle);
+        assert_eq!(r.state, ProcessState::Suspicious);
+        // ...and still terminate an attack at the end of its cycle.
+        e.observe(pid, Malicious);
+        e.observe(pid, Malicious);
+        let r = e.observe(pid, Malicious);
+        assert_eq!(r.action, Action::Terminate);
+    }
+
+    #[test]
+    fn iter_reports_all_processes() {
+        let mut e = engine(10);
+        e.observe(ProcessId(1), Benign);
+        e.observe(ProcessId(2), Malicious);
+        let mut pids: Vec<u64> = e.iter().map(|(pid, _, _)| pid.0).collect();
+        pids.sort_unstable();
+        assert_eq!(pids, vec![1, 2]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the Valkyrie core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running the Valkyrie framework.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::ValkyrieError;
+/// let e = ValkyrieError::InvalidConfig("N* must be non-zero".into());
+/// assert!(e.to_string().contains("N*"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ValkyrieError {
+    /// A configuration value was rejected (message explains which and why).
+    InvalidConfig(String),
+    /// An efficacy curve was malformed (unsorted, out-of-range metrics, ...).
+    InvalidCurve(String),
+    /// The requested efficacy cannot be met by the supplied curve.
+    UnreachableEfficacy {
+        /// Human-readable description of the constraint that failed.
+        constraint: String,
+    },
+    /// An operation referenced a process the engine is not tracking.
+    UnknownProcess(u64),
+}
+
+impl fmt::Display for ValkyrieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValkyrieError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ValkyrieError::InvalidCurve(msg) => write!(f, "invalid efficacy curve: {msg}"),
+            ValkyrieError::UnreachableEfficacy { constraint } => {
+                write!(f, "efficacy constraint not reachable: {constraint}")
+            }
+            ValkyrieError::UnknownProcess(pid) => write!(f, "unknown process id {pid}"),
+        }
+    }
+}
+
+impl Error for ValkyrieError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ValkyrieError::UnknownProcess(42);
+        assert_eq!(e.to_string(), "unknown process id 42");
+        let e = ValkyrieError::UnreachableEfficacy {
+            constraint: "F1 >= 0.99".into(),
+        };
+        assert!(e.to_string().contains("F1 >= 0.99"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ValkyrieError>();
+    }
+}

@@ -1,0 +1,551 @@
+//! Adaptive attackers that try to *game* the response framework.
+//!
+//! The paper's discussion (Section VII) scopes adversarial attacks on the
+//! **detector** out; this module studies the complementary question the
+//! response layer itself raises: can an attacker exploit Valkyrie's
+//! *compensation* mechanism — behave maliciously, pause until the threat
+//! index decays, and resume — to make progress indefinitely without being
+//! terminated?
+//!
+//! The answer, quantified by [`run_evasion`] and the `evasion` experiment
+//! binary, is that duty-cycling is a losing trade under Valkyrie:
+//!
+//! * every dormant epoch costs the attacker wall-clock time but still counts
+//!   toward `N*`, so the terminable verdict arrives on schedule;
+//! * in the terminable state each active epoch is a Bernoulli trial against
+//!   the detector's true-positive rate, bounding the expected remaining
+//!   progress by [`expected_terminable_progress`];
+//! * pre-`N*` progress is throttled as soon as the penalty outpaces the
+//!   compensation, and steeper penalty functions (`F_p`) shrink the viable
+//!   duty-cycle window — the hardening knob the ablation sweep exercises.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_core::evasion::{AttackerStrategy, DetectorModel, EvasionScenario, run_evasion};
+//! use valkyrie_core::{EngineConfig, ShareActuator};
+//!
+//! let config = EngineConfig::builder()
+//!     .measurements_required(15)
+//!     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+//!     .build()?;
+//! let scenario = EvasionScenario::new(
+//!     AttackerStrategy::DutyCycle { active: 2, dormant: 3 },
+//!     DetectorModel::perfect(),
+//!     60,
+//! );
+//! let outcome = run_evasion(&config, &scenario);
+//! // The duty-cycling attacker is still terminated and makes far less
+//! // progress than it would unimpeded.
+//! assert!(outcome.terminated_at.is_some());
+//! assert!(outcome.progress < outcome.unimpeded);
+//! # Ok::<(), valkyrie_core::ValkyrieError>(())
+//! ```
+
+use crate::actuator::Actuator;
+use crate::engine::{Action, EngineConfig, ValkyrieEngine};
+use crate::resource::ProcessId;
+use crate::threat::Classification;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the attacker can observe about its own situation when deciding
+/// whether to attack in the next epoch.
+///
+/// The fields model a *strong* adversary: a real attack cannot read its
+/// threat index, but it can estimate `cpu_share` from its own progress rate
+/// (self-timing), which is why [`AttackerStrategy::ThreatAdaptive`] keys off
+/// the share rather than the index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackerView {
+    /// Epoch index about to start (1-based).
+    pub epoch: u64,
+    /// CPU share granted in the previous epoch (1.0 = unthrottled).
+    pub cpu_share: f64,
+    /// Measurements the detector has accumulated so far.
+    pub measurements: u64,
+}
+
+/// An evasion strategy: when does the attacker do malicious work?
+///
+/// Dormant epochs make no attack progress and (up to the detector's
+/// false-positive rate) are classified benign, letting the compensation
+/// mechanism decay the threat index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackerStrategy {
+    /// Attack every epoch (the paper's case-study attacks).
+    AlwaysActive,
+    /// Attack for `active` epochs, sleep for `dormant`, repeat.
+    DutyCycle {
+        /// Consecutive attacking epochs per period.
+        active: u32,
+        /// Consecutive dormant epochs per period.
+        dormant: u32,
+    },
+    /// Attack flat-out for the first `active_epochs` epochs, then go dormant
+    /// forever (hit-and-run inside one measurement cycle).
+    Sprint {
+        /// Number of leading attack epochs.
+        active_epochs: u64,
+    },
+    /// Self-timing sawtooth: pause while the observed CPU share is below
+    /// `resume_above`, attack once recovery has raised it back.
+    ThreatAdaptive {
+        /// Attack only when the previous epoch's CPU share is at least this.
+        resume_above: f64,
+    },
+}
+
+impl AttackerStrategy {
+    /// Decides whether the attacker works this epoch.
+    pub fn is_active(&self, view: &AttackerView) -> bool {
+        match *self {
+            AttackerStrategy::AlwaysActive => true,
+            AttackerStrategy::DutyCycle { active, dormant } => {
+                let period = u64::from(active) + u64::from(dormant);
+                if period == 0 {
+                    return false;
+                }
+                (view.epoch - 1) % period < u64::from(active)
+            }
+            AttackerStrategy::Sprint { active_epochs } => view.epoch <= active_epochs,
+            AttackerStrategy::ThreatAdaptive { resume_above } => view.cpu_share >= resume_above,
+        }
+    }
+}
+
+/// A stochastic model of the augmented detector, reduced to the two rates
+/// that matter to the response layer.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::evasion::DetectorModel;
+/// let d = DetectorModel::new(0.95, 0.04).unwrap();
+/// assert_eq!(d.tpr(), 0.95);
+/// assert!(DetectorModel::new(1.5, 0.0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorModel {
+    tpr: f64,
+    fpr: f64,
+}
+
+impl DetectorModel {
+    /// A detector with true-positive rate `tpr` (malicious verdict while the
+    /// attacker works) and false-positive rate `fpr` (malicious verdict
+    /// while it sleeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ValkyrieError::InvalidConfig`] when either rate is
+    /// outside `[0, 1]` or not finite.
+    pub fn new(tpr: f64, fpr: f64) -> Result<Self, crate::ValkyrieError> {
+        for (name, v) in [("tpr", tpr), ("fpr", fpr)] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(crate::ValkyrieError::InvalidConfig(format!(
+                    "{name} must lie in [0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(Self { tpr, fpr })
+    }
+
+    /// The ideal detector: always right (`tpr = 1`, `fpr = 0`).
+    pub fn perfect() -> Self {
+        Self { tpr: 1.0, fpr: 0.0 }
+    }
+
+    /// True-positive rate.
+    pub fn tpr(&self) -> f64 {
+        self.tpr
+    }
+
+    /// False-positive rate.
+    pub fn fpr(&self) -> f64 {
+        self.fpr
+    }
+
+    /// Samples one epoch's inference given the attacker's behaviour.
+    pub fn classify<R: Rng>(&self, active: bool, rng: &mut R) -> Classification {
+        let p = if active { self.tpr } else { self.fpr };
+        if rng.gen::<f64>() < p {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+/// One evasion experiment: a strategy, a detector model and a horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvasionScenario {
+    strategy: AttackerStrategy,
+    detector: DetectorModel,
+    horizon: u64,
+    seed: u64,
+}
+
+impl EvasionScenario {
+    /// A scenario observed for `horizon` epochs with the default seed.
+    pub fn new(strategy: AttackerStrategy, detector: DetectorModel, horizon: u64) -> Self {
+        Self {
+            strategy,
+            detector,
+            horizon,
+            seed: 0x56414C4B, // "VALK"
+        }
+    }
+
+    /// Replaces the RNG seed (the replay is deterministic per seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The attacker strategy under test.
+    pub fn strategy(&self) -> AttackerStrategy {
+        self.strategy
+    }
+
+    /// The detector model in use.
+    pub fn detector(&self) -> DetectorModel {
+        self.detector
+    }
+
+    /// Number of epochs the replay covers.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+}
+
+/// The result of replaying an evasion scenario with and without Valkyrie.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvasionOutcome {
+    /// Attack progress achieved under Valkyrie (1.0 = one unthrottled
+    /// active epoch).
+    pub progress: f64,
+    /// Progress the same strategy achieves with no response framework.
+    pub unimpeded: f64,
+    /// Epoch at which the attacker was terminated, if it was.
+    pub terminated_at: Option<u64>,
+    /// Number of epochs in which the attacker actually worked (pre-
+    /// termination, under Valkyrie).
+    pub active_epochs: u64,
+}
+
+impl EvasionOutcome {
+    /// Slowdown relative to the unimpeded run, in percent (Eq. 4 semantics).
+    ///
+    /// 100 % means the attack made no progress at all; 0 % means Valkyrie
+    /// did not slow it down.
+    pub fn slowdown_percent(&self) -> f64 {
+        if self.unimpeded <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.progress / self.unimpeded) * 100.0
+        }
+    }
+}
+
+/// Replays an [`EvasionScenario`] through a [`ValkyrieEngine`] built from
+/// `config` and returns the attacker's progress with and without Valkyrie.
+///
+/// Each epoch the strategy decides whether to work; the detector model
+/// samples an inference; the engine updates the threat index and resource
+/// shares. An active epoch contributes the granted CPU share to `progress`
+/// (attack work rate is CPU-bound, as in every case study of Section VI);
+/// dormant epochs contribute nothing. Termination stops the attack for good.
+///
+/// The unimpeded counterfactual runs the *same* activity sequence at full
+/// share with no termination, so the comparison isolates the response
+/// framework's effect.
+pub fn run_evasion<A: Actuator + Clone>(
+    config: &EngineConfig<A>,
+    scenario: &EvasionScenario,
+) -> EvasionOutcome {
+    let mut engine = ValkyrieEngine::new(config.clone());
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    let pid = ProcessId(1);
+
+    let mut progress = 0.0;
+    let mut unimpeded = 0.0;
+    let mut active_epochs = 0;
+    let mut terminated_at = None;
+    let mut cpu_share = 1.0;
+    let mut measurements = 0;
+
+    for epoch in 1..=scenario.horizon {
+        let view = AttackerView {
+            epoch,
+            cpu_share,
+            measurements,
+        };
+        let active = scenario.strategy.is_active(&view);
+        if active {
+            // The counterfactual attacker follows the same duty cycle but is
+            // never throttled or terminated.
+            unimpeded += 1.0;
+        }
+        if terminated_at.is_some() {
+            continue;
+        }
+
+        let inference = scenario.detector.classify(active, &mut rng);
+        let response = engine.observe(pid, inference);
+        measurements += 1;
+        if response.action == Action::Terminate {
+            terminated_at = Some(epoch);
+            continue;
+        }
+        cpu_share = response.resources.cpu;
+        if active {
+            progress += cpu_share;
+            active_epochs += 1;
+        }
+    }
+
+    EvasionOutcome {
+        progress,
+        unimpeded,
+        terminated_at,
+        active_epochs,
+    }
+}
+
+/// Expected progress (in unthrottled-epoch units) an always-active attacker
+/// gains *after* reaching the terminable state, for a detector with
+/// true-positive rate `tpr`.
+///
+/// In the terminable state every active epoch is an independent chance of
+/// termination; the termination epoch itself yields no progress, so the
+/// expectation is the mean of a geometric distribution minus the killing
+/// trial: `(1 − tpr) / tpr`. A detector that is always right leaves zero
+/// post-efficacy progress; a coin-flip detector leaves one epoch on average.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::evasion::expected_terminable_progress;
+/// assert_eq!(expected_terminable_progress(1.0), 0.0);
+/// assert_eq!(expected_terminable_progress(0.5), 1.0);
+/// assert!(expected_terminable_progress(0.0).is_infinite());
+/// ```
+pub fn expected_terminable_progress(tpr: f64) -> f64 {
+    let tpr = tpr.clamp(0.0, 1.0);
+    if tpr == 0.0 {
+        f64::INFINITY
+    } else {
+        (1.0 - tpr) / tpr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuator::ShareActuator;
+    use crate::engine::EngineConfig;
+    use crate::state::ProcessState;
+
+    fn config(n_star: u64) -> EngineConfig {
+        EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn always_active_attacker_is_terminated_right_after_n_star() {
+        let scenario = EvasionScenario::new(
+            AttackerStrategy::AlwaysActive,
+            DetectorModel::perfect(),
+            40,
+        );
+        let out = run_evasion(&config(15), &scenario);
+        assert_eq!(out.terminated_at, Some(16));
+        assert!(out.progress < out.unimpeded);
+        assert!(out.slowdown_percent() > 70.0, "{}", out.slowdown_percent());
+    }
+
+    #[test]
+    fn dormant_attacker_makes_no_progress_and_survives() {
+        let scenario = EvasionScenario::new(
+            AttackerStrategy::Sprint { active_epochs: 0 },
+            DetectorModel::perfect(),
+            50,
+        );
+        let out = run_evasion(&config(10), &scenario);
+        assert_eq!(out.progress, 0.0);
+        assert_eq!(out.unimpeded, 0.0);
+        assert_eq!(out.terminated_at, None);
+        assert_eq!(out.slowdown_percent(), 0.0);
+    }
+
+    #[test]
+    fn duty_cycle_is_terminated_at_first_active_terminable_epoch() {
+        // 1 active, 4 dormant; N* = 10. Epochs 1, 6, 11, ... are active.
+        // The terminable state is reached at measurement 10; the next
+        // *active* epoch (11) draws a malicious verdict and dies.
+        let scenario = EvasionScenario::new(
+            AttackerStrategy::DutyCycle {
+                active: 1,
+                dormant: 4,
+            },
+            DetectorModel::perfect(),
+            60,
+        );
+        let out = run_evasion(&config(10), &scenario);
+        assert_eq!(out.terminated_at, Some(11));
+        // Two active epochs survived (1 and 6), both heavily compensated in
+        // between, so progress stays below 2 full epochs.
+        assert_eq!(out.active_epochs, 2);
+        assert!(out.progress <= 2.0);
+    }
+
+    #[test]
+    fn sprint_inside_one_cycle_is_throttled_not_free() {
+        // Attack hard for 5 epochs, then hide. The sprint is throttled from
+        // epoch 2 on, and the attacker still faces the terminable verdict.
+        let scenario = EvasionScenario::new(
+            AttackerStrategy::Sprint { active_epochs: 5 },
+            DetectorModel::perfect(),
+            30,
+        );
+        let out = run_evasion(&config(15), &scenario);
+        assert_eq!(out.unimpeded, 5.0);
+        assert!(
+            out.progress < 5.0 * 0.8,
+            "sprint was barely throttled: {}",
+            out.progress
+        );
+        // All-dormant afterwards: classified benign, never terminated.
+        assert_eq!(out.terminated_at, None);
+    }
+
+    #[test]
+    fn threat_adaptive_sawtooth_is_bounded_by_duty_cycle() {
+        let cfg = config(20);
+        let sawtooth = run_evasion(
+            &cfg,
+            &EvasionScenario::new(
+                AttackerStrategy::ThreatAdaptive { resume_above: 0.95 },
+                DetectorModel::perfect(),
+                100,
+            ),
+        );
+        let always = run_evasion(
+            &cfg,
+            &EvasionScenario::new(
+                AttackerStrategy::AlwaysActive,
+                DetectorModel::perfect(),
+                100,
+            ),
+        );
+        // Dormant epochs still count toward N*, so the sawtooth cannot
+        // postpone the terminable verdict …
+        assert_eq!(sawtooth.terminated_at, always.terminated_at);
+        // … and it pays for the evasion with a halved duty cycle.
+        assert!(sawtooth.active_epochs < 15);
+        assert!(sawtooth.progress < 0.35 * 100.0);
+    }
+
+    #[test]
+    fn imperfect_detector_leaves_geometric_tail() {
+        // With tpr < 1 the attacker survives some terminable epochs; the
+        // empirical mean should approach (1-p)/p across seeds.
+        let cfg = config(5);
+        let tpr = 0.5;
+        let mut total = 0.0;
+        let trials = 400;
+        for seed in 0..trials {
+            let scenario = EvasionScenario::new(
+                AttackerStrategy::AlwaysActive,
+                DetectorModel::new(tpr, 0.0).unwrap(),
+                400,
+            )
+            .with_seed(seed);
+            let out = run_evasion(&cfg, &scenario);
+            // Progress after the restore at N* is at full share; subtract
+            // the (throttled) pre-N* part by measuring terminable survival.
+            let t = out.terminated_at.expect("tpr>0 should terminate");
+            total += (t - 1 - 5) as f64; // epochs survived past N*
+        }
+        let mean = total / trials as f64;
+        let expect = expected_terminable_progress(tpr);
+        assert!(
+            (mean - expect).abs() < 0.25,
+            "mean {mean} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn steeper_penalty_reduces_duty_cycle_progress() {
+        // Hardening: exponential penalty throttles the sawtooth harder than
+        // the incremental one for the same compensation.
+        let inc = EngineConfig::builder()
+            .measurements_required(30)
+            .penalty(crate::AssessmentFn::incremental())
+            .compensation(crate::AssessmentFn::incremental())
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let exp = EngineConfig::builder()
+            .measurements_required(30)
+            .penalty(crate::AssessmentFn::exponential(2.0))
+            .compensation(crate::AssessmentFn::incremental())
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let scenario = EvasionScenario::new(
+            AttackerStrategy::DutyCycle {
+                active: 3,
+                dormant: 3,
+            },
+            DetectorModel::perfect(),
+            30,
+        );
+        let p_inc = run_evasion(&inc, &scenario).progress;
+        let p_exp = run_evasion(&exp, &scenario).progress;
+        assert!(p_exp < p_inc, "exp {p_exp} !< inc {p_inc}");
+    }
+
+    #[test]
+    fn termination_state_is_reflected_in_engine() {
+        let cfg = config(3);
+        let mut engine = ValkyrieEngine::new(cfg.clone());
+        let pid = ProcessId(1);
+        for _ in 0..4 {
+            engine.observe(pid, Classification::Malicious);
+        }
+        assert_eq!(engine.state(pid), Some(ProcessState::Terminated));
+    }
+
+    #[test]
+    fn zero_period_duty_cycle_is_never_active() {
+        let s = AttackerStrategy::DutyCycle {
+            active: 0,
+            dormant: 0,
+        };
+        let view = AttackerView {
+            epoch: 1,
+            cpu_share: 1.0,
+            measurements: 0,
+        };
+        assert!(!s.is_active(&view));
+    }
+
+    #[test]
+    fn scenario_accessors_round_trip() {
+        let s = EvasionScenario::new(
+            AttackerStrategy::AlwaysActive,
+            DetectorModel::perfect(),
+            7,
+        )
+        .with_seed(9);
+        assert_eq!(s.horizon(), 7);
+        assert_eq!(s.detector().tpr(), 1.0);
+        assert_eq!(s.strategy(), AttackerStrategy::AlwaysActive);
+    }
+}

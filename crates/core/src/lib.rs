@@ -1,0 +1,92 @@
+//! # Valkyrie — a post-detection response framework
+//!
+//! This crate implements the primary contribution of *"Valkyrie: A Response
+//! Framework to Augment Runtime Detection of Time-Progressive Attacks"*
+//! (DSN 2025): a response layer that sits **behind** any runtime detector and
+//! decides, epoch by epoch, how to react to its inferences.
+//!
+//! Instead of terminating a process the moment a detector flags it (which
+//! destroys falsely-accused benign programs), Valkyrie:
+//!
+//! 1. tracks a bounded **threat index** per process driven by configurable
+//!    penalty/compensation assessment functions ([`threat`], Algorithm 1);
+//! 2. walks each process through the `normal → suspicious → terminable →
+//!    terminated` state machine of the paper's Fig. 3 ([`state`]);
+//! 3. throttles the system resources the process depends on via **actuator
+//!    functions** ([`actuator`], Eq. 8) while the detector accumulates the
+//!    `N*` measurements required to meet a user-specified **detection
+//!    efficacy** ([`efficacy`], Section IV-A);
+//! 4. terminates the process only in the *terminable* state, and fully
+//!    restores resources if the final classification is benign.
+//!
+//! The expected impact on attacks and on falsely-classified benign programs
+//! is quantified by the **slowdown model** ([`slowdown`], Eqs. 2–4).
+//!
+//! # Quick start
+//!
+//! ```
+//! use valkyrie_core::prelude::*;
+//!
+//! // Detector needs 15 measurements to reach the required efficacy.
+//! let config = EngineConfig::builder()
+//!     .measurements_required(15)
+//!     .penalty(AssessmentFn::incremental())
+//!     .compensation(AssessmentFn::incremental())
+//!     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+//!     .build()
+//!     .expect("valid config");
+//! let mut engine = ValkyrieEngine::new(config);
+//!
+//! let pid = ProcessId(1);
+//! // An attack that is flagged every epoch is throttled, then terminated.
+//! for _ in 0..15 {
+//!     engine.observe(pid, Classification::Malicious);
+//! }
+//! let resp = engine.observe(pid, Classification::Malicious);
+//! assert_eq!(resp.state, ProcessState::Terminated);
+//! ```
+
+pub mod actuator;
+pub mod baselines;
+pub mod efficacy;
+pub mod engine;
+pub mod error;
+pub mod evasion;
+pub mod migration;
+pub mod monitor;
+pub mod resource;
+pub mod slowdown;
+pub mod state;
+pub mod telemetry;
+pub mod threat;
+
+pub use actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
+pub use baselines::{ConsecutiveTermination, DramRefresh, PriorityReduction, WarningOnly};
+pub use efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
+pub use engine::{Action, EngineConfig, EngineConfigBuilder, EngineResponse, ValkyrieEngine};
+pub use error::ValkyrieError;
+pub use evasion::{
+    run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario,
+};
+pub use migration::{migration_progress, MigrationPolicy};
+pub use monitor::{Directive, Monitor, StepReport};
+pub use resource::{ProcessId, ResourceKind, ResourceVector};
+pub use slowdown::{simulate_response, slowdown_percent, ResponseTrace};
+pub use state::ProcessState;
+pub use telemetry::{LogEntry, ProcessSummary, ResponseLog};
+pub use threat::{AssessmentFn, Classification, ThreatIndex};
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
+    pub use crate::efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
+    pub use crate::engine::{
+        Action, EngineConfig, EngineConfigBuilder, EngineResponse, ValkyrieEngine,
+    };
+    pub use crate::error::ValkyrieError;
+    pub use crate::monitor::{Directive, Monitor, StepReport};
+    pub use crate::resource::{ProcessId, ResourceKind, ResourceVector};
+    pub use crate::slowdown::{simulate_response, slowdown_percent};
+    pub use crate::state::ProcessState;
+    pub use crate::threat::{AssessmentFn, Classification, ThreatIndex};
+}

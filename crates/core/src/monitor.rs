@@ -1,0 +1,434 @@
+//! Per-process threat monitor — a faithful implementation of Algorithm 1.
+//!
+//! A [`Monitor`] consumes the detector's per-epoch inference stream for one
+//! process and maintains the penalty (`P_i^t`), compensation (`C_i^t`) and
+//! threat index (`T_i^t`) metrics, the measurement count (`N_i^t`) and the
+//! Fig. 3 process state. Each step yields a [`Directive`] telling the caller
+//! what response to enact (adjust resources, restore, or terminate).
+
+use crate::state::ProcessState;
+use crate::threat::{AssessmentFn, Classification, ThreatIndex};
+
+/// Response directive emitted by one monitor step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Directive {
+    /// No action required (normal state, nothing changed).
+    Continue,
+    /// Regulate resources by the embedded threat-index change
+    /// (`R_i = A(R_{i-1}, ΔT)`, Algorithm 1 line 20). Negative `ΔT` means
+    /// resources should be (partially) restored.
+    Adjust {
+        /// Change in threat index this epoch (`ΔT_{i,1}^t`).
+        delta_threat: f64,
+    },
+    /// The process returned to the normal state: remove all restrictions.
+    ResetToNormal,
+    /// Terminable state + benign classification: `A_reset`, restore defaults.
+    Restore,
+    /// Terminable state + malicious classification: terminate the process.
+    Terminate,
+}
+
+/// The outcome of feeding one epoch's inference into a [`Monitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Epoch index of this step (1-based, the `i` of Algorithm 1).
+    pub epoch: u64,
+    /// State after the step.
+    pub state: ProcessState,
+    /// Threat index after the step.
+    pub threat: ThreatIndex,
+    /// Threat-index change produced by the step.
+    pub delta_threat: f64,
+    /// What the response layer should do.
+    pub directive: Directive,
+}
+
+/// Per-process implementation of Algorithm 1.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::{AssessmentFn, Classification, Directive, Monitor, ProcessState};
+///
+/// let mut m = Monitor::new(3, AssessmentFn::incremental(), AssessmentFn::incremental());
+/// let r = m.observe(Classification::Malicious);
+/// assert_eq!(r.state, ProcessState::Suspicious);
+/// assert_eq!(r.delta_threat, 1.0);
+/// // After N* = 3 measurements the process becomes terminable …
+/// m.observe(Classification::Malicious);
+/// m.observe(Classification::Malicious);
+/// assert_eq!(m.state(), ProcessState::Terminable);
+/// // … and the next malicious classification terminates it.
+/// let r = m.observe(Classification::Malicious);
+/// assert_eq!(r.directive, Directive::Terminate);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    state: ProcessState,
+    threat: ThreatIndex,
+    penalty: f64,
+    compensation: f64,
+    measurements: u64,
+    n_star: u64,
+    fp: AssessmentFn,
+    fc: AssessmentFn,
+    epoch: u64,
+    restored: bool,
+    cyclic: bool,
+}
+
+impl Monitor {
+    /// Creates a monitor that needs `n_star` measurements before the process
+    /// becomes terminable, with penalty assessment `fp` and compensation
+    /// assessment `fc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_star` is zero; a detector that needs zero measurements
+    /// would terminate processes without ever observing them.
+    pub fn new(n_star: u64, fp: AssessmentFn, fc: AssessmentFn) -> Self {
+        assert!(n_star > 0, "N* must be at least one measurement");
+        Self {
+            state: ProcessState::Normal,
+            threat: ThreatIndex::zero(),
+            penalty: 0.0,
+            compensation: 0.0,
+            measurements: 0,
+            n_star,
+            fp,
+            fc,
+            epoch: 0,
+            restored: false,
+            cyclic: false,
+        }
+    }
+
+    /// Like [`Monitor::new`], but monitoring is *cyclic*: Algorithm 1's
+    /// outer `while t is executing` loop. After a benign verdict in the
+    /// terminable state the resources are restored (`A_reset`) **and a new
+    /// measurement cycle begins** — the process returns to the normal state
+    /// with fresh penalty/compensation metrics and measurement counter.
+    /// Long-running processes thus stay under watch for their whole life,
+    /// while attacks are still terminated at the end of their first cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_star` is zero.
+    pub fn new_cyclic(n_star: u64, fp: AssessmentFn, fc: AssessmentFn) -> Self {
+        let mut m = Self::new(n_star, fp, fc);
+        m.cyclic = true;
+        m
+    }
+
+    /// Current Fig. 3 state.
+    pub fn state(&self) -> ProcessState {
+        self.state
+    }
+
+    /// Current threat index `T_i^t`.
+    pub fn threat(&self) -> ThreatIndex {
+        self.threat
+    }
+
+    /// Current penalty metric `P_i^t`.
+    pub fn penalty(&self) -> f64 {
+        self.penalty
+    }
+
+    /// Current compensation metric `C_i^t`.
+    pub fn compensation(&self) -> f64 {
+        self.compensation
+    }
+
+    /// Measurements captured so far (`N_i^t`).
+    pub fn measurements(&self) -> u64 {
+        self.measurements
+    }
+
+    /// The configured measurement requirement `N*`.
+    pub fn measurements_required(&self) -> u64 {
+        self.n_star
+    }
+
+    /// Feeds one epoch's inference `D(t, i)` and advances Algorithm 1.
+    ///
+    /// Calling this after the process has terminated keeps returning
+    /// [`Directive::Terminate`] without further state changes.
+    pub fn observe(&mut self, inference: Classification) -> StepReport {
+        if self.state == ProcessState::Terminated {
+            return self.report(0.0, Directive::Terminate);
+        }
+        self.epoch += 1;
+
+        if self.measurements < self.n_star {
+            let mut report = self.observe_pre_efficacy(inference);
+            if self.measurements >= self.n_star && self.state != ProcessState::Terminated {
+                // Algorithm 1 line 21: once N* measurements are captured the
+                // process switches to the terminable state.
+                self.state = ProcessState::Terminable;
+                report.state = self.state;
+            }
+            report
+        } else {
+            self.observe_terminable(inference)
+        }
+    }
+
+    /// Marks the process as finished (Fig. 3: completion also moves the
+    /// process to *terminated*).
+    pub fn complete(&mut self) {
+        self.state = ProcessState::Terminated;
+    }
+
+    fn observe_pre_efficacy(&mut self, inference: Classification) -> StepReport {
+        self.measurements += 1;
+        let prev_threat = self.threat;
+        match inference {
+            Classification::Malicious => {
+                // Lines 8-11.
+                self.state = ProcessState::Suspicious;
+                self.penalty = self.fp.next(self.penalty, self.epoch);
+                self.threat = self.threat.penalized(self.penalty);
+            }
+            Classification::Benign => {
+                // Lines 12-15: compensation only applies in the suspicious
+                // state.
+                if self.state == ProcessState::Suspicious {
+                    self.compensation = self.fc.next(self.compensation, self.epoch);
+                    self.threat = self.threat.compensated(self.compensation);
+                }
+            }
+        }
+        let delta = self.threat.value() - prev_threat.value();
+        // Lines 17-18: full recovery returns the process to normal.
+        if self.threat.is_zero() && self.state == ProcessState::Suspicious {
+            self.state = ProcessState::Normal;
+            return self.report(delta, Directive::ResetToNormal);
+        }
+        let directive = if self.state == ProcessState::Suspicious {
+            Directive::Adjust {
+                delta_threat: delta,
+            }
+        } else {
+            Directive::Continue
+        };
+        self.report(delta, directive)
+    }
+
+    fn observe_terminable(&mut self, inference: Classification) -> StepReport {
+        match inference {
+            Classification::Benign => {
+                if self.cyclic {
+                    // A_reset plus the outer while-loop of Algorithm 1:
+                    // restore resources and begin a new measurement cycle.
+                    self.state = ProcessState::Normal;
+                    self.threat = ThreatIndex::zero();
+                    self.penalty = 0.0;
+                    self.compensation = 0.0;
+                    self.measurements = 0;
+                    self.restored = false;
+                    return self.report(0.0, Directive::Restore);
+                }
+                // Line 24: A_reset — restore default resources, once.
+                if self.restored {
+                    self.report(0.0, Directive::Continue)
+                } else {
+                    self.restored = true;
+                    self.report(0.0, Directive::Restore)
+                }
+            }
+            Classification::Malicious => {
+                // Line 26: terminate.
+                self.state = ProcessState::Terminated;
+                self.report(0.0, Directive::Terminate)
+            }
+        }
+    }
+
+    fn report(&self, delta: f64, directive: Directive) -> StepReport {
+        StepReport {
+            epoch: self.epoch,
+            state: self.state,
+            threat: self.threat,
+            delta_threat: delta,
+            directive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Classification::{Benign, Malicious};
+
+    fn monitor(n_star: u64) -> Monitor {
+        Monitor::new(
+            n_star,
+            AssessmentFn::incremental(),
+            AssessmentFn::incremental(),
+        )
+    }
+
+    #[test]
+    fn benign_stream_stays_normal() {
+        let mut m = monitor(10);
+        for _ in 0..9 {
+            let r = m.observe(Benign);
+            assert_eq!(r.state, ProcessState::Normal);
+            assert_eq!(r.directive, Directive::Continue);
+            assert!(r.threat.is_zero());
+        }
+        // The 10th measurement satisfies N*: the process becomes terminable.
+        let r = m.observe(Benign);
+        assert_eq!(r.state, ProcessState::Terminable);
+    }
+
+    #[test]
+    fn incremental_penalty_growth_matches_paper_example() {
+        // Section V-C: penalty increases by 1 on each malicious epoch and the
+        // threat index increases by the penalty: T = 1, 3, 6, 10, 15, …
+        let mut m = monitor(100);
+        let expected = [1.0, 3.0, 6.0, 10.0, 15.0, 21.0, 28.0];
+        for want in expected {
+            let r = m.observe(Malicious);
+            assert_eq!(r.threat.value(), want);
+        }
+    }
+
+    #[test]
+    fn compensation_recovers_and_returns_to_normal() {
+        let mut m = monitor(100);
+        for _ in 0..5 {
+            m.observe(Malicious);
+        }
+        assert_eq!(m.threat().value(), 15.0);
+        // Compensation: 1, 2, 3, 4, 5 → threat 14, 12, 9, 5, 0.
+        let expected = [14.0, 12.0, 9.0, 5.0, 0.0];
+        for (i, want) in expected.iter().enumerate() {
+            let r = m.observe(Benign);
+            assert_eq!(r.threat.value(), *want, "step {i}");
+        }
+        assert_eq!(m.state(), ProcessState::Normal);
+    }
+
+    #[test]
+    fn reset_to_normal_directive_emitted_once() {
+        let mut m = monitor(100);
+        m.observe(Malicious);
+        let r = m.observe(Benign);
+        assert_eq!(r.directive, Directive::ResetToNormal);
+        assert_eq!(r.state, ProcessState::Normal);
+        // Further benign epochs in the normal state are plain continues.
+        let r = m.observe(Benign);
+        assert_eq!(r.directive, Directive::Continue);
+    }
+
+    #[test]
+    fn benign_epochs_in_normal_state_do_not_compensate() {
+        let mut m = monitor(100);
+        m.observe(Benign);
+        assert_eq!(m.compensation(), 0.0);
+        m.observe(Malicious);
+        m.observe(Benign);
+        assert_eq!(m.compensation(), 1.0);
+    }
+
+    #[test]
+    fn threat_is_clamped_at_100() {
+        let mut m = monitor(1000);
+        for _ in 0..30 {
+            m.observe(Malicious);
+        }
+        assert_eq!(m.threat().value(), 100.0);
+    }
+
+    #[test]
+    fn terminable_then_terminate_on_malicious() {
+        let mut m = monitor(3);
+        m.observe(Benign);
+        m.observe(Benign);
+        m.observe(Benign);
+        assert_eq!(m.state(), ProcessState::Terminable);
+        let r = m.observe(Malicious);
+        assert_eq!(r.directive, Directive::Terminate);
+        assert_eq!(m.state(), ProcessState::Terminated);
+    }
+
+    #[test]
+    fn terminable_then_restore_on_benign() {
+        let mut m = monitor(2);
+        m.observe(Malicious);
+        m.observe(Malicious);
+        assert_eq!(m.state(), ProcessState::Terminable);
+        let r = m.observe(Benign);
+        assert_eq!(r.directive, Directive::Restore);
+        // Restoration is reported once; afterwards the process just runs.
+        let r = m.observe(Benign);
+        assert_eq!(r.directive, Directive::Continue);
+        // It can still be terminated later.
+        let r = m.observe(Malicious);
+        assert_eq!(r.directive, Directive::Terminate);
+    }
+
+    #[test]
+    fn observe_after_termination_is_stable() {
+        let mut m = monitor(1);
+        m.observe(Malicious);
+        let r = m.observe(Malicious);
+        assert_eq!(r.directive, Directive::Terminate);
+        let r = m.observe(Benign);
+        assert_eq!(r.directive, Directive::Terminate);
+        assert_eq!(m.state(), ProcessState::Terminated);
+    }
+
+    #[test]
+    fn complete_marks_terminated() {
+        let mut m = monitor(10);
+        m.observe(Benign);
+        m.complete();
+        assert_eq!(m.state(), ProcessState::Terminated);
+    }
+
+    #[test]
+    fn penalty_is_retained_while_benign() {
+        // Algorithm 1 line 15: P_i = P_{i-1} on benign epochs, so a repeat
+        // offender resumes from the old penalty level.
+        let mut m = monitor(100);
+        for _ in 0..3 {
+            m.observe(Malicious);
+        }
+        assert_eq!(m.penalty(), 3.0);
+        m.observe(Benign);
+        assert_eq!(m.penalty(), 3.0);
+        m.observe(Malicious);
+        assert_eq!(m.penalty(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "N*")]
+    fn zero_n_star_panics() {
+        let _ = monitor(0);
+    }
+
+    #[test]
+    fn all_transitions_are_legal_per_fig3() {
+        // Drive a monitor through a noisy inference stream and check that
+        // every transition it takes is allowed by Fig. 3.
+        let mut m = monitor(8);
+        let stream = [
+            Benign, Malicious, Benign, Benign, Malicious, Malicious, Benign, Benign, Benign,
+            Malicious,
+        ];
+        let mut prev = m.state();
+        for c in stream {
+            let r = m.observe(c);
+            assert!(
+                prev.can_transition_to(r.state),
+                "illegal transition {prev} -> {}",
+                r.state
+            );
+            prev = r.state;
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Resource shares (`R_i^t`, Eq. 1) and process identifiers.
+
+use std::fmt;
+
+/// Identifier of a monitored process.
+///
+/// A thin newtype so engine call sites cannot confuse process ids with other
+/// integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ProcessId(pub u64);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// One of the four throttleable system resources (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// CPU time share (`r_CPU`).
+    Cpu,
+    /// Memory share relative to the working set (`r_mem`).
+    Memory,
+    /// Network bandwidth share (`r_nw`).
+    Network,
+    /// Filesystem access-rate share (`r_fs`).
+    Filesystem,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in `R_i^t` order.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Cpu,
+        ResourceKind::Memory,
+        ResourceKind::Network,
+        ResourceKind::Filesystem,
+    ];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Memory => "memory",
+            ResourceKind::Network => "network",
+            ResourceKind::Filesystem => "filesystem",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The share of each system resource available to a process
+/// (`R_i^t = {r_CPU, r_mem, r_nw, r_fs}`, Eq. 1).
+///
+/// Every component is a fraction in `[0, 1]` of the process's *default*
+/// (unrestricted) allocation; `1.0` everywhere means no restrictions.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::{ResourceKind, ResourceVector};
+/// let mut r = ResourceVector::full();
+/// r.set(ResourceKind::Cpu, 0.25);
+/// assert_eq!(r.get(ResourceKind::Cpu), 0.25);
+/// assert!(!r.is_full());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceVector {
+    /// CPU time share.
+    pub cpu: f64,
+    /// Memory share.
+    pub mem: f64,
+    /// Network bandwidth share.
+    pub net: f64,
+    /// Filesystem access-rate share.
+    pub fs: f64,
+}
+
+impl ResourceVector {
+    /// All resources unrestricted.
+    pub const FULL: ResourceVector = ResourceVector {
+        cpu: 1.0,
+        mem: 1.0,
+        net: 1.0,
+        fs: 1.0,
+    };
+
+    /// All resources unrestricted (same as [`ResourceVector::FULL`]).
+    pub fn full() -> Self {
+        Self::FULL
+    }
+
+    /// Builds a vector with each share clamped into `[0, 1]`.
+    pub fn new(cpu: f64, mem: f64, net: f64, fs: f64) -> Self {
+        Self {
+            cpu: cpu.clamp(0.0, 1.0),
+            mem: mem.clamp(0.0, 1.0),
+            net: net.clamp(0.0, 1.0),
+            fs: fs.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Share of one resource kind.
+    pub fn get(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            ResourceKind::Cpu => self.cpu,
+            ResourceKind::Memory => self.mem,
+            ResourceKind::Network => self.net,
+            ResourceKind::Filesystem => self.fs,
+        }
+    }
+
+    /// Sets the share of one resource kind (clamped into `[0, 1]`).
+    pub fn set(&mut self, kind: ResourceKind, share: f64) {
+        let share = share.clamp(0.0, 1.0);
+        match kind {
+            ResourceKind::Cpu => self.cpu = share,
+            ResourceKind::Memory => self.mem = share,
+            ResourceKind::Network => self.net = share,
+            ResourceKind::Filesystem => self.fs = share,
+        }
+    }
+
+    /// True when every share equals `1.0`.
+    pub fn is_full(&self) -> bool {
+        *self == Self::FULL
+    }
+
+    /// Element-wise lower-bounding against `floor` (the paper's configurable
+    /// minimum share that bounds worst-case slowdowns).
+    #[must_use]
+    pub fn floored(&self, floor: &ResourceVector) -> Self {
+        Self {
+            cpu: self.cpu.max(floor.cpu),
+            mem: self.mem.max(floor.mem),
+            net: self.net.max(floor.net),
+            fs: self.fs.max(floor.fs),
+        }
+    }
+
+    /// True if every share is within `[0, 1]` and finite.
+    pub fn is_valid(&self) -> bool {
+        [self.cpu, self.mem, self.net, self.fs]
+            .iter()
+            .all(|s| s.is_finite() && (0.0..=1.0).contains(s))
+    }
+}
+
+impl Default for ResourceVector {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R{{cpu:{:.2}, mem:{:.2}, net:{:.2}, fs:{:.2}}}",
+            self.cpu, self.mem, self.net, self.fs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_clamps_components() {
+        let r = ResourceVector::new(2.0, -1.0, 0.5, 1.0);
+        assert_eq!(r.cpu, 1.0);
+        assert_eq!(r.mem, 0.0);
+        assert_eq!(r.net, 0.5);
+        assert!(r.is_valid());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut r = ResourceVector::full();
+        for kind in ResourceKind::ALL {
+            r.set(kind, 0.25);
+            assert_eq!(r.get(kind), 0.25);
+        }
+    }
+
+    #[test]
+    fn floored_respects_minimums() {
+        let r = ResourceVector::new(0.001, 1.0, 1.0, 0.0);
+        let floor = ResourceVector::new(0.01, 0.0, 0.0, 0.05);
+        let f = r.floored(&floor);
+        assert_eq!(f.cpu, 0.01);
+        assert_eq!(f.fs, 0.05);
+        assert_eq!(f.mem, 1.0);
+    }
+
+    #[test]
+    fn full_is_full() {
+        assert!(ResourceVector::full().is_full());
+        assert!(!ResourceVector::new(0.9, 1.0, 1.0, 1.0).is_full());
+    }
+
+    #[test]
+    fn display_contains_all_fields() {
+        let s = ResourceVector::full().to_string();
+        for key in ["cpu", "mem", "net", "fs"] {
+            assert!(s.contains(key));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The per-process execution states of Fig. 3.
+
+use std::fmt;
+
+/// Execution state of a monitored process (paper Fig. 3).
+///
+/// Every process starts in [`ProcessState::Normal`]. A malicious inference
+/// raises the threat index and moves it to [`ProcessState::Suspicious`]. The
+/// process returns to *normal* if the threat index decays back to zero. Once
+/// the detector has accumulated the `N*` measurements required to reach the
+/// user-specified efficacy, the process becomes [`ProcessState::Terminable`]:
+/// the next malicious classification (or completion) moves it to
+/// [`ProcessState::Terminated`], while benign classifications restore its
+/// resources and let it run.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::ProcessState;
+/// assert!(ProcessState::Suspicious.is_throttleable());
+/// assert!(!ProcessState::Terminated.is_live());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessState {
+    /// Threat index is zero and fewer than `N*` measurements were captured.
+    #[default]
+    Normal,
+    /// Threat index is positive; resources are being regulated.
+    Suspicious,
+    /// `N*` measurements captured: the detector has reached the required
+    /// efficacy and may now terminate the process.
+    Terminable,
+    /// The process was terminated (or completed execution).
+    Terminated,
+}
+
+impl ProcessState {
+    /// True while the process has not been terminated.
+    pub fn is_live(self) -> bool {
+        self != ProcessState::Terminated
+    }
+
+    /// True in the state where Valkyrie regulates resources per epoch.
+    pub fn is_throttleable(self) -> bool {
+        self == ProcessState::Suspicious
+    }
+
+    /// Valid successor states according to Fig. 3 (self-loops included).
+    pub fn successors(self) -> &'static [ProcessState] {
+        use ProcessState::*;
+        match self {
+            Normal => &[Normal, Suspicious, Terminable, Terminated],
+            Suspicious => &[Suspicious, Normal, Terminable, Terminated],
+            Terminable => &[Terminable, Terminated],
+            Terminated => &[Terminated],
+        }
+    }
+
+    /// True if `next` is a legal transition from `self` per Fig. 3.
+    pub fn can_transition_to(self, next: ProcessState) -> bool {
+        self.successors().contains(&next)
+    }
+}
+
+impl fmt::Display for ProcessState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessState::Normal => "normal",
+            ProcessState::Suspicious => "suspicious",
+            ProcessState::Terminable => "terminable",
+            ProcessState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProcessState::*;
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(ProcessState::default(), Normal);
+    }
+
+    #[test]
+    fn terminated_is_absorbing() {
+        for s in [Normal, Suspicious, Terminable] {
+            assert!(!Terminated.can_transition_to(s), "terminated -> {s}");
+        }
+        assert!(Terminated.can_transition_to(Terminated));
+    }
+
+    #[test]
+    fn terminable_cannot_return() {
+        assert!(!Terminable.can_transition_to(Normal));
+        assert!(!Terminable.can_transition_to(Suspicious));
+        assert!(Terminable.can_transition_to(Terminated));
+    }
+
+    #[test]
+    fn suspicious_recovers_to_normal() {
+        assert!(Suspicious.can_transition_to(Normal));
+        assert!(Normal.can_transition_to(Suspicious));
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Suspicious.to_string(), "suspicious");
+    }
+}

@@ -1,0 +1,262 @@
+//! Threat assessment: classifications, the bounded threat index and the
+//! penalty / compensation assessment functions of Algorithm 1.
+//!
+//! The threat index `T_i^t` quantifies the detector's accumulated confidence
+//! that process `t` is malicious. It is bounded to `[0, 100]`; every metric
+//! update passes through the paper's `clamp()` (Algorithm 1, lines 1, 10, 14
+//! and 16).
+
+use std::fmt;
+
+/// A detector's per-epoch inference for one process (`D(t, i)` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classification {
+    /// The detector classified the process behaviour as malicious.
+    Malicious,
+    /// The detector classified the process behaviour as benign.
+    Benign,
+}
+
+impl Classification {
+    /// True for [`Classification::Malicious`].
+    pub fn is_malicious(self) -> bool {
+        matches!(self, Classification::Malicious)
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Classification::Malicious => f.write_str("malicious"),
+            Classification::Benign => f.write_str("benign"),
+        }
+    }
+}
+
+/// The paper's `clamp(x) = max(0, min(x, 100))`.
+pub fn clamp_metric(x: f64) -> f64 {
+    x.clamp(ThreatIndex::MIN, ThreatIndex::MAX)
+}
+
+/// Bounded threat index of a process (`T_i^t ∈ [0, 100]`).
+///
+/// `0` means no restrictions on system resources; `100` means maximum
+/// restrictions (Section V-A).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::ThreatIndex;
+/// let t = ThreatIndex::new(250.0);
+/// assert_eq!(t.value(), 100.0); // clamped
+/// assert!(!t.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct ThreatIndex(f64);
+
+impl ThreatIndex {
+    /// Lower bound of the threat index.
+    pub const MIN: f64 = 0.0;
+    /// Upper bound of the threat index.
+    pub const MAX: f64 = 100.0;
+
+    /// Creates a threat index, clamping into `[0, 100]`.
+    pub fn new(value: f64) -> Self {
+        Self(clamp_metric(value))
+    }
+
+    /// A zero threat index (the *normal* state).
+    pub fn zero() -> Self {
+        Self(0.0)
+    }
+
+    /// The clamped value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True when the index is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Returns the index increased by `penalty`, clamped (Algorithm 1 l.11).
+    #[must_use]
+    pub fn penalized(self, penalty: f64) -> Self {
+        Self::new(self.0 + penalty)
+    }
+
+    /// Returns the index decreased by `compensation`, clamped (l.15–16).
+    #[must_use]
+    pub fn compensated(self, compensation: f64) -> Self {
+        Self::new(self.0 - compensation)
+    }
+}
+
+impl fmt::Display for ThreatIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}", self.0)
+    }
+}
+
+/// A penalty (`F_p`) or compensation (`F_c`) assessment function.
+///
+/// These configurable functions control how fast the penalty and compensation
+/// metrics grow (Section V-A). The paper names three realizations —
+/// incremental, linear and exponential — all of which are provided, plus an
+/// escape hatch for custom functions.
+///
+/// The epoch index is passed so epoch-dependent functions (the paper's
+/// exponential example `F_p(P_{i-1}) = 2 i P_{i-1} + 1`) can be expressed.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::AssessmentFn;
+/// let inc = AssessmentFn::incremental();
+/// assert_eq!(inc.next(0.0, 1), 1.0);
+/// assert_eq!(inc.next(1.0, 2), 2.0);
+///
+/// let lin = AssessmentFn::linear(2.0, 1.0);
+/// assert_eq!(lin.next(3.0, 1), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub enum AssessmentFn {
+    /// `F(x) = x + 1` — the paper's incremental function (Eqs. 5 and 6).
+    Incremental,
+    /// `F(x) = a·x + b`.
+    Linear {
+        /// Multiplicative coefficient.
+        a: f64,
+        /// Additive coefficient.
+        b: f64,
+    },
+    /// `F(x) = base·i·x + 1` — epoch-dependent exponential growth
+    /// (the paper's example uses `base = 2`).
+    Exponential {
+        /// Growth base.
+        base: f64,
+    },
+    /// A custom function of `(previous_value, epoch_index)`.
+    Custom(fn(f64, u64) -> f64),
+}
+
+impl AssessmentFn {
+    /// The incremental assessment function `F(x) = x + 1`.
+    pub fn incremental() -> Self {
+        AssessmentFn::Incremental
+    }
+
+    /// A linear assessment function `F(x) = a·x + b`.
+    pub fn linear(a: f64, b: f64) -> Self {
+        AssessmentFn::Linear { a, b }
+    }
+
+    /// The exponential assessment function `F(x) = base·i·x + 1`.
+    pub fn exponential(base: f64) -> Self {
+        AssessmentFn::Exponential { base }
+    }
+
+    /// Evaluates the function: next metric value from the previous one.
+    ///
+    /// The result is clamped to `[0, 100]`, matching Algorithm 1's use of
+    /// `clamp()` around every `F_p` / `F_c` evaluation.
+    pub fn next(&self, prev: f64, epoch: u64) -> f64 {
+        let raw = match *self {
+            AssessmentFn::Incremental => prev + 1.0,
+            AssessmentFn::Linear { a, b } => a * prev + b,
+            AssessmentFn::Exponential { base } => base * epoch as f64 * prev + 1.0,
+            AssessmentFn::Custom(f) => f(prev, epoch),
+        };
+        clamp_metric(raw)
+    }
+}
+
+impl Default for AssessmentFn {
+    /// The paper's default: incremental growth.
+    fn default() -> Self {
+        AssessmentFn::Incremental
+    }
+}
+
+impl PartialEq for AssessmentFn {
+    /// Structural equality; [`AssessmentFn::Custom`] values are never equal
+    /// (function-pointer identity is not meaningful across codegen units).
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AssessmentFn::Incremental, AssessmentFn::Incremental) => true,
+            (AssessmentFn::Linear { a, b }, AssessmentFn::Linear { a: a2, b: b2 }) => {
+                a == a2 && b == b2
+            }
+            (AssessmentFn::Exponential { base }, AssessmentFn::Exponential { base: b2 }) => {
+                base == b2
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threat_index_clamps_both_ends() {
+        assert_eq!(ThreatIndex::new(-5.0).value(), 0.0);
+        assert_eq!(ThreatIndex::new(105.0).value(), 100.0);
+        assert_eq!(ThreatIndex::new(50.0).value(), 50.0);
+    }
+
+    #[test]
+    fn penalize_and_compensate_round_trip() {
+        let t = ThreatIndex::zero().penalized(30.0);
+        assert_eq!(t.value(), 30.0);
+        let t = t.compensated(30.0);
+        assert!(t.is_zero());
+    }
+
+    #[test]
+    fn incremental_grows_by_one() {
+        let f = AssessmentFn::incremental();
+        let mut p = 0.0;
+        for epoch in 1..=5 {
+            p = f.next(p, epoch);
+        }
+        assert_eq!(p, 5.0);
+    }
+
+    #[test]
+    fn linear_matches_formula() {
+        let f = AssessmentFn::linear(1.5, 2.0);
+        assert_eq!(f.next(4.0, 7), 8.0);
+    }
+
+    #[test]
+    fn exponential_depends_on_epoch() {
+        let f = AssessmentFn::exponential(2.0);
+        assert_eq!(f.next(1.0, 1), 3.0); // 2*1*1 + 1
+        assert_eq!(f.next(3.0, 2), 13.0); // 2*2*3 + 1
+    }
+
+    #[test]
+    fn assessment_output_is_clamped() {
+        let f = AssessmentFn::linear(1000.0, 1000.0);
+        assert_eq!(f.next(50.0, 1), 100.0);
+        let f = AssessmentFn::linear(-10.0, 0.0);
+        assert_eq!(f.next(5.0, 1), 0.0);
+    }
+
+    #[test]
+    fn custom_function_is_used() {
+        let f = AssessmentFn::Custom(|prev, _| prev * 2.0 + 0.5);
+        assert_eq!(f.next(1.0, 9), 2.5);
+    }
+
+    #[test]
+    fn classification_display() {
+        assert_eq!(Classification::Malicious.to_string(), "malicious");
+        assert_eq!(Classification::Benign.to_string(), "benign");
+        assert!(Classification::Malicious.is_malicious());
+        assert!(!Classification::Benign.is_malicious());
+    }
+}

@@ -1,0 +1,160 @@
+//! Measuring detection efficacy versus number of measurements (Fig. 1).
+//!
+//! For each measurement budget `n` in a grid, every test trace is classified
+//! from its first `n` measurements only; the resulting confusion matrix
+//! yields `F1(n)` and `FPR(n)`. The curves feed the core planner, which maps
+//! a user's [`EfficacySpec`](valkyrie_core::EfficacySpec) to `N*`.
+
+use valkyrie_core::{EfficacyCurve, EfficacyPoint, ValkyrieError};
+use valkyrie_ml::{ConfusionMatrix, SequenceDataset};
+
+/// The measurement-count grid to evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficacyGrid {
+    points: Vec<u32>,
+}
+
+impl EfficacyGrid {
+    /// A grid over explicit measurement counts (deduplicated, sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or containing zero.
+    pub fn new(mut points: Vec<u32>) -> Self {
+        assert!(!points.is_empty(), "grid must be non-empty");
+        assert!(points.iter().all(|&p| p > 0), "grid counts must be positive");
+        points.sort_unstable();
+        points.dedup();
+        Self { points }
+    }
+
+    /// The paper's Fig. 1 x-axis: 1..=75 measurements (every other count to
+    /// keep evaluation cheap).
+    pub fn fig1() -> Self {
+        Self::new((1..=75).step_by(2).collect())
+    }
+
+    /// The grid points.
+    pub fn points(&self) -> &[u32] {
+        &self.points
+    }
+}
+
+/// Classifies every test trace from its first `n` measurements for every
+/// `n` in the grid and returns the measured efficacy curve.
+///
+/// `classify_prefix(prefix) -> bool` is the detector under test (true =
+/// malicious); prefixes longer than a trace use the whole trace.
+///
+/// # Errors
+///
+/// Propagates [`ValkyrieError::InvalidCurve`] if the grid produced no valid
+/// points (cannot happen for a non-empty grid and dataset).
+pub fn measure_efficacy<F>(
+    test: &SequenceDataset,
+    grid: &EfficacyGrid,
+    mut classify_prefix: F,
+) -> Result<EfficacyCurve, ValkyrieError>
+where
+    F: FnMut(&[Vec<f64>]) -> bool,
+{
+    let mut points = Vec::with_capacity(grid.points().len());
+    for &n in grid.points() {
+        let mut cm = ConfusionMatrix::default();
+        for (seq, &label) in test.sequences.iter().zip(&test.labels) {
+            let take = (n as usize).min(seq.len());
+            let pred = classify_prefix(&seq[..take]);
+            cm.record(label == 1.0, pred);
+        }
+        points.push(EfficacyPoint {
+            measurements: n,
+            f1: cm.f1(),
+            fpr: cm.fpr(),
+        });
+    }
+    EfficacyCurve::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valkyrie_core::EfficacySpec;
+
+    /// A synthetic detector whose per-measurement error shrinks with n:
+    /// classify by the mean of feature 0 over the prefix.
+    fn noisy_mean_detector(prefix: &[Vec<f64>]) -> bool {
+        let mean: f64 = prefix.iter().map(|x| x[0]).sum::<f64>() / prefix.len() as f64;
+        mean > 0.5
+    }
+
+    /// Deterministic jitter in [-1, 1) from a cheap integer hash.
+    fn jitter(variant: usize, t: usize) -> f64 {
+        let mut h = (variant as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(t as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+        (h % 10_000) as f64 / 5_000.0 - 1.0
+    }
+
+    fn synthetic_dataset() -> SequenceDataset {
+        // Positive traces hover around 0.62, negative around 0.38, both
+        // buried in ±0.5 deterministic noise: short prefixes are noisy,
+        // long prefixes converge to the class mean.
+        let mut ds = SequenceDataset::default();
+        for variant in 0..40 {
+            let positive = variant % 2 == 0;
+            let center = if positive { 0.62 } else { 0.38 };
+            let seq: Vec<Vec<f64>> = (0..60)
+                .map(|t| vec![center + 0.5 * jitter(variant, t)])
+                .collect();
+            ds.sequences.push(seq);
+            ds.labels.push(if positive { 1.0 } else { 0.0 });
+        }
+        ds
+    }
+
+    #[test]
+    fn grid_is_sorted_and_deduplicated() {
+        let g = EfficacyGrid::new(vec![5, 1, 5, 3]);
+        assert_eq!(g.points(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn fig1_grid_covers_up_to_75() {
+        let g = EfficacyGrid::fig1();
+        assert_eq!(*g.points().first().unwrap(), 1);
+        assert_eq!(*g.points().last().unwrap(), 75);
+    }
+
+    #[test]
+    fn efficacy_improves_with_measurements() {
+        let ds = synthetic_dataset();
+        let grid = EfficacyGrid::new(vec![1, 2, 10, 40]);
+        let curve = measure_efficacy(&ds, &grid, noisy_mean_detector).unwrap();
+        let f1_early = curve.points()[0].f1;
+        let f1_late = curve.points().last().unwrap().f1;
+        assert!(
+            f1_late > f1_early,
+            "F1 should improve: {f1_early} -> {f1_late}"
+        );
+        assert!(curve.f1_at(40).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn n_star_planning_from_measured_curve() {
+        let ds = synthetic_dataset();
+        let grid = EfficacyGrid::new(vec![1, 2, 4, 10, 20, 40]);
+        let curve = measure_efficacy(&ds, &grid, noisy_mean_detector).unwrap();
+        let n = curve
+            .measurements_required(&EfficacySpec::f1_at_least(0.9))
+            .unwrap();
+        assert!((2..=40).contains(&n), "N* = {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_grid_panics() {
+        let _ = EfficacyGrid::new(vec![]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Runtime detectors producing the per-epoch inferences Valkyrie consumes.
+//!
+//! The paper augments *existing* detectors; this crate provides faithful
+//! stand-ins for the families it cites:
+//!
+//! * [`statistical`] — a z-score threshold detector over HPC samples
+//!   (HexPADS / ANVIL style, used by the micro-architectural, rowhammer and
+//!   cryptominer case studies). Deliberately simple and false-positive
+//!   prone: "a simple statistical detector effectively demonstrates the
+//!   capabilities of Valkyrie" (Section VI-A).
+//! * [`ml_backed`] — wrappers turning the `valkyrie-ml` models into epoch
+//!   detectors: per-measurement majority voting (SVM / XGBoost style),
+//!   mean-pooled feature classification (ANN style) and sequence prefixes
+//!   (LSTM style).
+//! * [`scripted`] — deterministic inference streams for tests and the
+//!   analytic examples.
+//! * [`efficacy`] — measures F1/FPR as a function of the number of
+//!   measurements (Fig. 1) and hands the result to the core `N*` planner.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_detect::scripted::ScriptedDetector;
+//! use valkyrie_detect::Detector;
+//! use valkyrie_core::{Classification, ProcessId};
+//! use valkyrie_hpc::SampleWindow;
+//!
+//! let mut d = ScriptedDetector::cycle(vec![Classification::Malicious, Classification::Benign]);
+//! let w = SampleWindow::new(4);
+//! assert_eq!(d.infer(ProcessId(1), &w), Classification::Malicious);
+//! assert_eq!(d.infer(ProcessId(1), &w), Classification::Benign);
+//! ```
+
+pub mod efficacy;
+pub mod ensemble;
+pub mod ml_backed;
+pub mod scripted;
+pub mod statistical;
+pub mod voting;
+
+pub use efficacy::{measure_efficacy, EfficacyGrid};
+pub use ensemble::{CombinationRule, EnsembleDetector, MultiLevelDetector};
+pub use ml_backed::{LstmDetector, MajorityVoteDetector, PooledDetector};
+pub use scripted::ScriptedDetector;
+pub use statistical::StatisticalDetector;
+pub use voting::{SampleClassifier, VotingDetector};
+
+use valkyrie_core::{Classification, ProcessId};
+use valkyrie_hpc::SampleWindow;
+
+/// A runtime detector: one inference per process per epoch
+/// (`D(t, i)` in the paper).
+///
+/// `window` is the process's measurement history collected so far; the
+/// detector may use any amount of it.
+pub trait Detector {
+    /// Human-readable detector name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Classifies the process behaviour for this epoch.
+    fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification;
+}

@@ -1,0 +1,296 @@
+//! Detectors built on the `valkyrie-ml` models.
+//!
+//! Three inference styles from the paper (Section IV-A):
+//!
+//! * "the SVM and XGBoost models classify each measurement individually and
+//!   infer program behavior based on the classification of majority of these
+//!   measurements" → [`MajorityVoteDetector`];
+//! * "the ANNs take a time series of HPC measurements as input" → the ANNs
+//!   see the window as pooled features ([`PooledDetector`]) and the LSTM
+//!   consumes the sequence directly ([`LstmDetector`]).
+
+use crate::Detector;
+use valkyrie_core::{Classification, ProcessId};
+use valkyrie_hpc::SampleWindow;
+use valkyrie_ml::{BinaryClassifier, Lstm, Standardizer};
+
+/// Majority voting over per-measurement classifications (SVM / XGBoost
+/// style): malicious when more than half of the window's measurements are
+/// individually classified malicious.
+///
+/// More measurements → more votes → better efficacy, which is exactly the
+/// Fig. 1 trend Valkyrie exploits.
+#[derive(Debug, Clone)]
+pub struct MajorityVoteDetector<C> {
+    name: String,
+    model: C,
+    standardizer: Standardizer,
+}
+
+impl<C: BinaryClassifier> MajorityVoteDetector<C> {
+    /// Wraps a trained per-measurement classifier.
+    pub fn new(name: impl Into<String>, model: C, standardizer: Standardizer) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            standardizer,
+        }
+    }
+
+    /// Fraction of the window's measurements classified malicious.
+    pub fn vote_fraction(&self, window: &SampleWindow) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        let malicious = window
+            .samples()
+            .iter()
+            .filter(|s| {
+                self.model
+                    .classify(&self.standardizer.transform(s.as_features()))
+            })
+            .count();
+        malicious as f64 / window.len() as f64
+    }
+}
+
+impl<C: BinaryClassifier> Detector for MajorityVoteDetector<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
+        if self.vote_fraction(window) > 0.5 {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+/// Mean-pooled classification (feed-forward ANN style): the window's
+/// per-event means are standardised and classified as one feature vector.
+/// Pooling over more measurements suppresses noise, improving efficacy with
+/// time.
+#[derive(Debug, Clone)]
+pub struct PooledDetector<C> {
+    name: String,
+    model: C,
+    standardizer: Standardizer,
+}
+
+impl<C: BinaryClassifier> PooledDetector<C> {
+    /// Wraps a trained classifier over pooled features.
+    pub fn new(name: impl Into<String>, model: C, standardizer: Standardizer) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            standardizer,
+        }
+    }
+
+    /// The model's score on the pooled window.
+    pub fn pooled_score(&self, window: &SampleWindow) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        let mean = window.mean();
+        self.model
+            .score(&self.standardizer.transform(mean.as_features()))
+    }
+}
+
+impl<C: BinaryClassifier> Detector for PooledDetector<C> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
+        if self.pooled_score(window) >= 0.5 {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+/// Sequence-prefix classification with the LSTM (the ransomware detector of
+/// Section VI-C): each epoch the LSTM re-reads the standardised measurement
+/// window; its input is the concatenation of the current measurement and
+/// the delta from the previous one (10 + 10 = the paper's 20 input nodes).
+#[derive(Debug, Clone)]
+pub struct LstmDetector {
+    name: String,
+    model: Lstm,
+    standardizer: Standardizer,
+}
+
+impl LstmDetector {
+    /// Wraps a trained LSTM. The model must accept `2 × EVENT_COUNT` inputs
+    /// (current features ‖ delta features).
+    pub fn new(name: impl Into<String>, model: Lstm, standardizer: Standardizer) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            standardizer,
+        }
+    }
+
+    /// Builds the 20-dimensional input sequence from a window.
+    pub fn sequence_of(&self, window: &SampleWindow) -> Vec<Vec<f64>> {
+        sequence_with_deltas(
+            &window
+                .samples()
+                .iter()
+                .map(|s| self.standardizer.transform(s.as_features()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// LSTM probability on the current window.
+    pub fn probability(&self, window: &SampleWindow) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        self.model.predict_proba(&self.sequence_of(window))
+    }
+}
+
+impl Detector for LstmDetector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
+        if self.probability(window) >= 0.5 {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+/// Concatenates each timestep with its delta from the previous timestep,
+/// doubling the feature width (10 → the paper's 20 LSTM inputs).
+pub fn sequence_with_deltas(seq: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(seq.len());
+    for (t, x) in seq.iter().enumerate() {
+        let mut v = x.clone();
+        if t == 0 {
+            v.extend(std::iter::repeat_n(0.0, x.len()));
+        } else {
+            v.extend(x.iter().zip(&seq[t - 1]).map(|(a, b)| a - b));
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use valkyrie_hpc::{HpcSample, Signature};
+    use valkyrie_ml::{LinearSvm, SvmConfig};
+
+    fn toy_training() -> (Vec<Vec<f64>>, Vec<f64>, Standardizer) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..200 {
+            xs.push(
+                Signature::cpu_bound()
+                    .sample(&mut rng, 1.0)
+                    .as_features()
+                    .to_vec(),
+            );
+            ys.push(0.0);
+            xs.push(
+                Signature::llc_thrashing()
+                    .sample(&mut rng, 1.0)
+                    .as_features()
+                    .to_vec(),
+            );
+            ys.push(1.0);
+        }
+        let std = Standardizer::fit(&xs);
+        let xs_t = std.transform_all(&xs);
+        (xs_t, ys, std)
+    }
+
+    fn window_of(samples: Vec<HpcSample>) -> SampleWindow {
+        let mut w = SampleWindow::new(samples.len().max(1));
+        for s in samples {
+            w.push(s);
+        }
+        w
+    }
+
+    #[test]
+    fn majority_vote_classifies_spy_window() {
+        let (xs, ys, std) = toy_training();
+        let svm = LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+        let mut det = MajorityVoteDetector::new("svm-vote", svm, std);
+        let mut rng = StdRng::seed_from_u64(41);
+        let spy = window_of(
+            (0..9)
+                .map(|_| Signature::llc_thrashing().sample(&mut rng, 1.0))
+                .collect(),
+        );
+        let benign = window_of(
+            (0..9)
+                .map(|_| Signature::cpu_bound().sample(&mut rng, 1.0))
+                .collect(),
+        );
+        assert_eq!(det.infer(ProcessId(1), &spy), Classification::Malicious);
+        assert_eq!(det.infer(ProcessId(2), &benign), Classification::Benign);
+    }
+
+    #[test]
+    fn empty_window_is_benign_for_all_wrappers() {
+        let (xs, ys, std) = toy_training();
+        let svm = LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+        let w = SampleWindow::new(4);
+        let mut vote = MajorityVoteDetector::new("v", svm.clone(), std.clone());
+        let mut pooled = PooledDetector::new("p", svm, std);
+        assert_eq!(vote.infer(ProcessId(1), &w), Classification::Benign);
+        assert_eq!(pooled.infer(ProcessId(1), &w), Classification::Benign);
+    }
+
+    #[test]
+    fn pooled_detector_uses_window_mean() {
+        let (xs, ys, std) = toy_training();
+        let svm = LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+        let det = PooledDetector::new("p", svm, std);
+        let mut rng = StdRng::seed_from_u64(42);
+        let spy = window_of(
+            (0..5)
+                .map(|_| Signature::llc_thrashing().sample(&mut rng, 1.0))
+                .collect(),
+        );
+        assert!(det.pooled_score(&spy) > 0.5);
+    }
+
+    #[test]
+    fn deltas_double_the_width() {
+        let seq = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let out = sequence_with_deltas(&seq);
+        assert_eq!(out[0], vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(out[1], vec![2.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn vote_fraction_counts_correctly() {
+        let (xs, ys, std) = toy_training();
+        let svm = LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+        let det = MajorityVoteDetector::new("v", svm, std);
+        let mut rng = StdRng::seed_from_u64(44);
+        let spy = window_of(
+            (0..10)
+                .map(|_| Signature::llc_thrashing().sample(&mut rng, 1.0))
+                .collect(),
+        );
+        assert!(det.vote_fraction(&spy) > 0.8);
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic detectors for tests and analytic examples.
+
+use crate::Detector;
+use std::collections::HashMap;
+use valkyrie_core::{Classification, ProcessId};
+use valkyrie_hpc::SampleWindow;
+
+/// A detector replaying a fixed inference sequence (per process).
+///
+/// Sequences repeat from the start when exhausted in
+/// [`ScriptedDetector::cycle`] mode, or continue with the final value in
+/// [`ScriptedDetector::then_hold`] mode.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_detect::{Detector, ScriptedDetector};
+/// use valkyrie_core::{Classification::{self, *}, ProcessId};
+/// use valkyrie_hpc::SampleWindow;
+///
+/// let mut d = ScriptedDetector::then_hold(vec![Malicious, Benign]);
+/// let w = SampleWindow::new(2);
+/// let pid = ProcessId(0);
+/// assert_eq!(d.infer(pid, &w), Malicious);
+/// assert_eq!(d.infer(pid, &w), Benign);
+/// assert_eq!(d.infer(pid, &w), Benign); // holds the last value
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedDetector {
+    script: Vec<Classification>,
+    cycle: bool,
+    cursors: HashMap<ProcessId, usize>,
+}
+
+impl ScriptedDetector {
+    /// Replays `script`, wrapping around when exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty script.
+    pub fn cycle(script: Vec<Classification>) -> Self {
+        assert!(!script.is_empty(), "script must be non-empty");
+        Self {
+            script,
+            cycle: true,
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// Replays `script`, then keeps returning its final element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty script.
+    pub fn then_hold(script: Vec<Classification>) -> Self {
+        assert!(!script.is_empty(), "script must be non-empty");
+        Self {
+            script,
+            cycle: false,
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// A detector that always answers `c`.
+    pub fn constant(c: Classification) -> Self {
+        Self::then_hold(vec![c])
+    }
+}
+
+impl Detector for ScriptedDetector {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn infer(&mut self, pid: ProcessId, _window: &SampleWindow) -> Classification {
+        let cursor = self.cursors.entry(pid).or_insert(0);
+        let idx = if self.cycle {
+            *cursor % self.script.len()
+        } else {
+            (*cursor).min(self.script.len() - 1)
+        };
+        *cursor += 1;
+        self.script[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valkyrie_core::Classification::{Benign, Malicious};
+
+    #[test]
+    fn cycling_wraps() {
+        let mut d = ScriptedDetector::cycle(vec![Malicious, Benign]);
+        let w = SampleWindow::new(1);
+        let seq: Vec<_> = (0..5).map(|_| d.infer(ProcessId(1), &w)).collect();
+        assert_eq!(seq, vec![Malicious, Benign, Malicious, Benign, Malicious]);
+    }
+
+    #[test]
+    fn per_process_cursors_are_independent() {
+        let mut d = ScriptedDetector::cycle(vec![Malicious, Benign]);
+        let w = SampleWindow::new(1);
+        assert_eq!(d.infer(ProcessId(1), &w), Malicious);
+        assert_eq!(d.infer(ProcessId(2), &w), Malicious);
+        assert_eq!(d.infer(ProcessId(1), &w), Benign);
+    }
+
+    #[test]
+    fn constant_never_changes() {
+        let mut d = ScriptedDetector::constant(Benign);
+        let w = SampleWindow::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.infer(ProcessId(3), &w), Benign);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_script_panics() {
+        let _ = ScriptedDetector::cycle(vec![]);
+    }
+}

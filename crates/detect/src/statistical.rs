@@ -1,0 +1,290 @@
+//! A z-score threshold detector over HPC samples.
+//!
+//! Fit a per-event mean/standard-deviation baseline from benign traces;
+//! classify an epoch as malicious when the average of the largest per-event
+//! z-scores of its latest measurement exceeds a threshold. This is the
+//! "simple statistical detector" of the paper's case studies — effective at
+//! spotting the wild counter profiles of cache attacks, rowhammer and
+//! cryptominers, but false-positive prone on bursty benign programs.
+
+use crate::Detector;
+use valkyrie_core::{Classification, ProcessId};
+use valkyrie_hpc::{HpcSample, SampleWindow, EVENT_COUNT};
+
+/// The z-score detector.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_detect::{Detector, StatisticalDetector};
+/// use valkyrie_core::{Classification, ProcessId};
+/// use valkyrie_hpc::{HpcSample, SampleWindow, Signature};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let benign: Vec<HpcSample> =
+///     (0..200).map(|_| Signature::cpu_bound().sample(&mut rng, 1.0)).collect();
+/// let mut det = StatisticalDetector::fit(&benign, 4.0);
+///
+/// let mut w = SampleWindow::new(8);
+/// w.push(Signature::llc_thrashing().sample(&mut rng, 1.0));
+/// assert_eq!(det.infer(ProcessId(1), &w), Classification::Malicious);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatisticalDetector {
+    mean: [f64; EVENT_COUNT],
+    std: [f64; EVENT_COUNT],
+    threshold: f64,
+    normalized: bool,
+}
+
+impl StatisticalDetector {
+    /// Number of top per-event z-scores averaged into the anomaly score.
+    const TOP_K: usize = 3;
+
+    /// Fits the benign baseline and sets the anomaly threshold (in σ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benign` is empty or `threshold` is not positive.
+    pub fn fit(benign: &[HpcSample], threshold: f64) -> Self {
+        Self::fit_inner(benign, threshold, false)
+    }
+
+    /// Like [`StatisticalDetector::fit`] but z-scores are computed on
+    /// *per-cycle rates* (`event / cycles`) instead of raw counts.
+    ///
+    /// Rate features are invariant to CPU-time throttling: a benign process
+    /// that Valkyrie slows down keeps its per-cycle profile, so throttling
+    /// cannot snowball into further false positives — exactly how deployed
+    /// HPC detectors normalise their features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benign` is empty or `threshold` is not positive.
+    pub fn fit_normalized(benign: &[HpcSample], threshold: f64) -> Self {
+        Self::fit_inner(benign, threshold, true)
+    }
+
+    fn fit_inner(benign: &[HpcSample], threshold: f64, normalized: bool) -> Self {
+        assert!(!benign.is_empty(), "baseline needs benign samples");
+        assert!(threshold > 0.0, "threshold must be positive");
+        let feats: Vec<[f64; EVENT_COUNT]> = benign
+            .iter()
+            .map(|s| Self::featurize(s, normalized))
+            .collect();
+        let n = feats.len() as f64;
+        let mut mean = [0.0; EVENT_COUNT];
+        for f in &feats {
+            for (m, v) in mean.iter_mut().zip(f) {
+                *m += v / n;
+            }
+        }
+        let mut var = [0.0; EVENT_COUNT];
+        for f in &feats {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(f) {
+                let d = x - m;
+                *v += d * d / n;
+            }
+        }
+        let mut std = [0.0; EVENT_COUNT];
+        for ((s, v), m) in std.iter_mut().zip(&var).zip(&mean) {
+            // Relative per-feature floor so near-constant features don't
+            // divide by ~0 while small-magnitude rates keep their signal.
+            *s = v.sqrt().max(1e-4 * m.abs() + 1e-12);
+        }
+        Self {
+            mean,
+            std,
+            threshold,
+            normalized,
+        }
+    }
+
+    fn featurize(sample: &HpcSample, normalized: bool) -> [f64; EVENT_COUNT] {
+        let mut f = *sample.as_features();
+        if normalized {
+            let cycles = sample.get(valkyrie_hpc::HpcEvent::Cycles).max(1.0);
+            for v in f.iter_mut() {
+                *v /= cycles;
+            }
+        }
+        f
+    }
+
+    /// The anomaly threshold in σ.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Returns a copy with a scaled threshold (platform noise knob: noisier
+    /// platforms use a *lower* effective threshold).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        self.threshold = threshold;
+        self
+    }
+
+    /// Anomaly score of one sample: mean of the top-3 per-event |z|.
+    pub fn score(&self, sample: &HpcSample) -> f64 {
+        let feats = Self::featurize(sample, self.normalized);
+        let mut zs: Vec<f64> = feats
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((x, m), s)| ((x - m) / s).abs())
+            .collect();
+        zs.sort_by(|a, b| b.partial_cmp(a).expect("z-scores are finite"));
+        zs.iter().take(Self::TOP_K).sum::<f64>() / Self::TOP_K as f64
+    }
+}
+
+impl Detector for StatisticalDetector {
+    fn name(&self) -> &str {
+        "statistical-zscore"
+    }
+
+    fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
+        match window.latest() {
+            Some(sample) if self.score(sample) > self.threshold => Classification::Malicious,
+            _ => Classification::Benign,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use valkyrie_hpc::Signature;
+
+    fn baseline(rng: &mut StdRng) -> Vec<HpcSample> {
+        let families = [
+            Signature::cpu_bound(),
+            Signature::memory_bound(),
+            Signature::graphics_bound(),
+        ];
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            for f in &families {
+                out.push(f.sample(rng, 1.0));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn attacks_score_far_above_benign() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let det = StatisticalDetector::fit(&baseline(&mut rng), 4.0);
+        let benign_score = det.score(&Signature::cpu_bound().sample(&mut rng, 1.0));
+        let spy_score = det.score(&Signature::llc_thrashing().sample(&mut rng, 1.0));
+        let hammer_score = det.score(&Signature::hammering().sample(&mut rng, 1.0));
+        assert!(spy_score > 3.0 * benign_score, "spy {spy_score} vs {benign_score}");
+        assert!(hammer_score > 3.0 * benign_score);
+    }
+
+    #[test]
+    fn detects_attacks_with_high_tpr() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut det = StatisticalDetector::fit(&baseline(&mut rng), 4.0);
+        let mut hits = 0;
+        for _ in 0..100 {
+            let mut w = SampleWindow::new(2);
+            w.push(Signature::hammering().sample(&mut rng, 1.0));
+            if det.infer(ProcessId(1), &w) == Classification::Malicious {
+                hits += 1;
+            }
+        }
+        assert!(hits > 90, "TPR too low: {hits}/100");
+    }
+
+    #[test]
+    fn benign_fp_rate_is_low_but_nonzero_for_bursty_programs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut det = StatisticalDetector::fit(&baseline(&mut rng), 4.0);
+        // Clean benign: essentially no FPs.
+        let mut fps = 0;
+        for _ in 0..300 {
+            let mut w = SampleWindow::new(2);
+            w.push(Signature::cpu_bound().sample(&mut rng, 1.0));
+            if det.infer(ProcessId(1), &w) == Classification::Malicious {
+                fps += 1;
+            }
+        }
+        assert!(fps < 15, "clean benign FPs: {fps}/300");
+        // Bursty benign (3x spikes) does trip the detector sometimes.
+        let bursty = Signature::cpu_bound().scaled(3.0);
+        let mut bursty_fps = 0;
+        for _ in 0..300 {
+            let mut w = SampleWindow::new(2);
+            w.push(bursty.sample(&mut rng, 1.0));
+            if det.infer(ProcessId(1), &w) == Classification::Malicious {
+                bursty_fps += 1;
+            }
+        }
+        assert!(bursty_fps > fps, "bursty programs should trip more often");
+    }
+
+    #[test]
+    fn empty_window_is_benign() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut det = StatisticalDetector::fit(&baseline(&mut rng), 4.0);
+        let w = SampleWindow::new(2);
+        assert_eq!(det.infer(ProcessId(1), &w), Classification::Benign);
+    }
+
+    #[test]
+    fn threshold_knob_shifts_sensitivity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let det = StatisticalDetector::fit(&baseline(&mut rng), 4.0);
+        let strict = det.clone().with_threshold(100.0);
+        let sample = Signature::llc_thrashing().sample(&mut rng, 1.0);
+        assert!(det.score(&sample) > det.threshold());
+        assert!(strict.score(&sample) < strict.threshold());
+    }
+
+    #[test]
+    #[should_panic(expected = "benign samples")]
+    fn empty_baseline_panics() {
+        let _ = StatisticalDetector::fit(&[], 4.0);
+    }
+
+    #[test]
+    fn normalized_scores_are_invariant_to_throttling() {
+        // A benign program throttled to 5% CPU keeps its per-cycle profile,
+        // so the normalized detector's score barely moves — no FP snowball.
+        let mut rng = StdRng::seed_from_u64(10);
+        let det = StatisticalDetector::fit_normalized(&baseline(&mut rng), 4.0);
+        let sig = Signature::cpu_bound();
+        let mut full = 0.0;
+        let mut throttled = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            full += det.score(&sig.sample(&mut rng, 1.0));
+            throttled += det.score(&sig.sample(&mut rng, 0.05));
+        }
+        let (full, throttled) = (full / n as f64, throttled / n as f64);
+        assert!(
+            (throttled - full).abs() < 0.5 * full + 0.5,
+            "full {full} vs throttled {throttled}"
+        );
+    }
+
+    #[test]
+    fn normalized_detector_still_flags_attacks_when_throttled() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut det = StatisticalDetector::fit_normalized(&baseline(&mut rng), 4.0);
+        let mut hits = 0;
+        for _ in 0..100 {
+            let mut w = SampleWindow::new(2);
+            w.push(Signature::llc_thrashing().sample(&mut rng, 0.02));
+            if det.infer(ProcessId(1), &w) == Classification::Malicious {
+                hits += 1;
+            }
+        }
+        assert!(hits > 90, "throttled spy detection {hits}/100");
+    }
+}

@@ -1,0 +1,171 @@
+//! Majority voting over a detector's per-epoch inferences.
+//!
+//! The paper's terminable-state decision is only taken once the detector has
+//! accumulated `N*` measurements — at which point its verdict should be
+//! based on all of them, not just the latest sample. [`VotingDetector`]
+//! wraps any per-epoch detector: up to `vote_after` observed measurements it
+//! passes the inner inference through unchanged (driving the epoch-by-epoch
+//! throttling), and from then on it answers with the majority vote over the
+//! retained window — the higher-efficacy verdict the termination decision
+//! relies on.
+
+use crate::Detector;
+use valkyrie_core::{Classification, ProcessId};
+use valkyrie_hpc::{HpcSample, SampleWindow};
+
+/// A per-sample scorer usable for windowed voting.
+///
+/// Implemented by [`StatisticalDetector`](crate::StatisticalDetector); any
+/// detector that can classify a single sample can be wrapped.
+pub trait SampleClassifier {
+    /// Classifies one measurement.
+    fn classify_sample(&self, sample: &HpcSample) -> Classification;
+}
+
+impl SampleClassifier for crate::StatisticalDetector {
+    fn classify_sample(&self, sample: &HpcSample) -> Classification {
+        if self.score(sample) > self.threshold() {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+/// Majority-vote wrapper (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_detect::{Detector, StatisticalDetector, VotingDetector};
+/// use valkyrie_core::{Classification, ProcessId};
+/// use valkyrie_hpc::{SampleWindow, Signature};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let benign: Vec<_> = (0..200).map(|_| Signature::cpu_bound().sample(&mut rng, 1.0)).collect();
+/// let inner = StatisticalDetector::fit_normalized(&benign, 4.0);
+/// let mut det = VotingDetector::new(inner, 5);
+///
+/// let mut w = SampleWindow::new(16);
+/// for _ in 0..8 {
+///     w.push(Signature::cpu_bound().sample(&mut rng, 1.0));
+/// }
+/// assert_eq!(det.infer(ProcessId(1), &w), Classification::Benign);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VotingDetector<C> {
+    inner: C,
+    vote_after: u64,
+}
+
+impl<C: SampleClassifier> VotingDetector<C> {
+    /// Wraps `inner`; majority voting starts once `vote_after` measurements
+    /// have been observed for the process.
+    pub fn new(inner: C, vote_after: u64) -> Self {
+        Self { inner, vote_after }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Majority vote over the window (malicious iff strictly more than half
+    /// of the retained samples classify malicious).
+    pub fn majority(&self, window: &SampleWindow) -> Classification {
+        let malicious = window
+            .samples()
+            .iter()
+            .filter(|s| self.inner.classify_sample(s) == Classification::Malicious)
+            .count();
+        if 2 * malicious > window.len() {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+impl<C: SampleClassifier> Detector for VotingDetector<C> {
+    fn name(&self) -> &str {
+        "majority-voting"
+    }
+
+    fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
+        let Some(latest) = window.latest() else {
+            return Classification::Benign;
+        };
+        if window.total_observed() < self.vote_after {
+            self.inner.classify_sample(latest)
+        } else {
+            self.majority(window)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StatisticalDetector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use valkyrie_hpc::Signature;
+
+    fn detector(vote_after: u64) -> (VotingDetector<StatisticalDetector>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let benign: Vec<HpcSample> = (0..400)
+            .flat_map(|_| {
+                [
+                    Signature::cpu_bound().sample(&mut rng, 1.0),
+                    Signature::memory_bound().sample(&mut rng, 1.0),
+                    Signature::graphics_bound().sample(&mut rng, 1.0),
+                ]
+            })
+            .collect();
+        (
+            VotingDetector::new(StatisticalDetector::fit_normalized(&benign, 4.0), vote_after),
+            rng,
+        )
+    }
+
+    #[test]
+    fn passes_through_before_vote_threshold() {
+        let (mut det, mut rng) = detector(100);
+        let mut w = SampleWindow::new(100);
+        w.push(Signature::hammering().sample(&mut rng, 1.0));
+        assert_eq!(det.infer(ProcessId(1), &w), Classification::Malicious);
+    }
+
+    #[test]
+    fn majority_saves_bursty_benign_process() {
+        let (mut det, mut rng) = detector(10);
+        let mut w = SampleWindow::new(30);
+        // 30% of epochs burst (look malicious), 70% are clean.
+        for i in 0..30 {
+            if i % 10 < 3 {
+                w.push(Signature::hammering().sample(&mut rng, 1.0));
+            } else {
+                w.push(Signature::cpu_bound().sample(&mut rng, 1.0));
+            }
+        }
+        assert_eq!(det.infer(ProcessId(1), &w), Classification::Benign);
+    }
+
+    #[test]
+    fn majority_still_condemns_attacks() {
+        let (mut det, mut rng) = detector(10);
+        let mut w = SampleWindow::new(30);
+        for _ in 0..30 {
+            w.push(Signature::hammering().sample(&mut rng, 1.0));
+        }
+        assert_eq!(det.infer(ProcessId(1), &w), Classification::Malicious);
+    }
+
+    #[test]
+    fn empty_window_is_benign() {
+        let (mut det, _) = detector(1);
+        let w = SampleWindow::new(4);
+        assert_eq!(det.infer(ProcessId(1), &w), Classification::Benign);
+    }
+}

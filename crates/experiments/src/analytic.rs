@@ -1,0 +1,131 @@
+//! The Section V-C worked example, computed from the slowdown model.
+//!
+//! Setup: the detector needs `N* = 15` epochs; penalty and compensation are
+//! incremental; the actuator drops the CPU share by 10 % for every unit of
+//! threat-index increase with a 1 % floor. The paper reports a 79.6 %
+//! slowdown for an always-flagged attack and 26 % for a benign process
+//! falsely flagged in its first five epochs.
+//!
+//! The actuator sentence is ambiguous; this module evaluates the plausible
+//! readings side by side (see `DESIGN.md`): the percentage-point reading
+//! reproduces the attack number almost exactly.
+
+use crate::harness::TextTable;
+use valkyrie_core::{
+    simulate_response, AssessmentFn, Classification, ShareActuator, ThrottleLaw,
+};
+
+/// One interpretation's computed slowdowns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticRow {
+    /// Actuator interpretation.
+    pub interpretation: &'static str,
+    /// All-malicious (attack) slowdown, percent.
+    pub attack_pct: f64,
+    /// FP-then-recover slowdown, percent.
+    pub false_positive_pct: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct AnalyticResult {
+    /// One row per actuator interpretation.
+    pub rows: Vec<AnalyticRow>,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the worked example for each actuator interpretation.
+pub fn run() -> AnalyticResult {
+    let n_star = 15;
+    let attack = vec![Classification::Malicious; 15];
+    let mut fp_trace = vec![Classification::Malicious; 5];
+    fp_trace.extend(vec![Classification::Benign; 10]);
+
+    let interpretations: Vec<(&'static str, ThrottleLaw)> = vec![
+        (
+            "10 pp per unit of threat (percentage points)",
+            ThrottleLaw::PercentPointPerUnit { step: 0.10 },
+        ),
+        (
+            "x0.9 per unit of threat (multiplicative)",
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+        ),
+        (
+            "Eq. 8 scheduler weight (gamma = 0.1)",
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, law) in interpretations {
+        let actuator = ShareActuator::new(valkyrie_core::ResourceKind::Cpu, law, 0.01);
+        let attack_trace = simulate_response(
+            n_star,
+            &attack,
+            AssessmentFn::incremental(),
+            AssessmentFn::incremental(),
+            actuator,
+        );
+        let fp = simulate_response(
+            n_star,
+            &fp_trace,
+            AssessmentFn::incremental(),
+            AssessmentFn::incremental(),
+            actuator,
+        );
+        rows.push(AnalyticRow {
+            interpretation: name,
+            attack_pct: attack_trace.cpu_slowdown_percent(),
+            false_positive_pct: fp.cpu_slowdown_percent(),
+        });
+    }
+
+    let mut t = TextTable::new(vec![
+        "actuator interpretation",
+        "attack slowdown",
+        "FP slowdown",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.interpretation.to_string(),
+            format!("{:.1}%", r.attack_pct),
+            format!("{:.1}%", r.false_positive_pct),
+        ]);
+    }
+    let report = format!(
+        "Section V-C worked example (N* = 15, incremental Fp/Fc, 1% CPU floor)\n\
+         paper: attack 79.6%, false positive 26%\n\n{}",
+        t.render()
+    );
+    AnalyticResult { rows, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentage_point_reading_matches_paper_attack_number() {
+        let r = run();
+        let pp = &r.rows[0];
+        assert!(
+            (pp.attack_pct - 79.6).abs() < 1.5,
+            "attack {}%",
+            pp.attack_pct
+        );
+    }
+
+    #[test]
+    fn fp_slowdown_is_always_well_below_attack_slowdown() {
+        for row in run().rows {
+            assert!(
+                row.false_positive_pct < row.attack_pct - 20.0,
+                "{}: fp {}% vs attack {}%",
+                row.interpretation,
+                row.false_positive_pct,
+                row.attack_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Runs the design-choice ablation sweeps.
+fn main() {
+    println!("{}", valkyrie_experiments::ablations::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Section V-C worked example.
+fn main() {
+    println!("{}", valkyrie_experiments::analytic::run().report);
+}

@@ -1,0 +1,5 @@
+//! Runs the two-level detection study (Section VII recommendation).
+fn main() {
+    let cfg = valkyrie_experiments::ensemble::EnsembleConfig::default();
+    println!("{}", valkyrie_experiments::ensemble::run(&cfg).report);
+}

@@ -1,0 +1,5 @@
+//! Runs the adaptive-attacker (evasion) study.
+fn main() {
+    let cfg = valkyrie_experiments::evasion::EvasionConfig::default();
+    println!("{}", valkyrie_experiments::evasion::run(&cfg).report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 1 (detection efficacy vs number of measurements).
+fn main() {
+    let cfg = valkyrie_experiments::fig1::Fig1Config::default();
+    println!("{}", valkyrie_experiments::fig1::run(&cfg).report);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4a.
+fn main() {
+    let cfg = valkyrie_experiments::fig4::Fig4Config::default();
+    println!("{}", valkyrie_experiments::fig4::run_a(&cfg).report);
+}

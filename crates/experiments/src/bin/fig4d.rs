@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4d (CJAG bits transmitted per channel count).
+fn main() {
+    let cfg = valkyrie_experiments::fig4::Fig4Config::default();
+    println!("{}", valkyrie_experiments::fig4::run_d(&cfg).report);
+}

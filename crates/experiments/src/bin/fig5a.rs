@@ -1,0 +1,5 @@
+//! Regenerates Fig. 5a (false-positive slowdowns across the roster).
+fn main() {
+    let cfg = valkyrie_experiments::fig5::Fig5Config::default();
+    println!("{}", valkyrie_experiments::fig5::run_5a(&cfg).report);
+}

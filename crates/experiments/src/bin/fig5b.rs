@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5b (Valkyrie vs migration responses).
+fn main() {
+    let cfg = valkyrie_experiments::fig5::Fig5Config::default();
+    let a = valkyrie_experiments::fig5::run_5a(&cfg);
+    println!("{}", valkyrie_experiments::fig5::run_5b(&cfg, &a).report);
+}

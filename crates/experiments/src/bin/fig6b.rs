@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6b.
+fn main() {
+    let cfg = valkyrie_experiments::fig6::Fig6Config::default();
+    println!("{}", valkyrie_experiments::fig6::run_b(&cfg).report);
+}

@@ -1,0 +1,5 @@
+//! Quantifies Table I: every post-detection response on identical traces.
+fn main() {
+    let cfg = valkyrie_experiments::responses::ResponsesConfig::default();
+    println!("{}", valkyrie_experiments::responses::run(&cfg).report);
+}

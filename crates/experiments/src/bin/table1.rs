@@ -1,0 +1,4 @@
+//! Regenerates Table I (post-detection response survey).
+fn main() {
+    println!("{}", valkyrie_experiments::table1::run());
+}

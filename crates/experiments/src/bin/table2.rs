@@ -1,0 +1,5 @@
+//! Regenerates Table II (resource availability vs attack progress).
+fn main() {
+    let cfg = valkyrie_experiments::table2::Table2Config::default();
+    println!("{}", valkyrie_experiments::table2::run(&cfg).report);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (case-study configuration matrix).
+fn main() {
+    println!("{}", valkyrie_experiments::table3::run());
+}

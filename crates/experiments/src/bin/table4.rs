@@ -1,0 +1,5 @@
+//! Regenerates Table IV (per-platform slowdowns).
+fn main() {
+    let cfg = valkyrie_experiments::table4::Table4Config::default();
+    println!("{}", valkyrie_experiments::table4::run(&cfg).report);
+}

@@ -1,0 +1,295 @@
+//! Two-level detection, quantified (the Section VII recommendation).
+//!
+//! The paper's discussion points to multi-level detection (Ozsoy et al.) as
+//! the way to harden a detector before augmenting it with Valkyrie. This
+//! experiment measures what the composition actually buys on the Fig. 1
+//! ransomware-vs-benign corpus:
+//!
+//! * a **screen** — a cheap pooled ANN with a lowered decision threshold
+//!   (high recall, high FPR), the kind of model a resource-constrained
+//!   deployment can afford every epoch;
+//! * a **confirmer** — an expensive boosted-tree majority vote, precise but
+//!   costly, consulted only on screened epochs;
+//! * the **two-level pipeline** — final verdict is malicious only when both
+//!   agree, so its FPR is bounded by the confirmer's while the confirmer
+//!   runs on only the screen-positive fraction of epochs;
+//! * a **majority panel** over all three model families, the
+//!   mixture-of-experts shape of Karapoola et al.
+//!
+//! The report shows the efficacy of each configuration over the number of
+//! measurements, plus the confirmer's duty cycle — the cost saving that
+//! makes the expensive model deployable.
+
+use crate::harness::{fmt, pct, TextTable};
+use valkyrie_core::EfficacyCurve;
+use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
+use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
+use valkyrie_ml::{
+    BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, Standardizer, SvmConfig,
+};
+
+/// Experiment parameters (mirrors [`crate::fig1::Fig1Config`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Ransomware variants in the corpus.
+    pub ransomware: usize,
+    /// Benign programs in the corpus.
+    pub benign: usize,
+    /// Measurements per trace.
+    pub trace_len: usize,
+    /// Largest measurement count on the x-axis.
+    pub grid_max: u32,
+    /// Cap on per-measurement training samples.
+    pub train_cap: usize,
+    /// Screen decision threshold (below the usual 0.5: higher recall).
+    pub screen_threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            ransomware: 67,
+            benign: 77,
+            trace_len: 80,
+            grid_max: 75,
+            train_cap: 4000,
+            screen_threshold: 0.30,
+            seed: 0xE5E,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    /// A scaled-down configuration for tests and benches.
+    pub fn quick() -> Self {
+        Self {
+            ransomware: 12,
+            benign: 14,
+            trace_len: 30,
+            grid_max: 25,
+            train_cap: 800,
+            screen_threshold: 0.30,
+            seed: 0xE5E,
+        }
+    }
+}
+
+/// Measured curves for every detector configuration.
+#[derive(Debug, Clone)]
+pub struct EnsembleResult {
+    /// Cheap screen alone (lowered threshold).
+    pub screen: EfficacyCurve,
+    /// Expensive confirmer alone.
+    pub confirmer: EfficacyCurve,
+    /// Two-level pipeline (screen gates confirmer).
+    pub two_level: EfficacyCurve,
+    /// Majority panel over the three model families.
+    pub panel: EfficacyCurve,
+    /// Fraction of *benign* test traces on which the confirmer ran, per
+    /// grid point (the two-level pipeline's cost metric on a mostly-benign
+    /// fleet).
+    pub confirmer_duty_cycle: Vec<(u32, f64)>,
+    /// Rendered report.
+    pub report: String,
+}
+
+fn pooled_mean(prefix: &[Vec<f64>]) -> Vec<f64> {
+    let dim = prefix[0].len();
+    let mut mean = vec![0.0; dim];
+    for x in prefix {
+        for (m, v) in mean.iter_mut().zip(x) {
+            *m += v / prefix.len() as f64;
+        }
+    }
+    mean
+}
+
+fn majority<C: BinaryClassifier>(model: &C, std: &Standardizer, prefix: &[Vec<f64>]) -> bool {
+    let malicious = prefix
+        .iter()
+        .filter(|x| model.classify(&std.transform(x)))
+        .count();
+    2 * malicious > prefix.len()
+}
+
+fn capped(mut xs: Vec<Vec<f64>>, mut ys: Vec<f64>, cap: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    if xs.len() > cap {
+        let stride = xs.len().div_ceil(cap);
+        xs = xs.into_iter().step_by(stride).collect();
+        ys = ys.into_iter().step_by(stride).collect();
+    }
+    (xs, ys)
+}
+
+/// Runs the two-level detection experiment.
+pub fn run(config: &EnsembleConfig) -> EnsembleResult {
+    let corpus = generate_corpus(&CorpusConfig {
+        ransomware_variants: config.ransomware,
+        benign_programs: config.benign,
+        trace_len: config.trace_len,
+        seed: config.seed,
+    });
+    let (train, test) = corpus.split(0.7);
+    let flat_train = train.flatten();
+    let standardizer = Standardizer::fit(&flat_train.features);
+
+    let (xs, ys) = capped(
+        standardizer.transform_all(&flat_train.features),
+        flat_train.labels.clone(),
+        config.train_cap,
+    );
+    let svm = valkyrie_ml::LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+    let gbdt = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
+    // The screen is a pooled small ANN trained exactly like Fig. 1's.
+    let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
+    let ann = Mlp::train(&MlpConfig::small_ann(px[0].len()).with_epochs(150), &px, &py);
+
+    let screen_fires = |p: &[Vec<f64>]| {
+        ann.predict_proba(&standardizer.transform(&pooled_mean(p))) >= config.screen_threshold
+    };
+    let confirm_fires = |p: &[Vec<f64>]| majority(&gbdt, &standardizer, p);
+
+    let grid = EfficacyGrid::new((1..=config.grid_max).step_by(2).collect());
+    let screen = measure_efficacy(&test, &grid, screen_fires).expect("non-empty grid");
+    let confirmer = measure_efficacy(&test, &grid, confirm_fires).expect("non-empty grid");
+    let two_level =
+        measure_efficacy(&test, &grid, |p| screen_fires(p) && confirm_fires(p)).expect("grid");
+    let panel = measure_efficacy(&test, &grid, |p| {
+        let votes = usize::from(screen_fires(p))
+            + usize::from(majority(&svm, &standardizer, p))
+            + usize::from(confirm_fires(p));
+        votes >= 2
+    })
+    .expect("non-empty grid");
+
+    // Duty cycle: the confirmer runs only when the screen fires. Measured
+    // on the *benign* traces — a deployed fleet is overwhelmingly benign,
+    // so this is the fraction of epochs the expensive model actually costs.
+    let benign_seqs: Vec<&Vec<Vec<f64>>> = test
+        .sequences
+        .iter()
+        .zip(&test.labels)
+        .filter(|(_, &label)| label == 0.0)
+        .map(|(seq, _)| seq)
+        .collect();
+    let confirmer_duty_cycle: Vec<(u32, f64)> = grid
+        .points()
+        .iter()
+        .map(|&n| {
+            let fired = benign_seqs
+                .iter()
+                .filter(|seq| {
+                    let take = (n as usize).min(seq.len());
+                    screen_fires(&seq[..take])
+                })
+                .count();
+            (n, fired as f64 / benign_seqs.len().max(1) as f64)
+        })
+        .collect();
+
+    let report = render(config, &screen, &confirmer, &two_level, &panel, &confirmer_duty_cycle);
+    EnsembleResult {
+        screen,
+        confirmer,
+        two_level,
+        panel,
+        confirmer_duty_cycle,
+        report,
+    }
+}
+
+fn pooled_training_set(
+    train: &valkyrie_ml::SequenceDataset,
+    std: &Standardizer,
+    trace_len: usize,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let lens = [1usize, 3, 5, 10, 20, 40, trace_len];
+    for (seq, &label) in train.sequences.iter().zip(&train.labels) {
+        for &len in &lens {
+            let take = len.min(seq.len());
+            xs.push(std.transform(&pooled_mean(&seq[..take])));
+            ys.push(label);
+        }
+    }
+    (xs, ys)
+}
+
+fn render(
+    config: &EnsembleConfig,
+    screen: &EfficacyCurve,
+    confirmer: &EfficacyCurve,
+    two_level: &EfficacyCurve,
+    panel: &EfficacyCurve,
+    duty: &[(u32, f64)],
+) -> String {
+    let mut t = TextTable::new(vec![
+        "measurements",
+        "FPR screen",
+        "FPR confirmer",
+        "FPR two-level",
+        "FPR panel",
+        "F1 two-level",
+        "confirmer duty (benign)",
+    ]);
+    for (i, p) in screen.points().iter().enumerate() {
+        t.row(vec![
+            p.measurements.to_string(),
+            fmt(p.fpr, 3),
+            fmt(confirmer.points()[i].fpr, 3),
+            fmt(two_level.points()[i].fpr, 3),
+            fmt(panel.points()[i].fpr, 3),
+            fmt(two_level.points()[i].f1, 3),
+            pct(duty[i].1 * 100.0),
+        ]);
+    }
+    format!(
+        "Two-level detection (Section VII) — screen threshold {:.2}\n\
+         corpus: {} ransomware + {} benign traces of {} measurements\n\n{}",
+        config.screen_threshold,
+        config.ransomware,
+        config.benign,
+        config.trace_len,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_level_fpr_never_exceeds_either_stage() {
+        let r = run(&EnsembleConfig::quick());
+        for (i, p) in r.two_level.points().iter().enumerate() {
+            assert!(p.fpr <= r.screen.points()[i].fpr + 1e-9);
+            assert!(p.fpr <= r.confirmer.points()[i].fpr + 1e-9);
+        }
+    }
+
+    #[test]
+    fn confirmer_duty_cycle_is_a_fraction() {
+        let r = run(&EnsembleConfig::quick());
+        for &(_, d) in &r.confirmer_duty_cycle {
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn two_level_keeps_useful_recall() {
+        let r = run(&EnsembleConfig::quick());
+        let last = r.two_level.points().last().unwrap();
+        assert!(last.f1 > 0.6, "two-level F1 collapsed: {}", last.f1);
+    }
+
+    #[test]
+    fn report_renders_all_configurations() {
+        let r = run(&EnsembleConfig::quick());
+        for key in ["screen", "confirmer", "two-level", "panel", "duty"] {
+            assert!(r.report.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Fig. 1 — detection efficacy (F1, FPR) versus number of measurements for
+//! four detector families trained on the ransomware-vs-benign HPC corpus.
+
+use crate::harness::{fmt, TextTable};
+use valkyrie_core::{EfficacyCurve, EfficacySpec};
+use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
+use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
+use valkyrie_ml::{
+    BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, SequenceDataset, Standardizer,
+    SvmConfig,
+};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Config {
+    /// Ransomware variants in the corpus (paper: 67).
+    pub ransomware: usize,
+    /// Benign programs in the corpus (paper: SPEC-2006; we use 77).
+    pub benign: usize,
+    /// Measurements per trace.
+    pub trace_len: usize,
+    /// Largest measurement count on the x-axis (paper: 75).
+    pub grid_max: u32,
+    /// Cap on per-measurement training samples (bounds GBDT cost).
+    pub train_cap: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Self {
+            ransomware: 67,
+            benign: 77,
+            trace_len: 80,
+            grid_max: 75,
+            train_cap: 4000,
+            seed: 0xF161,
+        }
+    }
+}
+
+impl Fig1Config {
+    /// A scaled-down configuration for tests and benches.
+    pub fn quick() -> Self {
+        Self {
+            ransomware: 12,
+            benign: 14,
+            trace_len: 30,
+            grid_max: 25,
+            train_cap: 800,
+            seed: 0xF161,
+        }
+    }
+}
+
+/// The four measured curves plus the rendered report.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Small ANN (1 hidden layer × 4) curve.
+    pub small_ann: EfficacyCurve,
+    /// Large ANN (2 hidden layers × 8) curve.
+    pub large_ann: EfficacyCurve,
+    /// Linear SVM (majority vote) curve.
+    pub svm: EfficacyCurve,
+    /// Gradient-boosted trees (majority vote) curve.
+    pub xgboost: EfficacyCurve,
+    /// Human-readable report.
+    pub report: String,
+}
+
+fn pooled_mean(prefix: &[Vec<f64>]) -> Vec<f64> {
+    let dim = prefix[0].len();
+    let mut mean = vec![0.0; dim];
+    for x in prefix {
+        for (m, v) in mean.iter_mut().zip(x) {
+            *m += v / prefix.len() as f64;
+        }
+    }
+    mean
+}
+
+fn majority<C: BinaryClassifier>(model: &C, std: &Standardizer, prefix: &[Vec<f64>]) -> bool {
+    let malicious = prefix
+        .iter()
+        .filter(|x| model.classify(&std.transform(x)))
+        .count();
+    2 * malicious > prefix.len()
+}
+
+/// Runs the Fig. 1 experiment.
+pub fn run(config: &Fig1Config) -> Fig1Result {
+    let corpus = generate_corpus(&CorpusConfig {
+        ransomware_variants: config.ransomware,
+        benign_programs: config.benign,
+        trace_len: config.trace_len,
+        seed: config.seed,
+    });
+    let (train, test) = corpus.split(0.7);
+
+    // Standardise on the training measurements.
+    let flat_train = train.flatten();
+    let standardizer = Standardizer::fit(&flat_train.features);
+
+    // Per-measurement models (SVM / XGBoost style).
+    let (xs, ys) = capped(
+        standardizer.transform_all(&flat_train.features),
+        flat_train.labels.clone(),
+        config.train_cap,
+    );
+    let svm = valkyrie_ml::LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+    let xgb = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
+
+    // Pooled-feature ANNs: train on prefix means of several lengths so the
+    // models see both noisy short-horizon and clean long-horizon inputs.
+    let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
+    let small = Mlp::train(&MlpConfig::small_ann(px[0].len()).with_epochs(150), &px, &py);
+    let large = Mlp::train(&MlpConfig::large_ann(px[0].len()).with_epochs(150), &px, &py);
+
+    let grid = EfficacyGrid::new((1..=config.grid_max).step_by(2).collect());
+    let small_ann = measure_efficacy(&test, &grid, |p| {
+        small.predict_proba(&standardizer.transform(&pooled_mean(p))) >= 0.5
+    })
+    .expect("non-empty grid");
+    let large_ann = measure_efficacy(&test, &grid, |p| {
+        large.predict_proba(&standardizer.transform(&pooled_mean(p))) >= 0.5
+    })
+    .expect("non-empty grid");
+    let svm_curve =
+        measure_efficacy(&test, &grid, |p| majority(&svm, &standardizer, p)).expect("grid");
+    let xgb_curve =
+        measure_efficacy(&test, &grid, |p| majority(&xgb, &standardizer, p)).expect("grid");
+
+    let report = render(config, &small_ann, &large_ann, &svm_curve, &xgb_curve);
+    Fig1Result {
+        small_ann,
+        large_ann,
+        svm: svm_curve,
+        xgboost: xgb_curve,
+        report,
+    }
+}
+
+fn capped(mut xs: Vec<Vec<f64>>, mut ys: Vec<f64>, cap: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    if xs.len() > cap {
+        // Deterministic stride subsampling keeps class balance.
+        let stride = xs.len().div_ceil(cap);
+        xs = xs.into_iter().step_by(stride).collect();
+        ys = ys.into_iter().step_by(stride).collect();
+    }
+    (xs, ys)
+}
+
+fn pooled_training_set(
+    train: &SequenceDataset,
+    std: &Standardizer,
+    trace_len: usize,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let lens = [1usize, 3, 5, 10, 20, 40, trace_len];
+    for (seq, &label) in train.sequences.iter().zip(&train.labels) {
+        for &len in &lens {
+            let take = len.min(seq.len());
+            xs.push(std.transform(&pooled_mean(&seq[..take])));
+            ys.push(label);
+        }
+    }
+    (xs, ys)
+}
+
+fn render(
+    config: &Fig1Config,
+    small: &EfficacyCurve,
+    large: &EfficacyCurve,
+    svm: &EfficacyCurve,
+    xgb: &EfficacyCurve,
+) -> String {
+    let mut t = TextTable::new(vec![
+        "measurements",
+        "F1 smallANN",
+        "F1 largeANN",
+        "F1 SVM",
+        "F1 XGBoost",
+        "FPR smallANN",
+        "FPR largeANN",
+        "FPR SVM",
+        "FPR XGBoost",
+    ]);
+    for (i, p) in small.points().iter().enumerate() {
+        t.row(vec![
+            p.measurements.to_string(),
+            fmt(p.f1, 3),
+            fmt(large.points()[i].f1, 3),
+            fmt(svm.points()[i].f1, 3),
+            fmt(xgb.points()[i].f1, 3),
+            fmt(p.fpr, 3),
+            fmt(large.points()[i].fpr, 3),
+            fmt(svm.points()[i].fpr, 3),
+            fmt(xgb.points()[i].fpr, 3),
+        ]);
+    }
+    let mut out = String::from("Fig. 1 — detection efficacy vs number of measurements\n");
+    out.push_str(&format!(
+        "corpus: {} ransomware + {} benign traces of {} measurements\n\n",
+        config.ransomware, config.benign, config.trace_len
+    ));
+    out.push_str(&t.render());
+    // The paper's planner narrative.
+    if let Ok(n) = xgb.measurements_required(&EfficacySpec::f1_at_least(0.9)) {
+        out.push_str(&format!(
+            "\nN* for XGBoost F1 >= 0.9: {n} measurements ({:.1} s at one per 100 ms; paper: 23 / 2.3 s)\n",
+            n as f64 / 10.0
+        ));
+    }
+    if let Ok(n) = xgb.measurements_required(&EfficacySpec::fpr_at_most(0.10)) {
+        out.push_str(&format!(
+            "N* for XGBoost FPR <= 10%: {n} measurements ({:.1} s; paper: ~50 / 5 s)\n",
+            n as f64 / 10.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig1_produces_improving_curves() {
+        let r = run(&Fig1Config::quick());
+        for curve in [&r.small_ann, &r.large_ann, &r.svm, &r.xgboost] {
+            let first = curve.points().first().unwrap();
+            let best_late = curve.f1_at(curve.points().last().unwrap().measurements);
+            assert!(
+                best_late.unwrap() >= first.f1 - 1e-9,
+                "monotone envelope must not degrade"
+            );
+        }
+        assert!(r.report.contains("Fig. 1"));
+    }
+
+    #[test]
+    fn xgboost_reaches_high_f1_with_enough_measurements() {
+        let r = run(&Fig1Config::quick());
+        let f1 = r.xgboost.f1_at(25).unwrap();
+        assert!(f1 > 0.8, "XGBoost F1 {f1} at 25 measurements");
+    }
+}

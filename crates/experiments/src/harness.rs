@@ -1,0 +1,147 @@
+//! Plain-text table/series formatting shared by all experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_experiments::TextTable;
+/// let mut t = TextTable::new(vec!["x", "y"]);
+/// t.row(vec!["1".into(), "2".into()]);
+/// let s = t.render();
+/// assert!(s.contains('1') && s.contains('y'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:width$}", cell, width = widths[i] + 2);
+                let _ = i;
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(rule.min(cols * 40)));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with `d` decimals.
+pub fn fmt(v: f64, d: usize) -> String {
+    format!("{v:.d$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Geometric mean of positive-shifted values: the paper reports geometric
+/// means of slowdown percentages, which can be ~0; we shift by 1 % to keep
+/// the mean defined, matching common benchmarking practice.
+pub fn geo_mean_pct(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| (v.max(0.0) + 1.0).ln()).sum();
+    (log_sum / values.len() as f64).exp() - 1.0
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let mut t = TextTable::new(vec!["a", "bb"]);
+        t.row(vec!["1".into(), "22".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        for cell in ["a", "bb", "1", "22", "333", "4"] {
+            assert!(s.contains(cell), "missing {cell} in\n{s}");
+        }
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        let g = geo_mean_pct(&[0.0, 0.0]);
+        assert!(g.abs() < 1e-12);
+        let g = geo_mean_pct(&[3.0, 3.0]);
+        assert!((g - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt(1.234, 2), "1.23");
+        assert_eq!(pct(12.34), "12.3%");
+    }
+}

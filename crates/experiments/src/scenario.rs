@@ -1,0 +1,275 @@
+//! The augmented-run driver: a simulated machine whose processes are
+//! watched by a detector and governed by a Valkyrie engine (paper Fig. 2).
+
+use std::collections::{BTreeMap, HashMap};
+use valkyrie_core::{Action, EngineConfig, ProcessState, ValkyrieEngine};
+use valkyrie_detect::Detector;
+use valkyrie_hpc::SampleWindow;
+use valkyrie_sim::machine::{EpochReport, Machine};
+use valkyrie_sim::Pid;
+
+/// Which machine lever the engine's CPU share drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuLever {
+    /// Scale the CFS weight (the paper's Eq. 8 scheduler actuator, used by
+    /// the micro-architectural and rowhammer case studies).
+    SchedulerWeight,
+    /// Set a cgroup `cpu.max`-style quota (used by the ransomware and
+    /// cryptominer case studies).
+    CgroupQuota,
+}
+
+/// Scenario wiring options.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// How CPU shares map onto the machine.
+    pub cpu_lever: CpuLever,
+    /// Measurement-window capacity per process.
+    pub window: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            cpu_lever: CpuLever::SchedulerWeight,
+            window: 100,
+        }
+    }
+}
+
+/// Per-epoch record for one monitored process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Workload progress this epoch (`B_i(R_i)`).
+    pub progress: f64,
+    /// Fig. 3 state after this epoch's inference.
+    pub state: ProcessState,
+    /// CPU share Valkyrie enforced after this epoch.
+    pub cpu_share: f64,
+    /// Threat index after this epoch.
+    pub threat: f64,
+}
+
+/// A machine + detector + Valkyrie engine loop.
+///
+/// Call [`AugmentedRun::watch`] on the processes Valkyrie should govern,
+/// then [`AugmentedRun::step`] once per epoch.
+pub struct AugmentedRun<D: Detector> {
+    machine: Machine,
+    engine: ValkyrieEngine,
+    detector: D,
+    config: ScenarioConfig,
+    windows: HashMap<Pid, SampleWindow>,
+    history: HashMap<Pid, Vec<EpochRecord>>,
+}
+
+impl<D: Detector> AugmentedRun<D> {
+    /// Wires a machine, an engine configuration and a detector together.
+    pub fn new(
+        machine: Machine,
+        engine_config: EngineConfig,
+        detector: D,
+        config: ScenarioConfig,
+    ) -> Self {
+        Self {
+            machine,
+            engine: ValkyrieEngine::new(engine_config),
+            detector,
+            config,
+            windows: HashMap::new(),
+            history: HashMap::new(),
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the underlying machine (spawning, filesystems...).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Registers `pid` for detection + response.
+    pub fn watch(&mut self, pid: Pid) {
+        self.windows
+            .entry(pid)
+            .or_insert_with(|| SampleWindow::new(self.config.window));
+        self.history.entry(pid).or_default();
+    }
+
+    /// Per-epoch records of a watched process.
+    pub fn history(&self, pid: Pid) -> &[EpochRecord] {
+        self.history.get(&pid).map_or(&[], Vec::as_slice)
+    }
+
+    /// Current Fig. 3 state of a watched process (None before its first
+    /// epoch).
+    pub fn state(&self, pid: Pid) -> Option<ProcessState> {
+        self.engine.state(pid.into())
+    }
+
+    /// Runs one epoch: machine, then detection, then response.
+    pub fn step(&mut self) -> BTreeMap<Pid, EpochReport> {
+        let reports = self.machine.run_epoch();
+        for (&pid, report) in &reports {
+            let Some(window) = self.windows.get_mut(&pid) else {
+                continue; // unwatched process
+            };
+            if !self.machine.is_alive(pid) && !self.machine.is_completed(pid) {
+                continue;
+            }
+            window.push(report.hpc);
+            let inference = self.detector.infer(pid.into(), window);
+            let resp = self.engine.observe(pid.into(), inference);
+            // A cycle-end restore starts a fresh detection episode: the
+            // detector's measurement history resets along with the
+            // monitor's counters.
+            if resp.action == Action::RestoreAndRecycle {
+                *window = SampleWindow::new(self.config.window);
+            }
+            match resp.action {
+                Action::Terminate => self.machine.terminate(pid),
+                Action::Throttle
+                | Action::Recover
+                | Action::Restore
+                | Action::RestoreAndRecycle => {
+                    match self.config.cpu_lever {
+                        CpuLever::SchedulerWeight => {
+                            self.machine.set_weight_scale(pid, resp.resources.cpu);
+                        }
+                        CpuLever::CgroupQuota => {
+                            self.machine.set_cpu_quota(pid, resp.resources.cpu);
+                        }
+                    }
+                    self.machine.set_memory_limit(pid, resp.resources.mem);
+                    self.machine.set_fs_share(pid, resp.resources.fs);
+                }
+                Action::None => {}
+            }
+            if self.machine.is_completed(pid) {
+                let _ = self.engine.complete(pid.into());
+            }
+            self.history.entry(pid).or_default().push(EpochRecord {
+                progress: report.progress,
+                state: resp.state,
+                cpu_share: resp.resources.cpu,
+                threat: resp.threat.value(),
+            });
+        }
+        reports
+    }
+
+    /// Runs `n` epochs.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valkyrie_attacks::cryptominer::Cryptominer;
+    use valkyrie_core::{AssessmentFn, Classification, ShareActuator};
+    use valkyrie_detect::ScriptedDetector;
+    use valkyrie_sim::machine::MachineConfig;
+    use valkyrie_workloads::{roster, BenchmarkWorkload};
+
+    fn engine_config(n_star: u64) -> EngineConfig {
+        EngineConfig::builder()
+            .measurements_required(n_star)
+            .penalty(AssessmentFn::incremental())
+            .compensation(AssessmentFn::incremental())
+            .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn attack_flagged_every_epoch_is_throttled_then_terminated() {
+        let machine = Machine::new(MachineConfig::default());
+        let detector = ScriptedDetector::constant(Classification::Malicious);
+        let mut run = AugmentedRun::new(
+            machine,
+            engine_config(10),
+            detector,
+            ScenarioConfig::default(),
+        );
+        let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+        run.watch(pid);
+        run.run(15);
+        assert_eq!(run.state(pid), Some(ProcessState::Terminated));
+        assert!(!run.machine().is_alive(pid));
+        let hist = run.history(pid);
+        // Progress decays while throttled, then stops at termination.
+        assert!(hist[0].progress > 0.0);
+        let last = hist.last().unwrap();
+        assert_eq!(last.state, ProcessState::Terminated);
+    }
+
+    #[test]
+    fn benign_process_with_clean_detector_is_untouched() {
+        let machine = Machine::new(MachineConfig::default());
+        let detector = ScriptedDetector::constant(Classification::Benign);
+        let mut run = AugmentedRun::new(
+            machine,
+            engine_config(5),
+            detector,
+            ScenarioConfig::default(),
+        );
+        let mut spec = roster().remove(0);
+        spec.epochs_to_complete = 8;
+        let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+        run.watch(pid);
+        run.run(8);
+        assert!(run.machine().is_completed(pid));
+        let hist = run.history(pid);
+        assert!(hist.iter().all(|r| r.cpu_share == 1.0));
+    }
+
+    #[test]
+    fn false_positive_burst_recovers_fully() {
+        use Classification::{Benign, Malicious};
+        let machine = Machine::new(MachineConfig::default());
+        let detector =
+            ScriptedDetector::then_hold(vec![Malicious, Malicious, Benign, Benign, Benign]);
+        let mut run = AugmentedRun::new(
+            machine,
+            engine_config(50),
+            detector,
+            ScenarioConfig::default(),
+        );
+        let mut spec = roster().remove(0);
+        spec.epochs_to_complete = 1000;
+        let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+        run.watch(pid);
+        run.run(10);
+        let hist = run.history(pid);
+        assert!(hist[1].cpu_share < 1.0, "throttled after FPs");
+        assert_eq!(*hist.last().map(|r| &r.cpu_share).unwrap(), 1.0);
+        assert_eq!(run.state(pid), Some(ProcessState::Normal));
+    }
+
+    #[test]
+    fn cgroup_lever_also_throttles() {
+        let machine = Machine::new(MachineConfig::default());
+        let detector = ScriptedDetector::constant(Classification::Malicious);
+        let mut run = AugmentedRun::new(
+            machine,
+            engine_config(100),
+            detector,
+            ScenarioConfig {
+                cpu_lever: CpuLever::CgroupQuota,
+                window: 16,
+            },
+        );
+        let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+        run.watch(pid);
+        run.run(10);
+        let hist = run.history(pid);
+        assert!(hist.last().unwrap().progress < hist[0].progress / 2.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Table II — progress of the hash-and-exfiltrate example attack under
+//! varying availability of each system resource.
+
+use crate::harness::TextTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use valkyrie_attacks::exfiltration::Exfiltration;
+use valkyrie_sim::fs::SimFs;
+use valkyrie_sim::machine::{Machine, MachineConfig};
+use valkyrie_sim::Pid;
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Config {
+    /// Epochs measured per configuration.
+    pub epochs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            seed: 0x7AB2,
+        }
+    }
+}
+
+impl Table2Config {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            epochs: 30,
+            seed: 0x7AB2,
+        }
+    }
+}
+
+/// One measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Resource being throttled.
+    pub resource: &'static str,
+    /// Human-readable availability setting.
+    pub setting: String,
+    /// Measured progress in KB/s.
+    pub kb_per_s: f64,
+    /// Slowdown relative to the default row, in percent.
+    pub slowdown_pct: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// All measured rows (default first per resource).
+    pub rows: Vec<Table2Row>,
+    /// Rendered table.
+    pub report: String,
+}
+
+fn machine(seed: u64) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    });
+    let rng = StdRng::seed_from_u64(seed ^ 0xF5);
+    let mut fs = SimFs::new();
+    // ~100 files/s at 2257 B/file gives the paper's 225.7 KB/s default.
+    let _ = rng;
+    for i in 0..1_000_000 {
+        fs.push(format!("/data/f{i}"), 2257);
+    }
+    m.set_filesystem(fs);
+    m
+}
+
+fn measure<F: FnOnce(&mut Machine, Pid)>(config: &Table2Config, setup: F) -> f64 {
+    let mut m = machine(config.seed);
+    let pid = m.spawn(Box::new(Exfiltration::default()));
+    setup(&mut m, pid);
+    let mut bytes = 0.0;
+    for _ in 0..config.epochs {
+        bytes += m.run_epoch().get(&pid).map_or(0.0, |r| r.progress);
+    }
+    bytes / 1000.0 / (config.epochs as f64 * 0.1)
+}
+
+/// Runs the Table II sweep.
+pub fn run(config: &Table2Config) -> Table2Result {
+    let default_rate = measure(config, |_, _| {});
+    let mut rows = Vec::new();
+    let mut push = |resource, setting: String, rate: f64| {
+        rows.push(Table2Row {
+            resource,
+            setting,
+            kb_per_s: rate,
+            slowdown_pct: (1.0 - rate / default_rate) * 100.0,
+        });
+    };
+
+    push("CPU", "100% [default]".into(), default_rate);
+    for quota in [0.9, 0.5, 0.01] {
+        let r = measure(config, |m, pid| m.set_cpu_quota(pid, quota));
+        push("CPU", format!("{:.0}%", quota * 100.0), r);
+    }
+
+    push("Memory", "4.7M [default]".into(), default_rate);
+    for (label, frac) in [("4.6M (93.6%)", 4.6 / 4.7), ("4.4M (89.4%)", 4.4 / 4.7)] {
+        let r = measure(config, |m, pid| m.set_memory_limit(pid, frac));
+        push("Memory", label.into(), r);
+    }
+
+    push("Network", "1024G [default]".into(), default_rate);
+    for (label, cap) in [
+        ("512G", 5.12e11),
+        ("512M", 5.12e8),
+        ("512K", 5.12e5),
+    ] {
+        let r = measure(config, |m, pid| m.set_network_cap(pid, cap));
+        push("Network", label.into(), r);
+    }
+
+    push("Filesystem", "100 files/s [default]".into(), default_rate);
+    for (label, share) in [
+        ("90 files/s", 0.9),
+        ("50 files/s", 0.5),
+        ("1 file/s", 0.01),
+    ] {
+        let r = measure(config, |m, pid| m.set_fs_share(pid, share));
+        push("Filesystem", label.into(), r);
+    }
+
+    let mut t = TextTable::new(vec!["Resource", "Availability", "KB/s", "Slowdown"]);
+    for row in &rows {
+        t.row(vec![
+            row.resource.to_string(),
+            row.setting.clone(),
+            format!("{:.2}", row.kb_per_s),
+            format!("{:.2}%", row.slowdown_pct),
+        ]);
+    }
+    let report = format!(
+        "Table II — exfiltration-attack progress vs available resources\n(paper default: 225.7 KB/s)\n\n{}",
+        t.render()
+    );
+    Table2Result { rows, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_paper_shape() {
+        let r = run(&Table2Config::quick());
+        let find = |res: &str, set: &str| {
+            r.rows
+                .iter()
+                .find(|row| row.resource == res && row.setting.starts_with(set))
+                .unwrap_or_else(|| panic!("missing row {res}/{set}"))
+        };
+        // Default near 225.7 KB/s.
+        let d = find("CPU", "100%");
+        assert!((d.kb_per_s - 225.7).abs() < 20.0, "default {:.1}", d.kb_per_s);
+        // CPU is roughly proportional.
+        assert!(find("CPU", "50%").slowdown_pct > 35.0);
+        assert!(find("CPU", "1%").slowdown_pct > 98.0);
+        // Memory collapses sharply.
+        assert!(find("Memory", "4.6M").slowdown_pct > 99.0);
+        assert!(find("Memory", "4.4M").slowdown_pct >= find("Memory", "4.6M").slowdown_pct);
+        // Network shaping: ~11% at 512G, ~75% at 512M, ~100% at 512K.
+        let n512g = find("Network", "512G").slowdown_pct;
+        assert!((n512g - 11.4).abs() < 6.0, "512G slowdown {n512g}");
+        let n512m = find("Network", "512M").slowdown_pct;
+        assert!((n512m - 74.9).abs() < 10.0, "512M slowdown {n512m}");
+        assert!(find("Network", "512K").slowdown_pct > 99.0);
+        // Filesystem proportional.
+        let f50 = find("Filesystem", "50 files/s").slowdown_pct;
+        assert!((f50 - 49.6).abs() < 10.0, "50 files/s slowdown {f50}");
+    }
+}

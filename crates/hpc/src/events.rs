@@ -1,0 +1,125 @@
+//! The fixed HPC event set sampled each epoch.
+
+use std::fmt;
+
+/// Number of distinct hardware events in an [`crate::HpcSample`].
+pub const EVENT_COUNT: usize = 10;
+
+/// A hardware performance counter event.
+///
+/// The set mirrors the events used by the HPC-based detectors the paper
+/// augments (Alam et al., Briongos et al., Mushtaq et al.): instruction and
+/// cycle counts, cache behaviour at both L1 and LLC, branch prediction, TLB
+/// behaviour, memory traffic and OS-visible faults.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_hpc::HpcEvent;
+/// assert_eq!(HpcEvent::ALL.len(), valkyrie_hpc::EVENT_COUNT);
+/// assert_eq!(HpcEvent::Instructions.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HpcEvent {
+    /// Retired instructions.
+    Instructions,
+    /// Unhalted core cycles.
+    Cycles,
+    /// L1 data-cache misses.
+    L1dMisses,
+    /// L1 instruction-cache misses.
+    L1iMisses,
+    /// Last-level-cache misses.
+    LlcMisses,
+    /// Last-level-cache references.
+    LlcRefs,
+    /// Mispredicted branches.
+    BranchMisses,
+    /// Data-TLB misses.
+    DtlbMisses,
+    /// Retired store operations.
+    Stores,
+    /// Page faults (minor + major).
+    PageFaults,
+}
+
+impl HpcEvent {
+    /// All events, in feature-vector order.
+    pub const ALL: [HpcEvent; EVENT_COUNT] = [
+        HpcEvent::Instructions,
+        HpcEvent::Cycles,
+        HpcEvent::L1dMisses,
+        HpcEvent::L1iMisses,
+        HpcEvent::LlcMisses,
+        HpcEvent::LlcRefs,
+        HpcEvent::BranchMisses,
+        HpcEvent::DtlbMisses,
+        HpcEvent::Stores,
+        HpcEvent::PageFaults,
+    ];
+
+    /// Position of this event inside an [`crate::HpcSample`] feature vector.
+    pub fn index(self) -> usize {
+        match self {
+            HpcEvent::Instructions => 0,
+            HpcEvent::Cycles => 1,
+            HpcEvent::L1dMisses => 2,
+            HpcEvent::L1iMisses => 3,
+            HpcEvent::LlcMisses => 4,
+            HpcEvent::LlcRefs => 5,
+            HpcEvent::BranchMisses => 6,
+            HpcEvent::DtlbMisses => 7,
+            HpcEvent::Stores => 8,
+            HpcEvent::PageFaults => 9,
+        }
+    }
+
+    /// Short perf-style mnemonic for the event.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            HpcEvent::Instructions => "instructions",
+            HpcEvent::Cycles => "cycles",
+            HpcEvent::L1dMisses => "L1-dcache-load-misses",
+            HpcEvent::L1iMisses => "L1-icache-load-misses",
+            HpcEvent::LlcMisses => "LLC-load-misses",
+            HpcEvent::LlcRefs => "LLC-loads",
+            HpcEvent::BranchMisses => "branch-misses",
+            HpcEvent::DtlbMisses => "dTLB-load-misses",
+            HpcEvent::Stores => "mem-stores",
+            HpcEvent::PageFaults => "page-faults",
+        }
+    }
+}
+
+impl fmt::Display for HpcEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; EVENT_COUNT];
+        for ev in HpcEvent::ALL {
+            assert!(!seen[ev.index()], "duplicate index for {ev:?}");
+            seen[ev.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn all_order_matches_index() {
+        for (i, ev) in HpcEvent::ALL.iter().enumerate() {
+            assert_eq!(ev.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        assert_eq!(HpcEvent::LlcMisses.to_string(), "LLC-load-misses");
+    }
+}

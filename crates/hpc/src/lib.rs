@@ -1,0 +1,32 @@
+//! Hardware-performance-counter (HPC) substrate.
+//!
+//! The paper's detectors consume per-epoch HPC measurements captured with the
+//! Linux `perf` tool (one measurement every 100 ms). This crate provides the
+//! simulated equivalent: a fixed set of [`HpcEvent`]s, a per-epoch
+//! [`HpcSample`] feature vector, and generative [`Signature`]s that workloads
+//! use to emit realistic, noisy counter streams.
+//!
+//! The substitution preserves what matters to Valkyrie: detectors only ever
+//! see per-process feature vectors whose distributions are
+//! separable-but-overlapping between benign programs and time-progressive
+//! attacks, so both true detections and false positives occur.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_hpc::{Signature, HpcEvent};
+//! use rand::SeedableRng;
+//!
+//! let sig = Signature::cpu_bound();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sample = sig.sample(&mut rng, 1.0);
+//! assert!(sample.get(HpcEvent::Instructions) > 0.0);
+//! ```
+
+pub mod events;
+pub mod sample;
+pub mod signature;
+
+pub use events::{HpcEvent, EVENT_COUNT};
+pub use sample::{HpcSample, SampleWindow};
+pub use signature::Signature;

@@ -1,0 +1,282 @@
+//! Per-epoch HPC measurements and sliding windows of them.
+
+use crate::events::{HpcEvent, EVENT_COUNT};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// One epoch's worth of HPC measurements for a single process.
+///
+/// Counts are stored as `f64` because downstream consumers (detectors) treat
+/// them as features; they are non-negative by construction of the emitters.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_hpc::{HpcSample, HpcEvent};
+/// let mut s = HpcSample::zero();
+/// s.add(HpcEvent::Instructions, 1.0e6);
+/// assert_eq!(s.get(HpcEvent::Instructions), 1.0e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HpcSample {
+    counts: [f64; EVENT_COUNT],
+}
+
+impl HpcSample {
+    /// A sample with every counter at zero.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Builds a sample directly from a feature vector.
+    pub fn from_counts(counts: [f64; EVENT_COUNT]) -> Self {
+        Self { counts }
+    }
+
+    /// Value of one counter.
+    pub fn get(&self, ev: HpcEvent) -> f64 {
+        self.counts[ev.index()]
+    }
+
+    /// Sets one counter.
+    pub fn set(&mut self, ev: HpcEvent, v: f64) {
+        self.counts[ev.index()] = v;
+    }
+
+    /// Adds to one counter.
+    pub fn add(&mut self, ev: HpcEvent, v: f64) {
+        self.counts[ev.index()] += v;
+    }
+
+    /// The raw feature vector, in [`HpcEvent::ALL`] order.
+    pub fn as_features(&self) -> &[f64; EVENT_COUNT] {
+        &self.counts
+    }
+
+    /// Scales every counter by `k` (used when a process only ran for a
+    /// fraction of an epoch).
+    pub fn scaled(&self, k: f64) -> Self {
+        let mut out = *self;
+        for c in &mut out.counts {
+            *c *= k;
+        }
+        out
+    }
+
+    /// Element-wise maximum with another sample.
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (a, b) in out.counts.iter_mut().zip(other.counts.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+        out
+    }
+
+    /// True if every counter is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.counts.iter().all(|c| c.is_finite() && *c >= 0.0)
+    }
+}
+
+impl Add for HpcSample {
+    type Output = HpcSample;
+    fn add(mut self, rhs: HpcSample) -> HpcSample {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for HpcSample {
+    fn add_assign(&mut self, rhs: HpcSample) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl fmt::Display for HpcSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HpcSample{{")?;
+        for (i, ev) in HpcEvent::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={:.0}", ev.mnemonic(), self.counts[i])?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A bounded sliding window over the most recent epoch samples of a process.
+///
+/// Detectors that operate on a time series (the paper's ANN / LSTM detectors)
+/// read this window; majority-vote detectors read the per-epoch samples one
+/// at a time.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_hpc::{HpcSample, SampleWindow};
+/// let mut w = SampleWindow::new(3);
+/// for _ in 0..5 {
+///     w.push(HpcSample::zero());
+/// }
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.total_observed(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleWindow {
+    capacity: usize,
+    samples: Vec<HpcSample>,
+    total_observed: u64,
+}
+
+impl SampleWindow {
+    /// Creates a window keeping the most recent `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sample window capacity must be non-zero");
+        Self {
+            capacity,
+            samples: Vec::with_capacity(capacity),
+            total_observed: 0,
+        }
+    }
+
+    /// Appends the newest sample, evicting the oldest when full.
+    pub fn push(&mut self, s: HpcSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.remove(0);
+        }
+        self.samples.push(s);
+        self.total_observed += 1;
+    }
+
+    /// Samples currently retained, oldest first.
+    pub fn samples(&self) -> &[HpcSample] {
+        &self.samples
+    }
+
+    /// Most recent sample, if any.
+    pub fn latest(&self) -> Option<&HpcSample> {
+        self.samples.last()
+    }
+
+    /// Number of samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total number of samples ever pushed (the paper's `N_t^i`).
+    pub fn total_observed(&self) -> u64 {
+        self.total_observed
+    }
+
+    /// Per-event mean over the retained samples; zero sample when empty.
+    pub fn mean(&self) -> HpcSample {
+        if self.samples.is_empty() {
+            return HpcSample::zero();
+        }
+        let mut acc = HpcSample::zero();
+        for s in &self.samples {
+            acc += *s;
+        }
+        acc.scaled(1.0 / self.samples.len() as f64)
+    }
+
+    /// Per-event population standard deviation over the retained samples.
+    pub fn std_dev(&self) -> HpcSample {
+        if self.samples.len() < 2 {
+            return HpcSample::zero();
+        }
+        let mean = self.mean();
+        let mut var = [0.0; EVENT_COUNT];
+        for s in &self.samples {
+            for (i, v) in var.iter_mut().enumerate() {
+                let d = s.as_features()[i] - mean.as_features()[i];
+                *v += d * d;
+            }
+        }
+        let n = self.samples.len() as f64;
+        let mut out = HpcSample::zero();
+        for (i, v) in var.iter().enumerate() {
+            out.set(HpcEvent::ALL[i], (v / n).sqrt());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_with(instr: f64) -> HpcSample {
+        let mut s = HpcSample::zero();
+        s.set(HpcEvent::Instructions, instr);
+        s
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = sample_with(10.0);
+        let b = sample_with(20.0);
+        let c = a + b;
+        assert_eq!(c.get(HpcEvent::Instructions), 30.0);
+        assert_eq!(c.scaled(0.5).get(HpcEvent::Instructions), 15.0);
+    }
+
+    #[test]
+    fn window_eviction_keeps_latest() {
+        let mut w = SampleWindow::new(2);
+        w.push(sample_with(1.0));
+        w.push(sample_with(2.0));
+        w.push(sample_with(3.0));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.samples()[0].get(HpcEvent::Instructions), 2.0);
+        assert_eq!(w.latest().unwrap().get(HpcEvent::Instructions), 3.0);
+        assert_eq!(w.total_observed(), 3);
+    }
+
+    #[test]
+    fn window_mean_and_std() {
+        let mut w = SampleWindow::new(4);
+        w.push(sample_with(2.0));
+        w.push(sample_with(4.0));
+        assert_eq!(w.mean().get(HpcEvent::Instructions), 3.0);
+        assert!((w.std_dev().get(HpcEvent::Instructions) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = SampleWindow::new(0);
+    }
+
+    #[test]
+    fn validity_check() {
+        let mut s = HpcSample::zero();
+        assert!(s.is_valid());
+        s.set(HpcEvent::Cycles, f64::NAN);
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    fn elementwise_max() {
+        let a = sample_with(1.0);
+        let mut b = sample_with(0.5);
+        b.set(HpcEvent::Cycles, 9.0);
+        let m = a.max(&b);
+        assert_eq!(m.get(HpcEvent::Instructions), 1.0);
+        assert_eq!(m.get(HpcEvent::Cycles), 9.0);
+    }
+}

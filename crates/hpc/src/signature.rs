@@ -1,0 +1,213 @@
+//! Generative HPC signatures for workload classes.
+//!
+//! A [`Signature`] is a per-event log-normal-ish generator (mean + relative
+//! jitter) describing what one *full epoch at 100 % CPU* of a workload looks
+//! like through the performance counters. Workloads scale the drawn sample by
+//! the CPU fraction they actually received, which is exactly how real `perf`
+//! counts shrink when a process is throttled.
+
+use crate::events::{HpcEvent, EVENT_COUNT};
+use crate::sample::HpcSample;
+use rand::Rng;
+
+/// Generative model of a workload's per-epoch HPC behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_hpc::Signature;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = Signature::llc_thrashing().sample(&mut rng, 0.5);
+/// assert!(s.is_valid());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    mean: [f64; EVENT_COUNT],
+    /// Relative jitter (coefficient of variation) per event.
+    jitter: [f64; EVENT_COUNT],
+}
+
+impl Signature {
+    /// Builds a signature from per-event means and a uniform relative jitter.
+    pub fn new(mean: [f64; EVENT_COUNT], jitter: f64) -> Self {
+        Self {
+            mean,
+            jitter: [jitter.max(0.0); EVENT_COUNT],
+        }
+    }
+
+    /// Builds a signature with per-event jitter.
+    pub fn with_jitter(mean: [f64; EVENT_COUNT], jitter: [f64; EVENT_COUNT]) -> Self {
+        Self { mean, jitter }
+    }
+
+    /// Per-event mean counts for a full epoch.
+    pub fn mean(&self) -> &[f64; EVENT_COUNT] {
+        &self.mean
+    }
+
+    /// Returns a copy with one event's mean replaced.
+    pub fn with_event(mut self, ev: HpcEvent, mean: f64) -> Self {
+        self.mean[ev.index()] = mean;
+        self
+    }
+
+    /// Returns a copy with every mean scaled by `k`.
+    pub fn scaled(mut self, k: f64) -> Self {
+        for m in &mut self.mean {
+            *m *= k;
+        }
+        self
+    }
+
+    /// Draws one epoch sample, scaled by the CPU fraction `cpu_share` the
+    /// process actually received during the epoch.
+    ///
+    /// Counts are clamped to be non-negative; jitter is applied
+    /// multiplicatively around the mean.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, cpu_share: f64) -> HpcSample {
+        let share = cpu_share.clamp(0.0, 1.0);
+        let mut counts = [0.0; EVENT_COUNT];
+        for ((count, &jitter), &mean) in counts.iter_mut().zip(&self.jitter).zip(&self.mean) {
+            let noise: f64 = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+            *count = (mean * noise.max(0.0) * share).max(0.0);
+        }
+        HpcSample::from_counts(counts)
+    }
+
+    // ----- canned class signatures -------------------------------------------------
+
+    /// Integer/FP compute-bound benign program (SPECint-like).
+    pub fn cpu_bound() -> Self {
+        Self::from_profile(3.0e8, 0.004, 0.002, 0.02, 0.45, 0.01, 0.001, 0.25, 0.08)
+    }
+
+    /// Memory-bandwidth-bound benign program (STREAM-like).
+    pub fn memory_bound() -> Self {
+        Self::from_profile(1.2e8, 0.08, 0.004, 0.06, 0.75, 0.002, 0.01, 0.33, 0.04)
+    }
+
+    /// Graphics/visualisation benign program (SPECViewperf-like).
+    pub fn graphics_bound() -> Self {
+        Self::from_profile(2.0e8, 0.02, 0.012, 0.03, 0.55, 0.006, 0.004, 0.28, 0.12)
+    }
+
+    /// Cache-attack spy: extremely high L1/LLC miss ratios, few stores.
+    pub fn llc_thrashing() -> Self {
+        Self::from_profile(1.5e8, 0.22, 0.003, 0.18, 0.95, 0.001, 0.002, 0.05, 0.01)
+    }
+
+    /// Rowhammer loop: flush+load pairs, near-100 % LLC misses, heavy dTLB.
+    pub fn hammering() -> Self {
+        Self::from_profile(0.9e8, 0.30, 0.002, 0.30, 0.99, 0.001, 0.05, 0.08, 0.01)
+    }
+
+    /// Ransomware: crypto compute + bursty file I/O (stores + page faults).
+    pub fn ransomware() -> Self {
+        Self::from_profile(2.6e8, 0.02, 0.003, 0.05, 0.60, 0.004, 0.003, 0.42, 0.90)
+    }
+
+    /// Cryptominer: long arithmetic bursts, almost no memory traffic — few
+    /// stores, few branch misses, near-zero faults per cycle.
+    pub fn cryptominer() -> Self {
+        Self::from_profile(6.0e8, 0.001, 0.001, 0.004, 0.30, 0.0002, 0.0005, 0.02, 0.005)
+    }
+
+    /// Builds a signature from ratios relative to the instruction count.
+    ///
+    /// `instr` is instructions per full epoch; the remaining arguments are
+    /// rates per instruction (misses, refs, ...), except `page_fault_rate`
+    /// which is per 10^6 instructions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_profile(
+        instr: f64,
+        l1d_miss_rate: f64,
+        l1i_miss_rate: f64,
+        llc_miss_rate_of_refs: f64,
+        llc_ref_rate_permille: f64,
+        branch_miss_rate: f64,
+        dtlb_miss_rate: f64,
+        store_rate: f64,
+        page_fault_rate: f64,
+    ) -> Self {
+        let llc_refs = instr * llc_ref_rate_permille / 1000.0;
+        let mut mean = [0.0; EVENT_COUNT];
+        mean[HpcEvent::Instructions.index()] = instr;
+        mean[HpcEvent::Cycles.index()] = instr * 1.25;
+        mean[HpcEvent::L1dMisses.index()] = instr * l1d_miss_rate;
+        mean[HpcEvent::L1iMisses.index()] = instr * l1i_miss_rate;
+        mean[HpcEvent::LlcMisses.index()] = llc_refs * llc_miss_rate_of_refs;
+        mean[HpcEvent::LlcRefs.index()] = llc_refs;
+        mean[HpcEvent::BranchMisses.index()] = instr * branch_miss_rate;
+        mean[HpcEvent::DtlbMisses.index()] = instr * dtlb_miss_rate;
+        mean[HpcEvent::Stores.index()] = instr * store_rate;
+        mean[HpcEvent::PageFaults.index()] = instr / 1.0e6 * page_fault_rate;
+        Self::new(mean, 0.10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_scales_with_cpu_share() {
+        let sig = Signature::cpu_bound();
+        let mut rng = StdRng::seed_from_u64(42);
+        let full: f64 = (0..200)
+            .map(|_| sig.sample(&mut rng, 1.0).get(HpcEvent::Instructions))
+            .sum();
+        let half: f64 = (0..200)
+            .map(|_| sig.sample(&mut rng, 0.5).get(HpcEvent::Instructions))
+            .sum();
+        let ratio = half / full;
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn samples_are_valid_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for sig in [
+            Signature::cpu_bound(),
+            Signature::memory_bound(),
+            Signature::llc_thrashing(),
+            Signature::hammering(),
+            Signature::ransomware(),
+            Signature::cryptominer(),
+            Signature::graphics_bound(),
+        ] {
+            for _ in 0..50 {
+                let share: f64 = rng.gen();
+                assert!(sig.sample(&mut rng, share).is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn attack_signatures_are_separable_from_benign() {
+        // The LLC miss *ratio* of the spy classes dwarfs benign programs.
+        let spy = Signature::llc_thrashing();
+        let benign = Signature::cpu_bound();
+        let ratio = |s: &Signature| {
+            s.mean()[HpcEvent::LlcMisses.index()] / s.mean()[HpcEvent::Instructions.index()]
+        };
+        assert!(ratio(&spy) > 10.0 * ratio(&benign));
+    }
+
+    #[test]
+    fn with_event_overrides_mean() {
+        let sig = Signature::cpu_bound().with_event(HpcEvent::PageFaults, 777.0);
+        assert_eq!(sig.mean()[HpcEvent::PageFaults.index()], 777.0);
+    }
+
+    #[test]
+    fn clamped_share_never_exceeds_full_epoch_mean_by_much() {
+        let sig = Signature::cpu_bound();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = sig.sample(&mut rng, 5.0); // clamped to 1.0
+        assert!(s.get(HpcEvent::Instructions) <= sig.mean()[0] * 1.2);
+    }
+}

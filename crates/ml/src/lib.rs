@@ -1,0 +1,56 @@
+//! From-scratch ML substrate for the Valkyrie detectors.
+//!
+//! The paper's detectors (Fig. 1, Section VI) are a small ANN (one hidden
+//! layer of 4 nodes), a large ANN (two hidden layers of 8), a linear SVM, an
+//! XGBoost-style gradient-boosted tree ensemble, and an LSTM (20-in,
+//! 8-hidden) for ransomware. All five are implemented here with no external
+//! ML dependencies:
+//!
+//! * [`linalg`] — minimal dense matrix/vector helpers;
+//! * [`mlp`] — feed-forward sigmoid networks trained by backprop/SGD;
+//! * [`lstm`] — a single-layer LSTM trained by BPTT;
+//! * [`svm`] — a linear SVM trained on the hinge loss;
+//! * [`gbdt`] — second-order gradient-boosted regression trees on the
+//!   logistic loss;
+//! * [`metrics`] — confusion-matrix metrics (F1, FPR, …);
+//! * [`dataset`] — generated HPC time-series datasets (67 ransomware
+//!   variants vs. benign programs) used to train everything.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_ml::mlp::{Mlp, MlpConfig};
+//! // Linearly separable toy data.
+//! let xs = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![0.1, 0.2], vec![0.9, 1.1]];
+//! let ys = vec![0.0, 1.0, 0.0, 1.0];
+//! let mlp = Mlp::train(&MlpConfig::new(vec![2, 6, 1]).with_epochs(2000), &xs, &ys);
+//! assert!(mlp.predict_proba(&[1.0, 1.0]) > 0.5);
+//! ```
+
+pub mod dataset;
+pub mod gbdt;
+pub mod linalg;
+pub mod lstm;
+pub mod metrics;
+pub mod mlp;
+pub mod svm;
+
+pub use dataset::{Dataset, SequenceDataset, Standardizer};
+pub use gbdt::{Gbdt, GbdtConfig};
+pub use lstm::{Lstm, LstmConfig};
+pub use metrics::ConfusionMatrix;
+pub use mlp::{Mlp, MlpConfig};
+pub use svm::{LinearSvm, SvmConfig};
+
+/// A binary classifier over fixed-size feature vectors.
+///
+/// Implemented by every per-measurement model so detectors can be generic.
+pub trait BinaryClassifier {
+    /// Probability-like score in `[0, 1]` that `x` is the positive class.
+    fn score(&self, x: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 threshold.
+    fn classify(&self, x: &[f64]) -> bool {
+        self.score(x) >= 0.5
+    }
+}

@@ -1,0 +1,204 @@
+//! Minimal dense linear-algebra helpers (row-major `f64` matrices).
+
+use rand::Rng;
+
+/// A dense row-major matrix.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_ml::linalg::Matrix;
+/// let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix with entries drawn uniformly from `[-scale, scale]`.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f64, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Builds from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or no rows are given.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "all rows must have equal length"
+        );
+        let data = rows.into_iter().flatten().collect();
+        Self {
+            rows: 0,
+            cols,
+            data,
+        }
+        .with_rows_inferred()
+    }
+
+    fn with_rows_inferred(mut self) -> Self {
+        self.rows = self.data.len().checked_div(self.cols).unwrap_or(0);
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Transposed matrix-vector product (`Mᵀ x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &m) in out.iter_mut().zip(row) {
+                *o += m * xr;
+            }
+        }
+        out
+    }
+
+    /// `self += k · (a ⊗ b)` — rank-one update used by SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, k: f64, a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), self.rows, "outer-product rows mismatch");
+        assert_eq!(b.len(), self.cols, "outer-product cols mismatch");
+        for (r, &ar) in a.iter().enumerate() {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (m, &bc) in row.iter_mut().zip(b) {
+                *m += k * ar * bc;
+            }
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot-product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_update() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(2.0, &[1.0, 0.5], &[3.0, 1.0]);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(50.0) > 0.999);
+        assert!(sigmoid(-50.0) < 0.001);
+        // Stability at extremes.
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn random_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::random(5, 5, 0.3, &mut rng);
+        for r in 0..5 {
+            for c in 0..5 {
+                assert!(m.get(r, c).abs() <= 0.3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,407 @@
+//! A single-layer LSTM binary classifier trained by backpropagation through
+//! time — the paper's ransomware detector ("an LSTM neural network \[with\] an
+//! input layer of 20 nodes, a hidden layer of 8 nodes, and an output layer
+//! with a sigmoid activation function", Section VI-C).
+
+use crate::linalg::{dot, sigmoid, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LSTM architecture and training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LstmConfig {
+    /// Input feature width per timestep.
+    pub inputs: usize,
+    /// Hidden state width.
+    pub hidden: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// Gradient-norm clip to keep BPTT stable.
+    pub grad_clip: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LstmConfig {
+    /// A config with the given widths and sensible defaults.
+    pub fn new(inputs: usize, hidden: usize) -> Self {
+        Self {
+            inputs,
+            hidden,
+            learning_rate: 0.05,
+            epochs: 60,
+            grad_clip: 5.0,
+            seed: 0x157A,
+        }
+    }
+
+    /// The paper's ransomware detector: 20 inputs, 8 hidden units.
+    pub fn paper_ransomware() -> Self {
+        Self::new(20, 8)
+    }
+
+    /// Overrides the epoch count.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gates {
+    w: Matrix, // hidden × inputs
+    u: Matrix, // hidden × hidden
+    b: Vec<f64>,
+}
+
+impl Gates {
+    fn random(h: usize, d: usize, rng: &mut StdRng) -> Self {
+        let scale = (1.0 / (d + h) as f64).sqrt();
+        Self {
+            w: Matrix::random(h, d, scale, rng),
+            u: Matrix::random(h, h, scale, rng),
+            b: vec![0.0; h],
+        }
+    }
+
+    fn pre_activation(&self, x: &[f64], h: &[f64]) -> Vec<f64> {
+        let mut z = self.w.matvec(x);
+        let uh = self.u.matvec(h);
+        for ((zi, ui), bi) in z.iter_mut().zip(&uh).zip(&self.b) {
+            *zi += ui + bi;
+        }
+        z
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct StepCache {
+    x: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    o: Vec<f64>,
+    g: Vec<f64>,
+    c: Vec<f64>,
+    h: Vec<f64>,
+}
+
+/// A trained LSTM sequence classifier.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_ml::lstm::{Lstm, LstmConfig};
+/// // Label = whether the running mean of the single feature is positive.
+/// let seqs: Vec<Vec<Vec<f64>>> = (0..20).map(|i| {
+///     let v = if i % 2 == 0 { 0.8 } else { -0.8 };
+///     (0..6).map(|_| vec![v]).collect()
+/// }).collect();
+/// let labels: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+/// let lstm = Lstm::train(&LstmConfig::new(1, 4).with_epochs(150), &seqs, &labels);
+/// assert!(lstm.predict_proba(&vec![vec![0.8]; 6]) > 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    config: LstmConfig,
+    gi: Gates,
+    gf: Gates,
+    go: Gates,
+    gg: Gates,
+    wy: Vec<f64>,
+    by: f64,
+}
+
+impl Lstm {
+    /// Trains on sequences of feature vectors with one binary label each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, lengths mismatch, or timestep widths do
+    /// not match the configured input width.
+    pub fn train(config: &LstmConfig, seqs: &[Vec<Vec<f64>>], labels: &[f64]) -> Self {
+        assert!(!seqs.is_empty(), "training set must be non-empty");
+        assert_eq!(seqs.len(), labels.len(), "one label per sequence");
+        for s in seqs {
+            assert!(!s.is_empty(), "sequences must be non-empty");
+            assert!(
+                s.iter().all(|x| x.len() == config.inputs),
+                "timestep width must match config.inputs"
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let d = config.inputs;
+        let mut net = Self {
+            config: *config,
+            gi: Gates::random(h, d, &mut rng),
+            gf: Gates::random(h, d, &mut rng),
+            go: Gates::random(h, d, &mut rng),
+            gg: Gates::random(h, d, &mut rng),
+            wy: (0..h).map(|_| (rng.gen::<f64>() - 0.5) * 0.2).collect(),
+            by: 0.0,
+        };
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        for _ in 0..config.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &idx in &order {
+                net.bptt_step(&seqs[idx], labels[idx]);
+            }
+        }
+        net
+    }
+
+    /// Probability that the sequence belongs to the positive class, using
+    /// the hidden state after the final timestep.
+    pub fn predict_proba(&self, seq: &[Vec<f64>]) -> f64 {
+        let caches = self.forward(seq);
+        let h_last = caches.last().map_or(vec![0.0; self.config.hidden], |c| {
+            c.h.clone()
+        });
+        sigmoid(dot(&self.wy, &h_last) + self.by)
+    }
+
+    /// Hard decision at the 0.5 threshold.
+    pub fn classify(&self, seq: &[Vec<f64>]) -> bool {
+        self.predict_proba(seq) >= 0.5
+    }
+
+    /// The architecture in use.
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    fn forward(&self, seq: &[Vec<f64>]) -> Vec<StepCache> {
+        let h_dim = self.config.hidden;
+        let mut h = vec![0.0; h_dim];
+        let mut c = vec![0.0; h_dim];
+        let mut caches = Vec::with_capacity(seq.len());
+        for x in seq {
+            let i: Vec<f64> = self
+                .gi
+                .pre_activation(x, &h)
+                .into_iter()
+                .map(sigmoid)
+                .collect();
+            let f: Vec<f64> = self
+                .gf
+                .pre_activation(x, &h)
+                .into_iter()
+                .map(sigmoid)
+                .collect();
+            let o: Vec<f64> = self
+                .go
+                .pre_activation(x, &h)
+                .into_iter()
+                .map(sigmoid)
+                .collect();
+            let g: Vec<f64> = self
+                .gg
+                .pre_activation(x, &h)
+                .into_iter()
+                .map(f64::tanh)
+                .collect();
+            let mut c_new = vec![0.0; h_dim];
+            for k in 0..h_dim {
+                c_new[k] = f[k] * c[k] + i[k] * g[k];
+            }
+            let mut h_new = vec![0.0; h_dim];
+            for k in 0..h_dim {
+                h_new[k] = o[k] * c_new[k].tanh();
+            }
+            caches.push(StepCache {
+                x: x.clone(),
+                i,
+                f,
+                o,
+                g,
+                c: c_new.clone(),
+                h: h_new.clone(),
+            });
+            h = h_new;
+            c = c_new;
+        }
+        caches
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn bptt_step(&mut self, seq: &[Vec<f64>], y: f64) {
+        let h_dim = self.config.hidden;
+        let lr = self.config.learning_rate;
+        let clip = self.config.grad_clip;
+        let caches = self.forward(seq);
+        let h_last = &caches.last().expect("non-empty sequence").h;
+        let p = sigmoid(dot(&self.wy, h_last) + self.by);
+        let dlogit = p - y;
+
+        // Output layer gradients.
+        let mut dh: Vec<f64> = self.wy.iter().map(|w| w * dlogit).collect();
+        for k in 0..h_dim {
+            self.wy[k] -= lr * clamp(dlogit * h_last[k], clip);
+        }
+        self.by -= lr * clamp(dlogit, clip);
+
+        let mut dc = vec![0.0; h_dim];
+        for t in (0..caches.len()).rev() {
+            let cache = &caches[t];
+            let c_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h_dim]
+            } else {
+                caches[t - 1].c.clone()
+            };
+            let h_prev: Vec<f64> = if t == 0 {
+                vec![0.0; h_dim]
+            } else {
+                caches[t - 1].h.clone()
+            };
+
+            let mut da_i = vec![0.0; h_dim];
+            let mut da_f = vec![0.0; h_dim];
+            let mut da_o = vec![0.0; h_dim];
+            let mut da_g = vec![0.0; h_dim];
+            let mut dc_prev = vec![0.0; h_dim];
+            for k in 0..h_dim {
+                let tanh_c = cache.c[k].tanh();
+                let do_k = dh[k] * tanh_c;
+                let dct = dc[k] + dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c);
+                let di_k = dct * cache.g[k];
+                let df_k = dct * c_prev[k];
+                let dg_k = dct * cache.i[k];
+                dc_prev[k] = dct * cache.f[k];
+                da_i[k] = clamp(di_k * cache.i[k] * (1.0 - cache.i[k]), clip);
+                da_f[k] = clamp(df_k * cache.f[k] * (1.0 - cache.f[k]), clip);
+                da_o[k] = clamp(do_k * cache.o[k] * (1.0 - cache.o[k]), clip);
+                da_g[k] = clamp(dg_k * (1.0 - cache.g[k] * cache.g[k]), clip);
+            }
+
+            // Upstream dh for t-1 via the recurrent weights.
+            let mut dh_prev = self.gi.u.matvec_t(&da_i);
+            for (a, b) in dh_prev.iter_mut().zip(self.gf.u.matvec_t(&da_f)) {
+                *a += b;
+            }
+            for (a, b) in dh_prev.iter_mut().zip(self.go.u.matvec_t(&da_o)) {
+                *a += b;
+            }
+            for (a, b) in dh_prev.iter_mut().zip(self.gg.u.matvec_t(&da_g)) {
+                *a += b;
+            }
+
+            // Parameter updates.
+            for (gates, da) in [
+                (&mut self.gi, &da_i),
+                (&mut self.gf, &da_f),
+                (&mut self.go, &da_o),
+                (&mut self.gg, &da_g),
+            ] {
+                gates.w.add_outer(-lr, da, &cache.x);
+                gates.u.add_outer(-lr, da, &h_prev);
+                for (b, d) in gates.b.iter_mut().zip(da.iter()) {
+                    *b -= lr * d;
+                }
+            }
+
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+    }
+}
+
+fn clamp(x: f64, limit: f64) -> f64 {
+    x.clamp(-limit, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sign_sequences(n: usize, len: usize, seed: u64) -> (Vec<Vec<Vec<f64>>>, Vec<f64>) {
+        // Positive sequences hover around +0.7, negative around -0.7.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let center = if label == 1 { 0.7 } else { -0.7 };
+            let seq = (0..len)
+                .map(|_| vec![center + (rng.gen::<f64>() - 0.5) * 0.4])
+                .collect();
+            seqs.push(seq);
+            labels.push(label as f64);
+        }
+        (seqs, labels)
+    }
+
+    #[test]
+    fn learns_sequence_polarity() {
+        let (seqs, labels) = sign_sequences(60, 8, 4);
+        let lstm = Lstm::train(&LstmConfig::new(1, 4).with_epochs(80), &seqs, &labels);
+        let acc = seqs
+            .iter()
+            .zip(&labels)
+            .filter(|(s, &y)| lstm.classify(s) == (y == 1.0))
+            .count() as f64
+            / seqs.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn longer_prefix_improves_confidence() {
+        // The paper's key premise: more measurements → better inference.
+        let (seqs, labels) = sign_sequences(60, 12, 8);
+        let lstm = Lstm::train(&LstmConfig::new(1, 4).with_epochs(80), &seqs, &labels);
+        let pos_seq = &seqs[1];
+        assert_eq!(labels[1], 1.0);
+        let p_short = lstm.predict_proba(&pos_seq[..2]);
+        let p_long = lstm.predict_proba(pos_seq);
+        assert!(
+            p_long >= p_short - 0.05,
+            "confidence should not collapse with more data: {p_short} vs {p_long}"
+        );
+        assert!(p_long > 0.5);
+    }
+
+    #[test]
+    fn paper_architecture_dimensions() {
+        let cfg = LstmConfig::paper_ransomware();
+        assert_eq!(cfg.inputs, 20);
+        assert_eq!(cfg.hidden, 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (seqs, labels) = sign_sequences(20, 4, 1);
+        let a = Lstm::train(&LstmConfig::new(1, 3).with_epochs(10), &seqs, &labels);
+        let b = Lstm::train(&LstmConfig::new(1, 3).with_epochs(10), &seqs, &labels);
+        assert_eq!(a.predict_proba(&seqs[0]), b.predict_proba(&seqs[0]));
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (seqs, labels) = sign_sequences(20, 4, 2);
+        let lstm = Lstm::train(&LstmConfig::new(1, 3).with_epochs(10), &seqs, &labels);
+        for s in &seqs {
+            let p = lstm.predict_proba(s);
+            assert!((0.0..=1.0).contains(&p) && p.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sequence")]
+    fn mismatched_labels_panic() {
+        let _ = Lstm::train(&LstmConfig::new(1, 2), &[vec![vec![0.0]]], &[]);
+    }
+}

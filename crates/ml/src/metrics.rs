@@ -1,0 +1,158 @@
+//! Binary-classification metrics (the paper's detection-efficacy measures).
+
+/// A binary confusion matrix (positive class = "malicious").
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_ml::ConfusionMatrix;
+/// let cm = ConfusionMatrix::from_pairs(
+///     [(true, true), (true, false), (false, false), (false, false)].iter().copied(),
+/// );
+/// assert_eq!(cm.tp, 1);
+/// assert_eq!(cm.fn_, 1);
+/// assert_eq!(cm.tn, 2);
+/// assert!((cm.recall() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: u64,
+    /// False positives (benign classified malicious).
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives (missed attacks). Named `fn_` because `fn` is a
+    /// keyword.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds from `(ground_truth_is_positive, predicted_positive)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (bool, bool)>>(pairs: I) -> Self {
+        let mut cm = Self::default();
+        for (truth, pred) in pairs {
+            cm.record(truth, pred);
+        }
+        cm
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: bool, pred: bool) {
+        match (truth, pred) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall / TPR `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1-score — harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False-positive rate `fp / (fp + tn)`; 0 when undefined.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Accuracy `(tp + tn) / total`; 0 when undefined.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> ConfusionMatrix {
+        ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            tn: 18,
+            fn_: 2,
+        }
+    }
+
+    #[test]
+    fn metric_identities() {
+        let c = cm();
+        assert_eq!(c.total(), 30);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+        assert!((c.fpr() - 0.1).abs() < 1e-12);
+        assert!((c.accuracy() - 26.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let c = ConfusionMatrix::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let c = ConfusionMatrix {
+            tp: 10,
+            fp: 0,
+            tn: 10,
+            fn_: 0,
+        };
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn f1_is_bounded_by_precision_and_recall() {
+        let c = cm();
+        let f1 = c.f1();
+        assert!(f1 <= c.precision().max(c.recall()) + 1e-12);
+        assert!(f1 >= c.precision().min(c.recall()) - 1e-12);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut c = ConfusionMatrix::default();
+        c.record(true, true);
+        c.record(false, true);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 1);
+    }
+}

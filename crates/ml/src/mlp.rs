@@ -1,0 +1,271 @@
+//! Feed-forward neural networks ("ANNs") trained by backpropagation.
+//!
+//! The paper's Fig. 1 detectors include a *small ANN* (one hidden layer of 4
+//! nodes) and a *large ANN* (two hidden layers of 8 nodes each); both use
+//! sigmoid activations and a sigmoid output for binary classification.
+
+use crate::linalg::{sigmoid, Matrix};
+use crate::BinaryClassifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// MLP architecture and training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Layer sizes including input and output (e.g. `[10, 4, 1]`).
+    pub layers: Vec<usize>,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Full passes over the training set.
+    pub epochs: usize,
+    /// RNG seed for weight init and shuffling.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// A config with the given layer sizes and sensible defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least two layers are given and the output layer has
+    /// exactly one unit.
+    pub fn new(layers: Vec<usize>) -> Self {
+        assert!(layers.len() >= 2, "need at least input and output layers");
+        assert_eq!(
+            *layers.last().expect("non-empty"),
+            1,
+            "binary MLP needs a single output unit"
+        );
+        Self {
+            layers,
+            learning_rate: 0.1,
+            epochs: 200,
+            seed: 0x11A9,
+        }
+    }
+
+    /// The paper's small ANN: one hidden layer of 4 nodes.
+    pub fn small_ann(inputs: usize) -> Self {
+        Self::new(vec![inputs, 4, 1])
+    }
+
+    /// The paper's large ANN: two hidden layers of 8 nodes each.
+    pub fn large_ann(inputs: usize) -> Self {
+        Self::new(vec![inputs, 8, 8, 1])
+    }
+
+    /// Overrides the epoch count.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Overrides the learning rate.
+    #[must_use]
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A trained feed-forward network with sigmoid activations.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_ml::mlp::{Mlp, MlpConfig};
+/// let xs = vec![vec![0.0], vec![1.0], vec![0.1], vec![0.9]];
+/// let ys = vec![0.0, 1.0, 0.0, 1.0];
+/// let mlp = Mlp::train(&MlpConfig::new(vec![1, 4, 1]).with_epochs(1500), &xs, &ys);
+/// assert!(mlp.predict_proba(&[0.95]) > 0.5);
+/// assert!(mlp.predict_proba(&[0.05]) < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Trains by plain SGD (one sample at a time) on binary cross-entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` differ in length, `xs` is empty, or a sample
+    /// does not match the configured input width.
+    pub fn train(config: &MlpConfig, xs: &[Vec<f64>], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "one label per sample");
+        assert!(!xs.is_empty(), "training set must be non-empty");
+        assert!(
+            xs.iter().all(|x| x.len() == config.layers[0]),
+            "sample width must match the input layer"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for w in config.layers.windows(2) {
+            let scale = (1.0 / w[0] as f64).sqrt();
+            weights.push(Matrix::random(w[1], w[0], scale, &mut rng));
+            biases.push(vec![0.0; w[1]]);
+        }
+        let mut net = Self { weights, biases };
+
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..config.epochs {
+            // Fisher-Yates shuffle for SGD.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &idx in &order {
+                net.sgd_step(&xs[idx], ys[idx], config.learning_rate);
+            }
+        }
+        net
+    }
+
+    /// Forward pass returning all layer activations (input first).
+    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = vec![x.to_vec()];
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            let mut z = w.matvec(acts.last().expect("at least the input"));
+            for (zi, bi) in z.iter_mut().zip(b) {
+                *zi = sigmoid(*zi + bi);
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64) {
+        let acts = self.forward(x);
+        let out = acts.last().expect("output layer")[0];
+        // δ for sigmoid + cross-entropy output: (p - y).
+        let mut delta = vec![out - y];
+        for l in (0..self.weights.len()).rev() {
+            let upstream = if l > 0 {
+                let mut d = self.weights[l].matvec_t(&delta);
+                for (di, ai) in d.iter_mut().zip(&acts[l]) {
+                    *di *= ai * (1.0 - ai); // sigmoid'
+                }
+                Some(d)
+            } else {
+                None
+            };
+            self.weights[l].add_outer(-lr, &delta, &acts[l]);
+            for (bi, di) in self.biases[l].iter_mut().zip(&delta) {
+                *bi -= lr * di;
+            }
+            if let Some(d) = upstream {
+                delta = d;
+            }
+        }
+    }
+
+    /// Probability that `x` belongs to the positive class.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.forward(x).last().expect("output layer")[0]
+    }
+
+    /// Number of weight layers.
+    pub fn depth(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl BinaryClassifier for Mlp {
+    fn score(&self, x: &[f64]) -> f64 {
+        self.predict_proba(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Two Gaussian-ish blobs in 4-D.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let center = if label == 1 { 1.0 } else { -1.0 };
+            let x: Vec<f64> = (0..4)
+                .map(|_| center + (rng.gen::<f64>() - 0.5))
+                .collect();
+            xs.push(x);
+            ys.push(label as f64);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let (xs, ys) = blobs(200, 7);
+        let mlp = Mlp::train(&MlpConfig::small_ann(4).with_epochs(300), &xs, &ys);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| (mlp.predict_proba(x) >= 0.5) == (y == 1.0))
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.95, "acc {correct}");
+    }
+
+    #[test]
+    fn large_ann_has_two_hidden_layers() {
+        let cfg = MlpConfig::large_ann(10);
+        assert_eq!(cfg.layers, vec![10, 8, 8, 1]);
+        let (xs, ys) = blobs(40, 9);
+        let xs10: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let mut v = x.clone();
+                v.extend(vec![0.0; 6]);
+                v
+            })
+            .collect();
+        let mlp = Mlp::train(&MlpConfig::large_ann(10).with_epochs(100), &xs10, &ys);
+        assert_eq!(mlp.depth(), 3);
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let (xs, ys) = blobs(60, 3);
+        let a = Mlp::train(&MlpConfig::small_ann(4).with_epochs(50), &xs, &ys);
+        let b = Mlp::train(&MlpConfig::small_ann(4).with_epochs(50), &xs, &ys);
+        assert_eq!(a.predict_proba(&xs[0]), b.predict_proba(&xs[0]));
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let (xs, ys) = blobs(60, 5);
+        let mlp = Mlp::train(&MlpConfig::small_ann(4).with_epochs(30), &xs, &ys);
+        for x in &xs {
+            let p = mlp.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sample")]
+    fn mismatched_labels_panic() {
+        let _ = Mlp::train(&MlpConfig::small_ann(2), &[vec![0.0, 0.0]], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single output unit")]
+    fn multi_output_rejected() {
+        let _ = MlpConfig::new(vec![4, 3, 2]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Cgroup-style resource controllers.
+//!
+//! The paper throttles processes "using management features in the Linux
+//! kernel" (cgroup v2, Section IV-B): CPU bandwidth, memory limits, network
+//! bandwidth and file-access rates. This module reproduces each controller's
+//! *response curve* — the mapping from granted resource share to attack
+//! progress measured in Table II:
+//!
+//! * CPU and filesystem shares affect progress proportionally;
+//! * network bandwidth affects progress linearly (with shaping overhead);
+//! * memory limits collapse progress sharply and non-linearly as soon as the
+//!   working set no longer fits (thrashing).
+
+/// CPU bandwidth controller (`cpu.max`-style quota).
+///
+/// A quota is the maximum fraction of the epoch a process may run,
+/// independent of what the scheduler would grant.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::cgroup::CpuController;
+/// let c = CpuController::new(0.5);
+/// assert_eq!(c.cap_ticks(1000, 700), 500);
+/// assert_eq!(c.cap_ticks(1000, 300), 300);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuController {
+    quota: f64,
+}
+
+impl CpuController {
+    /// A controller limiting the process to `quota` of each epoch
+    /// (clamped to `[0, 1]`).
+    pub fn new(quota: f64) -> Self {
+        Self {
+            quota: quota.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The configured quota.
+    pub fn quota(&self) -> f64 {
+        self.quota
+    }
+
+    /// Applies the quota to a scheduler grant within an epoch of
+    /// `epoch_ticks`.
+    pub fn cap_ticks(&self, epoch_ticks: u64, granted: u64) -> u64 {
+        let cap = (self.quota * epoch_ticks as f64).floor() as u64;
+        granted.min(cap)
+    }
+}
+
+impl Default for CpuController {
+    fn default() -> Self {
+        Self { quota: 1.0 }
+    }
+}
+
+/// Memory controller with a thrashing model.
+///
+/// Table II shows the sharp non-linearity of memory throttling: capping the
+/// example attack at 93.6 % of its working set slows it by 99.96 %, and at
+/// 89.4 % by 99.99 %. The mechanism is classic thrashing — once the limit is
+/// below the working set, cyclic/streaming accesses miss continuously and
+/// every miss pays a page-fault + reclaim cost that grows with memory
+/// pressure.
+///
+/// The efficiency model is
+/// `eff(r) = 1 / (1 + F0 · exp(k · (1 − r)))` for `r < 1` and `1` otherwise,
+/// with `F0 = 140`, `k = 45.4` calibrated against the paper's two measured
+/// points (see `DESIGN.md`).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::cgroup::MemoryController;
+/// let m = MemoryController::new(1.0);
+/// assert_eq!(m.efficiency(), 1.0);
+/// let m = MemoryController::new(0.936);
+/// assert!(m.efficiency() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryController {
+    /// Limit as a fraction of the process working set.
+    limit_frac: f64,
+}
+
+impl MemoryController {
+    /// Calibrated base fault cost.
+    const F0: f64 = 140.0;
+    /// Calibrated pressure exponent.
+    const K: f64 = 45.4;
+
+    /// A controller capping memory at `limit_frac` of the working set
+    /// (values above 1 mean "no pressure"; negative values clamp to 0).
+    pub fn new(limit_frac: f64) -> Self {
+        Self {
+            limit_frac: limit_frac.max(0.0),
+        }
+    }
+
+    /// The configured limit fraction.
+    pub fn limit_frac(&self) -> f64 {
+        self.limit_frac
+    }
+
+    /// Progress efficiency factor in `(0, 1]`.
+    pub fn efficiency(&self) -> f64 {
+        let r = self.limit_frac;
+        if r >= 1.0 {
+            return 1.0;
+        }
+        1.0 / (1.0 + Self::F0 * (Self::K * (1.0 - r)).exp())
+    }
+}
+
+impl Default for MemoryController {
+    fn default() -> Self {
+        Self { limit_frac: 1.0 }
+    }
+}
+
+/// File-access rate limiter.
+///
+/// The paper regulates filesystem access "by keeping track of the files
+/// opened and using signals to pause and resume execution"; the effect is a
+/// hard cap on files opened per second (Table II: 100 → 1 file/s).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::cgroup::FileRateLimiter;
+/// let f = FileRateLimiter::new(100.0).with_share(0.5);
+/// assert_eq!(f.files_per_epoch(100), 5.0); // 50 files/s × 0.1 s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileRateLimiter {
+    default_files_per_sec: f64,
+    share: f64,
+}
+
+impl FileRateLimiter {
+    /// A limiter whose unrestricted rate is `files_per_sec`.
+    pub fn new(files_per_sec: f64) -> Self {
+        Self {
+            default_files_per_sec: files_per_sec.max(0.0),
+            share: 1.0,
+        }
+    }
+
+    /// Returns a copy with the rate share set (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn with_share(mut self, share: f64) -> Self {
+        self.share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Current rate share.
+    pub fn share(&self) -> f64 {
+        self.share
+    }
+
+    /// Effective file-open budget for an epoch of `epoch_ticks`
+    /// (1 tick = 1 ms).
+    pub fn files_per_epoch(&self, epoch_ticks: u64) -> f64 {
+        self.default_files_per_sec * self.share * epoch_ticks as f64 / 1000.0
+    }
+}
+
+impl Default for FileRateLimiter {
+    fn default() -> Self {
+        Self::new(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_quota_clamps() {
+        assert_eq!(CpuController::new(2.0).quota(), 1.0);
+        assert_eq!(CpuController::new(-1.0).quota(), 0.0);
+    }
+
+    #[test]
+    fn cpu_cap_is_min_of_grant_and_quota() {
+        let c = CpuController::new(0.01);
+        assert_eq!(c.cap_ticks(100, 100), 1);
+        assert_eq!(c.cap_ticks(100, 0), 0);
+    }
+
+    #[test]
+    fn memory_efficiency_matches_table2_calibration() {
+        // Paper Table II: 93.6 % of working set → 99.96 % slowdown;
+        // 89.4 % → 99.99 % slowdown.
+        let eff_936 = MemoryController::new(0.936).efficiency();
+        let eff_894 = MemoryController::new(0.894).efficiency();
+        assert!(
+            (eff_936 / 3.85e-4 - 1.0).abs() < 0.25,
+            "eff(0.936) = {eff_936}"
+        );
+        assert!(
+            (eff_894 / 5.76e-5 - 1.0).abs() < 0.25,
+            "eff(0.894) = {eff_894}"
+        );
+    }
+
+    #[test]
+    fn memory_efficiency_is_monotone_and_sharp() {
+        let mut prev = 0.0;
+        for r in [0.5, 0.7, 0.9, 0.95, 0.99, 1.0] {
+            let e = MemoryController::new(r).efficiency();
+            assert!(e >= prev, "efficiency must grow with limit");
+            prev = e;
+        }
+        // Sharp: even a 1 % deficit already hurts badly.
+        assert!(MemoryController::new(0.99).efficiency() < 0.05);
+        assert_eq!(MemoryController::new(1.0).efficiency(), 1.0);
+    }
+
+    #[test]
+    fn file_rate_budget() {
+        let f = FileRateLimiter::new(100.0);
+        assert_eq!(f.files_per_epoch(100), 10.0);
+        let f = f.with_share(0.01);
+        assert!((f.files_per_epoch(100) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Discrete simulation time.
+//!
+//! One tick is one millisecond of simulated time; an epoch is the paper's
+//! 100 ms measurement interval ("a typical HPC monitoring tool captures
+//! hardware events every 100 ms").
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Milliseconds per simulation tick.
+pub const MS_PER_TICK: u64 = 1;
+
+/// Ticks per measurement epoch (100 ms).
+pub const EPOCH_TICKS: u64 = 100;
+
+/// A point in simulated time, measured in ticks since boot.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::clock::{Tick, EPOCH_TICKS};
+/// let t = Tick(0) + Tick(EPOCH_TICKS);
+/// assert_eq!(t.as_millis(), 100);
+/// assert_eq!(t.epoch(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// Simulated milliseconds since boot.
+    pub fn as_millis(self) -> u64 {
+        self.0 * MS_PER_TICK
+    }
+
+    /// Simulated seconds since boot.
+    pub fn as_secs_f64(self) -> f64 {
+        self.as_millis() as f64 / 1000.0
+    }
+
+    /// Index of the epoch containing this tick.
+    pub fn epoch(self) -> u64 {
+        self.0 / EPOCH_TICKS
+    }
+
+    /// Tick at the start of epoch `e`.
+    pub fn at_epoch(e: u64) -> Self {
+        Tick(e * EPOCH_TICKS)
+    }
+}
+
+impl Add for Tick {
+    type Output = Tick;
+    fn add(self, rhs: Tick) -> Tick {
+        Tick(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    fn add_assign(&mut self, rhs: Tick) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Tick;
+    fn sub(self, rhs: Tick) -> Tick {
+        Tick(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.as_millis())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_boundaries() {
+        assert_eq!(Tick(0).epoch(), 0);
+        assert_eq!(Tick(99).epoch(), 0);
+        assert_eq!(Tick(100).epoch(), 1);
+        assert_eq!(Tick::at_epoch(3), Tick(300));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Tick(5) + Tick(7), Tick(12));
+        assert_eq!(Tick(5) - Tick(7), Tick(0)); // saturating
+        let mut t = Tick(1);
+        t += Tick(2);
+        assert_eq!(t, Tick(3));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Tick(1500).as_millis(), 1500);
+        assert!((Tick(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

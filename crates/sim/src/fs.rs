@@ -1,0 +1,154 @@
+//! A simulated filesystem tree for ransomware / exfiltration workloads.
+
+use rand::Rng;
+
+/// One file in the simulated filesystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileNode {
+    /// Path-like identifier.
+    pub path: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Set once a ransomware workload has encrypted the file.
+    pub encrypted: bool,
+}
+
+/// A flat view of a victim filesystem (files only; directory structure is
+/// irrelevant to the modelled attacks, which walk recursively anyway).
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::fs::SimFs;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let fs = SimFs::generate(&mut rng, 100, 1 << 20);
+/// assert_eq!(fs.len(), 100);
+/// assert!(fs.total_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    files: Vec<FileNode>,
+}
+
+impl SimFs {
+    /// An empty filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates `n_files` files with log-normal-ish sizes around
+    /// `mean_size` bytes.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, n_files: usize, mean_size: u64) -> Self {
+        let mut files = Vec::with_capacity(n_files);
+        for i in 0..n_files {
+            // Log-normal via exp of a uniform-sum approximation to a normal.
+            let z: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0; // ~N(0, 0.7)
+            let size = (mean_size as f64 * (0.9 * z).exp()).max(512.0) as u64;
+            files.push(FileNode {
+                path: format!("/home/victim/doc_{i:05}.dat"),
+                size,
+                encrypted: false,
+            });
+        }
+        Self { files }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the filesystem holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// All files, in creation order.
+    pub fn files(&self) -> &[FileNode] {
+        &self.files
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Bytes already encrypted by an attacker.
+    pub fn encrypted_bytes(&self) -> u64 {
+        self.files
+            .iter()
+            .filter(|f| f.encrypted)
+            .map(|f| f.size)
+            .sum()
+    }
+
+    /// Number of files already encrypted.
+    pub fn encrypted_files(&self) -> usize {
+        self.files.iter().filter(|f| f.encrypted).count()
+    }
+
+    /// Read-only access to the `idx`-th file.
+    pub fn file(&self, idx: usize) -> Option<&FileNode> {
+        self.files.get(idx)
+    }
+
+    /// Marks the `idx`-th file as encrypted; returns its size, or `None` if
+    /// the index is out of bounds or the file was already encrypted.
+    pub fn encrypt_file(&mut self, idx: usize) -> Option<u64> {
+        let f = self.files.get_mut(idx)?;
+        if f.encrypted {
+            return None;
+        }
+        f.encrypted = true;
+        Some(f.size)
+    }
+
+    /// Adds one file (used by tests and custom scenarios).
+    pub fn push(&mut self, path: impl Into<String>, size: u64) {
+        self.files.push(FileNode {
+            path: path.into(),
+            size,
+            encrypted: false,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_produces_requested_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fs = SimFs::generate(&mut rng, 50, 4096);
+        assert_eq!(fs.len(), 50);
+        assert!(!fs.is_empty());
+        assert!(fs.files().iter().all(|f| f.size >= 512));
+    }
+
+    #[test]
+    fn sizes_center_near_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fs = SimFs::generate(&mut rng, 2000, 1 << 20);
+        let mean = fs.total_bytes() as f64 / fs.len() as f64;
+        // Log-normal mean is e^{σ²/2} above the median; just check the
+        // order of magnitude.
+        assert!(mean > 0.5 * (1 << 20) as f64 && mean < 3.0 * (1 << 20) as f64);
+    }
+
+    #[test]
+    fn encryption_bookkeeping() {
+        let mut fs = SimFs::new();
+        fs.push("/a", 100);
+        fs.push("/b", 200);
+        assert_eq!(fs.encrypt_file(0), Some(100));
+        assert_eq!(fs.encrypt_file(0), None); // already encrypted
+        assert_eq!(fs.encrypt_file(9), None); // out of bounds
+        assert_eq!(fs.encrypted_bytes(), 100);
+        assert_eq!(fs.encrypted_files(), 1);
+        assert_eq!(fs.total_bytes(), 300);
+    }
+}

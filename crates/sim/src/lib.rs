@@ -1,0 +1,55 @@
+//! Simulated OS / machine substrate for the Valkyrie reproduction.
+//!
+//! The paper evaluates Valkyrie on bare-metal Linux: the CFS scheduler is
+//! the lever of the Eq. 8 actuator, cgroup v2 controllers throttle memory /
+//! network / filesystem, and a DDR3 DIMM hosts the rowhammer experiment.
+//! This crate simulates that machine:
+//!
+//! * [`sched`] — a CFS model with kernel-style nice weights, target latency
+//!   and vruntime scheduling (Eq. 7);
+//! * [`cgroup`] — CPU quota, memory-limit thrashing model and file-rate
+//!   limiter matching the response curves of Table II;
+//! * [`net`] — token-bucket network shaping calibrated against Table II;
+//! * [`dram`] — per-refresh-window disturbance model for rowhammer;
+//! * [`fs`] — a victim filesystem for ransomware / exfiltration;
+//! * [`machine`] — composes everything and drives [`machine::Workload`]s
+//!   epoch by epoch;
+//! * [`platform`] — the three Table IV evaluation machines.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_sim::prelude::*;
+//! let mut machine = Machine::new(MachineConfig::default());
+//! assert_eq!(machine.epoch(), 0);
+//! machine.run_epoch();
+//! assert_eq!(machine.epoch(), 1);
+//! ```
+
+pub mod cgroup;
+pub mod clock;
+pub mod dram;
+pub mod fs;
+pub mod machine;
+pub mod net;
+pub mod pid;
+pub mod platform;
+pub mod sched;
+
+pub use clock::{Tick, EPOCH_TICKS, MS_PER_TICK};
+pub use machine::{EpochCtx, EpochReport, Machine, MachineConfig, Workload};
+pub use pid::Pid;
+pub use platform::Platform;
+
+/// Convenient glob import of the substrate's primary types.
+pub mod prelude {
+    pub use crate::cgroup::{CpuController, FileRateLimiter, MemoryController};
+    pub use crate::clock::{Tick, EPOCH_TICKS};
+    pub use crate::dram::{Dram, DramConfig};
+    pub use crate::fs::SimFs;
+    pub use crate::machine::{EpochCtx, EpochReport, Machine, MachineConfig, Workload};
+    pub use crate::net::NetController;
+    pub use crate::pid::Pid;
+    pub use crate::platform::Platform;
+    pub use crate::sched::{CfsScheduler, SchedConfig};
+}

@@ -1,0 +1,524 @@
+//! The simulated machine: scheduler + controllers + devices driving
+//! [`Workload`]s epoch by epoch.
+//!
+//! A [`Machine`] is the substrate every experiment runs on. Each epoch
+//! (100 ms) it:
+//!
+//! 1. runs the CFS scheduler to split the epoch's CPU ticks across runnable
+//!    processes;
+//! 2. applies per-process cgroup-style limits (CPU quota, memory limit,
+//!    network cap, file-rate share);
+//! 3. calls every live workload's [`Workload::advance`] with the granted
+//!    resources, collecting per-epoch progress and HPC samples;
+//! 4. advances shared devices (DRAM refresh windows).
+//!
+//! Valkyrie's engine plugs in through [`Machine::apply_resources`] (mapping a
+//! [`ResourceVector`] onto scheduler weight / quotas) and
+//! [`Machine::terminate`].
+
+use crate::cgroup::{CpuController, FileRateLimiter, MemoryController};
+use crate::clock::{Tick, EPOCH_TICKS};
+use crate::dram::{Dram, DramConfig};
+use crate::fs::SimFs;
+use crate::net::NetController;
+use crate::pid::Pid;
+use crate::sched::{CfsScheduler, SchedConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use valkyrie_core::ResourceVector;
+use valkyrie_hpc::HpcSample;
+
+/// Per-epoch execution context handed to a workload.
+///
+/// Everything a workload may touch during one epoch: its granted CPU time,
+/// the efficiency/budget effects of the resource controllers, the shared
+/// devices and a deterministic RNG.
+#[derive(Debug)]
+pub struct EpochCtx<'a> {
+    /// The workload's process id.
+    pub pid: Pid,
+    /// Current epoch index (0-based).
+    pub epoch: u64,
+    /// CPU ticks granted this epoch (after scheduler + quota).
+    pub cpu_ticks: u64,
+    /// Ticks in a full epoch.
+    pub epoch_ticks: u64,
+    /// Memory-thrashing efficiency factor in `(0, 1]`.
+    pub mem_efficiency: f64,
+    /// Files the workload may open this epoch.
+    pub fs_file_budget: f64,
+    /// Network controller (hard cap + shaping).
+    pub net: &'a mut NetController,
+    /// Shared DRAM bank.
+    pub dram: &'a mut Dram,
+    /// Shared victim filesystem.
+    pub fs: &'a mut SimFs,
+    /// Deterministic per-machine RNG.
+    pub rng: &'a mut StdRng,
+}
+
+impl EpochCtx<'_> {
+    /// Fraction of the epoch the workload was allowed to run.
+    pub fn cpu_share(&self) -> f64 {
+        self.cpu_ticks as f64 / self.epoch_ticks as f64
+    }
+}
+
+/// What a workload accomplished in one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// Progress in workload-specific units (bytes encrypted, hashes
+    /// computed, samples captured, …). `B_i(R_i)` in the paper.
+    pub progress: f64,
+    /// The HPC measurement the detector will see for this epoch.
+    pub hpc: HpcSample,
+    /// True when the workload finished its work this epoch.
+    pub completed: bool,
+}
+
+impl EpochReport {
+    /// A report with no progress and an all-zero HPC sample.
+    pub fn idle() -> Self {
+        Self {
+            progress: 0.0,
+            hpc: HpcSample::zero(),
+            completed: false,
+        }
+    }
+}
+
+/// A simulated process: advances once per epoch under granted resources.
+pub trait Workload: std::any::Any {
+    /// Human-readable name (benchmark or attack identifier).
+    fn name(&self) -> &str;
+
+    /// Executes one epoch under the granted resources.
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport;
+
+    /// Working-set size in bytes (used by the memory controller); `None`
+    /// means the workload is insensitive to memory limits.
+    fn working_set_bytes(&self) -> Option<u64> {
+        None
+    }
+
+    /// Type-erased self, so embedders can inspect concrete workload state
+    /// (e.g. an attack's guessing entropy) while it runs on a machine.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Machine-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Ticks per epoch (default 100 = 100 ms).
+    pub epoch_ticks: u64,
+    /// Scheduler tuning.
+    pub sched: SchedConfig,
+    /// DRAM model parameters.
+    pub dram: DramConfig,
+    /// Unrestricted file-open rate, files/second.
+    pub default_files_per_sec: f64,
+    /// RNG seed (the whole simulation is deterministic given this).
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            epoch_ticks: EPOCH_TICKS,
+            sched: SchedConfig::default(),
+            dram: DramConfig::ddr3_1333(),
+            default_files_per_sec: 100.0,
+            seed: 0x7A1C_F00D,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProcEntry {
+    workload: Box<dyn Workload>,
+    cpu: CpuController,
+    mem_limit_frac: f64,
+    net: NetController,
+    fs_share: f64,
+    alive: bool,
+    completed: bool,
+}
+
+impl std::fmt::Debug for dyn Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name())
+    }
+}
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::machine::{EpochCtx, EpochReport, Machine, MachineConfig, Workload};
+/// use valkyrie_hpc::HpcSample;
+///
+/// struct Spin;
+/// impl Workload for Spin {
+///     fn name(&self) -> &str { "spin" }
+///     fn as_any(&self) -> &dyn std::any::Any { self }
+///     fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+///         EpochReport { progress: ctx.cpu_share(), hpc: HpcSample::zero(), completed: false }
+///     }
+/// }
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// let pid = m.spawn(Box::new(Spin));
+/// let reports = m.run_epoch();
+/// assert!((reports[&pid].progress - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    sched: CfsScheduler,
+    procs: BTreeMap<Pid, ProcEntry>,
+    dram: Dram,
+    fs: SimFs,
+    rng: StdRng,
+    epoch: u64,
+    next_pid: u64,
+}
+
+impl Machine {
+    /// Boots an empty machine.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            config,
+            sched: CfsScheduler::new(config.sched),
+            procs: BTreeMap::new(),
+            dram: Dram::new(config.dram),
+            fs: SimFs::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            epoch: 0,
+            next_pid: 1,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Replaces the victim filesystem (for ransomware scenarios).
+    pub fn set_filesystem(&mut self, fs: SimFs) {
+        self.fs = fs;
+    }
+
+    /// Read access to the victim filesystem.
+    pub fn filesystem(&self) -> &SimFs {
+        &self.fs
+    }
+
+    /// Read access to the DRAM model.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Spawns a workload at nice level 0; returns its pid.
+    pub fn spawn(&mut self, workload: Box<dyn Workload>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.sched.add(pid, 0);
+        self.procs.insert(
+            pid,
+            ProcEntry {
+                workload,
+                cpu: CpuController::default(),
+                mem_limit_frac: 1.0,
+                net: NetController::unlimited(),
+                fs_share: 1.0,
+                alive: true,
+                completed: false,
+            },
+        );
+        pid
+    }
+
+    /// Whether a process is still alive (spawned, not terminated).
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs.get(&pid).is_some_and(|p| p.alive)
+    }
+
+    /// Whether a process has completed its work.
+    pub fn is_completed(&self, pid: Pid) -> bool {
+        self.procs.get(&pid).is_some_and(|p| p.completed)
+    }
+
+    /// Name of a process's workload, if it exists.
+    pub fn name_of(&self, pid: Pid) -> Option<&str> {
+        self.procs.get(&pid).map(|p| p.workload.name())
+    }
+
+    /// Downcasts a process's workload to a concrete type for inspection
+    /// (terminated processes remain inspectable).
+    pub fn workload_as<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.procs
+            .get(&pid)
+            .and_then(|p| p.workload.as_any().downcast_ref::<T>())
+    }
+
+    /// Terminates a process (Valkyrie's terminal response).
+    pub fn terminate(&mut self, pid: Pid) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.alive = false;
+            self.sched.remove(pid);
+        }
+    }
+
+    /// Maps a Valkyrie [`ResourceVector`] onto the machine's levers:
+    /// CPU share → scheduler weight scale, memory share → cgroup limit,
+    /// network share → bandwidth cap scale, fs share → file-rate share.
+    pub fn apply_resources(&mut self, pid: Pid, r: &ResourceVector) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            self.sched.set_weight_scale(pid, r.cpu.max(1e-6));
+            p.cpu = CpuController::new(1.0); // weight-based throttling only
+            p.mem_limit_frac = r.mem;
+            if r.net < 1.0 {
+                p.net.apply_share(r.net);
+            }
+            p.fs_share = r.fs;
+        }
+    }
+
+    /// Directly sets a CPU quota (cgroup `cpu.max` style), bypassing the
+    /// scheduler-weight lever. Used by cgroup-actuator case studies.
+    pub fn set_cpu_quota(&mut self, pid: Pid, quota: f64) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.cpu = CpuController::new(quota);
+        }
+    }
+
+    /// Sets the scheduler weight scale directly (Eq. 8 lever).
+    pub fn set_weight_scale(&mut self, pid: Pid, scale: f64) {
+        self.sched.set_weight_scale(pid, scale);
+    }
+
+    /// Sets the memory limit as a fraction of the workload's working set.
+    pub fn set_memory_limit(&mut self, pid: Pid, frac: f64) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.mem_limit_frac = frac.max(0.0);
+        }
+    }
+
+    /// Caps the process's network bandwidth in bytes/second.
+    pub fn set_network_cap(&mut self, pid: Pid, bytes_per_sec: f64) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.net = NetController::with_cap(bytes_per_sec);
+        }
+    }
+
+    /// Sets the file-access rate share in `[0, 1]`.
+    pub fn set_fs_share(&mut self, pid: Pid, share: f64) {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            p.fs_share = share.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Runs one epoch and returns each live process's report.
+    pub fn run_epoch(&mut self) -> BTreeMap<Pid, EpochReport> {
+        let epoch_ticks = self.config.epoch_ticks;
+        let granted = self.sched.run(epoch_ticks);
+        let mut reports = BTreeMap::new();
+        let file_rate = FileRateLimiter::new(self.config.default_files_per_sec);
+
+        let pids: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| p.alive)
+            .map(|(&pid, _)| pid)
+            .collect();
+        for pid in pids {
+            let p = self.procs.get_mut(&pid).expect("pid filtered above");
+            let sched_grant = granted.get(&pid).copied().unwrap_or(0);
+            let cpu_ticks = p.cpu.cap_ticks(epoch_ticks, sched_grant);
+            let mem_eff = MemoryController::new(p.mem_limit_frac).efficiency();
+            let fs_budget = file_rate.with_share(p.fs_share).files_per_epoch(epoch_ticks);
+            let mut ctx = EpochCtx {
+                pid,
+                epoch: self.epoch,
+                cpu_ticks,
+                epoch_ticks,
+                mem_efficiency: mem_eff,
+                fs_file_budget: fs_budget,
+                net: &mut p.net,
+                dram: &mut self.dram,
+                fs: &mut self.fs,
+                rng: &mut self.rng,
+            };
+            let report = p.workload.advance(&mut ctx);
+            if report.completed {
+                p.completed = true;
+                p.alive = false;
+                self.sched.remove(pid);
+            }
+            reports.insert(pid, report);
+        }
+
+        // Shared devices advance with wall-clock time.
+        self.dram.advance_ms(epoch_ticks, &mut self.rng);
+        self.epoch += 1;
+        reports
+    }
+
+    /// Runs `n` epochs, returning the final epoch's reports.
+    pub fn run_epochs(&mut self, n: u64) -> BTreeMap<Pid, EpochReport> {
+        let mut last = BTreeMap::new();
+        for _ in 0..n {
+            last = self.run_epoch();
+        }
+        last
+    }
+
+    /// Simulated time at the start of the current epoch.
+    pub fn now(&self) -> Tick {
+        Tick(self.epoch * self.config.epoch_ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Spin {
+        done_after: Option<u64>,
+        epochs: u64,
+    }
+
+    impl Spin {
+        fn forever() -> Self {
+            Self {
+                done_after: None,
+                epochs: 0,
+            }
+        }
+        fn for_epochs(n: u64) -> Self {
+            Self {
+                done_after: Some(n),
+                epochs: 0,
+            }
+        }
+    }
+
+    impl Workload for Spin {
+        fn name(&self) -> &str {
+            "spin"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+            self.epochs += 1;
+            EpochReport {
+                progress: ctx.cpu_share(),
+                hpc: HpcSample::zero(),
+                completed: self.done_after.is_some_and(|n| self.epochs >= n),
+            }
+        }
+    }
+
+    #[test]
+    fn lone_process_gets_full_epoch() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Spin::forever()));
+        let r = m.run_epoch();
+        assert!((r[&pid].progress - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_processes_share_the_cpu() {
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m.spawn(Box::new(Spin::forever()));
+        let b = m.spawn(Box::new(Spin::forever()));
+        // Average over some epochs to smooth slicing.
+        let mut pa = 0.0;
+        let mut pb = 0.0;
+        for _ in 0..10 {
+            let r = m.run_epoch();
+            pa += r[&a].progress;
+            pb += r[&b].progress;
+        }
+        assert!((pa - 5.0).abs() < 1.0, "a got {pa}");
+        assert!((pb - 5.0).abs() < 1.0, "b got {pb}");
+    }
+
+    #[test]
+    fn weight_scale_starves_suspect() {
+        let mut m = Machine::new(MachineConfig::default());
+        let suspect = m.spawn(Box::new(Spin::forever()));
+        let victim = m.spawn(Box::new(Spin::forever()));
+        m.set_weight_scale(suspect, 0.01);
+        let mut ps = 0.0;
+        let mut pv = 0.0;
+        for _ in 0..20 {
+            let r = m.run_epoch();
+            ps += r[&suspect].progress;
+            pv += r[&victim].progress;
+        }
+        assert!(ps < pv / 5.0, "suspect {ps} vs victim {pv}");
+    }
+
+    #[test]
+    fn cpu_quota_caps_lone_process() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Spin::forever()));
+        m.set_cpu_quota(pid, 0.25);
+        let r = m.run_epoch();
+        assert!(r[&pid].progress <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn apply_resources_maps_to_levers() {
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m.spawn(Box::new(Spin::forever()));
+        let _b = m.spawn(Box::new(Spin::forever()));
+        m.apply_resources(a, &ResourceVector::new(0.1, 1.0, 1.0, 0.5));
+        let mut pa = 0.0;
+        for _ in 0..20 {
+            pa += m.run_epoch()[&a].progress;
+        }
+        // Weight 0.1 vs 1.0 → expected share ≈ 0.1/1.1 ≈ 0.09.
+        assert!(pa / 20.0 < 0.2, "share {}", pa / 20.0);
+    }
+
+    #[test]
+    fn completion_removes_process() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Spin::for_epochs(3)));
+        for _ in 0..3 {
+            m.run_epoch();
+        }
+        assert!(m.is_completed(pid));
+        assert!(!m.is_alive(pid));
+        let r = m.run_epoch();
+        assert!(!r.contains_key(&pid));
+    }
+
+    #[test]
+    fn termination_stops_scheduling() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Spin::forever()));
+        m.terminate(pid);
+        assert!(!m.is_alive(pid));
+        let r = m.run_epoch();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn epochs_advance_clock() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_epochs(5);
+        assert_eq!(m.epoch(), 5);
+        assert_eq!(m.now().as_millis(), 500);
+    }
+}

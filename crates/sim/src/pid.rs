@@ -1,0 +1,52 @@
+//! Simulated process identifiers.
+
+use std::fmt;
+
+/// Identifier of a simulated process.
+///
+/// Convertible to/from the core crate's
+/// [`ProcessId`](valkyrie_core::ProcessId) so the response engine and the
+/// machine substrate can refer to the same process.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::pid::Pid;
+/// use valkyrie_core::ProcessId;
+/// let pid = Pid(3);
+/// let core_id: ProcessId = pid.into();
+/// assert_eq!(Pid::from(core_id), pid);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pid(pub u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+impl From<Pid> for valkyrie_core::ProcessId {
+    fn from(pid: Pid) -> Self {
+        valkyrie_core::ProcessId(pid.0)
+    }
+}
+
+impl From<valkyrie_core::ProcessId> for Pid {
+    fn from(id: valkyrie_core::ProcessId) -> Self {
+        Pid(id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trip() {
+        let pid = Pid(77);
+        let core: valkyrie_core::ProcessId = pid.into();
+        assert_eq!(core.0, 77);
+        assert_eq!(Pid::from(core), pid);
+    }
+}

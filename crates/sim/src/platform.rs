@@ -1,0 +1,111 @@
+//! Evaluation platforms (paper Table IV).
+//!
+//! The paper measures false-positive slowdowns on three machines: an Intel
+//! i7-3770 (Ivy Bridge, Ubuntu 16.04, Linux 4.19.2), an i7-7700 (Kaby Lake,
+//! Ubuntu 20.04, Linux 4.19.265) and an i9-11900 (Rocket Lake, Ubuntu
+//! 20.04). In the simulation a platform is a bundle of scheduler tuning and
+//! detector noisiness: the i7-7700 exhibits the noisiest counters in the
+//! paper (2.2 % mean slowdown) while the i9-11900 is the cleanest (<1 %).
+
+use crate::machine::MachineConfig;
+use crate::sched::SchedConfig;
+
+/// One evaluation platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Marketing name of the CPU.
+    pub name: &'static str,
+    /// OS/kernel string (documentation only).
+    pub os: &'static str,
+    /// Relative single-core speed (i7-7700 = 1.0).
+    pub speed_factor: f64,
+    /// Multiplier on the statistical detector's false-positive propensity.
+    pub detector_noise: f64,
+    /// Scheduler tuning for this kernel.
+    pub sched: SchedConfig,
+}
+
+impl Platform {
+    /// Intel Core i7-3770, Ubuntu 16.04, Linux 4.19.2.
+    pub fn i7_3770() -> Self {
+        Self {
+            name: "i7-3770",
+            os: "Ubuntu 16.04, Linux 4.19.2",
+            speed_factor: 0.7,
+            detector_noise: 1.0,
+            sched: SchedConfig {
+                target_latency: 24,
+                min_granularity: 3,
+            },
+        }
+    }
+
+    /// Intel Core i7-7700, Ubuntu 20.04, Linux 4.19.265.
+    pub fn i7_7700() -> Self {
+        Self {
+            name: "i7-7700",
+            os: "Ubuntu 20.04, Linux 4.19.265",
+            speed_factor: 1.0,
+            detector_noise: 1.9,
+            sched: SchedConfig {
+                target_latency: 24,
+                min_granularity: 3,
+            },
+        }
+    }
+
+    /// Intel Core i9-11900, Ubuntu 20.04, Linux 4.19.265.
+    pub fn i9_11900() -> Self {
+        Self {
+            name: "i9-11900",
+            os: "Ubuntu 20.04, Linux 4.19.265",
+            speed_factor: 1.35,
+            detector_noise: 0.7,
+            sched: SchedConfig {
+                target_latency: 24,
+                min_granularity: 3,
+            },
+        }
+    }
+
+    /// The three Table IV platforms.
+    pub fn all() -> Vec<Platform> {
+        vec![Self::i7_3770(), Self::i7_7700(), Self::i9_11900()]
+    }
+
+    /// A machine configuration for this platform with the given seed.
+    pub fn machine_config(&self, seed: u64) -> MachineConfig {
+        MachineConfig {
+            sched: self.sched,
+            seed,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_platforms() {
+        let all = Platform::all();
+        assert_eq!(all.len(), 3);
+        let names: Vec<_> = all.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["i7-3770", "i7-7700", "i9-11900"]);
+    }
+
+    #[test]
+    fn noise_ordering_matches_table4() {
+        // Table IV: i7-7700 slowest (2.2 %), i9-11900 fastest (<1 %).
+        let noisiest = Platform::i7_7700();
+        assert!(noisiest.detector_noise > Platform::i7_3770().detector_noise);
+        assert!(Platform::i7_3770().detector_noise > Platform::i9_11900().detector_noise);
+    }
+
+    #[test]
+    fn machine_config_carries_seed() {
+        let cfg = Platform::i9_11900().machine_config(42);
+        assert_eq!(cfg.seed, 42);
+    }
+}

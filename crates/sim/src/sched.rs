@@ -1,0 +1,342 @@
+//! A Completely-Fair-Scheduler (CFS) model.
+//!
+//! Mirrors the Linux CFS behaviour Valkyrie's OS-scheduler actuator relies
+//! on (paper Section VI-A): runnable entities carry a *weight*; timeslices
+//! are allocated in proportion to relative weight (Eq. 7,
+//! `Δ_ts = Δ_tl · w_t / Σ w`), and the entity with the minimum virtual
+//! runtime runs next. Weights follow the kernel's 40-level nice table
+//! (×1.25 per level). Valkyrie throttles a process by scaling its weight
+//! ([`CfsScheduler::set_weight_scale`], the lever behind Eq. 8).
+
+use crate::pid::Pid;
+use std::collections::BTreeMap;
+
+/// Weight of nice level 0 in the kernel's table.
+pub const NICE_0_WEIGHT: f64 = 1024.0;
+
+/// Number of discrete nice levels (-20 ..= 19).
+pub const NICE_LEVELS: i32 = 40;
+
+/// Kernel weight law: each nice level changes the weight by ×1.25.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::sched::nice_to_weight;
+/// assert_eq!(nice_to_weight(0), 1024.0);
+/// assert!(nice_to_weight(-5) > nice_to_weight(0));
+/// assert!(nice_to_weight(19) < nice_to_weight(0));
+/// ```
+pub fn nice_to_weight(nice: i32) -> f64 {
+    let nice = nice.clamp(-20, 19);
+    NICE_0_WEIGHT / 1.25_f64.powi(nice)
+}
+
+/// Scheduler tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedConfig {
+    /// Target latency `Δ_tl` in ticks: every runnable entity runs once per
+    /// period of this length (when possible).
+    pub target_latency: u64,
+    /// Minimum timeslice in ticks, preventing over-slicing with many tasks.
+    pub min_granularity: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            target_latency: 24,
+            min_granularity: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SchedEntity {
+    base_weight: f64,
+    /// Valkyrie's lever: relative weight scale `s` in `(0, 1]`.
+    scale: f64,
+    vruntime: f64,
+    runnable: bool,
+}
+
+impl SchedEntity {
+    fn weight(&self) -> f64 {
+        (self.base_weight * self.scale).max(1e-9)
+    }
+}
+
+/// The CFS scheduler model.
+///
+/// # Examples
+///
+/// Two equal-priority tasks split the CPU evenly; scaling one task's weight
+/// to 10 % starves it proportionally:
+///
+/// ```
+/// use valkyrie_sim::sched::{CfsScheduler, SchedConfig};
+/// use valkyrie_sim::pid::Pid;
+/// let mut s = CfsScheduler::new(SchedConfig::default());
+/// s.add(Pid(1), 0);
+/// s.add(Pid(2), 0);
+/// let granted = s.run(1000);
+/// assert!((granted[&Pid(1)] as f64 - 500.0).abs() < 50.0);
+///
+/// s.set_weight_scale(Pid(1), 0.1);
+/// let granted = s.run(1100);
+/// assert!(granted[&Pid(1)] < granted[&Pid(2)] / 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfsScheduler {
+    config: SchedConfig,
+    entities: BTreeMap<Pid, SchedEntity>,
+}
+
+impl CfsScheduler {
+    /// Creates an empty scheduler.
+    pub fn new(config: SchedConfig) -> Self {
+        Self {
+            config,
+            entities: BTreeMap::new(),
+        }
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.config
+    }
+
+    /// Registers a runnable process at the given nice level.
+    ///
+    /// New entities start at the current minimum vruntime, as in the kernel,
+    /// so they cannot monopolise the CPU to "catch up".
+    pub fn add(&mut self, pid: Pid, nice: i32) {
+        let min_vr = self.min_vruntime();
+        self.entities.insert(
+            pid,
+            SchedEntity {
+                base_weight: nice_to_weight(nice),
+                scale: 1.0,
+                vruntime: min_vr,
+                runnable: true,
+            },
+        );
+    }
+
+    /// Deregisters a process.
+    pub fn remove(&mut self, pid: Pid) {
+        self.entities.remove(&pid);
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Sets the relative weight scale `s ∈ (0, 1]` of a process — the lever
+    /// Valkyrie's Eq. 8 actuator drives. Values are clamped to
+    /// `[1e-6, 1.0]`.
+    pub fn set_weight_scale(&mut self, pid: Pid, scale: f64) {
+        if let Some(e) = self.entities.get_mut(&pid) {
+            e.scale = scale.clamp(1e-6, 1.0);
+        }
+    }
+
+    /// Current weight scale of a process (1.0 if unknown).
+    pub fn weight_scale(&self, pid: Pid) -> f64 {
+        self.entities.get(&pid).map_or(1.0, |e| e.scale)
+    }
+
+    /// Marks a process runnable or blocked.
+    pub fn set_runnable(&mut self, pid: Pid, runnable: bool) {
+        if let Some(e) = self.entities.get_mut(&pid) {
+            e.runnable = runnable;
+        }
+    }
+
+    /// Eq. 7 timeslice for `pid` given the current runnable set.
+    pub fn timeslice(&self, pid: Pid) -> u64 {
+        let total: f64 = self
+            .entities
+            .values()
+            .filter(|e| e.runnable)
+            .map(SchedEntity::weight)
+            .sum();
+        let Some(e) = self.entities.get(&pid) else {
+            return 0;
+        };
+        if !e.runnable || total <= 0.0 {
+            return 0;
+        }
+        let slice = self.config.target_latency as f64 * e.weight() / total;
+        (slice.round() as u64).max(self.config.min_granularity)
+    }
+
+    /// Runs the simulated CPU for `ticks`, returning the ticks granted to
+    /// each process. Idle time (no runnable entity) is simply lost.
+    pub fn run(&mut self, ticks: u64) -> BTreeMap<Pid, u64> {
+        let mut granted: BTreeMap<Pid, u64> = BTreeMap::new();
+        let mut remaining = ticks;
+        while remaining > 0 {
+            // Pick the runnable entity with minimum vruntime.
+            let Some((&pid, _)) = self
+                .entities
+                .iter()
+                .filter(|(_, e)| e.runnable)
+                .min_by(|a, b| {
+                    a.1.vruntime
+                        .partial_cmp(&b.1.vruntime)
+                        .expect("vruntime is finite")
+                })
+            else {
+                break; // idle
+            };
+            let slice = self.timeslice(pid).min(remaining).max(1);
+            let e = self.entities.get_mut(&pid).expect("entity exists");
+            e.vruntime += slice as f64 * (NICE_0_WEIGHT / e.weight());
+            *granted.entry(pid).or_insert(0) += slice;
+            remaining -= slice;
+        }
+        granted
+    }
+
+    fn min_vruntime(&self) -> f64 {
+        self.entities
+            .values()
+            .map(|e| e.vruntime)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))))
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler_with(n: usize) -> CfsScheduler {
+        let mut s = CfsScheduler::new(SchedConfig::default());
+        for i in 0..n {
+            s.add(Pid(i as u64 + 1), 0);
+        }
+        s
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let mut s = scheduler_with(4);
+        let granted = s.run(4000);
+        for pid in 1..=4 {
+            let g = granted[&Pid(pid)];
+            assert!((g as i64 - 1000).unsigned_abs() < 100, "pid {pid}: {g}");
+        }
+    }
+
+    #[test]
+    fn grants_conserve_cpu_time() {
+        let mut s = scheduler_with(3);
+        let granted = s.run(997);
+        let total: u64 = granted.values().sum();
+        assert_eq!(total, 997);
+    }
+
+    #[test]
+    fn nice_levels_shift_share() {
+        let mut s = CfsScheduler::new(SchedConfig::default());
+        s.add(Pid(1), 0);
+        s.add(Pid(2), 5); // lower priority
+        let granted = s.run(4000);
+        // weight ratio = 1.25^5 ≈ 3.05
+        let ratio = granted[&Pid(1)] as f64 / granted[&Pid(2)] as f64;
+        assert!((ratio - 3.05).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weight_scale_throttles_proportionally() {
+        let mut s = scheduler_with(2);
+        s.set_weight_scale(Pid(1), 0.1);
+        let granted = s.run(11_000);
+        // Expected shares: 0.1/1.1 vs 1.0/1.1.
+        let share = granted[&Pid(1)] as f64 / 11_000.0;
+        assert!((share - 0.0909).abs() < 0.03, "share {share}");
+    }
+
+    #[test]
+    fn blocked_entities_get_nothing() {
+        let mut s = scheduler_with(2);
+        s.set_runnable(Pid(2), false);
+        let granted = s.run(500);
+        assert_eq!(granted.get(&Pid(2)), None);
+        assert_eq!(granted[&Pid(1)], 500);
+    }
+
+    #[test]
+    fn idle_when_nothing_runnable() {
+        let mut s = scheduler_with(1);
+        s.set_runnable(Pid(1), false);
+        let granted = s.run(100);
+        assert!(granted.is_empty());
+    }
+
+    #[test]
+    fn new_task_starts_at_min_vruntime() {
+        let mut s = scheduler_with(1);
+        s.run(10_000);
+        s.add(Pid(99), 0);
+        let granted = s.run(1000);
+        // The newcomer must not monopolise the CPU: roughly half each.
+        let g = granted[&Pid(99)];
+        assert!(g < 700, "newcomer got {g}/1000");
+    }
+
+    #[test]
+    fn timeslice_matches_eq7() {
+        let mut s = CfsScheduler::new(SchedConfig {
+            target_latency: 20,
+            min_granularity: 1,
+        });
+        s.add(Pid(1), 0);
+        s.add(Pid(2), 0);
+        s.add(Pid(3), 0);
+        s.add(Pid(4), 0);
+        // Equal weights: Δ_ts = 20 / 4 = 5.
+        assert_eq!(s.timeslice(Pid(1)), 5);
+        s.set_weight_scale(Pid(1), 0.5);
+        // w = 0.5, Σw = 3.5 → 20 * 0.5/3.5 ≈ 2.86 → 3.
+        assert_eq!(s.timeslice(Pid(1)), 3);
+    }
+
+    #[test]
+    fn min_granularity_floors_timeslice() {
+        let mut s = CfsScheduler::new(SchedConfig {
+            target_latency: 10,
+            min_granularity: 4,
+        });
+        for i in 0..10 {
+            s.add(Pid(i), 0);
+        }
+        assert_eq!(s.timeslice(Pid(0)), 4);
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        let mut s = scheduler_with(1);
+        s.set_weight_scale(Pid(1), 7.0);
+        assert_eq!(s.weight_scale(Pid(1)), 1.0);
+        s.set_weight_scale(Pid(1), -3.0);
+        assert!(s.weight_scale(Pid(1)) > 0.0);
+    }
+
+    #[test]
+    fn remove_stops_scheduling() {
+        let mut s = scheduler_with(2);
+        s.remove(Pid(1));
+        let granted = s.run(100);
+        assert!(!granted.contains_key(&Pid(1)));
+        assert_eq!(s.len(), 1);
+    }
+}

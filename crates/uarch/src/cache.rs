@@ -1,0 +1,392 @@
+//! Set-associative, true-LRU cache timing model.
+
+/// Geometry and latencies of a cache level.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_uarch::CacheConfig;
+/// let cfg = CacheConfig::l1d();
+/// assert_eq!(cfg.capacity_bytes(), 32 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: usize,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u32,
+    /// Latency of a miss (fill from the next level), in cycles.
+    pub miss_latency: u32,
+}
+
+impl CacheConfig {
+    /// 32 KiB, 8-way, 64 B lines — an Intel L1 data cache.
+    pub fn l1d() -> Self {
+        Self {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 4,
+            miss_latency: 40,
+        }
+    }
+
+    /// 32 KiB, 8-way, 64 B lines — an Intel L1 instruction cache.
+    pub fn l1i() -> Self {
+        Self {
+            sets: 64,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 4,
+            miss_latency: 40,
+        }
+    }
+
+    /// 8 MiB, 16-way, 64 B lines — a shared inclusive last-level cache.
+    pub fn llc() -> Self {
+        Self {
+            sets: 8192,
+            ways: 16,
+            line_bytes: 64,
+            hit_latency: 40,
+            miss_latency: 250,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    fn validate(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(self.ways > 0, "associativity must be non-zero");
+        assert!(
+            self.miss_latency > self.hit_latency,
+            "a miss must cost more than a hit"
+        );
+    }
+}
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Cycles taken by the access.
+    pub latency: u32,
+    /// Line address evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+/// Aggregate hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Number of lines evicted by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses so far (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are byte addresses; the cache tracks line addresses
+/// (`addr / line_bytes`). Each set keeps its lines in MRU-first order.
+///
+/// # Examples
+///
+/// Classic Prime+Probe on one set:
+///
+/// ```
+/// use valkyrie_uarch::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::l1d());
+/// let set = 5;
+/// // Prime: fill the set with attacker lines.
+/// for way in 0..c.config().ways {
+///     c.access(c.address_in_set(set, 1000 + way as u64));
+/// }
+/// // Victim touches the set, evicting one attacker line.
+/// c.access(c.address_in_set(set, 1));
+/// // Probe: at least one attacker access now misses.
+/// let mut misses = 0;
+/// for way in 0..c.config().ways {
+///     if !c.access(c.address_in_set(set, 1000 + way as u64)).hit {
+///         misses += 1;
+///     }
+/// }
+/// assert!(misses >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: line addresses in MRU-first order.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (non-power-of-two geometry,
+    /// zero ways, or miss latency not exceeding hit latency).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics since creation (or the last [`Cache::reset_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears the statistics counters (contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Set index of a byte address.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.config.line_bytes as u64) % self.config.sets as u64) as usize
+    }
+
+    /// A byte address guaranteed to map to `set`, distinct per `tag`.
+    ///
+    /// Attackers use this to build eviction sets: different `tag` values
+    /// yield lines that all collide in `set`.
+    pub fn address_in_set(&self, set: usize, tag: u64) -> u64 {
+        let line = tag * self.config.sets as u64 + (set % self.config.sets) as u64;
+        line * self.config.line_bytes as u64
+    }
+
+    /// True if the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        self.sets[self.set_index(addr)].contains(&line)
+    }
+
+    /// Accesses `addr`, filling on a miss and updating LRU state.
+    pub fn access(&mut self, addr: u64) -> Access {
+        let set_idx = self.set_index(addr);
+        let line = addr / self.config.line_bytes as u64;
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            self.stats.hits += 1;
+            return Access {
+                hit: true,
+                latency: self.config.hit_latency,
+                evicted: None,
+            };
+        }
+        self.stats.misses += 1;
+        let evicted = if set.len() == ways {
+            let victim = set.pop().expect("non-empty set");
+            self.stats.evictions += 1;
+            Some(victim * self.config.line_bytes as u64)
+        } else {
+            None
+        };
+        set.insert(0, line);
+        Access {
+            hit: false,
+            latency: self.config.miss_latency,
+            evicted,
+        }
+    }
+
+    /// Flushes the line containing `addr` (like `clflush`); returns whether
+    /// it was resident.
+    pub fn flush(&mut self, addr: u64) -> bool {
+        let set_idx = self.set_index(addr);
+        let line = addr / self.config.line_bytes as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fills `set` with `ways` attacker lines tagged from `tag_base`
+    /// (the *prime* step); returns total latency.
+    pub fn prime_set(&mut self, set: usize, tag_base: u64) -> u32 {
+        let mut latency = 0;
+        for way in 0..self.config.ways {
+            latency += self.access(self.address_in_set(set, tag_base + way as u64)).latency;
+        }
+        latency
+    }
+
+    /// Re-accesses the same attacker lines (the *probe* step); returns
+    /// `(misses, total_latency)`.
+    pub fn probe_set(&mut self, set: usize, tag_base: u64) -> (usize, u32) {
+        let mut misses = 0;
+        let mut latency = 0;
+        for way in 0..self.config.ways {
+            let a = self.access(self.address_in_set(set, tag_base + way as u64));
+            if !a.hit {
+                misses += 1;
+            }
+            latency += a.latency;
+        }
+        (misses, latency)
+    }
+
+    /// Number of resident lines (for invariants/tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        let a = c.access(0x40);
+        assert!(!a.hit);
+        assert_eq!(a.latency, 40);
+        let a = c.access(0x40);
+        assert!(a.hit);
+        assert_eq!(a.latency, 4);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0x100);
+        assert!(c.access(0x13F).hit); // same 64-byte line
+        assert!(!c.access(0x140).hit); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            miss_latency: 10,
+        };
+        let mut c = Cache::new(cfg);
+        c.access(0); // line A
+        c.access(64); // line B
+        c.access(0); // touch A: B is now LRU
+        let a = c.access(128); // line C evicts B
+        assert_eq!(a.evicted, Some(64));
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+    }
+
+    #[test]
+    fn set_index_and_address_round_trip() {
+        let c = Cache::new(CacheConfig::llc());
+        for set in [0, 1, 17, 8191] {
+            for tag in [0, 5, 99] {
+                let addr = c.address_in_set(set, tag);
+                assert_eq!(c.set_index(addr), set);
+            }
+        }
+    }
+
+    #[test]
+    fn prime_probe_detects_victim_access() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        let set = 12;
+        c.prime_set(set, 100);
+        // No victim: probing hits everywhere.
+        let (misses, _) = c.probe_set(set, 100);
+        assert_eq!(misses, 0);
+        // Victim touches the set.
+        c.prime_set(set, 100);
+        c.access(c.address_in_set(set, 7));
+        let (misses, lat_with_victim) = c.probe_set(set, 100);
+        assert!(misses >= 1);
+        c.prime_set(set, 100);
+        let (_, lat_quiet) = c.probe_set(set, 100);
+        assert!(lat_with_victim > lat_quiet);
+    }
+
+    #[test]
+    fn flush_removes_line() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0x2000);
+        assert!(c.flush(0x2000));
+        assert!(!c.contains(0x2000));
+        assert!(!c.flush(0x2000));
+        assert!(!c.access(0x2000).hit);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let cfg = CacheConfig::l1d();
+        let mut c = Cache::new(cfg);
+        // Touch far more distinct lines than the cache can hold.
+        for i in 0..(4 * cfg.sets * cfg.ways) {
+            c.access((i * cfg.line_bytes) as u64);
+        }
+        assert!(c.resident_lines() <= cfg.sets * cfg.ways);
+    }
+
+    #[test]
+    fn miss_ratio_reported() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+        c.reset_stats();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+            miss_latency: 10,
+        });
+    }
+}

@@ -1,0 +1,30 @@
+//! Micro-architecture substrate: timing models of the shared hardware
+//! resources that micro-architectural attacks contend on.
+//!
+//! The paper's case studies replay six attacks — Prime+Probe on the L1
+//! data/instruction caches and the LLC, Evict+Time on the TLB, and a
+//! load-store-buffer covert channel — against real hardware. This crate is
+//! the simulated stand-in: set-associative LRU [`cache::Cache`]s, a
+//! [`tlb::Tlb`] and a [`lsb::LoadStoreBuffer`] whose access latencies expose
+//! exactly the contention the attacks measure. The attack implementations in
+//! `valkyrie-attacks` drive victims and spies through these models, so a
+//! throttled spy genuinely loses measurement bandwidth.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_uarch::cache::{Cache, CacheConfig};
+//! let mut l1d = Cache::new(CacheConfig::l1d());
+//! let first = l1d.access(0x1000);
+//! let second = l1d.access(0x1000);
+//! assert!(!first.hit && second.hit);
+//! assert!(second.latency < first.latency);
+//! ```
+
+pub mod cache;
+pub mod lsb;
+pub mod tlb;
+
+pub use cache::{Access, Cache, CacheConfig, CacheStats};
+pub use lsb::{LoadStoreBuffer, LsbConfig};
+pub use tlb::{Tlb, TlbConfig};

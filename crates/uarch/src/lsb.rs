@@ -1,0 +1,208 @@
+//! Load-store-buffer timing model with store-to-load forwarding.
+//!
+//! Substrate of the paper's "Fill-and-Forward Timed Speculative Attack"
+//! (Chakraborty et al., DAC 2022): a covert channel that encodes bits in the
+//! timing difference between loads that are *forwarded* from an in-flight
+//! store and loads that suffer a 4 KiB-aliasing stall, bypassing all
+//! cache-based countermeasures.
+
+/// Load-store-buffer geometry and latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsbConfig {
+    /// Number of in-flight store-buffer entries.
+    pub store_entries: usize,
+    /// Latency of a load forwarded from the store buffer, in cycles.
+    pub forward_latency: u32,
+    /// Latency of a load that 4K-aliases an in-flight store (false
+    /// dependency stall + re-issue), in cycles.
+    pub alias_stall_latency: u32,
+    /// Latency of an ordinary load with no buffer interaction, in cycles.
+    pub normal_latency: u32,
+}
+
+impl LsbConfig {
+    /// A Skylake-like store buffer: 56 entries, fast forwarding, expensive
+    /// aliasing stalls.
+    pub fn skylake() -> Self {
+        Self {
+            store_entries: 56,
+            forward_latency: 5,
+            alias_stall_latency: 22,
+            normal_latency: 9,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.store_entries > 0, "store buffer must have entries");
+        assert!(
+            self.alias_stall_latency > self.normal_latency
+                && self.normal_latency > self.forward_latency,
+            "latencies must order forward < normal < alias-stall"
+        );
+    }
+}
+
+/// What a load observed in the store buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    /// Exact-address match: the store's data was forwarded.
+    Forwarded,
+    /// Same low 12 address bits but a different address: false dependency.
+    AliasStall,
+    /// No interaction with buffered stores.
+    Normal,
+}
+
+/// A FIFO store buffer with store-to-load forwarding and 4 KiB-alias
+/// detection.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_uarch::{LoadStoreBuffer, LsbConfig};
+/// use valkyrie_uarch::lsb::LoadKind;
+/// let mut lsb = LoadStoreBuffer::new(LsbConfig::skylake());
+/// lsb.store(0x11234);
+/// let (kind, fast) = (lsb.load(0x11234).0, lsb.load(0x11234).1);
+/// assert_eq!(kind, LoadKind::Forwarded);
+/// // A different page with the same page offset stalls:
+/// let (kind, slow) = lsb.load(0x22234);
+/// assert_eq!(kind, LoadKind::AliasStall);
+/// assert!(slow > fast);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadStoreBuffer {
+    config: LsbConfig,
+    /// In-flight stores, oldest first.
+    stores: Vec<u64>,
+}
+
+impl LoadStoreBuffer {
+    /// Creates an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration.
+    pub fn new(config: LsbConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            stores: Vec::with_capacity(config.store_entries),
+        }
+    }
+
+    /// The buffer configuration.
+    pub fn config(&self) -> &LsbConfig {
+        &self.config
+    }
+
+    /// Issues a store to `addr`; the oldest entry retires if the buffer is
+    /// full.
+    pub fn store(&mut self, addr: u64) {
+        if self.stores.len() == self.config.store_entries {
+            self.stores.remove(0);
+        }
+        self.stores.push(addr);
+    }
+
+    /// Issues a load from `addr`; returns what it matched and its latency.
+    ///
+    /// Matching follows real store-buffer behaviour: the *youngest* matching
+    /// store wins; an exact address match forwards, while a match on only
+    /// the low 12 bits (4 KiB page offset) triggers a false-dependency
+    /// stall.
+    pub fn load(&self, addr: u64) -> (LoadKind, u32) {
+        for &s in self.stores.iter().rev() {
+            if s == addr {
+                return (LoadKind::Forwarded, self.config.forward_latency);
+            }
+            if s & 0xfff == addr & 0xfff {
+                return (LoadKind::AliasStall, self.config.alias_stall_latency);
+            }
+        }
+        (LoadKind::Normal, self.config.normal_latency)
+    }
+
+    /// Retires `n` oldest stores (models draining between channel rounds).
+    pub fn retire(&mut self, n: usize) {
+        let n = n.min(self.stores.len());
+        self.stores.drain(0..n);
+    }
+
+    /// Drops all in-flight stores.
+    pub fn drain(&mut self) {
+        self.stores.clear();
+    }
+
+    /// Number of in-flight stores.
+    pub fn in_flight(&self) -> usize {
+        self.stores.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_beats_normal_beats_alias() {
+        let mut lsb = LoadStoreBuffer::new(LsbConfig::skylake());
+        lsb.store(0x1_0100);
+        let (k1, l1) = lsb.load(0x1_0100);
+        let (k2, l2) = lsb.load(0x9_9000);
+        let (k3, l3) = lsb.load(0x2_0100);
+        assert_eq!(k1, LoadKind::Forwarded);
+        assert_eq!(k2, LoadKind::Normal);
+        assert_eq!(k3, LoadKind::AliasStall);
+        assert!(l1 < l2 && l2 < l3);
+    }
+
+    #[test]
+    fn youngest_store_wins() {
+        let mut lsb = LoadStoreBuffer::new(LsbConfig::skylake());
+        lsb.store(0x2_0200); // aliases 0x1_0200
+        lsb.store(0x1_0200); // exact match, younger
+        assert_eq!(lsb.load(0x1_0200).0, LoadKind::Forwarded);
+    }
+
+    #[test]
+    fn buffer_is_bounded_fifo() {
+        let cfg = LsbConfig {
+            store_entries: 2,
+            forward_latency: 1,
+            alias_stall_latency: 10,
+            normal_latency: 5,
+        };
+        let mut lsb = LoadStoreBuffer::new(cfg);
+        // Distinct page offsets so evicted entries cannot alias-match.
+        lsb.store(0x1008);
+        lsb.store(0x2010);
+        lsb.store(0x3020); // evicts 0x1008
+        assert_eq!(lsb.in_flight(), 2);
+        assert_eq!(lsb.load(0x1008).0, LoadKind::Normal);
+        assert_eq!(lsb.load(0x3020).0, LoadKind::Forwarded);
+    }
+
+    #[test]
+    fn retire_and_drain() {
+        let mut lsb = LoadStoreBuffer::new(LsbConfig::skylake());
+        for i in 0..10 {
+            lsb.store(i * 0x1000);
+        }
+        lsb.retire(4);
+        assert_eq!(lsb.in_flight(), 6);
+        lsb.drain();
+        assert_eq!(lsb.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latencies")]
+    fn invalid_latency_order_panics() {
+        let _ = LoadStoreBuffer::new(LsbConfig {
+            store_entries: 4,
+            forward_latency: 10,
+            alias_stall_latency: 5,
+            normal_latency: 7,
+        });
+    }
+}

@@ -1,0 +1,34 @@
+//! The benign benchmark roster used to measure false-positive slowdowns
+//! (paper Fig. 5a/5b, Table IV).
+//!
+//! The paper evaluates 77 single-threaded programs across SPEC CPU2006,
+//! SPEC CPU2017, SPECViewperf-13 and STREAM, plus 4-thread SPEC CPU2017
+//! floating-point programs. Each entry here is a behaviour model: a
+//! resource family (CPU / memory / graphics bound), a nominal running time,
+//! an HPC signature and — crucially — a *burst propensity*: the fraction of
+//! epochs in which the program's counters spike enough to look malicious to
+//! a simple statistical detector. The paper's running example `blender_r`
+//! is "falsely classified by the detector in 30 % of the epochs"; the
+//! roster-wide average matches the paper's ≈4 % FP epochs on SPEC.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_workloads::{roster, BenchmarkWorkload};
+//! use valkyrie_sim::prelude::*;
+//!
+//! let specs = roster();
+//! assert_eq!(specs.len(), 77);
+//! let mut machine = Machine::new(MachineConfig::default());
+//! let pid = machine.spawn(Box::new(BenchmarkWorkload::new(specs[0].clone())));
+//! machine.run_epoch();
+//! assert!(machine.is_alive(pid));
+//! ```
+
+pub mod multithread;
+pub mod roster;
+pub mod workload;
+
+pub use multithread::{spawn_team, TeamHandle};
+pub use roster::{multithreaded_roster, roster, BenchmarkSpec, Family, Suite};
+pub use workload::BenchmarkWorkload;

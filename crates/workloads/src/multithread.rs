@@ -1,0 +1,202 @@
+//! Barrier-synchronised multi-threaded benchmark teams.
+//!
+//! The paper reports ~6.7 % average FP slowdowns for 4-thread SPEC CPU2017
+//! programs — noticeably worse than single-threaded (≈1 % geometric mean).
+//! Two effects cause this, both modelled here:
+//!
+//! 1. with 4 threads there are 4 inference streams, so the chance that *at
+//!    least one* thread is currently flagged is higher;
+//! 2. the threads synchronise at barriers, so the team advances at the pace
+//!    of its **slowest** thread: throttling one thread stalls all four.
+
+use crate::roster::BenchmarkSpec;
+use crate::workload::BenchmarkWorkload;
+use std::cell::RefCell;
+use std::rc::Rc;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Machine, Workload};
+use valkyrie_sim::Pid;
+
+#[derive(Debug)]
+struct TeamState {
+    /// Per-thread work contributed this epoch (None until the thread ran).
+    shares: Vec<Option<f64>>,
+    /// Team work completed (in full-speed epochs).
+    work_done: f64,
+    target: f64,
+    completed: bool,
+}
+
+/// Handle to a spawned team: the pids of its threads.
+#[derive(Debug, Clone)]
+pub struct TeamHandle {
+    /// Scheduler pids of the team's threads, in thread order.
+    pub pids: Vec<Pid>,
+    state: Rc<RefCell<TeamState>>,
+}
+
+impl TeamHandle {
+    /// Team work completed so far, in full-speed epochs.
+    pub fn work_done(&self) -> f64 {
+        self.state.borrow().work_done
+    }
+
+    /// True once the team finished its work.
+    pub fn is_completed(&self) -> bool {
+        self.state.borrow().completed
+    }
+}
+
+/// One thread of a multi-threaded benchmark.
+#[derive(Debug)]
+struct TeamThread {
+    inner: BenchmarkWorkload,
+    state: Rc<RefCell<TeamState>>,
+    idx: usize,
+    name: String,
+}
+
+impl Workload for TeamThread {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        // A team that finished on a previous epoch reports completion for
+        // every thread (threads that hit the final barrier later).
+        if self.state.borrow().completed {
+            return EpochReport {
+                progress: 0.0,
+                hpc: self.inner.emit_sample(ctx.rng, 0.05),
+                completed: true,
+            };
+        }
+        let share = ctx.cpu_share() * ctx.mem_efficiency;
+        let mut st = self.state.borrow_mut();
+        st.shares[self.idx] = Some(share);
+        // The barrier: when every thread has reported, the team advances by
+        // the *minimum* contribution.
+        let mut progress = 0.0;
+        if st.shares.iter().all(Option::is_some) {
+            let min = st
+                .shares
+                .iter()
+                .map(|s| s.expect("all reported"))
+                .fold(f64::INFINITY, f64::min);
+            st.work_done += min;
+            progress = min;
+            for s in st.shares.iter_mut() {
+                *s = None;
+            }
+            if st.work_done >= st.target {
+                st.completed = true;
+            }
+        }
+        let completed = st.completed;
+        drop(st);
+        EpochReport {
+            progress,
+            hpc: self.inner.emit_sample(ctx.rng, ctx.cpu_share().max(0.05)),
+            completed,
+        }
+    }
+}
+
+/// Spawns a `spec.threads`-thread team onto the machine; returns its handle.
+///
+/// # Panics
+///
+/// Panics if the spec declares fewer than two threads (use
+/// [`crate::BenchmarkWorkload`] for single-threaded
+/// programs).
+pub fn spawn_team(machine: &mut Machine, spec: &BenchmarkSpec) -> TeamHandle {
+    assert!(spec.threads >= 2, "a team needs at least two threads");
+    let state = Rc::new(RefCell::new(TeamState {
+        shares: vec![None; spec.threads],
+        work_done: 0.0,
+        target: spec.epochs_to_complete as f64,
+        completed: false,
+    }));
+    let mut pids = Vec::with_capacity(spec.threads);
+    for idx in 0..spec.threads {
+        let thread = TeamThread {
+            inner: BenchmarkWorkload::new(spec.clone()),
+            state: Rc::clone(&state),
+            idx,
+            name: format!("{}#t{idx}", spec.name),
+        };
+        pids.push(machine.spawn(Box::new(thread)));
+    }
+    TeamHandle { pids, state }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roster::multithreaded_roster;
+    use valkyrie_sim::machine::MachineConfig;
+
+    fn small_spec() -> BenchmarkSpec {
+        let mut spec = multithreaded_roster().remove(0);
+        spec.epochs_to_complete = 10;
+        spec
+    }
+
+    #[test]
+    fn team_advances_at_full_speed_when_unthrottled() {
+        let mut m = Machine::new(MachineConfig::default());
+        let team = spawn_team(&mut m, &small_spec());
+        // 4 threads on 1 CPU: each gets 1/4 → team advances 0.25/epoch.
+        for _ in 0..8 {
+            m.run_epoch();
+        }
+        let w = team.work_done();
+        assert!((w - 2.0).abs() < 0.4, "team work {w} after 8 epochs");
+    }
+
+    #[test]
+    fn throttling_one_thread_stalls_the_team() {
+        let mut m = Machine::new(MachineConfig::default());
+        let team = spawn_team(&mut m, &small_spec());
+        m.set_cpu_quota(team.pids[0], 0.02);
+        for _ in 0..8 {
+            m.run_epoch();
+        }
+        // The barrier caps team progress at the slow thread's pace.
+        let w = team.work_done();
+        assert!(w < 0.5, "team work {w} with one thread at 2%");
+    }
+
+    #[test]
+    fn team_completes_together() {
+        let mut spec = small_spec();
+        spec.epochs_to_complete = 2;
+        let mut m = Machine::new(MachineConfig::default());
+        let team = spawn_team(&mut m, &spec);
+        for _ in 0..20 {
+            m.run_epoch();
+            if team.is_completed() {
+                break;
+            }
+        }
+        assert!(team.is_completed());
+        // Threads that hit the final barrier earlier observe completion on
+        // the next epoch.
+        m.run_epoch();
+        for pid in &team.pids {
+            assert!(m.is_completed(*pid), "{pid} should be completed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two threads")]
+    fn single_thread_spec_panics() {
+        let mut spec = small_spec();
+        spec.threads = 1;
+        let mut m = Machine::new(MachineConfig::default());
+        let _ = spawn_team(&mut m, &spec);
+    }
+}

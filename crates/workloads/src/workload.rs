@@ -1,0 +1,182 @@
+//! The single-threaded benchmark workload model.
+
+use crate::roster::BenchmarkSpec;
+use rand::Rng;
+use valkyrie_hpc::{HpcEvent, Signature};
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Workload};
+
+/// A benign benchmark process.
+///
+/// Progress is "epochs of work": one unthrottled epoch completes one unit.
+/// HPC emission follows the family signature; with probability
+/// `spec.burst_prob` an epoch emits a *burst* sample (hot caches, faults)
+/// that a simple statistical detector will flag — the source of false
+/// positives.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_workloads::{roster, BenchmarkWorkload};
+/// let spec = roster().into_iter().next().unwrap();
+/// let w = BenchmarkWorkload::new(spec.clone());
+/// assert_eq!(w.spec().name, spec.name);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchmarkWorkload {
+    spec: BenchmarkSpec,
+    signature: Signature,
+    work_done: f64,
+    epochs_run: u64,
+}
+
+impl BenchmarkWorkload {
+    /// Creates the workload from its roster entry.
+    pub fn new(spec: BenchmarkSpec) -> Self {
+        let signature = spec.family.signature();
+        Self {
+            spec,
+            signature,
+            work_done: 0.0,
+            epochs_run: 0,
+        }
+    }
+
+    /// The roster entry.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    /// Work completed so far, in full-speed epochs.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// Wall-clock epochs the workload has run.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Emits this epoch's HPC sample, bursting with the spec's propensity.
+    ///
+    /// A burst multiplies the cache-pressure events (LLC misses, L1d misses,
+    /// dTLB misses) by a large factor — the profile that confuses HPC-based
+    /// detectors (phase changes, working-set migrations).
+    pub fn emit_sample<R: Rng + ?Sized>(&self, rng: &mut R, share: f64) -> valkyrie_hpc::HpcSample {
+        let mut sample = self.signature.sample(rng, share);
+        if rng.gen::<f64>() < self.spec.burst_prob {
+            for ev in [
+                HpcEvent::LlcMisses,
+                HpcEvent::L1dMisses,
+                HpcEvent::DtlbMisses,
+                HpcEvent::PageFaults,
+            ] {
+                sample.set(ev, sample.get(ev) * 12.0 + 1.0e6);
+            }
+        }
+        sample
+    }
+}
+
+impl Workload for BenchmarkWorkload {
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        let share = ctx.cpu_share();
+        let work = share * ctx.mem_efficiency;
+        self.work_done += work;
+        self.epochs_run += 1;
+        EpochReport {
+            progress: work,
+            hpc: self.emit_sample(ctx.rng, share.max(0.05)),
+            completed: self.work_done >= self.spec.epochs_to_complete as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roster::roster;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use valkyrie_sim::machine::{Machine, MachineConfig};
+
+    fn spec_by_name(name: &str) -> BenchmarkSpec {
+        roster().into_iter().find(|s| s.name == name).unwrap()
+    }
+
+    #[test]
+    fn completes_in_nominal_time_unthrottled() {
+        let mut spec = spec_by_name("gcc");
+        spec.epochs_to_complete = 25;
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(BenchmarkWorkload::new(spec)));
+        let mut done_at = None;
+        for e in 1..=40 {
+            m.run_epoch();
+            if m.is_completed(pid) {
+                done_at = Some(e);
+                break;
+            }
+        }
+        assert_eq!(done_at, Some(25));
+    }
+
+    #[test]
+    fn throttled_benchmark_takes_proportionally_longer() {
+        let mut spec = spec_by_name("gcc");
+        spec.epochs_to_complete = 10;
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(BenchmarkWorkload::new(spec)));
+        m.set_cpu_quota(pid, 0.5);
+        let mut epochs = 0;
+        for _ in 0..100 {
+            m.run_epoch();
+            epochs += 1;
+            if m.is_completed(pid) {
+                break;
+            }
+        }
+        assert!((18..=22).contains(&epochs), "took {epochs} epochs at 50%");
+    }
+
+    #[test]
+    fn bursts_occur_at_configured_rate() {
+        let spec = spec_by_name("blender_r");
+        let w = BenchmarkWorkload::new(spec);
+        let mut rng = StdRng::seed_from_u64(1);
+        let baseline = Signature::graphics_bound();
+        let mean_llc = baseline.mean()[HpcEvent::LlcMisses.index()];
+        let mut bursts = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let s = w.emit_sample(&mut rng, 1.0);
+            if s.get(HpcEvent::LlcMisses) > 5.0 * mean_llc {
+                bursts += 1;
+            }
+        }
+        let rate = bursts as f64 / n as f64;
+        assert!((rate - 0.30).abs() < 0.05, "burst rate {rate}");
+    }
+
+    #[test]
+    fn clean_programs_never_burst() {
+        let clean = roster()
+            .into_iter()
+            .find(|s| s.burst_prob == 0.0)
+            .expect("roster has clean programs");
+        let w = BenchmarkWorkload::new(clean);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean_llc = w.signature.mean()[HpcEvent::LlcMisses.index()];
+        for _ in 0..500 {
+            let s = w.emit_sample(&mut rng, 1.0);
+            assert!(s.get(HpcEvent::LlcMisses) < 5.0 * mean_llc + 1.0);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Covert-channel throttling: a CJAG-style LLC covert channel runs against
+//! the cache model while Valkyrie's Eq. 8 scheduler actuator starves it.
+//!
+//! Run with: `cargo run --release --example covert_channel_throttling`
+
+use valkyrie::attacks::channels::{ChannelConfig, CovertChannel, Medium};
+use valkyrie::core::prelude::*;
+use valkyrie::detect::StatisticalDetector;
+use valkyrie::experiments::fig4::{benign_baseline, spawn_background};
+use valkyrie::experiments::scenario::{AugmentedRun, CpuLever, ScenarioConfig};
+use valkyrie::sim::machine::{Machine, MachineConfig};
+
+fn main() -> Result<(), ValkyrieError> {
+    let engine = EngineConfig::builder()
+        .measurements_required(25)
+        .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+        .build()?;
+    let detector = StatisticalDetector::fit_normalized(&benign_baseline(3), 3.5);
+    let machine = Machine::new(MachineConfig::default());
+    let mut run = AugmentedRun::new(
+        machine,
+        engine,
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::SchedulerWeight,
+            window: 50,
+        },
+    );
+
+    // The sender/receiver pair plus an innocent process they contend with.
+    let channel = CovertChannel::new(Medium::llc(), ChannelConfig::cjag(2));
+    let pid = run.machine_mut().spawn(Box::new(channel));
+    spawn_background(run.machine_mut());
+    run.watch(pid);
+
+    println!("epoch | state       | cpu%  | bits transmitted (cumulative)");
+    for epoch in 1..=40 {
+        run.step();
+        let bits = run
+            .machine()
+            .workload_as::<CovertChannel>(pid)
+            .map_or(0, CovertChannel::bits_transmitted);
+        if let Some(rec) = run.history(pid).last() {
+            println!(
+                "{epoch:>5} | {:<11} | {:>4.1}% | {bits}",
+                rec.state.to_string(),
+                rec.cpu_share * 100.0
+            );
+        }
+        if !run.machine().is_alive(pid) {
+            println!("covert channel terminated at epoch {epoch} with {bits} bits leaked");
+            break;
+        }
+    }
+    Ok(())
+}

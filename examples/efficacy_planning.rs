@@ -1,0 +1,58 @@
+//! Efficacy planning: measure a detector's F1/FPR as a function of the
+//! number of measurements (Fig. 1), then let a user specification choose
+//! `N*` — the number of measurements Valkyrie waits for before allowing
+//! termination.
+//!
+//! Run with: `cargo run --release --example efficacy_planning`
+
+use valkyrie::core::prelude::*;
+use valkyrie::experiments::fig1::{run, Fig1Config};
+
+fn main() -> Result<(), ValkyrieError> {
+    // Train the paper's four detector families and measure their efficacy
+    // curves on the ransomware-vs-benign corpus (a scaled-down Fig. 1).
+    let result = run(&Fig1Config {
+        ransomware: 30,
+        benign: 34,
+        trace_len: 60,
+        grid_max: 59,
+        train_cap: 2500,
+        seed: 0xE1,
+    });
+
+    println!("measured efficacy curves (XGBoost detector):");
+    for p in result.xgboost.points().iter().step_by(4) {
+        println!(
+            "  n = {:>2}: F1 = {:.3}, FPR = {:.3}",
+            p.measurements, p.f1, p.fpr
+        );
+    }
+
+    // Three deployments with different requirements (Section IV-C):
+    let deployments = [
+        ("critical system (terminate early)", EfficacySpec::f1_at_least(0.80)),
+        ("general purpose", EfficacySpec::f1_at_least(0.90)),
+        (
+            "FP-sensitive batch cluster",
+            EfficacySpec::f1_at_least(0.90).and_fpr_at_most(0.10),
+        ),
+    ];
+    println!("\nN* per deployment:");
+    for (name, spec) in deployments {
+        match result.xgboost.measurements_required(&spec) {
+            Ok(n) => {
+                let config = EngineConfig::builder()
+                    .efficacy(&result.xgboost, &spec)?
+                    .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+                    .build()?;
+                println!(
+                    "  {name}: {spec} -> N* = {n} measurements ({:.1} s at 100 ms/epoch); engine configured with N* = {}",
+                    n as f64 / 10.0,
+                    config.measurements_required()
+                );
+            }
+            Err(e) => println!("  {name}: {spec} -> unreachable ({e})"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Two-level detection (Section VII): a cheap statistical screen runs every
+//! epoch, and an expensive majority-vote model is consulted only on screened
+//! epochs. The pipeline's verdicts feed Valkyrie like any single detector,
+//! while the confirmer runs on a fraction of the epochs.
+//!
+//! Run with: `cargo run --example ensemble_detection`
+
+use valkyrie::core::prelude::*;
+use valkyrie::detect::{
+    CombinationRule, Detector, EnsembleDetector, MultiLevelDetector, ScriptedDetector,
+};
+use valkyrie::hpc::SampleWindow;
+
+fn main() -> Result<(), ValkyrieError> {
+    // A cheap screen that misfires on one epoch in four (high FP rate), and
+    // an expert panel that is right most of the time. Scripted detectors
+    // stand in for the statistical/ML detectors so the run is reproducible;
+    // swap in `StatisticalDetector` / `MajorityVoteDetector` for live HPC
+    // streams.
+    let screen = ScriptedDetector::cycle(vec![
+        Classification::Malicious,
+        Classification::Benign,
+        Classification::Benign,
+        Classification::Benign,
+    ]);
+    let panel = EnsembleDetector::new(
+        "expert-panel",
+        vec![
+            Box::new(ScriptedDetector::constant(Classification::Benign)),
+            Box::new(ScriptedDetector::constant(Classification::Benign)),
+            Box::new(ScriptedDetector::cycle(vec![
+                Classification::Malicious,
+                Classification::Benign,
+            ])),
+        ],
+        CombinationRule::Majority,
+    );
+    let mut pipeline = MultiLevelDetector::new("two-level", Box::new(screen), Box::new(panel));
+
+    let config = EngineConfig::builder()
+        .measurements_required(20)
+        .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+        .build()?;
+    let mut engine = ValkyrieEngine::new(config);
+
+    // Drive a benign process for 40 epochs through the pipeline + engine.
+    let pid = ProcessId(1);
+    let window = SampleWindow::new(8);
+    for _ in 0..40 {
+        let inference = pipeline.infer(pid, &window);
+        let resp = engine.observe(pid, inference);
+        assert_ne!(resp.action, Action::Terminate, "benign must survive");
+    }
+
+    println!(
+        "pipeline served {} inferences; the expensive panel ran only {} times ({:.0}%)",
+        pipeline.inferences(),
+        pipeline.confirmations(),
+        pipeline.confirmation_rate() * 100.0
+    );
+    println!(
+        "final state: {:?}, threat {:.1}, cpu share {:.0}%",
+        engine.state(pid).expect("tracked"),
+        engine.threat(pid).expect("tracked").value(),
+        engine.resources(pid).expect("tracked").cpu * 100.0
+    );
+    Ok(())
+}

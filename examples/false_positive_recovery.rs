@@ -1,0 +1,71 @@
+//! False-positive recovery: the paper's `blender_r` scenario — a benign
+//! 3D-rendering benchmark misclassified in ~30 % of epochs survives with a
+//! bounded slowdown instead of being terminated.
+//!
+//! Run with: `cargo run --release --example false_positive_recovery`
+
+use valkyrie::core::prelude::*;
+use valkyrie::detect::{StatisticalDetector, VotingDetector};
+use valkyrie::experiments::fig4::benign_baseline;
+use valkyrie::experiments::scenario::{AugmentedRun, CpuLever, ScenarioConfig};
+use valkyrie::sim::machine::{Machine, MachineConfig};
+use valkyrie::workloads::{roster, BenchmarkWorkload};
+
+fn main() -> Result<(), ValkyrieError> {
+    let n_star = 30;
+    let mut spec = roster()
+        .into_iter()
+        .find(|s| s.name == "blender_r")
+        .expect("roster contains blender_r");
+    spec.epochs_to_complete = 300;
+    let baseline = spec.epochs_to_complete;
+
+    let engine = EngineConfig::builder()
+        .measurements_required(n_star)
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .cyclic(true) // Algorithm 1's outer loop: keep watching after a benign verdict
+        .build()?;
+    let detector = VotingDetector::new(
+        StatisticalDetector::fit_normalized(&benign_baseline(11), 4.0),
+        n_star,
+    );
+    let machine = Machine::new(MachineConfig::default());
+    let mut run = AugmentedRun::new(
+        machine,
+        engine,
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::CgroupQuota,
+            window: n_star as usize * 3,
+        },
+    );
+    let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+    run.watch(pid);
+
+    let mut epochs = 0u64;
+    let mut throttled_epochs = 0u64;
+    while !run.machine().is_completed(pid) && epochs < baseline * 8 {
+        run.step();
+        epochs += 1;
+        if run
+            .history(pid)
+            .last()
+            .is_some_and(|r| r.cpu_share < 1.0)
+        {
+            throttled_epochs += 1;
+        }
+        assert!(run.machine().is_alive(pid), "benign program must survive");
+    }
+
+    let slowdown = (epochs as f64 / baseline as f64 - 1.0) * 100.0;
+    println!("blender_r: misclassified in ~30% of epochs");
+    println!("  nominal runtime : {baseline} epochs");
+    println!("  with Valkyrie   : {epochs} epochs ({throttled_epochs} under throttle)");
+    println!("  slowdown        : {slowdown:.1}% (paper reports 25%)");
+    println!("  outcome         : completed — never terminated");
+    println!(
+        "\nWith a termination-based response the same detector would have\n\
+         killed blender_r with probability ~0.3 per verdict."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: augment a detector with Valkyrie and watch a cryptominer get
+//! throttled and terminated while a falsely-flagged benign program recovers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use valkyrie::core::prelude::*;
+
+fn main() -> Result<(), ValkyrieError> {
+    // 1. The user specifies the detection efficacy their deployment needs;
+    //    Valkyrie derives N* from the detector's measured efficacy curve.
+    let curve = EfficacyCurve::new(vec![
+        EfficacyPoint { measurements: 5, f1: 0.70, fpr: 0.35 },
+        EfficacyPoint { measurements: 15, f1: 0.86, fpr: 0.18 },
+        EfficacyPoint { measurements: 23, f1: 0.92, fpr: 0.11 },
+        EfficacyPoint { measurements: 50, f1: 0.95, fpr: 0.07 },
+    ])?;
+    let spec = EfficacySpec::f1_at_least(0.9);
+    let config = EngineConfig::builder()
+        .efficacy(&curve, &spec)?
+        .penalty(AssessmentFn::incremental())
+        .compensation(AssessmentFn::incremental())
+        .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+        .build()?;
+    println!(
+        "user asked for {spec}; detector needs N* = {} measurements\n",
+        config.measurements_required()
+    );
+
+    let mut engine = ValkyrieEngine::new(config);
+
+    // 2. A cryptominer that the detector flags every epoch.
+    let miner = ProcessId(100);
+    println!("== cryptominer (flagged every epoch) ==");
+    for epoch in 1.. {
+        let resp = engine.observe(miner, Classification::Malicious);
+        println!(
+            "epoch {epoch:>2}: state={:<11} threat={:>5.1} cpu-share={:>5.1}% action={:?}",
+            resp.state.to_string(),
+            resp.threat.value(),
+            resp.resources.cpu * 100.0,
+            resp.action
+        );
+        if resp.action == Action::Terminate {
+            break;
+        }
+    }
+
+    // 3. A benign program falsely flagged for three epochs, then cleared.
+    let benign = ProcessId(200);
+    println!("\n== benign program (3 false positives, then cleared) ==");
+    for epoch in 1..=28 {
+        let classification = if epoch <= 3 {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        };
+        let resp = engine.observe(benign, classification);
+        if epoch <= 8 || epoch % 8 == 0 {
+            println!(
+                "epoch {epoch:>2}: state={:<11} threat={:>5.1} cpu-share={:>5.1}% action={:?}",
+                resp.state.to_string(),
+                resp.threat.value(),
+                resp.resources.cpu * 100.0,
+                resp.action
+            );
+        }
+        assert_ne!(resp.action, Action::Terminate, "benign must survive");
+    }
+    println!("\nbenign program finished with full resources restored");
+    Ok(())
+}

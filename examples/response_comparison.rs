@@ -1,0 +1,36 @@
+//! Quantifying Table I: replay every post-detection response strategy from
+//! the literature on identical detector traces and compare them against the
+//! paper's two requirements — R1 (throttle attacks) and R2 (spare falsely
+//! classified benign programs).
+//!
+//! Run with: `cargo run --example response_comparison`
+
+use valkyrie::experiments::responses::{run, ResponsesConfig};
+
+fn main() {
+    let cfg = ResponsesConfig {
+        benign_trials: 20,
+        ..ResponsesConfig::default()
+    };
+    let result = run(&cfg);
+    println!("{}", result.report);
+
+    let valkyrie = result
+        .rows
+        .iter()
+        .find(|r| r.policy == "valkyrie")
+        .expect("valkyrie row is always present");
+    let dominated = result
+        .rows
+        .iter()
+        .filter(|r| r.policy != "valkyrie")
+        .all(|r| {
+            r.attack_progress_pct > valkyrie.attack_progress_pct
+                || r.benign_killed_pct > valkyrie.benign_killed_pct
+                || r.benign_slowdown_pct > valkyrie.benign_slowdown_pct
+        });
+    println!(
+        "valkyrie is {} by any single baseline on all three metrics",
+        if dominated { "not dominated" } else { "DOMINATED" }
+    );
+}

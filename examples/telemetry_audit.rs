@@ -1,0 +1,59 @@
+//! Response audit: record every engine response in a [`ResponseLog`] and
+//! print the per-process forensic summary an operator would read after an
+//! incident — who was throttled, for how long, who recovered, who was
+//! terminated, and what the false positives cost (R2 accounting).
+//!
+//! Run with: `cargo run --example telemetry_audit`
+
+use valkyrie::core::prelude::*;
+use valkyrie::core::telemetry::ResponseLog;
+
+fn main() -> Result<(), ValkyrieError> {
+    let config = EngineConfig::builder()
+        .measurements_required(12)
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .build()?;
+    let mut engine = ValkyrieEngine::new(config);
+    let mut log = ResponseLog::new();
+
+    // pid 1: an attack, flagged every epoch.
+    // pid 2: a benign process with a burst of three false positives.
+    // pid 3: a clean benign process, never flagged.
+    let attack = ProcessId(1);
+    let bursty = ProcessId(2);
+    let clean = ProcessId(3);
+    for epoch in 1..=20u64 {
+        let r = engine.observe(attack, Classification::Malicious);
+        log.record(epoch, &r);
+        let r = engine.observe(
+            bursty,
+            if (4..=6).contains(&epoch) {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            },
+        );
+        log.record(epoch, &r);
+        let r = engine.observe(clean, Classification::Benign);
+        log.record(epoch, &r);
+    }
+
+    println!("{}", log.render_summary());
+    println!(
+        "{} of {} processes terminated; {} responses recorded",
+        log.terminations(),
+        log.processes(),
+        log.len()
+    );
+
+    let bursty_summary = log.summary(bursty).expect("recorded");
+    println!(
+        "\npid 2 (false-positive burst): throttled {} epochs, {} restores, \
+         estimated slowdown {:.1}%",
+        bursty_summary.throttled_epochs,
+        bursty_summary.restores,
+        bursty_summary.slowdown_percent()
+    );
+    assert!(!bursty_summary.terminated, "benign process must survive");
+    Ok(())
+}

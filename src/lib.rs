@@ -1,0 +1,46 @@
+//! # Valkyrie (facade crate)
+//!
+//! A reproduction of *"Valkyrie: A Response Framework to Augment Runtime
+//! Detection of Time-Progressive Attacks"* (DSN 2025).
+//!
+//! This facade re-exports the workspace crates so applications can depend on
+//! a single `valkyrie` crate:
+//!
+//! * [`core`] — the response framework itself (threat index, Fig. 3 state
+//!   machine, actuators, efficacy planner, slowdown model).
+//! * [`sim`] — the simulated OS/machine substrate (CFS scheduler,
+//!   cgroup-style controllers, DRAM, filesystem, network).
+//! * [`uarch`] — cache / TLB / load-store-buffer timing models.
+//! * [`hpc`] — simulated hardware performance counters.
+//! * [`ml`] — from-scratch ML models used by the detectors.
+//! * [`detect`] — runtime detectors producing per-epoch inferences.
+//! * [`attacks`] — the evaluated time-progressive attacks.
+//! * [`workloads`] — the benign SPEC-like benchmark roster.
+//! * [`experiments`] — scenario harnesses regenerating each paper figure.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie::core::prelude::*;
+//!
+//! let config = EngineConfig::builder()
+//!     .measurements_required(15)
+//!     .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+//!     .build()?;
+//! let mut engine = ValkyrieEngine::new(config);
+//! let resp = engine.observe(ProcessId(1), Classification::Malicious);
+//! assert_eq!(resp.state, ProcessState::Suspicious);
+//! # Ok::<(), ValkyrieError>(())
+//! ```
+
+pub use valkyrie_attacks as attacks;
+pub use valkyrie_core as core;
+pub use valkyrie_detect as detect;
+pub use valkyrie_experiments as experiments;
+pub use valkyrie_hpc as hpc;
+pub use valkyrie_ml as ml;
+pub use valkyrie_sim as sim;
+pub use valkyrie_uarch as uarch;
+pub use valkyrie_workloads as workloads;
+
+pub use valkyrie_core::prelude;

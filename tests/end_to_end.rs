@@ -1,0 +1,304 @@
+//! Cross-crate integration tests: full detector → engine → machine loops.
+
+use valkyrie::attacks::cryptominer::Cryptominer;
+use valkyrie::attacks::ransomware::Ransomware;
+use valkyrie::attacks::rowhammer::RowhammerAttack;
+use valkyrie::core::prelude::*;
+use valkyrie::detect::{ScriptedDetector, StatisticalDetector, VotingDetector};
+use valkyrie::experiments::fig4::{benign_baseline, spawn_background};
+use valkyrie::experiments::scenario::{AugmentedRun, CpuLever, ScenarioConfig};
+use valkyrie::sim::fs::SimFs;
+use valkyrie::sim::machine::{Machine, MachineConfig};
+use valkyrie::workloads::{roster, BenchmarkWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine(n_star: u64) -> EngineConfig {
+    EngineConfig::builder()
+        .measurements_required(n_star)
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn cryptominer_is_detected_throttled_and_terminated() {
+    let detector = StatisticalDetector::fit_normalized(&benign_baseline(1), 3.2);
+    let mut run = AugmentedRun::new(
+        Machine::new(MachineConfig::default()),
+        engine(10),
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::CgroupQuota,
+            window: 20,
+        },
+    );
+    let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+    run.watch(pid);
+    let mut first_epoch_hashes = 0.0;
+    let mut last_epoch_hashes = 0.0;
+    for e in 0..12 {
+        let r = run.step();
+        if let Some(rep) = r.get(&pid) {
+            if e == 0 {
+                first_epoch_hashes = rep.progress;
+            }
+            last_epoch_hashes = rep.progress;
+        }
+    }
+    assert!(!run.machine().is_alive(pid), "miner must be terminated");
+    assert!(
+        last_epoch_hashes < first_epoch_hashes / 10.0,
+        "miner should be deeply throttled before termination ({last_epoch_hashes} vs {first_epoch_hashes})"
+    );
+}
+
+#[test]
+fn ransomware_damage_is_bounded_by_valkyrie() {
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    machine.set_filesystem(SimFs::generate(&mut rng, 100_000, 1 << 20));
+    let detector = StatisticalDetector::fit_normalized(&benign_baseline(2), 3.5);
+    let mut run = AugmentedRun::new(
+        machine,
+        engine(15),
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::CgroupQuota,
+            window: 30,
+        },
+    );
+    let pid = run.machine_mut().spawn(Box::new(Ransomware::default()));
+    run.watch(pid);
+    let mut encrypted = 0.0;
+    for _ in 0..30 {
+        encrypted += run.step().get(&pid).map_or(0.0, |r| r.progress);
+    }
+    assert!(!run.machine().is_alive(pid), "ransomware must be terminated");
+    // Unthrottled it would have encrypted ~35 MB in 3 s; Valkyrie caps the
+    // damage to a few MB.
+    assert!(
+        encrypted < 8.0e6,
+        "too much data encrypted: {:.1} MB",
+        encrypted / 1e6
+    );
+}
+
+#[test]
+fn rowhammer_never_flips_a_bit_under_valkyrie() {
+    let detector = StatisticalDetector::fit_normalized(&benign_baseline(3), 3.5);
+    let mut run = AugmentedRun::new(
+        Machine::new(MachineConfig::default()),
+        engine(4000),
+        detector,
+        ScenarioConfig::default(),
+    );
+    let pid = run.machine_mut().spawn(Box::new(RowhammerAttack::default()));
+    spawn_background(run.machine_mut());
+    run.watch(pid);
+    run.run(2000); // 200 simulated seconds in the suspicious state
+    assert_eq!(run.machine().dram().flipped_bits(), 0);
+}
+
+#[test]
+fn benign_program_survives_noisy_detector_and_recovers() {
+    // blender_r is misclassified in ~30% of epochs; a majority verdict over
+    // N* samples has FPR ~ Binomial tail P(X > N*/2). N* = 40 pushes the
+    // per-verdict termination risk below 0.5% — exactly the efficacy
+    // planning trade-off of Section IV-A.
+    let n_star = 40;
+    let mut spec = roster()
+        .into_iter()
+        .find(|s| s.name == "blender_r")
+        .unwrap();
+    spec.epochs_to_complete = 60;
+    let detector = VotingDetector::new(
+        StatisticalDetector::fit_normalized(&benign_baseline(4), 4.0),
+        n_star,
+    );
+    let config = EngineConfig::builder()
+        .measurements_required(n_star)
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .cyclic(true)
+        .build()
+        .unwrap();
+    let mut run = AugmentedRun::new(
+        Machine::new(MachineConfig::default()),
+        config,
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::CgroupQuota,
+            window: n_star as usize * 3,
+        },
+    );
+    let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+    run.watch(pid);
+    let mut epochs = 0;
+    while !run.machine().is_completed(pid) && epochs < 500 {
+        run.step();
+        epochs += 1;
+        // Completion also clears the alive flag; only real termination
+        // (not-alive and not-completed) fails the test.
+        assert!(
+            run.machine().is_alive(pid) || run.machine().is_completed(pid),
+            "benign process was terminated"
+        );
+    }
+    assert!(run.machine().is_completed(pid), "must finish within 500 epochs");
+    assert!(epochs >= 60, "cannot finish faster than the baseline");
+}
+
+#[test]
+fn fig3_state_machine_is_respected_end_to_end() {
+    use Classification::{Benign, Malicious};
+    let script = vec![
+        Benign, Malicious, Malicious, Benign, Benign, Benign, Malicious, Benign, Benign, Benign,
+        Benign, Benign,
+    ];
+    let detector = ScriptedDetector::cycle(script);
+    let mut run = AugmentedRun::new(
+        Machine::new(MachineConfig::default()),
+        engine(40),
+        detector,
+        ScenarioConfig::default(),
+    );
+    let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+    run.watch(pid);
+    let mut prev = ProcessState::Normal;
+    for _ in 0..40 {
+        run.step();
+        let state = run.history(pid).last().unwrap().state;
+        assert!(
+            prev.can_transition_to(state),
+            "illegal transition {prev} -> {state}"
+        );
+        prev = state;
+    }
+}
+
+#[test]
+fn termination_only_happens_in_terminable_state() {
+    let detector = ScriptedDetector::constant(Classification::Malicious);
+    let n_star = 9;
+    let mut run = AugmentedRun::new(
+        Machine::new(MachineConfig::default()),
+        engine(n_star),
+        detector,
+        ScenarioConfig::default(),
+    );
+    let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+    run.watch(pid);
+    for epoch in 1..=(n_star + 1) {
+        run.step();
+        let rec = run.history(pid).last().unwrap();
+        if epoch <= n_star {
+            assert_ne!(
+                rec.state,
+                ProcessState::Terminated,
+                "terminated before N* at epoch {epoch}"
+            );
+        }
+    }
+    assert_eq!(
+        run.history(pid).last().unwrap().state,
+        ProcessState::Terminated
+    );
+}
+
+#[test]
+fn mixed_fleet_attacks_die_and_benign_tenants_survive() {
+    // A multi-tenant machine: a dozen benign benchmarks, a cryptominer and
+    // a ransomware sample share one Valkyrie deployment (cyclic monitoring,
+    // majority verdicts). Both attacks must be terminated; no benign tenant
+    // may be.
+    let n_star = 30;
+    let mut machine = Machine::new(MachineConfig::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    machine.set_filesystem(SimFs::generate(&mut rng, 50_000, 1 << 20));
+    // Threshold 3.2 (as in the solo cryptominer test): the miner's
+    // compute-only signature sits close to the benign envelope, so the
+    // fleet detector must run at the same sensitivity.
+    let detector = VotingDetector::new(
+        StatisticalDetector::fit_normalized(&benign_baseline(5), 3.2),
+        n_star,
+    );
+    let config = EngineConfig::builder()
+        .measurements_required(n_star)
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .cyclic(true)
+        .build()
+        .unwrap();
+    let mut run = AugmentedRun::new(
+        machine,
+        config,
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::CgroupQuota,
+            window: n_star as usize * 3,
+        },
+    );
+
+    let mut benign_pids = Vec::new();
+    for (i, spec) in roster().into_iter().enumerate() {
+        if i % 7 != 0 {
+            continue; // every 7th spec: 12 tenants across all suites
+        }
+        let mut spec = spec;
+        spec.epochs_to_complete = spec.epochs_to_complete.min(200);
+        let pid = run
+            .machine_mut()
+            .spawn(Box::new(BenchmarkWorkload::new(spec)));
+        run.watch(pid);
+        benign_pids.push(pid);
+    }
+    let miner = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+    let ransom = run.machine_mut().spawn(Box::new(Ransomware::default()));
+    run.watch(miner);
+    run.watch(ransom);
+
+    run.run(120);
+
+    assert!(!run.machine().is_alive(miner), "miner must be terminated");
+    assert!(
+        !run.machine().is_alive(ransom),
+        "ransomware must be terminated"
+    );
+    assert_eq!(run.state(miner), Some(ProcessState::Terminated));
+    assert_eq!(run.state(ransom), Some(ProcessState::Terminated));
+    for pid in benign_pids {
+        assert!(
+            run.machine().is_alive(pid) || run.machine().is_completed(pid),
+            "benign tenant {pid:?} was terminated"
+        );
+        assert_ne!(
+            run.state(pid),
+            Some(ProcessState::Terminated),
+            "benign tenant {pid:?} reached the terminated state"
+        );
+    }
+}
+
+#[test]
+fn resource_floor_bounds_worst_case_throttling() {
+    let detector = ScriptedDetector::constant(Classification::Malicious);
+    let config = EngineConfig::builder()
+        .measurements_required(1000)
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.05))
+        .build()
+        .unwrap();
+    let mut run = AugmentedRun::new(
+        Machine::new(MachineConfig::default()),
+        config,
+        detector,
+        ScenarioConfig {
+            cpu_lever: CpuLever::CgroupQuota,
+            window: 8,
+        },
+    );
+    let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+    run.watch(pid);
+    run.run(50);
+    for rec in run.history(pid) {
+        assert!(rec.cpu_share >= 0.05 - 1e-12, "floor violated: {}", rec.cpu_share);
+    }
+}

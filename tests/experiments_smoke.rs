@@ -1,0 +1,122 @@
+//! Smoke tests: every experiment binary's entry point runs in quick mode
+//! and produces a plausible report.
+
+use valkyrie::experiments as x;
+
+#[test]
+fn analytic_runs() {
+    let r = x::analytic::run();
+    assert!(r.report.contains("79.6%") || r.report.contains("attack"));
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn table1_runs() {
+    assert!(x::table1::run().contains("Valkyrie"));
+}
+
+#[test]
+fn table2_quick_runs() {
+    let r = x::table2::run(&x::table2::Table2Config::quick());
+    assert_eq!(r.rows.len(), 15);
+    assert!(r.report.contains("Table II"));
+}
+
+#[test]
+fn table3_runs() {
+    assert!(x::table3::run().contains("Case study"));
+}
+
+#[test]
+fn fig1_quick_runs() {
+    let r = x::fig1::run(&x::fig1::Fig1Config::quick());
+    assert!(!r.xgboost.points().is_empty());
+    assert!(r.report.contains("Fig. 1"));
+}
+
+#[test]
+fn fig4c_quick_runs() {
+    let cfg = x::fig4::Fig4Config::quick();
+    let r = x::fig4::run_c(&cfg);
+    assert_eq!(r.without.len(), cfg.epochs as usize);
+    assert!(r.report.contains("TSA"));
+}
+
+#[test]
+fn fig4f_quick_runs() {
+    let cfg = x::fig4::Fig4Config::quick();
+    let r = x::fig4::run_f(&cfg);
+    let with = *r.with_valkyrie.last().unwrap();
+    let without = *r.without.last().unwrap();
+    assert!(without >= with);
+}
+
+#[test]
+fn fig5a_quick_subset_runs() {
+    // Full 77-benchmark runs are exercised by the binary; here a fast
+    // configuration over the roster with shortened runtimes.
+    let cfg = x::fig5::Fig5Config {
+        runtime_divisor: 12,
+        multithreaded: false,
+        ..x::fig5::Fig5Config::default()
+    };
+    let r = x::fig5::run_5a(&cfg);
+    assert_eq!(r.rows.len(), 77);
+    // Nothing was terminated: every benchmark completed within its cap.
+    for row in &r.rows {
+        assert!(
+            row.valkyrie_epochs < row.baseline_epochs * 8,
+            "{} did not finish",
+            row.name
+        );
+    }
+    let blender = r.rows.iter().find(|r| r.name == "blender_r").unwrap();
+    assert!(blender.slowdown_pct > 3.0, "blender_r {}", blender.slowdown_pct);
+}
+
+#[test]
+fn table4_quick_runs() {
+    let r = x::table4::run(&x::table4::Table4Config {
+        runtime_divisor: 12,
+        ..x::table4::Table4Config::quick()
+    });
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn fig6c_quick_runs() {
+    let r = x::fig6::run_c(&x::fig6::Fig6Config::quick());
+    assert!(r.slowdown_pct > 80.0);
+}
+
+#[test]
+fn responses_quick_runs() {
+    let r = x::responses::run(&x::responses::ResponsesConfig {
+        benign_trials: 5,
+        benign_epochs: 80,
+        ..x::responses::ResponsesConfig::default()
+    });
+    assert_eq!(r.rows.len(), x::responses::POLICIES.len());
+    assert_eq!(r.rowhammer.len(), 3);
+    assert!(r.report.contains("Table I, quantified"));
+}
+
+#[test]
+fn ensemble_quick_runs() {
+    let r = x::ensemble::run(&x::ensemble::EnsembleConfig::quick());
+    assert!(!r.two_level.points().is_empty());
+    assert_eq!(r.confirmer_duty_cycle.len(), r.screen.points().len());
+    assert!(r.report.contains("Two-level detection"));
+}
+
+#[test]
+fn evasion_quick_runs() {
+    let r = x::evasion::run(&x::evasion::EvasionConfig {
+        trials: 3,
+        horizon: 50,
+        ..x::evasion::EvasionConfig::default()
+    });
+    assert_eq!(r.duty_cycle.len(), x::evasion::strategies(30).len());
+    assert_eq!(r.hardening.len(), 4);
+    assert!(r.report.contains("Evasion study"));
+}

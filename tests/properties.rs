@@ -1,0 +1,446 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+use valkyrie::core::prelude::*;
+use valkyrie::core::slowdown::completion_slowdown_percent;
+use valkyrie::core::{simulate_response, Monitor};
+
+fn classification_seq(max_len: usize) -> impl Strategy<Value = Vec<Classification>> {
+    prop::collection::vec(
+        prop::bool::ANY.prop_map(|b| {
+            if b {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            }
+        }),
+        1..max_len,
+    )
+}
+
+proptest! {
+    /// The threat index is clamped into [0, 100] for any inference stream.
+    #[test]
+    fn threat_index_is_always_bounded(seq in classification_seq(200), n_star in 1u64..100) {
+        let mut m = Monitor::new(n_star, AssessmentFn::incremental(), AssessmentFn::incremental());
+        for c in seq {
+            let r = m.observe(c);
+            prop_assert!(r.threat.value() >= 0.0 && r.threat.value() <= 100.0);
+        }
+    }
+
+    /// Resource shares stay within [floor, 1] for any inference stream and
+    /// any percentage-point step.
+    #[test]
+    fn resources_respect_floor_and_ceiling(
+        seq in classification_seq(150),
+        step in 0.01f64..0.5,
+        floor in 0.0f64..0.2,
+    ) {
+        let config = EngineConfig::builder()
+            .measurements_required(1_000)
+            .actuator(ShareActuator::cpu_percent_point(step, floor))
+            .build()
+            .unwrap();
+        let mut engine = ValkyrieEngine::new(config);
+        let pid = ProcessId(1);
+        for c in seq {
+            let resp = engine.observe(pid, c);
+            prop_assert!(resp.resources.cpu >= floor - 1e-12);
+            prop_assert!(resp.resources.cpu <= 1.0 + 1e-12);
+            prop_assert!(resp.resources.is_valid());
+        }
+    }
+
+    /// A process whose stream ends with enough benign epochs always ends
+    /// with full resources (recovery is guaranteed for false positives).
+    #[test]
+    fn sustained_benign_stream_recovers_fully(prefix in classification_seq(50)) {
+        let config = EngineConfig::builder()
+            .measurements_required(10_000)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let mut engine = ValkyrieEngine::new(config);
+        let pid = ProcessId(7);
+        for c in prefix {
+            engine.observe(pid, c);
+        }
+        let mut last = None;
+        for _ in 0..500 {
+            last = Some(engine.observe(pid, Classification::Benign));
+        }
+        let last = last.unwrap();
+        prop_assert!(last.resources.is_full(), "resources: {:?}", last.resources);
+        prop_assert!(last.threat.is_zero());
+        prop_assert_eq!(last.state, ProcessState::Normal);
+    }
+
+    /// Every state transition taken by the monitor is legal per Fig. 3.
+    #[test]
+    fn monitor_transitions_follow_fig3(seq in classification_seq(120), n_star in 1u64..40) {
+        let mut m = Monitor::new(n_star, AssessmentFn::incremental(), AssessmentFn::incremental());
+        let mut prev = m.state();
+        for c in seq {
+            let r = m.observe(c);
+            prop_assert!(prev.can_transition_to(r.state), "{} -> {}", prev, r.state);
+            prev = r.state;
+        }
+    }
+
+    /// Slowdown is within [0, 100] for any simulated response, and zero for
+    /// all-benign streams.
+    #[test]
+    fn slowdown_is_bounded(seq in classification_seq(60), n_star in 1u64..40) {
+        let trace = simulate_response(
+            n_star,
+            &seq,
+            AssessmentFn::incremental(),
+            AssessmentFn::incremental(),
+            ShareActuator::cpu_percent_point(0.10, 0.01),
+        );
+        let s = trace.cpu_slowdown_percent();
+        prop_assert!((0.0..=100.0).contains(&s), "slowdown {s}");
+    }
+
+    /// All-benign streams never get throttled at all.
+    #[test]
+    fn benign_stream_is_never_throttled(n in 1usize..100, n_star in 1u64..200) {
+        let seq = vec![Classification::Benign; n];
+        let trace = simulate_response(
+            n_star,
+            &seq,
+            AssessmentFn::incremental(),
+            AssessmentFn::incremental(),
+            ShareActuator::cpu_percent_point(0.10, 0.01),
+        );
+        prop_assert_eq!(trace.cpu_slowdown_percent(), 0.0);
+    }
+
+    /// Completion slowdown is monotone in added epochs.
+    #[test]
+    fn completion_slowdown_monotone(base in 1.0f64..1000.0, extra1 in 0.0f64..100.0, extra2 in 0.0f64..100.0) {
+        let (lo, hi) = if extra1 < extra2 { (extra1, extra2) } else { (extra2, extra1) };
+        prop_assert!(
+            completion_slowdown_percent(base, base + lo)
+                <= completion_slowdown_percent(base, base + hi) + 1e-12
+        );
+    }
+
+    /// Assessment functions always produce clamped, finite metrics.
+    #[test]
+    fn assessment_outputs_are_clamped(prev in -1e6f64..1e6, epoch in 0u64..1000, a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        for f in [
+            AssessmentFn::incremental(),
+            AssessmentFn::linear(a, b),
+            AssessmentFn::exponential(2.0),
+        ] {
+            let v = f.next(prev, epoch);
+            prop_assert!((0.0..=100.0).contains(&v), "{v}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The CFS scheduler conserves CPU time and respects weight ordering
+    /// for arbitrary weight scales.
+    #[test]
+    fn scheduler_conserves_and_orders(scales in prop::collection::vec(0.01f64..1.0, 2..6)) {
+        use valkyrie::sim::sched::{CfsScheduler, SchedConfig};
+        use valkyrie::sim::Pid;
+        let mut s = CfsScheduler::new(SchedConfig::default());
+        for (i, &scale) in scales.iter().enumerate() {
+            s.add(Pid(i as u64), 0);
+            s.set_weight_scale(Pid(i as u64), scale);
+        }
+        let total_ticks = 20_000;
+        let granted = s.run(total_ticks);
+        let sum: u64 = granted.values().sum();
+        prop_assert_eq!(sum, total_ticks);
+        // Long-run grants are ordered like the weights (with slack for
+        // slicing granularity).
+        let shares: Vec<f64> = (0..scales.len())
+            .map(|i| granted.get(&Pid(i as u64)).copied().unwrap_or(0) as f64 / total_ticks as f64)
+            .collect();
+        let weight_sum: f64 = scales.iter().sum();
+        for (share, scale) in shares.iter().zip(&scales) {
+            let expected = scale / weight_sum;
+            prop_assert!((share - expected).abs() < 0.1, "share {share} vs expected {expected}");
+        }
+    }
+
+    /// Cache occupancy never exceeds capacity for arbitrary access streams.
+    #[test]
+    fn cache_never_exceeds_capacity(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        use valkyrie::uarch::{Cache, CacheConfig};
+        let cfg = CacheConfig::l1d();
+        let mut c = Cache::new(cfg);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.resident_lines() <= cfg.sets * cfg.ways);
+        }
+    }
+
+    /// Stats identity: hits + misses equals the number of accesses.
+    #[test]
+    fn cache_stats_identity(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+        use valkyrie::uarch::{Cache, CacheConfig};
+        let mut c = Cache::new(CacheConfig::l1d());
+        for a in &addrs {
+            c.access(*a);
+        }
+        let st = c.stats();
+        prop_assert_eq!(st.hits + st.misses, addrs.len() as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// TLB occupancy is bounded and its stats add up.
+    #[test]
+    fn tlb_capacity_and_stats(addrs in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        use valkyrie::uarch::{Tlb, TlbConfig};
+        let cfg = TlbConfig::dtlb();
+        let mut tlb = Tlb::new(cfg);
+        for a in &addrs {
+            tlb.translate(*a);
+        }
+        let (hits, misses) = tlb.stats();
+        prop_assert_eq!(hits + misses, addrs.len() as u64);
+    }
+
+    /// The load-store buffer never exceeds its capacity, and an exact-match
+    /// load always beats an aliasing load in latency.
+    #[test]
+    fn lsb_bounded_and_ordered(stores in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        use valkyrie::uarch::{LoadStoreBuffer, LsbConfig};
+        let cfg = LsbConfig::skylake();
+        let mut lsb = LoadStoreBuffer::new(cfg);
+        for s in &stores {
+            lsb.store(*s);
+            prop_assert!(lsb.in_flight() <= cfg.store_entries);
+        }
+        let last = *stores.last().unwrap();
+        let (_, fwd) = lsb.load(last);
+        let alias = last ^ (1 << 13); // same page offset, different page
+        let (_, alias_lat) = lsb.load(alias);
+        prop_assert!(fwd <= alias_lat);
+    }
+
+    /// Network shaping never delivers more than demanded or more than the
+    /// cap allows (plus one epoch of rolled-over burst).
+    #[test]
+    fn net_delivery_is_bounded(cap in 1.0e3f64..1.0e12, demand in 0.0f64..1.0e9) {
+        use valkyrie::sim::net::NetController;
+        let mut n = NetController::with_cap(cap);
+        let delivered = n.send(100, demand);
+        prop_assert!(delivered <= demand + 1e-6);
+        prop_assert!(delivered <= cap * 0.1 * 2.0 + 1e-6, "cap {cap} delivered {delivered}");
+    }
+
+    /// DRAM never flips bits while every per-window activation count stays
+    /// below the disturbance threshold.
+    #[test]
+    fn dram_below_threshold_never_flips(
+        bursts in prop::collection::vec(0u64..60_000, 1..50),
+    ) {
+        use valkyrie::sim::dram::{Dram, DramConfig};
+        use rand::SeedableRng;
+        let cfg = DramConfig::ddr3_1333();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut dram = Dram::new(cfg);
+        for b in bursts {
+            // One burst per refresh window, always below threshold.
+            dram.hammer_pair(10, 12, b.min(cfg.disturbance_threshold - 1), &mut rng);
+            dram.advance_ms(64, &mut rng);
+        }
+        prop_assert_eq!(dram.flipped_bits(), 0);
+    }
+
+    /// The memory-thrash efficiency curve is monotone in the limit fraction
+    /// and equals 1 at or above the working set.
+    #[test]
+    fn memory_efficiency_monotone(a in 0.0f64..1.2, b in 0.0f64..1.2) {
+        use valkyrie::sim::cgroup::MemoryController;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(
+            MemoryController::new(lo).efficiency() <= MemoryController::new(hi).efficiency() + 1e-15
+        );
+        prop_assert_eq!(MemoryController::new(1.0 + lo).efficiency(), 1.0);
+    }
+
+    /// Throttle laws keep shares in [0, 1] for arbitrary deltas, and a
+    /// positive delta never increases the share.
+    #[test]
+    fn throttle_laws_are_sane(share in 0.0f64..1.0, delta in -50.0f64..50.0) {
+        use valkyrie::core::ThrottleLaw;
+        for law in [
+            ThrottleLaw::PercentPointPerUnit { step: 0.1 },
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+            ThrottleLaw::MultiplicativePerEvent { factor: 0.5 },
+            ThrottleLaw::HalvePerEvent,
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ] {
+            let next = law.step_share(share, delta);
+            prop_assert!((0.0..=1.0).contains(&next), "{law:?}: {next}");
+            if delta > 0.0 {
+                prop_assert!(next <= share + 1e-12, "{law:?} increased share on throttle");
+            }
+            if delta < 0.0 {
+                prop_assert!(next >= share - 1e-12, "{law:?} decreased share on recovery");
+            }
+        }
+    }
+}
+
+fn evasion_strategy() -> impl Strategy<Value = valkyrie::core::AttackerStrategy> {
+    use valkyrie::core::AttackerStrategy;
+    prop_oneof![
+        Just(AttackerStrategy::AlwaysActive),
+        (1u32..6, 0u32..6).prop_map(|(active, dormant)| AttackerStrategy::DutyCycle {
+            active,
+            dormant
+        }),
+        (0u64..40).prop_map(|active_epochs| AttackerStrategy::Sprint { active_epochs }),
+        (0.1f64..1.0).prop_map(|resume_above| AttackerStrategy::ThreatAdaptive { resume_above }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No evasion strategy outruns its own unimpeded baseline, and the
+    /// slowdown metric stays within [0, 100] for any detector quality.
+    #[test]
+    fn evasion_never_beats_unimpeded(
+        strategy in evasion_strategy(),
+        tpr in 0.1f64..1.0,
+        fpr in 0.0f64..0.3,
+        n_star in 2u64..40,
+        seed in 0u64..1_000,
+    ) {
+        use valkyrie::core::{run_evasion, DetectorModel, EvasionScenario};
+        let config = EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let scenario = EvasionScenario::new(
+            strategy,
+            DetectorModel::new(tpr, fpr).unwrap(),
+            80,
+        )
+        .with_seed(seed);
+        let out = run_evasion(&config, &scenario);
+        prop_assert!(out.progress <= out.unimpeded + 1e-9);
+        prop_assert!((0.0..=100.0).contains(&out.slowdown_percent()));
+        prop_assert!(out.active_epochs as f64 >= out.progress - 1e-9);
+    }
+
+    /// The k-consecutive baseline's benign survival probability is monotone:
+    /// it falls with the FP rate and rises with the streak length k.
+    #[test]
+    fn consecutive_survival_is_monotone(
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+        k in 1u32..6,
+        n in 1usize..200,
+    ) {
+        use valkyrie::core::ConsecutiveTermination;
+        let (lo, hi) = if p1 < p2 { (p1, p2) } else { (p2, p1) };
+        let policy = ConsecutiveTermination::new(k);
+        prop_assert!(
+            policy.benign_survival_probability(hi, n)
+                <= policy.benign_survival_probability(lo, n) + 1e-12
+        );
+        let stricter = ConsecutiveTermination::new(k + 1);
+        prop_assert!(
+            policy.benign_survival_probability(lo, n)
+                <= stricter.benign_survival_probability(lo, n) + 1e-12
+        );
+    }
+
+    /// Priority reduction bounds progress between the reduced-share floor
+    /// and full speed, and never terminates.
+    #[test]
+    fn priority_reduction_progress_is_bounded(
+        seq in classification_seq(150),
+        share in 0.0f64..1.0,
+    ) {
+        use valkyrie::core::PriorityReduction;
+        let out = PriorityReduction::new(share).run(&seq);
+        prop_assert!(out.survived());
+        let n = seq.len() as f64;
+        prop_assert!(out.total_progress() <= n + 1e-9);
+        prop_assert!(out.total_progress() >= share * n - 1e-9);
+    }
+
+    /// DRAM refresh permits at most one flip per `threshold` undetected
+    /// epochs, and zero flips if detections come faster than the threshold.
+    #[test]
+    fn dram_refresh_flip_bound(seq in classification_seq(300), threshold in 1u32..40) {
+        use valkyrie::core::DramRefresh;
+        let out = DramRefresh::new(threshold).run(&seq);
+        prop_assert!(out.flips <= (seq.len() as u32 / threshold) as u64);
+        let max_gap = seq
+            .split(|c| c.is_malicious())
+            .map(|gap| gap.len())
+            .max()
+            .unwrap_or(0);
+        if (max_gap as u32) < threshold {
+            prop_assert_eq!(out.flips, 0);
+        }
+    }
+
+    /// Ensemble rules are ordered by strictness: All ⟹ Majority ⟹ Any.
+    #[test]
+    fn combination_rules_are_ordered(malicious in 0usize..10, extra in 0usize..10) {
+        use valkyrie::detect::CombinationRule;
+        let total = malicious + extra;
+        prop_assume!(total > 0);
+        let flags = |r: CombinationRule| r.decide(malicious, total).is_malicious();
+        if flags(CombinationRule::All) {
+            prop_assert!(flags(CombinationRule::Majority));
+        }
+        if flags(CombinationRule::Majority) {
+            prop_assert!(flags(CombinationRule::Any));
+        }
+    }
+
+    /// A cyclic monitor that receives a benign verdict restarts with fresh
+    /// metrics: threat zero, normal state, zero measurements.
+    #[test]
+    fn cyclic_monitor_recycles_cleanly(prefix in classification_seq(40), n_star in 2u64..20) {
+        let mut m = Monitor::new_cyclic(
+            n_star,
+            AssessmentFn::incremental(),
+            AssessmentFn::incremental(),
+        );
+        for c in prefix {
+            if m.state() == ProcessState::Terminated {
+                return Ok(());
+            }
+            m.observe(c);
+        }
+        // Drive to the terminable verdict with benign epochs, then check
+        // that the verdict resets the cycle.
+        for _ in 0..(2 * n_star) {
+            if m.state() == ProcessState::Terminated {
+                return Ok(());
+            }
+            if m.state() == ProcessState::Terminable {
+                m.observe(Classification::Benign);
+                prop_assert_eq!(m.state(), ProcessState::Normal);
+                prop_assert_eq!(m.measurements(), 0);
+                prop_assert!(m.threat().is_zero());
+                prop_assert_eq!(m.penalty(), 0.0);
+                return Ok(());
+            }
+            m.observe(Classification::Benign);
+        }
+        prop_assert!(false, "terminable state never reached");
+    }
+}
