@@ -47,12 +47,7 @@ fn build_sbox() -> [u8; 256] {
     let mut sbox = [0u8; 256];
     for (i, s) in sbox.iter_mut().enumerate() {
         let b = inv[i];
-        *s = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        *s = b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
     }
     sbox
 }
@@ -112,12 +107,7 @@ impl Aes128 {
         let t = tables();
         let mut w = [0u32; 44];
         for i in 0..4 {
-            w[i] = u32::from_be_bytes([
-                key[4 * i],
-                key[4 * i + 1],
-                key[4 * i + 2],
-                key[4 * i + 3],
-            ]);
+            w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
         }
         for i in 4..44 {
             let mut tmp = w[i - 1];
@@ -161,12 +151,8 @@ impl Aes128 {
         let mut trace = Vec::with_capacity(40);
         let mut s = [0u32; 4];
         for i in 0..4 {
-            s[i] = u32::from_be_bytes([
-                pt[4 * i],
-                pt[4 * i + 1],
-                pt[4 * i + 2],
-                pt[4 * i + 3],
-            ]) ^ self.round_keys[0][i];
+            s[i] = u32::from_be_bytes([pt[4 * i], pt[4 * i + 1], pt[4 * i + 2], pt[4 * i + 3]])
+                ^ self.round_keys[0][i];
         }
         for round in 1..10 {
             let mut next = [0u32; 4];
@@ -194,8 +180,7 @@ impl Aes128 {
             let b1 = t.sbox[((s[(i + 1) % 4] >> 16) & 0xff) as usize];
             let b2 = t.sbox[((s[(i + 2) % 4] >> 8) & 0xff) as usize];
             let b3 = t.sbox[(s[(i + 3) % 4] & 0xff) as usize];
-            let word =
-                u32::from_be_bytes([b0, b1, b2, b3]) ^ self.round_keys[10][i];
+            let word = u32::from_be_bytes([b0, b1, b2, b3]) ^ self.round_keys[10][i];
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
         }
         (out, trace)
@@ -209,8 +194,12 @@ impl Aes128 {
         // State word i consumes bytes (col-major with ShiftRows offsets).
         let mut n = 0;
         for i in 0..4 {
-            for (tbl, src) in [(0usize, i), (1, (i + 1) % 4), (2, (i + 2) % 4), (3, (i + 3) % 4)]
-            {
+            for (tbl, src) in [
+                (0usize, i),
+                (1, (i + 1) % 4),
+                (2, (i + 2) % 4),
+                (3, (i + 3) % 4),
+            ] {
                 let byte_pos = 4 * src + tbl;
                 out[n] = (tbl as u8, pt[byte_pos] ^ self.key[byte_pos]);
                 n += 1;
@@ -225,16 +214,16 @@ mod tests {
     use super::*;
 
     const FIPS_KEY: [u8; 16] = [
-        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
-        0x0e, 0x0f,
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+        0x0f,
     ];
     const FIPS_PT: [u8; 16] = [
-        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
-        0xee, 0xff,
+        0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee,
+        0xff,
     ];
     const FIPS_CT: [u8; 16] = [
-        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
-        0xc5, 0x5a,
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5,
+        0x5a,
     ];
 
     #[test]

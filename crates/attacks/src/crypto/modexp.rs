@@ -62,7 +62,11 @@ pub fn bits_from_trace(trace: &[ModExpOp]) -> Vec<bool> {
     let mut bits = Vec::new();
     let mut i = 0;
     while i < trace.len() {
-        debug_assert_eq!(trace[i], ModExpOp::Square, "trace must start windows with squares");
+        debug_assert_eq!(
+            trace[i],
+            ModExpOp::Square,
+            "trace must start windows with squares"
+        );
         if i + 1 < trace.len() && trace[i + 1] == ModExpOp::Multiply {
             bits.push(true);
             i += 2;

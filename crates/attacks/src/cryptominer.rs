@@ -86,7 +86,11 @@ impl Workload for Cryptominer {
         // remainder is the same arithmetic, accounted statistically.
         let real = budget.min(self.config.real_hashes_per_epoch);
         for _ in 0..real {
-            if pow_attempt(b"valkyrie-block-header", self.nonce, self.config.difficulty_bits) {
+            if pow_attempt(
+                b"valkyrie-block-header",
+                self.nonce,
+                self.config.difficulty_bits,
+            ) {
                 self.shares_found += 1;
             }
             self.nonce += 1;

@@ -82,7 +82,9 @@ impl EvictTimeAttack {
         let mut key = [0u8; 16];
         let mut s = config.key_seed;
         for k in key.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *k = (s >> 33) as u8;
         }
         Self {

@@ -85,8 +85,7 @@ impl Workload for Exfiltration {
 
     fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
         // CPU ceiling, collapsed by memory thrashing.
-        let cpu_budget =
-            ctx.cpu_ticks as f64 * self.config.bytes_per_tick * ctx.mem_efficiency;
+        let cpu_budget = ctx.cpu_ticks as f64 * self.config.bytes_per_tick * ctx.mem_efficiency;
         let mut files_budget = ctx.fs_file_budget.floor() as u64;
         let mut staged = 0.0_f64;
 

@@ -78,7 +78,9 @@ impl L1dAesAttack {
         let mut key = [0u8; 16];
         let mut s = config.key_seed;
         for k in key.iter_mut() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *k = (s >> 33) as u8;
         }
         Self {
@@ -156,10 +158,7 @@ impl L1dAesAttack {
         for p in 0..KEY_BYTES {
             let true_nibble = (self.aes.key()[p] >> 4) as usize;
             let s_true = self.scores[p][true_nibble];
-            let better = self.scores[p]
-                .iter()
-                .filter(|&&s| s > s_true)
-                .count() as f64;
+            let better = self.scores[p].iter().filter(|&&s| s > s_true).count() as f64;
             let ties = self.scores[p]
                 .iter()
                 .enumerate()

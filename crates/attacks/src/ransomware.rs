@@ -98,8 +98,8 @@ impl Workload for Ransomware {
             (ctx.cpu_ticks as f64 * self.config.bytes_per_tick * ctx.mem_efficiency) as u64;
         // File-open budget (the filesystem actuator's lever). A partially
         // encrypted file does not need re-opening.
-        let mut files_left = ctx.fs_file_budget.floor() as u64
-            + if self.partial_bytes > 0 { 1 } else { 0 };
+        let mut files_left =
+            ctx.fs_file_budget.floor() as u64 + if self.partial_bytes > 0 { 1 } else { 0 };
         let mut encrypted_now = 0u64;
 
         while budget > 0 && files_left > 0 {
@@ -219,6 +219,9 @@ mod tests {
         for _ in 0..20 {
             bytes += m.run_epoch()[&pid].progress;
         }
-        assert!(bytes < 100_000.0, "thrashing ransomware encrypted {bytes} B");
+        assert!(
+            bytes < 100_000.0,
+            "thrashing ransomware encrypted {bytes} B"
+        );
     }
 }

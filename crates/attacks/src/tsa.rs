@@ -75,7 +75,9 @@ impl TsaChannel {
         let mut s = config.message_seed;
         let message = (0..config.message_bits)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 62) & 1 == 1
             })
             .collect();

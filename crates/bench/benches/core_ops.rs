@@ -51,9 +51,18 @@ fn bench_engine_observe(c: &mut Criterion) {
 fn bench_actuator_laws(c: &mut Criterion) {
     let mut group = c.benchmark_group("core/actuator_laws");
     for (name, law) in [
-        ("percent_point", ThrottleLaw::PercentPointPerUnit { step: 0.1 }),
-        ("multiplicative", ThrottleLaw::MultiplicativePerUnit { factor: 0.9 }),
-        ("scheduler_weight", ThrottleLaw::SchedulerWeight { gamma: 0.1 }),
+        (
+            "percent_point",
+            ThrottleLaw::PercentPointPerUnit { step: 0.1 },
+        ),
+        (
+            "multiplicative",
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+        ),
+        (
+            "scheduler_weight",
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ),
         ("halving", ThrottleLaw::HalvePerEvent),
     ] {
         group.bench_function(name, |b| {

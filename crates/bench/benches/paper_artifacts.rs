@@ -50,7 +50,9 @@ fn bench_fig4(c: &mut Criterion) {
         threshold: 3.5,
         seed: 3,
     };
-    g.bench_function("fig4a_l1d_aes", |b| b.iter(|| black_box(x::fig4::run_a(&cfg))));
+    g.bench_function("fig4a_l1d_aes", |b| {
+        b.iter(|| black_box(x::fig4::run_a(&cfg)))
+    });
     g.bench_function("fig4c_tsa", |b| b.iter(|| black_box(x::fig4::run_c(&cfg))));
     g.bench_function("fig4e_llc_channel", |b| {
         b.iter(|| black_box(x::fig4::run_e(&cfg)))
@@ -88,9 +90,15 @@ fn bench_fig6(c: &mut Criterion) {
         use_lstm: false,
         seed: 4,
     };
-    g.bench_function("fig6a_rowhammer", |b| b.iter(|| black_box(x::fig6::run_a(&cfg))));
-    g.bench_function("fig6b_ransomware", |b| b.iter(|| black_box(x::fig6::run_b(&cfg))));
-    g.bench_function("fig6c_cryptominer", |b| b.iter(|| black_box(x::fig6::run_c(&cfg))));
+    g.bench_function("fig6a_rowhammer", |b| {
+        b.iter(|| black_box(x::fig6::run_a(&cfg)))
+    });
+    g.bench_function("fig6b_ransomware", |b| {
+        b.iter(|| black_box(x::fig6::run_b(&cfg)))
+    });
+    g.bench_function("fig6c_cryptominer", |b| {
+        b.iter(|| black_box(x::fig6::run_c(&cfg)))
+    });
     g.finish();
 }
 

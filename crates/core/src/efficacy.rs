@@ -298,7 +298,9 @@ mod tests {
     #[test]
     fn spec_display() {
         assert_eq!(
-            EfficacySpec::f1_at_least(0.9).and_fpr_at_most(0.1).to_string(),
+            EfficacySpec::f1_at_least(0.9)
+                .and_fpr_at_most(0.1)
+                .to_string(),
             "F1 >= 0.9 and FPR <= 0.1"
         );
     }

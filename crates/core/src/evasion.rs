@@ -358,11 +358,8 @@ mod tests {
 
     #[test]
     fn always_active_attacker_is_terminated_right_after_n_star() {
-        let scenario = EvasionScenario::new(
-            AttackerStrategy::AlwaysActive,
-            DetectorModel::perfect(),
-            40,
-        );
+        let scenario =
+            EvasionScenario::new(AttackerStrategy::AlwaysActive, DetectorModel::perfect(), 40);
         let out = run_evasion(&config(15), &scenario);
         assert_eq!(out.terminated_at, Some(16));
         assert!(out.progress < out.unimpeded);
@@ -538,12 +535,8 @@ mod tests {
 
     #[test]
     fn scenario_accessors_round_trip() {
-        let s = EvasionScenario::new(
-            AttackerStrategy::AlwaysActive,
-            DetectorModel::perfect(),
-            7,
-        )
-        .with_seed(9);
+        let s = EvasionScenario::new(AttackerStrategy::AlwaysActive, DetectorModel::perfect(), 7)
+            .with_seed(9);
         assert_eq!(s.horizon(), 7);
         assert_eq!(s.detector().tpr(), 1.0);
         assert_eq!(s.strategy(), AttackerStrategy::AlwaysActive);

@@ -65,9 +65,7 @@ pub use baselines::{ConsecutiveTermination, DramRefresh, PriorityReduction, Warn
 pub use efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
 pub use engine::{Action, EngineConfig, EngineConfigBuilder, EngineResponse, ValkyrieEngine};
 pub use error::ValkyrieError;
-pub use evasion::{
-    run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario,
-};
+pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
 pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, Monitor, StepReport};
 pub use resource::{ProcessId, ResourceKind, ResourceVector};

@@ -121,17 +121,16 @@ mod tests {
 
     #[test]
     fn each_detection_costs_one_migration() {
-        let p = migration_progress(
-            &[Malicious, Benign, Benign],
-            MigrationPolicy::new(0.5, 0),
-        );
+        let p = migration_progress(&[Malicious, Benign, Benign], MigrationPolicy::new(0.5, 0));
         assert_eq!(p, vec![0.5, 1.0, 1.0]);
     }
 
     #[test]
     fn system_migration_debt_spills_over_epochs() {
-        let p = migration_progress(&[Malicious, Benign, Benign, Benign, Benign],
-            MigrationPolicy::system_migration());
+        let p = migration_progress(
+            &[Malicious, Benign, Benign, Benign, Benign],
+            MigrationPolicy::system_migration(),
+        );
         // 1.8 epochs of downtime paid over the first two epochs.
         assert_eq!(p[0], 0.0);
         assert!((p[1] - 0.2).abs() < 1e-12);

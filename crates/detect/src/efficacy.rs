@@ -22,7 +22,10 @@ impl EfficacyGrid {
     /// Panics if empty or containing zero.
     pub fn new(mut points: Vec<u32>) -> Self {
         assert!(!points.is_empty(), "grid must be non-empty");
-        assert!(points.iter().all(|&p| p > 0), "grid counts must be positive");
+        assert!(
+            points.iter().all(|&p| p > 0),
+            "grid counts must be positive"
+        );
         points.sort_unstable();
         points.dedup();
         Self { points }

@@ -182,7 +182,10 @@ mod tests {
         let benign_score = det.score(&Signature::cpu_bound().sample(&mut rng, 1.0));
         let spy_score = det.score(&Signature::llc_thrashing().sample(&mut rng, 1.0));
         let hammer_score = det.score(&Signature::hammering().sample(&mut rng, 1.0));
-        assert!(spy_score > 3.0 * benign_score, "spy {spy_score} vs {benign_score}");
+        assert!(
+            spy_score > 3.0 * benign_score,
+            "spy {spy_score} vs {benign_score}"
+        );
         assert!(hammer_score > 3.0 * benign_score);
     }
 

@@ -124,7 +124,10 @@ mod tests {
             })
             .collect();
         (
-            VotingDetector::new(StatisticalDetector::fit_normalized(&benign, 4.0), vote_after),
+            VotingDetector::new(
+                StatisticalDetector::fit_normalized(&benign, 4.0),
+                vote_after,
+            ),
             rng,
         )
     }

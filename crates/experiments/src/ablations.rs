@@ -112,9 +112,18 @@ pub fn assessment_functions() -> AblationResult {
 pub fn actuator_laws() -> AblationResult {
     let mut rows = Vec::new();
     for (label, law) in [
-        ("10 pp per threat unit", ThrottleLaw::PercentPointPerUnit { step: 0.10 }),
-        ("x0.9 per threat unit", ThrottleLaw::MultiplicativePerUnit { factor: 0.9 }),
-        ("Eq. 8 weight (gamma 0.1)", ThrottleLaw::SchedulerWeight { gamma: 0.1 }),
+        (
+            "10 pp per threat unit",
+            ThrottleLaw::PercentPointPerUnit { step: 0.10 },
+        ),
+        (
+            "x0.9 per threat unit",
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+        ),
+        (
+            "Eq. 8 weight (gamma 0.1)",
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ),
         ("halve per increase", ThrottleLaw::HalvePerEvent),
     ] {
         let actuator = ShareActuator::new(ResourceKind::Cpu, law, 0.01);
@@ -181,11 +190,7 @@ pub fn resource_floor() -> AblationResult {
             fp_slowdown_pct: fp,
         });
     }
-    render(
-        "minimum resource share (slowdown bound)",
-        "floor",
-        rows,
-    )
+    render("minimum resource share (slowdown bound)", "floor", rows)
 }
 
 /// Runs all four sweeps.

@@ -11,9 +11,7 @@
 //! reproduces the attack number almost exactly.
 
 use crate::harness::TextTable;
-use valkyrie_core::{
-    simulate_response, AssessmentFn, Classification, ShareActuator, ThrottleLaw,
-};
+use valkyrie_core::{simulate_response, AssessmentFn, Classification, ShareActuator, ThrottleLaw};
 
 /// One interpretation's computed slowdowns.
 #[derive(Debug, Clone, PartialEq)]

@@ -4,7 +4,10 @@ use valkyrie_experiments as x;
 fn main() {
     println!("{}", x::analytic::run().report);
     println!("{}", x::table1::run());
-    println!("{}", x::table2::run(&x::table2::Table2Config::default()).report);
+    println!(
+        "{}",
+        x::table2::run(&x::table2::Table2Config::default()).report
+    );
     println!("{}", x::table3::run());
     println!("{}", x::fig1::run(&x::fig1::Fig1Config::default()).report);
     let f4 = x::fig4::Fig4Config::default();
@@ -18,12 +21,24 @@ fn main() {
     let a = x::fig5::run_5a(&f5);
     println!("{}", a.report);
     println!("{}", x::fig5::run_5b(&f5, &a).report);
-    println!("{}", x::table4::run(&x::table4::Table4Config::default()).report);
+    println!(
+        "{}",
+        x::table4::run(&x::table4::Table4Config::default()).report
+    );
     let f6 = x::fig6::Fig6Config::default();
     println!("{}", x::fig6::run_a(&f6).report);
     println!("{}", x::fig6::run_b(&f6).report);
     println!("{}", x::fig6::run_c(&f6).report);
-    println!("{}", x::responses::run(&x::responses::ResponsesConfig::default()).report);
-    println!("{}", x::evasion::run(&x::evasion::EvasionConfig::default()).report);
-    println!("{}", x::ensemble::run(&x::ensemble::EnsembleConfig::default()).report);
+    println!(
+        "{}",
+        x::responses::run(&x::responses::ResponsesConfig::default()).report
+    );
+    println!(
+        "{}",
+        x::evasion::run(&x::evasion::EvasionConfig::default()).report
+    );
+    println!(
+        "{}",
+        x::ensemble::run(&x::ensemble::EnsembleConfig::default()).report
+    );
 }

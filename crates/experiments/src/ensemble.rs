@@ -24,9 +24,7 @@ use crate::harness::{fmt, pct, TextTable};
 use valkyrie_core::EfficacyCurve;
 use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
 use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
-use valkyrie_ml::{
-    BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, Standardizer, SvmConfig,
-};
+use valkyrie_ml::{BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, Standardizer, SvmConfig};
 
 /// Experiment parameters (mirrors [`crate::fig1::Fig1Config`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,7 +142,11 @@ pub fn run(config: &EnsembleConfig) -> EnsembleResult {
     let gbdt = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
     // The screen is a pooled small ANN trained exactly like Fig. 1's.
     let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
-    let ann = Mlp::train(&MlpConfig::small_ann(px[0].len()).with_epochs(150), &px, &py);
+    let ann = Mlp::train(
+        &MlpConfig::small_ann(px[0].len()).with_epochs(150),
+        &px,
+        &py,
+    );
 
     let screen_fires = |p: &[Vec<f64>]| {
         ann.predict_proba(&standardizer.transform(&pooled_mean(p))) >= config.screen_threshold
@@ -189,7 +191,14 @@ pub fn run(config: &EnsembleConfig) -> EnsembleResult {
         })
         .collect();
 
-    let report = render(config, &screen, &confirmer, &two_level, &panel, &confirmer_duty_cycle);
+    let report = render(
+        config,
+        &screen,
+        &confirmer,
+        &two_level,
+        &panel,
+        &confirmer_duty_cycle,
+    );
     EnsembleResult {
         screen,
         confirmer,

@@ -103,11 +103,7 @@ fn label(strategy: AttackerStrategy) -> String {
     }
 }
 
-fn measure(
-    config: &EngineConfig,
-    strategy: AttackerStrategy,
-    cfg: &EvasionConfig,
-) -> StrategyRow {
+fn measure(config: &EngineConfig, strategy: AttackerStrategy, cfg: &EvasionConfig) -> StrategyRow {
     let detector = DetectorModel::new(cfg.tpr, cfg.fpr).expect("rates validated by config");
     let mut acc = EvasionOutcome {
         progress: 0.0,
@@ -323,7 +319,12 @@ mod tests {
     #[test]
     fn report_contains_all_sections() {
         let r = run(&quick());
-        for key in ["Duty-cycle sweep", "hardening", "Geometric tail", "sawtooth"] {
+        for key in [
+            "Duty-cycle sweep",
+            "hardening",
+            "Geometric tail",
+            "sawtooth",
+        ] {
             assert!(r.report.contains(key), "missing {key}");
         }
     }

@@ -6,8 +6,7 @@ use valkyrie_core::{EfficacyCurve, EfficacySpec};
 use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
 use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
 use valkyrie_ml::{
-    BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, SequenceDataset, Standardizer,
-    SvmConfig,
+    BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, SequenceDataset, Standardizer, SvmConfig,
 };
 
 /// Experiment parameters.
@@ -114,8 +113,16 @@ pub fn run(config: &Fig1Config) -> Fig1Result {
     // Pooled-feature ANNs: train on prefix means of several lengths so the
     // models see both noisy short-horizon and clean long-horizon inputs.
     let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
-    let small = Mlp::train(&MlpConfig::small_ann(px[0].len()).with_epochs(150), &px, &py);
-    let large = Mlp::train(&MlpConfig::large_ann(px[0].len()).with_epochs(150), &px, &py);
+    let small = Mlp::train(
+        &MlpConfig::small_ann(px[0].len()).with_epochs(150),
+        &px,
+        &py,
+    );
+    let large = Mlp::train(
+        &MlpConfig::large_ann(px[0].len()).with_epochs(150),
+        &px,
+        &py,
+    );
 
     let grid = EfficacyGrid::new((1..=config.grid_max).step_by(2).collect());
     let small_ann = measure_efficacy(&test, &grid, |p| {

@@ -153,7 +153,9 @@ where
     for e in 0..config.epochs {
         run.step();
         with_valkyrie.push(metric(
-            run.machine().workload_as::<T>(pid2).expect("workload present"),
+            run.machine()
+                .workload_as::<T>(pid2)
+                .expect("workload present"),
         ));
         if terminated_at.is_none() && run.state(pid2) == Some(ProcessState::Terminated) {
             terminated_at = Some(e + 1);

@@ -16,7 +16,9 @@ use valkyrie_core::{AssessmentFn, Classification, EngineConfig, ShareActuator};
 use valkyrie_detect::{StatisticalDetector, VotingDetector};
 use valkyrie_sim::machine::Machine;
 use valkyrie_sim::Platform;
-use valkyrie_workloads::{multithreaded_roster, roster, spawn_team, BenchmarkSpec, BenchmarkWorkload};
+use valkyrie_workloads::{
+    multithreaded_roster, roster, spawn_team, BenchmarkSpec, BenchmarkWorkload,
+};
 
 /// Fig. 5 parameters.
 #[derive(Debug, Clone)]
@@ -224,7 +226,13 @@ pub fn run_5a(config: &Fig5Config) -> Fig5aResult {
         .iter()
         .max_by(|a, b| a.slowdown_pct.total_cmp(&b.slowdown_pct));
 
-    let mut t = TextTable::new(vec!["benchmark", "suite", "baseline", "with Valkyrie", "slowdown"]);
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "suite",
+        "baseline",
+        "with Valkyrie",
+        "slowdown",
+    ]);
     for r in rows.iter().chain(mt_rows.iter()) {
         t.row(vec![
             r.name.clone(),
@@ -251,8 +259,14 @@ pub fn run_5a(config: &Fig5Config) -> Fig5aResult {
         under5,
         rows.len(),
     ));
-    report.push_str("paper:          geo-mean 1.0% | arith-mean 2.8% | max 40.3% | 35/77 < 1% | 60/77 < 5%\n");
-    let terminated = rows.iter().chain(mt_rows.iter()).filter(|r| r.terminated).count();
+    report.push_str(
+        "paper:          geo-mean 1.0% | arith-mean 2.8% | max 40.3% | 35/77 < 1% | 60/77 < 5%\n",
+    );
+    let terminated = rows
+        .iter()
+        .chain(mt_rows.iter())
+        .filter(|r| r.terminated)
+        .count();
     report.push_str(&format!(
         "benign processes wrongly terminated: {terminated} (Valkyrie's R2 target: 0)\n"
     ));

@@ -137,7 +137,9 @@ pub fn run_a(config: &Fig6Config) -> Fig6aResult {
         detector,
         ScenarioConfig::default(),
     );
-    let pid2 = run.machine_mut().spawn(Box::new(RowhammerAttack::default()));
+    let pid2 = run
+        .machine_mut()
+        .spawn(Box::new(RowhammerAttack::default()));
     crate::fig4::spawn_background(run.machine_mut());
     run.watch(pid2);
     run.run(config.hammer_epochs_with);
@@ -438,10 +440,6 @@ mod tests {
     #[test]
     fn fig6c_miner_slowdown_is_about_99_percent() {
         let r = run_c(&Fig6Config::quick());
-        assert!(
-            r.slowdown_pct > 90.0,
-            "miner slowdown {}%",
-            r.slowdown_pct
-        );
+        assert!(r.slowdown_pct > 90.0, "miner slowdown {}%", r.slowdown_pct);
     }
 }

@@ -222,7 +222,9 @@ mod tests {
         );
         let mut spec = roster().remove(0);
         spec.epochs_to_complete = 8;
-        let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+        let pid = run
+            .machine_mut()
+            .spawn(Box::new(BenchmarkWorkload::new(spec)));
         run.watch(pid);
         run.run(8);
         assert!(run.machine().is_completed(pid));
@@ -244,7 +246,9 @@ mod tests {
         );
         let mut spec = roster().remove(0);
         spec.epochs_to_complete = 1000;
-        let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+        let pid = run
+            .machine_mut()
+            .spawn(Box::new(BenchmarkWorkload::new(spec)));
         run.watch(pid);
         run.run(10);
         let hist = run.history(pid);

@@ -49,7 +49,13 @@ pub fn survey() -> Vec<SurveyRow> {
     let rows = [
         ("Not specified", "Alam et al. [12]", No, No, "5-7%"),
         ("Not specified", "Briongos et al. [19]", No, No, "1.6-4.3%"),
-        ("Not specified", "Chiapetta et al. [23]", No, No, "Not reported"),
+        (
+            "Not specified",
+            "Chiapetta et al. [23]",
+            No,
+            No,
+            "Not reported",
+        ),
         ("Not specified", "Gulmezoglu et al. [32]", No, No, "0.21%"),
         ("Not specified", "Mushtaq et al. [46]", No, No, "1-30%"),
         ("Not specified", "Mushtaq et al. [47]", No, No, "5%"),
@@ -61,8 +67,20 @@ pub fn survey() -> Vec<SurveyRow> {
         ("Not specified", "Tahir et al. [61]", No, No, "0.25%"),
         ("Not specified", "Mani et al. [40]", No, No, "0.2-3.8%"),
         ("Warning", "Kulah et al. [38]", Partial, No, "Not reported"),
-        ("Migration", "Zhang et al. [69]", Yes, Partial, "Not reported"),
-        ("Migration", "Nomani et al. [49]", Yes, Partial, "Not reported"),
+        (
+            "Migration",
+            "Zhang et al. [69]",
+            Yes,
+            Partial,
+            "Not reported",
+        ),
+        (
+            "Migration",
+            "Nomani et al. [49]",
+            Yes,
+            Partial,
+            "Not reported",
+        ),
         ("Termination", "Mushtaq et al. [48]", Yes, No, "1-3%"),
         ("Termination", "Payer [53]", Yes, No, "Not reported"),
         ("DRAM responses", "Aweke et al. [14]", Yes, Yes, "1%"),

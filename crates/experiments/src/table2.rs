@@ -112,21 +112,13 @@ pub fn run(config: &Table2Config) -> Table2Result {
     }
 
     push("Network", "1024G [default]".into(), default_rate);
-    for (label, cap) in [
-        ("512G", 5.12e11),
-        ("512M", 5.12e8),
-        ("512K", 5.12e5),
-    ] {
+    for (label, cap) in [("512G", 5.12e11), ("512M", 5.12e8), ("512K", 5.12e5)] {
         let r = measure(config, |m, pid| m.set_network_cap(pid, cap));
         push("Network", label.into(), r);
     }
 
     push("Filesystem", "100 files/s [default]".into(), default_rate);
-    for (label, share) in [
-        ("90 files/s", 0.9),
-        ("50 files/s", 0.5),
-        ("1 file/s", 0.01),
-    ] {
+    for (label, share) in [("90 files/s", 0.9), ("50 files/s", 0.5), ("1 file/s", 0.01)] {
         let r = measure(config, |m, pid| m.set_fs_share(pid, share));
         push("Filesystem", label.into(), r);
     }
@@ -162,7 +154,11 @@ mod tests {
         };
         // Default near 225.7 KB/s.
         let d = find("CPU", "100%");
-        assert!((d.kb_per_s - 225.7).abs() < 20.0, "default {:.1}", d.kb_per_s);
+        assert!(
+            (d.kb_per_s - 225.7).abs() < 20.0,
+            "default {:.1}",
+            d.kb_per_s
+        );
         // CPU is roughly proportional.
         assert!(find("CPU", "50%").slowdown_pct > 35.0);
         assert!(find("CPU", "1%").slowdown_pct > 98.0);

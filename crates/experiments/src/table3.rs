@@ -95,7 +95,10 @@ pub fn run() -> String {
             c.actuator.to_string(),
         ]);
     }
-    format!("Table III — case studies and Valkyrie configuration\n\n{}", t.render())
+    format!(
+        "Table III — case studies and Valkyrie configuration\n\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -109,7 +112,10 @@ mod tests {
 
     #[test]
     fn microarch_studies_use_scheduler_actuator() {
-        for c in case_studies().iter().filter(|c| c.family == "Micro-architectural") {
+        for c in case_studies()
+            .iter()
+            .filter(|c| c.family == "Micro-architectural")
+        {
             assert!(c.actuator.contains("scheduler"));
         }
     }

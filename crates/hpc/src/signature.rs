@@ -111,7 +111,9 @@ impl Signature {
     /// Cryptominer: long arithmetic bursts, almost no memory traffic — few
     /// stores, few branch misses, near-zero faults per cycle.
     pub fn cryptominer() -> Self {
-        Self::from_profile(6.0e8, 0.001, 0.001, 0.004, 0.30, 0.0002, 0.0005, 0.02, 0.005)
+        Self::from_profile(
+            6.0e8, 0.001, 0.001, 0.004, 0.30, 0.0002, 0.0005, 0.02, 0.005,
+        )
     }
 
     /// Builds a signature from ratios relative to the instruction count.

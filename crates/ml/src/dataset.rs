@@ -191,7 +191,15 @@ pub fn generate_corpus(config: &CorpusConfig) -> SequenceDataset {
         // (directory walks, key exchange) that look benign through the
         // counters — the single-measurement ambiguity Fig. 1 rests on.
         let quiet = Signature::cpu_bound().scaled(intensity);
-        let seq = gen_trace_mixed(&sig, &quiet, 0.40, config.trace_len, 0.35, &mut rng, v as u64);
+        let seq = gen_trace_mixed(
+            &sig,
+            &quiet,
+            0.40,
+            config.trace_len,
+            0.35,
+            &mut rng,
+            v as u64,
+        );
         out.sequences.push(seq);
         out.labels.push(1.0);
     }
@@ -215,7 +223,15 @@ pub fn generate_corpus(config: &CorpusConfig) -> SequenceDataset {
         // Every benign program has occasional I/O bursts that resemble
         // ransomware through the counters.
         let bursty = Signature::ransomware().scaled(scale * 0.8);
-        let seq = gen_trace_mixed(&sig, &bursty, 0.12, config.trace_len, 0.30, &mut rng, 1000 + p as u64);
+        let seq = gen_trace_mixed(
+            &sig,
+            &bursty,
+            0.12,
+            config.trace_len,
+            0.30,
+            &mut rng,
+            1000 + p as u64,
+        );
         out.sequences.push(seq);
         out.labels.push(0.0);
     }
@@ -238,7 +254,11 @@ fn gen_trace_mixed(
     let mut drift = 1.0_f64;
     for _ in 0..len {
         drift = (drift + (rng.gen::<f64>() - 0.5) * 0.08).clamp(0.6, 1.4);
-        let sig = if rng.gen::<f64>() < alt_prob { alt } else { main };
+        let sig = if rng.gen::<f64>() < alt_prob {
+            alt
+        } else {
+            main
+        };
         let s = sig.sample(rng, 1.0);
         let mut x = Vec::with_capacity(EVENT_COUNT);
         for v in s.as_features() {

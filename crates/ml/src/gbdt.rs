@@ -173,8 +173,8 @@ fn build_tree(
     let dim = xs[0].len();
     let parent_score = g_sum * g_sum / (h_sum + config.lambda);
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-    // `f` indexes a feature *column* across the row-major sample matrix;
-    // there is no column iterator to borrow, so the index loop stays.
+                                                    // `f` indexes a feature *column* across the row-major sample matrix;
+                                                    // there is no column iterator to borrow, so the index loop stays.
     #[allow(clippy::needless_range_loop)]
     for f in 0..dim {
         let mut sorted: Vec<usize> = idx.to_vec();
@@ -197,8 +197,8 @@ fn build_tree(
             if hl < config.min_child_weight || hr < config.min_child_weight {
                 continue;
             }
-            let gain = gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda)
-                - parent_score;
+            let gain =
+                gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda) - parent_score;
             if best.is_none_or(|(bg, _, _)| gain > bg) && gain > 1e-9 {
                 let threshold = 0.5 * (xs[sorted[w]][f] + xs[sorted[w + 1]][f]);
                 best = Some((gain, f, threshold));

@@ -167,9 +167,9 @@ impl Lstm {
     /// the hidden state after the final timestep.
     pub fn predict_proba(&self, seq: &[Vec<f64>]) -> f64 {
         let caches = self.forward(seq);
-        let h_last = caches.last().map_or(vec![0.0; self.config.hidden], |c| {
-            c.h.clone()
-        });
+        let h_last = caches
+            .last()
+            .map_or(vec![0.0; self.config.hidden], |c| c.h.clone());
         sigmoid(dot(&self.wy, &h_last) + self.by)
     }
 

@@ -201,9 +201,7 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let center = if label == 1 { 1.0 } else { -1.0 };
-            let x: Vec<f64> = (0..4)
-                .map(|_| center + (rng.gen::<f64>() - 0.5))
-                .collect();
+            let x: Vec<f64> = (0..4).map(|_| center + (rng.gen::<f64>() - 0.5)).collect();
             xs.push(x);
             ys.push(label as f64);
         }

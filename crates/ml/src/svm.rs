@@ -88,7 +88,10 @@ impl LinearSvm {
                 t += 1;
             }
         }
-        Self { weights: w, bias: b }
+        Self {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Signed decision value `w·x + b`.
@@ -127,10 +130,7 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let c = if label == 1 { 1.5 } else { -1.5 };
-            xs.push(vec![
-                c + rng.gen::<f64>() - 0.5,
-                c + rng.gen::<f64>() - 0.5,
-            ]);
+            xs.push(vec![c + rng.gen::<f64>() - 0.5, c + rng.gen::<f64>() - 0.5]);
             ys.push(label as f64);
         }
         (xs, ys)

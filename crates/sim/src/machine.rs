@@ -343,7 +343,9 @@ impl Machine {
             let sched_grant = granted.get(&pid).copied().unwrap_or(0);
             let cpu_ticks = p.cpu.cap_ticks(epoch_ticks, sched_grant);
             let mem_eff = MemoryController::new(p.mem_limit_frac).efficiency();
-            let fs_budget = file_rate.with_share(p.fs_share).files_per_epoch(epoch_ticks);
+            let fs_budget = file_rate
+                .with_share(p.fs_share)
+                .files_per_epoch(epoch_ticks);
             let mut ctx = EpochCtx {
                 pid,
                 epoch: self.epoch,

@@ -16,10 +16,10 @@
 
 /// Calibration anchors: `(cap_bytes_per_sec, throughput_factor)`.
 const SHAPING_ANCHORS: [(f64, f64); 4] = [
-    (5.12e5, 2.2e-4),  // 512 KB/s
-    (5.12e8, 0.251),   // 512 MB/s
-    (5.12e11, 0.886),  // 512 GB/s
-    (1.024e12, 1.0),   // 1 TB/s — the paper's "default" (unshaped)
+    (5.12e5, 2.2e-4), // 512 KB/s
+    (5.12e8, 0.251),  // 512 MB/s
+    (5.12e11, 0.886), // 512 GB/s
+    (1.024e12, 1.0),  // 1 TB/s — the paper's "default" (unshaped)
 ];
 
 /// Multiplicative throughput factor imposed by traffic shaping at a given

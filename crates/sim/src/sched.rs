@@ -184,15 +184,15 @@ impl CfsScheduler {
         let mut remaining = ticks;
         while remaining > 0 {
             // Pick the runnable entity with minimum vruntime.
-            let Some((&pid, _)) = self
-                .entities
-                .iter()
-                .filter(|(_, e)| e.runnable)
-                .min_by(|a, b| {
-                    a.1.vruntime
-                        .partial_cmp(&b.1.vruntime)
-                        .expect("vruntime is finite")
-                })
+            let Some((&pid, _)) =
+                self.entities
+                    .iter()
+                    .filter(|(_, e)| e.runnable)
+                    .min_by(|a, b| {
+                        a.1.vruntime
+                            .partial_cmp(&b.1.vruntime)
+                            .expect("vruntime is finite")
+                    })
             else {
                 break; // idle
             };

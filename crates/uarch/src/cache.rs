@@ -248,7 +248,9 @@ impl Cache {
     pub fn prime_set(&mut self, set: usize, tag_base: u64) -> u32 {
         let mut latency = 0;
         for way in 0..self.config.ways {
-            latency += self.access(self.address_in_set(set, tag_base + way as u64)).latency;
+            latency += self
+                .access(self.address_in_set(set, tag_base + way as u64))
+                .latency;
         }
         latency
     }

@@ -75,13 +75,7 @@ pub struct BenchmarkSpec {
 }
 
 impl BenchmarkSpec {
-    fn new(
-        name: &'static str,
-        suite: Suite,
-        family: Family,
-        epochs: u64,
-        burst_prob: f64,
-    ) -> Self {
+    fn new(name: &'static str, suite: Suite, family: Family, epochs: u64, burst_prob: f64) -> Self {
         Self {
             name,
             suite,
@@ -132,20 +126,50 @@ pub fn roster() -> Vec<BenchmarkSpec> {
 
     // SPEC CPU2006 integer (12).
     for name in [
-        "perlbench", "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng", "libquantum",
-        "h264ref", "omnetpp", "astar", "xalancbmk",
+        "perlbench",
+        "bzip2",
+        "gcc",
+        "mcf",
+        "gobmk",
+        "hmmer",
+        "sjeng",
+        "libquantum",
+        "h264ref",
+        "omnetpp",
+        "astar",
+        "xalancbmk",
     ] {
         let fam = if matches!(name, "mcf" | "libquantum" | "omnetpp") {
             MemoryBound
         } else {
             CpuBound
         };
-        v.push(BenchmarkSpec::new(name, Spec2006, fam, runtime(name), base_burst(fam, name)));
+        v.push(BenchmarkSpec::new(
+            name,
+            Spec2006,
+            fam,
+            runtime(name),
+            base_burst(fam, name),
+        ));
     }
     // SPEC CPU2006 floating point (17).
     for name in [
-        "bwaves", "gamess", "milc", "zeusmp", "gromacs", "cactusADM", "leslie3d", "namd",
-        "dealII", "soplex", "povray", "calculix", "GemsFDTD", "tonto", "lbm", "wrf",
+        "bwaves",
+        "gamess",
+        "milc",
+        "zeusmp",
+        "gromacs",
+        "cactusADM",
+        "leslie3d",
+        "namd",
+        "dealII",
+        "soplex",
+        "povray",
+        "calculix",
+        "GemsFDTD",
+        "tonto",
+        "lbm",
+        "wrf",
         "sphinx3",
     ] {
         let fam = if matches!(name, "bwaves" | "milc" | "leslie3d" | "lbm" | "GemsFDTD") {
@@ -153,16 +177,44 @@ pub fn roster() -> Vec<BenchmarkSpec> {
         } else {
             CpuBound
         };
-        v.push(BenchmarkSpec::new(name, Spec2006, fam, runtime(name), base_burst(fam, name)));
+        v.push(BenchmarkSpec::new(
+            name,
+            Spec2006,
+            fam,
+            runtime(name),
+            base_burst(fam, name),
+        ));
     }
     // SPEC CPU2017 rate (23).
     for name in [
-        "perlbench_r", "gcc_r", "mcf_r", "omnetpp_r", "xalancbmk_r", "x264_r",
-        "deepsjeng_r", "leela_r", "exchange2_r", "xz_r", "bwaves_r", "cactuBSSN_r",
-        "namd_r", "parest_r", "povray_r", "lbm_r", "wrf_r", "blender_r", "cam4_r",
-        "imagick_r", "nab_r", "fotonik3d_r", "roms_r",
+        "perlbench_r",
+        "gcc_r",
+        "mcf_r",
+        "omnetpp_r",
+        "xalancbmk_r",
+        "x264_r",
+        "deepsjeng_r",
+        "leela_r",
+        "exchange2_r",
+        "xz_r",
+        "bwaves_r",
+        "cactuBSSN_r",
+        "namd_r",
+        "parest_r",
+        "povray_r",
+        "lbm_r",
+        "wrf_r",
+        "blender_r",
+        "cam4_r",
+        "imagick_r",
+        "nab_r",
+        "fotonik3d_r",
+        "roms_r",
     ] {
-        let fam = if matches!(name, "mcf_r" | "bwaves_r" | "lbm_r" | "fotonik3d_r" | "roms_r") {
+        let fam = if matches!(
+            name,
+            "mcf_r" | "bwaves_r" | "lbm_r" | "fotonik3d_r" | "roms_r"
+        ) {
             MemoryBound
         } else if matches!(name, "blender_r" | "povray_r" | "imagick_r") {
             Graphics
@@ -176,24 +228,53 @@ pub fn roster() -> Vec<BenchmarkSpec> {
         } else {
             base_burst(fam, name)
         };
-        v.push(BenchmarkSpec::new(name, Spec2017Rate, fam, runtime(name), burst));
+        v.push(BenchmarkSpec::new(
+            name,
+            Spec2017Rate,
+            fam,
+            runtime(name),
+            burst,
+        ));
     }
     // SPEC CPU2017 speed, single-threaded configuration (12).
     for name in [
-        "perlbench_s", "gcc_s", "mcf_s", "omnetpp_s", "xalancbmk_s", "x264_s",
-        "deepsjeng_s", "leela_s", "exchange2_s", "xz_s", "lbm_s", "wrf_s",
+        "perlbench_s",
+        "gcc_s",
+        "mcf_s",
+        "omnetpp_s",
+        "xalancbmk_s",
+        "x264_s",
+        "deepsjeng_s",
+        "leela_s",
+        "exchange2_s",
+        "xz_s",
+        "lbm_s",
+        "wrf_s",
     ] {
         let fam = if matches!(name, "mcf_s" | "lbm_s") {
             MemoryBound
         } else {
             CpuBound
         };
-        v.push(BenchmarkSpec::new(name, Spec2017Speed, fam, runtime(name), base_burst(fam, name)));
+        v.push(BenchmarkSpec::new(
+            name,
+            Spec2017Speed,
+            fam,
+            runtime(name),
+            base_burst(fam, name),
+        ));
     }
     // SPECViewperf 13 (9).
     for name in [
-        "3dsmax-06", "catia-05", "creo-02", "energy-02", "maya-05", "medical-02",
-        "showcase-02", "snx-03", "sw-04",
+        "3dsmax-06",
+        "catia-05",
+        "creo-02",
+        "energy-02",
+        "maya-05",
+        "medical-02",
+        "showcase-02",
+        "snx-03",
+        "sw-04",
     ] {
         v.push(BenchmarkSpec::new(
             name,
@@ -221,8 +302,16 @@ pub fn roster() -> Vec<BenchmarkSpec> {
 /// multi-threaded bars.
 pub fn multithreaded_roster() -> Vec<BenchmarkSpec> {
     [
-        "bwaves_s", "cactuBSSN_s", "lbm_mt", "wrf_mt", "cam4_s", "pop2_s", "imagick_mt",
-        "nab_s", "fotonik3d_mt", "roms_mt",
+        "bwaves_s",
+        "cactuBSSN_s",
+        "lbm_mt",
+        "wrf_mt",
+        "cam4_s",
+        "pop2_s",
+        "imagick_mt",
+        "nab_s",
+        "fotonik3d_mt",
+        "roms_mt",
     ]
     .into_iter()
     .map(|name| {

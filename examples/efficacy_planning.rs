@@ -30,7 +30,10 @@ fn main() -> Result<(), ValkyrieError> {
 
     // Three deployments with different requirements (Section IV-C):
     let deployments = [
-        ("critical system (terminate early)", EfficacySpec::f1_at_least(0.80)),
+        (
+            "critical system (terminate early)",
+            EfficacySpec::f1_at_least(0.80),
+        ),
         ("general purpose", EfficacySpec::f1_at_least(0.90)),
         (
             "FP-sensitive batch cluster",

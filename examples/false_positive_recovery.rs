@@ -39,7 +39,9 @@ fn main() -> Result<(), ValkyrieError> {
             window: n_star as usize * 3,
         },
     );
-    let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+    let pid = run
+        .machine_mut()
+        .spawn(Box::new(BenchmarkWorkload::new(spec)));
     run.watch(pid);
 
     let mut epochs = 0u64;
@@ -47,11 +49,7 @@ fn main() -> Result<(), ValkyrieError> {
     while !run.machine().is_completed(pid) && epochs < baseline * 8 {
         run.step();
         epochs += 1;
-        if run
-            .history(pid)
-            .last()
-            .is_some_and(|r| r.cpu_share < 1.0)
-        {
+        if run.history(pid).last().is_some_and(|r| r.cpu_share < 1.0) {
             throttled_epochs += 1;
         }
         assert!(run.machine().is_alive(pid), "benign program must survive");

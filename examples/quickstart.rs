@@ -9,10 +9,26 @@ fn main() -> Result<(), ValkyrieError> {
     // 1. The user specifies the detection efficacy their deployment needs;
     //    Valkyrie derives N* from the detector's measured efficacy curve.
     let curve = EfficacyCurve::new(vec![
-        EfficacyPoint { measurements: 5, f1: 0.70, fpr: 0.35 },
-        EfficacyPoint { measurements: 15, f1: 0.86, fpr: 0.18 },
-        EfficacyPoint { measurements: 23, f1: 0.92, fpr: 0.11 },
-        EfficacyPoint { measurements: 50, f1: 0.95, fpr: 0.07 },
+        EfficacyPoint {
+            measurements: 5,
+            f1: 0.70,
+            fpr: 0.35,
+        },
+        EfficacyPoint {
+            measurements: 15,
+            f1: 0.86,
+            fpr: 0.18,
+        },
+        EfficacyPoint {
+            measurements: 23,
+            f1: 0.92,
+            fpr: 0.11,
+        },
+        EfficacyPoint {
+            measurements: 50,
+            f1: 0.95,
+            fpr: 0.07,
+        },
     ])?;
     let spec = EfficacySpec::f1_at_least(0.9);
     let config = EngineConfig::builder()

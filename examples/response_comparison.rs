@@ -31,6 +31,10 @@ fn main() {
         });
     println!(
         "valkyrie is {} by any single baseline on all three metrics",
-        if dominated { "not dominated" } else { "DOMINATED" }
+        if dominated {
+            "not dominated"
+        } else {
+            "DOMINATED"
+        }
     );
 }

@@ -1,5 +1,7 @@
 //! Cross-crate integration tests: full detector → engine → machine loops.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use valkyrie::attacks::cryptominer::Cryptominer;
 use valkyrie::attacks::ransomware::Ransomware;
 use valkyrie::attacks::rowhammer::RowhammerAttack;
@@ -10,8 +12,6 @@ use valkyrie::experiments::scenario::{AugmentedRun, CpuLever, ScenarioConfig};
 use valkyrie::sim::fs::SimFs;
 use valkyrie::sim::machine::{Machine, MachineConfig};
 use valkyrie::workloads::{roster, BenchmarkWorkload};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn engine(n_star: u64) -> EngineConfig {
     EngineConfig::builder()
@@ -74,7 +74,10 @@ fn ransomware_damage_is_bounded_by_valkyrie() {
     for _ in 0..30 {
         encrypted += run.step().get(&pid).map_or(0.0, |r| r.progress);
     }
-    assert!(!run.machine().is_alive(pid), "ransomware must be terminated");
+    assert!(
+        !run.machine().is_alive(pid),
+        "ransomware must be terminated"
+    );
     // Unthrottled it would have encrypted ~35 MB in 3 s; Valkyrie caps the
     // damage to a few MB.
     assert!(
@@ -93,7 +96,9 @@ fn rowhammer_never_flips_a_bit_under_valkyrie() {
         detector,
         ScenarioConfig::default(),
     );
-    let pid = run.machine_mut().spawn(Box::new(RowhammerAttack::default()));
+    let pid = run
+        .machine_mut()
+        .spawn(Box::new(RowhammerAttack::default()));
     spawn_background(run.machine_mut());
     run.watch(pid);
     run.run(2000); // 200 simulated seconds in the suspicious state
@@ -131,7 +136,9 @@ fn benign_program_survives_noisy_detector_and_recovers() {
             window: n_star as usize * 3,
         },
     );
-    let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+    let pid = run
+        .machine_mut()
+        .spawn(Box::new(BenchmarkWorkload::new(spec)));
     run.watch(pid);
     let mut epochs = 0;
     while !run.machine().is_completed(pid) && epochs < 500 {
@@ -144,7 +151,10 @@ fn benign_program_survives_noisy_detector_and_recovers() {
             "benign process was terminated"
         );
     }
-    assert!(run.machine().is_completed(pid), "must finish within 500 epochs");
+    assert!(
+        run.machine().is_completed(pid),
+        "must finish within 500 epochs"
+    );
     assert!(epochs >= 60, "cannot finish faster than the baseline");
 }
 
@@ -299,6 +309,10 @@ fn resource_floor_bounds_worst_case_throttling() {
     run.watch(pid);
     run.run(50);
     for rec in run.history(pid) {
-        assert!(rec.cpu_share >= 0.05 - 1e-12, "floor violated: {}", rec.cpu_share);
+        assert!(
+            rec.cpu_share >= 0.05 - 1e-12,
+            "floor violated: {}",
+            rec.cpu_share
+        );
     }
 }

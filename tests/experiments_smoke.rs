@@ -71,7 +71,11 @@ fn fig5a_quick_subset_runs() {
         );
     }
     let blender = r.rows.iter().find(|r| r.name == "blender_r").unwrap();
-    assert!(blender.slowdown_pct > 3.0, "blender_r {}", blender.slowdown_pct);
+    assert!(
+        blender.slowdown_pct > 3.0,
+        "blender_r {}",
+        blender.slowdown_pct
+    );
 }
 
 #[test]

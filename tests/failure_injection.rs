@@ -30,7 +30,11 @@ fn oscillating_detector_keeps_resources_bounded_and_recovers() {
         let r = e.observe(pid, c);
         assert!(r.resources.is_valid());
         min_cpu = min_cpu.min(r.resources.cpu);
-        assert_ne!(r.state, ProcessState::Terminated, "oscillation must not kill");
+        assert_ne!(
+            r.state,
+            ProcessState::Terminated,
+            "oscillation must not kill"
+        );
     }
     assert!(min_cpu >= 0.01 - 1e-12);
     // A calm tail fully restores the process.
@@ -175,7 +179,10 @@ fn terminated_workload_stays_inspectable_but_inert() {
         .workload_as::<Cryptominer>(pid)
         .unwrap()
         .hashes();
-    assert_eq!(hashes_at_death, hashes_later, "dead processes make no progress");
+    assert_eq!(
+        hashes_at_death, hashes_later,
+        "dead processes make no progress"
+    );
 }
 
 #[test]
@@ -261,7 +268,9 @@ fn long_horizon_benign_run_is_stable() {
     );
     let mut spec = roster().remove(0);
     spec.epochs_to_complete = u64::MAX / 4;
-    let pid = run.machine_mut().spawn(Box::new(BenchmarkWorkload::new(spec)));
+    let pid = run
+        .machine_mut()
+        .spawn(Box::new(BenchmarkWorkload::new(spec)));
     run.watch(pid);
     run.run(10_000);
     assert!(run.history(pid).iter().all(|r| r.cpu_share == 1.0));

@@ -300,10 +300,8 @@ fn evasion_strategy() -> impl Strategy<Value = valkyrie::core::AttackerStrategy>
     use valkyrie::core::AttackerStrategy;
     prop_oneof![
         Just(AttackerStrategy::AlwaysActive),
-        (1u32..6, 0u32..6).prop_map(|(active, dormant)| AttackerStrategy::DutyCycle {
-            active,
-            dormant
-        }),
+        (1u32..6, 0u32..6)
+            .prop_map(|(active, dormant)| AttackerStrategy::DutyCycle { active, dormant }),
         (0u64..40).prop_map(|active_epochs| AttackerStrategy::Sprint { active_epochs }),
         (0.1f64..1.0).prop_map(|resume_above| AttackerStrategy::ThreatAdaptive { resume_above }),
     ]

@@ -1,0 +1,254 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! Provides the API surface the `valkyrie-bench` benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], [`criterion_group!`]
+//! and [`criterion_main!`] — with a deliberately small measurement loop: a
+//! short warm-up, then timed batches until the measurement budget is spent,
+//! reporting the best mean iteration time.  No statistics, plots or baseline
+//! comparison; the goal is that `cargo bench` runs and prints stable,
+//! comparable numbers without network access.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; defers to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+pub mod measurement {
+    /// Marker for wall-clock measurement (the only kind supported).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// Per-benchmark timing driver handed to the `|b| ...` closure.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly, recording the mean time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up, also used to size the timed batches.  Always run at
+        // least one iteration: with a zero warm-up budget, `per_iter`
+        // would otherwise be zero and the batch clamp maximal — a
+        // million-iteration first batch for an arbitrarily slow routine.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        let batch = ((Duration::from_millis(5).as_nanos().max(1) / per_iter.as_nanos().max(1))
+            as u64)
+            .clamp(1, 1_000_000);
+
+        let budget_start = Instant::now();
+        let mut best = Duration::MAX;
+        while budget_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let mean = t0.elapsed().checked_div(batch as u32).unwrap_or_default();
+            if mean < best {
+                best = mean;
+            }
+        }
+        self.samples.push(if best == Duration::MAX {
+            per_iter
+        } else {
+            best
+        });
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far smaller budgets than upstream (3s warm-up / 5s measurement):
+        // `cargo bench` over three bench binaries should finish in minutes.
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(id, self.warm_up, self.measurement, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up: self.warm_up,
+            default_measurement: self.measurement,
+            explicit_measurement: None,
+            sample_budget: None,
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    warm_up: Duration,
+    default_measurement: Duration,
+    explicit_measurement: Option<Duration>,
+    sample_budget: Option<Duration>,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Upstream scales its statistics by sample count; here fewer samples
+    /// just means a proportionally smaller measurement budget.  Recorded
+    /// separately from [`Self::measurement_time`] so the two calls are
+    /// commutative: an explicit measurement time always wins.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let n = n.max(1) as u32;
+        self.sample_budget = Some(Duration::from_millis(20).saturating_mul(n));
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.explicit_measurement = Some(d);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let measurement = self
+            .explicit_measurement
+            .or(self.sample_budget)
+            .unwrap_or(self.default_measurement);
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.warm_up, measurement, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `cargo bench <name>` passes `<name>` through to the bench binary
+/// (`harness = false`); mirror upstream's substring filtering.
+fn matches_filter(id: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    if !matches_filter(id) {
+        return;
+    }
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        samples: &mut samples,
+    };
+    f(&mut b);
+    match samples.last() {
+        Some(t) => println!("bench: {id:<55} {:>12}/iter", format_duration(*t)),
+        // The closure set state up but never called `iter`.
+        None => println!("bench: {id:<55} {:>12}", "no samples"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)` — a runner invoking each bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(2),
+        };
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(format_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}
