@@ -1,0 +1,139 @@
+//! Throughput benches for the sharded batch-observation engine.
+//!
+//! One group per fleet size (`core/engine_batch_1k` / `_10k` / `_100k`),
+//! each comparing:
+//!
+//! * `observe_loop` — the paper-era driver: one `ValkyrieEngine::observe`
+//!   call per process per tick (the pre-scaling baseline API);
+//! * `sharded_xN` — the same workload through
+//!   `ShardedEngine::observe_batch` with `N` shards (one tick = one batch).
+//!
+//! Every variant replays the identical workload: the full fleet observed
+//! each tick, one in seven processes flagged on a rotating schedule so
+//! monitors keep moving through throttle/recover transitions without
+//! terminating (`N*` is set beyond the horizon). Timings are per tick;
+//! divide the fleet size by the printed time for observations/second.
+//! Shard speedups require hardware parallelism — on a single-core runner
+//! `sharded_xN` only measures the partition/scatter overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use valkyrie_core::prelude::*;
+
+fn engine_config(n_star: u64) -> EngineConfig {
+    EngineConfig::builder()
+        .measurements_required(n_star)
+        .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+        .build()
+        .unwrap()
+}
+
+fn tick_batch(procs: u64, epoch: u64) -> Vec<(ProcessId, Classification)> {
+    (0..procs)
+        .map(|pid| {
+            let cls = if (pid + epoch).is_multiple_of(7) {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            };
+            (ProcessId(pid), cls)
+        })
+        .collect()
+}
+
+fn bench_fleet(c: &mut Criterion, label: &str, procs: u64) {
+    let mut group = c.benchmark_group(label);
+    // N* beyond any horizon the bench reaches: no process terminates, the
+    // map stays at `procs` entries and every tick is pure observe work.
+    let n_star = 1_u64 << 40;
+    // The `(pid + epoch) % 7` flag pattern has period 7 in the epoch, so a
+    // ring of 7 pre-built batches covers every tick: batch assembly is the
+    // embedder's job and stays outside the timed closures in *all*
+    // variants — only engine work is measured.
+    let ring: Vec<Vec<(ProcessId, Classification)>> =
+        (0..7).map(|epoch| tick_batch(procs, epoch)).collect();
+
+    group.bench_function("observe_loop", |b| {
+        let mut engine = ValkyrieEngine::with_capacity(engine_config(n_star), procs as usize);
+        let mut epoch = 0usize;
+        b.iter(|| {
+            epoch += 1;
+            for &(pid, cls) in &ring[epoch % 7] {
+                black_box(engine.observe(pid, cls));
+            }
+        });
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("sharded_x{shards}").as_str(), |b| {
+            let mut engine =
+                ShardedEngine::with_capacity(engine_config(n_star), shards, procs as usize);
+            let mut epoch = 0usize;
+            b.iter(|| {
+                epoch += 1;
+                black_box(engine.observe_batch(black_box(&ring[epoch % 7])))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_batch_1k(c: &mut Criterion) {
+    bench_fleet(c, "core/engine_batch_1k", 1_000);
+}
+
+fn bench_engine_batch_10k(c: &mut Criterion) {
+    bench_fleet(c, "core/engine_batch_10k", 10_000);
+}
+
+fn bench_engine_batch_100k(c: &mut Criterion) {
+    bench_fleet(c, "core/engine_batch_100k", 100_000);
+}
+
+/// The epoch driver with churn: attacks terminate and are purged while
+/// fresh pids keep arriving, so the map is exercised under registration +
+/// eviction pressure, not just steady-state lookups.
+fn bench_tick_with_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/engine_batch_tick_churn");
+    for shards in [1usize, 4] {
+        group.bench_function(format!("sharded_x{shards}_10k").as_str(), |b| {
+            let config = EngineConfig::builder()
+                .measurements_required(3)
+                .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+                .build()
+                .unwrap();
+            let mut engine = ShardedEngine::with_capacity(config, shards, 10_000);
+            let mut epoch = 0u64;
+            b.iter(|| {
+                epoch += 1;
+                // A rotating 1/64 slice of the pid space is attacked every
+                // epoch; terminated pids are purged by `tick` and replaced
+                // by their successors the next epoch. The pid base shifts
+                // over time, so the batch is assembled inside the timed
+                // loop — identically for every shard count, which keeps
+                // the x1-vs-x4 comparison fair.
+                let batch: Vec<(ProcessId, Classification)> = (0..10_000u64)
+                    .map(|i| {
+                        let pid = ProcessId(i + (epoch / 8) * 157);
+                        let cls = if (i + epoch).is_multiple_of(64) {
+                            Classification::Malicious
+                        } else {
+                            Classification::Benign
+                        };
+                        (pid, cls)
+                    })
+                    .collect();
+                black_box(engine.tick(black_box(&batch)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_batch_1k,
+    bench_engine_batch_10k,
+    bench_engine_batch_100k,
+    bench_tick_with_churn,
+);
+criterion_main!(benches);

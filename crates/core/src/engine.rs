@@ -5,10 +5,16 @@
 //! answers with the resource shares to enforce and whether to restore or
 //! terminate. It owns one [`Monitor`] (Algorithm 1) and one actuator instance
 //! per process.
+//!
+//! The per-process bookkeeping lives in [`EngineShard`]: one process map
+//! plus the observe path. [`ValkyrieEngine`] is a single shard behind the
+//! original one-process-at-a-time API; the scaling tier in
+//! [`crate::sharded`] runs many shards side by side behind a batch API.
 
 use crate::actuator::{Actuator, CompositeActuator, ShareActuator};
 use crate::efficacy::{EfficacyCurve, EfficacySpec};
 use crate::error::ValkyrieError;
+use crate::hash::FxBuildHasher;
 use crate::monitor::{Directive, Monitor};
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
@@ -222,60 +228,122 @@ struct TrackedProcess<A> {
     resources: ResourceVector,
 }
 
-/// The Valkyrie response engine (paper Fig. 2).
+impl<A: Actuator + Clone> TrackedProcess<A> {
+    fn new(config: &EngineConfig<A>) -> Self {
+        TrackedProcess {
+            monitor: if config.cyclic {
+                Monitor::new_cyclic(config.n_star, config.fp, config.fc)
+            } else {
+                Monitor::new(config.n_star, config.fp, config.fc)
+            },
+            actuator: config.actuator.clone(),
+            resources: ResourceVector::FULL,
+        }
+    }
+}
+
+/// Advances one tracked process by one inference. Free-standing so the
+/// shard can split-borrow its config and its map entry.
+fn step<A: Actuator>(
+    cyclic: bool,
+    pid: ProcessId,
+    tracked: &mut TrackedProcess<A>,
+    inference: Classification,
+) -> EngineResponse {
+    let report = tracked.monitor.observe(inference);
+    let action = match report.directive {
+        Directive::Continue => Action::None,
+        Directive::Adjust { delta_threat } => {
+            tracked.resources = tracked.actuator.apply(&tracked.resources, delta_threat);
+            if delta_threat > 0.0 {
+                Action::Throttle
+            } else if delta_threat < 0.0 {
+                Action::Recover
+            } else {
+                Action::None
+            }
+        }
+        Directive::ResetToNormal => {
+            // Invariant from Section V-A: "a threat index of 0 implies
+            // that the process … has no restrictions on the system
+            // resources".
+            tracked.resources = tracked.actuator.reset();
+            Action::Restore
+        }
+        Directive::Restore => {
+            // A_reset at the terminable verdict; under cyclic
+            // monitoring this also starts a fresh measurement cycle.
+            tracked.resources = tracked.actuator.reset();
+            if cyclic {
+                Action::RestoreAndRecycle
+            } else {
+                Action::Restore
+            }
+        }
+        Directive::Terminate => Action::Terminate,
+    };
+
+    EngineResponse {
+        pid,
+        state: report.state,
+        threat: report.threat,
+        resources: tracked.resources,
+        action,
+    }
+}
+
+/// One partition of the engine: a process map plus the observe path.
+///
+/// An `EngineShard` is the unit the scaling tier distributes work over:
+/// [`ValkyrieEngine`] is exactly one shard, and
+/// [`ShardedEngine`](crate::sharded::ShardedEngine) owns `N` of them, each
+/// responsible for the processes whose id hashes onto it. Algorithm 1
+/// semantics are per process, so a shard never needs to see another
+/// shard's processes.
 ///
 /// Processes are tracked lazily: the first observation of an unknown
 /// [`ProcessId`] registers it in the *normal* state with full resources.
-///
-/// # Examples
-///
-/// ```
-/// use valkyrie_core::prelude::*;
-///
-/// let config = EngineConfig::builder()
-///     .measurements_required(5)
-///     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
-///     .build()
-///     .unwrap();
-/// let mut engine = ValkyrieEngine::new(config);
-/// let resp = engine.observe(ProcessId(7), Classification::Malicious);
-/// assert_eq!(resp.action, Action::Throttle);
-/// assert!(resp.resources.cpu < 1.0);
-/// ```
+/// The map distinguishes **live** processes from **terminated** ones that
+/// are kept for post-mortem queries until [`EngineShard::purge_terminated`]
+/// (or [`EngineShard::forget`]) evicts them.
 #[derive(Debug)]
-pub struct ValkyrieEngine<A: Actuator + Clone = CompositeActuator> {
+pub struct EngineShard<A: Actuator + Clone = CompositeActuator> {
     config: EngineConfig<A>,
-    procs: HashMap<ProcessId, TrackedProcess<A>>,
+    procs: HashMap<ProcessId, TrackedProcess<A>, FxBuildHasher>,
 }
 
-impl<A: Actuator + Clone> ValkyrieEngine<A> {
-    /// Creates an engine from a configuration.
+impl<A: Actuator + Clone> EngineShard<A> {
+    /// Creates an empty shard from a configuration.
     pub fn new(config: EngineConfig<A>) -> Self {
+        Self::with_capacity(config, 0)
+    }
+
+    /// Creates a shard pre-sized for `capacity` processes, so batch
+    /// embedders don't pay rehash-and-move costs while the fleet registers.
+    pub fn with_capacity(config: EngineConfig<A>, capacity: usize) -> Self {
         Self {
             config,
-            procs: HashMap::new(),
+            procs: HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
         }
     }
 
-    /// Creates an engine with a non-composite actuator prototype.
-    pub fn with_actuator(n_star: u64, fp: AssessmentFn, fc: AssessmentFn, actuator: A) -> Self {
-        Self::new(EngineConfig {
-            n_star,
-            fp,
-            fc,
-            actuator,
-            cyclic: false,
-        })
-    }
-
-    /// The engine configuration.
+    /// The shard configuration.
     pub fn config(&self) -> &EngineConfig<A> {
         &self.config
     }
 
-    /// Number of processes currently tracked (terminated ones included).
+    /// Number of processes currently tracked, **terminated ones included**
+    /// (they stay queryable until purged). Live count: [`Self::tracked_live`].
     pub fn tracked(&self) -> usize {
         self.procs.len()
+    }
+
+    /// Number of tracked processes that have not terminated.
+    pub fn tracked_live(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.monitor.state().is_live())
+            .count()
     }
 
     /// Current state of a process, if tracked.
@@ -295,58 +363,40 @@ impl<A: Actuator + Clone> ValkyrieEngine<A> {
 
     /// Feeds one epoch's detector inference for `pid` and returns the
     /// response to enact.
+    ///
+    /// The hot path — a repeat observation of an already-tracked process —
+    /// is a single `get_mut` lookup; only the first observation of an
+    /// unknown pid falls into the registration path.
     pub fn observe(&mut self, pid: ProcessId, inference: Classification) -> EngineResponse {
-        let config = &self.config;
-        let tracked = self.procs.entry(pid).or_insert_with(|| TrackedProcess {
-            monitor: if config.cyclic {
-                Monitor::new_cyclic(config.n_star, config.fp, config.fc)
-            } else {
-                Monitor::new(config.n_star, config.fp, config.fc)
-            },
-            actuator: config.actuator.clone(),
-            resources: ResourceVector::FULL,
-        });
-
-        let report = tracked.monitor.observe(inference);
-        let action = match report.directive {
-            Directive::Continue => Action::None,
-            Directive::Adjust { delta_threat } => {
-                tracked.resources = tracked.actuator.apply(&tracked.resources, delta_threat);
-                if delta_threat > 0.0 {
-                    Action::Throttle
-                } else if delta_threat < 0.0 {
-                    Action::Recover
-                } else {
-                    Action::None
-                }
-            }
-            Directive::ResetToNormal => {
-                // Invariant from Section V-A: "a threat index of 0 implies
-                // that the process … has no restrictions on the system
-                // resources".
-                tracked.resources = tracked.actuator.reset();
-                Action::Restore
-            }
-            Directive::Restore => {
-                // A_reset at the terminable verdict; under cyclic
-                // monitoring this also starts a fresh measurement cycle.
-                tracked.resources = tracked.actuator.reset();
-                if config.cyclic {
-                    Action::RestoreAndRecycle
-                } else {
-                    Action::Restore
-                }
-            }
-            Directive::Terminate => Action::Terminate,
-        };
-
-        EngineResponse {
-            pid,
-            state: report.state,
-            threat: report.threat,
-            resources: tracked.resources,
-            action,
+        if let Some(tracked) = self.procs.get_mut(&pid) {
+            return step(self.config.cyclic, pid, tracked, inference);
         }
+        let config = &self.config;
+        let tracked = self
+            .procs
+            .entry(pid)
+            .or_insert_with(|| TrackedProcess::new(config));
+        step(config.cyclic, pid, tracked, inference)
+    }
+
+    /// Feeds a batch of per-process inferences, appending one response per
+    /// observation to `out` in input order.
+    pub fn observe_batch_into(
+        &mut self,
+        batch: &[(ProcessId, Classification)],
+        out: &mut Vec<EngineResponse>,
+    ) {
+        out.reserve(batch.len());
+        for &(pid, inference) in batch {
+            out.push(self.observe(pid, inference));
+        }
+    }
+
+    /// Batch variant of [`Self::observe`]; responses are in input order.
+    pub fn observe_batch(&mut self, batch: &[(ProcessId, Classification)]) -> Vec<EngineResponse> {
+        let mut out = Vec::with_capacity(batch.len());
+        self.observe_batch_into(batch, &mut out);
+        out
     }
 
     /// Marks a process as completed (Fig. 3: completion terminates it).
@@ -368,11 +418,154 @@ impl<A: Actuator + Clone> ValkyrieEngine<A> {
         self.procs.remove(&pid);
     }
 
+    /// Evicts every terminated process, returning how many were dropped.
+    ///
+    /// Terminated processes (Fig. 3's terminal state) never leave the map
+    /// on their own, so a long-running engine that tracks short-lived
+    /// processes grows without bound unless the embedder calls this (the
+    /// epoch driver in [`crate::sharded`] does so every tick). After
+    /// eviction a purged pid is unknown again: re-observing it registers a
+    /// *fresh* process in the normal state.
+    pub fn purge_terminated(&mut self) -> usize {
+        let before = self.procs.len();
+        self.procs.retain(|_, p| p.monitor.state().is_live());
+        before - self.procs.len()
+    }
+
     /// Iterates over `(pid, state, threat)` of all tracked processes.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessState, ThreatIndex)> + '_ {
         self.procs
             .iter()
             .map(|(pid, p)| (*pid, p.monitor.state(), p.monitor.threat()))
+    }
+}
+
+/// The Valkyrie response engine (paper Fig. 2): a single [`EngineShard`]
+/// behind the original per-process API.
+///
+/// Processes are tracked lazily: the first observation of an unknown
+/// [`ProcessId`] registers it in the *normal* state with full resources.
+/// For fleets beyond a few thousand processes per tick, use the batched
+/// [`ShardedEngine`](crate::sharded::ShardedEngine) instead.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_core::prelude::*;
+///
+/// let config = EngineConfig::builder()
+///     .measurements_required(5)
+///     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+///     .build()
+///     .unwrap();
+/// let mut engine = ValkyrieEngine::new(config);
+/// let resp = engine.observe(ProcessId(7), Classification::Malicious);
+/// assert_eq!(resp.action, Action::Throttle);
+/// assert!(resp.resources.cpu < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct ValkyrieEngine<A: Actuator + Clone = CompositeActuator> {
+    shard: EngineShard<A>,
+}
+
+impl<A: Actuator + Clone> ValkyrieEngine<A> {
+    /// Creates an engine from a configuration.
+    pub fn new(config: EngineConfig<A>) -> Self {
+        Self {
+            shard: EngineShard::new(config),
+        }
+    }
+
+    /// Creates an engine pre-sized for `capacity` processes (see
+    /// [`EngineShard::with_capacity`]).
+    pub fn with_capacity(config: EngineConfig<A>, capacity: usize) -> Self {
+        Self {
+            shard: EngineShard::with_capacity(config, capacity),
+        }
+    }
+
+    /// Creates an engine with a non-composite actuator prototype.
+    pub fn with_actuator(n_star: u64, fp: AssessmentFn, fc: AssessmentFn, actuator: A) -> Self {
+        Self::new(EngineConfig {
+            n_star,
+            fp,
+            fc,
+            actuator,
+            cyclic: false,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig<A> {
+        self.shard.config()
+    }
+
+    /// Number of processes currently tracked, **terminated ones included**
+    /// (they stay queryable until purged). Live count: [`Self::tracked_live`].
+    pub fn tracked(&self) -> usize {
+        self.shard.tracked()
+    }
+
+    /// Number of tracked processes that have not terminated.
+    pub fn tracked_live(&self) -> usize {
+        self.shard.tracked_live()
+    }
+
+    /// Current state of a process, if tracked.
+    pub fn state(&self, pid: ProcessId) -> Option<ProcessState> {
+        self.shard.state(pid)
+    }
+
+    /// Current threat index of a process, if tracked.
+    pub fn threat(&self, pid: ProcessId) -> Option<ThreatIndex> {
+        self.shard.threat(pid)
+    }
+
+    /// Current resource shares of a process, if tracked.
+    pub fn resources(&self, pid: ProcessId) -> Option<ResourceVector> {
+        self.shard.resources(pid)
+    }
+
+    /// Feeds one epoch's detector inference for `pid` and returns the
+    /// response to enact.
+    pub fn observe(&mut self, pid: ProcessId, inference: Classification) -> EngineResponse {
+        self.shard.observe(pid, inference)
+    }
+
+    /// Batch variant of [`Self::observe`]; responses are in input order.
+    pub fn observe_batch(&mut self, batch: &[(ProcessId, Classification)]) -> Vec<EngineResponse> {
+        self.shard.observe_batch(batch)
+    }
+
+    /// Marks a process as completed (Fig. 3: completion terminates it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValkyrieError::UnknownProcess`] when `pid` is not tracked.
+    pub fn complete(&mut self, pid: ProcessId) -> Result<(), ValkyrieError> {
+        self.shard.complete(pid)
+    }
+
+    /// Stops tracking a process and frees its bookkeeping.
+    pub fn forget(&mut self, pid: ProcessId) {
+        self.shard.forget(pid)
+    }
+
+    /// Evicts every terminated process, returning how many were dropped
+    /// (see [`EngineShard::purge_terminated`]).
+    pub fn purge_terminated(&mut self) -> usize {
+        self.shard.purge_terminated()
+    }
+
+    /// Iterates over `(pid, state, threat)` of all tracked processes.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessState, ThreatIndex)> + '_ {
+        self.shard.iter()
+    }
+
+    /// Consumes the engine, returning its single shard (used by the
+    /// scaling tier to promote an engine into a sharded deployment).
+    pub fn into_shard(self) -> EngineShard<A> {
+        self.shard
     }
 }
 
@@ -535,5 +728,104 @@ mod tests {
         let mut pids: Vec<u64> = e.iter().map(|(pid, _, _)| pid.0).collect();
         pids.sort_unstable();
         assert_eq!(pids, vec![1, 2]);
+    }
+
+    #[test]
+    fn purge_evicts_only_terminated_processes() {
+        let mut e = engine(2);
+        let attack = ProcessId(1);
+        let benign = ProcessId(2);
+        for _ in 0..3 {
+            e.observe(attack, Malicious);
+            e.observe(benign, Benign);
+        }
+        assert_eq!(e.state(attack), Some(ProcessState::Terminated));
+        assert_eq!(e.tracked(), 2);
+        assert_eq!(e.tracked_live(), 1);
+        assert_eq!(e.purge_terminated(), 1);
+        assert_eq!(e.tracked(), 1);
+        assert_eq!(e.state(attack), None);
+        // The clean process captured its N* measurements and is terminable,
+        // but alive — purge must not touch it.
+        assert_eq!(e.state(benign), Some(ProcessState::Terminable));
+        // A purged pid re-registers as a fresh process.
+        let r = e.observe(attack, Benign);
+        assert_eq!(r.state, ProcessState::Normal);
+        assert_eq!(e.purge_terminated(), 0);
+    }
+
+    #[test]
+    fn completed_processes_are_purgeable() {
+        let mut e = engine(10);
+        e.observe(ProcessId(4), Benign);
+        e.complete(ProcessId(4)).unwrap();
+        assert_eq!(e.tracked_live(), 0);
+        assert_eq!(e.purge_terminated(), 1);
+        assert_eq!(e.tracked(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let config = EngineConfig::builder()
+            .measurements_required(10)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let mut e = ValkyrieEngine::with_capacity(config, 1024);
+        assert_eq!(e.tracked(), 0);
+        let r = e.observe(ProcessId(1), Malicious);
+        assert_eq!(r.action, Action::Throttle);
+        assert_eq!(e.tracked(), 1);
+    }
+
+    #[test]
+    fn observe_batch_matches_sequential_observes() {
+        let mut batched = engine(5);
+        let mut sequential = engine(5);
+        let batch: Vec<(ProcessId, Classification)> = (0..30)
+            .map(|i| {
+                let cls = if i % 3 == 0 { Malicious } else { Benign };
+                (ProcessId(i % 7), cls)
+            })
+            .collect();
+        let got = batched.observe_batch(&batch);
+        let want: Vec<EngineResponse> = batch
+            .iter()
+            .map(|&(pid, cls)| sequential.observe(pid, cls))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shard_fast_path_equals_registration_path_semantics() {
+        // Same stream through a fresh shard twice: the first pass exercises
+        // registration, the second pass (after forgetting) must re-register
+        // identically.
+        let config = EngineConfig::builder()
+            .measurements_required(4)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let mut shard = EngineShard::new(config);
+        let stream = [Malicious, Benign, Malicious, Malicious];
+        let first: Vec<EngineResponse> = stream
+            .iter()
+            .map(|&c| shard.observe(ProcessId(1), c))
+            .collect();
+        shard.forget(ProcessId(1));
+        let second: Vec<EngineResponse> = stream
+            .iter()
+            .map(|&c| shard.observe(ProcessId(1), c))
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn into_shard_preserves_tracking() {
+        let mut e = engine(10);
+        e.observe(ProcessId(3), Malicious);
+        let shard = e.into_shard();
+        assert_eq!(shard.tracked(), 1);
+        assert_eq!(shard.state(ProcessId(3)), Some(ProcessState::Suspicious));
     }
 }

@@ -22,6 +22,12 @@
 //! The expected impact on attacks and on falsely-classified benign programs
 //! is quantified by the **slowdown model** ([`slowdown`], Eqs. 2–4).
 //!
+//! Beyond the paper, the crate grows a **scaling tier**: the per-process
+//! logic lives in an [`EngineShard`], and a [`ShardedEngine`] ([`sharded`])
+//! partitions thousands of processes across shards behind a batched,
+//! thread-parallel `observe_batch` / `tick` API with identical Algorithm 1
+//! semantics.
+//!
 //! # Quick start
 //!
 //! ```
@@ -52,9 +58,11 @@ pub mod efficacy;
 pub mod engine;
 pub mod error;
 pub mod evasion;
+pub mod hash;
 pub mod migration;
 pub mod monitor;
 pub mod resource;
+pub mod sharded;
 pub mod slowdown;
 pub mod state;
 pub mod telemetry;
@@ -63,12 +71,15 @@ pub mod threat;
 pub use actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
 pub use baselines::{ConsecutiveTermination, DramRefresh, PriorityReduction, WarningOnly};
 pub use efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
-pub use engine::{Action, EngineConfig, EngineConfigBuilder, EngineResponse, ValkyrieEngine};
+pub use engine::{
+    Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, ValkyrieEngine,
+};
 pub use error::ValkyrieError;
 pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
 pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, Monitor, StepReport};
 pub use resource::{ProcessId, ResourceKind, ResourceVector};
+pub use sharded::ShardedEngine;
 pub use slowdown::{simulate_response, slowdown_percent, ResponseTrace};
 pub use state::ProcessState;
 pub use telemetry::{LogEntry, ProcessSummary, ResponseLog};
@@ -79,11 +90,12 @@ pub mod prelude {
     pub use crate::actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
     pub use crate::efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
     pub use crate::engine::{
-        Action, EngineConfig, EngineConfigBuilder, EngineResponse, ValkyrieEngine,
+        Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, ValkyrieEngine,
     };
     pub use crate::error::ValkyrieError;
     pub use crate::monitor::{Directive, Monitor, StepReport};
     pub use crate::resource::{ProcessId, ResourceKind, ResourceVector};
+    pub use crate::sharded::ShardedEngine;
     pub use crate::slowdown::{simulate_response, slowdown_percent};
     pub use crate::state::ProcessState;
     pub use crate::threat::{AssessmentFn, Classification, ThreatIndex};

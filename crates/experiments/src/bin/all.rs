@@ -41,4 +41,8 @@ fn main() {
         "{}",
         x::ensemble::run(&x::ensemble::EnsembleConfig::default()).report
     );
+    println!(
+        "{}",
+        x::multi_tenant::run(&x::multi_tenant::MultiTenantConfig::default()).report
+    );
 }

@@ -1,0 +1,7 @@
+//! Multi-tenant machine: concurrent attacks in a fleet of benign services.
+use valkyrie_experiments::multi_tenant;
+
+fn main() {
+    let result = multi_tenant::run(&multi_tenant::MultiTenantConfig::default());
+    println!("{}", result.report);
+}

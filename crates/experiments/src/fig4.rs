@@ -143,6 +143,7 @@ where
         ScenarioConfig {
             cpu_lever: CpuLever::SchedulerWeight,
             window: config.n_star as usize * 2,
+            shards: 1,
         },
     );
     let pid2 = run.machine_mut().spawn(Box::new(make()));

@@ -128,6 +128,7 @@ fn run_single(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownR
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: config.n_star as usize * 3,
+            shards: 1,
         },
     );
     let pid = run
@@ -177,6 +178,7 @@ fn run_team(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownRow
         ScenarioConfig {
             cpu_lever: CpuLever::SchedulerWeight,
             window: config.n_star as usize * 3,
+            shards: 1,
         },
     );
     let team2 = spawn_team(run.machine_mut(), spec);

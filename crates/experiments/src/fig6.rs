@@ -270,6 +270,7 @@ fn run_ransomware(
                 ScenarioConfig {
                     cpu_lever: lever,
                     window: config.n_star as usize * 2,
+                    shards: 1,
                 },
             );
             let pid = run.machine_mut().spawn(Box::new(Ransomware::default()));
@@ -373,6 +374,7 @@ pub fn run_c(config: &Fig6Config) -> Fig6cResult {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: config.epochs as usize,
+            shards: 1,
         },
     );
     let pid2 = run.machine_mut().spawn(Box::new(Cryptominer::default()));

@@ -21,6 +21,7 @@
 //! | Table I, quantified (ours) | [`responses::run`] | `responses` |
 //! | Evasion study (ours) | [`evasion::run`] | `evasion` |
 //! | Two-level detection (ours) | [`ensemble::run`] | `ensemble` |
+//! | Multi-tenant machine (ours) | [`multi_tenant::run`] | `multi_tenant` |
 
 pub mod ablations;
 pub mod analytic;
@@ -31,6 +32,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod harness;
+pub mod multi_tenant;
 pub mod responses;
 pub mod scenario;
 pub mod table1;

@@ -39,10 +39,9 @@ use valkyrie_core::baselines::{
     ConsecutiveTermination, DramRefresh, PriorityReduction, WarningOnly,
 };
 use valkyrie_core::migration::{migration_progress, MigrationPolicy};
-use valkyrie_core::monitor::{Directive, Monitor};
 use valkyrie_core::{
-    slowdown_percent, Actuator, AssessmentFn, Classification, ProcessState, ResourceVector,
-    ShareActuator,
+    slowdown_percent, Action, AssessmentFn, Classification, EngineConfig, ProcessId, ProcessState,
+    ShardedEngine, ShareActuator,
 };
 
 /// Detector quality and workload shape shared by all policies.
@@ -171,49 +170,99 @@ struct PolicyEval {
     terminated: bool,
 }
 
-/// Replays a trace through cyclic-monitoring Valkyrie; terminable verdicts
-/// are drawn from `verdicts` (the `N*`-measurement-grade inference stream)
-/// instead of the per-epoch stream.
+/// Cyclic-monitoring Valkyrie engine configuration shared by the fleet
+/// evaluator (the Section VI-A operating point).
+fn valkyrie_config(n_star: u64) -> EngineConfig {
+    EngineConfig::builder()
+        .measurements_required(n_star)
+        .penalty(AssessmentFn::incremental())
+        .compensation(AssessmentFn::incremental())
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .cyclic(true)
+        .build()
+        .expect("valid valkyrie config")
+}
+
+/// Replays a whole fleet of traces through one cyclic-monitoring
+/// [`ShardedEngine`], one epoch per batch; terminable verdicts are drawn
+/// from `verdict_traces` (the `N*`-measurement-grade inference streams)
+/// instead of the per-epoch streams.
+///
+/// Process `i` replays `epoch_traces[i]`; traces may differ in length
+/// across processes, but each process's verdict trace must cover its
+/// epoch trace (a verdict can be drawn at any epoch).
+/// Results are identical to replaying each trace alone (the sharding
+/// tier's equivalence guarantee), but the engine answers each epoch in a
+/// single batch — the experiments layer drives the same API a production
+/// embedder would.
+fn valkyrie_eval_fleet(
+    epoch_traces: &[&[Classification]],
+    verdict_traces: &[&[Classification]],
+    n_star: u64,
+    shards: usize,
+) -> Vec<PolicyEval> {
+    assert_eq!(epoch_traces.len(), verdict_traces.len());
+    for (epochs, verdicts) in epoch_traces.iter().zip(verdict_traces) {
+        assert!(
+            verdicts.len() >= epochs.len(),
+            "verdict trace shorter than epoch trace ({} < {})",
+            verdicts.len(),
+            epochs.len()
+        );
+    }
+    let mut engine =
+        ShardedEngine::with_capacity(valkyrie_config(n_star), shards, epoch_traces.len());
+    let mut evals: Vec<PolicyEval> = epoch_traces
+        .iter()
+        .map(|t| PolicyEval {
+            progress: Vec::with_capacity(t.len()),
+            terminated: false,
+        })
+        .collect();
+    let horizon = epoch_traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut batch: Vec<(ProcessId, Classification)> = Vec::with_capacity(epoch_traces.len());
+    let mut live: Vec<usize> = Vec::with_capacity(epoch_traces.len());
+    for epoch in 0..horizon {
+        batch.clear();
+        live.clear();
+        for (i, trace) in epoch_traces.iter().enumerate() {
+            if epoch >= trace.len() {
+                continue;
+            }
+            if evals[i].terminated {
+                evals[i].progress.push(0.0);
+                continue;
+            }
+            let pid = ProcessId(i as u64);
+            // Work achieved this epoch is the CPU share enforced so far
+            // (full before the first observation).
+            evals[i]
+                .progress
+                .push(engine.resources(pid).map_or(1.0, |r| r.cpu));
+            let inference = if engine.state(pid) == Some(ProcessState::Terminable) {
+                verdict_traces[i][epoch]
+            } else {
+                trace[epoch]
+            };
+            batch.push((pid, inference));
+            live.push(i);
+        }
+        for (resp, &i) in engine.observe_batch(&batch).iter().zip(&live) {
+            if resp.action == Action::Terminate {
+                evals[i].terminated = true;
+            }
+        }
+    }
+    evals
+}
+
+/// Single-trace convenience over [`valkyrie_eval_fleet`].
 fn valkyrie_eval(
     epoch_trace: &[Classification],
     verdicts: &[Classification],
     n_star: u64,
 ) -> PolicyEval {
-    let mut monitor = Monitor::new_cyclic(
-        n_star,
-        AssessmentFn::incremental(),
-        AssessmentFn::incremental(),
-    );
-    let mut actuator = ShareActuator::cpu_percent_point(0.10, 0.01);
-    let mut current = ResourceVector::FULL;
-    let mut progress = Vec::with_capacity(epoch_trace.len());
-    let mut terminated = false;
-    for i in 0..epoch_trace.len() {
-        if terminated {
-            progress.push(0.0);
-            continue;
-        }
-        progress.push(current.cpu);
-        let inference = if monitor.state() == ProcessState::Terminable {
-            verdicts[i]
-        } else {
-            epoch_trace[i]
-        };
-        match monitor.observe(inference).directive {
-            Directive::Adjust { delta_threat } => {
-                current = actuator.apply(&current, delta_threat);
-            }
-            Directive::ResetToNormal | Directive::Restore => {
-                current = actuator.reset();
-            }
-            Directive::Terminate => terminated = true,
-            Directive::Continue => {}
-        }
-    }
-    PolicyEval {
-        progress,
-        terminated,
-    }
+    valkyrie_eval_fleet(&[epoch_trace], &[verdicts], n_star, 1).remove(0)
 }
 
 fn evaluate(
@@ -280,19 +329,38 @@ pub fn run(cfg: &ResponsesConfig) -> ResponsesResult {
     let attack_trace = iid_trace(cfg.attack_epochs, cfg.tpr, 0x7A6B);
     let attack_verdicts = iid_trace(cfg.attack_epochs, cfg.verdict_tpr, 0x7A6C);
 
+    let benign_traces: Vec<Vec<Classification>> = (0..cfg.benign_trials)
+        .map(|s| bursty_trace(cfg.benign_epochs, cfg, 0xBE9 + s))
+        .collect();
+    let benign_verdicts: Vec<Vec<Classification>> = (0..cfg.benign_trials)
+        .map(|s| iid_trace(cfg.benign_epochs, cfg.verdict_fpr, 0x5EED + s))
+        .collect();
+
     let mut rows = Vec::new();
     for policy in POLICIES {
         let attack = evaluate(policy, &attack_trace, &attack_verdicts, cfg);
+        // The valkyrie policy replays every benign process concurrently
+        // through one sharded engine, one epoch per batch — the baselines
+        // act on raw per-process streams and are replayed one by one.
+        let benign_evals: Vec<PolicyEval> = if policy == "valkyrie" {
+            let traces: Vec<&[Classification]> = benign_traces.iter().map(Vec::as_slice).collect();
+            let verdicts: Vec<&[Classification]> =
+                benign_verdicts.iter().map(Vec::as_slice).collect();
+            valkyrie_eval_fleet(&traces, &verdicts, cfg.n_star, 4)
+        } else {
+            benign_traces
+                .iter()
+                .zip(&benign_verdicts)
+                .map(|(trace, verdicts)| evaluate(policy, trace, verdicts, cfg))
+                .collect()
+        };
         let mut killed = 0u64;
         let mut slowdown_sum = 0.0;
-        for s in 0..cfg.benign_trials {
-            let epoch_trace = bursty_trace(cfg.benign_epochs, cfg, 0xBE9 + s);
-            let verdicts = iid_trace(cfg.benign_epochs, cfg.verdict_fpr, 0x5EED + s);
-            let eval = evaluate(policy, &epoch_trace, &verdicts, cfg);
+        for (trace, eval) in benign_traces.iter().zip(&benign_evals) {
             if eval.terminated {
                 killed += 1;
             }
-            let baseline = vec![1.0; epoch_trace.len()];
+            let baseline = vec![1.0; trace.len()];
             slowdown_sum += slowdown_percent(&baseline, &eval.progress);
         }
         rows.push(PolicyRow {
@@ -475,6 +543,25 @@ mod tests {
         assert_eq!(flips("ANVIL"), 0);
         // Valkyrie terminates the hammer before it accumulates one flip.
         assert!(flips("valkyrie") <= 1);
+    }
+
+    #[test]
+    fn batched_fleet_eval_is_equivalent_to_isolated_replays() {
+        let cfg = quick();
+        let traces: Vec<Vec<Classification>> = (0..6)
+            .map(|s| bursty_trace(120, &cfg, 0xF1EE7 + s))
+            .collect();
+        let verdicts: Vec<Vec<Classification>> = (0..6)
+            .map(|s| iid_trace(120, cfg.verdict_fpr, 0xF1F + s))
+            .collect();
+        let trace_refs: Vec<&[Classification]> = traces.iter().map(Vec::as_slice).collect();
+        let verdict_refs: Vec<&[Classification]> = verdicts.iter().map(Vec::as_slice).collect();
+        let fleet = valkyrie_eval_fleet(&trace_refs, &verdict_refs, cfg.n_star, 7);
+        for (i, eval) in fleet.iter().enumerate() {
+            let alone = valkyrie_eval(&traces[i], &verdicts[i], cfg.n_star);
+            assert_eq!(eval.terminated, alone.terminated, "trial {i}");
+            assert_eq!(eval.progress, alone.progress, "trial {i}");
+        }
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! The augmented-run driver: a simulated machine whose processes are
 //! watched by a detector and governed by a Valkyrie engine (paper Fig. 2).
+//!
+//! Each epoch runs in three phases: the machine advances, the detector
+//! infers every watched process, and the engine answers the whole epoch's
+//! inferences in **one batch** through
+//! [`ShardedEngine::observe_batch`] — the scenario layer is a direct
+//! embedder of the scaling tier, and [`ScenarioConfig::shards`] picks the
+//! partition count (responses are identical for every shard count).
 
 use std::collections::{BTreeMap, HashMap};
-use valkyrie_core::{Action, EngineConfig, ProcessState, ValkyrieEngine};
+use valkyrie_core::ProcessId;
+use valkyrie_core::{Action, Classification, EngineConfig, ProcessState, ShardedEngine};
 use valkyrie_detect::Detector;
 use valkyrie_hpc::SampleWindow;
 use valkyrie_sim::machine::{EpochReport, Machine};
@@ -26,6 +34,9 @@ pub struct ScenarioConfig {
     pub cpu_lever: CpuLever,
     /// Measurement-window capacity per process.
     pub window: usize,
+    /// Engine shard count. Responses are identical for every value; more
+    /// shards parallelise large per-epoch batches (multi-tenant machines).
+    pub shards: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -33,6 +44,7 @@ impl Default for ScenarioConfig {
         Self {
             cpu_lever: CpuLever::SchedulerWeight,
             window: 100,
+            shards: 1,
         }
     }
 }
@@ -56,11 +68,14 @@ pub struct EpochRecord {
 /// then [`AugmentedRun::step`] once per epoch.
 pub struct AugmentedRun<D: Detector> {
     machine: Machine,
-    engine: ValkyrieEngine,
+    engine: ShardedEngine,
     detector: D,
     config: ScenarioConfig,
     windows: HashMap<Pid, SampleWindow>,
     history: HashMap<Pid, Vec<EpochRecord>>,
+    /// Per-epoch scratch, reused across steps.
+    batch: Vec<(ProcessId, Classification)>,
+    progress: Vec<(Pid, f64)>,
 }
 
 impl<D: Detector> AugmentedRun<D> {
@@ -71,13 +86,16 @@ impl<D: Detector> AugmentedRun<D> {
         detector: D,
         config: ScenarioConfig,
     ) -> Self {
+        let engine = ShardedEngine::new(engine_config, config.shards.max(1));
         Self {
             machine,
-            engine: ValkyrieEngine::new(engine_config),
+            engine,
             detector,
             config,
             windows: HashMap::new(),
             history: HashMap::new(),
+            batch: Vec::new(),
+            progress: Vec::new(),
         }
     }
 
@@ -110,9 +128,14 @@ impl<D: Detector> AugmentedRun<D> {
         self.engine.state(pid.into())
     }
 
-    /// Runs one epoch: machine, then detection, then response.
+    /// Runs one epoch: machine, then detection, then one batched response.
     pub fn step(&mut self) -> BTreeMap<Pid, EpochReport> {
         let reports = self.machine.run_epoch();
+
+        // Detection phase: one inference per watched live process, in
+        // deterministic (ascending pid) order.
+        self.batch.clear();
+        self.progress.clear();
         for (&pid, report) in &reports {
             let Some(window) = self.windows.get_mut(&pid) else {
                 continue; // unwatched process
@@ -122,12 +145,22 @@ impl<D: Detector> AugmentedRun<D> {
             }
             window.push(report.hpc);
             let inference = self.detector.infer(pid.into(), window);
-            let resp = self.engine.observe(pid.into(), inference);
+            self.batch.push((pid.into(), inference));
+            self.progress.push((pid, report.progress));
+        }
+
+        // Response phase: the whole epoch in one engine batch.
+        let responses = self.engine.observe_batch(&self.batch);
+
+        // Enactment phase: drive the machine levers per response.
+        for (resp, &(pid, progress)) in responses.iter().zip(&self.progress) {
             // A cycle-end restore starts a fresh detection episode: the
             // detector's measurement history resets along with the
             // monitor's counters.
             if resp.action == Action::RestoreAndRecycle {
-                *window = SampleWindow::new(self.config.window);
+                if let Some(window) = self.windows.get_mut(&pid) {
+                    *window = SampleWindow::new(self.config.window);
+                }
             }
             match resp.action {
                 Action::Terminate => self.machine.terminate(pid),
@@ -152,7 +185,7 @@ impl<D: Detector> AugmentedRun<D> {
                 let _ = self.engine.complete(pid.into());
             }
             self.history.entry(pid).or_default().push(EpochRecord {
-                progress: report.progress,
+                progress,
                 state: resp.state,
                 cpu_share: resp.resources.cpu,
                 threat: resp.threat.value(),
@@ -268,6 +301,7 @@ mod tests {
             ScenarioConfig {
                 cpu_lever: CpuLever::CgroupQuota,
                 window: 16,
+                ..ScenarioConfig::default()
             },
         );
         let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
@@ -275,5 +309,42 @@ mod tests {
         run.run(10);
         let hist = run.history(pid);
         assert!(hist.last().unwrap().progress < hist[0].progress / 2.0);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_scenario_histories() {
+        let run_with = |shards: usize| {
+            let machine = Machine::new(MachineConfig::default());
+            let detector = ScriptedDetector::constant(Classification::Malicious);
+            let mut run = AugmentedRun::new(
+                machine,
+                engine_config(6),
+                detector,
+                ScenarioConfig {
+                    shards,
+                    ..ScenarioConfig::default()
+                },
+            );
+            let attack = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+            run.watch(attack);
+            let mut benign_pids = Vec::new();
+            for mut spec in roster().into_iter().take(12) {
+                spec.epochs_to_complete = 40;
+                let pid = run
+                    .machine_mut()
+                    .spawn(Box::new(BenchmarkWorkload::new(spec)));
+                run.watch(pid);
+                benign_pids.push(pid);
+            }
+            run.run(12);
+            let mut histories = vec![run.history(attack).to_vec()];
+            for pid in benign_pids {
+                histories.push(run.history(pid).to_vec());
+            }
+            histories
+        };
+        let single = run_with(1);
+        let sharded = run_with(4);
+        assert_eq!(single, sharded);
     }
 }

@@ -1,0 +1,194 @@
+//! The fleet roster: thousands of benign service processes for
+//! machine-scale scenarios.
+//!
+//! The paper's roster ([`crate::roster`]) models the 77 SPEC-style
+//! benchmarks of Fig. 5a — enough for per-program slowdown studies, but two
+//! orders of magnitude short of a production machine. This module extends
+//! the roster to **fleet scale**: [`fleet_roster`] generates an arbitrary
+//! number of benign service processes (web servers, caches, databases,
+//! build jobs, …) with deterministic per-instance running times and
+//! false-positive burst propensities, so the multi-tenant experiment and
+//! the sharded-engine benches can load a machine with thousands of
+//! monitored processes per tick.
+
+use crate::roster::{BenchmarkSpec, Family, Suite};
+
+/// One archetype of benign fleet service.
+///
+/// `burst_base` is the archetype's false-positive propensity before
+/// per-instance jitter: caches and databases hammer memory and look more
+/// like cache attacks through the counters than compute-bound batch jobs
+/// do (same modelling as [`crate::roster`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceArchetype {
+    /// Service name (also the generated processes' benchmark name).
+    pub name: &'static str,
+    /// Resource-behaviour family.
+    pub family: Family,
+    /// Baseline fraction of epochs flagged by a statistical detector.
+    pub burst_base: f64,
+    /// Nominal running time in epochs before instance jitter.
+    pub epochs_base: u64,
+}
+
+/// The service archetypes a fleet instance is drawn from.
+pub const SERVICE_ARCHETYPES: [ServiceArchetype; 12] = [
+    ServiceArchetype {
+        name: "web-frontend",
+        family: Family::CpuBound,
+        burst_base: 0.004,
+        epochs_base: 600,
+    },
+    ServiceArchetype {
+        name: "api-gateway",
+        family: Family::CpuBound,
+        burst_base: 0.006,
+        epochs_base: 560,
+    },
+    ServiceArchetype {
+        name: "kv-cache",
+        family: Family::MemoryBound,
+        burst_base: 0.070,
+        epochs_base: 640,
+    },
+    ServiceArchetype {
+        name: "sql-database",
+        family: Family::MemoryBound,
+        burst_base: 0.055,
+        epochs_base: 680,
+    },
+    ServiceArchetype {
+        name: "message-broker",
+        family: Family::MemoryBound,
+        burst_base: 0.045,
+        epochs_base: 520,
+    },
+    ServiceArchetype {
+        name: "batch-analytics",
+        family: Family::CpuBound,
+        burst_base: 0.015,
+        epochs_base: 420,
+    },
+    ServiceArchetype {
+        name: "ml-inference",
+        family: Family::CpuBound,
+        burst_base: 0.020,
+        epochs_base: 380,
+    },
+    ServiceArchetype {
+        name: "video-transcode",
+        family: Family::Graphics,
+        burst_base: 0.060,
+        epochs_base: 300,
+    },
+    ServiceArchetype {
+        name: "image-render",
+        family: Family::Graphics,
+        burst_base: 0.075,
+        epochs_base: 260,
+    },
+    ServiceArchetype {
+        name: "ci-build",
+        family: Family::CpuBound,
+        burst_base: 0.010,
+        epochs_base: 240,
+    },
+    ServiceArchetype {
+        name: "log-indexer",
+        family: Family::MemoryBound,
+        burst_base: 0.040,
+        epochs_base: 500,
+    },
+    ServiceArchetype {
+        name: "cron-worker",
+        family: Family::CpuBound,
+        burst_base: 0.0,
+        epochs_base: 200,
+    },
+];
+
+/// Deterministic per-index jitter in `[0, 1)` (the engine tier's SplitMix64
+/// finalizer, [`valkyrie_core::hash::mix64`]).
+fn index_jitter(i: u64) -> f64 {
+    (valkyrie_core::hash::mix64(i) % 10_000) as f64 / 10_000.0
+}
+
+/// The spec of fleet instance `i` (instances cycle through the archetypes
+/// with per-instance jitter on runtime and burst propensity).
+pub fn fleet_instance(i: usize) -> BenchmarkSpec {
+    let archetype = SERVICE_ARCHETYPES[i % SERVICE_ARCHETYPES.len()];
+    let jitter = index_jitter(i as u64);
+    // Runtime varies ±40 % around the archetype's nominal length; bursts
+    // vary ×[0.5, 1.5], with a clean slice of compute-bound instances that
+    // are never flagged (mirroring `roster`'s clean programs).
+    let epochs = (archetype.epochs_base as f64 * (0.6 + 0.8 * jitter)) as u64;
+    let burst = if archetype.family == Family::CpuBound && jitter < 0.35 {
+        0.0
+    } else {
+        archetype.burst_base * (0.5 + jitter)
+    };
+    BenchmarkSpec {
+        name: archetype.name,
+        suite: Suite::Fleet,
+        family: archetype.family,
+        epochs_to_complete: epochs.max(1),
+        burst_prob: burst,
+        threads: 1,
+    }
+}
+
+/// A fleet of `n` benign service processes, deterministic in `n` and stable
+/// across runs: `fleet_roster(n)[i]` is always [`fleet_instance`]`(i)`.
+pub fn fleet_roster(n: usize) -> Vec<BenchmarkSpec> {
+    (0..n).map(fleet_instance).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_roster_has_requested_size() {
+        assert_eq!(fleet_roster(0).len(), 0);
+        assert_eq!(fleet_roster(1).len(), 1);
+        assert_eq!(fleet_roster(5_000).len(), 5_000);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        assert_eq!(fleet_roster(500), fleet_roster(500));
+        assert_eq!(fleet_roster(500)[17], fleet_instance(17));
+    }
+
+    #[test]
+    fn instances_of_one_archetype_still_vary() {
+        let a = fleet_instance(0);
+        let b = fleet_instance(SERVICE_ARCHETYPES.len());
+        assert_eq!(a.name, b.name);
+        assert!(
+            a.epochs_to_complete != b.epochs_to_complete || a.burst_prob != b.burst_prob,
+            "instances should jitter"
+        );
+    }
+
+    #[test]
+    fn burst_propensities_are_plausible() {
+        let fleet = fleet_roster(10_000);
+        let mean: f64 = fleet.iter().map(|s| s.burst_prob).sum::<f64>() / fleet.len() as f64;
+        // Same ballpark as the paper's ~4 % FP epochs on SPEC.
+        assert!(mean > 0.005 && mean < 0.08, "mean burst rate {mean}");
+        assert!(fleet.iter().all(|s| (0.0..0.5).contains(&s.burst_prob)));
+        let clean = fleet.iter().filter(|s| s.burst_prob == 0.0).count();
+        assert!(clean * 10 >= fleet.len(), "only {clean} clean instances");
+    }
+
+    #[test]
+    fn runtimes_are_positive_and_bounded() {
+        for s in fleet_roster(2_000) {
+            assert!(s.epochs_to_complete >= 1);
+            assert!(s.epochs_to_complete <= 1_000, "{}", s.epochs_to_complete);
+            assert_eq!(s.threads, 1);
+            assert_eq!(s.suite, Suite::Fleet);
+        }
+    }
+}

@@ -25,10 +25,12 @@
 //! assert!(machine.is_alive(pid));
 //! ```
 
+pub mod fleet;
 pub mod multithread;
 pub mod roster;
 pub mod workload;
 
+pub use fleet::{fleet_instance, fleet_roster, ServiceArchetype, SERVICE_ARCHETYPES};
 pub use multithread::{spawn_team, TeamHandle};
 pub use roster::{multithreaded_roster, roster, BenchmarkSpec, Family, Suite};
 pub use workload::BenchmarkWorkload;

@@ -18,6 +18,8 @@ pub enum Suite {
     Stream,
     /// SPEC CPU2017 floating-point, 4-thread configuration.
     Spec2017Mt,
+    /// Synthetic benign service fleet (see [`crate::fleet`]).
+    Fleet,
 }
 
 impl Suite {
@@ -30,6 +32,7 @@ impl Suite {
             Suite::ViewPerf13 => "SPECViewperf-13",
             Suite::Stream => "STREAM",
             Suite::Spec2017Mt => "SPEC-2017-MT",
+            Suite::Fleet => "Fleet",
         }
     }
 }
@@ -403,6 +406,7 @@ mod tests {
             Suite::ViewPerf13,
             Suite::Stream,
             Suite::Spec2017Mt,
+            Suite::Fleet,
         ]
         .iter()
         .map(|s| s.label())

@@ -24,6 +24,7 @@ fn main() -> Result<(), ValkyrieError> {
         ScenarioConfig {
             cpu_lever: CpuLever::SchedulerWeight,
             window: 50,
+            shards: 1,
         },
     );
 

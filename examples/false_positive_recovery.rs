@@ -37,6 +37,7 @@ fn main() -> Result<(), ValkyrieError> {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: n_star as usize * 3,
+            shards: 1,
         },
     );
     let pid = run

@@ -35,6 +35,7 @@ fn main() -> Result<(), ValkyrieError> {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: 40,
+            shards: 1,
         },
     );
 

@@ -31,6 +31,7 @@ fn cryptominer_is_detected_throttled_and_terminated() {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: 20,
+            shards: 1,
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
@@ -66,6 +67,7 @@ fn ransomware_damage_is_bounded_by_valkyrie() {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: 30,
+            shards: 1,
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Ransomware::default()));
@@ -134,6 +136,7 @@ fn benign_program_survives_noisy_detector_and_recovers() {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: n_star as usize * 3,
+            shards: 1,
         },
     );
     let pid = run
@@ -245,6 +248,7 @@ fn mixed_fleet_attacks_die_and_benign_tenants_survive() {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: n_star as usize * 3,
+            shards: 1,
         },
     );
 
@@ -303,6 +307,7 @@ fn resource_floor_bounds_worst_case_throttling() {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: 8,
+            shards: 1,
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));

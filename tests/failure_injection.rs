@@ -80,6 +80,7 @@ fn detector_outage_restores_resources_instead_of_wedging() {
         ScenarioConfig {
             cpu_lever: CpuLever::CgroupQuota,
             window: 16,
+            shards: 1,
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));

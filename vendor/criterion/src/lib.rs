@@ -4,9 +4,16 @@
 //! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], [`criterion_group!`]
 //! and [`criterion_main!`] — with a deliberately small measurement loop: a
 //! short warm-up, then timed batches until the measurement budget is spent,
-//! reporting the best mean iteration time.  No statistics, plots or baseline
-//! comparison; the goal is that `cargo bench` runs and prints stable,
-//! comparable numbers without network access.
+//! reporting the best batch-mean iteration time plus the mean and relative
+//! standard deviation across batches (so noisy numbers are visibly noisy).
+//! No plots or baseline comparison; the goal is that `cargo bench` runs and
+//! prints stable, comparable numbers without network access.
+//!
+//! The default budgets (50 ms warm-up / 200 ms measurement per benchmark)
+//! can be overridden with the `VALKYRIE_BENCH_WARMUP_MS` and
+//! `VALKYRIE_BENCH_MEASUREMENT_MS` environment variables — CI's bench smoke
+//! job shrinks them so the benches compile and execute in seconds; explicit
+//! `measurement_time`/`sample_size` calls still win over the environment.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -22,15 +29,55 @@ pub mod measurement {
     pub struct WallTime;
 }
 
+/// Statistics of one [`Bencher::iter`] call across its timed batches.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    /// Best (lowest) batch-mean time per iteration.
+    pub best: Duration,
+    /// Mean of the batch means.
+    pub mean: Duration,
+    /// Relative standard deviation of the batch means, in percent of the
+    /// mean (0 when fewer than two batches ran).
+    pub rsd_pct: f64,
+    /// Number of timed batches.
+    pub batches: u32,
+}
+
+fn stats_of(batch_means: &[Duration], fallback: Duration) -> SampleStats {
+    if batch_means.is_empty() {
+        return SampleStats {
+            best: fallback,
+            mean: fallback,
+            rsd_pct: 0.0,
+            batches: 0,
+        };
+    }
+    let best = *batch_means.iter().min().expect("non-empty");
+    let nanos: Vec<f64> = batch_means.iter().map(|d| d.as_nanos() as f64).collect();
+    let mean = nanos.iter().sum::<f64>() / nanos.len() as f64;
+    let rsd_pct = if nanos.len() < 2 || mean <= 0.0 {
+        0.0
+    } else {
+        let var = nanos.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nanos.len() - 1) as f64;
+        100.0 * var.sqrt() / mean
+    };
+    SampleStats {
+        best,
+        mean: Duration::from_nanos(mean as u64),
+        rsd_pct,
+        batches: batch_means.len() as u32,
+    }
+}
+
 /// Per-benchmark timing driver handed to the `|b| ...` closure.
 pub struct Bencher<'a> {
     warm_up: Duration,
     measurement: Duration,
-    samples: &'a mut Vec<Duration>,
+    samples: &'a mut Vec<SampleStats>,
 }
 
 impl Bencher<'_> {
-    /// Run `routine` repeatedly, recording the mean time per iteration.
+    /// Run `routine` repeatedly, recording per-iteration timing statistics.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         // Warm-up, also used to size the timed batches.  Always run at
         // least one iteration: with a zero warm-up budget, `per_iter`
@@ -54,22 +101,15 @@ impl Bencher<'_> {
             .clamp(1, 1_000_000);
 
         let budget_start = Instant::now();
-        let mut best = Duration::MAX;
+        let mut batch_means = Vec::new();
         while budget_start.elapsed() < self.measurement {
             let t0 = Instant::now();
             for _ in 0..batch {
                 black_box(routine());
             }
-            let mean = t0.elapsed().checked_div(batch as u32).unwrap_or_default();
-            if mean < best {
-                best = mean;
-            }
+            batch_means.push(t0.elapsed().checked_div(batch as u32).unwrap_or_default());
         }
-        self.samples.push(if best == Duration::MAX {
-            per_iter
-        } else {
-            best
-        });
+        self.samples.push(stats_of(&batch_means, per_iter));
     }
 }
 
@@ -79,13 +119,24 @@ pub struct Criterion {
     measurement: Duration,
 }
 
+fn env_budget_ms(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
 impl Default for Criterion {
     fn default() -> Self {
         // Far smaller budgets than upstream (3s warm-up / 5s measurement):
-        // `cargo bench` over three bench binaries should finish in minutes.
+        // `cargo bench` over the bench binaries should finish in minutes.
+        // CI's bench smoke job shrinks the budgets further via the
+        // environment.
         Criterion {
-            warm_up: Duration::from_millis(50),
-            measurement: Duration::from_millis(200),
+            warm_up: env_budget_ms("VALKYRIE_BENCH_WARMUP_MS", 50),
+            measurement: env_budget_ms("VALKYRIE_BENCH_MEASUREMENT_MS", 200),
         }
     }
 }
@@ -187,7 +238,13 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
     };
     f(&mut b);
     match samples.last() {
-        Some(t) => println!("bench: {id:<55} {:>12}/iter", format_duration(*t)),
+        Some(s) => println!(
+            "bench: {id:<55} {:>12}/iter  (mean {} ±{:.1}%, {} batches)",
+            format_duration(s.best),
+            format_duration(s.mean),
+            s.rsd_pct,
+            s.batches
+        ),
         // The closure set state up but never called `iter`.
         None => println!("bench: {id:<55} {:>12}", "no samples"),
     }
@@ -242,6 +299,39 @@ mod tests {
         g.sample_size(2);
         g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
         g.finish();
+    }
+
+    #[test]
+    fn stats_report_best_mean_and_spread() {
+        let s = stats_of(
+            &[
+                Duration::from_nanos(100),
+                Duration::from_nanos(110),
+                Duration::from_nanos(90),
+            ],
+            Duration::ZERO,
+        );
+        assert_eq!(s.best, Duration::from_nanos(90));
+        assert_eq!(s.mean, Duration::from_nanos(100));
+        assert_eq!(s.batches, 3);
+        assert!(s.rsd_pct > 9.0 && s.rsd_pct < 11.0, "{}", s.rsd_pct);
+    }
+
+    #[test]
+    fn stats_fall_back_when_no_batch_completed() {
+        let s = stats_of(&[], Duration::from_nanos(42));
+        assert_eq!(s.best, Duration::from_nanos(42));
+        assert_eq!(s.mean, Duration::from_nanos(42));
+        assert_eq!(s.rsd_pct, 0.0);
+        assert_eq!(s.batches, 0);
+    }
+
+    #[test]
+    fn single_batch_has_zero_spread() {
+        let s = stats_of(&[Duration::from_micros(7)], Duration::ZERO);
+        assert_eq!(s.best, s.mean);
+        assert_eq!(s.rsd_pct, 0.0);
+        assert_eq!(s.batches, 1);
     }
 
     #[test]
