@@ -78,8 +78,17 @@ impl ThrottleLaw {
     /// Applies the law to a single share for a threat change `delta`.
     ///
     /// The result is clamped to `[0, 1]`; the caller applies resource floors.
+    ///
+    /// A non-finite `delta` (NaN or ±∞) is treated as "no change": a NaN
+    /// would otherwise slip past the `delta == 0.0` fast path (NaN compares
+    /// unequal to everything), propagate through the arithmetic *and*
+    /// through `clamp`, and permanently poison the process's shares —
+    /// every subsequent epoch computes `NaN op x = NaN`. Threat-index
+    /// deltas are bounded by construction, so a non-finite value is always
+    /// an upstream bug; ignoring it keeps the response law total without
+    /// inventing a throttle the monitor never asked for.
     pub fn step_share(&self, share: f64, delta: f64) -> f64 {
-        if delta == 0.0 {
+        if delta == 0.0 || !delta.is_finite() {
             return share.clamp(0.0, 1.0);
         }
         let next = match *self {
@@ -327,6 +336,42 @@ mod tests {
         ] {
             assert_eq!(law.step_share(0.42, 0.0), 0.42);
         }
+    }
+
+    /// Regression: a NaN `delta` used to fail the `delta == 0.0` fast path
+    /// (NaN is unequal to everything), flow through the law arithmetic and
+    /// `clamp` — both of which propagate NaN — and permanently poison the
+    /// share. Every law variant must treat non-finite deltas as identity.
+    #[test]
+    fn non_finite_delta_is_identity_for_every_law() {
+        for law in [
+            ThrottleLaw::PercentPointPerUnit { step: 0.1 },
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+            ThrottleLaw::MultiplicativePerEvent { factor: 0.5 },
+            ThrottleLaw::HalvePerEvent,
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ] {
+            for delta in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let next = law.step_share(0.42, delta);
+                assert_eq!(next, 0.42, "{law:?} poisoned by delta {delta}");
+            }
+        }
+    }
+
+    /// Regression at the actuator level: one NaN observation must not
+    /// poison the shares for the rest of the process's life.
+    #[test]
+    fn nan_delta_does_not_poison_future_epochs() {
+        let mut a = ShareActuator::cpu_percent_point(0.10, 0.01);
+        let r = a.apply(&ResourceVector::full(), 1.0);
+        assert!((r.cpu - 0.9).abs() < 1e-12);
+        // The buggy epoch: pre-fix, r.cpu became NaN here and stayed NaN.
+        let r = a.apply(&r, f64::NAN);
+        assert!((r.cpu - 0.9).abs() < 1e-12);
+        assert!(r.is_valid());
+        // Recovery continues exactly where it left off.
+        let r = a.apply(&r, -1.0);
+        assert!((r.cpu - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! logic lives in an [`EngineShard`], and a [`ShardedEngine`] ([`sharded`])
 //! partitions thousands of processes across shards behind a batched,
 //! thread-parallel `observe_batch` / `tick` API with identical Algorithm 1
-//! semantics.
+//! semantics. Two [`ExecutionMode`]s drive the fan-out: per-tick scoped
+//! threads (the default) or a persistent actor-style worker pool
+//! ([`pool`]) that owns the shards on long-lived threads and amortises the
+//! spawns across the engine's lifetime.
 //!
 //! # Quick start
 //!
@@ -61,6 +64,7 @@ pub mod evasion;
 pub mod hash;
 pub mod migration;
 pub mod monitor;
+pub mod pool;
 pub mod resource;
 pub mod sharded;
 pub mod slowdown;
@@ -78,8 +82,9 @@ pub use error::ValkyrieError;
 pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
 pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, Monitor, StepReport};
+pub use pool::ShardPool;
 pub use resource::{ProcessId, ResourceKind, ResourceVector};
-pub use sharded::ShardedEngine;
+pub use sharded::{ExecutionMode, ShardedEngine};
 pub use slowdown::{simulate_response, slowdown_percent, ResponseTrace};
 pub use state::ProcessState;
 pub use telemetry::{LogEntry, ProcessSummary, ResponseLog};
@@ -94,8 +99,9 @@ pub mod prelude {
     };
     pub use crate::error::ValkyrieError;
     pub use crate::monitor::{Directive, Monitor, StepReport};
+    pub use crate::pool::ShardPool;
     pub use crate::resource::{ProcessId, ResourceKind, ResourceVector};
-    pub use crate::sharded::ShardedEngine;
+    pub use crate::sharded::{ExecutionMode, ShardedEngine};
     pub use crate::slowdown::{simulate_response, slowdown_percent};
     pub use crate::state::ProcessState;
     pub use crate::threat::{AssessmentFn, Classification, ThreatIndex};

@@ -1,0 +1,611 @@
+//! The persistent worker pool: actor-style shard ownership for the
+//! scaling tier.
+//!
+//! [`crate::sharded::ShardedEngine`] in its default
+//! [`ScopedSpawn`](crate::sharded::ExecutionMode::ScopedSpawn) mode fans
+//! each batch out with [`std::thread::scope`], paying a fresh set of thread
+//! spawns **every tick**. At fleet scale — tens of thousands of
+//! observations per epoch, one epoch per detector inference round — those
+//! spawns dominate the steady-state cost the response tier adds on top of
+//! detection. A [`ShardPool`] removes them: `N` long-lived workers are
+//! spawned **once**, each taking ownership of a contiguous run of
+//! [`EngineShard`]s, and every tick is two message exchanges per worker
+//! (work out, responses back) over [`std::sync::mpsc`] channels.
+//!
+//! The design is deliberately actor-style rather than lock-based: a shard
+//! is owned by exactly one worker thread for the pool's whole lifetime, so
+//! there is no shared mutable state, no locks on the observe path, and the
+//! per-shard application order — the thing the bit-for-bit equivalence
+//! guarantee of the scaling tier rests on — is trivially preserved.
+//! Control-plane operations (state queries, completion, purges, snapshots)
+//! travel over the same channels in strict request/reply lockstep, so the
+//! pool needs no synchronisation beyond the channels themselves.
+//!
+//! Shutdown is graceful and lossless: [`ShardPool::shutdown`] asks every
+//! worker to hand its shards back and joins the threads, returning the
+//! shards with all their per-process state intact (this is how
+//! [`ShardedEngine::set_execution_mode`](crate::sharded::ShardedEngine::set_execution_mode)
+//! demotes a pooled engine back to scoped mode). Dropping the pool joins
+//! the workers too, so no thread outlives the engine.
+//!
+//! Embedders normally never touch this type directly — construct a
+//! [`ShardedEngine`](crate::sharded::ShardedEngine) with
+//! [`ExecutionMode::Pool`](crate::sharded::ExecutionMode::Pool) instead —
+//! but it is public so bespoke drivers can own the fan-out themselves.
+
+use crate::actuator::Actuator;
+use crate::engine::{EngineResponse, EngineShard};
+use crate::error::ValkyrieError;
+use crate::resource::{ProcessId, ResourceVector};
+use crate::state::ProcessState;
+use crate::threat::{Classification, ThreatIndex};
+use std::fmt;
+use std::ops::Range;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One shard's partitioned work list for a tick.
+pub(crate) type ShardWork = Vec<(ProcessId, Classification)>;
+
+/// What the engine asks a worker to do. One request always produces
+/// exactly one [`Reply`], which keeps the channels in lockstep without any
+/// request ids.
+enum Request {
+    /// One tick's observations, one work list per owned shard (in shard
+    /// order). The buffers are returned in the reply so the engine's
+    /// partition scratch keeps its allocations across ticks.
+    Observe {
+        work: Vec<ShardWork>,
+    },
+    /// The single-observation compatibility path, routed to one shard.
+    ObserveOne {
+        shard: usize,
+        pid: ProcessId,
+        inference: Classification,
+    },
+    /// Evict terminated processes from every owned shard.
+    Purge,
+    Complete {
+        shard: usize,
+        pid: ProcessId,
+    },
+    Forget {
+        shard: usize,
+        pid: ProcessId,
+    },
+    State {
+        shard: usize,
+        pid: ProcessId,
+    },
+    Threat {
+        shard: usize,
+        pid: ProcessId,
+    },
+    Resources {
+        shard: usize,
+        pid: ProcessId,
+    },
+    Tracked,
+    TrackedLive,
+    /// Collect `(pid, state, threat)` of every tracked process.
+    Snapshot,
+    /// Hand the shards back and exit the worker loop.
+    Shutdown,
+}
+
+/// A worker's answer to one [`Request`].
+enum Reply<A: Actuator + Clone> {
+    Observed {
+        responses: Vec<Vec<EngineResponse>>,
+        work: Vec<ShardWork>,
+    },
+    Response(EngineResponse),
+    Purged(usize),
+    Completed(Result<(), ValkyrieError>),
+    State(Option<ProcessState>),
+    Threat(Option<ThreatIndex>),
+    Resources(Option<ResourceVector>),
+    Count(usize),
+    Snapshot(Vec<(ProcessId, ProcessState, ThreatIndex)>),
+    Done,
+    Shards(Vec<EngineShard<A>>),
+}
+
+/// The long-lived worker body: owns its shards until told to hand them
+/// back. Exits when the request channel closes (engine dropped without a
+/// shutdown — nothing to reply to) or on [`Request::Shutdown`].
+fn worker_loop<A: Actuator + Clone>(
+    mut shards: Vec<EngineShard<A>>,
+    requests: Receiver<Request>,
+    replies: Sender<Reply<A>>,
+) {
+    while let Ok(request) = requests.recv() {
+        let reply = match request {
+            Request::Observe { work } => {
+                let responses = shards
+                    .iter_mut()
+                    .zip(&work)
+                    .map(|(shard, part)| shard.observe_batch(part))
+                    .collect();
+                Reply::Observed { responses, work }
+            }
+            Request::ObserveOne {
+                shard,
+                pid,
+                inference,
+            } => Reply::Response(shards[shard].observe(pid, inference)),
+            Request::Purge => Reply::Purged(
+                shards
+                    .iter_mut()
+                    .map(EngineShard::purge_terminated)
+                    .sum::<usize>(),
+            ),
+            Request::Complete { shard, pid } => Reply::Completed(shards[shard].complete(pid)),
+            Request::Forget { shard, pid } => {
+                shards[shard].forget(pid);
+                Reply::Done
+            }
+            Request::State { shard, pid } => Reply::State(shards[shard].state(pid)),
+            Request::Threat { shard, pid } => Reply::Threat(shards[shard].threat(pid)),
+            Request::Resources { shard, pid } => Reply::Resources(shards[shard].resources(pid)),
+            Request::Tracked => Reply::Count(shards.iter().map(EngineShard::tracked).sum()),
+            Request::TrackedLive => {
+                Reply::Count(shards.iter().map(EngineShard::tracked_live).sum())
+            }
+            Request::Snapshot => Reply::Snapshot(
+                shards
+                    .iter()
+                    .flat_map(EngineShard::iter)
+                    .collect::<Vec<_>>(),
+            ),
+            Request::Shutdown => {
+                let _ = replies.send(Reply::Shards(shards));
+                return;
+            }
+        };
+        if replies.send(reply).is_err() {
+            // The engine went away mid-request; nothing left to serve.
+            return;
+        }
+    }
+}
+
+/// One worker thread plus its channel pair and the global shard indices it
+/// owns.
+struct Worker<A: Actuator + Clone> {
+    requests: Sender<Request>,
+    replies: Receiver<Reply<A>>,
+    shard_range: Range<usize>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<A: Actuator + Clone> Worker<A> {
+    fn send(&self, request: Request) {
+        self.requests
+            .send(request)
+            .expect("engine shard worker exited unexpectedly");
+    }
+
+    fn recv(&self) -> Reply<A> {
+        self.replies.recv().expect("engine shard worker panicked")
+    }
+}
+
+/// A persistent pool of worker threads, each owning a contiguous run of
+/// [`EngineShard`]s (see the [module docs](self)).
+///
+/// All methods keep the request/reply channels in lockstep: every request
+/// sent is answered before the method returns, so the pool can be driven
+/// from a single thread without any further synchronisation.
+pub struct ShardPool<A: Actuator + Clone> {
+    workers: Vec<Worker<A>>,
+    nshards: usize,
+}
+
+impl<A: Actuator + Clone> fmt::Debug for ShardPool<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.nshards)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<A: Actuator + Clone + Send + 'static> ShardPool<A> {
+    /// Spawns `workers` long-lived threads (clamped to `[1, shards.len()]`)
+    /// and distributes the shards across them in contiguous, near-equal
+    /// runs. Shard order is preserved: global shard `i` stays shard `i`,
+    /// so placement — and therefore every response — is identical to the
+    /// scoped-spawn path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<EngineShard<A>>, workers: usize) -> Self {
+        assert!(!shards.is_empty(), "a shard pool needs at least one shard");
+        let nshards = shards.len();
+        let nworkers = workers.clamp(1, nshards);
+        // Balanced split: the first `nshards % nworkers` workers take one
+        // extra shard, so exactly `nworkers` workers are spawned (a naive
+        // ceil-sized chunking can come up short — 5 shards over 4 workers
+        // would yield runs of 2+2+1 and only 3 workers).
+        let base = nshards / nworkers;
+        let extra = nshards % nworkers;
+        let mut pool = Vec::with_capacity(nworkers);
+        let mut iter = shards.into_iter();
+        let mut start = 0;
+        for w in 0..nworkers {
+            let end = start + base + usize::from(w < extra);
+            let owned: Vec<EngineShard<A>> = iter.by_ref().take(end - start).collect();
+            let (req_tx, req_rx) = mpsc::channel();
+            let (rep_tx, rep_rx) = mpsc::channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("valkyrie-shards-{start}"))
+                .spawn(move || worker_loop(owned, req_rx, rep_tx))
+                .expect("failed to spawn engine shard worker");
+            pool.push(Worker {
+                requests: req_tx,
+                replies: rep_rx,
+                shard_range: start..end,
+                handle: Some(handle),
+            });
+            start = end;
+        }
+        Self {
+            workers: pool,
+            nshards,
+        }
+    }
+}
+
+impl<A: Actuator + Clone> ShardPool<A> {
+    /// Number of shards owned across all workers.
+    pub fn shards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker owning global shard index `shard`.
+    fn worker_of(&self, shard: usize) -> &Worker<A> {
+        debug_assert!(shard < self.nshards);
+        self.workers
+            .iter()
+            .find(|w| w.shard_range.contains(&shard))
+            .expect("every shard index is owned by a worker")
+    }
+
+    /// Sends `request` to the owner of `shard` with the shard index
+    /// rebased to the worker's local numbering, and returns its reply.
+    fn ask(&self, shard: usize, request: impl FnOnce(usize) -> Request) -> Reply<A> {
+        let worker = self.worker_of(shard);
+        worker.send(request(shard - worker.shard_range.start));
+        worker.recv()
+    }
+
+    /// Feeds one tick's partitioned work — `parts[i]` is the work list for
+    /// global shard `i` — and returns one response list per shard, in
+    /// shard order. All workers run concurrently; the work buffers are
+    /// moved to the workers and handed back through the reply, so the
+    /// caller's scratch keeps its allocations (contents included — the
+    /// caller clears them on the next partition pass).
+    pub(crate) fn observe_parts(&mut self, parts: &mut [ShardWork]) -> Vec<Vec<EngineResponse>> {
+        debug_assert_eq!(parts.len(), self.nshards);
+        for worker in &self.workers {
+            let work: Vec<ShardWork> = parts[worker.shard_range.clone()]
+                .iter_mut()
+                .map(std::mem::take)
+                .collect();
+            worker.send(Request::Observe { work });
+        }
+        let mut all = Vec::with_capacity(self.nshards);
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Observed { responses, work } => {
+                    for (slot, buf) in parts[worker.shard_range.clone()].iter_mut().zip(work) {
+                        *slot = buf;
+                    }
+                    all.extend(responses);
+                }
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+        all
+    }
+
+    /// Single-observation compatibility path.
+    pub fn observe_one(
+        &mut self,
+        shard: usize,
+        pid: ProcessId,
+        inference: Classification,
+    ) -> EngineResponse {
+        match self.ask(shard, |s| Request::ObserveOne {
+            shard: s,
+            pid,
+            inference,
+        }) {
+            Reply::Response(response) => response,
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
+    }
+
+    /// Evicts terminated processes from every shard, returning the count.
+    pub fn purge_terminated(&mut self) -> usize {
+        for worker in &self.workers {
+            worker.send(Request::Purge);
+        }
+        self.workers
+            .iter()
+            .map(|w| match w.recv() {
+                Reply::Purged(n) => n,
+                _ => unreachable!("worker broke the request/reply protocol"),
+            })
+            .sum()
+    }
+
+    /// Marks the process as completed on its owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValkyrieError::UnknownProcess`] when `pid` is not tracked.
+    pub fn complete(&mut self, shard: usize, pid: ProcessId) -> Result<(), ValkyrieError> {
+        match self.ask(shard, |s| Request::Complete { shard: s, pid }) {
+            Reply::Completed(result) => result,
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
+    }
+
+    /// Drops the process from its owning shard.
+    pub fn forget(&mut self, shard: usize, pid: ProcessId) {
+        match self.ask(shard, |s| Request::Forget { shard: s, pid }) {
+            Reply::Done => {}
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
+    }
+
+    /// Current state of `pid` on its owning shard.
+    pub fn state(&self, shard: usize, pid: ProcessId) -> Option<ProcessState> {
+        match self.ask(shard, |s| Request::State { shard: s, pid }) {
+            Reply::State(state) => state,
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
+    }
+
+    /// Current threat index of `pid` on its owning shard.
+    pub fn threat(&self, shard: usize, pid: ProcessId) -> Option<ThreatIndex> {
+        match self.ask(shard, |s| Request::Threat { shard: s, pid }) {
+            Reply::Threat(threat) => threat,
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
+    }
+
+    /// Current resource shares of `pid` on its owning shard.
+    pub fn resources(&self, shard: usize, pid: ProcessId) -> Option<ResourceVector> {
+        match self.ask(shard, |s| Request::Resources { shard: s, pid }) {
+            Reply::Resources(resources) => resources,
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
+    }
+
+    /// Total processes tracked across all shards (terminated included).
+    pub fn tracked(&self) -> usize {
+        self.fan_out_count(|| Request::Tracked)
+    }
+
+    /// Total live processes tracked across all shards.
+    pub fn tracked_live(&self) -> usize {
+        self.fan_out_count(|| Request::TrackedLive)
+    }
+
+    fn fan_out_count(&self, make: impl Fn() -> Request) -> usize {
+        for worker in &self.workers {
+            worker.send(make());
+        }
+        self.workers
+            .iter()
+            .map(|w| match w.recv() {
+                Reply::Count(n) => n,
+                _ => unreachable!("worker broke the request/reply protocol"),
+            })
+            .sum()
+    }
+
+    /// `(pid, state, threat)` of every tracked process, worker by worker
+    /// (no global ordering — same contract as the scoped path's iterator).
+    pub fn snapshot(&self) -> Vec<(ProcessId, ProcessState, ThreatIndex)> {
+        for worker in &self.workers {
+            worker.send(Request::Snapshot);
+        }
+        let mut all = Vec::new();
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Snapshot(part) => all.extend(part),
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+        all
+    }
+
+    /// Stops every worker and returns the shards in their original global
+    /// order, with all per-process state intact. This is the lossless
+    /// inverse of [`ShardPool::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker died before handing its shards back (it can only
+    /// die by panicking mid-request, i.e. a shard panicked): returning a
+    /// partial shard set would silently shift shard indices and corrupt
+    /// pid routing, so the panic is propagated instead.
+    pub fn shutdown(mut self) -> Vec<EngineShard<A>> {
+        let mut shards = Vec::with_capacity(self.nshards);
+        for worker in &self.workers {
+            let _ = worker.requests.send(Request::Shutdown);
+        }
+        for worker in &mut self.workers {
+            match worker.replies.recv() {
+                Ok(Reply::Shards(owned)) => shards.extend(owned),
+                Ok(_) => unreachable!("worker broke the request/reply protocol"),
+                Err(_) => panic!("engine shard worker panicked; its shards are lost"),
+            }
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+        debug_assert_eq!(shards.len(), self.nshards);
+        shards
+    }
+}
+
+impl<A: Actuator + Clone> Drop for ShardPool<A> {
+    /// Joins every worker so no thread outlives the pool. Workers that
+    /// already handed their shards back (via [`ShardPool::shutdown`])
+    /// have exited and their channels are closed; the sends then fail
+    /// harmlessly.
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.requests.send(Request::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuator::ShareActuator;
+    use crate::engine::{Action, EngineConfig};
+    use Classification::{Benign, Malicious};
+
+    fn config(n_star: u64) -> EngineConfig {
+        EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap()
+    }
+
+    fn shards(n: usize, n_star: u64) -> Vec<EngineShard> {
+        (0..n).map(|_| EngineShard::new(config(n_star))).collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_pool_is_rejected() {
+        let _ = ShardPool::<crate::CompositeActuator>::new(Vec::new(), 4);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_shard_count() {
+        let pool = ShardPool::new(shards(3, 5), 16);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.shards(), 3);
+        let pool = ShardPool::new(shards(8, 5), 0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    /// Regression: ceil-sized chunking used to come up short when the
+    /// shard count didn't divide evenly — 5 shards over 4 requested
+    /// workers yielded runs of 2+2+1 and only 3 workers. The balanced
+    /// split must spawn exactly the requested (clamped) count, with every
+    /// shard owned by exactly one worker.
+    #[test]
+    fn uneven_shard_counts_still_get_every_requested_worker() {
+        for (nshards, requested) in [(5usize, 4usize), (7, 3), (16, 5), (9, 9)] {
+            let mut pool = ShardPool::new(shards(nshards, 50), requested);
+            assert_eq!(pool.workers(), requested, "{nshards} shards");
+            // Every shard index routes somewhere and does work.
+            for shard in 0..nshards {
+                pool.observe_one(shard, ProcessId(shard as u64), Benign);
+            }
+            assert_eq!(pool.tracked(), nshards, "{nshards} shards");
+        }
+    }
+
+    #[test]
+    fn observe_parts_returns_per_shard_responses_and_buffers() {
+        let mut pool = ShardPool::new(shards(4, 100), 2);
+        let mut parts: Vec<ShardWork> = vec![
+            vec![(ProcessId(0), Malicious)],
+            vec![(ProcessId(1), Benign)],
+            vec![],
+            vec![(ProcessId(3), Malicious), (ProcessId(3), Malicious)],
+        ];
+        let responses = pool.observe_parts(&mut parts);
+        assert_eq!(responses.len(), 4);
+        assert_eq!(responses[0].len(), 1);
+        assert_eq!(responses[2].len(), 0);
+        assert_eq!(responses[3].len(), 2);
+        assert_eq!(responses[0][0].action, Action::Throttle);
+        assert!(responses[3][1].resources.cpu < responses[3][0].resources.cpu);
+        // The work buffers came back (contents intact until the next
+        // partition pass clears them).
+        assert_eq!(parts[3].len(), 2);
+    }
+
+    #[test]
+    fn control_plane_routes_to_the_owning_shard() {
+        let mut pool = ShardPool::new(shards(3, 50), 3);
+        pool.observe_one(1, ProcessId(42), Malicious);
+        assert_eq!(pool.state(1, ProcessId(42)), Some(ProcessState::Suspicious));
+        assert_eq!(pool.state(0, ProcessId(42)), None);
+        assert!(pool.resources(1, ProcessId(42)).unwrap().cpu < 1.0);
+        assert!(!pool.threat(1, ProcessId(42)).unwrap().is_zero());
+        assert_eq!(pool.tracked(), 1);
+        assert_eq!(pool.tracked_live(), 1);
+        pool.complete(1, ProcessId(42)).unwrap();
+        assert_eq!(pool.tracked_live(), 0);
+        assert_eq!(pool.purge_terminated(), 1);
+        assert_eq!(pool.tracked(), 0);
+        assert!(pool.complete(1, ProcessId(42)).is_err());
+    }
+
+    #[test]
+    fn forget_drops_without_error() {
+        let mut pool = ShardPool::new(shards(2, 50), 2);
+        pool.observe_one(0, ProcessId(9), Benign);
+        pool.forget(0, ProcessId(9));
+        assert_eq!(pool.tracked(), 0);
+        // Forgetting an unknown pid is a no-op, as on EngineShard.
+        pool.forget(1, ProcessId(9));
+    }
+
+    #[test]
+    fn snapshot_covers_every_worker() {
+        let mut pool = ShardPool::new(shards(4, 50), 2);
+        pool.observe_one(0, ProcessId(1), Benign);
+        pool.observe_one(3, ProcessId(2), Malicious);
+        let mut pids: Vec<u64> = pool.snapshot().iter().map(|(pid, _, _)| pid.0).collect();
+        pids.sort_unstable();
+        assert_eq!(pids, vec![1, 2]);
+    }
+
+    #[test]
+    fn shutdown_returns_shards_in_order_with_state_intact() {
+        let mut pool = ShardPool::new(shards(5, 50), 2);
+        pool.observe_one(3, ProcessId(7), Malicious);
+        let shards = pool.shutdown();
+        assert_eq!(shards.len(), 5);
+        assert_eq!(
+            shards[3].state(ProcessId(7)),
+            Some(ProcessState::Suspicious)
+        );
+        assert_eq!(shards[0].tracked(), 0);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Regression for hanging shutdown: dropping the pool must return
+        // (the workers exit on the shutdown message / closed channel).
+        let mut pool = ShardPool::new(shards(7, 50), 4);
+        pool.observe_one(2, ProcessId(1), Benign);
+        drop(pool);
+    }
+}

@@ -5,17 +5,39 @@
 //! [`ShardedEngine`] partitions processes by [`ProcessId`] hash across `N`
 //! independent [`EngineShard`]s and exposes a batch API:
 //! [`ShardedEngine::observe_batch`] feeds one epoch's inferences for the
-//! whole fleet and returns the responses in input order, fanning the work
-//! out across shards with [`std::thread::scope`] when the batch is large
-//! enough to amortise the thread spawns.
+//! whole fleet and returns the responses in input order.
+//!
+//! # Execution modes
+//!
+//! How the per-shard work reaches the shards is a deployment choice, not a
+//! code change — [`ExecutionMode`] selects it and the batch API is
+//! identical either way:
+//!
+//! * [`ExecutionMode::ScopedSpawn`] (the default) fans each large batch
+//!   out with [`std::thread::scope`], spawning fresh threads per tick.
+//!   Small batches — and single-core hosts, where a spawn is pure loss —
+//!   stay on the caller's thread and skip the partition/scatter passes
+//!   entirely. Best when ticks are sporadic or batches are usually small:
+//!   no threads exist between ticks.
+//! * [`ExecutionMode::Pool`] owns the shards actor-style in a persistent
+//!   [`ShardPool`](crate::pool::ShardPool): `min(shards, cores)` long-lived
+//!   workers are spawned once and fed per-tick work over channels, so the
+//!   steady state pays two message exchanges per worker instead of a fresh
+//!   set of thread spawns every tick. Best for fleet-scale drivers that
+//!   tick continuously at 10k+ observations — exactly where the per-tick
+//!   spawns of scoped mode dominate.
+//!
+//! Modes can be switched at runtime with
+//! [`ShardedEngine::set_execution_mode`]; the conversion is lossless (the
+//! pool hands its shards back on shutdown).
 //!
 //! Algorithm 1 semantics are **bit-for-bit identical** to a single
-//! [`ValkyrieEngine`](crate::ValkyrieEngine): the monitor state is strictly
-//! per process, shard placement is a pure deterministic function of the
-//! pid ([`crate::hash::mix64`]), and observations of the same pid within a
-//! batch are applied in batch order by whichever shard owns it. The
-//! property tests in `tests/sharding.rs` pin this equivalence for
-//! arbitrary interleavings and shard counts.
+//! [`ValkyrieEngine`](crate::ValkyrieEngine) in both modes: the monitor
+//! state is strictly per process, shard placement is a pure deterministic
+//! function of the pid ([`crate::hash::mix64`]), and observations of the
+//! same pid within a batch are applied in batch order by whichever shard
+//! owns it. The property tests in `tests/sharding.rs` pin this equivalence
+//! for arbitrary interleavings, shard counts and both execution modes.
 //!
 //! # Examples
 //!
@@ -36,11 +58,29 @@
 //! assert_eq!(engine.tracked_live(), 10_000);
 //! assert_eq!(engine.epoch(), 1);
 //! ```
+//!
+//! The same deployment through the persistent pool:
+//!
+//! ```
+//! use valkyrie_core::prelude::*;
+//!
+//! let config = EngineConfig::builder()
+//!     .measurements_required(5)
+//!     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+//!     .build()
+//!     .unwrap();
+//! let mut engine = ShardedEngine::with_mode(config, 4, 10_000, ExecutionMode::Pool);
+//! let batch = vec![(ProcessId(1), Classification::Malicious)];
+//! let responses = engine.tick(&batch);
+//! assert_eq!(responses.len(), 1);
+//! assert_eq!(engine.execution_mode(), ExecutionMode::Pool);
+//! ```
 
 use crate::actuator::{Actuator, CompositeActuator};
 use crate::engine::{EngineConfig, EngineResponse, EngineShard};
 use crate::error::ValkyrieError;
 use crate::hash::mix64;
+use crate::pool::ShardPool;
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
 use crate::threat::{Classification, ThreatIndex};
@@ -48,30 +88,150 @@ use crate::threat::{Classification, ThreatIndex};
 /// Batches smaller than this per call run on the caller's thread even with
 /// multiple shards: a few hundred observations finish faster than the
 /// spawns they would amortise. Tunable via
-/// [`ShardedEngine::set_parallel_threshold`].
+/// [`ShardedEngine::set_parallel_threshold`]; scoped-spawn mode only.
 const DEFAULT_PARALLEL_THRESHOLD: usize = 512;
 
+/// A partition-scratch slot whose capacity exceeds this multiple of what
+/// the last batch actually needed is shrunk back, so one giant batch does
+/// not pin its peak allocation for the rest of the engine's life.
+const SCRATCH_SHRINK_FACTOR: usize = 8;
+
+/// Scratch capacity below this is never shrunk — churning tiny
+/// reallocations to save a few hundred bytes per shard is a net loss.
+const SCRATCH_MIN_CAPACITY: usize = 64;
+
+/// How a [`ShardedEngine`] distributes per-tick work across its shards.
+/// See the [module docs](self) for when each mode wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Fan each batch out with [`std::thread::scope`], spawning fresh
+    /// threads per tick (small batches stay inline). The default.
+    #[default]
+    ScopedSpawn,
+    /// Persistent worker pool: long-lived threads own the shards
+    /// actor-style and are fed work over channels, amortising the spawns
+    /// across the engine's whole lifetime.
+    Pool,
+}
+
+/// Where the shards currently live: inline (scoped mode) or moved into the
+/// persistent workers (pool mode).
+#[derive(Debug)]
+enum Backend<A: Actuator + Clone> {
+    Scoped(Vec<EngineShard<A>>),
+    Pool(ShardPool<A>),
+}
+
 /// A fleet-scale engine: `N` independent [`EngineShard`]s behind a batch
-/// API plus an epoch-tick driver.
+/// API plus an epoch-tick driver, executed by either per-tick scoped
+/// threads or a persistent worker pool ([`ExecutionMode`]).
 ///
 /// See the [module docs](self) for the equivalence guarantees.
 #[derive(Debug)]
 pub struct ShardedEngine<A: Actuator + Clone = CompositeActuator> {
-    shards: Vec<EngineShard<A>>,
+    backend: Backend<A>,
+    config: EngineConfig<A>,
+    nshards: usize,
     epoch: u64,
     purged_total: u64,
     parallel_threshold: usize,
     /// `min(shards, host cores)`, resolved once at construction so the
-    /// per-tick hot path never pays the affinity syscall.
+    /// per-tick hot path never pays the affinity syscall. Doubles as the
+    /// default pool worker count.
     host_workers: usize,
     /// Per-shard partition scratch, reused across batches so the steady
-    /// state allocates nothing on the partition side.
+    /// state allocates nothing on the partition side (and shrunk back
+    /// after outlier batches, see [`SCRATCH_SHRINK_FACTOR`]).
     parts: Vec<Vec<(ProcessId, Classification)>>,
     origins: Vec<Vec<usize>>,
 }
 
+/// The owning shard for `pid` among `nshards`: a pure function of the pid,
+/// stable across runs, platforms and execution modes.
+#[inline]
+fn shard_index(pid: ProcessId, nshards: usize) -> usize {
+    (mix64(pid.0) % nshards as u64) as usize
+}
+
+/// Splits `batch` into per-shard work lists, remembering each
+/// observation's position in the input batch. Free-standing so the engine
+/// can split-borrow its scratch next to its backend.
+fn partition_into(
+    batch: &[(ProcessId, Classification)],
+    nshards: usize,
+    parts: &mut [Vec<(ProcessId, Classification)>],
+    origins: &mut [Vec<usize>],
+) {
+    for (part, origin) in parts.iter_mut().zip(origins.iter_mut()) {
+        part.clear();
+        origin.clear();
+    }
+    for (i, &(pid, inference)) in batch.iter().enumerate() {
+        let shard = shard_index(pid, nshards);
+        parts[shard].push((pid, inference));
+        origins[shard].push(i);
+    }
+}
+
+/// The single scratch-shrink policy: a slot keeps at most
+/// [`SCRATCH_SHRINK_FACTOR`]× what it currently holds (`used` elements),
+/// never dropping below [`SCRATCH_MIN_CAPACITY`].
+fn shrink_slot<T>(slot: &mut Vec<T>, used: usize) {
+    let need = used.max(SCRATCH_MIN_CAPACITY);
+    if slot.capacity() > need * SCRATCH_SHRINK_FACTOR {
+        slot.shrink_to(need);
+    }
+}
+
+/// Minimal either-iterator so [`ShardedEngine::iter`] can stay lazy and
+/// allocation-free in scoped mode (the shards are right there to walk)
+/// while pool mode iterates a snapshot fetched from the workers.
+enum EitherIter<L, R> {
+    Scoped(L),
+    Pool(R),
+}
+
+impl<L, R> Iterator for EitherIter<L, R>
+where
+    L: Iterator,
+    R: Iterator<Item = L::Item>,
+{
+    type Item = L::Item;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            EitherIter::Scoped(it) => it.next(),
+            EitherIter::Pool(it) => it.next(),
+        }
+    }
+}
+
+/// Scatters per-shard response lists back to input order. Every slot is
+/// overwritten: the partition covers each input index exactly once.
+fn scatter_to_input_order(
+    origins: &[Vec<usize>],
+    results: Vec<Vec<EngineResponse>>,
+    len: usize,
+) -> Vec<EngineResponse> {
+    let placeholder = EngineResponse {
+        pid: ProcessId(u64::MAX),
+        state: ProcessState::Normal,
+        threat: ThreatIndex::zero(),
+        resources: ResourceVector::FULL,
+        action: crate::engine::Action::None,
+    };
+    let mut out = vec![placeholder; len];
+    for (indices, responses) in origins.iter().zip(results) {
+        for (&i, response) in indices.iter().zip(responses) {
+            out[i] = response;
+        }
+    }
+    out
+}
+
 impl<A: Actuator + Clone + Send> ShardedEngine<A> {
-    /// Creates an engine with `shards` partitions.
+    /// Creates an engine with `shards` partitions in the default
+    /// [`ExecutionMode::ScopedSpawn`].
     ///
     /// # Panics
     ///
@@ -82,7 +242,8 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
 
     /// Creates an engine with `shards` partitions, each pre-sized for its
     /// share of `expected_procs` processes (see
-    /// [`EngineShard::with_capacity`]).
+    /// [`EngineShard::with_capacity`]), in the default
+    /// [`ExecutionMode::ScopedSpawn`].
     ///
     /// # Panics
     ///
@@ -91,9 +252,13 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         assert!(shards > 0, "a sharded engine needs at least one shard");
         let per_shard = expected_procs.div_ceil(shards);
         Self {
-            shards: (0..shards)
-                .map(|_| EngineShard::with_capacity(config.clone(), per_shard))
-                .collect(),
+            backend: Backend::Scoped(
+                (0..shards)
+                    .map(|_| EngineShard::with_capacity(config.clone(), per_shard))
+                    .collect(),
+            ),
+            config,
+            nshards: shards,
             epoch: 0,
             purged_total: 0,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
@@ -108,12 +273,30 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.nshards
     }
 
     /// The shared configuration (every shard holds a clone of it).
     pub fn config(&self) -> &EngineConfig<A> {
-        self.shards[0].config()
+        &self.config
+    }
+
+    /// The current execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        match self.backend {
+            Backend::Scoped(_) => ExecutionMode::ScopedSpawn,
+            Backend::Pool(_) => ExecutionMode::Pool,
+        }
+    }
+
+    /// Number of persistent worker threads when running in
+    /// [`ExecutionMode::Pool`]; `None` in scoped mode, where threads only
+    /// exist for the duration of a batch.
+    pub fn pool_workers(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Scoped(_) => None,
+            Backend::Pool(pool) => Some(pool.workers()),
+        }
     }
 
     /// Epochs driven so far via [`Self::tick`].
@@ -121,18 +304,22 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         self.epoch
     }
 
-    /// Terminated processes evicted so far by [`Self::tick`] /
-    /// [`Self::purge_terminated`].
+    /// Terminated processes evicted so far, whether by [`Self::tick`]'s
+    /// end-of-epoch purge or by direct [`Self::purge_terminated`] calls —
+    /// both paths feed the same counter.
     pub fn purged_total(&self) -> u64 {
         self.purged_total
     }
 
     /// Overrides the batch size below which [`Self::observe_batch`] stays
-    /// on the caller's thread. Shard placement and results are unaffected —
-    /// this only moves the sequential/parallel crossover. A threshold of
-    /// `0` forces the spawn path even on a single-core host (useful for
-    /// equivalence tests; pure overhead otherwise). A one-shard engine
-    /// always runs inline regardless: there is nothing to fan out.
+    /// on the caller's thread in [`ExecutionMode::ScopedSpawn`]. Shard
+    /// placement and results are unaffected — this only moves the
+    /// sequential/parallel crossover. A threshold of `0` forces the spawn
+    /// path even on a single-core host (useful for equivalence tests; pure
+    /// overhead otherwise). A one-shard engine always runs inline
+    /// regardless: there is nothing to fan out. Pool mode ignores the
+    /// threshold entirely — the shards live on the workers, so every batch
+    /// travels over the channels.
     pub fn set_parallel_threshold(&mut self, threshold: usize) {
         self.parallel_threshold = threshold;
     }
@@ -140,131 +327,187 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
     /// The shard that owns `pid`: a pure function of the pid, stable across
     /// runs and platforms for a fixed shard count.
     pub fn shard_of(&self, pid: ProcessId) -> usize {
-        (mix64(pid.0) % self.shards.len() as u64) as usize
+        shard_index(pid, self.nshards)
+    }
+
+    /// Total capacity (in elements) currently retained by the per-shard
+    /// partition scratch, summed over work lists and origin maps. Exposed
+    /// so tests can pin the shrink policy: after an outlier batch the
+    /// capacity must return to steady state instead of staying at its
+    /// peak.
+    pub fn scratch_capacity(&self) -> usize {
+        self.parts.iter().map(Vec::capacity).sum::<usize>()
+            + self.origins.iter().map(Vec::capacity).sum::<usize>()
     }
 
     /// Number of processes currently tracked across all shards,
     /// **terminated ones included** (they stay queryable until purged).
     pub fn tracked(&self) -> usize {
-        self.shards.iter().map(EngineShard::tracked).sum()
+        match &self.backend {
+            Backend::Scoped(shards) => shards.iter().map(EngineShard::tracked).sum(),
+            Backend::Pool(pool) => pool.tracked(),
+        }
     }
 
     /// Number of tracked processes that have not terminated.
     pub fn tracked_live(&self) -> usize {
-        self.shards.iter().map(EngineShard::tracked_live).sum()
+        match &self.backend {
+            Backend::Scoped(shards) => shards.iter().map(EngineShard::tracked_live).sum(),
+            Backend::Pool(pool) => pool.tracked_live(),
+        }
     }
 
     /// Current state of a process, if tracked.
     pub fn state(&self, pid: ProcessId) -> Option<ProcessState> {
-        self.shards[self.shard_of(pid)].state(pid)
+        let shard = self.shard_of(pid);
+        match &self.backend {
+            Backend::Scoped(shards) => shards[shard].state(pid),
+            Backend::Pool(pool) => pool.state(shard, pid),
+        }
     }
 
     /// Current threat index of a process, if tracked.
     pub fn threat(&self, pid: ProcessId) -> Option<ThreatIndex> {
-        self.shards[self.shard_of(pid)].threat(pid)
+        let shard = self.shard_of(pid);
+        match &self.backend {
+            Backend::Scoped(shards) => shards[shard].threat(pid),
+            Backend::Pool(pool) => pool.threat(shard, pid),
+        }
     }
 
     /// Current resource shares of a process, if tracked.
     pub fn resources(&self, pid: ProcessId) -> Option<ResourceVector> {
-        self.shards[self.shard_of(pid)].resources(pid)
+        let shard = self.shard_of(pid);
+        match &self.backend {
+            Backend::Scoped(shards) => shards[shard].resources(pid),
+            Backend::Pool(pool) => pool.resources(shard, pid),
+        }
     }
 
     /// Feeds one inference for one process (the compatibility path; batch
     /// embedders should use [`Self::observe_batch`]).
     pub fn observe(&mut self, pid: ProcessId, inference: Classification) -> EngineResponse {
-        let shard = self.shard_of(pid);
-        self.shards[shard].observe(pid, inference)
+        let shard = shard_index(pid, self.nshards);
+        match &mut self.backend {
+            Backend::Scoped(shards) => shards[shard].observe(pid, inference),
+            Backend::Pool(pool) => pool.observe_one(shard, pid, inference),
+        }
     }
 
     /// Feeds one epoch's detector inferences for the whole fleet and
     /// returns one response per observation, **in input order**.
     ///
     /// Observations are partitioned by owning shard; each shard applies its
-    /// observations in batch order. Batches worth parallelising run the
-    /// shards across the host's available cores with
-    /// [`std::thread::scope`] (shards are chunked onto `min(shards, cores)`
-    /// worker threads); small batches — and single-core hosts, where a
-    /// spawn is pure loss — stay on the caller's thread and skip the
-    /// partition/scatter passes entirely. Results are identical either way
-    /// because shards share no per-process state.
+    /// observations in batch order. In [`ExecutionMode::ScopedSpawn`],
+    /// batches worth parallelising run the shards across the host's
+    /// available cores with [`std::thread::scope`] (shards are chunked onto
+    /// `min(shards, cores)` worker threads); small batches — and
+    /// single-core hosts, where a spawn is pure loss — stay on the caller's
+    /// thread and skip the partition/scatter passes entirely. In
+    /// [`ExecutionMode::Pool`], every batch is partitioned and fed to the
+    /// persistent workers over channels — no threads are spawned. Results
+    /// are identical in all paths because shards share no per-process
+    /// state.
     pub fn observe_batch(&mut self, batch: &[(ProcessId, Classification)]) -> Vec<EngineResponse> {
-        if self.shards.len() == 1 {
-            return self.shards[0].observe_batch(batch);
-        }
+        let nshards = self.nshards;
+        let out = match self.backend {
+            Backend::Scoped(ref mut shards) => {
+                if nshards == 1 {
+                    return shards[0].observe_batch(batch);
+                }
+                let force_spawns = self.parallel_threshold == 0;
+                let workers = if force_spawns {
+                    nshards
+                } else {
+                    self.host_workers
+                };
+                if !force_spawns && (workers <= 1 || batch.len() < self.parallel_threshold) {
+                    // No parallelism to win (single-core host, or a batch
+                    // too small to amortise the spawns): route each
+                    // observation straight to its shard. This skips the
+                    // partition and scatter passes entirely — measured on
+                    // the 10k bench they cost more than the observe work
+                    // they reorganise.
+                    let mut out = Vec::with_capacity(batch.len());
+                    for &(pid, inference) in batch {
+                        let shard = shard_index(pid, nshards);
+                        out.push(shards[shard].observe(pid, inference));
+                    }
+                    // The scratch was bypassed, so anything an earlier
+                    // partitioned outlier batch left in it is dead weight;
+                    // shrink it here too or the inline steady state would
+                    // pin the peak forever.
+                    self.shrink_idle_scratch();
+                    return out;
+                }
 
-        let nshards = self.shards.len();
-        let force_spawns = self.parallel_threshold == 0;
-        let workers = if force_spawns {
-            nshards
-        } else {
-            self.host_workers
-        };
-        if !force_spawns && (workers <= 1 || batch.len() < self.parallel_threshold) {
-            // No parallelism to win (single-core host, or a batch too
-            // small to amortise the spawns): route each observation
-            // straight to its shard. This skips the partition and scatter
-            // passes entirely — measured on the 10k bench they cost more
-            // than the observe work they reorganise.
-            let mut out = Vec::with_capacity(batch.len());
-            for &(pid, inference) in batch {
-                let shard = (mix64(pid.0) % nshards as u64) as usize;
-                out.push(self.shards[shard].observe(pid, inference));
+                partition_into(batch, nshards, &mut self.parts, &mut self.origins);
+
+                // Chunk the shards onto the workers so an 8-shard engine on
+                // a 4-core host costs 4 spawns, not 8.
+                let chunk = nshards.div_ceil(workers);
+                let parts = &self.parts;
+                let results: Vec<Vec<EngineResponse>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .chunks_mut(chunk)
+                        .zip(parts.chunks(chunk))
+                        .map(|(shard_chunk, part_chunk)| {
+                            scope.spawn(move || {
+                                shard_chunk
+                                    .iter_mut()
+                                    .zip(part_chunk)
+                                    .map(|(shard, part)| shard.observe_batch(part))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("engine shard panicked"))
+                        .collect()
+                });
+
+                scatter_to_input_order(&self.origins, results, batch.len())
             }
-            return out;
-        }
-
-        // Partition into per-shard work lists (reused scratch), remembering
-        // each observation's position in the input batch.
-        for (part, origin) in self.parts.iter_mut().zip(&mut self.origins) {
-            part.clear();
-            origin.clear();
-        }
-        for (i, &(pid, inference)) in batch.iter().enumerate() {
-            let shard = (mix64(pid.0) % nshards as u64) as usize;
-            self.parts[shard].push((pid, inference));
-            self.origins[shard].push(i);
-        }
-
-        // Chunk the shards onto the workers so an 8-shard engine on a
-        // 4-core host costs 4 spawns, not 8.
-        let chunk = nshards.div_ceil(workers);
-        let results: Vec<Vec<EngineResponse>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .chunks_mut(chunk)
-                .zip(self.parts.chunks(chunk))
-                .map(|(shard_chunk, part_chunk)| {
-                    scope.spawn(move || {
-                        shard_chunk
-                            .iter_mut()
-                            .zip(part_chunk)
-                            .map(|(shard, part)| shard.observe_batch(part))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("engine shard panicked"))
-                .collect()
-        });
-
-        // Scatter back to input order. Every slot is overwritten: the
-        // partition covers each input index exactly once.
-        let placeholder = EngineResponse {
-            pid: ProcessId(u64::MAX),
-            state: ProcessState::Normal,
-            threat: ThreatIndex::zero(),
-            resources: ResourceVector::FULL,
-            action: crate::engine::Action::None,
-        };
-        let mut out = vec![placeholder; batch.len()];
-        for (indices, responses) in self.origins.iter().zip(results) {
-            for (&i, response) in indices.iter().zip(responses) {
-                out[i] = response;
+            Backend::Pool(ref mut pool) => {
+                partition_into(batch, nshards, &mut self.parts, &mut self.origins);
+                let results = pool.observe_parts(&mut self.parts);
+                scatter_to_input_order(&self.origins, results, batch.len())
             }
-        }
+        };
+        self.shrink_scratch();
         out
+    }
+
+    /// Shrinks scratch the inline fast path left unused: its contents are
+    /// stale (the last *partitioned* batch, not the one just served), so
+    /// any slot holding more than the floor's slack goes straight back to
+    /// [`SCRATCH_MIN_CAPACITY`].
+    fn shrink_idle_scratch(&mut self) {
+        for part in &mut self.parts {
+            part.clear();
+            shrink_slot(part, 0);
+        }
+        for origin in &mut self.origins {
+            origin.clear();
+            shrink_slot(origin, 0);
+        }
+    }
+
+    /// Returns outlier allocations in the partition scratch to steady
+    /// state: a slot keeps at most [`SCRATCH_SHRINK_FACTOR`]× the capacity
+    /// the batch it just held needed (never shrinking below
+    /// [`SCRATCH_MIN_CAPACITY`]). Without this, one giant batch pins its
+    /// peak capacity for the rest of the engine's life.
+    fn shrink_scratch(&mut self) {
+        for part in &mut self.parts {
+            let used = part.len();
+            shrink_slot(part, used);
+        }
+        for origin in &mut self.origins {
+            let used = origin.len();
+            shrink_slot(origin, used);
+        }
     }
 
     /// The epoch driver: feeds one tick's batch, advances the epoch
@@ -280,17 +523,21 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
     pub fn tick(&mut self, batch: &[(ProcessId, Classification)]) -> Vec<EngineResponse> {
         let responses = self.observe_batch(batch);
         self.epoch += 1;
-        self.purged_total += self.purge_terminated() as u64;
+        self.purge_terminated();
         responses
     }
 
     /// Evicts every terminated process across all shards, returning how
-    /// many were dropped (see [`EngineShard::purge_terminated`]).
+    /// many were dropped (see [`EngineShard::purge_terminated`]). The
+    /// evictions are added to [`Self::purged_total`] whether this is
+    /// called directly or by [`Self::tick`].
     pub fn purge_terminated(&mut self) -> usize {
-        self.shards
-            .iter_mut()
-            .map(EngineShard::purge_terminated)
-            .sum()
+        let purged = match &mut self.backend {
+            Backend::Scoped(shards) => shards.iter_mut().map(EngineShard::purge_terminated).sum(),
+            Backend::Pool(pool) => pool.purge_terminated(),
+        };
+        self.purged_total += purged as u64;
+        purged
     }
 
     /// Marks a process as completed (Fig. 3: completion terminates it).
@@ -300,19 +547,80 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
     /// Returns [`ValkyrieError::UnknownProcess`] when `pid` is not tracked.
     pub fn complete(&mut self, pid: ProcessId) -> Result<(), ValkyrieError> {
         let shard = self.shard_of(pid);
-        self.shards[shard].complete(pid)
+        match &mut self.backend {
+            Backend::Scoped(shards) => shards[shard].complete(pid),
+            Backend::Pool(pool) => pool.complete(shard, pid),
+        }
     }
 
     /// Stops tracking a process and frees its bookkeeping.
     pub fn forget(&mut self, pid: ProcessId) {
         let shard = self.shard_of(pid);
-        self.shards[shard].forget(pid);
+        match &mut self.backend {
+            Backend::Scoped(shards) => shards[shard].forget(pid),
+            Backend::Pool(pool) => pool.forget(shard, pid),
+        }
     }
 
     /// Iterates over `(pid, state, threat)` of all tracked processes, shard
-    /// by shard (no global ordering).
+    /// by shard (no global ordering). Lazy and allocation-free in scoped
+    /// mode; pool mode materialises one snapshot from the workers.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessState, ThreatIndex)> + '_ {
-        self.shards.iter().flat_map(EngineShard::iter)
+        match &self.backend {
+            Backend::Scoped(shards) => {
+                EitherIter::Scoped(shards.iter().flat_map(EngineShard::iter))
+            }
+            Backend::Pool(pool) => EitherIter::Pool(pool.snapshot().into_iter()),
+        }
+    }
+}
+
+impl<A: Actuator + Clone + Send + 'static> ShardedEngine<A> {
+    /// Creates an engine with `shards` partitions pre-sized for
+    /// `expected_procs` processes, running in `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_mode(
+        config: EngineConfig<A>,
+        shards: usize,
+        expected_procs: usize,
+        mode: ExecutionMode,
+    ) -> Self {
+        let mut engine = Self::with_capacity(config, shards, expected_procs);
+        engine.set_execution_mode(mode);
+        engine
+    }
+
+    /// Switches execution modes in place, preserving every process's
+    /// monitor and actuator state. Promoting to [`ExecutionMode::Pool`]
+    /// spawns `min(shards, cores)` persistent workers and moves the shards
+    /// onto them; demoting shuts the workers down gracefully and takes the
+    /// shards back. A no-op when already in the requested mode.
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) {
+        if self.execution_mode() == mode {
+            return;
+        }
+        // The placeholder is never observable: both arms below install the
+        // real backend before returning.
+        let backend = std::mem::replace(&mut self.backend, Backend::Scoped(Vec::new()));
+        self.backend = match backend {
+            Backend::Scoped(shards) => Backend::Pool(ShardPool::new(shards, self.host_workers)),
+            Backend::Pool(pool) => Backend::Scoped(pool.shutdown()),
+        };
+    }
+
+    /// (Re)builds the persistent pool with an explicit worker count
+    /// (clamped to `[1, shards]`), entering [`ExecutionMode::Pool`] if not
+    /// already there. State is preserved: the existing shards — wherever
+    /// they live — are moved onto the new workers.
+    pub fn set_pool_workers(&mut self, workers: usize) {
+        let shards = match std::mem::replace(&mut self.backend, Backend::Scoped(Vec::new())) {
+            Backend::Scoped(shards) => shards,
+            Backend::Pool(pool) => pool.shutdown(),
+        };
+        self.backend = Backend::Pool(ShardPool::new(shards, workers));
     }
 }
 
@@ -380,22 +688,39 @@ mod tests {
     }
 
     #[test]
+    fn pool_mode_matches_single_engine() {
+        let mut pooled = ShardedEngine::with_mode(config(3), 5, 0, ExecutionMode::Pool);
+        let mut single = ValkyrieEngine::new(config(3));
+        for epoch in 0..6 {
+            let batch = mixed_batch(50, epoch);
+            let got = pooled.observe_batch(&batch);
+            let want: Vec<EngineResponse> = batch
+                .iter()
+                .map(|&(pid, cls)| single.observe(pid, cls))
+                .collect();
+            assert_eq!(got, want, "epoch {epoch}");
+        }
+    }
+
+    #[test]
     fn repeated_pid_within_a_batch_is_applied_in_order() {
-        let mut sharded = ShardedEngine::new(config(100), 7);
-        let mut single = ValkyrieEngine::new(config(100));
-        let pid = ProcessId(11);
-        let batch = vec![
-            (pid, Malicious),
-            (pid, Malicious),
-            (pid, Benign),
-            (pid, Malicious),
-        ];
-        let got = sharded.observe_batch(&batch);
-        let want: Vec<EngineResponse> = batch
-            .iter()
-            .map(|&(pid, cls)| single.observe(pid, cls))
-            .collect();
-        assert_eq!(got, want);
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            let mut sharded = ShardedEngine::with_mode(config(100), 7, 0, mode);
+            let mut single = ValkyrieEngine::new(config(100));
+            let pid = ProcessId(11);
+            let batch = vec![
+                (pid, Malicious),
+                (pid, Malicious),
+                (pid, Benign),
+                (pid, Malicious),
+            ];
+            let got = sharded.observe_batch(&batch);
+            let want: Vec<EngineResponse> = batch
+                .iter()
+                .map(|&(pid, cls)| single.observe(pid, cls))
+                .collect();
+            assert_eq!(got, want, "{mode:?}");
+        }
     }
 
     #[test]
@@ -428,24 +753,110 @@ mod tests {
         assert_eq!(responses[0].state, ProcessState::Suspicious);
     }
 
+    /// Regression: `purged_total` used to be incremented only by `tick`,
+    /// so direct `purge_terminated()` calls silently went uncounted and
+    /// the doc on the counter lied.
+    #[test]
+    fn direct_purge_calls_are_counted_too() {
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            let mut e = ShardedEngine::with_mode(config(2), 4, 0, mode);
+            let batch = vec![(ProcessId(1), Malicious), (ProcessId(2), Benign)];
+            // Drive pid 1 to termination via observe_batch (no tick, so
+            // nothing is purged yet).
+            for _ in 0..3 {
+                e.observe_batch(&batch);
+            }
+            assert_eq!(e.state(ProcessId(1)), Some(ProcessState::Terminated));
+            assert_eq!(e.purged_total(), 0, "{mode:?}");
+            assert_eq!(e.purge_terminated(), 1, "{mode:?}");
+            assert_eq!(e.purged_total(), 1, "{mode:?}");
+            // An empty purge adds nothing; a tick-driven purge still counts.
+            assert_eq!(e.purge_terminated(), 0, "{mode:?}");
+            assert_eq!(e.purged_total(), 1, "{mode:?}");
+            for _ in 0..3 {
+                e.tick(&batch);
+            }
+            assert_eq!(e.purged_total(), 2, "{mode:?}");
+        }
+    }
+
+    /// Regression: the partition scratch used to retain the peak capacity
+    /// of the largest batch ever seen for the engine's whole life.
+    #[test]
+    fn scratch_capacity_returns_to_steady_state_after_an_outlier_batch() {
+        let mut e = ShardedEngine::new(config(1_000_000), 4);
+        e.set_parallel_threshold(0); // force the partitioned path
+        let steady = mixed_batch(64, 0);
+        e.observe_batch(&steady);
+        let steady_cap = e.scratch_capacity();
+
+        let outlier = mixed_batch(100_000, 0);
+        e.observe_batch(&outlier);
+        assert!(
+            e.scratch_capacity() >= 100_000,
+            "outlier batch should grow the scratch ({})",
+            e.scratch_capacity()
+        );
+
+        // The next steady-state batch shrinks the scratch back: well below
+        // the outlier's footprint, within the shrink policy's slack of the
+        // steady-state need.
+        e.observe_batch(&steady);
+        let after = e.scratch_capacity();
+        assert!(
+            after < 100_000 / 4,
+            "scratch stayed near peak after the outlier: {after}"
+        );
+        assert!(
+            after <= steady_cap.max(8 * SCRATCH_MIN_CAPACITY * SCRATCH_SHRINK_FACTOR),
+            "scratch did not return to steady state: {after} vs {steady_cap}"
+        );
+    }
+
+    /// Regression: the inline fast path used to return before any shrink
+    /// ran, so in the default configuration (threshold 512, small steady
+    /// batches) one forced outlier batch pinned the scratch at its peak
+    /// for the engine's life.
+    #[test]
+    fn inline_fast_path_also_releases_outlier_scratch() {
+        let mut e = ShardedEngine::new(config(1_000_000), 4);
+        e.set_parallel_threshold(0); // force one partitioned outlier batch
+        e.observe_batch(&mixed_batch(100_000, 0));
+        assert!(e.scratch_capacity() >= 100_000);
+
+        // Back to the default crossover: the next small batch takes the
+        // inline path (it is below the threshold — and on a single-core
+        // host would bypass partitioning regardless), which must still
+        // release the outlier's scratch.
+        e.set_parallel_threshold(DEFAULT_PARALLEL_THRESHOLD);
+        e.observe_batch(&mixed_batch(64, 1));
+        assert!(
+            e.scratch_capacity() < 100_000 / 4,
+            "inline path left the outlier scratch pinned: {}",
+            e.scratch_capacity()
+        );
+    }
+
     #[test]
     fn aggregate_queries_route_to_the_owning_shard() {
-        let mut e = ShardedEngine::new(config(50), 8);
-        e.observe(ProcessId(3), Malicious);
-        e.observe(ProcessId(4), Benign);
-        assert_eq!(e.state(ProcessId(3)), Some(ProcessState::Suspicious));
-        assert!(e.resources(ProcessId(3)).unwrap().cpu < 1.0);
-        assert!(e.threat(ProcessId(4)).unwrap().is_zero());
-        assert_eq!(e.tracked(), 2);
-        assert_eq!(e.tracked_live(), 2);
-        let mut pids: Vec<u64> = e.iter().map(|(pid, _, _)| pid.0).collect();
-        pids.sort_unstable();
-        assert_eq!(pids, vec![3, 4]);
-        e.complete(ProcessId(4)).unwrap();
-        assert_eq!(e.tracked_live(), 1);
-        e.forget(ProcessId(3));
-        assert_eq!(e.tracked(), 1);
-        assert!(e.complete(ProcessId(3)).is_err());
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            let mut e = ShardedEngine::with_mode(config(50), 8, 0, mode);
+            e.observe(ProcessId(3), Malicious);
+            e.observe(ProcessId(4), Benign);
+            assert_eq!(e.state(ProcessId(3)), Some(ProcessState::Suspicious));
+            assert!(e.resources(ProcessId(3)).unwrap().cpu < 1.0);
+            assert!(e.threat(ProcessId(4)).unwrap().is_zero());
+            assert_eq!(e.tracked(), 2);
+            assert_eq!(e.tracked_live(), 2);
+            let mut pids: Vec<u64> = e.iter().map(|(pid, _, _)| pid.0).collect();
+            pids.sort_unstable();
+            assert_eq!(pids, vec![3, 4]);
+            e.complete(ProcessId(4)).unwrap();
+            assert_eq!(e.tracked_live(), 1);
+            e.forget(ProcessId(3));
+            assert_eq!(e.tracked(), 1);
+            assert!(e.complete(ProcessId(3)).is_err());
+        }
     }
 
     #[test]
@@ -455,5 +866,77 @@ mod tests {
         let responses = e.observe_batch(&batch);
         assert_eq!(responses.len(), 8_192);
         assert_eq!(e.tracked(), 8_192);
+    }
+
+    #[test]
+    fn mode_round_trip_preserves_all_state() {
+        let mut e = ShardedEngine::new(config(100), 7);
+        e.observe_batch(&mixed_batch(50, 0));
+        let before: Vec<_> = {
+            let mut v: Vec<_> = e.iter().collect();
+            v.sort_by_key(|(pid, _, _)| pid.0);
+            v
+        };
+
+        e.set_execution_mode(ExecutionMode::Pool);
+        assert_eq!(e.execution_mode(), ExecutionMode::Pool);
+        assert!(e.pool_workers().unwrap() >= 1);
+        let mut pooled: Vec<_> = e.iter().collect();
+        pooled.sort_by_key(|(pid, _, _)| pid.0);
+        assert_eq!(pooled, before);
+
+        // Keep observing in pool mode, then demote and compare against an
+        // engine that stayed scoped the whole time.
+        e.observe_batch(&mixed_batch(50, 1));
+        e.set_execution_mode(ExecutionMode::ScopedSpawn);
+        assert_eq!(e.execution_mode(), ExecutionMode::ScopedSpawn);
+        assert_eq!(e.pool_workers(), None);
+
+        let mut reference = ShardedEngine::new(config(100), 7);
+        reference.observe_batch(&mixed_batch(50, 0));
+        reference.observe_batch(&mixed_batch(50, 1));
+        let sorted = |engine: &ShardedEngine| {
+            let mut v: Vec<_> = engine.iter().collect();
+            v.sort_by_key(|(pid, _, _)| pid.0);
+            v
+        };
+        assert_eq!(sorted(&e), sorted(&reference));
+    }
+
+    #[test]
+    fn set_execution_mode_is_idempotent() {
+        let mut e = ShardedEngine::new(config(5), 3);
+        e.observe(ProcessId(1), Malicious);
+        e.set_execution_mode(ExecutionMode::ScopedSpawn); // already scoped
+        assert_eq!(e.tracked(), 1);
+        e.set_execution_mode(ExecutionMode::Pool);
+        e.set_execution_mode(ExecutionMode::Pool); // already pooled
+        assert_eq!(e.tracked(), 1);
+    }
+
+    #[test]
+    fn set_pool_workers_rebuilds_with_explicit_count() {
+        let mut e = ShardedEngine::new(config(50), 8);
+        e.observe(ProcessId(5), Malicious);
+        e.set_pool_workers(3);
+        assert_eq!(e.execution_mode(), ExecutionMode::Pool);
+        assert_eq!(e.pool_workers(), Some(3));
+        assert_eq!(e.state(ProcessId(5)), Some(ProcessState::Suspicious));
+        // Rebuilding from pool mode also preserves state.
+        e.set_pool_workers(8);
+        assert_eq!(e.pool_workers(), Some(8));
+        assert_eq!(e.state(ProcessId(5)), Some(ProcessState::Suspicious));
+    }
+
+    #[test]
+    fn single_shard_pool_works() {
+        let mut e = ShardedEngine::with_mode(config(2), 1, 0, ExecutionMode::Pool);
+        let batch = vec![(ProcessId(1), Malicious), (ProcessId(2), Benign)];
+        e.tick(&batch);
+        e.tick(&batch);
+        let responses = e.tick(&batch);
+        assert_eq!(responses[0].action, Action::Terminate);
+        assert_eq!(e.purged_total(), 1);
+        assert_eq!(e.pool_workers(), Some(1));
     }
 }

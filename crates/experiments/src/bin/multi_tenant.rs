@@ -1,7 +1,20 @@
 //! Multi-tenant machine: concurrent attacks in a fleet of benign services.
+//!
+//! `--pool` runs the response tier through the persistent worker pool
+//! instead of per-tick scoped threads (identical security outcome; the
+//! throughput row is the difference worth watching).
+use valkyrie_core::ExecutionMode;
 use valkyrie_experiments::multi_tenant;
 
 fn main() {
-    let result = multi_tenant::run(&multi_tenant::MultiTenantConfig::default());
+    let execution = if std::env::args().any(|a| a == "--pool") {
+        ExecutionMode::Pool
+    } else {
+        ExecutionMode::ScopedSpawn
+    };
+    let result = multi_tenant::run(&multi_tenant::MultiTenantConfig {
+        execution,
+        ..multi_tenant::MultiTenantConfig::default()
+    });
     println!("{}", result.report);
 }

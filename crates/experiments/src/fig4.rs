@@ -144,6 +144,7 @@ where
             cpu_lever: CpuLever::SchedulerWeight,
             window: config.n_star as usize * 2,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid2 = run.machine_mut().spawn(Box::new(make()));

@@ -129,6 +129,7 @@ fn run_single(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownR
             cpu_lever: CpuLever::CgroupQuota,
             window: config.n_star as usize * 3,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run
@@ -179,6 +180,7 @@ fn run_team(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownRow
             cpu_lever: CpuLever::SchedulerWeight,
             window: config.n_star as usize * 3,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let team2 = spawn_team(run.machine_mut(), spec);

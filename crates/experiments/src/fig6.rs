@@ -271,6 +271,7 @@ fn run_ransomware(
                     cpu_lever: lever,
                     window: config.n_star as usize * 2,
                     shards: 1,
+                    ..ScenarioConfig::default()
                 },
             );
             let pid = run.machine_mut().spawn(Box::new(Ransomware::default()));
@@ -375,6 +376,7 @@ pub fn run_c(config: &Fig6Config) -> Fig6cResult {
             cpu_lever: CpuLever::CgroupQuota,
             window: config.epochs as usize,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid2 = run.machine_mut().spawn(Box::new(Cryptominer::default()));

@@ -20,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use valkyrie_core::{
-    Action, AssessmentFn, Classification, EngineConfig, ProcessId, ProcessState, ShardedEngine,
-    ShareActuator,
+    Action, AssessmentFn, Classification, EngineConfig, ExecutionMode, ProcessId, ProcessState,
+    ShardedEngine, ShareActuator,
 };
 use valkyrie_workloads::fleet_roster;
 
@@ -47,6 +47,11 @@ pub struct MultiTenantConfig {
     pub verdict_fpr: f64,
     /// RNG seed for the detection streams.
     pub seed: u64,
+    /// How the engine fans each tick over its shards: per-tick scoped
+    /// threads, or the persistent worker pool (the steady-state winner for
+    /// a machine that ticks every epoch at fleet scale). The security
+    /// outcome is identical either way.
+    pub execution: ExecutionMode,
 }
 
 impl Default for MultiTenantConfig {
@@ -61,6 +66,7 @@ impl Default for MultiTenantConfig {
             verdict_tpr: 0.995,
             verdict_fpr: 0.005,
             seed: 0x007E_4A47,
+            execution: ExecutionMode::ScopedSpawn,
         }
     }
 }
@@ -115,12 +121,19 @@ struct BenignProc {
     epochs_run: u64,
     killed: bool,
     completed: bool,
+    /// Fig. 3 state after the last tick, mirrored from the response so the
+    /// driver never pays a per-pid `engine.state()` query — in pool mode
+    /// each of those is a blocking channel round-trip, and a 4k-process
+    /// fleet would serialise thousands of them per epoch.
+    state: Option<ProcessState>,
 }
 
 struct AttackProc {
     pid: ProcessId,
     arrival: u64,
     killed_at: Option<u64>,
+    /// Mirrored response state (see [`BenignProc::state`]).
+    state: Option<ProcessState>,
 }
 
 /// Runs the multi-tenant machine.
@@ -133,8 +146,12 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         .cyclic(true)
         .build()
         .expect("valid multi-tenant config");
-    let mut engine =
-        ShardedEngine::with_capacity(config, cfg.shards.max(1), cfg.benign_procs + cfg.attacks);
+    let mut engine = ShardedEngine::with_mode(
+        config,
+        cfg.shards.max(1),
+        cfg.benign_procs + cfg.attacks,
+        cfg.execution,
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut benign: Vec<BenignProc> = fleet_roster(cfg.benign_procs)
@@ -148,6 +165,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
             epochs_run: 0,
             killed: false,
             completed: false,
+            state: None,
         })
         .collect();
     // Attacks arrive staggered across the first half of the horizon.
@@ -156,6 +174,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
             pid: ProcessId((cfg.benign_procs + j) as u64),
             arrival: (j as u64 * cfg.epochs / 2) / cfg.attacks.max(1) as u64,
             killed_at: None,
+            state: None,
         })
         .collect();
 
@@ -180,7 +199,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
                 continue;
             }
             // Verdict-grade inference once N* measurements are captured.
-            let flag_prob = if engine.state(proc.pid) == Some(ProcessState::Terminable) {
+            let flag_prob = if proc.state == Some(ProcessState::Terminable) {
                 cfg.verdict_fpr
             } else {
                 proc.burst_prob
@@ -197,7 +216,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
             if attack.killed_at.is_some() || epoch < attack.arrival {
                 continue;
             }
-            let flag_prob = if engine.state(attack.pid) == Some(ProcessState::Terminable) {
+            let flag_prob = if attack.state == Some(ProcessState::Terminable) {
                 cfg.verdict_tpr
             } else {
                 cfg.tpr
@@ -224,6 +243,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
             match *slot {
                 Slot::Benign(i) => {
                     let proc = &mut benign[i];
+                    proc.state = Some(resp.state);
                     if resp.action == Action::Terminate {
                         proc.killed = true;
                         continue;
@@ -238,6 +258,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
                     }
                 }
                 Slot::Attack(j) => {
+                    attacks[j].state = Some(resp.state);
                     if resp.action == Action::Terminate {
                         attacks[j].killed_at = Some(epoch);
                     }
@@ -299,12 +320,13 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
     ]);
     let report = format!(
         "Multi-tenant machine — {} benign + {} attacks over {} epochs, \
-         {} shards, N* = {}\n\
+         {} shards ({:?} execution), N* = {}\n\
          ({} observations through ShardedEngine::tick)\n\n{}",
         cfg.benign_procs,
         cfg.attacks,
         cfg.epochs,
         cfg.shards,
+        cfg.execution,
         cfg.n_star,
         observations,
         t.render()
@@ -376,6 +398,24 @@ mod tests {
         assert_eq!(a.attacks_terminated, b.attacks_terminated);
         assert_eq!(a.benign_killed_pct, b.benign_killed_pct);
         assert_eq!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn pool_execution_does_not_change_the_outcome() {
+        let base = MultiTenantConfig::quick();
+        let scoped = run(&base);
+        let pooled = run(&MultiTenantConfig {
+            execution: ExecutionMode::Pool,
+            ..base
+        });
+        assert_eq!(scoped.attacks_terminated, pooled.attacks_terminated);
+        assert_eq!(scoped.mean_epochs_to_kill, pooled.mean_epochs_to_kill);
+        assert_eq!(scoped.benign_killed_pct, pooled.benign_killed_pct);
+        assert_eq!(scoped.benign_slowdown_pct, pooled.benign_slowdown_pct);
+        assert_eq!(scoped.benign_completed, pooled.benign_completed);
+        assert_eq!(scoped.peak_tracked, pooled.peak_tracked);
+        assert_eq!(scoped.purged, pooled.purged);
+        assert_eq!(scoped.observations, pooled.observations);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use valkyrie_core::ProcessId;
-use valkyrie_core::{Action, Classification, EngineConfig, ProcessState, ShardedEngine};
+use valkyrie_core::{
+    Action, Classification, EngineConfig, ExecutionMode, ProcessState, ShardedEngine,
+};
 use valkyrie_detect::Detector;
 use valkyrie_hpc::SampleWindow;
 use valkyrie_sim::machine::{EpochReport, Machine};
@@ -37,6 +39,11 @@ pub struct ScenarioConfig {
     /// Engine shard count. Responses are identical for every value; more
     /// shards parallelise large per-epoch batches (multi-tenant machines).
     pub shards: usize,
+    /// How the engine distributes per-epoch batches over its shards:
+    /// per-tick scoped threads (default) or the persistent worker pool.
+    /// Responses are identical either way; the pool wins when the scenario
+    /// ticks continuously with large fleets.
+    pub execution: ExecutionMode,
 }
 
 impl Default for ScenarioConfig {
@@ -45,6 +52,7 @@ impl Default for ScenarioConfig {
             cpu_lever: CpuLever::SchedulerWeight,
             window: 100,
             shards: 1,
+            execution: ExecutionMode::ScopedSpawn,
         }
     }
 }
@@ -86,7 +94,8 @@ impl<D: Detector> AugmentedRun<D> {
         detector: D,
         config: ScenarioConfig,
     ) -> Self {
-        let engine = ShardedEngine::new(engine_config, config.shards.max(1));
+        let engine =
+            ShardedEngine::with_mode(engine_config, config.shards.max(1), 0, config.execution);
         Self {
             machine,
             engine,
@@ -312,8 +321,8 @@ mod tests {
     }
 
     #[test]
-    fn shard_count_does_not_change_scenario_histories() {
-        let run_with = |shards: usize| {
+    fn shard_count_and_execution_mode_do_not_change_scenario_histories() {
+        let run_with = |shards: usize, execution: ExecutionMode| {
             let machine = Machine::new(MachineConfig::default());
             let detector = ScriptedDetector::constant(Classification::Malicious);
             let mut run = AugmentedRun::new(
@@ -322,6 +331,7 @@ mod tests {
                 detector,
                 ScenarioConfig {
                     shards,
+                    execution,
                     ..ScenarioConfig::default()
                 },
             );
@@ -343,8 +353,10 @@ mod tests {
             }
             histories
         };
-        let single = run_with(1);
-        let sharded = run_with(4);
+        let single = run_with(1, ExecutionMode::ScopedSpawn);
+        let sharded = run_with(4, ExecutionMode::ScopedSpawn);
+        let pooled = run_with(4, ExecutionMode::Pool);
         assert_eq!(single, sharded);
+        assert_eq!(single, pooled);
     }
 }

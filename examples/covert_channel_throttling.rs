@@ -25,6 +25,7 @@ fn main() -> Result<(), ValkyrieError> {
             cpu_lever: CpuLever::SchedulerWeight,
             window: 50,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
 

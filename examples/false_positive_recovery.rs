@@ -38,6 +38,7 @@ fn main() -> Result<(), ValkyrieError> {
             cpu_lever: CpuLever::CgroupQuota,
             window: n_star as usize * 3,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run

@@ -36,6 +36,7 @@ fn main() -> Result<(), ValkyrieError> {
             cpu_lever: CpuLever::CgroupQuota,
             window: 40,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
 

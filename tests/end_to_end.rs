@@ -32,6 +32,7 @@ fn cryptominer_is_detected_throttled_and_terminated() {
             cpu_lever: CpuLever::CgroupQuota,
             window: 20,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
@@ -68,6 +69,7 @@ fn ransomware_damage_is_bounded_by_valkyrie() {
             cpu_lever: CpuLever::CgroupQuota,
             window: 30,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Ransomware::default()));
@@ -137,6 +139,7 @@ fn benign_program_survives_noisy_detector_and_recovers() {
             cpu_lever: CpuLever::CgroupQuota,
             window: n_star as usize * 3,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run
@@ -249,6 +252,7 @@ fn mixed_fleet_attacks_die_and_benign_tenants_survive() {
             cpu_lever: CpuLever::CgroupQuota,
             window: n_star as usize * 3,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
 
@@ -308,6 +312,7 @@ fn resource_floor_bounds_worst_case_throttling() {
             cpu_lever: CpuLever::CgroupQuota,
             window: 8,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));

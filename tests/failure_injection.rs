@@ -81,6 +81,7 @@ fn detector_outage_restores_resources_instead_of_wedging() {
             cpu_lever: CpuLever::CgroupQuota,
             window: 16,
             shards: 1,
+            ..ScenarioConfig::default()
         },
     );
     let pid = run.machine_mut().spawn(Box::new(Cryptominer::default()));
