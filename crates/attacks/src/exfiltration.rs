@@ -90,16 +90,17 @@ impl Workload for Exfiltration {
         let mut staged = 0.0_f64;
 
         while files_budget > 0 && staged < cpu_budget {
-            let Some(file) = ctx.fs.file(self.next_file % ctx.fs.len().max(1)) else {
+            let Some(size) = ctx.fs.size_of(self.next_file % ctx.fs.len().max(1)) else {
                 break;
             };
-            let size = file.size as f64;
-            // Hash a real sample of the file contents.
-            let sample: Vec<u8> = (0..Self::SAMPLE_BYTES)
-                .map(|i| (self.next_file as u8).wrapping_add(i as u8))
-                .collect();
+            // Hash a real sample of the file contents (stack-buffered: this
+            // loop runs per file and must not touch the heap).
+            let mut sample = [0u8; Self::SAMPLE_BYTES];
+            for (i, byte) in sample.iter_mut().enumerate() {
+                *byte = (self.next_file as u8).wrapping_add(i as u8);
+            }
             let _digest = sha256(&sample);
-            staged += size;
+            staged += size as f64;
             self.next_file += 1;
             self.files_processed += 1;
             files_budget -= 1;
@@ -125,8 +126,6 @@ impl Workload for Exfiltration {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use valkyrie_sim::fs::SimFs;
     use valkyrie_sim::machine::{Machine, MachineConfig};
 
@@ -134,14 +133,8 @@ mod tests {
     /// the paper's 225.7 KB/s default progress rate.
     fn machine() -> Machine {
         let mut m = Machine::new(MachineConfig::default());
-        let mut rng = StdRng::seed_from_u64(22);
-        let mut fs = SimFs::new();
-        for i in 0..200_000 {
-            // Constant size keeps the default rate exactly calibrated.
-            let _ = rng.gen::<u8>();
-            fs.push(format!("/data/f{i}"), 2257);
-        }
-        m.set_filesystem(fs);
+        // Constant size keeps the default rate exactly calibrated.
+        m.set_filesystem(SimFs::uniform("/data/f", 200_000, 2257));
         m
     }
 

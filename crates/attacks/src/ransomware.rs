@@ -103,24 +103,39 @@ impl Workload for Ransomware {
         let mut encrypted_now = 0u64;
 
         while budget > 0 && files_left > 0 {
-            let Some(file) = ctx.fs.file(self.next_file) else {
+            let Some(size) = ctx.fs.size_of(self.next_file) else {
                 break; // filesystem exhausted
             };
-            let remaining_in_file = file.size - self.partial_bytes;
+            if ctx.fs.is_encrypted(self.next_file) {
+                // Another instance on a shared filesystem got here first:
+                // skip the file without claiming it. Any partial work of
+                // ours the peer overtook is reclaimed from the byte
+                // counter (it was added in earlier epochs), so the
+                // instances' `bytes_encrypted` always sum to the
+                // filesystem's — per-epoch `progress` already reported is
+                // wasted work and stays reported.
+                self.bytes_encrypted = self.bytes_encrypted.saturating_sub(self.partial_bytes);
+                self.partial_bytes = 0;
+                self.next_file += 1;
+                continue;
+            }
+            let remaining_in_file = size - self.partial_bytes;
             let chunk = remaining_in_file.min(budget);
-            // Run a real keystream over a sample, account for the rest.
+            // Run a real keystream over a stack-buffered sample, account
+            // for the rest (no per-iteration heap traffic).
             let sample = chunk.min(Self::SAMPLE_BYTES as u64) as usize;
-            let mut buf = vec![0u8; sample];
-            self.cipher.apply(&mut buf);
+            let mut buf = [0u8; Self::SAMPLE_BYTES];
+            self.cipher.apply(&mut buf[..sample]);
             self.cipher.skip(chunk - sample as u64);
 
             self.partial_bytes += chunk;
             budget -= chunk;
             encrypted_now += chunk;
-            if self.partial_bytes >= file.size {
-                ctx.fs.encrypt_file(self.next_file);
+            if self.partial_bytes >= size {
+                if ctx.fs.encrypt_file(self.next_file).is_some() {
+                    self.files_encrypted += 1;
+                }
                 self.next_file += 1;
-                self.files_encrypted += 1;
                 self.partial_bytes = 0;
                 files_left -= 1;
             }
@@ -208,6 +223,61 @@ mod tests {
         }
         assert!(m.is_completed(pid));
         assert_eq!(m.filesystem().encrypted_files(), 3);
+    }
+
+    #[test]
+    fn two_instances_on_one_fs_do_not_double_count() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_filesystem(SimFs::uniform("/shared/f", 400, 4096));
+        let a = m.spawn(Box::new(Ransomware::default()));
+        let b = m.spawn(Box::new(Ransomware::default()));
+        for _ in 0..60 {
+            m.run_epoch();
+        }
+        assert!(m.is_completed(a), "instance a should finish the walk");
+        assert!(m.is_completed(b), "instance b should finish the walk");
+        let fs = m.filesystem();
+        assert_eq!(fs.encrypted_files(), 400);
+        assert_eq!(fs.encrypted_bytes(), 400 * 4096);
+        let wa = m.workload_as::<Ransomware>(a).unwrap();
+        let wb = m.workload_as::<Ransomware>(b).unwrap();
+        // Every file is credited to exactly one instance; bytes follow.
+        assert_eq!(wa.files_encrypted() + wb.files_encrypted(), 400);
+        assert_eq!(wa.bytes_encrypted() + wb.bytes_encrypted(), 400 * 4096);
+        assert!(wa.files_encrypted() > 0, "a must make real progress");
+        assert!(wb.files_encrypted() > 0, "b must make real progress");
+    }
+
+    #[test]
+    fn two_throttled_instances_reclaim_overlapping_partial_work() {
+        // A binding *byte* budget makes files straddle epochs, so both
+        // instances race through the same partially encrypted files: the
+        // loser must reclaim its abandoned partial bytes, keeping the
+        // instances' byte counters summing to the filesystem's.
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_filesystem(SimFs::uniform("/shared/f", 10, 50_000));
+        let a = m.spawn(Box::new(Ransomware::default()));
+        let b = m.spawn(Box::new(Ransomware::default()));
+        m.set_cpu_quota(a, 0.01); // ~11.7 KB/epoch: a 50 KB file takes ~5
+        m.set_cpu_quota(b, 0.01);
+        for _ in 0..200 {
+            m.run_epoch();
+        }
+        assert!(m.is_completed(a) && m.is_completed(b));
+        let fs = m.filesystem();
+        assert_eq!(fs.encrypted_files(), 10);
+        let wa = m.workload_as::<Ransomware>(a).unwrap();
+        let wb = m.workload_as::<Ransomware>(b).unwrap();
+        assert_eq!(wa.files_encrypted() + wb.files_encrypted(), 10);
+        assert_eq!(
+            wa.bytes_encrypted() + wb.bytes_encrypted(),
+            fs.encrypted_bytes(),
+            "a: {} files / {} B, b: {} files / {} B",
+            wa.files_encrypted(),
+            wa.bytes_encrypted(),
+            wb.files_encrypted(),
+            wb.bytes_encrypted(),
+        );
     }
 
     #[test]

@@ -8,8 +8,10 @@ use valkyrie_attacks::crypto::aes::Aes128;
 use valkyrie_attacks::crypto::sha256::sha256d;
 use valkyrie_attacks::crypto::stream::StreamCipher;
 use valkyrie_detect::StatisticalDetector;
-use valkyrie_hpc::Signature;
+use valkyrie_hpc::{HpcSample, Signature};
 use valkyrie_sim::dram::{Dram, DramConfig};
+use valkyrie_sim::fs::SimFs;
+use valkyrie_sim::machine::{EpochCtx, EpochReport, Machine, MachineConfig, Workload};
 use valkyrie_sim::sched::{CfsScheduler, SchedConfig};
 use valkyrie_sim::Pid;
 use valkyrie_uarch::{Cache, CacheConfig};
@@ -75,6 +77,53 @@ fn bench_crypto(c: &mut Criterion) {
     });
 }
 
+fn bench_simfs(c: &mut Criterion) {
+    c.bench_function("sim/simfs_generate_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| black_box(SimFs::generate(&mut rng, 100_000, 1 << 20).total_bytes()));
+    });
+    c.bench_function("sim/simfs_snapshot_1m", |b| {
+        // What Table II pays per measurement since the SoA refactor: an
+        // Arc bump for the size table plus a bitset copy.
+        let fs = SimFs::uniform("/data/f", 1_000_000, 2257);
+        b.iter(|| black_box(fs.clone().len()));
+    });
+}
+
+/// A minimal CPU-bound workload, so the epoch-loop bench measures the
+/// machine (scheduler + controllers + slab bookkeeping), not a workload.
+struct Spin;
+
+impl Workload for Spin {
+    fn name(&self) -> &str {
+        "spin"
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+        EpochReport {
+            progress: ctx.cpu_share(),
+            hpc: HpcSample::zero(),
+            completed: false,
+        }
+    }
+}
+
+fn bench_machine_epoch(c: &mut Criterion) {
+    c.bench_function("sim/machine_epoch_16_procs", |b| {
+        let mut m = Machine::new(MachineConfig::default());
+        for _ in 0..16 {
+            m.spawn(Box::new(Spin));
+        }
+        let mut reports = Vec::new();
+        b.iter(|| {
+            m.run_epoch_into(&mut reports);
+            black_box(reports.len())
+        });
+    });
+}
+
 fn bench_detector_inference(c: &mut Criterion) {
     c.bench_function("detect/zscore_inference", |b| {
         let mut rng = StdRng::seed_from_u64(3);
@@ -93,6 +142,8 @@ criterion_group!(
     bench_cache_access,
     bench_dram_window,
     bench_crypto,
+    bench_simfs,
+    bench_machine_epoch,
     bench_detector_inference,
 );
 criterion_main!(benches);

@@ -124,8 +124,9 @@ where
     });
     let pid = m.spawn(Box::new(make()));
     spawn_background(&mut m);
+    let mut reports = Vec::new();
     for _ in 0..config.epochs {
-        m.run_epoch();
+        m.run_epoch_into(&mut reports);
         without.push(metric(m.workload_as::<T>(pid).expect("workload present")));
     }
 
@@ -153,7 +154,7 @@ where
     let mut with_valkyrie = Vec::with_capacity(config.epochs as usize);
     let mut terminated_at = None;
     for e in 0..config.epochs {
-        run.step();
+        run.step_ref();
         with_valkyrie.push(metric(
             run.machine()
                 .workload_as::<T>(pid2)

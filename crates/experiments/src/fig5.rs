@@ -140,7 +140,7 @@ fn run_single(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownR
     let cap = baseline * 8;
     let mut epochs = 0;
     while epochs < cap && !run.machine().is_completed(pid) && run.machine().is_alive(pid) {
-        run.step();
+        run.step_ref();
         epochs += 1;
     }
     let terminated = !run.machine().is_alive(pid) && !run.machine().is_completed(pid);
@@ -165,8 +165,9 @@ fn run_team(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownRow
     let team = spawn_team(&mut m, spec);
     let cap = spec.epochs_to_complete * spec.threads as u64 * 8;
     let mut baseline = 0;
+    let mut reports = Vec::new();
     while baseline < cap && !team.is_completed() {
-        m.run_epoch();
+        m.run_epoch_into(&mut reports);
         baseline += 1;
     }
 
@@ -189,7 +190,7 @@ fn run_team(spec: &BenchmarkSpec, config: &Fig5Config, seed: u64) -> SlowdownRow
     }
     let mut epochs = 0;
     while epochs < cap && !team2.is_completed() {
-        run.step();
+        run.step_ref();
         epochs += 1;
     }
     let terminated = team2

@@ -13,7 +13,7 @@ use valkyrie_detect::{Detector, LstmDetector, StatisticalDetector};
 use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
 use valkyrie_ml::{Lstm, LstmConfig, Standardizer};
 use valkyrie_sim::fs::SimFs;
-use valkyrie_sim::machine::{Machine, MachineConfig};
+use valkyrie_sim::machine::{report_for, Machine, MachineConfig};
 use valkyrie_sim::Pid;
 
 /// Fig. 6 parameters.
@@ -119,8 +119,9 @@ pub fn run_a(config: &Fig6Config) -> Fig6aResult {
     });
     let pid = m.spawn(Box::new(RowhammerAttack::default()));
     crate::fig4::spawn_background(&mut m);
+    let mut reports = Vec::new();
     for _ in 0..config.hammer_epochs_without {
-        m.run_epoch();
+        m.run_epoch_into(&mut reports);
     }
     let flips_without = m.dram().flipped_bits();
     let _ = pid;
@@ -224,18 +225,26 @@ impl Detector for RansomDetector {
     }
 }
 
-fn ransomware_machine(seed: u64) -> Machine {
+/// The Fig. 6b victim corpus. Generated once per figure (the SoA [`SimFs`]
+/// builds without per-file allocation) and snapshotted into each of the
+/// three runs' machines.
+fn ransomware_fs(seed: u64) -> SimFs {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF5);
+    SimFs::generate(&mut rng, 300_000, 1 << 20)
+}
+
+fn ransomware_machine(seed: u64, fs: &SimFs) -> Machine {
     let mut m = Machine::new(MachineConfig {
         seed,
         ..MachineConfig::default()
     });
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF5);
-    m.set_filesystem(SimFs::generate(&mut rng, 300_000, 1 << 20));
+    m.restore_fs(fs);
     m
 }
 
 fn run_ransomware(
     config: &Fig6Config,
+    fs: &SimFs,
     engine: Option<EngineConfig>,
     lever: CpuLever,
 ) -> (f64, Vec<f64>) {
@@ -247,16 +256,17 @@ fn run_ransomware(
             3.5,
         ))
     };
-    let machine = ransomware_machine(config.seed);
+    let machine = ransomware_machine(config.seed, fs);
     match engine {
         None => {
             let mut m = machine;
             let pid = m.spawn(Box::new(Ransomware::default()));
             let mut series = Vec::new();
             let mut total = 0.0;
+            let mut reports = Vec::with_capacity(1);
             for _ in 0..config.epochs {
-                let r = m.run_epoch();
-                let p = r.get(&pid).map_or(0.0, |x| x.progress);
+                m.run_epoch_into(&mut reports);
+                let p = report_for(&reports, pid).map_or(0.0, |x| x.progress);
                 total += p;
                 series.push(p);
             }
@@ -279,8 +289,8 @@ fn run_ransomware(
             let mut series = Vec::new();
             let mut total = 0.0;
             for _ in 0..config.epochs {
-                let r = run.step();
-                let p = r.get(&pid).map_or(0.0, |x| x.progress);
+                let r = run.step_ref();
+                let p = report_for(r, pid).map_or(0.0, |x| x.progress);
                 total += p;
                 series.push(p);
             }
@@ -291,14 +301,17 @@ fn run_ransomware(
 
 /// Fig. 6b — ransomware data encrypted with and without Valkyrie.
 pub fn run_b(config: &Fig6Config) -> Fig6bResult {
-    let (mb_without, s_without) = run_ransomware(config, None, CpuLever::CgroupQuota);
+    let fs = ransomware_fs(config.seed);
+    let (mb_without, s_without) = run_ransomware(config, &fs, None, CpuLever::CgroupQuota);
     let (mb_with_cpu, s_cpu) = run_ransomware(
         config,
+        &fs,
         Some(cgroup_cpu_engine(config.n_star)),
         CpuLever::CgroupQuota,
     );
     let (mb_with_fs, s_fs) = run_ransomware(
         config,
+        &fs,
         Some(cgroup_fs_engine(config.n_star)),
         CpuLever::CgroupQuota,
     );
@@ -357,8 +370,10 @@ pub fn run_c(config: &Fig6Config) -> Fig6cResult {
     });
     let pid: Pid = m.spawn(Box::new(Cryptominer::default()));
     let mut hashes_without = 0.0;
+    let mut reports = Vec::with_capacity(1);
     for _ in 0..config.epochs {
-        hashes_without += m.run_epoch().get(&pid).map_or(0.0, |r| r.progress);
+        m.run_epoch_into(&mut reports);
+        hashes_without += report_for(&reports, pid).map_or(0.0, |r| r.progress);
     }
 
     // With (large N* keeps the miner in the suspicious state so the rate is
@@ -385,11 +400,11 @@ pub fn run_c(config: &Fig6Config) -> Fig6cResult {
     // epochs while the threat index is still climbing.
     let ramp = config.epochs.min(8);
     for _ in 0..ramp {
-        run.step();
+        run.step_ref();
     }
     let mut hashes_with = 0.0;
     for _ in 0..config.epochs {
-        hashes_with += run.step().get(&pid2).map_or(0.0, |r| r.progress);
+        hashes_with += report_for(run.step_ref(), pid2).map_or(0.0, |r| r.progress);
     }
 
     let secs = config.epochs as f64 * 0.1;

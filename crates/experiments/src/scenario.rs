@@ -84,6 +84,7 @@ pub struct AugmentedRun<D: Detector> {
     /// Per-epoch scratch, reused across steps.
     batch: Vec<(ProcessId, Classification)>,
     progress: Vec<(Pid, f64)>,
+    reports: Vec<(Pid, EpochReport)>,
 }
 
 impl<D: Detector> AugmentedRun<D> {
@@ -105,6 +106,7 @@ impl<D: Detector> AugmentedRun<D> {
             history: HashMap::new(),
             batch: Vec::new(),
             progress: Vec::new(),
+            reports: Vec::new(),
         }
     }
 
@@ -138,14 +140,27 @@ impl<D: Detector> AugmentedRun<D> {
     }
 
     /// Runs one epoch: machine, then detection, then one batched response.
+    /// Thin allocating wrapper over [`AugmentedRun::step_ref`], kept for
+    /// API compatibility.
     pub fn step(&mut self) -> BTreeMap<Pid, EpochReport> {
-        let reports = self.machine.run_epoch();
+        self.step_ref().iter().copied().collect()
+    }
+
+    /// Runs one epoch: machine, then detection, then one batched response.
+    /// Returns the epoch's reports in ascending-pid order (look up one
+    /// process with [`valkyrie_sim::machine::report_for`]).
+    /// Allocation-free in steady state: the
+    /// machine fills a reusable buffer and the detection/response batches
+    /// reuse their scratch.
+    pub fn step_ref(&mut self) -> &[(Pid, EpochReport)] {
+        let mut reports = std::mem::take(&mut self.reports);
+        self.machine.run_epoch_into(&mut reports);
 
         // Detection phase: one inference per watched live process, in
         // deterministic (ascending pid) order.
         self.batch.clear();
         self.progress.clear();
-        for (&pid, report) in &reports {
+        for &(pid, ref report) in &reports {
             let Some(window) = self.windows.get_mut(&pid) else {
                 continue; // unwatched process
             };
@@ -200,13 +215,14 @@ impl<D: Detector> AugmentedRun<D> {
                 threat: resp.threat.value(),
             });
         }
-        reports
+        self.reports = reports;
+        &self.reports
     }
 
-    /// Runs `n` epochs.
+    /// Runs `n` epochs (through the allocation-free path).
     pub fn run(&mut self, n: u64) {
         for _ in 0..n {
-            self.step();
+            self.step_ref();
         }
     }
 }

@@ -2,11 +2,9 @@
 //! varying availability of each system resource.
 
 use crate::harness::TextTable;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use valkyrie_attacks::exfiltration::Exfiltration;
 use valkyrie_sim::fs::SimFs;
-use valkyrie_sim::machine::{Machine, MachineConfig};
+use valkyrie_sim::machine::{report_for, Machine, MachineConfig};
 use valkyrie_sim::Pid;
 
 /// Experiment parameters.
@@ -59,36 +57,40 @@ pub struct Table2Result {
     pub report: String,
 }
 
-fn machine(seed: u64) -> Machine {
+/// The victim corpus: ~100 files/s at 2257 B/file gives the paper's
+/// 225.7 KB/s default. Built once per sweep (structure-of-arrays, no
+/// per-file allocation) and snapshotted into each measurement's machine.
+fn victim_fs() -> SimFs {
+    SimFs::uniform("/data/f", 1_000_000, 2257)
+}
+
+fn machine(seed: u64, fs: &SimFs) -> Machine {
     let mut m = Machine::new(MachineConfig {
         seed,
         ..MachineConfig::default()
     });
-    let rng = StdRng::seed_from_u64(seed ^ 0xF5);
-    let mut fs = SimFs::new();
-    // ~100 files/s at 2257 B/file gives the paper's 225.7 KB/s default.
-    let _ = rng;
-    for i in 0..1_000_000 {
-        fs.push(format!("/data/f{i}"), 2257);
-    }
-    m.set_filesystem(fs);
+    m.restore_fs(fs);
     m
 }
 
-fn measure<F: FnOnce(&mut Machine, Pid)>(config: &Table2Config, setup: F) -> f64 {
-    let mut m = machine(config.seed);
+fn measure<F: FnOnce(&mut Machine, Pid)>(config: &Table2Config, fs: &SimFs, setup: F) -> f64 {
+    let mut m = machine(config.seed, fs);
     let pid = m.spawn(Box::new(Exfiltration::default()));
     setup(&mut m, pid);
     let mut bytes = 0.0;
+    let mut reports = Vec::with_capacity(1);
     for _ in 0..config.epochs {
-        bytes += m.run_epoch().get(&pid).map_or(0.0, |r| r.progress);
+        m.run_epoch_into(&mut reports);
+        bytes += report_for(&reports, pid).map_or(0.0, |r| r.progress);
     }
     bytes / 1000.0 / (config.epochs as f64 * 0.1)
 }
 
 /// Runs the Table II sweep.
 pub fn run(config: &Table2Config) -> Table2Result {
-    let default_rate = measure(config, |_, _| {});
+    let fs = victim_fs();
+    let measure = |setup: &dyn Fn(&mut Machine, Pid)| measure(config, &fs, setup);
+    let default_rate = measure(&|_, _| {});
     let mut rows = Vec::new();
     let mut push = |resource, setting: String, rate: f64| {
         rows.push(Table2Row {
@@ -101,25 +103,25 @@ pub fn run(config: &Table2Config) -> Table2Result {
 
     push("CPU", "100% [default]".into(), default_rate);
     for quota in [0.9, 0.5, 0.01] {
-        let r = measure(config, |m, pid| m.set_cpu_quota(pid, quota));
+        let r = measure(&|m, pid| m.set_cpu_quota(pid, quota));
         push("CPU", format!("{:.0}%", quota * 100.0), r);
     }
 
     push("Memory", "4.7M [default]".into(), default_rate);
     for (label, frac) in [("4.6M (93.6%)", 4.6 / 4.7), ("4.4M (89.4%)", 4.4 / 4.7)] {
-        let r = measure(config, |m, pid| m.set_memory_limit(pid, frac));
+        let r = measure(&|m, pid| m.set_memory_limit(pid, frac));
         push("Memory", label.into(), r);
     }
 
     push("Network", "1024G [default]".into(), default_rate);
     for (label, cap) in [("512G", 5.12e11), ("512M", 5.12e8), ("512K", 5.12e5)] {
-        let r = measure(config, |m, pid| m.set_network_cap(pid, cap));
+        let r = measure(&|m, pid| m.set_network_cap(pid, cap));
         push("Network", label.into(), r);
     }
 
     push("Filesystem", "100 files/s [default]".into(), default_rate);
     for (label, share) in [("90 files/s", 0.9), ("50 files/s", 0.5), ("1 file/s", 0.01)] {
-        let r = measure(config, |m, pid| m.set_fs_share(pid, share));
+        let r = measure(&|m, pid| m.set_fs_share(pid, share));
         push("Filesystem", label.into(), r);
     }
 

@@ -1,16 +1,26 @@
 //! A simulated filesystem tree for ransomware / exfiltration workloads.
+//!
+//! Stored structure-of-arrays for speed: one `u64` size per file (shared
+//! between snapshots via [`Arc`]), an encrypted *bitset*, and O(1)
+//! incremental byte/file counters. Paths are never materialised in the hot
+//! loops — they are generated on demand by [`SimFs::path`] from a compact
+//! naming scheme, with explicit overrides only for files added through
+//! [`SimFs::push`]. This is what lets `table2`'s million-file sweeps build
+//! and snapshot the victim filesystem without a single per-file heap
+//! allocation.
 
 use rand::Rng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// One file in the simulated filesystem.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FileNode {
-    /// Path-like identifier.
-    pub path: String,
-    /// Size in bytes.
-    pub size: u64,
-    /// Set once a ransomware workload has encrypted the file.
-    pub encrypted: bool,
+/// How the lazily generated paths of a [`SimFs`] are named.
+#[derive(Debug, Clone, Default)]
+enum PathScheme {
+    /// `/home/victim/doc_{i:05}.dat` — the [`SimFs::generate`] corpus.
+    #[default]
+    VictimDocs,
+    /// `{prefix}{i}` — the [`SimFs::uniform`] corpus.
+    Prefixed(String),
 }
 
 /// A flat view of a victim filesystem (files only; directory structure is
@@ -25,10 +35,23 @@ pub struct FileNode {
 /// let fs = SimFs::generate(&mut rng, 100, 1 << 20);
 /// assert_eq!(fs.len(), 100);
 /// assert!(fs.total_bytes() > 0);
+/// assert_eq!(fs.path(0).unwrap(), "/home/victim/doc_00000.dat");
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimFs {
-    files: Vec<FileNode>,
+    /// Per-file sizes in bytes. Shared between snapshots: cloning a `SimFs`
+    /// bumps a refcount instead of copying megabytes of sizes.
+    sizes: Arc<Vec<u64>>,
+    /// Encrypted flags, one bit per file (64 files per word).
+    encrypted: Vec<u64>,
+    /// Incremental counters — kept exact by [`SimFs::push`] and
+    /// [`SimFs::encrypt_file`] so the totals are O(1), not O(n) scans.
+    total_bytes: u64,
+    encrypted_bytes: u64,
+    encrypted_files: usize,
+    scheme: PathScheme,
+    /// Explicit paths for files added via [`SimFs::push`].
+    path_overrides: BTreeMap<usize, String>,
 }
 
 impl SimFs {
@@ -40,77 +63,121 @@ impl SimFs {
     /// Generates `n_files` files with log-normal-ish sizes around
     /// `mean_size` bytes.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, n_files: usize, mean_size: u64) -> Self {
-        let mut files = Vec::with_capacity(n_files);
-        for i in 0..n_files {
+        let mut sizes = Vec::with_capacity(n_files);
+        let mut total = 0u64;
+        for _ in 0..n_files {
             // Log-normal via exp of a uniform-sum approximation to a normal.
             let z: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0; // ~N(0, 0.7)
             let size = (mean_size as f64 * (0.9 * z).exp()).max(512.0) as u64;
-            files.push(FileNode {
-                path: format!("/home/victim/doc_{i:05}.dat"),
-                size,
-                encrypted: false,
-            });
+            sizes.push(size);
+            total += size;
         }
-        Self { files }
+        Self {
+            encrypted: vec![0; n_files.div_ceil(64)],
+            sizes: Arc::new(sizes),
+            total_bytes: total,
+            encrypted_bytes: 0,
+            encrypted_files: 0,
+            scheme: PathScheme::VictimDocs,
+            path_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// `n_files` files of identical `size` named `{prefix}{index}` — the
+    /// calibrated Table II corpus, built without per-file allocation.
+    pub fn uniform(prefix: &str, n_files: usize, size: u64) -> Self {
+        Self {
+            sizes: Arc::new(vec![size; n_files]),
+            encrypted: vec![0; n_files.div_ceil(64)],
+            total_bytes: size * n_files as u64,
+            encrypted_bytes: 0,
+            encrypted_files: 0,
+            scheme: PathScheme::Prefixed(prefix.to_string()),
+            path_overrides: BTreeMap::new(),
+        }
     }
 
     /// Number of files.
     pub fn len(&self) -> usize {
-        self.files.len()
+        self.sizes.len()
     }
 
     /// True when the filesystem holds no files.
     pub fn is_empty(&self) -> bool {
-        self.files.is_empty()
+        self.sizes.is_empty()
     }
 
-    /// All files, in creation order.
-    pub fn files(&self) -> &[FileNode] {
-        &self.files
+    /// Size in bytes of the `idx`-th file.
+    pub fn size_of(&self, idx: usize) -> Option<u64> {
+        self.sizes.get(idx).copied()
     }
 
-    /// Total bytes across all files.
+    /// All file sizes, in creation order.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Whether the `idx`-th file has been encrypted (false when out of
+    /// bounds).
+    pub fn is_encrypted(&self, idx: usize) -> bool {
+        idx < self.sizes.len() && self.encrypted[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Path of the `idx`-th file, generated on demand — nothing in the
+    /// simulation's hot loops reads paths, so they are never stored for
+    /// generated corpora.
+    pub fn path(&self, idx: usize) -> Option<String> {
+        if idx >= self.sizes.len() {
+            return None;
+        }
+        if let Some(p) = self.path_overrides.get(&idx) {
+            return Some(p.clone());
+        }
+        Some(match &self.scheme {
+            PathScheme::VictimDocs => format!("/home/victim/doc_{idx:05}.dat"),
+            PathScheme::Prefixed(prefix) => format!("{prefix}{idx}"),
+        })
+    }
+
+    /// Total bytes across all files — O(1), maintained incrementally.
     pub fn total_bytes(&self) -> u64 {
-        self.files.iter().map(|f| f.size).sum()
+        self.total_bytes
     }
 
-    /// Bytes already encrypted by an attacker.
+    /// Bytes already encrypted by an attacker — O(1), maintained
+    /// incrementally.
     pub fn encrypted_bytes(&self) -> u64 {
-        self.files
-            .iter()
-            .filter(|f| f.encrypted)
-            .map(|f| f.size)
-            .sum()
+        self.encrypted_bytes
     }
 
-    /// Number of files already encrypted.
+    /// Number of files already encrypted — O(1), maintained incrementally.
     pub fn encrypted_files(&self) -> usize {
-        self.files.iter().filter(|f| f.encrypted).count()
-    }
-
-    /// Read-only access to the `idx`-th file.
-    pub fn file(&self, idx: usize) -> Option<&FileNode> {
-        self.files.get(idx)
+        self.encrypted_files
     }
 
     /// Marks the `idx`-th file as encrypted; returns its size, or `None` if
     /// the index is out of bounds or the file was already encrypted.
     pub fn encrypt_file(&mut self, idx: usize) -> Option<u64> {
-        let f = self.files.get_mut(idx)?;
-        if f.encrypted {
+        let size = self.sizes.get(idx).copied()?;
+        let (word, bit) = (idx / 64, 1u64 << (idx % 64));
+        if self.encrypted[word] & bit != 0 {
             return None;
         }
-        f.encrypted = true;
-        Some(f.size)
+        self.encrypted[word] |= bit;
+        self.encrypted_bytes += size;
+        self.encrypted_files += 1;
+        Some(size)
     }
 
     /// Adds one file (used by tests and custom scenarios).
     pub fn push(&mut self, path: impl Into<String>, size: u64) {
-        self.files.push(FileNode {
-            path: path.into(),
-            size,
-            encrypted: false,
-        });
+        let idx = self.sizes.len();
+        Arc::make_mut(&mut self.sizes).push(size);
+        if self.encrypted.len() * 64 < self.sizes.len() {
+            self.encrypted.push(0);
+        }
+        self.total_bytes += size;
+        self.path_overrides.insert(idx, path.into());
     }
 }
 
@@ -126,7 +193,7 @@ mod tests {
         let fs = SimFs::generate(&mut rng, 50, 4096);
         assert_eq!(fs.len(), 50);
         assert!(!fs.is_empty());
-        assert!(fs.files().iter().all(|f| f.size >= 512));
+        assert!(fs.sizes().iter().all(|&s| s >= 512));
     }
 
     #[test]
@@ -147,8 +214,53 @@ mod tests {
         assert_eq!(fs.encrypt_file(0), Some(100));
         assert_eq!(fs.encrypt_file(0), None); // already encrypted
         assert_eq!(fs.encrypt_file(9), None); // out of bounds
+        assert!(fs.is_encrypted(0));
+        assert!(!fs.is_encrypted(1));
+        assert!(!fs.is_encrypted(99));
         assert_eq!(fs.encrypted_bytes(), 100);
         assert_eq!(fs.encrypted_files(), 1);
         assert_eq!(fs.total_bytes(), 300);
+    }
+
+    #[test]
+    fn uniform_corpus_has_constant_sizes_and_prefixed_paths() {
+        let fs = SimFs::uniform("/data/f", 1000, 2257);
+        assert_eq!(fs.len(), 1000);
+        assert_eq!(fs.total_bytes(), 2257 * 1000);
+        assert_eq!(fs.size_of(999), Some(2257));
+        assert_eq!(fs.path(42).unwrap(), "/data/f42");
+        assert_eq!(fs.path(1000), None);
+    }
+
+    #[test]
+    fn pushed_paths_override_the_scheme() {
+        let mut fs = SimFs::uniform("/data/f", 2, 10);
+        fs.push("/custom/name", 30);
+        assert_eq!(fs.path(0).unwrap(), "/data/f0");
+        assert_eq!(fs.path(2).unwrap(), "/custom/name");
+        assert_eq!(fs.total_bytes(), 50);
+    }
+
+    #[test]
+    fn snapshots_share_sizes_but_not_encryption_state() {
+        let mut fs = SimFs::uniform("/f", 200, 100);
+        let snapshot = fs.clone();
+        assert_eq!(fs.encrypt_file(7), Some(100));
+        assert!(fs.is_encrypted(7));
+        assert!(!snapshot.is_encrypted(7));
+        assert_eq!(snapshot.encrypted_bytes(), 0);
+        assert_eq!(snapshot.total_bytes(), fs.total_bytes());
+    }
+
+    #[test]
+    fn push_after_snapshot_does_not_alias() {
+        let mut fs = SimFs::uniform("/f", 65, 10); // beyond one bitset word
+        let snapshot = fs.clone();
+        fs.push("/x", 5);
+        assert_eq!(fs.len(), 66);
+        assert_eq!(snapshot.len(), 65);
+        assert_eq!(fs.encrypt_file(65), Some(5));
+        assert_eq!(fs.encrypted_files(), 1);
+        assert_eq!(snapshot.encrypted_files(), 0);
     }
 }

@@ -15,6 +15,13 @@
 //! Valkyrie's engine plugs in through [`Machine::apply_resources`] (mapping a
 //! [`ResourceVector`] onto scheduler weight / quotas) and
 //! [`Machine::terminate`].
+//!
+//! Processes live in a dense slab indexed directly by pid (pids are handed
+//! out sequentially and never reused, so slot `pid - 1` is the process —
+//! terminated and completed entries stay inspectable in place). The hot
+//! epoch loop is [`Machine::run_epoch_into`], which fills a caller-owned
+//! scratch buffer in ascending-pid order without allocating;
+//! [`Machine::run_epoch`] wraps it for map-shaped compatibility.
 
 use crate::cgroup::{CpuController, FileRateLimiter, MemoryController};
 use crate::clock::{Tick, EPOCH_TICKS};
@@ -88,6 +95,25 @@ impl EpochReport {
     }
 }
 
+/// Looks up one process's report in a [`Machine::run_epoch_into`] buffer.
+/// The buffer is sorted by ascending pid, so this is a binary search.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::machine::{report_for, EpochReport};
+/// use valkyrie_sim::Pid;
+/// let reports = vec![(Pid(1), EpochReport::idle()), (Pid(4), EpochReport::idle())];
+/// assert!(report_for(&reports, Pid(4)).is_some());
+/// assert!(report_for(&reports, Pid(2)).is_none());
+/// ```
+pub fn report_for(reports: &[(Pid, EpochReport)], pid: Pid) -> Option<&EpochReport> {
+    reports
+        .binary_search_by_key(&pid, |&(p, _)| p)
+        .ok()
+        .map(|i| &reports[i].1)
+}
+
 /// A simulated process: advances once per epoch under granted resources.
 pub trait Workload: std::any::Any {
     /// Human-readable name (benchmark or attack identifier).
@@ -136,6 +162,7 @@ impl Default for MachineConfig {
 
 #[derive(Debug)]
 struct ProcEntry {
+    pid: Pid,
     workload: Box<dyn Workload>,
     cpu: CpuController,
     mem_limit_frac: f64,
@@ -177,7 +204,9 @@ impl std::fmt::Debug for dyn Workload {
 pub struct Machine {
     config: MachineConfig,
     sched: CfsScheduler,
-    procs: BTreeMap<Pid, ProcEntry>,
+    /// Dense process slab: slot `pid.0 - 1` (pids are sequential from 1 and
+    /// never reused; entries are never removed, so the mapping is exact).
+    procs: Vec<ProcEntry>,
     dram: Dram,
     fs: SimFs,
     rng: StdRng,
@@ -191,7 +220,7 @@ impl Machine {
         Self {
             config,
             sched: CfsScheduler::new(config.sched),
-            procs: BTreeMap::new(),
+            procs: Vec::new(),
             dram: Dram::new(config.dram),
             fs: SimFs::new(),
             rng: StdRng::seed_from_u64(config.seed),
@@ -215,6 +244,21 @@ impl Machine {
         &self.fs
     }
 
+    /// Cheap snapshot of the victim filesystem: the SoA layout shares the
+    /// (potentially huge) size table and copies only the encrypted bitset
+    /// and counters. Sweeps that measure many configurations against the
+    /// same corpus snapshot once and [`Machine::restore_fs`] per run
+    /// instead of regenerating millions of files.
+    pub fn fs_snapshot(&self) -> SimFs {
+        self.fs.clone()
+    }
+
+    /// Restores a filesystem snapshot taken with [`Machine::fs_snapshot`]
+    /// (or any prebuilt [`SimFs`]).
+    pub fn restore_fs(&mut self, snapshot: &SimFs) {
+        self.fs = snapshot.clone();
+    }
+
     /// Read access to the DRAM model.
     pub fn dram(&self) -> &Dram {
         &self.dram
@@ -225,76 +269,92 @@ impl Machine {
         self.epoch
     }
 
+    fn entry(&self, pid: Pid) -> Option<&ProcEntry> {
+        let slot = pid.0.checked_sub(1)? as usize;
+        let p = self.procs.get(slot)?;
+        debug_assert_eq!(p.pid, pid, "slab invariant: slot = pid - 1");
+        Some(p)
+    }
+
+    fn entry_mut(&mut self, pid: Pid) -> Option<&mut ProcEntry> {
+        let slot = pid.0.checked_sub(1)? as usize;
+        let p = self.procs.get_mut(slot)?;
+        debug_assert_eq!(p.pid, pid, "slab invariant: slot = pid - 1");
+        Some(p)
+    }
+
     /// Spawns a workload at nice level 0; returns its pid.
     pub fn spawn(&mut self, workload: Box<dyn Workload>) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         self.sched.add(pid, 0);
-        self.procs.insert(
+        self.procs.push(ProcEntry {
             pid,
-            ProcEntry {
-                workload,
-                cpu: CpuController::default(),
-                mem_limit_frac: 1.0,
-                net: NetController::unlimited(),
-                fs_share: 1.0,
-                alive: true,
-                completed: false,
-            },
-        );
+            workload,
+            cpu: CpuController::default(),
+            mem_limit_frac: 1.0,
+            net: NetController::unlimited(),
+            fs_share: 1.0,
+            alive: true,
+            completed: false,
+        });
         pid
     }
 
     /// Whether a process is still alive (spawned, not terminated).
     pub fn is_alive(&self, pid: Pid) -> bool {
-        self.procs.get(&pid).is_some_and(|p| p.alive)
+        self.entry(pid).is_some_and(|p| p.alive)
     }
 
     /// Whether a process has completed its work.
     pub fn is_completed(&self, pid: Pid) -> bool {
-        self.procs.get(&pid).is_some_and(|p| p.completed)
+        self.entry(pid).is_some_and(|p| p.completed)
     }
 
     /// Name of a process's workload, if it exists.
     pub fn name_of(&self, pid: Pid) -> Option<&str> {
-        self.procs.get(&pid).map(|p| p.workload.name())
+        self.entry(pid).map(|p| p.workload.name())
     }
 
     /// Downcasts a process's workload to a concrete type for inspection
     /// (terminated processes remain inspectable).
     pub fn workload_as<T: 'static>(&self, pid: Pid) -> Option<&T> {
-        self.procs
-            .get(&pid)
+        self.entry(pid)
             .and_then(|p| p.workload.as_any().downcast_ref::<T>())
     }
 
     /// Terminates a process (Valkyrie's terminal response).
     pub fn terminate(&mut self, pid: Pid) {
-        if let Some(p) = self.procs.get_mut(&pid) {
-            p.alive = false;
-            self.sched.remove(pid);
-        }
+        let Some(p) = self.entry_mut(pid) else {
+            return;
+        };
+        p.alive = false;
+        self.sched.remove(pid);
     }
 
     /// Maps a Valkyrie [`ResourceVector`] onto the machine's levers:
     /// CPU share → scheduler weight scale, memory share → cgroup limit,
     /// network share → bandwidth cap scale, fs share → file-rate share.
     pub fn apply_resources(&mut self, pid: Pid, r: &ResourceVector) {
-        if let Some(p) = self.procs.get_mut(&pid) {
-            self.sched.set_weight_scale(pid, r.cpu.max(1e-6));
-            p.cpu = CpuController::new(1.0); // weight-based throttling only
-            p.mem_limit_frac = r.mem;
-            if r.net < 1.0 {
-                p.net.apply_share(r.net);
-            }
-            p.fs_share = r.fs;
+        let Some(p) = self.entry_mut(pid) else {
+            return;
+        };
+        p.cpu = CpuController::new(1.0); // weight-based throttling only
+        p.mem_limit_frac = r.mem;
+        if r.net < 1.0 || p.net.base_cap().is_some() {
+            // Throttle, or restore a previously throttled cap to its base.
+            // A never-throttled unlimited controller stays unshaped: a full
+            // share must not materialise a nominal cap on it.
+            p.net.apply_share(r.net);
         }
+        p.fs_share = r.fs;
+        self.sched.set_weight_scale(pid, r.cpu.max(1e-6));
     }
 
     /// Directly sets a CPU quota (cgroup `cpu.max` style), bypassing the
     /// scheduler-weight lever. Used by cgroup-actuator case studies.
     pub fn set_cpu_quota(&mut self, pid: Pid, quota: f64) {
-        if let Some(p) = self.procs.get_mut(&pid) {
+        if let Some(p) = self.entry_mut(pid) {
             p.cpu = CpuController::new(quota);
         }
     }
@@ -306,41 +366,45 @@ impl Machine {
 
     /// Sets the memory limit as a fraction of the workload's working set.
     pub fn set_memory_limit(&mut self, pid: Pid, frac: f64) {
-        if let Some(p) = self.procs.get_mut(&pid) {
+        if let Some(p) = self.entry_mut(pid) {
             p.mem_limit_frac = frac.max(0.0);
         }
     }
 
     /// Caps the process's network bandwidth in bytes/second.
     pub fn set_network_cap(&mut self, pid: Pid, bytes_per_sec: f64) {
-        if let Some(p) = self.procs.get_mut(&pid) {
+        if let Some(p) = self.entry_mut(pid) {
             p.net = NetController::with_cap(bytes_per_sec);
         }
     }
 
     /// Sets the file-access rate share in `[0, 1]`.
     pub fn set_fs_share(&mut self, pid: Pid, share: f64) {
-        if let Some(p) = self.procs.get_mut(&pid) {
+        if let Some(p) = self.entry_mut(pid) {
             p.fs_share = share.clamp(0.0, 1.0);
         }
     }
 
-    /// Runs one epoch and returns each live process's report.
-    pub fn run_epoch(&mut self) -> BTreeMap<Pid, EpochReport> {
+    /// Runs one epoch, filling `out` with each live process's report in
+    /// ascending-pid order. Allocation-free in steady state: the scheduler
+    /// writes grants into its own scratch and `out` is reused by the caller.
+    pub fn run_epoch_into(&mut self, out: &mut Vec<(Pid, EpochReport)>) {
+        out.clear();
         let epoch_ticks = self.config.epoch_ticks;
-        let granted = self.sched.run(epoch_ticks);
-        let mut reports = BTreeMap::new();
+        self.sched.run_ticks(epoch_ticks);
         let file_rate = FileRateLimiter::new(self.config.default_files_per_sec);
+        let epoch = self.epoch;
 
-        let pids: Vec<Pid> = self
-            .procs
-            .iter()
-            .filter(|(_, p)| p.alive)
-            .map(|(&pid, _)| pid)
-            .collect();
-        for pid in pids {
-            let p = self.procs.get_mut(&pid).expect("pid filtered above");
-            let sched_grant = granted.get(&pid).copied().unwrap_or(0);
+        let sched = &mut self.sched;
+        let dram = &mut self.dram;
+        let fs = &mut self.fs;
+        let rng = &mut self.rng;
+        for p in &mut self.procs {
+            if !p.alive {
+                continue;
+            }
+            let pid = p.pid;
+            let sched_grant = sched.granted(pid);
             let cpu_ticks = p.cpu.cap_ticks(epoch_ticks, sched_grant);
             let mem_eff = MemoryController::new(p.mem_limit_frac).efficiency();
             let fs_budget = file_rate
@@ -348,38 +412,46 @@ impl Machine {
                 .files_per_epoch(epoch_ticks);
             let mut ctx = EpochCtx {
                 pid,
-                epoch: self.epoch,
+                epoch,
                 cpu_ticks,
                 epoch_ticks,
                 mem_efficiency: mem_eff,
                 fs_file_budget: fs_budget,
                 net: &mut p.net,
-                dram: &mut self.dram,
-                fs: &mut self.fs,
-                rng: &mut self.rng,
+                dram,
+                fs,
+                rng,
             };
             let report = p.workload.advance(&mut ctx);
             if report.completed {
                 p.completed = true;
                 p.alive = false;
-                self.sched.remove(pid);
+                sched.remove(pid);
             }
-            reports.insert(pid, report);
+            out.push((pid, report));
         }
 
         // Shared devices advance with wall-clock time.
-        self.dram.advance_ms(epoch_ticks, &mut self.rng);
+        dram.advance_ms(epoch_ticks, rng);
         self.epoch += 1;
-        reports
+    }
+
+    /// Runs one epoch and returns each live process's report. Thin
+    /// allocating wrapper over [`Machine::run_epoch_into`], kept for API
+    /// compatibility.
+    pub fn run_epoch(&mut self) -> BTreeMap<Pid, EpochReport> {
+        let mut out = Vec::with_capacity(self.procs.len());
+        self.run_epoch_into(&mut out);
+        out.into_iter().collect()
     }
 
     /// Runs `n` epochs, returning the final epoch's reports.
     pub fn run_epochs(&mut self, n: u64) -> BTreeMap<Pid, EpochReport> {
-        let mut last = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.procs.len());
         for _ in 0..n {
-            last = self.run_epoch();
+            self.run_epoch_into(&mut out);
         }
-        last
+        out.into_iter().collect()
     }
 
     /// Simulated time at the start of the current epoch.
@@ -494,6 +566,22 @@ mod tests {
     }
 
     #[test]
+    fn apply_resources_throttles_and_restores_the_net_cap() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Spin::forever()));
+        // A never-throttled process stays unshaped under a full share.
+        m.apply_resources(pid, &ResourceVector::full());
+        assert_eq!(m.entry(pid).unwrap().net.cap(), None);
+        // Throttling every epoch holds the cap at base × share (no
+        // geometric decay), and a full share restores the base cap.
+        m.apply_resources(pid, &ResourceVector::new(1.0, 1.0, 0.5, 1.0));
+        m.apply_resources(pid, &ResourceVector::new(1.0, 1.0, 0.5, 1.0));
+        assert_eq!(m.entry(pid).unwrap().net.cap(), Some(0.5 * 1.024e12));
+        m.apply_resources(pid, &ResourceVector::full());
+        assert_eq!(m.entry(pid).unwrap().net.cap(), Some(1.024e12));
+    }
+
+    #[test]
     fn completion_removes_process() {
         let mut m = Machine::new(MachineConfig::default());
         let pid = m.spawn(Box::new(Spin::for_epochs(3)));
@@ -522,5 +610,41 @@ mod tests {
         m.run_epochs(5);
         assert_eq!(m.epoch(), 5);
         assert_eq!(m.now().as_millis(), 500);
+    }
+
+    #[test]
+    fn run_epoch_into_reuses_the_buffer_and_sorts_by_pid() {
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m.spawn(Box::new(Spin::forever()));
+        let b = m.spawn(Box::new(Spin::forever()));
+        let mut out = Vec::new();
+        m.run_epoch_into(&mut out);
+        let cap = out.capacity();
+        assert_eq!(out.len(), 2);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(report_for(&out, a).is_some());
+        assert!(report_for(&out, b).is_some());
+        for _ in 0..50 {
+            m.run_epoch_into(&mut out);
+        }
+        assert_eq!(out.capacity(), cap, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn fs_snapshot_restores_encryption_state() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.set_filesystem(SimFs::uniform("/f", 100, 1000));
+        let snap = m.fs_snapshot();
+        assert_eq!(snap.len(), 100);
+        // Mutate through a workload-style path.
+        m.set_filesystem({
+            let mut fs = snap.clone();
+            fs.encrypt_file(3);
+            fs
+        });
+        assert_eq!(m.filesystem().encrypted_files(), 1);
+        m.restore_fs(&snap);
+        assert_eq!(m.filesystem().encrypted_files(), 0);
+        assert_eq!(m.filesystem().total_bytes(), 100 * 1000);
     }
 }

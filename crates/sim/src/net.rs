@@ -71,7 +71,10 @@ pub fn shaping_factor(cap_bytes_per_sec: f64) -> f64 {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetController {
-    /// Bandwidth cap in bytes/second; `None` = unshaped.
+    /// Base (unthrottled) cap in bytes/second; `None` = unshaped.
+    base_cap: Option<f64>,
+    /// Effective cap in bytes/second (`base_cap × share`); `None` =
+    /// unshaped.
     cap: Option<f64>,
     /// Accumulated unused tokens (bytes), bounded by one epoch of burst.
     tokens: f64,
@@ -81,6 +84,7 @@ impl NetController {
     /// No shaping at all.
     pub fn unlimited() -> Self {
         Self {
+            base_cap: None,
             cap: None,
             tokens: 0.0,
         }
@@ -88,24 +92,35 @@ impl NetController {
 
     /// Shaped with a cap of `bytes_per_sec`.
     pub fn with_cap(bytes_per_sec: f64) -> Self {
+        let cap = Some(bytes_per_sec.max(0.0));
         Self {
-            cap: Some(bytes_per_sec.max(0.0)),
+            base_cap: cap,
+            cap,
             tokens: 0.0,
         }
     }
 
-    /// The configured cap, if any.
+    /// The effective cap, if any.
     pub fn cap(&self) -> Option<f64> {
         self.cap
     }
 
-    /// Applies a share in `[0, 1]` of the current cap (Valkyrie's network
-    /// actuator lever). A share of 1 leaves the cap unchanged; shares below
-    /// 1 scale it down. Unlimited controllers are given a nominal 1 TB/s cap
-    /// first so they become throttleable.
+    /// The base (unthrottled) cap [`NetController::apply_share`] scales,
+    /// if any.
+    pub fn base_cap(&self) -> Option<f64> {
+        self.base_cap
+    }
+
+    /// Applies a share in `[0, 1]` of the **base** cap (Valkyrie's network
+    /// actuator lever). Idempotent: the effective cap is always
+    /// `base × share`, so re-applying the same share every epoch — as
+    /// `Machine::apply_resources` does — holds the cap steady instead of
+    /// compounding it geometrically (0.5, 0.25, 0.125, … was the old bug).
+    /// A share of 1 restores the base cap. Unlimited controllers are given
+    /// a nominal 1 TB/s base cap first so they become throttleable.
     pub fn apply_share(&mut self, share: f64) {
         let share = share.clamp(0.0, 1.0);
-        let base = self.cap.unwrap_or(1.024e12);
+        let base = *self.base_cap.get_or_insert(1.024e12);
         self.cap = Some(base * share);
     }
 
@@ -187,6 +202,26 @@ mod tests {
         let mut u = NetController::unlimited();
         u.apply_share(0.5);
         assert_eq!(u.cap(), Some(5.12e11));
+    }
+
+    #[test]
+    fn apply_share_is_idempotent_over_epochs() {
+        // `Machine::apply_resources` re-applies the engine's share every
+        // epoch; the cap must hold at base × share, not decay
+        // geometrically.
+        let mut n = NetController::with_cap(1000.0);
+        for _ in 0..100 {
+            n.apply_share(0.5);
+        }
+        assert_eq!(n.cap(), Some(500.0));
+        assert_eq!(n.base_cap(), Some(1000.0));
+
+        // Different shares always scale the same base.
+        n.apply_share(0.25);
+        assert_eq!(n.cap(), Some(250.0));
+        // A share of 1 restores the base cap.
+        n.apply_share(1.0);
+        assert_eq!(n.cap(), Some(1000.0));
     }
 
     #[test]

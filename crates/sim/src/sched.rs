@@ -7,6 +7,13 @@
 //! runtime runs next. Weights follow the kernel's 40-level nice table
 //! (×1.25 per level). Valkyrie throttles a process by scaling its weight
 //! ([`CfsScheduler::set_weight_scale`], the lever behind Eq. 8).
+//!
+//! Entities live in a pid-sorted slab (binary-searched on mutation, scanned
+//! linearly when picking the next task — ties on vruntime break towards the
+//! lowest pid, exactly as the previous `BTreeMap` layout did), and each
+//! epoch's grants are written into a per-entity scratch field by
+//! [`CfsScheduler::run_ticks`] instead of a freshly allocated map —
+//! [`CfsScheduler::run`] remains as a thin map-returning wrapper.
 
 use crate::pid::Pid;
 use std::collections::BTreeMap;
@@ -53,11 +60,14 @@ impl Default for SchedConfig {
 
 #[derive(Debug, Clone)]
 struct SchedEntity {
+    pid: Pid,
     base_weight: f64,
     /// Valkyrie's lever: relative weight scale `s` in `(0, 1]`.
     scale: f64,
     vruntime: f64,
     runnable: bool,
+    /// Ticks granted by the most recent [`CfsScheduler::run_ticks`].
+    granted: u64,
 }
 
 impl SchedEntity {
@@ -89,7 +99,8 @@ impl SchedEntity {
 #[derive(Debug, Clone)]
 pub struct CfsScheduler {
     config: SchedConfig,
-    entities: BTreeMap<Pid, SchedEntity>,
+    /// Entities sorted by ascending pid.
+    entities: Vec<SchedEntity>,
 }
 
 impl CfsScheduler {
@@ -97,7 +108,7 @@ impl CfsScheduler {
     pub fn new(config: SchedConfig) -> Self {
         Self {
             config,
-            entities: BTreeMap::new(),
+            entities: Vec::new(),
         }
     }
 
@@ -106,26 +117,35 @@ impl CfsScheduler {
         &self.config
     }
 
+    fn idx_of(&self, pid: Pid) -> Option<usize> {
+        self.entities.binary_search_by_key(&pid, |e| e.pid).ok()
+    }
+
     /// Registers a runnable process at the given nice level.
     ///
     /// New entities start at the current minimum vruntime, as in the kernel,
     /// so they cannot monopolise the CPU to "catch up".
     pub fn add(&mut self, pid: Pid, nice: i32) {
         let min_vr = self.min_vruntime();
-        self.entities.insert(
+        let entity = SchedEntity {
             pid,
-            SchedEntity {
-                base_weight: nice_to_weight(nice),
-                scale: 1.0,
-                vruntime: min_vr,
-                runnable: true,
-            },
-        );
+            base_weight: nice_to_weight(nice),
+            scale: 1.0,
+            vruntime: min_vr,
+            runnable: true,
+            granted: 0,
+        };
+        match self.entities.binary_search_by_key(&pid, |e| e.pid) {
+            Ok(i) => self.entities[i] = entity,
+            Err(i) => self.entities.insert(i, entity),
+        }
     }
 
     /// Deregisters a process.
     pub fn remove(&mut self, pid: Pid) {
-        self.entities.remove(&pid);
+        if let Some(i) = self.idx_of(pid) {
+            self.entities.remove(i);
+        }
     }
 
     /// Number of registered processes.
@@ -142,75 +162,117 @@ impl CfsScheduler {
     /// Valkyrie's Eq. 8 actuator drives. Values are clamped to
     /// `[1e-6, 1.0]`.
     pub fn set_weight_scale(&mut self, pid: Pid, scale: f64) {
-        if let Some(e) = self.entities.get_mut(&pid) {
-            e.scale = scale.clamp(1e-6, 1.0);
+        if let Some(i) = self.idx_of(pid) {
+            self.entities[i].scale = scale.clamp(1e-6, 1.0);
         }
     }
 
     /// Current weight scale of a process (1.0 if unknown).
     pub fn weight_scale(&self, pid: Pid) -> f64 {
-        self.entities.get(&pid).map_or(1.0, |e| e.scale)
+        self.idx_of(pid).map_or(1.0, |i| self.entities[i].scale)
     }
 
     /// Marks a process runnable or blocked.
     pub fn set_runnable(&mut self, pid: Pid, runnable: bool) {
-        if let Some(e) = self.entities.get_mut(&pid) {
-            e.runnable = runnable;
+        if let Some(i) = self.idx_of(pid) {
+            self.entities[i].runnable = runnable;
         }
+    }
+
+    /// Total weight of the runnable set (pid-ascending summation order).
+    fn total_runnable_weight(&self) -> f64 {
+        self.entities
+            .iter()
+            .filter(|e| e.runnable)
+            .map(SchedEntity::weight)
+            .sum()
     }
 
     /// Eq. 7 timeslice for `pid` given the current runnable set.
     pub fn timeslice(&self, pid: Pid) -> u64 {
-        let total: f64 = self
-            .entities
-            .values()
-            .filter(|e| e.runnable)
-            .map(SchedEntity::weight)
-            .sum();
-        let Some(e) = self.entities.get(&pid) else {
+        let total = self.total_runnable_weight();
+        let Some(e) = self.idx_of(pid).map(|i| &self.entities[i]) else {
             return 0;
         };
         if !e.runnable || total <= 0.0 {
             return 0;
         }
-        let slice = self.config.target_latency as f64 * e.weight() / total;
-        (slice.round() as u64).max(self.config.min_granularity)
+        self.config.slice(e.base_weight, e.scale, total)
+    }
+
+    /// Runs the simulated CPU for `ticks`, writing each entity's grant into
+    /// the scheduler's scratch (read back with [`CfsScheduler::granted`]).
+    /// Idle time (no runnable entity) is simply lost. Allocation-free.
+    pub fn run_ticks(&mut self, ticks: u64) {
+        for e in &mut self.entities {
+            e.granted = 0;
+        }
+        // Weights cannot change mid-run, so Σw is computed once (same
+        // pid-ascending summation order as `timeslice`).
+        let total = self.total_runnable_weight();
+        if total <= 0.0 {
+            return;
+        }
+        let mut remaining = ticks;
+        while remaining > 0 {
+            // Pick the runnable entity with minimum vruntime; ties break
+            // towards the lowest pid (first strict minimum in slab order).
+            let mut best: Option<usize> = None;
+            for (i, e) in self.entities.iter().enumerate() {
+                if !e.runnable {
+                    continue;
+                }
+                match best {
+                    Some(b) if self.entities[b].vruntime <= e.vruntime => {}
+                    _ => best = Some(i),
+                }
+            }
+            let Some(i) = best else {
+                break; // idle
+            };
+            let e = &mut self.entities[i];
+            let slice = self
+                .config
+                .slice(e.base_weight, e.scale, total)
+                .min(remaining)
+                .max(1);
+            e.vruntime += slice as f64 * (NICE_0_WEIGHT / e.weight());
+            e.granted += slice;
+            remaining -= slice;
+        }
+    }
+
+    /// Ticks granted to `pid` by the most recent [`CfsScheduler::run_ticks`].
+    pub fn granted(&self, pid: Pid) -> u64 {
+        self.idx_of(pid).map_or(0, |i| self.entities[i].granted)
     }
 
     /// Runs the simulated CPU for `ticks`, returning the ticks granted to
-    /// each process. Idle time (no runnable entity) is simply lost.
+    /// each process. Thin allocating wrapper over
+    /// [`CfsScheduler::run_ticks`], kept for API compatibility.
     pub fn run(&mut self, ticks: u64) -> BTreeMap<Pid, u64> {
-        let mut granted: BTreeMap<Pid, u64> = BTreeMap::new();
-        let mut remaining = ticks;
-        while remaining > 0 {
-            // Pick the runnable entity with minimum vruntime.
-            let Some((&pid, _)) =
-                self.entities
-                    .iter()
-                    .filter(|(_, e)| e.runnable)
-                    .min_by(|a, b| {
-                        a.1.vruntime
-                            .partial_cmp(&b.1.vruntime)
-                            .expect("vruntime is finite")
-                    })
-            else {
-                break; // idle
-            };
-            let slice = self.timeslice(pid).min(remaining).max(1);
-            let e = self.entities.get_mut(&pid).expect("entity exists");
-            e.vruntime += slice as f64 * (NICE_0_WEIGHT / e.weight());
-            *granted.entry(pid).or_insert(0) += slice;
-            remaining -= slice;
-        }
-        granted
+        self.run_ticks(ticks);
+        self.entities
+            .iter()
+            .filter(|e| e.granted > 0)
+            .map(|e| (e.pid, e.granted))
+            .collect()
     }
 
     fn min_vruntime(&self) -> f64 {
         self.entities
-            .values()
+            .iter()
             .map(|e| e.vruntime)
             .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))))
             .unwrap_or(0.0)
+    }
+}
+
+impl SchedConfig {
+    fn slice(&self, base_weight: f64, scale: f64, total_weight: f64) -> u64 {
+        let weight = (base_weight * scale).max(1e-9);
+        let slice = self.target_latency as f64 * weight / total_weight;
+        (slice.round() as u64).max(self.min_granularity)
     }
 }
 
@@ -338,5 +400,31 @@ mod tests {
         let granted = s.run(100);
         assert!(!granted.contains_key(&Pid(1)));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn run_ticks_scratch_matches_map_wrapper() {
+        let mut a = scheduler_with(5);
+        let mut b = a.clone();
+        a.set_weight_scale(Pid(2), 0.2);
+        b.set_weight_scale(Pid(2), 0.2);
+        let map = a.run(997);
+        b.run_ticks(997);
+        for pid in (1..=5).map(Pid) {
+            assert_eq!(map.get(&pid).copied().unwrap_or(0), b.granted(pid));
+        }
+    }
+
+    #[test]
+    fn interleaved_add_remove_keeps_pid_order() {
+        let mut s = CfsScheduler::new(SchedConfig::default());
+        for pid in [5, 1, 9, 3] {
+            s.add(Pid(pid), 0);
+        }
+        s.remove(Pid(5));
+        s.add(Pid(2), 0);
+        let granted = s.run(1000);
+        let pids: Vec<u64> = granted.keys().map(|p| p.0).collect();
+        assert_eq!(pids, vec![1, 2, 3, 9]);
     }
 }

@@ -1,0 +1,156 @@
+//! Golden outputs: the substrate refactor (SoA filesystem, dense process
+//! table, allocation-free epoch loop) must not change a single experiment
+//! result. These tests pin the exact (bit-identical) values the pre-refactor
+//! seed produced for Table II, Fig. 6b and the multi-tenant machine.
+//!
+//! To regenerate after an *intentional* behaviour change, run
+//! `cargo test --release --test golden_outputs -- --ignored --nocapture`
+//! and paste the printed literals below.
+
+use valkyrie::experiments as x;
+
+fn capture_table2() -> Vec<(String, String, f64, f64)> {
+    x::table2::run(&x::table2::Table2Config::quick())
+        .rows
+        .into_iter()
+        .map(|r| {
+            (
+                r.resource.to_string(),
+                r.setting,
+                r.kb_per_s,
+                r.slowdown_pct,
+            )
+        })
+        .collect()
+}
+
+fn capture_fig6b() -> (f64, f64, f64) {
+    let r = x::fig6::run_b(&x::fig6::Fig6Config::quick());
+    (r.mb_without, r.mb_with_cpu, r.mb_with_fs)
+}
+
+fn capture_multi_tenant() -> (usize, f64, f64, f64, usize, u64) {
+    let r = x::multi_tenant::run(&x::multi_tenant::MultiTenantConfig::quick());
+    (
+        r.attacks_terminated,
+        r.mean_epochs_to_kill,
+        r.benign_killed_pct,
+        r.benign_slowdown_pct,
+        r.benign_completed,
+        r.purged,
+    )
+}
+
+/// Prints the current values as Rust literals (for regeneration).
+#[test]
+#[ignore]
+fn print_golden_values() {
+    println!("// --- table2 quick rows ---");
+    for (res, set, kb, sd) in capture_table2() {
+        println!("    (\"{res}\", \"{set}\", {kb:?}, {sd:?}),");
+    }
+    let (a, b, c) = capture_fig6b();
+    println!("// --- fig6b quick ---");
+    println!("    ({a:?}, {b:?}, {c:?})");
+    let mt = capture_multi_tenant();
+    println!("// --- multi_tenant quick ---");
+    println!("    {mt:?}");
+}
+
+#[test]
+fn table2_rows_are_bit_identical_to_seed() {
+    let expected: &[(&str, &str, f64, f64)] = &[
+        ("CPU", "100% [default]", 225.70000000000002, 0.0),
+        ("CPU", "90%", 222.29999999999998, 1.5064244572441488),
+        ("CPU", "50%", 123.5, 45.28134692069119),
+        ("CPU", "1%", 2.47, 98.90562693841383),
+        ("Memory", "4.7M [default]", 225.70000000000002, 0.0),
+        (
+            "Memory",
+            "4.6M (93.6%)",
+            0.6696992499095603,
+            99.70327902086417,
+        ),
+        (
+            "Memory",
+            "4.4M (89.4%)",
+            0.09724514613143208,
+            99.95691398044686,
+        ),
+        ("Network", "1024G [default]", 225.70000000000002, 0.0),
+        ("Network", "512G", 199.97020000000006, 11.399999999999977),
+        ("Network", "512M", 56.650700000000036, 74.89999999999999),
+        ("Network", "512K", 0.049654, 99.978),
+        (
+            "Filesystem",
+            "100 files/s [default]",
+            225.70000000000002,
+            0.0,
+        ),
+        ("Filesystem", "90 files/s", 203.13, 10.000000000000009),
+        ("Filesystem", "50 files/s", 112.85000000000001, 50.0),
+        ("Filesystem", "1 file/s", 0.0, 100.0),
+    ];
+    let got = capture_table2();
+    assert_eq!(got.len(), expected.len());
+    for ((res, set, kb, sd), (eres, eset, ekb, esd)) in got.iter().zip(expected) {
+        assert_eq!(res, eres);
+        assert_eq!(set, eset);
+        assert_eq!(
+            kb.to_bits(),
+            ekb.to_bits(),
+            "{res}/{set}: {kb:?} vs {ekb:?}"
+        );
+        assert_eq!(
+            sd.to_bits(),
+            esd.to_bits(),
+            "{res}/{set}: {sd:?} vs {esd:?}"
+        );
+    }
+}
+
+#[test]
+fn fig6b_curves_are_bit_identical_to_seed() {
+    let (without, cpu, fs) = capture_fig6b();
+    let (ew, ec, ef) = (17.505f64, 3.59436f64, 5.21558f64);
+    assert_eq!(without.to_bits(), ew.to_bits(), "{without:?} vs {ew:?}");
+    assert_eq!(cpu.to_bits(), ec.to_bits(), "{cpu:?} vs {ec:?}");
+    assert_eq!(fs.to_bits(), ef.to_bits(), "{fs:?} vs {ef:?}");
+}
+
+#[test]
+fn multi_tenant_rates_are_bit_identical_to_seed() {
+    let got = capture_multi_tenant();
+    let expected = (
+        3usize,
+        11.0f64,
+        5.333333333333333f64,
+        0.4304577464788733f64,
+        0usize,
+        19u64,
+    );
+    assert_eq!(got.0, expected.0);
+    assert_eq!(
+        got.1.to_bits(),
+        expected.1.to_bits(),
+        "{:?} vs {:?}",
+        got.1,
+        expected.1
+    );
+    assert_eq!(
+        got.2.to_bits(),
+        expected.2.to_bits(),
+        "{:?} vs {:?}",
+        got.2,
+        expected.2
+    );
+    assert_eq!(
+        got.3.to_bits(),
+        expected.3.to_bits(),
+        "{:?} vs {:?}",
+        got.3,
+        expected.3
+    );
+    assert_eq!(got.4, expected.4);
+    assert_eq!(got.5, expected.5);
+}

@@ -442,3 +442,73 @@ proptest! {
         prop_assert!(false, "terminable state never reached");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// The SoA filesystem's incremental `total_bytes`/`encrypted_bytes`/
+    /// `encrypted_files` counters equal full scans over `size_of`/
+    /// `is_encrypted` under arbitrary `push`/`generate`/`uniform`/
+    /// `encrypt_file` sequences, and `encrypt_file` succeeds exactly once
+    /// per in-bounds file.
+    #[test]
+    fn simfs_incremental_counters_match_full_scans(
+        init in 0usize..3,
+        n in 0usize..200,
+        seed in 0u64..1_000,
+        ops in prop::collection::vec((0usize..2, 0usize..260, 1u64..10_000), 1..80),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use valkyrie::sim::fs::SimFs;
+
+        let mut fs = match init {
+            0 => SimFs::new(),
+            1 => SimFs::generate(&mut StdRng::seed_from_u64(seed), n, 4096),
+            _ => SimFs::uniform("/data/f", n, 2257),
+        };
+        for (op, idx, size) in ops {
+            match op {
+                0 => fs.push(format!("/pushed/{idx}"), size),
+                _ => {
+                    let was_encrypted = fs.is_encrypted(idx);
+                    let res = fs.encrypt_file(idx);
+                    prop_assert_eq!(res.is_some(), idx < fs.len() && !was_encrypted);
+                    if let Some(s) = res {
+                        prop_assert_eq!(Some(s), fs.size_of(idx));
+                        prop_assert!(fs.is_encrypted(idx));
+                    }
+                }
+            }
+            let scan_total: u64 = (0..fs.len()).map(|i| fs.size_of(i).unwrap()).sum();
+            let scan_encrypted_bytes: u64 = (0..fs.len())
+                .filter(|&i| fs.is_encrypted(i))
+                .map(|i| fs.size_of(i).unwrap())
+                .sum();
+            let scan_encrypted_files = (0..fs.len()).filter(|&i| fs.is_encrypted(i)).count();
+            prop_assert_eq!(fs.total_bytes(), scan_total);
+            prop_assert_eq!(fs.encrypted_bytes(), scan_encrypted_bytes);
+            prop_assert_eq!(fs.encrypted_files(), scan_encrypted_files);
+        }
+    }
+
+    /// Filesystem snapshots are value-independent: encrypting files in the
+    /// original never leaks into a snapshot taken earlier, even though the
+    /// SoA layout shares the size table between them.
+    #[test]
+    fn simfs_snapshots_are_independent(
+        n in 1usize..300,
+        to_encrypt in prop::collection::vec(0usize..300, 1..40),
+    ) {
+        use valkyrie::sim::fs::SimFs;
+
+        let mut fs = SimFs::uniform("/data/f", n, 4096);
+        let snapshot = fs.clone();
+        for idx in to_encrypt {
+            fs.encrypt_file(idx % n);
+        }
+        prop_assert_eq!(snapshot.encrypted_files(), 0);
+        prop_assert_eq!(snapshot.encrypted_bytes(), 0);
+        prop_assert_eq!(snapshot.total_bytes(), fs.total_bytes());
+        prop_assert!(fs.encrypted_files() >= 1);
+    }
+}

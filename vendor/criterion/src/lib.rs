@@ -11,9 +11,18 @@
 //!
 //! The default budgets (50 ms warm-up / 200 ms measurement per benchmark)
 //! can be overridden with the `VALKYRIE_BENCH_WARMUP_MS` and
-//! `VALKYRIE_BENCH_MEASUREMENT_MS` environment variables — CI's bench smoke
-//! job shrinks them so the benches compile and execute in seconds; explicit
-//! `measurement_time`/`sample_size` calls still win over the environment.
+//! `VALKYRIE_BENCH_MEASUREMENT_MS` environment variables. When set, the
+//! environment is a *hard* budget that also wins over explicit
+//! `measurement_time`/`sample_size` calls — CI's bench smoke job relies on
+//! this to cap even benches that configure themselves with multi-second
+//! measurement windows.
+//!
+//! Setting `VALKYRIE_BENCH_JSON=<path>` additionally records one JSON
+//! object per benchmark in `<path>` (newline-delimited:
+//! `{"id", "best_ns", "mean_ns", "rsd_pct", "batches"}`), so perf
+//! trajectories can be recorded machine-readably across runs. Records are
+//! keyed by id — re-running a bench replaces its record in place, so the
+//! file refreshes instead of accumulating stale duplicates.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -117,26 +126,32 @@ impl Bencher<'_> {
 pub struct Criterion {
     warm_up: Duration,
     measurement: Duration,
+    /// Environment overrides; hard budgets that beat even explicit
+    /// `measurement_time`/`sample_size`/`warm_up_time` calls.
+    env_warm_up: Option<Duration>,
+    env_measurement: Option<Duration>,
 }
 
-fn env_budget_ms(var: &str, default_ms: u64) -> Duration {
-    Duration::from_millis(
-        std::env::var(var)
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(default_ms),
-    )
+fn env_budget_ms(var: &str) -> Option<Duration> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Far smaller budgets than upstream (3s warm-up / 5s measurement):
         // `cargo bench` over the bench binaries should finish in minutes.
-        // CI's bench smoke job shrinks the budgets further via the
+        // CI's bench smoke job caps the budgets further via the
         // environment.
+        let env_warm_up = env_budget_ms("VALKYRIE_BENCH_WARMUP_MS");
+        let env_measurement = env_budget_ms("VALKYRIE_BENCH_MEASUREMENT_MS");
         Criterion {
-            warm_up: env_budget_ms("VALKYRIE_BENCH_WARMUP_MS", 50),
-            measurement: env_budget_ms("VALKYRIE_BENCH_MEASUREMENT_MS", 200),
+            warm_up: env_warm_up.unwrap_or(Duration::from_millis(50)),
+            measurement: env_measurement.unwrap_or(Duration::from_millis(200)),
+            env_warm_up,
+            env_measurement,
         }
     }
 }
@@ -157,7 +172,7 @@ impl Criterion {
             default_measurement: self.measurement,
             explicit_measurement: None,
             sample_budget: None,
-            _criterion: self,
+            criterion: self,
             _measurement: std::marker::PhantomData,
         }
     }
@@ -170,7 +185,7 @@ pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
     default_measurement: Duration,
     explicit_measurement: Option<Duration>,
     sample_budget: Option<Duration>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     _measurement: std::marker::PhantomData<M>,
 }
 
@@ -199,12 +214,17 @@ impl<M> BenchmarkGroup<'_, M> {
     where
         F: FnMut(&mut Bencher<'_>),
     {
-        let measurement = self
-            .explicit_measurement
-            .or(self.sample_budget)
-            .unwrap_or(self.default_measurement);
+        // The environment (when set) is a hard budget that wins over the
+        // group's own configuration; otherwise explicit settings win over
+        // the defaults as before.
+        let measurement = self.criterion.env_measurement.unwrap_or_else(|| {
+            self.explicit_measurement
+                .or(self.sample_budget)
+                .unwrap_or(self.default_measurement)
+        });
+        let warm_up = self.criterion.env_warm_up.unwrap_or(self.warm_up);
         let full = format!("{}/{}", self.name, id);
-        run_one(&full, self.warm_up, measurement, f);
+        run_one(&full, warm_up, measurement, f);
         self
     }
 
@@ -238,15 +258,60 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
     };
     f(&mut b);
     match samples.last() {
-        Some(s) => println!(
-            "bench: {id:<55} {:>12}/iter  (mean {} ±{:.1}%, {} batches)",
-            format_duration(s.best),
-            format_duration(s.mean),
-            s.rsd_pct,
-            s.batches
-        ),
+        Some(s) => {
+            println!(
+                "bench: {id:<55} {:>12}/iter  (mean {} ±{:.1}%, {} batches)",
+                format_duration(s.best),
+                format_duration(s.mean),
+                s.rsd_pct,
+                s.batches
+            );
+            append_json_record(id, s);
+        }
         // The closure set state up but never called `iter`.
         None => println!("bench: {id:<55} {:>12}", "no samples"),
+    }
+}
+
+/// Appends one newline-delimited JSON record to `$VALKYRIE_BENCH_JSON`, if
+/// set — the machine-readable channel CI and perf-tracking scripts consume.
+/// Bench ids are plain ASCII without quotes or backslashes, so no escaping
+/// is needed.
+fn append_json_record(id: &str, s: &SampleStats) {
+    let Ok(path) = std::env::var("VALKYRIE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    write_json_record(&path, id, s);
+}
+
+fn write_json_record(path: &str, id: &str, s: &SampleStats) {
+    let line = format!(
+        "{{\"id\":\"{id}\",\"best_ns\":{},\"mean_ns\":{},\"rsd_pct\":{:.3},\"batches\":{}}}",
+        s.best.as_nanos(),
+        s.mean.as_nanos(),
+        s.rsd_pct,
+        s.batches
+    );
+    // Records are keyed by id: re-running a bench replaces its record
+    // in place (so the file genuinely *refreshes* across runs), while
+    // records written by other bench binaries accumulate untouched.
+    let marker = format!("\"id\":\"{id}\"");
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .map(|contents| {
+            contents
+                .lines()
+                .filter(|l| !l.is_empty() && !l.contains(&marker))
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default();
+    lines.push(line);
+    let body = lines.join("\n") + "\n";
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
     }
 }
 
@@ -288,17 +353,73 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bench_function_records_a_sample() {
-        let mut c = Criterion {
+    fn quick_criterion() -> Criterion {
+        Criterion {
             warm_up: Duration::from_millis(1),
             measurement: Duration::from_millis(2),
-        };
+            env_warm_up: None,
+            env_measurement: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        let mut c = quick_criterion();
         c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
         let mut g = c.benchmark_group("group");
         g.sample_size(2);
         g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
         g.finish();
+    }
+
+    #[test]
+    fn env_budget_caps_explicit_measurement_time() {
+        let mut c = quick_criterion();
+        c.env_warm_up = Some(Duration::from_millis(1));
+        c.env_measurement = Some(Duration::from_millis(5));
+        let mut g = c.benchmark_group("capped");
+        // Without the env cap this would run for three seconds.
+        g.measurement_time(Duration::from_secs(3));
+        g.warm_up_time(Duration::from_secs(3));
+        let t0 = Instant::now();
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "env budget must cap the group's own settings: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn json_records_append_to_the_configured_path() {
+        let path = std::env::temp_dir().join(format!(
+            "valkyrie_bench_json_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let stats = stats_of(
+            &[Duration::from_nanos(120), Duration::from_nanos(100)],
+            Duration::ZERO,
+        );
+        let path_str = path.to_str().expect("utf-8 temp path");
+        write_json_record(path_str, "group/bench_a", &stats);
+        write_json_record(path_str, "group/bench_b", &stats);
+        // Re-running a bench replaces its record (keyed by id), including
+        // ids that are a prefix of another id.
+        let rerun = stats_of(&[Duration::from_nanos(80)], Duration::ZERO);
+        write_json_record(path_str, "group/bench_a", &rerun);
+        write_json_record(path_str, "group/bench", &rerun);
+        let contents = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 3, "{contents}");
+        assert!(lines[0].contains("\"id\":\"group/bench_b\""));
+        assert!(lines[0].contains("\"best_ns\":100"));
+        assert!(lines[1].contains("\"id\":\"group/bench_a\""));
+        assert!(lines[1].contains("\"best_ns\":80"), "replaced on re-run");
+        assert!(lines[2].contains("\"id\":\"group/bench\""));
+        assert!(lines[2].starts_with('{') && lines[2].ends_with('}'));
     }
 
     #[test]
