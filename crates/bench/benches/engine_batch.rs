@@ -12,7 +12,15 @@
 //!   pool (`ExecutionMode::Pool`): long-lived workers fed over channels,
 //!   no per-tick spawns. `sharded_xN` vs `pool_xN` at the same `N` is the
 //!   spawn-per-tick vs persistent-workers comparison — measured, not
-//!   asserted.
+//!   asserted;
+//! * `ingest_xN` / `ingest_pool_xN` — the same workload through the async
+//!   ingest tier: every tick publishes the batch into the bounded
+//!   per-shard rings (`OverflowPolicy::Block`, capacity sized so nothing
+//!   blocks) and drains it back with `drain_batch`. Against `sharded_xN`
+//!   at the same `N` this prices the queue hop + publish-order merge the
+//!   decoupling costs; the pool variants additionally route the drain
+//!   through the persistent workers (each draining its own shards in
+//!   place).
 //!
 //! Every variant replays the identical workload: the full fleet observed
 //! each tick, one in seven processes flagged on a rotating schedule so
@@ -94,6 +102,40 @@ fn bench_fleet(c: &mut Criterion, label: &str, procs: u64) {
             b.iter(|| {
                 epoch += 1;
                 black_box(engine.observe_batch(black_box(&ring[epoch % 7])))
+            });
+        });
+    }
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("ingest_x{shards}").as_str(), |b| {
+            let mut engine =
+                ShardedEngine::with_capacity(engine_config(n_star), shards, procs as usize);
+            // Capacity covers a whole tick per shard: Block never blocks,
+            // the rings stay lossless, and the timing is publish + drain.
+            let publisher = engine.enable_ingest(procs as usize, OverflowPolicy::Block);
+            let mut epoch = 0usize;
+            b.iter(|| {
+                epoch += 1;
+                publisher.publish_batch(black_box(&ring[epoch % 7]));
+                black_box(engine.drain_batch())
+            });
+        });
+    }
+
+    for shards in [1usize, 4] {
+        group.bench_function(format!("ingest_pool_x{shards}").as_str(), |b| {
+            let mut engine = ShardedEngine::with_mode(
+                engine_config(n_star),
+                shards,
+                procs as usize,
+                ExecutionMode::Pool,
+            );
+            let publisher = engine.enable_ingest(procs as usize, OverflowPolicy::Block);
+            let mut epoch = 0usize;
+            b.iter(|| {
+                epoch += 1;
+                publisher.publish_batch(black_box(&ring[epoch % 7]));
+                black_box(engine.drain_batch())
             });
         });
     }

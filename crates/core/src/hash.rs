@@ -85,6 +85,22 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Deterministic bounded jitter from a `(key, time)` coordinate pair:
+/// uniformly-ish distributed in `0..=bound`, identical across runs and
+/// platforms. The one definition shared by every latency model in the
+/// workspace (`valkyrie_detect::LatencyModel`, the multi-tenant
+/// experiment's async detector tier), so their notions of "jitter" cannot
+/// silently drift apart.
+#[inline]
+pub fn jitter64(key: u64, time: u64, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    // splitmix64's golden-ratio increment decorrelates the coordinates
+    // before the full-avalanche mix.
+    mix64(key ^ time.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (bound + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

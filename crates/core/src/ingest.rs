@@ -1,0 +1,575 @@
+//! Async detector ingest: bounded per-shard observation queues that
+//! decouple detector inference latency from the response tick.
+//!
+//! The paper's `N*` accounting assumes one observation per process per
+//! epoch, but a real detector ensemble (LSTM members, remote scoring
+//! services) can take longer than an epoch to produce a verdict — and an
+//! epoch driver that calls the detector *synchronously* stalls with it.
+//! This module makes the monitor-to-responder handoff a first-class,
+//! bounded subsystem: detector threads publish classifications through an
+//! [`IngestPublisher`] whenever they finish, and the epoch driver calls
+//! [`ShardedEngine::drain_tick`](crate::ShardedEngine::drain_tick) on its
+//! own schedule, consuming whatever has arrived. A slow — or wedged —
+//! detector can no longer hold the response tier's tick hostage.
+//!
+//! # Architecture
+//!
+//! One bounded MPSC ring per engine shard ([`IngestQueues`] owns them all).
+//! Publishing routes each observation to the ring of the shard that owns
+//! its pid (the same [`mix64`](crate::hash::mix64)-based placement the
+//! batch path uses), so draining a shard's ring never crosses shard
+//! boundaries: in pool mode every worker drains its own shards in place,
+//! with no cross-thread batch scatter.
+//!
+//! Each accepted observation is stamped with a global sequence number,
+//! allocated under the destination ring's lock. Within a ring, sequence
+//! numbers are strictly increasing in application order, so a drain can
+//! merge the per-shard response lists back into one publish-ordered
+//! response batch — which is what makes Block-mode ingest **bit-for-bit
+//! equivalent** to the synchronous
+//! [`observe_batch`](crate::ShardedEngine::observe_batch) path (pinned by
+//! the property tests in `tests/ingest.rs`).
+//!
+//! # Overflow policies
+//!
+//! The rings are bounded (`capacity` observations **per shard**) and
+//! [`OverflowPolicy`] decides what happens when a publish finds its ring
+//! full:
+//!
+//! * [`OverflowPolicy::Block`] — the publisher waits for the driver's next
+//!   drain. Lossless; gives end-to-end backpressure to the detector tier.
+//! * [`OverflowPolicy::DropOldest`] — the oldest queued observation is
+//!   evicted. The freshest verdicts win; staleness is bounded by the ring
+//!   capacity.
+//! * [`OverflowPolicy::Coalesce`] — if the full ring already holds an
+//!   observation for the same pid, it is overwritten in place with the
+//!   newer classification (cyclic monitoring consumes one verdict per
+//!   process per epoch, so only the newest matters); otherwise the oldest
+//!   entry is evicted as in `DropOldest`.
+//!
+//! Every lost observation is counted and exposed through
+//! [`IngestStats`] — overload is visible, never silent.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_core::prelude::*;
+//! use std::thread;
+//!
+//! let config = EngineConfig::builder()
+//!     .measurements_required(3)
+//!     .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+//!     .build()
+//!     .unwrap();
+//! let mut engine = ShardedEngine::new(config, 4);
+//! let publisher = engine.enable_ingest(1024, OverflowPolicy::Block);
+//!
+//! // A detector thread publishes verdicts at its own pace...
+//! let detector = thread::spawn(move || {
+//!     for _ in 0..4 {
+//!         publisher.publish(ProcessId(7), Classification::Malicious);
+//!     }
+//! });
+//! detector.join().unwrap();
+//!
+//! // ...and the epoch driver drains whatever has arrived, on schedule.
+//! let responses = engine.drain_tick();
+//! assert_eq!(responses.len(), 4);
+//! assert_eq!(engine.epoch(), 1);
+//! ```
+
+use crate::resource::ProcessId;
+use crate::telemetry::IngestStats;
+use crate::threat::Classification;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a full per-shard ring does with the next published observation.
+/// See the [module docs](self) for when each policy fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Publishers wait for the next drain: lossless, with backpressure on
+    /// the detector tier. The default. (A driver that publishes into its
+    /// own engine from the drain thread must size the rings for a full
+    /// tick, or it will wait for a drain that can never come.)
+    #[default]
+    Block,
+    /// Evict the oldest queued observation; the freshest verdicts survive.
+    DropOldest,
+    /// Overwrite the queued observation of the *same pid* with the newer
+    /// classification (cyclic monitoring's semantics: one verdict per
+    /// process per epoch, newest wins); evict the stalest-stamped entry
+    /// when the pid has none queued. A publish into a *full* ring scans it
+    /// (O(capacity), under the ring lock) to find the merge target or the
+    /// eviction victim — size the rings so overflow is the exception, not
+    /// the steady state, and let [`IngestStats::coalesced`] tell you when
+    /// it isn't.
+    Coalesce,
+}
+
+/// One queued observation: the publish-order stamp plus the payload.
+#[derive(Debug, Clone, Copy)]
+struct QueuedObs {
+    seq: u64,
+    pid: ProcessId,
+    inference: Classification,
+}
+
+/// The lock-protected interior of one shard's ring.
+#[derive(Debug, Default)]
+struct RingState {
+    buf: VecDeque<QueuedObs>,
+    /// Observations evicted by `DropOldest` (or `Coalesce`'s fallback).
+    dropped: u64,
+    /// Observations merged into an existing same-pid entry by `Coalesce`.
+    coalesced: u64,
+}
+
+/// One shard's bounded ring: a mutex-backed `VecDeque` plus the condvar
+/// `Block`-mode publishers wait on.
+#[derive(Debug, Default)]
+struct ShardRing {
+    state: Mutex<RingState>,
+    space: Condvar,
+}
+
+/// All of one engine's ingest rings: one bounded MPSC ring per shard,
+/// shared (via `Arc`) between the engine, its pool workers and every
+/// [`IngestPublisher`] clone.
+///
+/// Constructed by
+/// [`ShardedEngine::enable_ingest`](crate::ShardedEngine::enable_ingest);
+/// embedders interact with it through the publisher and the engine's
+/// drain methods.
+#[derive(Debug)]
+pub struct IngestQueues {
+    rings: Vec<ShardRing>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    /// Global publish-order stamp. Allocated under the destination ring's
+    /// lock so per-ring sequences are strictly increasing in application
+    /// order (the property the drain merge relies on).
+    seq: AtomicU64,
+    published: AtomicU64,
+    drained: AtomicU64,
+    /// Set when the owning engine replaces or drops the queue set; wakes
+    /// blocked publishers so no detector thread outlives its engine
+    /// wedged on a condvar.
+    closed: AtomicBool,
+}
+
+impl IngestQueues {
+    /// One ring per shard, each bounded to `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` or `capacity` is zero.
+    pub(crate) fn new(nshards: usize, capacity: usize, policy: OverflowPolicy) -> Arc<Self> {
+        assert!(nshards > 0, "ingest needs at least one shard");
+        assert!(capacity > 0, "ingest rings need a non-zero capacity");
+        Arc::new(Self {
+            rings: (0..nshards).map(|_| ShardRing::default()).collect(),
+            capacity,
+            policy,
+            seq: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    /// Ring capacity, in observations **per shard**.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured overflow policy.
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Number of per-shard rings.
+    pub(crate) fn shards(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Publishes one observation to shard `shard`'s ring, applying the
+    /// overflow policy if the ring is full. Returns `false` (observation
+    /// discarded) only when the queue set has been closed.
+    pub(crate) fn push(&self, shard: usize, pid: ProcessId, inference: Classification) -> bool {
+        let ring = &self.rings[shard];
+        let mut state = ring.state.lock().expect("ingest ring poisoned");
+        if state.buf.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::Block => {
+                    while state.buf.len() >= self.capacity && !self.closed.load(Ordering::Acquire) {
+                        state = ring.space.wait(state).expect("ingest ring poisoned");
+                    }
+                }
+                OverflowPolicy::DropOldest => {
+                    state.buf.pop_front();
+                    state.dropped += 1;
+                }
+                OverflowPolicy::Coalesce => {
+                    if let Some(slot) = state.buf.iter_mut().rev().find(|o| o.pid == pid) {
+                        // Same pid already queued: keep its queue position,
+                        // take the newer verdict and publish-order stamp.
+                        slot.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                        slot.inference = inference;
+                        state.coalesced += 1;
+                        self.published.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    // No entry to merge into: evict the stalest *verdict*
+                    // (minimum stamp — coalescing restamps entries in
+                    // place, so the front of the ring is not necessarily
+                    // the oldest observation).
+                    if let Some(stalest) = (0..state.buf.len()).min_by_key(|&i| state.buf[i].seq) {
+                        state.buf.remove(stalest);
+                        state.dropped += 1;
+                    }
+                }
+            }
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        state.buf.push_back(QueuedObs {
+            seq,
+            pid,
+            inference,
+        });
+        self.published.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Empties shard `shard`'s ring into `work`/`seqs` (appending, aligned
+    /// index-for-index) and wakes any publishers blocked on it.
+    pub(crate) fn drain_shard_into(
+        &self,
+        shard: usize,
+        work: &mut Vec<(ProcessId, Classification)>,
+        seqs: &mut Vec<u64>,
+    ) {
+        let ring = &self.rings[shard];
+        let mut state = ring.state.lock().expect("ingest ring poisoned");
+        let n = state.buf.len();
+        work.reserve(n);
+        seqs.reserve(n);
+        for obs in state.buf.drain(..) {
+            work.push((obs.pid, obs.inference));
+            seqs.push(obs.seq);
+        }
+        drop(state);
+        if n > 0 {
+            self.drained.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        ring.space.notify_all();
+    }
+
+    /// Marks the queue set closed and wakes every blocked publisher.
+    /// Publishes after this return `false` and discard the observation.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        for ring in &self.rings {
+            // Acquiring the lock orders the store before any waiter's
+            // re-check; without it a publisher could re-sleep forever.
+            drop(ring.state.lock().expect("ingest ring poisoned"));
+            ring.space.notify_all();
+        }
+    }
+
+    /// Whether the owning engine has closed (or replaced) this queue set.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// A consistent-enough snapshot of the ingest counters. Per-ring
+    /// counters are read one lock at a time, so concurrent publishes can
+    /// skew sums by in-flight observations — fine for telemetry, which is
+    /// what this is for.
+    pub fn stats(&self) -> IngestStats {
+        let mut dropped = 0;
+        let mut coalesced = 0;
+        let mut queued = 0;
+        for ring in &self.rings {
+            let state = ring.state.lock().expect("ingest ring poisoned");
+            dropped += state.dropped;
+            coalesced += state.coalesced;
+            queued += state.buf.len();
+        }
+        IngestStats {
+            published: self.published.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            dropped,
+            coalesced,
+            queued,
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` handle detector threads use to publish
+/// classifications into an engine's ingest rings.
+///
+/// Routing is by pid hash (identical to the batch path's shard placement),
+/// so concurrent publishers only contend when their pids share a shard.
+/// Obtain one from
+/// [`ShardedEngine::enable_ingest`](crate::ShardedEngine::enable_ingest)
+/// or [`ShardedEngine::publisher`](crate::ShardedEngine::publisher).
+#[derive(Debug, Clone)]
+pub struct IngestPublisher {
+    queues: Arc<IngestQueues>,
+}
+
+impl IngestPublisher {
+    pub(crate) fn new(queues: Arc<IngestQueues>) -> Self {
+        Self { queues }
+    }
+
+    /// Publishes one classification for `pid`. With
+    /// [`OverflowPolicy::Block`] this waits while the owning shard's ring
+    /// is full. Returns `false` — and discards the observation — only when
+    /// the engine has closed or replaced its ingest queues.
+    pub fn publish(&self, pid: ProcessId, inference: Classification) -> bool {
+        let shard = crate::sharded::shard_index(pid, self.queues.shards());
+        self.queues.push(shard, pid, inference)
+    }
+
+    /// Publishes a batch in order. Returns how many observations were
+    /// accepted (all of them unless the queues were closed mid-batch).
+    pub fn publish_batch(&self, batch: &[(ProcessId, Classification)]) -> usize {
+        let mut accepted = 0;
+        for &(pid, inference) in batch {
+            if self.publish(pid, inference) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// The current ingest counters (shared with the engine's
+    /// [`ingest_stats`](crate::ShardedEngine::ingest_stats)).
+    pub fn stats(&self) -> IngestStats {
+        self.queues.stats()
+    }
+
+    /// Whether the engine has closed these queues (publishes are no-ops).
+    pub fn is_closed(&self) -> bool {
+        self.queues.is_closed()
+    }
+}
+
+/// Merges per-shard drained responses back into publish order: `seqs[s]`
+/// stamps `results[s]` index-for-index, sequence numbers are globally
+/// unique, and within a shard they ascend in application order — so the
+/// sort reconstructs one valid global serialization (for a single
+/// publisher: exactly its publish order).
+pub(crate) fn merge_by_seq(
+    seqs: &[Vec<u64>],
+    results: Vec<Vec<crate::engine::EngineResponse>>,
+) -> Vec<crate::engine::EngineResponse> {
+    let total = seqs.iter().map(Vec::len).sum();
+    let mut stamped: Vec<(u64, crate::engine::EngineResponse)> = Vec::with_capacity(total);
+    for (shard_seqs, shard_responses) in seqs.iter().zip(results) {
+        debug_assert_eq!(shard_seqs.len(), shard_responses.len());
+        stamped.extend(shard_seqs.iter().copied().zip(shard_responses));
+    }
+    stamped.sort_unstable_by_key(|&(seq, _)| seq);
+    stamped.into_iter().map(|(_, response)| response).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Classification::{Benign, Malicious};
+
+    fn drain_all(queues: &IngestQueues) -> Vec<(u64, ProcessId, Classification)> {
+        let mut out = Vec::new();
+        for shard in 0..queues.shards() {
+            let mut work = Vec::new();
+            let mut seqs = Vec::new();
+            queues.drain_shard_into(shard, &mut work, &mut seqs);
+            out.extend(
+                seqs.into_iter()
+                    .zip(work)
+                    .map(|(seq, (pid, cls))| (seq, pid, cls)),
+            );
+        }
+        out.sort_unstable_by_key(|&(seq, _, _)| seq);
+        out
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = IngestQueues::new(4, 0, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn publish_then_drain_round_trips_in_order() {
+        let queues = IngestQueues::new(4, 16, OverflowPolicy::Block);
+        let publisher = IngestPublisher::new(queues.clone());
+        let batch: Vec<(ProcessId, Classification)> = (0..10)
+            .map(|i| (ProcessId(i), if i % 2 == 0 { Malicious } else { Benign }))
+            .collect();
+        assert_eq!(publisher.publish_batch(&batch), 10);
+        let drained = drain_all(&queues);
+        let got: Vec<(ProcessId, Classification)> = drained
+            .into_iter()
+            .map(|(_, pid, cls)| (pid, cls))
+            .collect();
+        assert_eq!(got, batch, "seq order must reconstruct publish order");
+        let stats = queues.stats();
+        assert_eq!(stats.published, 10);
+        assert_eq!(stats.drained, 10);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    /// `DropOldest` under a full ring: the oldest observation goes, the
+    /// newest survives, and the loss is counted.
+    #[test]
+    fn drop_oldest_evicts_the_front_and_counts_it() {
+        // One shard so every pid shares the ring.
+        let queues = IngestQueues::new(1, 3, OverflowPolicy::DropOldest);
+        let publisher = IngestPublisher::new(queues.clone());
+        for pid in 0..5u64 {
+            assert!(publisher.publish(ProcessId(pid), Malicious));
+        }
+        let stats = queues.stats();
+        assert_eq!(stats.published, 5);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.queued, 3);
+        let drained = drain_all(&queues);
+        let pids: Vec<u64> = drained.iter().map(|&(_, pid, _)| pid.0).collect();
+        assert_eq!(pids, vec![2, 3, 4], "oldest two were evicted");
+    }
+
+    /// `Coalesce` under a full ring keeps exactly the newest verdict per
+    /// pid: a same-pid publish overwrites in place, a fresh pid falls back
+    /// to evicting the oldest entry.
+    #[test]
+    fn coalesce_keeps_the_newest_verdict_per_pid() {
+        let queues = IngestQueues::new(1, 2, OverflowPolicy::Coalesce);
+        let publisher = IngestPublisher::new(queues.clone());
+        assert!(publisher.publish(ProcessId(1), Malicious));
+        assert!(publisher.publish(ProcessId(2), Malicious));
+        // Ring full: same-pid publish coalesces (newer verdict wins) and
+        // drops nothing.
+        assert!(publisher.publish(ProcessId(1), Benign));
+        let stats = queues.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.queued, 2);
+        // Ring still full: a fresh pid evicts the oldest entry instead.
+        assert!(publisher.publish(ProcessId(3), Malicious));
+        let stats = queues.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.queued, 2);
+
+        let drained = drain_all(&queues);
+        let got: Vec<(u64, Classification)> =
+            drained.iter().map(|&(_, pid, cls)| (pid.0, cls)).collect();
+        // Pid 1 kept exactly one entry, holding the newest verdict; pid 2
+        // (the oldest) was evicted for pid 3.
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&(1, Benign)));
+        assert!(got.contains(&(3, Malicious)));
+    }
+
+    /// Coalescing stamps the overwritten slot with the newer sequence
+    /// number, so a merged drain reports the entry at its newest publish
+    /// position.
+    #[test]
+    fn coalesce_takes_the_newer_sequence_stamp() {
+        let queues = IngestQueues::new(1, 2, OverflowPolicy::Coalesce);
+        let publisher = IngestPublisher::new(queues.clone());
+        publisher.publish(ProcessId(1), Malicious); // seq 0
+        publisher.publish(ProcessId(2), Malicious); // seq 1
+        publisher.publish(ProcessId(1), Benign); // coalesced, seq 2
+        let drained = drain_all(&queues);
+        assert_eq!(drained.len(), 2);
+        // Sorted by seq: pid 2 (seq 1) now precedes pid 1 (restamped 2).
+        assert_eq!(drained[0].1, ProcessId(2));
+        assert_eq!(drained[1].1, ProcessId(1));
+        assert_eq!(drained[1].2, Benign);
+    }
+
+    #[test]
+    fn blocked_publisher_resumes_after_a_drain() {
+        let queues = IngestQueues::new(1, 2, OverflowPolicy::Block);
+        let publisher = IngestPublisher::new(queues.clone());
+        publisher.publish(ProcessId(1), Malicious);
+        publisher.publish(ProcessId(2), Malicious);
+        // A third publish must block until the drain below frees space.
+        let blocked = {
+            let publisher = publisher.clone();
+            std::thread::spawn(move || publisher.publish(ProcessId(3), Malicious))
+        };
+        // Parking on the condvar is not observable from outside; give the
+        // publisher a real window to reach the wait so the drain below
+        // exercises the wakeup path (the test is correct either way — the
+        // drain loop keeps going until the third observation lands).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut work = Vec::new();
+        let mut seqs = Vec::new();
+        // Drain until the blocked observation lands (the drain that frees
+        // the space races the wakeup, so one drain may see only the first
+        // two entries).
+        let mut drained = 0;
+        while drained < 3 {
+            queues.drain_shard_into(0, &mut work, &mut seqs);
+            drained = work.len();
+            std::thread::yield_now();
+        }
+        assert!(blocked.join().unwrap());
+        assert_eq!(queues.stats().dropped, 0, "Block never loses data");
+    }
+
+    #[test]
+    fn close_wakes_blocked_publishers_and_rejects_new_ones() {
+        let queues = IngestQueues::new(1, 1, OverflowPolicy::Block);
+        let publisher = IngestPublisher::new(queues.clone());
+        assert!(publisher.publish(ProcessId(1), Malicious));
+        let blocked = {
+            let publisher = publisher.clone();
+            std::thread::spawn(move || publisher.publish(ProcessId(2), Malicious))
+        };
+        // Give the publisher a real window to park on the condvar, so the
+        // close below exercises the wakeup (not just the early-return)
+        // path; either way the publish must come back `false`.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queues.close();
+        assert!(!blocked.join().unwrap(), "closed queues reject publishes");
+        assert!(!publisher.publish(ProcessId(3), Malicious));
+        assert!(publisher.is_closed());
+        assert_eq!(queues.stats().queued, 1, "already-queued data survives");
+    }
+
+    #[test]
+    fn concurrent_publishers_deliver_everything() {
+        let queues = IngestQueues::new(4, 4096, OverflowPolicy::Block);
+        let publisher = IngestPublisher::new(queues.clone());
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let publisher = publisher.clone();
+                std::thread::spawn(move || {
+                    for i in 0..256u64 {
+                        assert!(publisher.publish(ProcessId(t * 1000 + i), Benign));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let drained = drain_all(&queues);
+        assert_eq!(drained.len(), 4 * 256);
+        // Sequence stamps are unique.
+        let mut seqs: Vec<u64> = drained.iter().map(|&(seq, _, _)| seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4 * 256);
+    }
+}

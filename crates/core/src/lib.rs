@@ -29,7 +29,12 @@
 //! semantics. Two [`ExecutionMode`]s drive the fan-out: per-tick scoped
 //! threads (the default) or a persistent actor-style worker pool
 //! ([`pool`]) that owns the shards on long-lived threads and amortises the
-//! spawns across the engine's lifetime.
+//! spawns across the engine's lifetime. The [`ingest`] tier decouples the
+//! two halves of Fig. 2 in time: detector threads publish classifications
+//! into bounded per-shard queues ([`IngestPublisher`], with explicit
+//! [`OverflowPolicy`] semantics) and the epoch driver drains whatever has
+//! arrived with [`ShardedEngine::drain_tick`], so a slow or wedged
+//! detector can no longer stall the response tick.
 //!
 //! # Quick start
 //!
@@ -62,6 +67,7 @@ pub mod engine;
 pub mod error;
 pub mod evasion;
 pub mod hash;
+pub mod ingest;
 pub mod migration;
 pub mod monitor;
 pub mod pool;
@@ -80,6 +86,7 @@ pub use engine::{
 };
 pub use error::ValkyrieError;
 pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
+pub use ingest::{IngestPublisher, IngestQueues, OverflowPolicy};
 pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, Monitor, StepReport};
 pub use pool::ShardPool;
@@ -87,7 +94,7 @@ pub use resource::{ProcessId, ResourceKind, ResourceVector};
 pub use sharded::{ExecutionMode, ShardedEngine};
 pub use slowdown::{simulate_response, slowdown_percent, ResponseTrace};
 pub use state::ProcessState;
-pub use telemetry::{LogEntry, ProcessSummary, ResponseLog};
+pub use telemetry::{IngestStats, LogEntry, ProcessSummary, ResponseLog};
 pub use threat::{AssessmentFn, Classification, ThreatIndex};
 
 /// Convenient glob import of the crate's primary types.
@@ -98,11 +105,13 @@ pub mod prelude {
         Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, ValkyrieEngine,
     };
     pub use crate::error::ValkyrieError;
+    pub use crate::ingest::{IngestPublisher, OverflowPolicy};
     pub use crate::monitor::{Directive, Monitor, StepReport};
     pub use crate::pool::ShardPool;
     pub use crate::resource::{ProcessId, ResourceKind, ResourceVector};
     pub use crate::sharded::{ExecutionMode, ShardedEngine};
     pub use crate::slowdown::{simulate_response, slowdown_percent};
     pub use crate::state::ProcessState;
+    pub use crate::telemetry::IngestStats;
     pub use crate::threat::{AssessmentFn, Classification, ThreatIndex};
 }

@@ -36,12 +36,14 @@
 use crate::actuator::Actuator;
 use crate::engine::{EngineResponse, EngineShard};
 use crate::error::ValkyrieError;
+use crate::ingest::IngestQueues;
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
 use crate::threat::{Classification, ThreatIndex};
 use std::fmt;
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One shard's partitioned work list for a tick.
@@ -63,6 +65,17 @@ enum Request {
         pid: ProcessId,
         inference: Classification,
     },
+    /// Hand the worker the engine's ingest rings plus the global index of
+    /// its first shard, so later [`Request::Drain`]s can be served from
+    /// the worker's own thread.
+    InstallIngest {
+        queues: Arc<IngestQueues>,
+        base: usize,
+    },
+    /// Drain each owned shard's ingest ring in place and answer the
+    /// drained observations (async-tick counterpart of
+    /// [`Request::Observe`]; no work list crosses the channel).
+    Drain,
     /// Evict terminated processes from every owned shard.
     Purge,
     Complete {
@@ -99,6 +112,9 @@ enum Reply<A: Actuator + Clone> {
         responses: Vec<Vec<EngineResponse>>,
         work: Vec<ShardWork>,
     },
+    /// One `(sequence stamps, responses)` pair per owned shard, aligned
+    /// index-for-index, in shard order.
+    Drained(Vec<(Vec<u64>, Vec<EngineResponse>)>),
     Response(EngineResponse),
     Purged(usize),
     Completed(Result<(), ValkyrieError>),
@@ -119,6 +135,9 @@ fn worker_loop<A: Actuator + Clone>(
     requests: Receiver<Request>,
     replies: Sender<Reply<A>>,
 ) {
+    // Installed by [`Request::InstallIngest`]: the engine's ingest rings
+    // plus the global index of this worker's first shard.
+    let mut ingest: Option<(Arc<IngestQueues>, usize)> = None;
     while let Ok(request) = requests.recv() {
         let reply = match request {
             Request::Observe { work } => {
@@ -134,6 +153,41 @@ fn worker_loop<A: Actuator + Clone>(
                 pid,
                 inference,
             } => Reply::Response(shards[shard].observe(pid, inference)),
+            Request::InstallIngest { queues, base } => {
+                ingest = Some((queues, base));
+                Reply::Done
+            }
+            Request::Drain => {
+                // The engine only sends Drain after InstallIngest; an
+                // uninstalled worker still answers the protocol shape
+                // (empty drains) rather than wedging the lockstep.
+                //
+                // Empty every owned ring *before* any observe work runs —
+                // the same ordering the scoped drain path guarantees — so
+                // a publisher blocked on this worker's last ring is not
+                // parked behind the first ring's observe batch.
+                let mut drained: Vec<(ShardWork, Vec<u64>)> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let mut work = Vec::new();
+                        let mut seqs = Vec::new();
+                        if let Some((queues, base)) = &ingest {
+                            queues.drain_shard_into(base + i, &mut work, &mut seqs);
+                        }
+                        (work, seqs)
+                    })
+                    .collect();
+                let parts = shards
+                    .iter_mut()
+                    .zip(drained.iter_mut())
+                    .map(|(shard, (work, seqs))| {
+                        let responses = shard.observe_batch(work);
+                        (std::mem::take(seqs), responses)
+                    })
+                    .collect();
+                Reply::Drained(parts)
+            }
             Request::Purge => Reply::Purged(
                 shards
                     .iter_mut()
@@ -310,6 +364,45 @@ impl<A: Actuator + Clone> ShardPool<A> {
                     }
                     all.extend(responses);
                 }
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+        all
+    }
+
+    /// Hands every worker the engine's ingest rings (see
+    /// [`crate::ingest`]) so [`ShardPool::drain_parts`] can be served by
+    /// the shard owners themselves. Idempotent: re-installing replaces the
+    /// workers' handles.
+    pub(crate) fn install_ingest(&self, queues: &Arc<IngestQueues>) {
+        for worker in &self.workers {
+            worker.send(Request::InstallIngest {
+                queues: Arc::clone(queues),
+                base: worker.shard_range.start,
+            });
+        }
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Done => {}
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+    }
+
+    /// Asks every worker to drain its own shards' ingest rings in place
+    /// and answer the drained observations. Returns one `(sequence
+    /// stamps, responses)` pair per shard, in shard order — the stamps let
+    /// the engine merge the lists back into publish order. Workers run
+    /// concurrently; no work list crosses a thread boundary (the rings are
+    /// shared, the drains are local).
+    pub(crate) fn drain_parts(&mut self) -> Vec<(Vec<u64>, Vec<EngineResponse>)> {
+        for worker in &self.workers {
+            worker.send(Request::Drain);
+        }
+        let mut all = Vec::with_capacity(self.nshards);
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Drained(parts) => all.extend(parts),
                 _ => unreachable!("worker broke the request/reply protocol"),
             }
         }

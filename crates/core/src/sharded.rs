@@ -20,7 +20,7 @@
 //!   entirely. Best when ticks are sporadic or batches are usually small:
 //!   no threads exist between ticks.
 //! * [`ExecutionMode::Pool`] owns the shards actor-style in a persistent
-//!   [`ShardPool`](crate::pool::ShardPool): `min(shards, cores)` long-lived
+//!   [`ShardPool`]: `min(shards, cores)` long-lived
 //!   workers are spawned once and fed per-tick work over channels, so the
 //!   steady state pays two message exchanges per worker instead of a fresh
 //!   set of thread spawns every tick. Best for fleet-scale drivers that
@@ -80,10 +80,13 @@ use crate::actuator::{Actuator, CompositeActuator};
 use crate::engine::{EngineConfig, EngineResponse, EngineShard};
 use crate::error::ValkyrieError;
 use crate::hash::mix64;
+use crate::ingest::{merge_by_seq, IngestPublisher, IngestQueues, OverflowPolicy};
 use crate::pool::ShardPool;
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
+use crate::telemetry::IngestStats;
 use crate::threat::{Classification, ThreatIndex};
+use std::sync::Arc;
 
 /// Batches smaller than this per call run on the caller's thread even with
 /// multiple shards: a few hundred observations finish faster than the
@@ -144,12 +147,19 @@ pub struct ShardedEngine<A: Actuator + Clone = CompositeActuator> {
     /// after outlier batches, see [`SCRATCH_SHRINK_FACTOR`]).
     parts: Vec<Vec<(ProcessId, Classification)>>,
     origins: Vec<Vec<usize>>,
+    /// The async ingest rings, once [`ShardedEngine::enable_ingest`] has
+    /// built them; `Arc`-shared with every publisher handle and (in pool
+    /// mode) the workers.
+    ingest: Option<Arc<IngestQueues>>,
+    /// Per-shard sequence-stamp scratch for [`ShardedEngine::drain_batch`]
+    /// (empty until ingest is enabled; same shrink policy as `parts`).
+    seqs: Vec<Vec<u64>>,
 }
 
 /// The owning shard for `pid` among `nshards`: a pure function of the pid,
 /// stable across runs, platforms and execution modes.
 #[inline]
-fn shard_index(pid: ProcessId, nshards: usize) -> usize {
+pub(crate) fn shard_index(pid: ProcessId, nshards: usize) -> usize {
     (mix64(pid.0) % nshards as u64) as usize
 }
 
@@ -204,6 +214,46 @@ where
             EitherIter::Pool(it) => it.next(),
         }
     }
+}
+
+/// Applies per-shard work lists to the shards on the caller's side of the
+/// backend, returning one response list per shard (in shard order). With
+/// more than one worker the shards are chunked onto `workers` scoped
+/// threads (an 8-shard engine on a 4-core host costs 4 spawns, not 8);
+/// with one worker everything runs inline. Shared by the batch and drain
+/// paths — per-shard application order is identical either way.
+fn observe_parts_scoped<A: Actuator + Clone + Send>(
+    shards: &mut [EngineShard<A>],
+    parts: &[Vec<(ProcessId, Classification)>],
+    workers: usize,
+) -> Vec<Vec<EngineResponse>> {
+    if workers <= 1 {
+        return shards
+            .iter_mut()
+            .zip(parts)
+            .map(|(shard, part)| shard.observe_batch(part))
+            .collect();
+    }
+    let chunk = shards.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .chunks_mut(chunk)
+            .zip(parts.chunks(chunk))
+            .map(|(shard_chunk, part_chunk)| {
+                scope.spawn(move || {
+                    shard_chunk
+                        .iter_mut()
+                        .zip(part_chunk)
+                        .map(|(shard, part)| shard.observe_batch(part))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("engine shard panicked"))
+            .collect()
+    })
 }
 
 /// Scatters per-shard response lists back to input order. Every slot is
@@ -268,6 +318,8 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
                 .min(shards),
             parts: vec![Vec::new(); shards],
             origins: vec![Vec::new(); shards],
+            ingest: None,
+            seqs: Vec::new(),
         }
     }
 
@@ -442,31 +494,7 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
                 }
 
                 partition_into(batch, nshards, &mut self.parts, &mut self.origins);
-
-                // Chunk the shards onto the workers so an 8-shard engine on
-                // a 4-core host costs 4 spawns, not 8.
-                let chunk = nshards.div_ceil(workers);
-                let parts = &self.parts;
-                let results: Vec<Vec<EngineResponse>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = shards
-                        .chunks_mut(chunk)
-                        .zip(parts.chunks(chunk))
-                        .map(|(shard_chunk, part_chunk)| {
-                            scope.spawn(move || {
-                                shard_chunk
-                                    .iter_mut()
-                                    .zip(part_chunk)
-                                    .map(|(shard, part)| shard.observe_batch(part))
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("engine shard panicked"))
-                        .collect()
-                });
-
+                let results = observe_parts_scoped(shards, &self.parts, workers);
                 scatter_to_input_order(&self.origins, results, batch.len())
             }
             Backend::Pool(ref mut pool) => {
@@ -525,6 +553,178 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         self.epoch += 1;
         self.purge_terminated();
         responses
+    }
+
+    /// Builds the async ingest tier — one bounded ring per shard, holding
+    /// up to `capacity` observations each — and returns a publisher handle
+    /// for the detector threads (clone it freely; see
+    /// [`crate::ingest`] for the architecture and
+    /// [`OverflowPolicy`] for what a full ring does). The engine's side of
+    /// the pair is [`Self::drain_batch`] / [`Self::drain_tick`].
+    ///
+    /// Works in both execution modes: in [`ExecutionMode::Pool`] the rings
+    /// are handed to the persistent workers, which drain their own shards
+    /// in place — no cross-thread batch scatter. Mode switches carry the
+    /// rings along (queued observations included).
+    ///
+    /// Calling this again replaces the rings: the old ones are closed
+    /// (their blocked publishers wake and their handles start returning
+    /// `false`), and any still-queued observations in them are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_ingest(&mut self, capacity: usize, policy: OverflowPolicy) -> IngestPublisher {
+        if let Some(old) = self.ingest.take() {
+            old.close();
+        }
+        let queues = IngestQueues::new(self.nshards, capacity, policy);
+        if let Backend::Pool(pool) = &self.backend {
+            pool.install_ingest(&queues);
+        }
+        self.seqs = vec![Vec::new(); self.nshards];
+        self.ingest = Some(Arc::clone(&queues));
+        IngestPublisher::new(queues)
+    }
+
+    /// Whether [`Self::enable_ingest`] has built the ingest tier.
+    pub fn ingest_enabled(&self) -> bool {
+        self.ingest.is_some()
+    }
+
+    /// A fresh publisher handle for the current ingest rings (`None`
+    /// before [`Self::enable_ingest`]).
+    pub fn publisher(&self) -> Option<IngestPublisher> {
+        self.ingest
+            .as_ref()
+            .map(|queues| IngestPublisher::new(Arc::clone(queues)))
+    }
+
+    /// Publishes one classification into the ingest rings from the driver
+    /// side (detector threads should use their [`IngestPublisher`]).
+    /// Returns `false` only when the rings have been replaced or closed.
+    ///
+    /// With [`OverflowPolicy::Block`] and a full ring this **waits for a
+    /// drain** — a driver that both publishes and drains must size the
+    /// rings for a full tick's observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ingest was never enabled.
+    pub fn ingest(&self, pid: ProcessId, inference: Classification) -> bool {
+        let queues = self
+            .ingest
+            .as_ref()
+            .expect("call enable_ingest before ShardedEngine::ingest");
+        queues.push(shard_index(pid, self.nshards), pid, inference)
+    }
+
+    /// The ingest tier's counters (`None` before [`Self::enable_ingest`]);
+    /// see [`IngestStats`] for what each field means.
+    pub fn ingest_stats(&self) -> Option<IngestStats> {
+        self.ingest.as_ref().map(|queues| queues.stats())
+    }
+
+    /// Drains every ingest ring and answers the drained observations, in
+    /// **publish order** (per publisher; concurrent publishers are merged
+    /// in sequence-stamp order, one valid global serialization). The
+    /// non-epoch half of the [`Self::ingest`]/[`Self::drain_tick`] pair —
+    /// it is to [`Self::drain_tick`] what [`Self::observe_batch`] is to
+    /// [`Self::tick`]: no epoch advance, no purge.
+    ///
+    /// Never waits on publishers: a stalled detector simply contributes
+    /// nothing to this drain, and its processes keep their current state
+    /// (cyclic monitoring treats a missing observation as "no measurement
+    /// this epoch"). Rings are emptied — and their blocked publishers
+    /// released — before any observe work runs.
+    ///
+    /// With [`OverflowPolicy::Block`] and rings that never overflowed,
+    /// publish-then-drain is bit-for-bit equivalent to handing the same
+    /// observations to [`Self::observe_batch`] (pinned by
+    /// `tests/ingest.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ingest was never enabled.
+    pub fn drain_batch(&mut self) -> Vec<EngineResponse> {
+        let queues = Arc::clone(
+            self.ingest
+                .as_ref()
+                .expect("call enable_ingest before ShardedEngine::drain_batch"),
+        );
+        let nshards = self.nshards;
+        let out = match self.backend {
+            Backend::Scoped(ref mut shards) => {
+                // Empty every ring into the drain scratch first: publishers
+                // blocked on a full ring are released before — not after —
+                // the observe work runs.
+                for shard in 0..nshards {
+                    self.parts[shard].clear();
+                    self.seqs[shard].clear();
+                    queues.drain_shard_into(shard, &mut self.parts[shard], &mut self.seqs[shard]);
+                }
+                if nshards == 1 {
+                    // One ring: application order is ring order, but the
+                    // *returned* order must still be stamp order — under
+                    // `Coalesce` a restamped entry keeps its ring slot, and
+                    // skipping the merge here would make response order
+                    // depend on the shard count.
+                    let results = vec![shards[0].observe_batch(&self.parts[0])];
+                    merge_by_seq(&self.seqs, results)
+                } else {
+                    let total: usize = self.parts.iter().map(Vec::len).sum();
+                    let force_spawns = self.parallel_threshold == 0;
+                    let workers = if force_spawns {
+                        nshards
+                    } else if total < self.parallel_threshold {
+                        1
+                    } else {
+                        self.host_workers
+                    };
+                    let results = observe_parts_scoped(shards, &self.parts, workers);
+                    merge_by_seq(&self.seqs, results)
+                }
+            }
+            Backend::Pool(ref mut pool) => {
+                // The workers drain their own shards in place — the rings
+                // are shared, so no observation crosses a thread boundary
+                // twice.
+                let (seqs, results): (Vec<Vec<u64>>, Vec<Vec<EngineResponse>>) =
+                    pool.drain_parts().into_iter().unzip();
+                merge_by_seq(&seqs, results)
+            }
+        };
+        self.shrink_drain_scratch();
+        out
+    }
+
+    /// The async epoch driver: drains the ingest rings
+    /// ([`Self::drain_batch`]), advances the epoch counter and evicts
+    /// terminated processes — [`Self::tick`]'s contract, fed by the
+    /// detector threads' queues instead of a caller-assembled batch. Ticks
+    /// on schedule no matter how slow (or wedged) the detectors are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ingest was never enabled.
+    pub fn drain_tick(&mut self) -> Vec<EngineResponse> {
+        let responses = self.drain_batch();
+        self.epoch += 1;
+        self.purge_terminated();
+        responses
+    }
+
+    /// Returns drain-scratch outliers to steady state (the policy of
+    /// [`Self::shrink_scratch`], applied to the drain side's slots).
+    fn shrink_drain_scratch(&mut self) {
+        for part in &mut self.parts {
+            let used = part.len();
+            shrink_slot(part, used);
+        }
+        for seqs in &mut self.seqs {
+            let used = seqs.len();
+            shrink_slot(seqs, used);
+        }
     }
 
     /// Evicts every terminated process across all shards, returning how
@@ -606,7 +806,15 @@ impl<A: Actuator + Clone + Send + 'static> ShardedEngine<A> {
         // real backend before returning.
         let backend = std::mem::replace(&mut self.backend, Backend::Scoped(Vec::new()));
         self.backend = match backend {
-            Backend::Scoped(shards) => Backend::Pool(ShardPool::new(shards, self.host_workers)),
+            Backend::Scoped(shards) => {
+                let pool = ShardPool::new(shards, self.host_workers);
+                if let Some(queues) = &self.ingest {
+                    pool.install_ingest(queues);
+                }
+                Backend::Pool(pool)
+            }
+            // Demotion needs no ingest hand-off: the scoped drain path
+            // reads the same `Arc`-shared rings directly.
             Backend::Pool(pool) => Backend::Scoped(pool.shutdown()),
         };
     }
@@ -620,7 +828,23 @@ impl<A: Actuator + Clone + Send + 'static> ShardedEngine<A> {
             Backend::Scoped(shards) => shards,
             Backend::Pool(pool) => pool.shutdown(),
         };
-        self.backend = Backend::Pool(ShardPool::new(shards, workers));
+        let pool = ShardPool::new(shards, workers);
+        if let Some(queues) = &self.ingest {
+            pool.install_ingest(queues);
+        }
+        self.backend = Backend::Pool(pool);
+    }
+}
+
+impl<A: Actuator + Clone> Drop for ShardedEngine<A> {
+    /// Closes the ingest rings so detector threads blocked on a full ring
+    /// (`OverflowPolicy::Block`) wake up instead of waiting forever for a
+    /// drain that can no longer come; their publish calls return `false`
+    /// from then on.
+    fn drop(&mut self) {
+        if let Some(queues) = &self.ingest {
+            queues.close();
+        }
     }
 }
 
@@ -926,6 +1150,83 @@ mod tests {
         e.set_pool_workers(8);
         assert_eq!(e.pool_workers(), Some(8));
         assert_eq!(e.state(ProcessId(5)), Some(ProcessState::Suspicious));
+    }
+
+    #[test]
+    fn drain_tick_matches_tick_in_both_modes() {
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            let mut sync = ShardedEngine::with_mode(config(3), 5, 0, mode);
+            let mut async_ = ShardedEngine::with_mode(config(3), 5, 0, mode);
+            let publisher = async_.enable_ingest(1024, OverflowPolicy::Block);
+            for epoch in 0..6 {
+                let batch = mixed_batch(50, epoch);
+                assert_eq!(publisher.publish_batch(&batch), batch.len());
+                let got = async_.drain_tick();
+                let want = sync.tick(&batch);
+                assert_eq!(got, want, "epoch {epoch}, {mode:?}");
+            }
+            assert_eq!(async_.epoch(), sync.epoch());
+            assert_eq!(async_.purged_total(), sync.purged_total());
+            let stats = async_.ingest_stats().unwrap();
+            assert_eq!(stats.dropped, 0, "{mode:?}");
+            assert_eq!(stats.published, stats.drained, "{mode:?}");
+            assert_eq!(stats.queued, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn drain_on_empty_rings_is_a_no_op_tick() {
+        let mut e = ShardedEngine::new(config(3), 4);
+        let _publisher = e.enable_ingest(16, OverflowPolicy::Block);
+        let responses = e.drain_tick();
+        assert!(responses.is_empty());
+        assert_eq!(e.epoch(), 1, "the driver still ticks on schedule");
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_ingest")]
+    fn drain_without_ingest_is_a_programming_error() {
+        let mut e = ShardedEngine::new(config(3), 4);
+        let _ = e.drain_tick();
+    }
+
+    /// Mode switches carry the ingest rings along: observations queued in
+    /// one mode are drained in the other, publishers stay valid.
+    #[test]
+    fn mode_round_trip_preserves_queued_observations() {
+        let mut e = ShardedEngine::new(config(100), 7);
+        let publisher = e.enable_ingest(64, OverflowPolicy::Block);
+        publisher.publish(ProcessId(1), Malicious);
+        publisher.publish(ProcessId(2), Benign);
+        e.set_execution_mode(ExecutionMode::Pool);
+        publisher.publish(ProcessId(3), Malicious);
+        let responses = e.drain_tick();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].pid, ProcessId(1));
+        assert_eq!(responses[2].pid, ProcessId(3));
+        // And back: the scoped drain path reads the same rings.
+        e.set_execution_mode(ExecutionMode::ScopedSpawn);
+        publisher.publish(ProcessId(4), Malicious);
+        assert_eq!(e.drain_tick().len(), 1);
+        assert!(!publisher.is_closed());
+    }
+
+    /// Re-enabling ingest closes the old rings (their publishers go dead)
+    /// without touching engine state; dropping the engine closes too, so
+    /// blocked detector threads cannot outlive it.
+    #[test]
+    fn re_enabling_and_drop_close_the_old_rings() {
+        let mut e = ShardedEngine::new(config(3), 4);
+        let first = e.enable_ingest(16, OverflowPolicy::Block);
+        assert!(first.publish(ProcessId(1), Malicious));
+        let second = e.enable_ingest(16, OverflowPolicy::DropOldest);
+        assert!(first.is_closed());
+        assert!(!first.publish(ProcessId(2), Malicious));
+        assert!(second.publish(ProcessId(3), Malicious));
+        assert_eq!(e.drain_tick().len(), 1, "only the live rings drain");
+        drop(e);
+        assert!(second.is_closed());
+        assert!(!second.publish(ProcessId(4), Malicious));
     }
 
     #[test]

@@ -38,6 +38,39 @@ use crate::state::ProcessState;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Counters of the async ingest tier (see [`crate::ingest`]): how many
+/// observations the detector threads published, how many the drains
+/// consumed, and — the operator question that matters under overload —
+/// how many were lost or merged by the overflow policy.
+///
+/// Snapshot via
+/// [`ShardedEngine::ingest_stats`](crate::ShardedEngine::ingest_stats) or
+/// [`IngestPublisher::stats`](crate::ingest::IngestPublisher::stats).
+/// Dropped observations are never silent: a non-zero `dropped` (or a
+/// growing `coalesced`) is the signal to resize the rings or slow the
+/// detector tier down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestStats {
+    /// Observations accepted by the rings (coalesced ones included).
+    pub published: u64,
+    /// Observations handed to the engine by drains.
+    pub drained: u64,
+    /// Observations evicted by `DropOldest` (or `Coalesce`'s fallback).
+    pub dropped: u64,
+    /// Observations merged into an existing same-pid entry by `Coalesce`.
+    pub coalesced: u64,
+    /// Observations currently waiting in the rings.
+    pub queued: usize,
+}
+
+impl IngestStats {
+    /// Observations that never reached the engine (evictions; coalesced
+    /// observations *did* reach it, merged into their successor).
+    pub fn lost(&self) -> u64 {
+        self.dropped
+    }
+}
+
 /// One recorded `(epoch, process)` response.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogEntry {

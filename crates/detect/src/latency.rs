@@ -1,0 +1,268 @@
+//! Detector inference latency as a first-class, testable model.
+//!
+//! Real detector ensembles do not answer within the epoch that produced
+//! their measurements: an LSTM member batches sequences, a remote scoring
+//! service adds network round-trips, a GBDT re-ranks on a slower cadence.
+//! [`LatencyModel`] wraps any [`Detector`] and delays every verdict by a
+//! configurable number of ticks (plus optional deterministic jitter), so
+//! the response tier's async ingest path
+//! ([`valkyrie_core::ingest`]) can be exercised — and pinned by tests —
+//! against detectors that are slow, jittery, or both.
+
+use crate::Detector;
+use std::collections::HashMap;
+use valkyrie_core::hash::jitter64;
+use valkyrie_core::{Classification, ProcessId};
+use valkyrie_hpc::SampleWindow;
+
+/// One delayed verdict: available once the process's local tick counter
+/// reaches `ready_at`.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    ready_at: u64,
+    verdict: Classification,
+}
+
+/// Per-process delay pipeline state.
+#[derive(Debug, Clone, Default)]
+struct Pipeline {
+    /// Ticks this process has been inferred on (its local clock).
+    tick: u64,
+    /// Verdicts in flight, in computation order (`ready_at` ascending —
+    /// enforced at push, so delivery can never reorder verdicts).
+    in_flight: Vec<Pending>,
+    /// The verdict delivered most recently (held between deliveries).
+    last_delivered: Option<Classification>,
+}
+
+/// Wraps a detector and delays each verdict by `delay` ticks, with
+/// deterministic per-tick jitter of up to `jitter` extra ticks.
+///
+/// Each call to [`LatencyModel::infer`] advances the wrapped detector
+/// immediately (the measurement is consumed on time — it is the *verdict*
+/// that is late) and returns the newest verdict whose latency has elapsed.
+/// Until the first verdict matures, [`LatencyModel::fill`] is returned
+/// (default: [`Classification::Benign`] — an undecided detector must not
+/// penalise the process). Between deliveries the model holds the last
+/// delivered verdict, matching a detector that reports at a slower cadence
+/// than the epoch driver ticks.
+///
+/// Delivery order is computation order: jitter stretches latency but never
+/// lets a newer verdict overtake an older one (`ready_at` is clamped to be
+/// non-decreasing), mirroring an in-order inference queue.
+///
+/// Everything is deterministic: jitter is a pure hash of `(pid, tick)`, so
+/// two runs of the same scenario see identical verdict streams.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_detect::{Detector, LatencyModel, ScriptedDetector};
+/// use valkyrie_core::{Classification::{self, *}, ProcessId};
+/// use valkyrie_hpc::SampleWindow;
+///
+/// let inner = ScriptedDetector::constant(Malicious);
+/// let mut d = LatencyModel::new(inner, 3);
+/// let w = SampleWindow::new(4);
+/// let pid = ProcessId(1);
+/// // The verdict for tick 0 arrives 3 ticks later.
+/// assert_eq!(d.infer(pid, &w), Benign);
+/// assert_eq!(d.infer(pid, &w), Benign);
+/// assert_eq!(d.infer(pid, &w), Benign);
+/// assert_eq!(d.infer(pid, &w), Malicious);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyModel<D> {
+    inner: D,
+    delay: u64,
+    jitter: u64,
+    fill: Classification,
+    pipelines: HashMap<ProcessId, Pipeline>,
+    name: String,
+}
+
+impl<D: Detector> LatencyModel<D> {
+    /// Delays every verdict of `inner` by exactly `delay` ticks.
+    pub fn new(inner: D, delay: u64) -> Self {
+        Self::with_jitter(inner, delay, 0)
+    }
+
+    /// Delays every verdict by `delay` ticks plus a deterministic 0..=
+    /// `jitter` extra ticks (a pure hash of the pid and the tick).
+    pub fn with_jitter(inner: D, delay: u64, jitter: u64) -> Self {
+        let name = format!("{}+latency", inner.name());
+        Self {
+            inner,
+            delay,
+            jitter,
+            fill: Classification::Benign,
+            pipelines: HashMap::new(),
+            name,
+        }
+    }
+
+    /// Overrides the classification reported while no verdict has matured
+    /// yet (default [`Classification::Benign`]).
+    pub fn fill(mut self, fill: Classification) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// The configured base delay, in ticks.
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+
+    /// The configured jitter bound, in ticks.
+    pub fn jitter(&self) -> u64 {
+        self.jitter
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Verdicts computed but not yet delivered for `pid`.
+    pub fn in_flight(&self, pid: ProcessId) -> usize {
+        self.pipelines.get(&pid).map_or(0, |p| p.in_flight.len())
+    }
+
+    /// The deterministic extra latency for `pid`'s verdict computed at
+    /// `tick` (the workspace-wide [`jitter64`] model).
+    fn jitter_for(&self, pid: ProcessId, tick: u64) -> u64 {
+        jitter64(pid.0, tick, self.jitter)
+    }
+}
+
+impl<D: Detector> Detector for LatencyModel<D> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification {
+        // The measurement is consumed now; only the verdict is late.
+        let verdict = self.inner.infer(pid, window);
+        let extra = self.jitter_for(pid, self.pipelines.get(&pid).map_or(0, |p| p.tick));
+        let pipeline = self.pipelines.entry(pid).or_default();
+        let mut ready_at = pipeline.tick + self.delay + extra;
+        // In-order delivery: jitter may stretch latency, never reorder.
+        if let Some(last) = pipeline.in_flight.last() {
+            ready_at = ready_at.max(last.ready_at);
+        }
+        pipeline.in_flight.push(Pending { ready_at, verdict });
+
+        // Deliver everything that has matured by this tick; the newest
+        // matured verdict wins (cyclic monitoring consumes one verdict per
+        // tick, and only the freshest matters).
+        let now = pipeline.tick;
+        pipeline.tick += 1;
+        let matured = pipeline
+            .in_flight
+            .iter()
+            .take_while(|p| p.ready_at <= now)
+            .count();
+        if matured > 0 {
+            pipeline.last_delivered = Some(pipeline.in_flight[matured - 1].verdict);
+            pipeline.in_flight.drain(..matured);
+        }
+        pipeline.last_delivered.unwrap_or(self.fill)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScriptedDetector;
+    use valkyrie_core::Classification::{Benign, Malicious};
+
+    fn drive<D: Detector>(d: &mut D, pid: ProcessId, n: usize) -> Vec<Classification> {
+        let w = SampleWindow::new(4);
+        (0..n).map(|_| d.infer(pid, &w)).collect()
+    }
+
+    #[test]
+    fn zero_delay_is_transparent() {
+        let mut plain = ScriptedDetector::cycle(vec![Malicious, Benign, Benign]);
+        let mut wrapped =
+            LatencyModel::new(ScriptedDetector::cycle(vec![Malicious, Benign, Benign]), 0);
+        assert_eq!(
+            drive(&mut plain, ProcessId(1), 9),
+            drive(&mut wrapped, ProcessId(1), 9)
+        );
+    }
+
+    #[test]
+    fn fixed_delay_shifts_the_verdict_stream() {
+        let inner = ScriptedDetector::cycle(vec![Malicious, Benign]);
+        let mut d = LatencyModel::new(inner, 3);
+        let got = drive(&mut d, ProcessId(1), 8);
+        // Three warm-up fills, then the scripted stream shifted by 3.
+        assert_eq!(
+            got,
+            vec![Benign, Benign, Benign, Malicious, Benign, Malicious, Benign, Malicious]
+        );
+    }
+
+    #[test]
+    fn fill_value_is_configurable() {
+        let inner = ScriptedDetector::constant(Benign);
+        let mut d = LatencyModel::new(inner, 2).fill(Malicious);
+        let got = drive(&mut d, ProcessId(1), 4);
+        assert_eq!(got, vec![Malicious, Malicious, Benign, Benign]);
+    }
+
+    #[test]
+    fn per_process_pipelines_are_independent() {
+        let inner = ScriptedDetector::cycle(vec![Malicious, Benign]);
+        let mut d = LatencyModel::new(inner, 1);
+        let w = SampleWindow::new(4);
+        assert_eq!(d.infer(ProcessId(1), &w), Benign); // warm-up
+        assert_eq!(d.infer(ProcessId(2), &w), Benign); // warm-up
+        assert_eq!(d.infer(ProcessId(1), &w), Malicious);
+        assert_eq!(d.infer(ProcessId(2), &w), Malicious);
+        assert_eq!(d.in_flight(ProcessId(1)), 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let make =
+            || LatencyModel::with_jitter(ScriptedDetector::cycle(vec![Malicious, Benign]), 2, 3);
+        let a = drive(&mut make(), ProcessId(7), 40);
+        let b = drive(&mut make(), ProcessId(7), 40);
+        assert_eq!(a, b, "same config, same stream");
+        // Every verdict eventually arrives: after delay+jitter ticks of
+        // warm-up, the stream can no longer be stuck on the fill value.
+        assert!(a[6..].contains(&Malicious));
+    }
+
+    /// Jitter stretches latency but never reorders: the delivered stream
+    /// is a prefix-of/lagged view of the computed stream, never a
+    /// permutation of it.
+    #[test]
+    fn delivery_is_in_computation_order() {
+        // Inner emits M once, then B forever. If delivery could reorder,
+        // the M could surface after a B.
+        let inner = ScriptedDetector::then_hold(vec![Malicious, Benign]);
+        let mut d = LatencyModel::with_jitter(inner, 1, 4);
+        let got = drive(&mut d, ProcessId(3), 30);
+        // The model may *hold* the M across ticks with no matured verdict,
+        // but once a newer B is delivered the stale M can never resurface.
+        let first_m = got.iter().position(|&c| c == Malicious).unwrap();
+        let first_b_after = first_m
+            + got[first_m..]
+                .iter()
+                .position(|&c| c == Benign)
+                .expect("the newer Benign verdicts must eventually deliver");
+        assert!(
+            got[first_b_after..].iter().all(|&c| c == Benign),
+            "a stale Malicious surfaced after a newer Benign: {got:?}"
+        );
+    }
+
+    #[test]
+    fn name_reflects_the_wrapping() {
+        let d = LatencyModel::new(ScriptedDetector::constant(Benign), 1);
+        assert_eq!(d.name(), "scripted+latency");
+    }
+}

@@ -14,6 +14,9 @@
 //!   (LSTM style).
 //! * [`scripted`] — deterministic inference streams for tests and the
 //!   analytic examples.
+//! * [`latency`] — a wrapper delaying any detector's verdicts by a
+//!   configurable number of ticks (plus deterministic jitter), modelling
+//!   slow/jittery inference for the async ingest tier.
 //! * [`efficacy`] — measures F1/FPR as a function of the number of
 //!   measurements (Fig. 1) and hands the result to the core `N*` planner.
 //!
@@ -33,6 +36,7 @@
 
 pub mod efficacy;
 pub mod ensemble;
+pub mod latency;
 pub mod ml_backed;
 pub mod scripted;
 pub mod statistical;
@@ -40,6 +44,7 @@ pub mod voting;
 
 pub use efficacy::{measure_efficacy, EfficacyGrid};
 pub use ensemble::{CombinationRule, EnsembleDetector, MultiLevelDetector};
+pub use latency::LatencyModel;
 pub use ml_backed::{LstmDetector, MajorityVoteDetector, PooledDetector};
 pub use scripted::ScriptedDetector;
 pub use statistical::StatisticalDetector;

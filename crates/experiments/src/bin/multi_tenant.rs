@@ -3,6 +3,13 @@
 //! `--pool` runs the response tier through the persistent worker pool
 //! instead of per-tick scoped threads (identical security outcome; the
 //! throughput row is the difference worth watching).
+//!
+//! `--async-ingest` makes the detector tier slow and jittery: verdicts
+//! are published into the engine's bounded per-shard ingest rings 3–5
+//! epochs after their measurements, and the epoch driver drains whatever
+//! has arrived with `drain_tick` — demonstrating that detector latency
+//! costs detection lag (compare the "mean epochs to kill" row against a
+//! synchronous run), never a stalled response tick.
 use valkyrie_core::ExecutionMode;
 use valkyrie_experiments::multi_tenant;
 
@@ -12,8 +19,14 @@ fn main() {
     } else {
         ExecutionMode::ScopedSpawn
     };
+    let ingest = if std::env::args().any(|a| a == "--async-ingest") {
+        Some(multi_tenant::AsyncIngest::default())
+    } else {
+        None
+    };
     let result = multi_tenant::run(&multi_tenant::MultiTenantConfig {
         execution,
+        ingest,
         ..multi_tenant::MultiTenantConfig::default()
     });
     println!("{}", result.report);

@@ -14,14 +14,28 @@
 //! verdicts are drawn at the detector's `N*`-measurement efficacy
 //! (`verdict_tpr`/`verdict_fpr`), while per-epoch inferences use the raw
 //! per-epoch rates — that is the entire point of waiting for `N*`.
+//!
+//! # Async ingest (`--async-ingest`)
+//!
+//! With [`MultiTenantConfig::ingest`] set, the detector tier is **slow and
+//! jittery**: each epoch's verdicts are published into the engine's
+//! bounded per-shard rings ([`valkyrie_core::ingest`]) only
+//! `delay + jitter(pid, epoch)` epochs after the measurement, while the
+//! epoch driver calls [`ShardedEngine::drain_tick`] every epoch
+//! regardless. The driver completes all `epochs` ticks on schedule — the
+//! detectors' latency costs detection *lag* (attacks die a few epochs
+//! later), never response-tier *stall*. Publication is deterministic
+//! (jitter is a pure hash), so the security outcome is pinned by
+//! `tests/golden_outputs.rs` alongside the synchronous one.
 
 use crate::harness::{pct, TextTable};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use valkyrie_core::hash::jitter64;
 use valkyrie_core::{
-    Action, AssessmentFn, Classification, EngineConfig, ExecutionMode, ProcessId, ProcessState,
-    ShardedEngine, ShareActuator,
+    Action, AssessmentFn, Classification, EngineConfig, ExecutionMode, IngestStats, OverflowPolicy,
+    ProcessId, ProcessState, ShardedEngine, ShareActuator,
 };
 use valkyrie_workloads::fleet_roster;
 
@@ -52,6 +66,39 @@ pub struct MultiTenantConfig {
     /// a machine that ticks every epoch at fleet scale). The security
     /// outcome is identical either way.
     pub execution: ExecutionMode,
+    /// `Some` runs the detector tier asynchronously (slow, jittery
+    /// verdict publication through the ingest rings); `None` keeps the
+    /// synchronous batch-per-tick driver. See the [module docs](self).
+    pub ingest: Option<AsyncIngest>,
+}
+
+/// The async detector tier's shape: how late verdicts are published, and
+/// how the bounded rings behave ([`valkyrie_core::ingest`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncIngest {
+    /// Epochs between a measurement and its verdict's publication (the
+    /// detector ensemble's base inference latency).
+    pub delay: u64,
+    /// Up to this many extra epochs of deterministic per-verdict jitter.
+    pub jitter: u64,
+    /// Ingest ring capacity, in observations per shard.
+    pub capacity: usize,
+    /// What a full ring does with the next verdict.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for AsyncIngest {
+    fn default() -> Self {
+        Self {
+            delay: 3,
+            jitter: 2,
+            capacity: 1024,
+            // Cyclic monitoring consumes one verdict per process per
+            // epoch, so merging to the newest is the faithful overload
+            // behaviour.
+            policy: OverflowPolicy::Coalesce,
+        }
+    }
 }
 
 impl Default for MultiTenantConfig {
@@ -67,6 +114,7 @@ impl Default for MultiTenantConfig {
             verdict_fpr: 0.005,
             seed: 0x007E_4A47,
             execution: ExecutionMode::ScopedSpawn,
+            ingest: None,
         }
     }
 }
@@ -81,6 +129,15 @@ impl MultiTenantConfig {
             n_star: 10,
             shards: 4,
             ..Self::default()
+        }
+    }
+
+    /// [`Self::quick`] with the async detector tier (3-epoch latency,
+    /// up to 2 epochs of jitter).
+    pub fn quick_async() -> Self {
+        Self {
+            ingest: Some(AsyncIngest::default()),
+            ..Self::quick()
         }
     }
 }
@@ -108,8 +165,17 @@ pub struct MultiTenantResult {
     pub observations: u64,
     /// Engine-only throughput, observations per second.
     pub observations_per_sec: f64,
+    /// Ingest-tier counters (async runs only).
+    pub ingest: Option<IngestStats>,
     /// Rendered report.
     pub report: String,
+}
+
+/// The deterministic per-verdict publication jitter: a pure hash of the
+/// pid and the epoch the measurement was taken in (the same
+/// [`jitter64`] model `valkyrie_detect::LatencyModel` uses).
+fn publish_jitter(pid: ProcessId, epoch: u64, jitter: u64) -> u64 {
+    jitter64(pid.0, epoch, jitter)
 }
 
 struct BenignProc {
@@ -180,88 +246,147 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
 
     let mut batch: Vec<(ProcessId, Classification)> =
         Vec::with_capacity(benign.len() + attacks.len());
-    // Batch slot -> who to credit the response to.
-    enum Slot {
-        Benign(usize),
-        Attack(usize),
-    }
-    let mut slots: Vec<Slot> = Vec::with_capacity(benign.len() + attacks.len());
+
+    // The async detector tier: verdicts computed at epoch `e` are
+    // published at `e + delay + jitter(pid, e)` (clamped to stay in
+    // per-process order). The ring of pending publications is indexed by
+    // target epoch modulo its length — one slot per possible lag.
+    let publisher = cfg
+        .ingest
+        .map(|ai| engine.enable_ingest(ai.capacity, ai.policy));
+    let mut pending: Vec<Vec<ProcessId>> = cfg
+        .ingest
+        .map(|ai| vec![Vec::new(); (ai.delay + ai.jitter + 1) as usize])
+        .unwrap_or_default();
+    // Per-process floor on the next publication epoch (in-order delivery).
+    let mut next_pub: Vec<u64> = vec![0; benign.len() + attacks.len()];
 
     let mut observations = 0u64;
     let mut peak_tracked = 0usize;
     let mut engine_time = std::time::Duration::ZERO;
 
+    let mut measured: Vec<ProcessId> = Vec::with_capacity(benign.len() + attacks.len());
+
     for epoch in 0..cfg.epochs {
-        batch.clear();
-        slots.clear();
-        for (i, proc) in benign.iter_mut().enumerate() {
-            if proc.killed || proc.completed {
-                continue;
+        // The measurement phase: which processes the detector sampled this
+        // epoch (liveness is re-checked at verdict time for the async
+        // tier, where the two moments differ).
+        measured.clear();
+        for proc in benign.iter() {
+            if !proc.killed && !proc.completed {
+                measured.push(proc.pid);
             }
-            // Verdict-grade inference once N* measurements are captured.
-            let flag_prob = if proc.state == Some(ProcessState::Terminable) {
-                cfg.verdict_fpr
-            } else {
-                proc.burst_prob
-            };
-            let inference = if rng.gen::<f64>() < flag_prob {
-                Classification::Malicious
-            } else {
-                Classification::Benign
-            };
-            batch.push((proc.pid, inference));
-            slots.push(Slot::Benign(i));
         }
-        for (j, attack) in attacks.iter().enumerate() {
-            if attack.killed_at.is_some() || epoch < attack.arrival {
-                continue;
+        for attack in attacks.iter() {
+            if attack.killed_at.is_none() && epoch >= attack.arrival {
+                measured.push(attack.pid);
             }
-            let flag_prob = if attack.state == Some(ProcessState::Terminable) {
-                cfg.verdict_tpr
-            } else {
-                cfg.tpr
-            };
-            let inference = if rng.gen::<f64>() < flag_prob {
-                Classification::Malicious
-            } else {
-                Classification::Benign
-            };
-            batch.push((attack.pid, inference));
-            slots.push(Slot::Attack(j));
         }
+
+        // The detector finalises a verdict with its calibrated knowledge:
+        // per-epoch rates normally, verdict-grade rates once the monitor
+        // has its N* measurements (the Terminable state mirrored from the
+        // latest response).
+        let verdict =
+            |pid: ProcessId, benign: &[BenignProc], attacks: &[AttackProc], rng: &mut StdRng| {
+                let idx = pid.0 as usize;
+                let flag_prob = if idx < benign.len() {
+                    if benign[idx].state == Some(ProcessState::Terminable) {
+                        cfg.verdict_fpr
+                    } else {
+                        benign[idx].burst_prob
+                    }
+                } else if attacks[idx - benign.len()].state == Some(ProcessState::Terminable) {
+                    cfg.verdict_tpr
+                } else {
+                    cfg.tpr
+                };
+                if rng.gen::<f64>() < flag_prob {
+                    Classification::Malicious
+                } else {
+                    Classification::Benign
+                }
+            };
 
         let purged_before = engine.purged_total();
         let t0 = Instant::now();
-        let responses = engine.tick(&batch);
+        let responses = match (&publisher, cfg.ingest) {
+            (Some(publisher), Some(ai)) => {
+                // Schedule this epoch's measurements for late, jittery
+                // verdict publication...
+                for &pid in &measured {
+                    let idx = pid.0 as usize;
+                    let at = (epoch + ai.delay + publish_jitter(pid, epoch, ai.jitter))
+                        .max(next_pub[idx]);
+                    next_pub[idx] = at + 1;
+                    let slot = (at % pending.len() as u64) as usize;
+                    pending[slot].push(pid);
+                }
+                // ...finalise and publish the verdicts whose inference
+                // latency has elapsed (skipping processes that died or
+                // completed while the measurement was in flight)...
+                let due = (epoch % pending.len() as u64) as usize;
+                let due_pids = std::mem::take(&mut pending[due]);
+                for &pid in &due_pids {
+                    let idx = pid.0 as usize;
+                    let live = if idx < benign.len() {
+                        !benign[idx].killed && !benign[idx].completed
+                    } else {
+                        attacks[idx - benign.len()].killed_at.is_none()
+                    };
+                    if live {
+                        let inference = verdict(pid, &benign, &attacks, &mut rng);
+                        publisher.publish(pid, inference);
+                    }
+                }
+                pending[due] = {
+                    let mut reclaimed = due_pids;
+                    reclaimed.clear();
+                    reclaimed
+                };
+                // ...and tick on schedule, whatever has arrived.
+                engine.drain_tick()
+            }
+            _ => {
+                batch.clear();
+                for &pid in &measured {
+                    let inference = verdict(pid, &benign, &attacks, &mut rng);
+                    batch.push((pid, inference));
+                }
+                engine.tick(&batch)
+            }
+        };
         engine_time += t0.elapsed();
-        observations += batch.len() as u64;
+        observations += responses.len() as u64;
         // Concurrent peak = the map as it stood before this tick's purge.
         let purged_this_tick = (engine.purged_total() - purged_before) as usize;
         peak_tracked = peak_tracked.max(engine.tracked() + purged_this_tick);
 
-        for (resp, slot) in responses.iter().zip(&slots) {
-            match *slot {
-                Slot::Benign(i) => {
-                    let proc = &mut benign[i];
-                    proc.state = Some(resp.state);
-                    if resp.action == Action::Terminate {
-                        proc.killed = true;
-                        continue;
-                    }
-                    proc.cpu_share_sum += resp.resources.cpu;
-                    proc.epochs_run += 1;
-                    // Work accumulates at the enforced share; completion
-                    // after `lifetime` epoch-units of progress.
-                    if proc.cpu_share_sum >= proc.lifetime as f64 {
-                        proc.completed = true;
-                        let _ = engine.complete(proc.pid);
-                    }
+        for resp in &responses {
+            let idx = resp.pid.0 as usize;
+            if idx < benign.len() {
+                let proc = &mut benign[idx];
+                if proc.killed || proc.completed {
+                    continue; // a stale in-flight verdict; nothing to credit
                 }
-                Slot::Attack(j) => {
-                    attacks[j].state = Some(resp.state);
-                    if resp.action == Action::Terminate {
-                        attacks[j].killed_at = Some(epoch);
-                    }
+                proc.state = Some(resp.state);
+                if resp.action == Action::Terminate {
+                    proc.killed = true;
+                    continue;
+                }
+                proc.cpu_share_sum += resp.resources.cpu;
+                proc.epochs_run += 1;
+                // Work accumulates at the enforced share; completion
+                // after `lifetime` epoch-units of progress.
+                if proc.cpu_share_sum >= proc.lifetime as f64 {
+                    proc.completed = true;
+                    let _ = engine.complete(proc.pid);
+                }
+            } else {
+                let attack = &mut attacks[idx - benign.len()];
+                attack.state = Some(resp.state);
+                if resp.action == Action::Terminate && attack.killed_at.is_none() {
+                    attack.killed_at = Some(epoch);
                 }
             }
         }
@@ -318,10 +443,28 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         "engine throughput".into(),
         format!("{:.2} Mobs/s", observations_per_sec / 1e6),
     ]);
+    let ingest_stats = engine.ingest_stats();
+    if let Some(stats) = &ingest_stats {
+        t.row(vec![
+            "ingest published/drained".into(),
+            format!("{}/{}", stats.published, stats.drained),
+        ]);
+        t.row(vec![
+            "ingest dropped/coalesced".into(),
+            format!("{}/{}", stats.dropped, stats.coalesced),
+        ]);
+    }
+    let detector_tier = match cfg.ingest {
+        Some(ai) => format!(
+            "async detectors: {} + 0..={} epochs latency, {:?} rings of {}/shard",
+            ai.delay, ai.jitter, ai.policy, ai.capacity
+        ),
+        None => "synchronous detectors".to_string(),
+    };
     let report = format!(
         "Multi-tenant machine — {} benign + {} attacks over {} epochs, \
          {} shards ({:?} execution), N* = {}\n\
-         ({} observations through ShardedEngine::tick)\n\n{}",
+         ({} observations through ShardedEngine::{}; {})\n\n{}",
         cfg.benign_procs,
         cfg.attacks,
         cfg.epochs,
@@ -329,6 +472,12 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         cfg.execution,
         cfg.n_star,
         observations,
+        if cfg.ingest.is_some() {
+            "drain_tick"
+        } else {
+            "tick"
+        },
+        detector_tier,
         t.render()
     );
 
@@ -343,6 +492,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         final_tracked_live: engine.tracked_live(),
         observations,
         observations_per_sec,
+        ingest: ingest_stats,
         report,
     }
 }
@@ -423,6 +573,84 @@ mod tests {
         let r = run(&MultiTenantConfig::quick());
         assert!(r.report.contains("Multi-tenant machine"));
         assert!(r.report.contains("attacks terminated"));
+        assert!(r.report.contains("synchronous detectors"));
         assert!(r.observations_per_sec > 0.0);
+        assert!(r.ingest.is_none());
+    }
+
+    /// Slow, jittery detectors (3 + 0..=2 epochs of verdict latency) must
+    /// not stall the epoch driver: every attack still dies, only later —
+    /// detection *lag*, not response-tier stall.
+    #[test]
+    fn async_ingest_kills_every_attack_despite_detector_latency() {
+        let sync = run(&MultiTenantConfig::quick());
+        let async_ = run(&MultiTenantConfig::quick_async());
+        assert_eq!(async_.attacks_terminated, 3);
+        // The verdicts arrive >= `delay` epochs late, so the kills land
+        // measurably later than the synchronous driver's...
+        assert!(
+            async_.mean_epochs_to_kill >= sync.mean_epochs_to_kill + 3.0,
+            "async {} vs sync {}",
+            async_.mean_epochs_to_kill,
+            sync.mean_epochs_to_kill
+        );
+        // ...but latency is bounded by delay + jitter (plus verdict-cycle
+        // slack), nowhere near a stalled driver's horizon.
+        assert!(
+            async_.mean_epochs_to_kill <= sync.mean_epochs_to_kill + 12.0,
+            "async {} vs sync {}",
+            async_.mean_epochs_to_kill,
+            sync.mean_epochs_to_kill
+        );
+        // The fleet is still mostly unharmed.
+        assert!(
+            async_.benign_killed_pct < 8.0,
+            "{}",
+            async_.benign_killed_pct
+        );
+    }
+
+    #[test]
+    fn async_ingest_is_deterministic() {
+        let cfg = MultiTenantConfig::quick_async();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.attacks_terminated, b.attacks_terminated);
+        assert_eq!(a.mean_epochs_to_kill, b.mean_epochs_to_kill);
+        assert_eq!(a.benign_killed_pct, b.benign_killed_pct);
+        assert_eq!(a.benign_slowdown_pct, b.benign_slowdown_pct);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.purged, b.purged);
+        assert_eq!(a.ingest, b.ingest);
+    }
+
+    #[test]
+    fn async_ingest_outcome_is_execution_mode_invariant() {
+        let base = MultiTenantConfig::quick_async();
+        let scoped = run(&base);
+        let pooled = run(&MultiTenantConfig {
+            execution: ExecutionMode::Pool,
+            ..base
+        });
+        assert_eq!(scoped.attacks_terminated, pooled.attacks_terminated);
+        assert_eq!(scoped.mean_epochs_to_kill, pooled.mean_epochs_to_kill);
+        assert_eq!(scoped.benign_killed_pct, pooled.benign_killed_pct);
+        assert_eq!(scoped.benign_slowdown_pct, pooled.benign_slowdown_pct);
+        assert_eq!(scoped.observations, pooled.observations);
+        assert_eq!(scoped.purged, pooled.purged);
+        assert_eq!(scoped.ingest, pooled.ingest);
+    }
+
+    #[test]
+    fn async_ingest_loses_nothing_at_this_scale_and_reports_stats() {
+        let r = run(&MultiTenantConfig::quick_async());
+        let stats = r.ingest.expect("async runs expose ingest stats");
+        assert_eq!(stats.dropped, 0, "rings are sized for the quick fleet");
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.published, stats.drained + stats.queued as u64);
+        // In-flight verdicts for processes that outlived the horizon may
+        // still be queued; everything published on time was consumed.
+        assert!(r.report.contains("async detectors"));
+        assert!(r.report.contains("ingest published/drained"));
     }
 }

@@ -11,7 +11,8 @@
 use std::collections::{BTreeMap, HashMap};
 use valkyrie_core::ProcessId;
 use valkyrie_core::{
-    Action, Classification, EngineConfig, ExecutionMode, ProcessState, ShardedEngine,
+    Action, Classification, EngineConfig, ExecutionMode, OverflowPolicy, ProcessState,
+    ShardedEngine,
 };
 use valkyrie_detect::Detector;
 use valkyrie_hpc::SampleWindow;
@@ -29,6 +30,32 @@ pub enum CpuLever {
     CgroupQuota,
 }
 
+/// Async-ingest wiring for a scenario: the epoch's inferences travel
+/// through the engine's bounded per-shard rings
+/// ([`valkyrie_core::ingest`]) instead of a synchronous `observe_batch`
+/// call.
+///
+/// The scenario driver publishes and drains from the same thread, so
+/// `capacity` must cover one epoch's observations per shard —
+/// [`OverflowPolicy::Block`] on an undersized ring would wait for a drain
+/// that cannot come until the publish loop finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Ring capacity, in observations per shard.
+    pub capacity: usize,
+    /// What a full ring does with the next observation.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            policy: OverflowPolicy::Block,
+        }
+    }
+}
+
 /// Scenario wiring options.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -44,6 +71,11 @@ pub struct ScenarioConfig {
     /// Responses are identical either way; the pool wins when the scenario
     /// ticks continuously with large fleets.
     pub execution: ExecutionMode,
+    /// When set, inferences reach the engine through the async ingest
+    /// rings (publish, then drain) instead of `observe_batch`. With
+    /// [`OverflowPolicy::Block`] and adequate capacity the histories are
+    /// bit-for-bit identical to the synchronous path.
+    pub ingest: Option<IngestOptions>,
 }
 
 impl Default for ScenarioConfig {
@@ -53,6 +85,7 @@ impl Default for ScenarioConfig {
             window: 100,
             shards: 1,
             execution: ExecutionMode::ScopedSpawn,
+            ingest: None,
         }
     }
 }
@@ -95,8 +128,11 @@ impl<D: Detector> AugmentedRun<D> {
         detector: D,
         config: ScenarioConfig,
     ) -> Self {
-        let engine =
+        let mut engine =
             ShardedEngine::with_mode(engine_config, config.shards.max(1), 0, config.execution);
+        if let Some(opts) = config.ingest {
+            let _ = engine.enable_ingest(opts.capacity, opts.policy);
+        }
         Self {
             machine,
             engine,
@@ -173,11 +209,33 @@ impl<D: Detector> AugmentedRun<D> {
             self.progress.push((pid, report.progress));
         }
 
-        // Response phase: the whole epoch in one engine batch.
-        let responses = self.engine.observe_batch(&self.batch);
+        // Response phase: the whole epoch in one engine batch — handed
+        // over synchronously, or published through the async ingest rings
+        // and drained back (same responses in publish order; see
+        // `ScenarioConfig::ingest`).
+        let responses = if self.engine.ingest_enabled() {
+            for &(pid, inference) in &self.batch {
+                let _ = self.engine.ingest(pid, inference);
+            }
+            self.engine.drain_batch()
+        } else {
+            self.engine.observe_batch(&self.batch)
+        };
 
-        // Enactment phase: drive the machine levers per response.
-        for (resp, &(pid, progress)) in responses.iter().zip(&self.progress) {
+        // Enactment phase: drive the machine levers per response. The
+        // responses are an ordered subsequence of the batch (they only
+        // fall short when an overflow policy sheds observations), so one
+        // forward cursor pairs each response with its progress record.
+        let mut cursor = 0usize;
+        for resp in &responses {
+            let Some(offset) = self.progress[cursor..]
+                .iter()
+                .position(|&(p, _)| ProcessId::from(p) == resp.pid)
+            else {
+                continue;
+            };
+            let (pid, progress) = self.progress[cursor + offset];
+            cursor += offset + 1;
             // A cycle-end restore starts a fresh detection episode: the
             // detector's measurement history resets along with the
             // monitor's counters.
@@ -374,5 +432,51 @@ mod tests {
         let pooled = run_with(4, ExecutionMode::Pool);
         assert_eq!(single, sharded);
         assert_eq!(single, pooled);
+    }
+
+    /// The async ingest path (publish every inference, then drain) leaves
+    /// identical histories to the synchronous `observe_batch` path — in
+    /// both execution modes.
+    #[test]
+    fn ingest_path_matches_the_synchronous_scenario() {
+        let run_with = |ingest: Option<IngestOptions>, execution: ExecutionMode| {
+            let machine = Machine::new(MachineConfig::default());
+            let detector = ScriptedDetector::cycle(vec![
+                Classification::Malicious,
+                Classification::Malicious,
+                Classification::Benign,
+            ]);
+            let mut run = AugmentedRun::new(
+                machine,
+                engine_config(8),
+                detector,
+                ScenarioConfig {
+                    shards: 4,
+                    execution,
+                    ingest,
+                    ..ScenarioConfig::default()
+                },
+            );
+            let attack = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+            run.watch(attack);
+            let mut pids = vec![attack];
+            for mut spec in roster().into_iter().take(8) {
+                spec.epochs_to_complete = 30;
+                let pid = run
+                    .machine_mut()
+                    .spawn(Box::new(BenchmarkWorkload::new(spec)));
+                run.watch(pid);
+                pids.push(pid);
+            }
+            run.run(15);
+            pids.iter()
+                .map(|&pid| run.history(pid).to_vec())
+                .collect::<Vec<_>>()
+        };
+        let sync = run_with(None, ExecutionMode::ScopedSpawn);
+        let ingest = run_with(Some(IngestOptions::default()), ExecutionMode::ScopedSpawn);
+        let ingest_pool = run_with(Some(IngestOptions::default()), ExecutionMode::Pool);
+        assert_eq!(sync, ingest);
+        assert_eq!(sync, ingest_pool);
     }
 }

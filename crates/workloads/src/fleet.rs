@@ -1,7 +1,7 @@
 //! The fleet roster: thousands of benign service processes for
 //! machine-scale scenarios.
 //!
-//! The paper's roster ([`crate::roster`]) models the 77 SPEC-style
+//! The paper's roster ([`crate::roster()`]) models the 77 SPEC-style
 //! benchmarks of Fig. 5a — enough for per-program slowdown studies, but two
 //! orders of magnitude short of a production machine. This module extends
 //! the roster to **fleet scale**: [`fleet_roster`] generates an arbitrary
@@ -18,7 +18,7 @@ use crate::roster::{BenchmarkSpec, Family, Suite};
 /// `burst_base` is the archetype's false-positive propensity before
 /// per-instance jitter: caches and databases hammer memory and look more
 /// like cache attacks through the counters than compute-bound batch jobs
-/// do (same modelling as [`crate::roster`]).
+/// do (same modelling as [`crate::roster()`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceArchetype {
     /// Service name (also the generated processes' benchmark name).

@@ -41,6 +41,21 @@ fn capture_multi_tenant() -> (usize, f64, f64, f64, usize, u64) {
     )
 }
 
+fn capture_multi_tenant_async() -> (usize, f64, f64, f64, usize, u64, u64, u64) {
+    let r = x::multi_tenant::run(&x::multi_tenant::MultiTenantConfig::quick_async());
+    let stats = r.ingest.expect("async runs expose ingest stats");
+    (
+        r.attacks_terminated,
+        r.mean_epochs_to_kill,
+        r.benign_killed_pct,
+        r.benign_slowdown_pct,
+        r.benign_completed,
+        r.purged,
+        stats.published,
+        stats.dropped,
+    )
+}
+
 /// Prints the current values as Rust literals (for regeneration).
 #[test]
 #[ignore]
@@ -55,6 +70,9 @@ fn print_golden_values() {
     let mt = capture_multi_tenant();
     println!("// --- multi_tenant quick ---");
     println!("    {mt:?}");
+    let mta = capture_multi_tenant_async();
+    println!("// --- multi_tenant quick_async ---");
+    println!("    {mta:?}");
 }
 
 #[test]
@@ -153,4 +171,51 @@ fn multi_tenant_rates_are_bit_identical_to_seed() {
     );
     assert_eq!(got.4, expected.4);
     assert_eq!(got.5, expected.5);
+}
+
+/// The async-ingest variant's response outcome is pinned too: refactors of
+/// the ingest tier (ring layout, drain merge, scheduling) must not
+/// silently change the kill or wrongful-termination rates. The 16.0
+/// mean-epochs-to-kill against the synchronous run's 11.0 *is* the
+/// detector latency (3 + up to 2 jitter epochs) showing up as detection
+/// lag — while the driver ticks every one of its 80 epochs on schedule.
+#[test]
+fn multi_tenant_async_ingest_rates_are_bit_identical_to_seed() {
+    let got = capture_multi_tenant_async();
+    let expected = (
+        3usize,
+        16.0f64,
+        4.666666666666667f64,
+        0.4265734265734266f64,
+        0usize,
+        17u64,
+        22055u64, // verdicts published through the rings
+        0u64,     // none dropped: the rings are sized for the fleet
+    );
+    assert_eq!(got.0, expected.0);
+    assert_eq!(
+        got.1.to_bits(),
+        expected.1.to_bits(),
+        "{:?} vs {:?}",
+        got.1,
+        expected.1
+    );
+    assert_eq!(
+        got.2.to_bits(),
+        expected.2.to_bits(),
+        "{:?} vs {:?}",
+        got.2,
+        expected.2
+    );
+    assert_eq!(
+        got.3.to_bits(),
+        expected.3.to_bits(),
+        "{:?} vs {:?}",
+        got.3,
+        expected.3
+    );
+    assert_eq!(got.4, expected.4);
+    assert_eq!(got.5, expected.5);
+    assert_eq!(got.6, expected.6);
+    assert_eq!(got.7, expected.7);
 }

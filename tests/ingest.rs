@@ -1,0 +1,312 @@
+//! Determinism and equivalence guarantees of the async ingest tier.
+//!
+//! The contract under test: publishing observations through the bounded
+//! per-shard ingest rings and draining them with `drain_batch`/`drain_tick`
+//! is **semantically invisible** relative to handing the same observations
+//! to the synchronous `observe_batch`/`tick` path — for any interleaving,
+//! any batch segmentation, shard counts {1, 2, 7, 16}, and both execution
+//! modes — as long as `OverflowPolicy::Block` with adequate capacity keeps
+//! the rings lossless. On top of the equivalence, the async epoch driver
+//! must tick on schedule no matter how slow or jittery the detector tier
+//! is (`LatencyModel`), which is the entire point of the subsystem.
+
+use proptest::prelude::*;
+use valkyrie::attacks::cryptominer::Cryptominer;
+use valkyrie::core::prelude::*;
+use valkyrie::detect::LatencyModel;
+use valkyrie::experiments::scenario::{AugmentedRun, IngestOptions, ScenarioConfig};
+use valkyrie::sim::machine::{Machine, MachineConfig};
+
+/// Shard counts pinned by the acceptance criteria: the identity case, a
+/// power of two, a prime, and the largest production default.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+fn engine_config(n_star: u64, cyclic: bool) -> EngineConfig {
+    EngineConfig::builder()
+        .measurements_required(n_star)
+        .penalty(AssessmentFn::incremental())
+        .compensation(AssessmentFn::incremental())
+        .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+        .cyclic(cyclic)
+        .build()
+        .unwrap()
+}
+
+/// An arbitrary interleaving: observations of up to 24 distinct pids.
+fn interleaving(max_len: usize) -> impl Strategy<Value = Vec<(ProcessId, Classification)>> {
+    prop::collection::vec(
+        (0u64..24, prop::bool::ANY).prop_map(|(pid, malicious)| {
+            (
+                ProcessId(pid),
+                if malicious {
+                    Classification::Malicious
+                } else {
+                    Classification::Benign
+                },
+            )
+        }),
+        1..max_len,
+    )
+}
+
+/// One engine lifetime's observable bookkeeping, for whole-run equality.
+type TickTrace = (Vec<Vec<EngineResponse>>, u64, u64, usize);
+
+/// The synchronous reference: the same batches through `tick`.
+fn tick_reference(
+    observations: &[(ProcessId, Classification)],
+    shards: usize,
+    chunk: usize,
+    n_star: u64,
+    cyclic: bool,
+    mode: ExecutionMode,
+) -> TickTrace {
+    let mut engine = ShardedEngine::with_mode(engine_config(n_star, cyclic), shards, 0, mode);
+    let ticks = observations
+        .chunks(chunk.max(1))
+        .map(|batch| engine.tick(batch))
+        .collect();
+    (
+        ticks,
+        engine.epoch(),
+        engine.purged_total(),
+        engine.tracked(),
+    )
+}
+
+/// The async run: each batch published through the ingest rings (Block
+/// policy, capacity covering the whole run — lossless by construction),
+/// then answered by one `drain_tick`. `force_spawns` additionally drives
+/// the scoped mode's threaded path on single-core hosts.
+fn ingest_run(
+    observations: &[(ProcessId, Classification)],
+    shards: usize,
+    chunk: usize,
+    n_star: u64,
+    cyclic: bool,
+    force_spawns: bool,
+    mode: ExecutionMode,
+) -> TickTrace {
+    let mut engine = ShardedEngine::with_mode(engine_config(n_star, cyclic), shards, 0, mode);
+    if force_spawns {
+        engine.set_parallel_threshold(0);
+    }
+    let publisher = engine.enable_ingest(observations.len().max(1), OverflowPolicy::Block);
+    let ticks = observations
+        .chunks(chunk.max(1))
+        .map(|batch| {
+            assert_eq!(publisher.publish_batch(batch), batch.len());
+            engine.drain_tick()
+        })
+        .collect();
+    (
+        ticks,
+        engine.epoch(),
+        engine.purged_total(),
+        engine.tracked(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The acceptance-criteria pin: Block-mode ingest-then-drain is
+    /// bit-for-bit equal to synchronous `observe_batch` + `tick`, across
+    /// shard counts {1, 2, 7, 16} and both execution modes — responses,
+    /// epoch counter, purge bookkeeping and the tracked map all agree.
+    #[test]
+    fn block_ingest_is_equivalent_to_synchronous_ticks(
+        obs in interleaving(200),
+        chunk in 1usize..64,
+        n_star in 1u64..20,
+        cyclic in prop::bool::ANY,
+    ) {
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            for shards in SHARD_COUNTS {
+                let want = tick_reference(&obs, shards, chunk, n_star, cyclic, mode);
+                let got = ingest_run(&obs, shards, chunk, n_star, cyclic, false, mode);
+                prop_assert_eq!(
+                    &got, &want,
+                    "shards={}, chunk={}, n_star={}, cyclic={}, mode={:?}",
+                    shards, chunk, n_star, cyclic, mode
+                );
+            }
+        }
+    }
+
+    /// The scoped mode's thread-parallel drain path (forced spawns) is
+    /// equivalent too — the merge by sequence stamp reconstructs publish
+    /// order no matter how the shards were chunked onto threads.
+    #[test]
+    fn forced_parallel_drain_is_equivalent_too(
+        obs in interleaving(150),
+        chunk in 8usize..80,
+        n_star in 1u64..16,
+    ) {
+        for shards in SHARD_COUNTS {
+            let want = tick_reference(&obs, shards, chunk, n_star, true, ExecutionMode::ScopedSpawn);
+            let got = ingest_run(&obs, shards, chunk, n_star, true, true, ExecutionMode::ScopedSpawn);
+            prop_assert_eq!(&got, &want, "shards={}, chunk={}", shards, chunk);
+        }
+    }
+}
+
+/// Two identical async runs are bit-identical — ring placement, sequence
+/// stamping and the drain merge introduce no run-to-run variation, in
+/// either execution mode.
+#[test]
+fn identical_ingest_runs_are_deterministic() {
+    let observations: Vec<(ProcessId, Classification)> = (0..3_000u64)
+        .map(|i| {
+            let pid = ProcessId(i % 401);
+            let cls = if i % 5 == 0 {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            };
+            (pid, cls)
+        })
+        .collect();
+    for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+        let first = ingest_run(&observations, 7, 500, 7, true, true, mode);
+        let second = ingest_run(&observations, 7, 500, 7, true, true, mode);
+        assert_eq!(first, second, "{mode:?}");
+        // And identical to the synchronous reference.
+        let reference = tick_reference(&observations, 7, 500, 7, true, mode);
+        assert_eq!(first, reference, "{mode:?}");
+    }
+}
+
+/// Detector threads racing the epoch driver: every published observation
+/// is eventually consumed exactly once, and the engine's bookkeeping adds
+/// up — without any cross-thread synchronisation beyond the rings.
+#[test]
+fn concurrent_publishers_feed_the_tick_driver_losslessly() {
+    for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+        let mut engine = ShardedEngine::with_mode(engine_config(1_000_000, true), 7, 0, mode);
+        let publisher = engine.enable_ingest(8 * 1024, OverflowPolicy::Block);
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 2_000;
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let publisher = publisher.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let pid = ProcessId(t * 10_000 + (i % 97));
+                        assert!(publisher.publish(pid, Classification::Malicious));
+                    }
+                })
+            })
+            .collect();
+        // Tick continuously while the detector threads publish.
+        let mut consumed = 0usize;
+        while consumed < (THREADS * PER_THREAD) as usize {
+            consumed += engine.drain_tick().len();
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(consumed, (THREADS * PER_THREAD) as usize, "{mode:?}");
+        assert_eq!(engine.tracked(), (THREADS * 97) as usize, "{mode:?}");
+        let stats = engine.ingest_stats().unwrap();
+        assert_eq!(stats.published, THREADS * PER_THREAD, "{mode:?}");
+        assert_eq!(stats.drained, THREADS * PER_THREAD, "{mode:?}");
+        assert_eq!(stats.dropped, 0, "{mode:?}");
+        assert_eq!(stats.queued, 0, "{mode:?}");
+    }
+}
+
+/// The acceptance scenario: a detector whose verdicts are 3+ ticks late
+/// (`LatencyModel`) feeding the scenario driver's ingest path. The epoch
+/// driver completes every epoch on schedule — the attack just dies
+/// `delay` epochs later than it would with an instant detector.
+#[test]
+fn delayed_detector_does_not_stall_the_epoch_driver() {
+    use valkyrie::detect::Detector;
+    use valkyrie::hpc::SampleWindow;
+
+    /// Flags exactly one pid, cleanly classifying everything else.
+    struct TargetedDetector {
+        target: ProcessId,
+    }
+    impl Detector for TargetedDetector {
+        fn name(&self) -> &str {
+            "targeted"
+        }
+        fn infer(&mut self, pid: ProcessId, _w: &SampleWindow) -> Classification {
+            if pid == self.target {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            }
+        }
+    }
+
+    const N_STAR: u64 = 6;
+    const DELAY: u64 = 3;
+    const EPOCHS: u64 = 30;
+    let run_with = |delay: u64| {
+        let mut machine = Machine::new(MachineConfig::default());
+        let attack = machine.spawn(Box::new(Cryptominer::default()));
+        let detector = LatencyModel::new(
+            TargetedDetector {
+                target: attack.into(),
+            },
+            delay,
+        );
+        let mut run = AugmentedRun::new(
+            machine,
+            EngineConfig::builder()
+                .measurements_required(N_STAR)
+                .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+                .build()
+                .unwrap(),
+            detector,
+            ScenarioConfig {
+                shards: 4,
+                ingest: Some(IngestOptions::default()),
+                ..ScenarioConfig::default()
+            },
+        );
+        run.watch(attack);
+        // A benign bystander that outlives the horizon: its history counts
+        // the epochs the driver actually completed.
+        let mut spec = valkyrie::workloads::roster().remove(0);
+        spec.epochs_to_complete = u64::MAX / 4;
+        let bystander = run
+            .machine_mut()
+            .spawn(Box::new(valkyrie::workloads::BenchmarkWorkload::new(spec)));
+        run.watch(bystander);
+        run.run(EPOCHS);
+        let killed_at = run
+            .history(attack)
+            .iter()
+            .position(|r| r.state == ProcessState::Terminated)
+            .expect("the attack must still be terminated");
+        (
+            run.history(bystander).len() as u64,
+            killed_at as u64,
+            run.history(attack).to_vec(),
+        )
+    };
+    let (epochs_instant, killed_instant, hist_instant) = run_with(0);
+    let (epochs_delayed, killed_delayed, hist_delayed) = run_with(DELAY);
+    assert_eq!(epochs_instant, EPOCHS, "instant detector driver stalled");
+    assert_eq!(epochs_delayed, EPOCHS, "delayed detector driver stalled");
+    // The latency is visible as a response lag: the instant detector has
+    // the attack suspicious (and throttled) from its very first verdict,
+    // while the delayed detector leaves it untouched for `DELAY` epochs —
+    // but the driver ticks through either way, and the attack still dies.
+    assert_eq!(hist_instant[0].state, ProcessState::Suspicious);
+    for record in &hist_delayed[..DELAY as usize] {
+        assert_eq!(record.state, ProcessState::Normal, "verdicts not due yet");
+        assert_eq!(record.cpu_share, 1.0);
+    }
+    assert_eq!(
+        hist_delayed[DELAY as usize].state,
+        ProcessState::Suspicious,
+        "the first late verdict lands after exactly DELAY epochs"
+    );
+    assert!(killed_delayed >= killed_instant);
+    assert!(killed_delayed < EPOCHS, "detection lag, not a stall");
+}
