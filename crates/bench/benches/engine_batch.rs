@@ -20,7 +20,12 @@
 //!   at the same `N` this prices the queue hop + publish-order merge the
 //!   decoupling costs; the pool variants additionally route the drain
 //!   through the persistent workers (each draining its own shards in
-//!   place).
+//!   place);
+//! * `fleet_xN` — the same fleet spread across 256 machines through the
+//!   hierarchical `FleetEngine` (`N` machine-sharded groups × 2 pid
+//!   shards, global pids packed with `ProcessId::from_parts`). Against
+//!   `sharded_x2N` this prices the extra machine-level partition/scatter
+//!   hop the cluster tier adds per tick.
 //!
 //! Every variant replays the identical workload: the full fleet observed
 //! each tick, one in seven processes flagged on a rotating schedule so
@@ -51,6 +56,21 @@ fn tick_batch(procs: u64, epoch: u64) -> Vec<(ProcessId, Classification)> {
                 Classification::Benign
             };
             (ProcessId(pid), cls)
+        })
+        .collect()
+}
+
+/// The cluster-tier batch: the same flag schedule, pids spread round-robin
+/// across 256 machines of the packed global namespace.
+fn fleet_tick_batch(procs: u64, epoch: u64) -> Vec<(ProcessId, Classification)> {
+    (0..procs)
+        .map(|i| {
+            let cls = if (i + epoch).is_multiple_of(7) {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            };
+            (ProcessId::from_parts((i % 256) as u32, i / 256), cls)
         })
         .collect()
 }
@@ -118,6 +138,20 @@ fn bench_fleet(c: &mut Criterion, label: &str, procs: u64) {
                 epoch += 1;
                 publisher.publish_batch(black_box(&ring[epoch % 7]));
                 black_box(engine.drain_batch())
+            });
+        });
+    }
+
+    let fleet_ring: Vec<Vec<(ProcessId, Classification)>> =
+        (0..7).map(|epoch| fleet_tick_batch(procs, epoch)).collect();
+    for groups in [1usize, 4] {
+        group.bench_function(format!("fleet_x{groups}").as_str(), |b| {
+            let mut engine =
+                FleetEngine::with_capacity(engine_config(n_star), groups, 2, procs as usize);
+            let mut epoch = 0usize;
+            b.iter(|| {
+                epoch += 1;
+                black_box(engine.observe_batch(black_box(&fleet_ring[epoch % 7])))
             });
         });
     }

@@ -85,6 +85,28 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The owning partition for a `u64` key among `nparts`: `mix64(key) %
+/// nparts`, a pure function of the key — stable across runs, platforms and
+/// execution modes.
+///
+/// This is **the** routing rule of the scaling tier, defined once so the
+/// placement used by the batch path
+/// ([`ShardedEngine`](crate::ShardedEngine)), the async ingest rings
+/// ([`IngestPublisher`](crate::IngestPublisher)) and the fleet tier's
+/// machine-group routing ([`FleetEngine`](crate::FleetEngine)) cannot
+/// silently drift apart: an observation published through a ring must land
+/// on the same shard the batch path would have picked, or the per-process
+/// monitor state would split across shards.
+///
+/// # Panics
+///
+/// Panics in debug builds if `nparts` is zero.
+#[inline]
+pub fn shard_of(key: u64, nparts: usize) -> usize {
+    debug_assert!(nparts > 0, "cannot route among zero partitions");
+    (mix64(key) % nparts as u64) as usize
+}
+
 /// Deterministic bounded jitter from a `(key, time)` coordinate pair:
 /// uniformly-ish distributed in `0..=bound`, identical across runs and
 /// platforms. The one definition shared by every latency model in the
@@ -154,5 +176,37 @@ mod tests {
     fn mix64_is_deterministic() {
         assert_eq!(mix64(0xDEAD_BEEF), mix64(0xDEAD_BEEF));
         assert_ne!(mix64(1), mix64(2));
+    }
+
+    /// Pins the routing rule itself. These literals are the placement every
+    /// persisted shard-keyed artifact assumes; if this test fails, the
+    /// change re-routes live per-process state and is **not** a refactor.
+    #[test]
+    fn shard_of_routing_is_pinned() {
+        const KEYS: [u64; 14] = [
+            0,
+            1,
+            2,
+            3,
+            4,
+            5,
+            6,
+            7,
+            41,
+            1000,
+            1_000_000,
+            (3 << 40) | 7,        // fleet-packed: machine 3, local pid 7
+            (123_456 << 40) | 42, // fleet-packed: machine 123456, local pid 42
+            u64::MAX,
+        ];
+        let expect4: [usize; 14] = [3, 1, 2, 1, 2, 2, 0, 3, 1, 0, 3, 2, 2, 0];
+        let expect7: [usize; 14] = [2, 2, 4, 2, 6, 3, 3, 2, 6, 0, 4, 3, 3, 0];
+        let expect16: [usize; 14] = [15, 1, 14, 13, 10, 10, 0, 7, 9, 8, 7, 6, 2, 0];
+        for (i, &k) in KEYS.iter().enumerate() {
+            assert_eq!(shard_of(k, 1), 0);
+            assert_eq!(shard_of(k, 4), expect4[i], "key {k} among 4");
+            assert_eq!(shard_of(k, 7), expect7[i], "key {k} among 7");
+            assert_eq!(shard_of(k, 16), expect16[i], "key {k} among 16");
+        }
     }
 }

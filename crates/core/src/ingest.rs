@@ -333,7 +333,7 @@ impl IngestPublisher {
     /// is full. Returns `false` — and discards the observation — only when
     /// the engine has closed or replaced its ingest queues.
     pub fn publish(&self, pid: ProcessId, inference: Classification) -> bool {
-        let shard = crate::sharded::shard_index(pid, self.queues.shards());
+        let shard = crate::hash::shard_of(pid.0, self.queues.shards());
         self.queues.push(shard, pid, inference)
     }
 

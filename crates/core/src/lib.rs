@@ -66,6 +66,7 @@ pub mod efficacy;
 pub mod engine;
 pub mod error;
 pub mod evasion;
+pub mod fleet;
 pub mod hash;
 pub mod ingest;
 pub mod migration;
@@ -86,6 +87,7 @@ pub use engine::{
 };
 pub use error::ValkyrieError;
 pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
+pub use fleet::{FleetEngine, FleetPublisher};
 pub use ingest::{IngestPublisher, IngestQueues, OverflowPolicy};
 pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, Monitor, StepReport};
@@ -105,6 +107,7 @@ pub mod prelude {
         Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, ValkyrieEngine,
     };
     pub use crate::error::ValkyrieError;
+    pub use crate::fleet::{FleetEngine, FleetPublisher};
     pub use crate::ingest::{IngestPublisher, OverflowPolicy};
     pub use crate::monitor::{Directive, Monitor, StepReport};
     pub use crate::pool::ShardPool;

@@ -6,8 +6,63 @@ use std::fmt;
 ///
 /// A thin newtype so engine call sites cannot confuse process ids with other
 /// integers.
+///
+/// # Fleet packing
+///
+/// At fleet scale a process is named by a `(machine, local pid)` pair. The
+/// pair packs into the one `u64` — machine id in the high
+/// [`MACHINE_BITS`](ProcessId::MACHINE_BITS) bits, local pid in the low
+/// [`LOCAL_BITS`](ProcessId::LOCAL_BITS) — so the whole engine tier
+/// (sharding, ingest rings, per-process maps) handles cluster-wide names
+/// without a second key type. Machine `0` packs to the bare local pid,
+/// making the single-machine embedding a strict special case of the fleet:
+/// `ProcessId::from_parts(0, p) == ProcessId(p)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct ProcessId(pub u64);
+
+impl ProcessId {
+    /// High bits naming the machine: a 24-bit id space (16.7 M machine
+    /// boots before wrap), chosen so the low bits still hold any realistic
+    /// per-machine pid sequence.
+    pub const MACHINE_BITS: u32 = 24;
+    /// Low bits naming the process on its machine (2^40 spawns per machine).
+    pub const LOCAL_BITS: u32 = 40;
+
+    /// Packs a cluster-wide process name from its machine id and
+    /// machine-local pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `machine` or `local` overflow their bit
+    /// fields (a release build would silently alias another process).
+    #[inline]
+    pub fn from_parts(machine: u32, local: u64) -> Self {
+        debug_assert!(
+            u64::from(machine) < (1 << Self::MACHINE_BITS),
+            "machine id {machine} overflows {} bits",
+            Self::MACHINE_BITS
+        );
+        debug_assert!(
+            local < (1 << Self::LOCAL_BITS),
+            "local pid {local} overflows {} bits",
+            Self::LOCAL_BITS
+        );
+        ProcessId((u64::from(machine) << Self::LOCAL_BITS) | local)
+    }
+
+    /// The machine component of a fleet-packed id (`0` for bare
+    /// single-machine pids).
+    #[inline]
+    pub fn machine(self) -> u32 {
+        (self.0 >> Self::LOCAL_BITS) as u32
+    }
+
+    /// The machine-local pid component of a fleet-packed id.
+    #[inline]
+    pub fn local(self) -> u64 {
+        self.0 & ((1 << Self::LOCAL_BITS) - 1)
+    }
+}
 
 impl fmt::Display for ProcessId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -206,6 +261,35 @@ mod tests {
         let s = ResourceVector::full().to_string();
         for key in ["cpu", "mem", "net", "fs"] {
             assert!(s.contains(key));
+        }
+    }
+
+    #[test]
+    fn fleet_packing_round_trips() {
+        for (machine, local) in [
+            (0u32, 0u64),
+            (0, 1),
+            (1, 1),
+            (3, 7),
+            (123_456, 42),
+            (
+                (1 << ProcessId::MACHINE_BITS) - 1,
+                (1 << ProcessId::LOCAL_BITS) - 1,
+            ),
+        ] {
+            let pid = ProcessId::from_parts(machine, local);
+            assert_eq!(pid.machine(), machine);
+            assert_eq!(pid.local(), local);
+        }
+    }
+
+    #[test]
+    fn machine_zero_packs_to_bare_pid() {
+        // The single-machine embedding: an un-packed pid IS machine 0.
+        for p in [0u64, 1, 2, 41, 1_000_000] {
+            assert_eq!(ProcessId::from_parts(0, p), ProcessId(p));
+            assert_eq!(ProcessId(p).machine(), 0);
+            assert_eq!(ProcessId(p).local(), p);
         }
     }
 }

@@ -79,7 +79,7 @@
 use crate::actuator::{Actuator, CompositeActuator};
 use crate::engine::{EngineConfig, EngineResponse, EngineShard};
 use crate::error::ValkyrieError;
-use crate::hash::mix64;
+use crate::hash::shard_of;
 use crate::ingest::{merge_by_seq, IngestPublisher, IngestQueues, OverflowPolicy};
 use crate::pool::ShardPool;
 use crate::resource::{ProcessId, ResourceVector};
@@ -157,18 +157,20 @@ pub struct ShardedEngine<A: Actuator + Clone = CompositeActuator> {
 }
 
 /// The owning shard for `pid` among `nshards`: a pure function of the pid,
-/// stable across runs, platforms and execution modes.
+/// stable across runs, platforms and execution modes (the workspace-wide
+/// routing rule, [`crate::hash::shard_of`]).
 #[inline]
 pub(crate) fn shard_index(pid: ProcessId, nshards: usize) -> usize {
-    (mix64(pid.0) % nshards as u64) as usize
+    shard_of(pid.0, nshards)
 }
 
-/// Splits `batch` into per-shard work lists, remembering each
-/// observation's position in the input batch. Free-standing so the engine
-/// can split-borrow its scratch next to its backend.
-fn partition_into(
+/// Splits `batch` into per-partition work lists under an arbitrary routing
+/// function, remembering each observation's position in the input batch.
+/// Free-standing so an engine can split-borrow its scratch next to its
+/// backend; the fleet tier reuses it with machine-id routing.
+pub(crate) fn partition_by_into(
     batch: &[(ProcessId, Classification)],
-    nshards: usize,
+    route: impl Fn(ProcessId) -> usize,
     parts: &mut [Vec<(ProcessId, Classification)>],
     origins: &mut [Vec<usize>],
 ) {
@@ -177,16 +179,26 @@ fn partition_into(
         origin.clear();
     }
     for (i, &(pid, inference)) in batch.iter().enumerate() {
-        let shard = shard_index(pid, nshards);
-        parts[shard].push((pid, inference));
-        origins[shard].push(i);
+        let part = route(pid);
+        parts[part].push((pid, inference));
+        origins[part].push(i);
     }
+}
+
+/// Splits `batch` into per-shard work lists under the pid routing rule.
+fn partition_into(
+    batch: &[(ProcessId, Classification)],
+    nshards: usize,
+    parts: &mut [Vec<(ProcessId, Classification)>],
+    origins: &mut [Vec<usize>],
+) {
+    partition_by_into(batch, |pid| shard_index(pid, nshards), parts, origins);
 }
 
 /// The single scratch-shrink policy: a slot keeps at most
 /// [`SCRATCH_SHRINK_FACTOR`]× what it currently holds (`used` elements),
 /// never dropping below [`SCRATCH_MIN_CAPACITY`].
-fn shrink_slot<T>(slot: &mut Vec<T>, used: usize) {
+pub(crate) fn shrink_slot<T>(slot: &mut Vec<T>, used: usize) {
     let need = used.max(SCRATCH_MIN_CAPACITY);
     if slot.capacity() > need * SCRATCH_SHRINK_FACTOR {
         slot.shrink_to(need);
@@ -258,7 +270,7 @@ fn observe_parts_scoped<A: Actuator + Clone + Send>(
 
 /// Scatters per-shard response lists back to input order. Every slot is
 /// overwritten: the partition covers each input index exactly once.
-fn scatter_to_input_order(
+pub(crate) fn scatter_to_input_order(
     origins: &[Vec<usize>],
     results: Vec<Vec<EngineResponse>>,
     len: usize,

@@ -1,0 +1,18 @@
+//! Fleet scale: 100k+ machines with churn under one hierarchical engine.
+//!
+//! `--quick` runs the scaled-down configuration used by the golden-output
+//! pins (200 machines); the default drives the full 100k-machine cluster —
+//! a million live services — through `FleetEngine::tick` every epoch and
+//! reports kill latency, wrongful-termination rate and engine throughput
+//! at that scale.
+use valkyrie_experiments::fleet_scale;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        fleet_scale::FleetScaleConfig::quick()
+    } else {
+        fleet_scale::FleetScaleConfig::default()
+    };
+    let result = fleet_scale::run(&cfg);
+    println!("{}", result.report);
+}

@@ -22,6 +22,7 @@
 //! | Evasion study (ours) | [`evasion::run`] | `evasion` |
 //! | Two-level detection (ours) | [`ensemble::run`] | `ensemble` |
 //! | Multi-tenant machine (ours) | [`multi_tenant::run`] | `multi_tenant` |
+//! | Fleet-scale cluster (ours) | [`fleet_scale::run`] | `fleet_scale` |
 
 pub mod ablations;
 pub mod analytic;
@@ -31,6 +32,7 @@ pub mod fig1;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fleet_scale;
 pub mod harness;
 pub mod multi_tenant;
 pub mod responses;

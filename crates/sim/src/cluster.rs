@@ -1,0 +1,362 @@
+//! The cluster: a slab of [`Machine`]s under one pid namespace.
+//!
+//! A [`Cluster`] scales the substrate from one machine to a fleet. Three
+//! design points make machine populations of 100k+ practical:
+//!
+//! - **Shared corpora.** Booting a machine does not regenerate its victim
+//!   filesystem: the cluster holds one prebuilt [`SimFs`] template and
+//!   every boot restores it through the [`Machine::restore_fs`] snapshot
+//!   path — the SoA layout `Arc`-shares the (potentially huge) size table
+//!   and copies only the per-machine encryption state, so a boot costs
+//!   microseconds however large the corpus is.
+//! - **Slot reuse, fresh identities.** Decommissioned machines free their
+//!   slab slot for later boots, bounding memory by the peak live machine
+//!   count under churn — but [`MachineId`]s are handed out sequentially
+//!   and never reused (the 24-bit id space of
+//!   [`ProcessId::from_parts`](valkyrie_core::ProcessId::from_parts)
+//!   allows 16.7 M boots), so a process of a decommissioned machine can
+//!   never be confused with one of the machine that inherited its slot.
+//! - **One pid namespace.** Every process is named by a [`GlobalPid`];
+//!   [`Cluster::run_epoch_into`] reports the whole fleet's epoch in
+//!   ascending `(machine, pid)` order, ready to feed a
+//!   `FleetEngine` keyed by packed
+//!   [`ProcessId`](valkyrie_core::ProcessId)s.
+//!
+//! Determinism: each machine derives its RNG seed from the cluster seed
+//! and its (never-reused) id via [`Cluster::seed_for`], so a fleet run is
+//! reproducible under any boot/decommission history, and a machine's
+//! behaviour is independent of which slot it landed in.
+
+use crate::fs::SimFs;
+use crate::machine::{EpochReport, Machine, MachineConfig, Workload};
+use crate::pid::{GlobalPid, MachineId, Pid};
+use std::collections::HashMap;
+use valkyrie_core::hash::{mix64, FxBuildHasher};
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Template for every machine's configuration. The per-machine `seed`
+    /// is overridden by [`Cluster::seed_for`]; everything else applies
+    /// verbatim.
+    pub machine: MachineConfig,
+    /// Prebuilt victim filesystem installed (via the snapshot path) on
+    /// every booted machine; `None` boots machines with an empty
+    /// filesystem.
+    pub fs_template: Option<SimFs>,
+    /// Cluster RNG seed, mixed into every machine's seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::default(),
+            fs_template: None,
+            seed: 0xC1_05_7E_12,
+        }
+    }
+}
+
+/// A slab of simulated machines sharing one filesystem corpus and one
+/// cluster-wide pid namespace.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::cluster::{Cluster, ClusterConfig};
+/// use valkyrie_sim::fs::SimFs;
+///
+/// let mut cluster = Cluster::new(ClusterConfig {
+///     fs_template: Some(SimFs::uniform("/srv", 1000, 4096)),
+///     ..ClusterConfig::default()
+/// });
+/// let a = cluster.boot();
+/// let b = cluster.boot();
+/// assert_ne!(a, b);
+/// assert_eq!(cluster.live_machines(), 2);
+/// assert_eq!(cluster.machine(a).unwrap().filesystem().len(), 1000);
+/// cluster.decommission(a);
+/// assert_eq!(cluster.live_machines(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    /// Machine slab; decommissions free slots for later boots.
+    slots: Vec<Option<Machine>>,
+    /// Freed slab slots awaiting reuse (LIFO).
+    free: Vec<u32>,
+    /// Machine id → slab slot for every live machine.
+    id_slot: HashMap<u32, u32, FxBuildHasher>,
+    next_id: u32,
+    booted_total: u64,
+    decommissioned_total: u64,
+    /// Per-machine report scratch reused across [`Cluster::run_epoch_into`]
+    /// calls.
+    scratch: Vec<(Pid, EpochReport)>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self {
+            config,
+            slots: Vec::new(),
+            free: Vec::new(),
+            id_slot: HashMap::default(),
+            next_id: 0,
+            booted_total: 0,
+            decommissioned_total: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The RNG seed machine `id` boots with: a pure function of the
+    /// cluster seed and the machine id, so any machine's behaviour can be
+    /// reproduced standalone by building a [`Machine`] with this seed.
+    pub fn seed_for(&self, id: MachineId) -> u64 {
+        mix64(self.config.seed ^ u64::from(id.0).rotate_left(32))
+    }
+
+    /// Boots a fresh machine and returns its (never reused) id. The
+    /// machine takes a decommissioned slot when one is free, and starts
+    /// with the cluster's filesystem template installed through the cheap
+    /// snapshot path.
+    pub fn boot(&mut self) -> MachineId {
+        let id = MachineId(self.next_id);
+        self.next_id += 1;
+        self.booted_total += 1;
+        let machine_config = MachineConfig {
+            seed: self.seed_for(id),
+            ..self.config.machine
+        };
+        let mut machine = Machine::with_id(machine_config, id);
+        if let Some(template) = &self.config.fs_template {
+            machine.restore_fs(template);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none(), "free slot occupied");
+                self.slots[slot as usize] = Some(machine);
+                slot
+            }
+            None => {
+                self.slots.push(Some(machine));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.id_slot.insert(id.0, slot);
+        id
+    }
+
+    /// Decommissions a machine, freeing its slot (and every process on
+    /// it). Returns the machine so the caller can run post-mortems — e.g.
+    /// collect its live pids to forget in a response engine. A no-op
+    /// returning `None` for unknown or already-decommissioned ids.
+    pub fn decommission(&mut self, id: MachineId) -> Option<Machine> {
+        let slot = self.id_slot.remove(&id.0)?;
+        let machine = self.slots[slot as usize].take();
+        debug_assert!(machine.is_some(), "id_slot maps to live machines only");
+        self.free.push(slot);
+        self.decommissioned_total += 1;
+        machine
+    }
+
+    /// Read access to a live machine.
+    pub fn machine(&self, id: MachineId) -> Option<&Machine> {
+        let &slot = self.id_slot.get(&id.0)?;
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// Write access to a live machine.
+    pub fn machine_mut(&mut self, id: MachineId) -> Option<&mut Machine> {
+        let &slot = self.id_slot.get(&id.0)?;
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Spawns a workload on machine `id`, returning the process's
+    /// cluster-wide name (`None` if the machine is not live).
+    pub fn spawn(&mut self, id: MachineId, workload: Box<dyn Workload>) -> Option<GlobalPid> {
+        let machine = self.machine_mut(id)?;
+        let pid = machine.spawn(workload);
+        Some(GlobalPid { machine: id, pid })
+    }
+
+    /// Machines currently live.
+    pub fn live_machines(&self) -> usize {
+        self.id_slot.len()
+    }
+
+    /// Machines booted over the cluster's lifetime.
+    pub fn booted_total(&self) -> u64 {
+        self.booted_total
+    }
+
+    /// Machines decommissioned over the cluster's lifetime.
+    pub fn decommissioned_total(&self) -> u64 {
+        self.decommissioned_total
+    }
+
+    /// Machine slab slots (live + free): the peak concurrent machine
+    /// count, pinned by churn tests the same way as the process slab.
+    pub fn slab_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over the live machines in slab order.
+    pub fn machines(&self) -> impl Iterator<Item = &Machine> {
+        self.slots.iter().flatten()
+    }
+
+    /// Iterates mutably over the live machines in slab order.
+    pub fn machines_mut(&mut self) -> impl Iterator<Item = &mut Machine> {
+        self.slots.iter_mut().flatten()
+    }
+
+    /// Runs one epoch on every live machine, filling `out` with the whole
+    /// fleet's reports in ascending [`GlobalPid`] order (machine-major).
+    /// Reuses internal per-machine scratch; `out` is reused by the caller,
+    /// so the steady state allocates nothing.
+    pub fn run_epoch_into(&mut self, out: &mut Vec<(GlobalPid, EpochReport)>) {
+        out.clear();
+        for machine in self.slots.iter_mut().flatten() {
+            machine.run_epoch_into(&mut self.scratch);
+            let id = machine.id();
+            out.extend(
+                self.scratch
+                    .iter()
+                    .map(|&(pid, report)| (GlobalPid { machine: id, pid }, report)),
+            );
+        }
+        // Slab order is boot order only until slots are reused; the
+        // machine-major contract must hold regardless. In-place and cheap
+        // when already sorted (each machine's run is ascending already).
+        out.sort_unstable_by_key(|&(gpid, _)| gpid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::EpochCtx;
+    use valkyrie_hpc::HpcSample;
+
+    struct Spin;
+    impl Workload for Spin {
+        fn name(&self) -> &str {
+            "spin"
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn advance(&mut self, ctx: &mut EpochCtx<'_>) -> EpochReport {
+            EpochReport {
+                progress: ctx.cpu_share(),
+                hpc: HpcSample::zero(),
+                completed: false,
+            }
+        }
+    }
+
+    #[test]
+    fn boot_ids_are_fresh_even_when_slots_recycle() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let a = cluster.boot();
+        let b = cluster.boot();
+        cluster.decommission(a);
+        let c = cluster.boot(); // reuses a's slot…
+        assert_eq!(cluster.slab_slots(), 2);
+        assert!(c.0 > b.0, "…but not a's id");
+        assert!(cluster.machine(a).is_none());
+        assert!(cluster.machine(c).is_some());
+        assert_eq!(cluster.booted_total(), 3);
+        assert_eq!(cluster.decommissioned_total(), 1);
+    }
+
+    #[test]
+    fn machines_share_the_corpus_but_not_encryption_state() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            fs_template: Some(SimFs::uniform("/srv", 50, 1000)),
+            ..ClusterConfig::default()
+        });
+        let a = cluster.boot();
+        let b = cluster.boot();
+        cluster
+            .machine_mut(a)
+            .unwrap()
+            .filesystem_mut()
+            .encrypt_file(0);
+        assert_eq!(
+            cluster.machine(a).unwrap().filesystem().encrypted_files(),
+            1
+        );
+        assert_eq!(
+            cluster.machine(b).unwrap().filesystem().encrypted_files(),
+            0
+        );
+    }
+
+    #[test]
+    fn epoch_reports_are_global_pid_sorted_across_churn() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let a = cluster.boot();
+        let b = cluster.boot();
+        let ga = cluster.spawn(a, Box::new(Spin)).unwrap();
+        let gb = cluster.spawn(b, Box::new(Spin)).unwrap();
+        let mut out = Vec::new();
+        cluster.run_epoch_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, ga);
+        assert_eq!(out[1].0, gb);
+        // Churn: drop machine a, boot c into its slot. Slab order now
+        // disagrees with id order; the output must still be sorted.
+        cluster.decommission(a);
+        let c = cluster.boot();
+        cluster.spawn(c, Box::new(Spin)).unwrap();
+        cluster.run_epoch_into(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(out[0].0.machine, b);
+        assert_eq!(out[1].0.machine, c);
+        let _ = gb;
+    }
+
+    #[test]
+    fn seeds_are_reproducible_and_per_machine() {
+        let cluster = Cluster::new(ClusterConfig::default());
+        let other = Cluster::new(ClusterConfig::default());
+        assert_eq!(cluster.seed_for(MachineId(5)), other.seed_for(MachineId(5)));
+        assert_ne!(
+            cluster.seed_for(MachineId(5)),
+            cluster.seed_for(MachineId(6))
+        );
+        // A machine's seed survives slot recycling: it depends on the id,
+        // not the slot.
+        let mut churned = Cluster::new(ClusterConfig::default());
+        let a = churned.boot();
+        churned.decommission(a);
+        let b = churned.boot();
+        assert_eq!(
+            churned.machine(b).unwrap().config().seed,
+            churned.seed_for(b)
+        );
+        assert_ne!(churned.seed_for(a), churned.seed_for(b));
+    }
+
+    #[test]
+    fn decommission_returns_the_machine_for_post_mortem() {
+        let mut cluster = Cluster::new(ClusterConfig::default());
+        let id = cluster.boot();
+        cluster.spawn(id, Box::new(Spin)).unwrap();
+        let machine = cluster.decommission(id).expect("was live");
+        let mut pids = Vec::new();
+        machine.live_pids_into(&mut pids);
+        assert_eq!(pids.len(), 1);
+        assert!(cluster.decommission(id).is_none(), "double decommission");
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod cgroup;
 pub mod clock;
+pub mod cluster;
 pub mod dram;
 pub mod fs;
 pub mod machine;
@@ -37,19 +38,21 @@ pub mod platform;
 pub mod sched;
 
 pub use clock::{Tick, EPOCH_TICKS, MS_PER_TICK};
+pub use cluster::{Cluster, ClusterConfig};
 pub use machine::{EpochCtx, EpochReport, Machine, MachineConfig, Workload};
-pub use pid::Pid;
+pub use pid::{GlobalPid, MachineId, Pid};
 pub use platform::Platform;
 
 /// Convenient glob import of the substrate's primary types.
 pub mod prelude {
     pub use crate::cgroup::{CpuController, FileRateLimiter, MemoryController};
     pub use crate::clock::{Tick, EPOCH_TICKS};
+    pub use crate::cluster::{Cluster, ClusterConfig};
     pub use crate::dram::{Dram, DramConfig};
     pub use crate::fs::SimFs;
     pub use crate::machine::{EpochCtx, EpochReport, Machine, MachineConfig, Workload};
     pub use crate::net::NetController;
-    pub use crate::pid::Pid;
+    pub use crate::pid::{GlobalPid, MachineId, Pid};
     pub use crate::platform::Platform;
     pub use crate::sched::{CfsScheduler, SchedConfig};
 }

@@ -16,23 +16,28 @@
 //! [`ResourceVector`] onto scheduler weight / quotas) and
 //! [`Machine::terminate`].
 //!
-//! Processes live in a dense slab indexed directly by pid (pids are handed
-//! out sequentially and never reused, so slot `pid - 1` is the process —
-//! terminated and completed entries stay inspectable in place). The hot
-//! epoch loop is [`Machine::run_epoch_into`], which fills a caller-owned
-//! scratch buffer in ascending-pid order without allocating;
-//! [`Machine::run_epoch`] wraps it for map-shaped compatibility.
+//! Processes live in a dense slab of reusable slots (pids are handed out
+//! sequentially and **never** reused; a pid finds its slot through a
+//! constant-time map). Terminated and completed entries stay inspectable
+//! in place until the embedder calls [`Machine::reap_dead`], which frees
+//! their slots for later spawns — under service churn the slab stays
+//! bounded by the peak *live* population instead of growing with every
+//! process that ever ran. The hot epoch loop is
+//! [`Machine::run_epoch_into`], which fills a caller-owned scratch buffer
+//! in ascending-pid order without allocating; [`Machine::run_epoch`] wraps
+//! it for map-shaped compatibility.
 
 use crate::cgroup::{CpuController, FileRateLimiter, MemoryController};
 use crate::clock::{Tick, EPOCH_TICKS};
 use crate::dram::{Dram, DramConfig};
 use crate::fs::SimFs;
 use crate::net::NetController;
-use crate::pid::Pid;
+use crate::pid::{GlobalPid, MachineId, Pid};
 use crate::sched::{CfsScheduler, SchedConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use valkyrie_core::hash::FxBuildHasher;
 use valkyrie_core::ResourceVector;
 use valkyrie_hpc::HpcSample;
 
@@ -203,10 +208,18 @@ impl std::fmt::Debug for dyn Workload {
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
+    /// This machine's cluster-wide identity (`MachineId(0)` for standalone
+    /// machines, so their [`GlobalPid`]s pack to bare pids).
+    id: MachineId,
     sched: CfsScheduler,
-    /// Dense process slab: slot `pid.0 - 1` (pids are sequential from 1 and
-    /// never reused; entries are never removed, so the mapping is exact).
-    procs: Vec<ProcEntry>,
+    /// Dense process slab. Slots hold entries in place until
+    /// [`Machine::reap_dead`] frees them; freed slots are reused by later
+    /// spawns, so pids (never reused) locate their slot via `pid_slot`.
+    procs: Vec<Option<ProcEntry>>,
+    /// Freed slab slots awaiting reuse (LIFO).
+    free: Vec<u32>,
+    /// pid → slab slot for every entry currently in the slab.
+    pid_slot: HashMap<u64, u32, FxBuildHasher>,
     dram: Dram,
     fs: SimFs,
     rng: StdRng,
@@ -215,12 +228,21 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Boots an empty machine.
+    /// Boots an empty machine with identity [`MachineId`]`(0)`.
     pub fn new(config: MachineConfig) -> Self {
+        Self::with_id(config, MachineId(0))
+    }
+
+    /// Boots an empty machine with an explicit cluster identity (the
+    /// [`Cluster`](crate::Cluster) boot path).
+    pub fn with_id(config: MachineConfig, id: MachineId) -> Self {
         Self {
             config,
+            id,
             sched: CfsScheduler::new(config.sched),
             procs: Vec::new(),
+            free: Vec::new(),
+            pid_slot: HashMap::default(),
             dram: Dram::new(config.dram),
             fs: SimFs::new(),
             rng: StdRng::seed_from_u64(config.seed),
@@ -234,6 +256,19 @@ impl Machine {
         &self.config
     }
 
+    /// This machine's cluster-wide identity.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// The cluster-wide name of a local pid on this machine.
+    pub fn global_pid(&self, pid: Pid) -> GlobalPid {
+        GlobalPid {
+            machine: self.id,
+            pid,
+        }
+    }
+
     /// Replaces the victim filesystem (for ransomware scenarios).
     pub fn set_filesystem(&mut self, fs: SimFs) {
         self.fs = fs;
@@ -242,6 +277,12 @@ impl Machine {
     /// Read access to the victim filesystem.
     pub fn filesystem(&self) -> &SimFs {
         &self.fs
+    }
+
+    /// Write access to the victim filesystem (embedder-side mutation, e.g.
+    /// cluster tests poking per-machine encryption state).
+    pub fn filesystem_mut(&mut self) -> &mut SimFs {
+        &mut self.fs
     }
 
     /// Cheap snapshot of the victim filesystem: the SoA layout shares the
@@ -270,25 +311,29 @@ impl Machine {
     }
 
     fn entry(&self, pid: Pid) -> Option<&ProcEntry> {
-        let slot = pid.0.checked_sub(1)? as usize;
-        let p = self.procs.get(slot)?;
-        debug_assert_eq!(p.pid, pid, "slab invariant: slot = pid - 1");
+        let &slot = self.pid_slot.get(&pid.0)?;
+        let p = self.procs[slot as usize].as_ref()?;
+        debug_assert_eq!(p.pid, pid, "slab invariant: pid_slot maps to owner");
         Some(p)
     }
 
     fn entry_mut(&mut self, pid: Pid) -> Option<&mut ProcEntry> {
-        let slot = pid.0.checked_sub(1)? as usize;
-        let p = self.procs.get_mut(slot)?;
-        debug_assert_eq!(p.pid, pid, "slab invariant: slot = pid - 1");
+        let &slot = self.pid_slot.get(&pid.0)?;
+        let p = self.procs[slot as usize].as_mut()?;
+        debug_assert_eq!(p.pid, pid, "slab invariant: pid_slot maps to owner");
         Some(p)
     }
 
     /// Spawns a workload at nice level 0; returns its pid.
+    ///
+    /// The entry takes a slot freed by [`Machine::reap_dead`] when one is
+    /// available, growing the slab only past its high-water mark of
+    /// concurrent entries.
     pub fn spawn(&mut self, workload: Box<dyn Workload>) -> Pid {
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
         self.sched.add(pid, 0);
-        self.procs.push(ProcEntry {
+        let entry = ProcEntry {
             pid,
             workload,
             cpu: CpuController::default(),
@@ -297,8 +342,70 @@ impl Machine {
             fs_share: 1.0,
             alive: true,
             completed: false,
-        });
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.procs[slot as usize].is_none(), "free slot occupied");
+                self.procs[slot as usize] = Some(entry);
+                slot
+            }
+            None => {
+                self.procs.push(Some(entry));
+                (self.procs.len() - 1) as u32
+            }
+        };
+        self.pid_slot.insert(pid.0, slot);
         pid
+    }
+
+    /// Frees the slab slots of every dead (terminated or completed)
+    /// process, returning how many were reaped. Their pids stop resolving
+    /// — post-mortem inspection ([`Machine::is_completed`],
+    /// [`Machine::workload_as`], …) must happen before the reap — and the
+    /// freed slots are reused by later [`Machine::spawn`]s, so a machine
+    /// under arrival/departure churn holds memory for its peak *live*
+    /// population, not for everything that ever ran.
+    pub fn reap_dead(&mut self) -> usize {
+        let mut reaped = 0;
+        for (i, slot) in self.procs.iter_mut().enumerate() {
+            if slot.as_ref().is_some_and(|p| !p.alive) {
+                let p = slot.take().expect("checked above");
+                self.pid_slot.remove(&p.pid.0);
+                self.free.push(i as u32);
+                reaped += 1;
+            }
+        }
+        reaped
+    }
+
+    /// Number of live (spawned, not yet terminated or completed) processes.
+    pub fn tracked_live(&self) -> usize {
+        self.procs.iter().flatten().filter(|p| p.alive).count()
+    }
+
+    /// Total slab slots (occupied + free): the slab's high-water mark of
+    /// concurrent entries. Exposed so churn tests can pin that slot reuse
+    /// actually bounds the slab.
+    pub fn slab_slots(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Slab slots currently free for reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Appends the pid of every live process to `out` (the decommission
+    /// path: a cluster driver forgets these in its response engine before
+    /// the machine is dropped).
+    pub fn live_pids_into(&self, out: &mut Vec<Pid>) {
+        out.extend(
+            self.procs
+                .iter()
+                .flatten()
+                .filter(|p| p.alive)
+                .map(|p| p.pid),
+        );
     }
 
     /// Whether a process is still alive (spawned, not terminated).
@@ -399,7 +506,7 @@ impl Machine {
         let dram = &mut self.dram;
         let fs = &mut self.fs;
         let rng = &mut self.rng;
-        for p in &mut self.procs {
+        for p in self.procs.iter_mut().flatten() {
             if !p.alive {
                 continue;
             }
@@ -430,6 +537,11 @@ impl Machine {
             }
             out.push((pid, report));
         }
+        // Slab order is spawn order only until slots are reused; the
+        // buffer's ascending-pid contract (`report_for` binary-searches it)
+        // holds regardless. In-place and O(n) on an already-sorted buffer,
+        // so the no-churn path pays next to nothing.
+        out.sort_unstable_by_key(|&(pid, _)| pid);
 
         // Shared devices advance with wall-clock time.
         dram.advance_ms(epoch_ticks, rng);
@@ -628,6 +740,89 @@ mod tests {
             m.run_epoch_into(&mut out);
         }
         assert_eq!(out.capacity(), cap, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn machine_identity_names_global_pids() {
+        let m = Machine::with_id(MachineConfig::default(), MachineId(7));
+        assert_eq!(m.id(), MachineId(7));
+        let gpid = m.global_pid(Pid(3));
+        assert_eq!(gpid.machine, MachineId(7));
+        assert_eq!(gpid.pid, Pid(3));
+        // The default constructor is machine 0 — bare-pid compatible.
+        assert_eq!(Machine::new(MachineConfig::default()).id(), MachineId(0));
+    }
+
+    /// Satellite regression: across many arrival/departure cycles the slab
+    /// must neither leak slots (every dead entry's slot comes back) nor
+    /// alias them (a reused slot must serve its new pid only, and reaped
+    /// pids must stop resolving).
+    #[test]
+    fn slab_reuse_under_churn_neither_leaks_nor_aliases() {
+        let mut m = Machine::new(MachineConfig::default());
+        let mut out = Vec::new();
+        let mut live: Vec<Pid> = Vec::new();
+        let mut reaped_pids: Vec<Pid> = Vec::new();
+        for cycle in 0..100u64 {
+            // Arrivals: 4 per cycle.
+            for _ in 0..4 {
+                live.push(m.spawn(Box::new(Spin::forever())));
+            }
+            m.run_epoch_into(&mut out);
+            assert_eq!(out.len(), live.len(), "cycle {cycle}");
+            // Departures: terminate half, reap, and spawn replacements.
+            let departing: Vec<Pid> = live.drain(..live.len() / 2).collect();
+            for &pid in &departing {
+                m.terminate(pid);
+                assert!(!m.is_alive(pid));
+            }
+            assert_eq!(m.reap_dead(), departing.len());
+            reaped_pids.extend(departing);
+            assert_eq!(m.tracked_live(), live.len());
+        }
+        // No leak: the slab never grew past the peak concurrent population.
+        let peak = live.len() + 4 + 2; // survivors + one cycle's arrivals, slack
+        assert!(
+            m.slab_slots() <= peak,
+            "slab leaked: {} slots for {} live",
+            m.slab_slots(),
+            live.len()
+        );
+        assert_eq!(m.slab_slots() - m.tracked_live(), m.free_slots());
+        // No alias: every reaped pid is gone, every live pid resolves to
+        // its own entry, and pids were never reused.
+        for pid in reaped_pids {
+            assert!(!m.is_alive(pid), "{pid} resurrected");
+            assert!(m.name_of(pid).is_none(), "{pid} still resolves");
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &pid in &live {
+            assert!(m.is_alive(pid));
+            assert!(seen.insert(pid), "duplicate pid {pid}");
+        }
+        // The epoch report covers exactly the live pids, sorted ascending.
+        m.run_epoch_into(&mut out);
+        assert_eq!(out.len(), live.len());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut expected = live.clone();
+        expected.sort_unstable();
+        assert_eq!(out.iter().map(|&(p, _)| p).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn reaped_completed_process_frees_its_slot() {
+        let mut m = Machine::new(MachineConfig::default());
+        let pid = m.spawn(Box::new(Spin::for_epochs(1)));
+        m.run_epoch();
+        assert!(m.is_completed(pid)); // inspectable until the reap…
+        assert_eq!(m.reap_dead(), 1);
+        assert!(!m.is_completed(pid)); // …gone after it.
+        assert_eq!(m.free_slots(), 1);
+        // The freed slot is reused; the pid is not.
+        let next = m.spawn(Box::new(Spin::forever()));
+        assert_eq!(m.free_slots(), 0);
+        assert_eq!(m.slab_slots(), 1);
+        assert!(next.0 > pid.0, "pids must never be reused");
     }
 
     #[test]

@@ -38,6 +38,67 @@ impl From<valkyrie_core::ProcessId> for Pid {
     }
 }
 
+/// Identifier of a simulated machine within a [`Cluster`](crate::Cluster).
+///
+/// Ids are handed out sequentially at boot and never reused, so a machine
+/// id names one boot: a decommissioned machine's processes can never be
+/// confused with those of a later machine reusing its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MachineId(pub u32);
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine {}", self.0)
+    }
+}
+
+/// A cluster-wide process name: which machine, and which process on it.
+///
+/// Packs into the core crate's [`ProcessId`](valkyrie_core::ProcessId)
+/// ([`ProcessId::from_parts`](valkyrie_core::ProcessId::from_parts)) so
+/// the fleet engine monitors cluster processes with no new key type;
+/// machine 0 packs to the bare local pid, keeping single-machine
+/// experiments bit-compatible.
+///
+/// # Examples
+///
+/// ```
+/// use valkyrie_sim::pid::{GlobalPid, MachineId, Pid};
+/// use valkyrie_core::ProcessId;
+/// let gpid = GlobalPid { machine: MachineId(3), pid: Pid(7) };
+/// let core_id: ProcessId = gpid.into();
+/// assert_eq!(core_id, ProcessId::from_parts(3, 7));
+/// assert_eq!(GlobalPid::from(core_id), gpid);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct GlobalPid {
+    /// The machine hosting the process.
+    pub machine: MachineId,
+    /// The machine-local process id.
+    pub pid: Pid,
+}
+
+impl fmt::Display for GlobalPid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.machine, self.pid)
+    }
+}
+
+impl From<GlobalPid> for valkyrie_core::ProcessId {
+    fn from(gpid: GlobalPid) -> Self {
+        valkyrie_core::ProcessId::from_parts(gpid.machine.0, gpid.pid.0)
+    }
+}
+
+impl From<valkyrie_core::ProcessId> for GlobalPid {
+    fn from(id: valkyrie_core::ProcessId) -> Self {
+        GlobalPid {
+            machine: MachineId(id.machine()),
+            pid: Pid(id.local()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +109,40 @@ mod tests {
         let core: valkyrie_core::ProcessId = pid.into();
         assert_eq!(core.0, 77);
         assert_eq!(Pid::from(core), pid);
+    }
+
+    #[test]
+    fn global_pid_round_trips_through_core() {
+        for (machine, local) in [(0u32, 1u64), (1, 1), (9, 42), (1 << 20, 1 << 30)] {
+            let gpid = GlobalPid {
+                machine: MachineId(machine),
+                pid: Pid(local),
+            };
+            let core: valkyrie_core::ProcessId = gpid.into();
+            assert_eq!(GlobalPid::from(core), gpid);
+        }
+    }
+
+    #[test]
+    fn machine_zero_is_the_bare_pid() {
+        let gpid = GlobalPid {
+            machine: MachineId(0),
+            pid: Pid(5),
+        };
+        let core: valkyrie_core::ProcessId = gpid.into();
+        assert_eq!(core, valkyrie_core::ProcessId(5));
+    }
+
+    #[test]
+    fn global_pid_ordering_is_machine_major() {
+        let a = GlobalPid {
+            machine: MachineId(1),
+            pid: Pid(999),
+        };
+        let b = GlobalPid {
+            machine: MachineId(2),
+            pid: Pid(1),
+        };
+        assert!(a < b);
     }
 }

@@ -11,7 +11,8 @@
 //! the sharded-engine benches can load a machine with thousands of
 //! monitored processes per tick.
 
-use crate::roster::{BenchmarkSpec, Family, Suite};
+use crate::roster::{BenchmarkSpec, Family};
+use valkyrie_core::hash::mix64;
 
 /// One archetype of benign fleet service.
 ///
@@ -110,7 +111,7 @@ pub const SERVICE_ARCHETYPES: [ServiceArchetype; 12] = [
 /// Deterministic per-index jitter in `[0, 1)` (the engine tier's SplitMix64
 /// finalizer, [`valkyrie_core::hash::mix64`]).
 fn index_jitter(i: u64) -> f64 {
-    (valkyrie_core::hash::mix64(i) % 10_000) as f64 / 10_000.0
+    (mix64(i) % 10_000) as f64 / 10_000.0
 }
 
 /// The spec of fleet instance `i` (instances cycle through the archetypes
@@ -127,14 +128,7 @@ pub fn fleet_instance(i: usize) -> BenchmarkSpec {
     } else {
         archetype.burst_base * (0.5 + jitter)
     };
-    BenchmarkSpec {
-        name: archetype.name,
-        suite: Suite::Fleet,
-        family: archetype.family,
-        epochs_to_complete: epochs.max(1),
-        burst_prob: burst,
-        threads: 1,
-    }
+    BenchmarkSpec::synthetic(archetype.name, archetype.family, epochs.max(1), burst)
 }
 
 /// A fleet of `n` benign service processes, deterministic in `n` and stable
@@ -143,9 +137,144 @@ pub fn fleet_roster(n: usize) -> Vec<BenchmarkSpec> {
     (0..n).map(fleet_instance).collect()
 }
 
+/// Decorrelation tags for the churn model's hash streams, so the draw for
+/// "does machine `m` depart at epoch `e`" can never equal the draw for
+/// "how many services arrive on machine `m` at epoch `e`".
+const STREAM_SERVICE_ARRIVAL: u64 = 0x5E41;
+const STREAM_SERVICE_DEPARTURE: u64 = 0x5EDE;
+const STREAM_MACHINE_ARRIVAL: u64 = 0x3A41;
+const STREAM_MACHINE_DEPARTURE: u64 = 0x3ADE;
+const STREAM_ATTACK_MACHINE: u64 = 0xA77C;
+const STREAM_ATTACK_EPOCH: u64 = 0xA77E;
+
+/// The fleet's arrival/departure churn model: **deterministic,
+/// seed-driven** rates for services joining and leaving machines and for
+/// machines joining and leaving the cluster.
+///
+/// Every decision is a pure hash of `(seed, stream, coordinates)` — no RNG
+/// state threads through the simulation, so churn at machine `m`, epoch
+/// `e` is identical however many other machines exist, whatever order they
+/// are visited in, and across runs and platforms. That is what makes
+/// fleet-scale results reproducible *and* partition-invariant: re-grouping
+/// machines cannot perturb anyone's churn.
+///
+/// Rates are expectations per epoch; fractional parts are realised by a
+/// per-coordinate Bernoulli draw (a rate of `0.3` yields one arrival in
+/// 30 % of epochs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetChurn {
+    /// Seed for every churn stream.
+    pub seed: u64,
+    /// Expected service arrivals per machine per epoch.
+    pub service_arrivals_per_epoch: f64,
+    /// Probability a live service departs (is drained) in an epoch, on top
+    /// of natural completion.
+    pub service_departure_prob: f64,
+    /// Expected machine boots per epoch, cluster-wide.
+    pub machine_arrivals_per_epoch: f64,
+    /// Probability a live machine is decommissioned in an epoch.
+    pub machine_departure_prob: f64,
+}
+
+impl FleetChurn {
+    /// A uniform draw in `[0, 1)` for one `(stream, a, b)` coordinate.
+    fn draw(&self, stream: u64, a: u64, b: u64) -> f64 {
+        let h = mix64(
+            self.seed
+                ^ mix64(stream)
+                ^ mix64(a).rotate_left(17)
+                ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Realises a fractional per-epoch rate as a deterministic count.
+    fn realise(&self, rate: f64, stream: u64, a: u64, b: u64) -> u32 {
+        let whole = rate.max(0.0).floor();
+        let frac = rate.max(0.0) - whole;
+        whole as u32 + u32::from(self.draw(stream, a, b) < frac)
+    }
+
+    /// How many services arrive on machine `machine` at epoch `epoch`.
+    pub fn service_arrivals(&self, machine: u32, epoch: u64) -> u32 {
+        self.realise(
+            self.service_arrivals_per_epoch,
+            STREAM_SERVICE_ARRIVAL,
+            u64::from(machine),
+            epoch,
+        )
+    }
+
+    /// Whether the service with machine-local pid `pid` on `machine` is
+    /// drained at `epoch`.
+    pub fn service_departs(&self, machine: u32, pid: u64, epoch: u64) -> bool {
+        self.draw(
+            STREAM_SERVICE_DEPARTURE,
+            u64::from(machine) ^ pid.rotate_left(32),
+            epoch,
+        ) < self.service_departure_prob
+    }
+
+    /// How many machines boot into the cluster at `epoch`.
+    pub fn machine_arrivals(&self, epoch: u64) -> u32 {
+        self.realise(
+            self.machine_arrivals_per_epoch,
+            STREAM_MACHINE_ARRIVAL,
+            0,
+            epoch,
+        )
+    }
+
+    /// Whether machine `machine` is decommissioned at `epoch`.
+    pub fn machine_departs(&self, machine: u32, epoch: u64) -> bool {
+        self.draw(STREAM_MACHINE_DEPARTURE, u64::from(machine), epoch) < self.machine_departure_prob
+    }
+}
+
+/// Where and when one attack lands in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackPlacement {
+    /// Index of the host machine in `0..n_machines` (the *initial* fleet;
+    /// drivers map indices to machine ids).
+    pub machine_index: usize,
+    /// Epoch at which the attack process spawns.
+    pub arrival_epoch: u64,
+    /// Attack instance number (`0..n_attacks`), for per-instance
+    /// parameterisation.
+    pub instance: usize,
+}
+
+/// Places `n_attacks` attacks across an `n_machines` fleet over the first
+/// half of a `horizon`-epoch run — deterministic in `seed`, beyond the old
+/// staggered model: host machines and arrival epochs are independent
+/// hash draws, so attacks cluster and collide the way real campaigns do
+/// rather than marching in lockstep. Arrivals stay in the first half so
+/// every attack has a full detection window before the run ends.
+pub fn place_attacks(
+    seed: u64,
+    n_attacks: usize,
+    n_machines: usize,
+    horizon: u64,
+) -> Vec<AttackPlacement> {
+    assert!(n_machines > 0, "attacks need a fleet to land on");
+    let window = (horizon / 2).max(1);
+    (0..n_attacks)
+        .map(|instance| {
+            let machine_draw = mix64(seed ^ mix64(STREAM_ATTACK_MACHINE) ^ instance as u64);
+            let epoch_draw = mix64(seed ^ mix64(STREAM_ATTACK_EPOCH) ^ instance as u64);
+            AttackPlacement {
+                machine_index: (machine_draw % n_machines as u64) as usize,
+                arrival_epoch: epoch_draw % window,
+                instance,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::roster::Suite;
 
     #[test]
     fn fleet_roster_has_requested_size() {
@@ -190,5 +319,96 @@ mod tests {
             assert_eq!(s.threads, 1);
             assert_eq!(s.suite, Suite::Fleet);
         }
+    }
+
+    fn churn() -> FleetChurn {
+        FleetChurn {
+            seed: 0xFEED,
+            service_arrivals_per_epoch: 0.25,
+            service_departure_prob: 0.05,
+            machine_arrivals_per_epoch: 1.5,
+            machine_departure_prob: 0.01,
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_coordinate_local() {
+        let c = churn();
+        for machine in 0..50u32 {
+            for epoch in 0..20u64 {
+                assert_eq!(
+                    c.service_arrivals(machine, epoch),
+                    c.service_arrivals(machine, epoch)
+                );
+                assert_eq!(
+                    c.machine_departs(machine, epoch),
+                    c.machine_departs(machine, epoch)
+                );
+            }
+        }
+        // A different seed reshuffles the arrival pattern.
+        let other = FleetChurn { seed: 0xBEEF, ..c };
+        let pattern: Vec<u32> = (0..2000u32).map(|m| c.service_arrivals(m, 3)).collect();
+        let other_pattern: Vec<u32> = (0..2000u32).map(|m| other.service_arrivals(m, 3)).collect();
+        assert_ne!(pattern, other_pattern);
+        assert!(pattern.iter().sum::<u32>() > 0, "arrivals never fire");
+    }
+
+    #[test]
+    fn churn_rates_match_expectations() {
+        let c = churn();
+        let n = 50_000u64;
+        let arrivals: u32 = (0..n).map(|e| c.service_arrivals(7, e)).sum();
+        let rate = f64::from(arrivals) / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "arrival rate {rate}");
+        let departures = (0..n).filter(|&e| c.service_departs(3, 41, e)).count();
+        let rate = departures as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "departure rate {rate}");
+        let boots: u32 = (0..n).map(|e| c.machine_arrivals(e)).sum();
+        let rate = f64::from(boots) / n as f64;
+        // Rate 1.5 = 1 guaranteed + Bernoulli(0.5).
+        assert!((rate - 1.5).abs() < 0.02, "boot rate {rate}");
+        let deaths = (0..n).filter(|&e| c.machine_departs(12, e)).count();
+        let rate = deaths as f64 / n as f64;
+        assert!((rate - 0.01).abs() < 0.003, "death rate {rate}");
+    }
+
+    #[test]
+    fn churn_streams_are_decorrelated() {
+        let c = FleetChurn {
+            service_departure_prob: 0.5,
+            machine_departure_prob: 0.5,
+            ..churn()
+        };
+        // Same coordinates, different questions → decisions must disagree
+        // somewhere (identical streams would lock them together).
+        let disagree = (0..1000u64)
+            .filter(|&e| c.service_departs(4, 4, e) != c.machine_departs(4, e))
+            .count();
+        assert!(disagree > 300, "streams look correlated: {disagree}/1000");
+    }
+
+    #[test]
+    fn attack_placement_is_deterministic_and_in_bounds() {
+        let a = place_attacks(0x5EED, 64, 1000, 600);
+        assert_eq!(a, place_attacks(0x5EED, 64, 1000, 600));
+        assert_eq!(a.len(), 64);
+        for (i, p) in a.iter().enumerate() {
+            assert_eq!(p.instance, i);
+            assert!(p.machine_index < 1000);
+            assert!(
+                p.arrival_epoch < 300,
+                "arrival {} past half",
+                p.arrival_epoch
+            );
+        }
+        // Hash placement spreads hosts (not all on one machine) and
+        // staggers arrivals.
+        let hosts: std::collections::HashSet<_> = a.iter().map(|p| p.machine_index).collect();
+        assert!(hosts.len() > 32, "only {} distinct hosts", hosts.len());
+        let epochs: std::collections::HashSet<_> = a.iter().map(|p| p.arrival_epoch).collect();
+        assert!(epochs.len() > 16, "only {} distinct arrivals", epochs.len());
+        // And differs under another seed.
+        assert_ne!(a, place_attacks(0x0BAD, 64, 1000, 600));
     }
 }

@@ -30,7 +30,10 @@ pub mod multithread;
 pub mod roster;
 pub mod workload;
 
-pub use fleet::{fleet_instance, fleet_roster, ServiceArchetype, SERVICE_ARCHETYPES};
+pub use fleet::{
+    fleet_instance, fleet_roster, place_attacks, AttackPlacement, FleetChurn, ServiceArchetype,
+    SERVICE_ARCHETYPES,
+};
 pub use multithread::{spawn_team, TeamHandle};
 pub use roster::{multithreaded_roster, roster, BenchmarkSpec, Family, Suite};
 pub use workload::BenchmarkWorkload;

@@ -88,6 +88,20 @@ impl BenchmarkSpec {
             threads: 1,
         }
     }
+
+    /// A single-threaded synthetic service spec in the [`Suite::Fleet`]
+    /// suite — the public constructor behind generated rosters
+    /// ([`crate::fleet::fleet_instance`]) and churn-model arrivals, which
+    /// build specs outside the fixed 77-program table.
+    pub fn synthetic(name: &'static str, family: Family, epochs: u64, burst_prob: f64) -> Self {
+        Self::new(
+            name,
+            Suite::Fleet,
+            family,
+            epochs.max(1),
+            burst_prob.clamp(0.0, 1.0),
+        )
+    }
 }
 
 /// Deterministic per-name jitter in `[0, 1)`.

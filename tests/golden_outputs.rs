@@ -56,6 +56,23 @@ fn capture_multi_tenant_async() -> (usize, f64, f64, f64, usize, u64, u64, u64) 
     )
 }
 
+#[allow(clippy::type_complexity)]
+fn capture_fleet_scale() -> (usize, f64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    let r = x::fleet_scale::run(&x::fleet_scale::FleetScaleConfig::quick());
+    (
+        r.attacks_terminated,
+        r.mean_epochs_to_kill,
+        r.benign_killed,
+        r.services_completed,
+        r.services_drained,
+        r.services_evicted,
+        r.machines_booted,
+        r.machines_decommissioned,
+        r.purged,
+        r.observations,
+    )
+}
+
 /// Prints the current values as Rust literals (for regeneration).
 #[test]
 #[ignore]
@@ -73,6 +90,9 @@ fn print_golden_values() {
     let mta = capture_multi_tenant_async();
     println!("// --- multi_tenant quick_async ---");
     println!("    {mta:?}");
+    let fs = capture_fleet_scale();
+    println!("// --- fleet_scale quick ---");
+    println!("    {fs:?}");
 }
 
 #[test]
@@ -134,6 +154,34 @@ fn fig6b_curves_are_bit_identical_to_seed() {
     assert_eq!(without.to_bits(), ew.to_bits(), "{without:?} vs {ew:?}");
     assert_eq!(cpu.to_bits(), ec.to_bits(), "{cpu:?} vs {ec:?}");
     assert_eq!(fs.to_bits(), ef.to_bits(), "{fs:?} vs {ef:?}");
+}
+
+/// The fleet-scale quick counters: kill-at-`N*+1` (n_star = 8 → mean 9.0
+/// epochs), wrongful terminations, churn totals (service drains, machine
+/// boots/decommissions and their evictions), purges and total
+/// observations. Every draw in the run is a pure hash, so these are
+/// bit-stable across platforms and engine groupings.
+#[test]
+fn fleet_scale_counters_are_bit_identical_to_seed() {
+    let got = capture_fleet_scale();
+    let expected: (usize, f64, u64, u64, u64, u64, u64, u64, u64, u64) =
+        (4, 9.0, 16, 382, 392, 186, 240, 42, 393, 35577);
+    assert_eq!(got.0, expected.0, "attacks terminated");
+    assert_eq!(
+        got.1.to_bits(),
+        expected.1.to_bits(),
+        "mean epochs to kill: {:?} vs {:?}",
+        got.1,
+        expected.1
+    );
+    assert_eq!(got.2, expected.2, "benign killed");
+    assert_eq!(got.3, expected.3, "services completed");
+    assert_eq!(got.4, expected.4, "services drained");
+    assert_eq!(got.5, expected.5, "services evicted");
+    assert_eq!(got.6, expected.6, "machines booted");
+    assert_eq!(got.7, expected.7, "machines decommissioned");
+    assert_eq!(got.8, expected.8, "purged");
+    assert_eq!(got.9, expected.9, "observations");
 }
 
 #[test]

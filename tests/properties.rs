@@ -511,4 +511,58 @@ proptest! {
         prop_assert_eq!(snapshot.total_bytes(), fs.total_bytes());
         prop_assert!(fs.encrypted_files() >= 1);
     }
+
+    /// `fs_snapshot`/`restore_fs` round-trips exactly, even while two
+    /// machines share one prebuilt corpus and mutate their views
+    /// concurrently (the cluster boot path): a snapshot of machine A taken
+    /// mid-interleaving is a faithful restore point for A, machine B's
+    /// concurrent encryption never bleeds into it, and the template
+    /// corpus itself stays pristine throughout.
+    #[test]
+    fn fs_snapshot_round_trips_under_concurrent_mutation(
+        n in 1usize..200,
+        ops in prop::collection::vec((prop::bool::ANY, 0usize..200), 2..60),
+        cut in 0usize..60,
+    ) {
+        use valkyrie::sim::fs::SimFs;
+        use valkyrie::sim::prelude::{Machine, MachineConfig};
+
+        let template = SimFs::uniform("/shared/f", n, 2257);
+        let mut a = Machine::new(MachineConfig { seed: 1, ..MachineConfig::default() });
+        let mut b = Machine::new(MachineConfig { seed: 2, ..MachineConfig::default() });
+        a.restore_fs(&template);
+        b.restore_fs(&template);
+
+        let cut = cut.min(ops.len());
+        for &(on_a, idx) in &ops[..cut] {
+            let m = if on_a { &mut a } else { &mut b };
+            m.filesystem_mut().encrypt_file(idx % n);
+        }
+        let checkpoint = a.fs_snapshot();
+        let want_files = a.filesystem().encrypted_files();
+        let want_bytes = a.filesystem().encrypted_bytes();
+
+        // Both machines keep mutating after the checkpoint.
+        for &(on_a, idx) in &ops[cut..] {
+            let m = if on_a { &mut a } else { &mut b };
+            m.filesystem_mut().encrypt_file(idx % n);
+        }
+
+        // The checkpoint is immune to post-snapshot mutation on either
+        // machine, and restoring it rolls A back exactly.
+        prop_assert_eq!(checkpoint.encrypted_files(), want_files);
+        prop_assert_eq!(checkpoint.encrypted_bytes(), want_bytes);
+        a.restore_fs(&checkpoint);
+        prop_assert_eq!(a.filesystem().encrypted_files(), want_files);
+        prop_assert_eq!(a.filesystem().encrypted_bytes(), want_bytes);
+        for i in 0..n {
+            prop_assert_eq!(a.filesystem().is_encrypted(i), checkpoint.is_encrypted(i));
+            prop_assert_eq!(a.filesystem().size_of(i), template.size_of(i));
+        }
+        // The shared template never saw anyone's writes.
+        prop_assert_eq!(template.encrypted_files(), 0);
+        prop_assert_eq!(template.encrypted_bytes(), 0);
+        prop_assert_eq!(a.filesystem().total_bytes(), template.total_bytes());
+        prop_assert_eq!(b.filesystem().total_bytes(), template.total_bytes());
+    }
 }
