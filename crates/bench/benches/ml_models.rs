@@ -1,0 +1,135 @@
+//! ML-tier benchmarks: training cost per model family (`ml_train`) and
+//! batched inference throughput (`ml_infer`).
+//!
+//! The inference benches pit the scalar `score` loop against the batched
+//! kernels (`score_batch` / `predict_batch`) on the same inputs — the two
+//! are bit-identical (pinned by `tests/properties.rs`), so any gap here is
+//! pure perf headroom, and any regression is a kernel rot.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use valkyrie_ml::{
+    BinaryClassifier, Gbdt, GbdtConfig, LinearSvm, Lstm, LstmConfig, Mlp, MlpConfig, SvmConfig,
+};
+
+const DIM: usize = 10;
+
+fn blobs(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs = (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { 1.0 } else { -1.0 };
+            (0..DIM).map(|_| c + rng.gen::<f64>()).collect()
+        })
+        .collect();
+    let ys = (0..n).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+    (xs, ys)
+}
+
+fn sequences(n: usize, len: usize, seed: u64) -> (Vec<Vec<Vec<f64>>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seqs = (0..n)
+        .map(|i| {
+            let c = if i % 2 == 0 { 0.8 } else { -0.8 };
+            (0..len)
+                .map(|_| (0..DIM).map(|_| c + rng.gen::<f64>()).collect())
+                .collect()
+        })
+        .collect();
+    let ys = (0..n).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+    (seqs, ys)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ml_train");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    let (xs, ys) = blobs(800, 11);
+    g.bench_function("svm_train_800", |b| {
+        b.iter(|| black_box(LinearSvm::train(&SvmConfig::default(), &xs, &ys)))
+    });
+    g.bench_function("gbdt_train_800", |b| {
+        b.iter(|| black_box(Gbdt::train(&GbdtConfig::default(), &xs, &ys)))
+    });
+    g.bench_function("gbdt_train_800_seq", |b| {
+        let cfg = GbdtConfig {
+            workers: 1,
+            ..GbdtConfig::default()
+        };
+        b.iter(|| black_box(Gbdt::train(&cfg, &xs, &ys)))
+    });
+    g.bench_function("mlp_train_800", |b| {
+        let cfg = MlpConfig::small_ann(DIM).with_epochs(30);
+        b.iter(|| black_box(Mlp::train(&cfg, &xs, &ys)))
+    });
+    let (seqs, sys) = sequences(24, 12, 13);
+    g.bench_function("lstm_train_24x12", |b| {
+        let cfg = LstmConfig {
+            epochs: 10,
+            ..LstmConfig::new(DIM, 8)
+        };
+        b.iter(|| black_box(Lstm::train(&cfg, &seqs, &sys)))
+    });
+    g.finish();
+}
+
+fn bench_infer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ml_infer");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    let (xs, ys) = blobs(800, 17);
+    let (batch, _) = blobs(1024, 19);
+    let svm = LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+    let gbdt = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
+    let mlp = Mlp::train(&MlpConfig::small_ann(DIM).with_epochs(30), &xs, &ys);
+    let models: [(&str, &dyn BinaryClassifier); 3] =
+        [("svm", &svm), ("gbdt", &gbdt), ("mlp", &mlp)];
+    for (name, model) in models {
+        g.bench_function(&format!("{name}_scalar_1024"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for x in &batch {
+                    acc += model.score(x);
+                }
+                black_box(acc)
+            })
+        });
+        let mut out = Vec::new();
+        g.bench_function(&format!("{name}_batch_1024"), |b| {
+            b.iter(|| {
+                model.score_batch_into(&batch, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+    let (seqs, sys) = sequences(24, 12, 23);
+    let lstm = Lstm::train(
+        &LstmConfig {
+            epochs: 10,
+            ..LstmConfig::new(DIM, 8)
+        },
+        &seqs,
+        &sys,
+    );
+    let (infer_seqs, _) = sequences(64, 12, 29);
+    g.bench_function("lstm_scalar_64x12", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &infer_seqs {
+                acc += lstm.predict_proba(s);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("lstm_batch_64x12", |b| {
+        b.iter(|| black_box(lstm.predict_batch(&infer_seqs).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_train, bench_infer);
+criterion_main!(benches);

@@ -93,7 +93,7 @@ pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, Monitor, StepReport};
 pub use pool::ShardPool;
 pub use resource::{ProcessId, ResourceKind, ResourceVector};
-pub use sharded::{ExecutionMode, ShardedEngine};
+pub use sharded::{host_parallelism, ExecutionMode, ShardedEngine};
 pub use slowdown::{simulate_response, slowdown_percent, ResponseTrace};
 pub use state::ProcessState;
 pub use telemetry::{IngestStats, LogEntry, ProcessSummary, ResponseLog};

@@ -86,7 +86,23 @@ use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
 use crate::telemetry::IngestStats;
 use crate::threat::{Classification, ThreatIndex};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Cached [`std::thread::available_parallelism`] (1 on error).
+///
+/// The underlying call re-reads cgroup limits from the kernel every time —
+/// ~10 µs on Linux — which adds up for drivers that construct many
+/// short-lived engines (e.g. a sweep building one per grid point). The host
+/// core count cannot change under us in any deployment we care about, so
+/// one probe per process is enough.
+pub fn host_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// Batches smaller than this per call run on the caller's thread even with
 /// multiple shards: a few hundred observations finish faster than the
@@ -324,10 +340,7 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
             epoch: 0,
             purged_total: 0,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
-            host_workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(shards),
+            host_workers: host_parallelism().min(shards),
             parts: vec![Vec::new(); shards],
             origins: vec![Vec::new(); shards],
             ingest: None,
@@ -517,6 +530,27 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         };
         self.shrink_scratch();
         out
+    }
+
+    /// Batch variant of [`Self::observe_batch`] writing into a caller-owned
+    /// buffer (cleared first). The single-shard path runs allocation-free,
+    /// so per-epoch embedders (the scenario driver) reuse one response
+    /// buffer across steps; multi-shard configurations fall back to
+    /// [`Self::observe_batch`], whose scatter pass allocates per call
+    /// anyway. Responses are identical on every path.
+    pub fn observe_batch_into(
+        &mut self,
+        batch: &[(ProcessId, Classification)],
+        out: &mut Vec<EngineResponse>,
+    ) {
+        out.clear();
+        if self.nshards == 1 {
+            if let Backend::Scoped(ref mut shards) = self.backend {
+                shards[0].observe_batch_into(batch, out);
+                return;
+            }
+        }
+        out.extend(self.observe_batch(batch));
     }
 
     /// Shrinks scratch the inline fast path left unused: its contents are

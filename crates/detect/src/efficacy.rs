@@ -78,6 +78,63 @@ where
     EfficacyCurve::new(points)
 }
 
+/// Like [`measure_efficacy`] for majority-vote detectors, but classifies
+/// each measurement exactly once.
+///
+/// `classify_samples(seq) -> Vec<bool>` returns one per-measurement verdict
+/// per timestep (a natural fit for the batched
+/// [`BinaryClassifier::score_batch`](valkyrie_ml::BinaryClassifier::score_batch)
+/// paths); every grid point is then answered from prefix vote counts. For a
+/// deterministic per-sample classifier this is exactly the majority-over-
+/// prefix rule evaluated per grid point — the confusion matrices, and hence
+/// the curve, are identical — without the `O(grid × prefix)` reclassification.
+///
+/// # Errors
+///
+/// Propagates [`ValkyrieError::InvalidCurve`] if the grid produced no valid
+/// points (cannot happen for a non-empty grid and dataset).
+pub fn measure_efficacy_votes<F>(
+    test: &SequenceDataset,
+    grid: &EfficacyGrid,
+    mut classify_samples: F,
+) -> Result<EfficacyCurve, ValkyrieError>
+where
+    F: FnMut(&[Vec<f64>]) -> Vec<bool>,
+{
+    // prefix_votes[trace][t] = malicious votes among the first t measurements.
+    let prefix_votes: Vec<Vec<u32>> = test
+        .sequences
+        .iter()
+        .map(|seq| {
+            let flags = classify_samples(seq);
+            assert_eq!(flags.len(), seq.len(), "one verdict per measurement");
+            let mut counts = Vec::with_capacity(seq.len() + 1);
+            let mut acc = 0u32;
+            counts.push(0);
+            for f in flags {
+                acc += u32::from(f);
+                counts.push(acc);
+            }
+            counts
+        })
+        .collect();
+    let mut points = Vec::with_capacity(grid.points().len());
+    for &n in grid.points() {
+        let mut cm = ConfusionMatrix::default();
+        for (counts, &label) in prefix_votes.iter().zip(&test.labels) {
+            let take = (n as usize).min(counts.len() - 1);
+            let pred = 2 * counts[take] as usize > take;
+            cm.record(label == 1.0, pred);
+        }
+        points.push(EfficacyPoint {
+            measurements: n,
+            f1: cm.f1(),
+            fpr: cm.fpr(),
+        });
+    }
+    EfficacyCurve::new(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +216,25 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_grid_panics() {
         let _ = EfficacyGrid::new(vec![]);
+    }
+
+    #[test]
+    fn vote_variant_is_bit_identical_to_per_prefix_majority() {
+        let ds = synthetic_dataset();
+        let grid = EfficacyGrid::new(vec![1, 2, 5, 10, 40, 60, 100]);
+        let slow = measure_efficacy(&ds, &grid, |p| {
+            let malicious = p.iter().filter(|x| x[0] > 0.5).count();
+            2 * malicious > p.len()
+        })
+        .unwrap();
+        let fast =
+            measure_efficacy_votes(&ds, &grid, |seq| seq.iter().map(|x| x[0] > 0.5).collect())
+                .unwrap();
+        assert_eq!(slow.points().len(), fast.points().len());
+        for (a, b) in slow.points().iter().zip(fast.points()) {
+            assert_eq!(a.measurements, b.measurements);
+            assert_eq!(a.f1.to_bits(), b.f1.to_bits());
+            assert_eq!(a.fpr.to_bits(), b.fpr.to_bits());
+        }
     }
 }

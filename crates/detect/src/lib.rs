@@ -42,7 +42,7 @@ pub mod scripted;
 pub mod statistical;
 pub mod voting;
 
-pub use efficacy::{measure_efficacy, EfficacyGrid};
+pub use efficacy::{measure_efficacy, measure_efficacy_votes, EfficacyGrid};
 pub use ensemble::{CombinationRule, EnsembleDetector, MultiLevelDetector};
 pub use latency::LatencyModel;
 pub use ml_backed::{LstmDetector, MajorityVoteDetector, PooledDetector};

@@ -12,7 +12,7 @@
 use crate::Detector;
 use valkyrie_core::{Classification, ProcessId};
 use valkyrie_hpc::SampleWindow;
-use valkyrie_ml::{BinaryClassifier, Lstm, Standardizer};
+use valkyrie_ml::{BinaryClassifier, Lstm, LstmScratch, Standardizer};
 
 /// Majority voting over per-measurement classifications (SVM / XGBoost
 /// style): malicious when more than half of the window's measurements are
@@ -25,6 +25,8 @@ pub struct MajorityVoteDetector<C> {
     name: String,
     model: C,
     standardizer: Standardizer,
+    feats: Vec<Vec<f64>>,
+    scores: Vec<f64>,
 }
 
 impl<C: BinaryClassifier> MajorityVoteDetector<C> {
@@ -34,6 +36,8 @@ impl<C: BinaryClassifier> MajorityVoteDetector<C> {
             name: name.into(),
             model,
             standardizer,
+            feats: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -60,7 +64,22 @@ impl<C: BinaryClassifier> Detector for MajorityVoteDetector<C> {
     }
 
     fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
-        if self.vote_fraction(window) > 0.5 {
+        if window.is_empty() {
+            return Classification::Benign;
+        }
+        // Batched path: one `score_batch_into` over the window instead of a
+        // per-sample `classify` — same scores bit-for-bit (property-pinned
+        // per model), but through each model's matrix/tree-walk kernel.
+        self.feats.clear();
+        self.feats.extend(
+            window
+                .samples()
+                .iter()
+                .map(|s| self.standardizer.transform(s.as_features())),
+        );
+        self.model.score_batch_into(&self.feats, &mut self.scores);
+        let malicious = self.scores.iter().filter(|&&s| s >= 0.5).count();
+        if 2 * malicious > window.len() {
             Classification::Malicious
         } else {
             Classification::Benign
@@ -123,6 +142,7 @@ pub struct LstmDetector {
     name: String,
     model: Lstm,
     standardizer: Standardizer,
+    scratch: LstmScratch,
 }
 
 impl LstmDetector {
@@ -133,6 +153,7 @@ impl LstmDetector {
             name: name.into(),
             model,
             standardizer,
+            scratch: LstmScratch::default(),
         }
     }
 
@@ -154,6 +175,16 @@ impl LstmDetector {
         }
         self.model.predict_proba(&self.sequence_of(window))
     }
+
+    /// Like [`LstmDetector::probability`] but reuses a caller-owned forward
+    /// scratch — the allocation-free path `infer` takes every epoch.
+    pub fn probability_with(&self, window: &SampleWindow, scratch: &mut LstmScratch) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        self.model
+            .predict_proba_with(&self.sequence_of(window), scratch)
+    }
 }
 
 impl Detector for LstmDetector {
@@ -162,7 +193,10 @@ impl Detector for LstmDetector {
     }
 
     fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
-        if self.probability(window) >= 0.5 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let p = self.probability_with(window, &mut scratch);
+        self.scratch = scratch;
+        if p >= 0.5 {
             Classification::Malicious
         } else {
             Classification::Benign

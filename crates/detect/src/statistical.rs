@@ -129,14 +129,22 @@ impl StatisticalDetector {
     /// Anomaly score of one sample: mean of the top-3 per-event |z|.
     pub fn score(&self, sample: &HpcSample) -> f64 {
         let feats = Self::featurize(sample, self.normalized);
-        let mut zs: Vec<f64> = feats
-            .iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((x, m), s)| ((x - m) / s).abs())
-            .collect();
-        zs.sort_by(|a, b| b.partial_cmp(a).expect("z-scores are finite"));
-        zs.iter().take(Self::TOP_K).sum::<f64>() / Self::TOP_K as f64
+        // Three-register top-3 selection: no allocation, no sort. The fold
+        // `(a + b) + c` over the descending top three matches the previous
+        // sorted `take(3).sum()` bit-for-bit because `0.0 + x == x` for the
+        // non-negative |z| values.
+        let (mut a, mut b, mut c) = (0.0_f64, 0.0_f64, 0.0_f64);
+        for ((x, m), s) in feats.iter().zip(&self.mean).zip(&self.std) {
+            let z = ((x - m) / s).abs();
+            if z > a {
+                (a, b, c) = (z, a, b);
+            } else if z > b {
+                (b, c) = (z, b);
+            } else if z > c {
+                c = z;
+            }
+        }
+        (a + b + c) / Self::TOP_K as f64
     }
 }
 

@@ -10,6 +10,8 @@
 //! relies on.
 
 use crate::Detector;
+use std::collections::{HashMap, VecDeque};
+use valkyrie_core::hash::FxBuildHasher;
 use valkyrie_core::{Classification, ProcessId};
 use valkyrie_hpc::{HpcSample, SampleWindow};
 
@@ -57,13 +59,42 @@ impl SampleClassifier for crate::StatisticalDetector {
 pub struct VotingDetector<C> {
     inner: C,
     vote_after: u64,
+    votes: HashMap<ProcessId, VoteRing, FxBuildHasher>,
+}
+
+/// Cached per-process vote counts so each sample is classified exactly once.
+///
+/// `flags` mirrors the process's retained window (oldest first); `observed`
+/// is the window's `total_observed` at the last inference, used to detect
+/// whether the window advanced by exactly one sample (incremental update) or
+/// was reset/skipped (full rebuild).
+#[derive(Debug, Clone, Default)]
+struct VoteRing {
+    flags: VecDeque<bool>,
+    observed: u64,
+    malicious: usize,
+}
+
+impl VoteRing {
+    fn push(&mut self, flag: bool, retained: usize) {
+        self.flags.push_back(flag);
+        self.malicious += usize::from(flag);
+        while self.flags.len() > retained {
+            let evicted = self.flags.pop_front().expect("non-empty ring");
+            self.malicious -= usize::from(evicted);
+        }
+    }
 }
 
 impl<C: SampleClassifier> VotingDetector<C> {
     /// Wraps `inner`; majority voting starts once `vote_after` measurements
     /// have been observed for the process.
     pub fn new(inner: C, vote_after: u64) -> Self {
-        Self { inner, vote_after }
+        Self {
+            inner,
+            vote_after,
+            votes: HashMap::default(),
+        }
     }
 
     /// The wrapped classifier.
@@ -92,14 +123,50 @@ impl<C: SampleClassifier> Detector for VotingDetector<C> {
         "majority-voting"
     }
 
-    fn infer(&mut self, _pid: ProcessId, window: &SampleWindow) -> Classification {
+    fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification {
         let Some(latest) = window.latest() else {
+            // A fresh (possibly reset) window: drop any stale vote state so
+            // the next sample rebuilds from scratch.
+            self.votes.remove(&pid);
             return Classification::Benign;
         };
-        if window.total_observed() < self.vote_after {
-            self.inner.classify_sample(latest)
+        let total = window.total_observed();
+        let state = self.votes.entry(pid).or_default();
+        // Before this push the window held `len - 1` samples (still filling)
+        // or `len` (full, oldest evicted); the ring must mirror that count.
+        let expected = if total <= window.capacity() as u64 {
+            window.len() - 1
         } else {
-            self.majority(window)
+            window.len()
+        };
+        if total == state.observed + 1 && state.flags.len() == expected {
+            // The window advanced by exactly one sample since the last call:
+            // classify only the newcomer and roll the cached counts forward.
+            let flag = self.inner.classify_sample(latest) == Classification::Malicious;
+            state.push(flag, window.len());
+        } else {
+            // Reset, restore, or skipped epochs — rebuild the ring from the
+            // retained window (oldest first).
+            state.flags.clear();
+            state.malicious = 0;
+            for s in window.samples() {
+                let flag = self.inner.classify_sample(s) == Classification::Malicious;
+                state.flags.push_back(flag);
+                state.malicious += usize::from(flag);
+            }
+        }
+        state.observed = total;
+        if total < self.vote_after {
+            // Pre-vote pass-through: the verdict on the latest sample alone.
+            if *state.flags.back().expect("window is non-empty") {
+                Classification::Malicious
+            } else {
+                Classification::Benign
+            }
+        } else if 2 * state.malicious > state.flags.len() {
+            Classification::Malicious
+        } else {
+            Classification::Benign
         }
     }
 }
@@ -170,5 +237,45 @@ mod tests {
         let (mut det, _) = detector(1);
         let w = SampleWindow::new(4);
         assert_eq!(det.infer(ProcessId(1), &w), Classification::Benign);
+    }
+
+    /// The cached-vote fast path must answer exactly like classifying the
+    /// whole window from scratch — across fill-up, steady-state eviction,
+    /// interleaved processes, and a window reset mid-stream.
+    #[test]
+    fn incremental_votes_match_full_rescan() {
+        let (mut det, mut rng) = detector(5);
+        let mut windows = [SampleWindow::new(8), SampleWindow::new(6)];
+        let pids = [ProcessId(1), ProcessId(2)];
+        let check =
+            |det: &mut VotingDetector<StatisticalDetector>, w: &SampleWindow, pid: ProcessId| {
+                let got = det.infer(pid, w);
+                let expected = if w.total_observed() < 5 {
+                    det.inner().classify_sample(w.latest().expect("pushed"))
+                } else {
+                    det.majority(w)
+                };
+                assert_eq!(
+                    got,
+                    expected,
+                    "pid {pid:?} after {} obs",
+                    w.total_observed()
+                );
+            };
+        for i in 0..40_usize {
+            let which = i % 2;
+            let s = if i % 3 == 0 {
+                Signature::hammering().sample(&mut rng, 1.0)
+            } else {
+                Signature::cpu_bound().sample(&mut rng, 1.0)
+            };
+            windows[which].push(s);
+            check(&mut det, &windows[which], pids[which]);
+            if i == 23 {
+                // Simulate a restore-and-recycle: the window restarts.
+                windows[0] = SampleWindow::new(8);
+                assert_eq!(det.infer(pids[0], &windows[0]), Classification::Benign);
+            }
+        }
     }
 }

@@ -23,8 +23,7 @@
 use crate::harness::{fmt, pct, TextTable};
 use valkyrie_core::EfficacyCurve;
 use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
-use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
-use valkyrie_ml::{BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, Standardizer, SvmConfig};
+use valkyrie_ml::{BinaryClassifier, Standardizer};
 
 /// Experiment parameters (mirrors [`crate::fig1::Fig1Config`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,55 +111,37 @@ fn majority<C: BinaryClassifier>(model: &C, std: &Standardizer, prefix: &[Vec<f6
     2 * malicious > prefix.len()
 }
 
-fn capped(mut xs: Vec<Vec<f64>>, mut ys: Vec<f64>, cap: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-    if xs.len() > cap {
-        let stride = xs.len().div_ceil(cap);
-        xs = xs.into_iter().step_by(stride).collect();
-        ys = ys.into_iter().step_by(stride).collect();
-    }
-    (xs, ys)
-}
-
 /// Runs the two-level detection experiment.
 pub fn run(config: &EnsembleConfig) -> EnsembleResult {
-    let corpus = generate_corpus(&CorpusConfig {
-        ransomware_variants: config.ransomware,
-        benign_programs: config.benign,
+    // The corpus split and all three models are byte-for-byte the Fig. 1
+    // artefacts (same corpus config, same capping, same pooled training
+    // set), so pull them from the shared trained-model cache instead of
+    // retraining.
+    let models = crate::fig1::trained_models(&crate::fig1::Fig1Config {
+        ransomware: config.ransomware,
+        benign: config.benign,
         trace_len: config.trace_len,
+        grid_max: config.grid_max,
+        train_cap: config.train_cap,
         seed: config.seed,
     });
-    let (train, test) = corpus.split(0.7);
-    let flat_train = train.flatten();
-    let standardizer = Standardizer::fit(&flat_train.features);
-
-    let (xs, ys) = capped(
-        standardizer.transform_all(&flat_train.features),
-        flat_train.labels.clone(),
-        config.train_cap,
-    );
-    let svm = valkyrie_ml::LinearSvm::train(&SvmConfig::default(), &xs, &ys);
-    let gbdt = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
-    // The screen is a pooled small ANN trained exactly like Fig. 1's.
-    let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
-    let ann = Mlp::train(
-        &MlpConfig::small_ann(px[0].len()).with_epochs(150),
-        &px,
-        &py,
-    );
+    let test = &models.test;
+    let standardizer = &models.standardizer;
+    let (svm, gbdt, ann) = (&models.svm, &models.xgb, &models.small);
 
     let screen_fires = |p: &[Vec<f64>]| {
         ann.predict_proba(&standardizer.transform(&pooled_mean(p))) >= config.screen_threshold
     };
-    let confirm_fires = |p: &[Vec<f64>]| majority(&gbdt, &standardizer, p);
+    let confirm_fires = |p: &[Vec<f64>]| majority(gbdt, standardizer, p);
 
     let grid = EfficacyGrid::new((1..=config.grid_max).step_by(2).collect());
-    let screen = measure_efficacy(&test, &grid, screen_fires).expect("non-empty grid");
-    let confirmer = measure_efficacy(&test, &grid, confirm_fires).expect("non-empty grid");
+    let screen = measure_efficacy(test, &grid, screen_fires).expect("non-empty grid");
+    let confirmer = measure_efficacy(test, &grid, confirm_fires).expect("non-empty grid");
     let two_level =
-        measure_efficacy(&test, &grid, |p| screen_fires(p) && confirm_fires(p)).expect("grid");
-    let panel = measure_efficacy(&test, &grid, |p| {
+        measure_efficacy(test, &grid, |p| screen_fires(p) && confirm_fires(p)).expect("grid");
+    let panel = measure_efficacy(test, &grid, |p| {
         let votes = usize::from(screen_fires(p))
-            + usize::from(majority(&svm, &standardizer, p))
+            + usize::from(majority(svm, standardizer, p))
             + usize::from(confirm_fires(p));
         votes >= 2
     })
@@ -207,24 +188,6 @@ pub fn run(config: &EnsembleConfig) -> EnsembleResult {
         confirmer_duty_cycle,
         report,
     }
-}
-
-fn pooled_training_set(
-    train: &valkyrie_ml::SequenceDataset,
-    std: &Standardizer,
-    trace_len: usize,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    let lens = [1usize, 3, 5, 10, 20, 40, trace_len];
-    for (seq, &label) in train.sequences.iter().zip(&train.labels) {
-        for &len in &lens {
-            let take = len.min(seq.len());
-            xs.push(std.transform(&pooled_mean(&seq[..take])));
-            ys.push(label);
-        }
-    }
-    (xs, ys)
 }
 
 fn render(

@@ -1,12 +1,15 @@
 //! Fig. 1 — detection efficacy (F1, FPR) versus number of measurements for
 //! four detector families trained on the ransomware-vs-benign HPC corpus.
 
+use crate::cache::{get_or_build, CacheKey};
 use crate::harness::{fmt, TextTable};
-use valkyrie_core::{EfficacyCurve, EfficacySpec};
-use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
+use std::sync::Arc;
+use valkyrie_core::{EfficacyCurve, EfficacyPoint, EfficacySpec};
+use valkyrie_detect::efficacy::{measure_efficacy_votes, EfficacyGrid};
 use valkyrie_ml::dataset::{generate_corpus, CorpusConfig};
 use valkyrie_ml::{
-    BinaryClassifier, Gbdt, GbdtConfig, Mlp, MlpConfig, SequenceDataset, Standardizer, SvmConfig,
+    BinaryClassifier, ConfusionMatrix, Gbdt, GbdtConfig, LinearSvm, Mlp, MlpConfig, MlpScratch,
+    SequenceDataset, Standardizer, SvmConfig,
 };
 
 /// Experiment parameters.
@@ -79,64 +82,134 @@ fn pooled_mean(prefix: &[Vec<f64>]) -> Vec<f64> {
     mean
 }
 
-fn majority<C: BinaryClassifier>(model: &C, std: &Standardizer, prefix: &[Vec<f64>]) -> bool {
-    let malicious = prefix
-        .iter()
-        .filter(|x| model.classify(&std.transform(x)))
-        .count();
-    2 * malicious > prefix.len()
+/// Everything Fig. 1 trains from one corpus configuration.
+///
+/// Cached process-wide (see [`crate::cache`]): sweep points, benches and
+/// tests that share `{ransomware, benign, trace_len, train_cap, seed}` reuse
+/// the corpus split and all four trained models — `grid_max` only selects
+/// where the (cheap) curves are evaluated, so it is deliberately *not* part
+/// of the key.
+#[derive(Debug, Clone)]
+pub(crate) struct TrainedModels {
+    pub(crate) test: SequenceDataset,
+    pub(crate) standardizer: Standardizer,
+    pub(crate) svm: LinearSvm,
+    pub(crate) xgb: Gbdt,
+    pub(crate) small: Mlp,
+    pub(crate) large: Mlp,
+}
+
+pub(crate) fn trained_models(config: &Fig1Config) -> Arc<TrainedModels> {
+    let key = CacheKey::new("fig1-models")
+        .with(config.ransomware as u64)
+        .with(config.benign as u64)
+        .with(config.trace_len as u64)
+        .with(config.train_cap as u64)
+        .with(config.seed);
+    get_or_build(key, || {
+        let corpus = generate_corpus(&CorpusConfig {
+            ransomware_variants: config.ransomware,
+            benign_programs: config.benign,
+            trace_len: config.trace_len,
+            seed: config.seed,
+        });
+        let (train, test) = corpus.split(0.7);
+
+        // Standardise on the training measurements.
+        let flat_train = train.flatten();
+        let standardizer = Standardizer::fit(&flat_train.features);
+
+        // Per-measurement models (SVM / XGBoost style).
+        let (xs, ys) = capped(
+            standardizer.transform_all(&flat_train.features),
+            flat_train.labels.clone(),
+            config.train_cap,
+        );
+        let svm = LinearSvm::train(&SvmConfig::default(), &xs, &ys);
+        let xgb = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
+
+        // Pooled-feature ANNs: train on prefix means of several lengths so
+        // the models see both noisy short-horizon and clean long-horizon
+        // inputs.
+        let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
+        let small = Mlp::train(
+            &MlpConfig::small_ann(px[0].len()).with_epochs(150),
+            &px,
+            &py,
+        );
+        let large = Mlp::train(
+            &MlpConfig::large_ann(px[0].len()).with_epochs(150),
+            &px,
+            &py,
+        );
+        TrainedModels {
+            test,
+            standardizer,
+            svm,
+            xgb,
+            small,
+            large,
+        }
+    })
+}
+
+/// Majority-vote curve via prefix vote counts: each test measurement is
+/// scored once through the model's batched kernel.
+fn vote_curve<C: BinaryClassifier>(
+    model: &C,
+    models: &TrainedModels,
+    grid: &EfficacyGrid,
+) -> EfficacyCurve {
+    let mut scores = Vec::new();
+    measure_efficacy_votes(&models.test, grid, |seq| {
+        let xs = models.standardizer.transform_all(seq);
+        model.score_batch_into(&xs, &mut scores);
+        scores.iter().map(|&s| s >= 0.5).collect()
+    })
+    .expect("non-empty grid")
+}
+
+/// Pooled-ANN curve: per grid point, all test prefixes are pooled and then
+/// classified as one batched forward pass. The pooled mean itself is still
+/// recomputed per prefix length — its `Σ(v / n)` accumulation order is what
+/// the golden pins fix — but the MLP inference runs through the blocked
+/// `A · Wᵀ` kernel instead of one `predict_proba` per trace.
+fn pooled_curve(model: &Mlp, models: &TrainedModels, grid: &EfficacyGrid) -> EfficacyCurve {
+    let mut scratch = MlpScratch::default();
+    let mut probs = Vec::new();
+    let mut points = Vec::with_capacity(grid.points().len());
+    for &n in grid.points() {
+        let xs: Vec<Vec<f64>> = models
+            .test
+            .sequences
+            .iter()
+            .map(|seq| {
+                let take = (n as usize).min(seq.len());
+                models.standardizer.transform(&pooled_mean(&seq[..take]))
+            })
+            .collect();
+        model.predict_batch_with(&xs, &mut scratch, &mut probs);
+        let mut cm = ConfusionMatrix::default();
+        for (p, &label) in probs.iter().zip(&models.test.labels) {
+            cm.record(label == 1.0, *p >= 0.5);
+        }
+        points.push(EfficacyPoint {
+            measurements: n,
+            f1: cm.f1(),
+            fpr: cm.fpr(),
+        });
+    }
+    EfficacyCurve::new(points).expect("non-empty grid")
 }
 
 /// Runs the Fig. 1 experiment.
 pub fn run(config: &Fig1Config) -> Fig1Result {
-    let corpus = generate_corpus(&CorpusConfig {
-        ransomware_variants: config.ransomware,
-        benign_programs: config.benign,
-        trace_len: config.trace_len,
-        seed: config.seed,
-    });
-    let (train, test) = corpus.split(0.7);
-
-    // Standardise on the training measurements.
-    let flat_train = train.flatten();
-    let standardizer = Standardizer::fit(&flat_train.features);
-
-    // Per-measurement models (SVM / XGBoost style).
-    let (xs, ys) = capped(
-        standardizer.transform_all(&flat_train.features),
-        flat_train.labels.clone(),
-        config.train_cap,
-    );
-    let svm = valkyrie_ml::LinearSvm::train(&SvmConfig::default(), &xs, &ys);
-    let xgb = Gbdt::train(&GbdtConfig::default(), &xs, &ys);
-
-    // Pooled-feature ANNs: train on prefix means of several lengths so the
-    // models see both noisy short-horizon and clean long-horizon inputs.
-    let (px, py) = pooled_training_set(&train, &standardizer, config.trace_len);
-    let small = Mlp::train(
-        &MlpConfig::small_ann(px[0].len()).with_epochs(150),
-        &px,
-        &py,
-    );
-    let large = Mlp::train(
-        &MlpConfig::large_ann(px[0].len()).with_epochs(150),
-        &px,
-        &py,
-    );
-
+    let models = trained_models(config);
     let grid = EfficacyGrid::new((1..=config.grid_max).step_by(2).collect());
-    let small_ann = measure_efficacy(&test, &grid, |p| {
-        small.predict_proba(&standardizer.transform(&pooled_mean(p))) >= 0.5
-    })
-    .expect("non-empty grid");
-    let large_ann = measure_efficacy(&test, &grid, |p| {
-        large.predict_proba(&standardizer.transform(&pooled_mean(p))) >= 0.5
-    })
-    .expect("non-empty grid");
-    let svm_curve =
-        measure_efficacy(&test, &grid, |p| majority(&svm, &standardizer, p)).expect("grid");
-    let xgb_curve =
-        measure_efficacy(&test, &grid, |p| majority(&xgb, &standardizer, p)).expect("grid");
+    let small_ann = pooled_curve(&models.small, &models, &grid);
+    let large_ann = pooled_curve(&models.large, &models, &grid);
+    let svm_curve = vote_curve(&models.svm, &models, &grid);
+    let xgb_curve = vote_curve(&models.xgb, &models, &grid);
 
     let report = render(config, &small_ann, &large_ann, &svm_curve, &xgb_curve);
     Fig1Result {

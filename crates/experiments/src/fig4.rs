@@ -71,14 +71,20 @@ pub struct SeriesResult {
 
 /// The benign baseline the statistical detector is fitted on.
 pub fn benign_baseline(seed: u64) -> Vec<HpcSample> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    for _ in 0..400 {
-        out.push(Signature::cpu_bound().sample(&mut rng, 1.0));
-        out.push(Signature::memory_bound().sample(&mut rng, 1.0));
-        out.push(Signature::graphics_bound().sample(&mut rng, 1.0));
-    }
-    out
+    let baseline = crate::cache::get_or_build(
+        crate::cache::CacheKey::new("benign-baseline").with(seed),
+        || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            for _ in 0..400 {
+                out.push(Signature::cpu_bound().sample(&mut rng, 1.0));
+                out.push(Signature::memory_bound().sample(&mut rng, 1.0));
+                out.push(Signature::graphics_bound().sample(&mut rng, 1.0));
+            }
+            out
+        },
+    );
+    (*baseline).clone()
 }
 
 /// Spawns a benign compute-bound "system" process so the CFS weight lever

@@ -26,6 +26,7 @@
 
 pub mod ablations;
 pub mod analytic;
+pub mod cache;
 pub mod ensemble;
 pub mod evasion;
 pub mod fig1;

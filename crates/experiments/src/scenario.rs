@@ -9,10 +9,11 @@
 //! partition count (responses are identical for every shard count).
 
 use std::collections::{BTreeMap, HashMap};
+use valkyrie_core::hash::FxBuildHasher;
 use valkyrie_core::ProcessId;
 use valkyrie_core::{
-    Action, Classification, EngineConfig, ExecutionMode, OverflowPolicy, ProcessState,
-    ShardedEngine,
+    Action, Classification, EngineConfig, EngineResponse, ExecutionMode, OverflowPolicy,
+    ProcessState, ShardedEngine,
 };
 use valkyrie_detect::Detector;
 use valkyrie_hpc::SampleWindow;
@@ -112,12 +113,18 @@ pub struct AugmentedRun<D: Detector> {
     engine: ShardedEngine,
     detector: D,
     config: ScenarioConfig,
-    windows: HashMap<Pid, SampleWindow>,
-    history: HashMap<Pid, Vec<EpochRecord>>,
+    windows: HashMap<Pid, SampleWindow, FxBuildHasher>,
+    history: HashMap<Pid, Vec<EpochRecord>, FxBuildHasher>,
     /// Per-epoch scratch, reused across steps.
     batch: Vec<(ProcessId, Classification)>,
-    progress: Vec<(Pid, f64)>,
+    progress: Vec<(Pid, f64, bool)>,
     reports: Vec<(Pid, EpochReport)>,
+    responses: Vec<EngineResponse>,
+    /// Last `(cpu, mem, fs)` lever triple enacted per process. The machine's
+    /// controllers are stateless functions of their setting, so re-applying
+    /// an unchanged triple is a no-op; skipping it saves the lever lookups
+    /// in the (common) steady state where the response doesn't move.
+    applied: HashMap<Pid, (f64, f64, f64), FxBuildHasher>,
 }
 
 impl<D: Detector> AugmentedRun<D> {
@@ -138,11 +145,13 @@ impl<D: Detector> AugmentedRun<D> {
             engine,
             detector,
             config,
-            windows: HashMap::new(),
-            history: HashMap::new(),
+            windows: HashMap::default(),
+            history: HashMap::default(),
             batch: Vec::new(),
             progress: Vec::new(),
             reports: Vec::new(),
+            responses: Vec::new(),
+            applied: HashMap::default(),
         }
     }
 
@@ -200,27 +209,29 @@ impl<D: Detector> AugmentedRun<D> {
             let Some(window) = self.windows.get_mut(&pid) else {
                 continue; // unwatched process
             };
-            if !self.machine.is_alive(pid) && !self.machine.is_completed(pid) {
-                continue;
-            }
+            // No liveness re-check: the machine only reports processes that
+            // were alive at epoch start, and terminations happen in the
+            // enactment phase below — every reported pid is still alive or
+            // has just completed.
             window.push(report.hpc);
             let inference = self.detector.infer(pid.into(), window);
             self.batch.push((pid.into(), inference));
-            self.progress.push((pid, report.progress));
+            self.progress.push((pid, report.progress, report.completed));
         }
 
         // Response phase: the whole epoch in one engine batch — handed
         // over synchronously, or published through the async ingest rings
         // and drained back (same responses in publish order; see
         // `ScenarioConfig::ingest`).
-        let responses = if self.engine.ingest_enabled() {
+        let mut responses = std::mem::take(&mut self.responses);
+        if self.engine.ingest_enabled() {
             for &(pid, inference) in &self.batch {
                 let _ = self.engine.ingest(pid, inference);
             }
-            self.engine.drain_batch()
+            responses = self.engine.drain_batch();
         } else {
-            self.engine.observe_batch(&self.batch)
-        };
+            self.engine.observe_batch_into(&self.batch, &mut responses);
+        }
 
         // Enactment phase: drive the machine levers per response. The
         // responses are an ordered subsequence of the batch (they only
@@ -230,11 +241,11 @@ impl<D: Detector> AugmentedRun<D> {
         for resp in &responses {
             let Some(offset) = self.progress[cursor..]
                 .iter()
-                .position(|&(p, _)| ProcessId::from(p) == resp.pid)
+                .position(|&(p, ..)| ProcessId::from(p) == resp.pid)
             else {
                 continue;
             };
-            let (pid, progress) = self.progress[cursor + offset];
+            let (pid, progress, completed) = self.progress[cursor + offset];
             cursor += offset + 1;
             // A cycle-end restore starts a fresh detection episode: the
             // detector's measurement history resets along with the
@@ -245,25 +256,35 @@ impl<D: Detector> AugmentedRun<D> {
                 }
             }
             match resp.action {
-                Action::Terminate => self.machine.terminate(pid),
+                Action::Terminate => {
+                    self.machine.terminate(pid);
+                    self.applied.remove(&pid);
+                }
                 Action::Throttle
                 | Action::Recover
                 | Action::Restore
                 | Action::RestoreAndRecycle => {
-                    match self.config.cpu_lever {
-                        CpuLever::SchedulerWeight => {
-                            self.machine.set_weight_scale(pid, resp.resources.cpu);
+                    let levers = (resp.resources.cpu, resp.resources.mem, resp.resources.fs);
+                    if self.applied.get(&pid) != Some(&levers) {
+                        match self.config.cpu_lever {
+                            CpuLever::SchedulerWeight => {
+                                self.machine.set_weight_scale(pid, resp.resources.cpu);
+                            }
+                            CpuLever::CgroupQuota => {
+                                self.machine.set_cpu_quota(pid, resp.resources.cpu);
+                            }
                         }
-                        CpuLever::CgroupQuota => {
-                            self.machine.set_cpu_quota(pid, resp.resources.cpu);
-                        }
+                        self.machine.set_memory_limit(pid, resp.resources.mem);
+                        self.machine.set_fs_share(pid, resp.resources.fs);
+                        self.applied.insert(pid, levers);
                     }
-                    self.machine.set_memory_limit(pid, resp.resources.mem);
-                    self.machine.set_fs_share(pid, resp.resources.fs);
                 }
                 Action::None => {}
             }
-            if self.machine.is_completed(pid) {
+            // `report.completed` is exactly `machine.is_completed(pid)` here:
+            // earlier completions stop reporting, so only the completing
+            // epoch reaches this branch.
+            if completed {
                 let _ = self.engine.complete(pid.into());
             }
             self.history.entry(pid).or_default().push(EpochRecord {
@@ -273,6 +294,7 @@ impl<D: Detector> AugmentedRun<D> {
                 threat: resp.threat.value(),
             });
         }
+        self.responses = responses;
         self.reports = reports;
         &self.reports
     }

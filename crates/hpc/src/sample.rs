@@ -129,7 +129,12 @@ impl fmt::Display for HpcSample {
 #[derive(Debug, Clone, Default)]
 pub struct SampleWindow {
     capacity: usize,
+    /// Retained samples live at `samples[start..]`, oldest first; eviction
+    /// advances `start` and the buffer is compacted once `start` reaches
+    /// `capacity`, so each sample is moved at most once (amortised O(1)
+    /// push instead of an O(window) shift per epoch).
     samples: Vec<HpcSample>,
+    start: usize,
     total_observed: u64,
 }
 
@@ -144,14 +149,19 @@ impl SampleWindow {
         Self {
             capacity,
             samples: Vec::with_capacity(capacity),
+            start: 0,
             total_observed: 0,
         }
     }
 
     /// Appends the newest sample, evicting the oldest when full.
     pub fn push(&mut self, s: HpcSample) {
-        if self.samples.len() == self.capacity {
-            self.samples.remove(0);
+        if self.samples.len() - self.start == self.capacity {
+            self.start += 1;
+            if self.start >= self.capacity {
+                self.samples.drain(..self.start);
+                self.start = 0;
+            }
         }
         self.samples.push(s);
         self.total_observed += 1;
@@ -159,7 +169,7 @@ impl SampleWindow {
 
     /// Samples currently retained, oldest first.
     pub fn samples(&self) -> &[HpcSample] {
-        &self.samples
+        &self.samples[self.start..]
     }
 
     /// Most recent sample, if any.
@@ -167,14 +177,19 @@ impl SampleWindow {
         self.samples.last()
     }
 
+    /// Maximum number of samples retained at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of samples currently retained.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.samples.len() - self.start
     }
 
     /// True when no samples have been retained yet.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 
     /// Total number of samples ever pushed (the paper's `N_t^i`).
@@ -188,10 +203,10 @@ impl SampleWindow {
             return HpcSample::zero();
         }
         let mut acc = HpcSample::zero();
-        for s in &self.samples {
+        for s in self.samples() {
             acc += *s;
         }
-        acc.scaled(1.0 / self.samples.len() as f64)
+        acc.scaled(1.0 / self.len() as f64)
     }
 
     /// Per-event population standard deviation over the retained samples.
@@ -201,13 +216,13 @@ impl SampleWindow {
         }
         let mean = self.mean();
         let mut var = [0.0; EVENT_COUNT];
-        for s in &self.samples {
+        for s in self.samples() {
             for (i, v) in var.iter_mut().enumerate() {
                 let d = s.as_features()[i] - mean.as_features()[i];
                 *v += d * d;
             }
         }
-        let n = self.samples.len() as f64;
+        let n = self.len() as f64;
         let mut out = HpcSample::zero();
         for (i, v) in var.iter().enumerate() {
             out.set(HpcEvent::ALL[i], (v / n).sqrt());

@@ -7,6 +7,7 @@
 //! `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)` and leaf weight `−G/(H+λ)`.
 
 use crate::linalg::sigmoid;
+use crate::parallel::{host_workers, map_indexed};
 use crate::BinaryClassifier;
 
 /// Boosting hyper-parameters.
@@ -22,6 +23,10 @@ pub struct GbdtConfig {
     pub lambda: f64,
     /// Minimum summed hessian per leaf (min_child_weight).
     pub min_child_weight: f64,
+    /// Scoped-thread workers for the per-feature split scan; `0` means
+    /// "all host cores". The trained model is identical for every setting —
+    /// candidate splits are reduced in feature order either way.
+    pub workers: usize,
 }
 
 impl Default for GbdtConfig {
@@ -32,6 +37,7 @@ impl Default for GbdtConfig {
             eta: 0.3,
             lambda: 1.0,
             min_child_weight: 1e-3,
+            workers: 0,
         }
     }
 }
@@ -49,18 +55,21 @@ enum Node {
 
 impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
-        match self {
-            Node::Leaf(w) => *w,
-            Node::Split {
-                feature,
-                threshold,
-                left,
-                right,
-            } => {
-                if x[*feature] < *threshold {
-                    left.predict(x)
-                } else {
-                    right.predict(x)
+        let mut node = self;
+        loop {
+            match node {
+                Node::Leaf(w) => return *w,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -103,19 +112,50 @@ impl Gbdt {
     pub fn train(config: &GbdtConfig, xs: &[Vec<f64>], ys: &[f64]) -> Self {
         assert!(!xs.is_empty(), "training set must be non-empty");
         assert_eq!(xs.len(), ys.len(), "one label per sample");
+        let n = xs.len();
+        let dim = xs[0].len();
+        let workers = if config.workers == 0 {
+            host_workers()
+        } else {
+            config.workers
+        };
+        // Features never change across boosting rounds, so each feature
+        // column is sorted exactly once per train — tree nodes filter these
+        // lists instead of re-sorting at every node. A stable sort keeps
+        // tied values in index order, matching the per-node stable sorts
+        // the builder used to run (a filtered stable-sorted list *is* the
+        // stable-sorted filtered list), so split scans see bit-identical
+        // accumulation order.
+        let sorted_root: Vec<Vec<u32>> = map_indexed(dim, workers, |f| {
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            v.sort_by(|&a, &b| {
+                xs[a as usize][f]
+                    .partial_cmp(&xs[b as usize][f])
+                    .expect("features are finite")
+            });
+            v
+        });
+        let mut builder = TreeBuilder {
+            config,
+            xs,
+            grad: Vec::new(),
+            hess: Vec::new(),
+            workers,
+        };
         let base_score = 0.0; // logit of 0.5
-        let mut margins = vec![base_score; xs.len()];
+        let mut margins = vec![base_score; n];
         let mut trees = Vec::with_capacity(config.rounds);
-        let idx_all: Vec<usize> = (0..xs.len()).collect();
+        let idx_all: Vec<u32> = (0..n as u32).collect();
+        let mut in_left = vec![false; n];
         for _ in 0..config.rounds {
-            let mut grad = vec![0.0; xs.len()];
-            let mut hess = vec![0.0; xs.len()];
-            for i in 0..xs.len() {
+            builder.grad.clear();
+            builder.hess.clear();
+            for i in 0..n {
                 let p = sigmoid(margins[i]);
-                grad[i] = p - ys[i];
-                hess[i] = (p * (1.0 - p)).max(1e-12);
+                builder.grad.push(p - ys[i]);
+                builder.hess.push((p * (1.0 - p)).max(1e-12));
             }
-            let tree = build_tree(config, xs, &grad, &hess, &idx_all, config.max_depth);
+            let tree = builder.build(&idx_all, &sorted_root, config.max_depth, &mut in_left);
             for (i, x) in xs.iter().enumerate() {
                 margins[i] += config.eta * tree.predict(x);
             }
@@ -131,6 +171,34 @@ impl Gbdt {
     /// Raw additive margin (log-odds).
     pub fn margin(&self, x: &[f64]) -> f64 {
         self.base_score + self.eta * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+    }
+
+    /// Margins for a whole batch, written into a caller-owned buffer.
+    ///
+    /// Walks trees in the outer loop (each tree stays hot across the batch);
+    /// per-sample accumulation runs in tree order, so every margin is
+    /// bit-identical to [`Gbdt::margin`].
+    pub fn margin_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(xs.len(), 0.0);
+        for t in &self.trees {
+            for (o, x) in out.iter_mut().zip(xs) {
+                *o += t.predict(x);
+            }
+        }
+        for o in out.iter_mut() {
+            *o = self.base_score + self.eta * *o;
+        }
+    }
+
+    /// Positive-class probabilities for a whole batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.margin_batch_into(xs, &mut out);
+        for o in out.iter_mut() {
+            *o = sigmoid(*o);
+        }
+        out
     }
 
     /// Number of trees in the ensemble.
@@ -153,45 +221,55 @@ impl BinaryClassifier for Gbdt {
     fn score(&self, x: &[f64]) -> f64 {
         sigmoid(self.margin(x))
     }
+
+    fn score_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        self.margin_batch_into(xs, out);
+        for o in out.iter_mut() {
+            *o = sigmoid(*o);
+        }
+    }
 }
 
-fn build_tree(
-    config: &GbdtConfig,
-    xs: &[Vec<f64>],
-    grad: &[f64],
-    hess: &[f64],
-    idx: &[usize],
-    depth_left: usize,
-) -> Node {
-    let g_sum: f64 = idx.iter().map(|&i| grad[i]).sum();
-    let h_sum: f64 = idx.iter().map(|&i| hess[i]).sum();
-    let leaf = || Node::Leaf(-g_sum / (h_sum + config.lambda));
-    if depth_left == 0 || idx.len() < 2 {
-        return leaf();
-    }
+/// Per-train tree-building state: gradients/hessians for the current round
+/// plus the worker budget for the split scan. Feature columns arrive
+/// presorted from `Gbdt::train` and are filtered (never re-sorted) on the
+/// way down the tree.
+struct TreeBuilder<'a> {
+    config: &'a GbdtConfig,
+    xs: &'a [Vec<f64>],
+    grad: Vec<f64>,
+    hess: Vec<f64>,
+    workers: usize,
+}
 
-    let dim = xs[0].len();
-    let parent_score = g_sum * g_sum / (h_sum + config.lambda);
-    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
-                                                    // `f` indexes a feature *column* across the row-major sample matrix;
-                                                    // there is no column iterator to borrow, so the index loop stays.
-    #[allow(clippy::needless_range_loop)]
-    for f in 0..dim {
-        let mut sorted: Vec<usize> = idx.to_vec();
-        sorted.sort_by(|&a, &b| {
-            xs[a][f]
-                .partial_cmp(&xs[b][f])
-                .expect("features are finite")
-        });
+/// Fan out across threads only when the scan is big enough to amortise the
+/// spawns (`samples × features` cells).
+const PAR_SCAN_CELLS: usize = 4096;
+
+impl TreeBuilder<'_> {
+    /// Best split for one feature given its presorted member list:
+    /// `(gain, threshold)` of the earliest maximal-gain boundary, exactly
+    /// as the sequential scan found it.
+    fn best_for_feature(
+        &self,
+        f: usize,
+        sorted_f: &[u32],
+        g_sum: f64,
+        h_sum: f64,
+        parent_score: f64,
+    ) -> Option<(f64, f64)> {
+        let config = self.config;
+        let xs = self.xs;
+        let mut best: Option<(f64, f64)> = None;
         let mut gl = 0.0;
         let mut hl = 0.0;
-        for w in 0..sorted.len() - 1 {
-            let i = sorted[w];
-            gl += grad[i];
-            hl += hess[i];
+        for w in 0..sorted_f.len() - 1 {
+            let i = sorted_f[w] as usize;
+            gl += self.grad[i];
+            hl += self.hess[i];
             let (gr, hr) = (g_sum - gl, h_sum - hl);
             // Skip ties: can't split between equal feature values.
-            if xs[sorted[w]][f] == xs[sorted[w + 1]][f] {
+            if xs[i][f] == xs[sorted_f[w + 1] as usize][f] {
                 continue;
             }
             if hl < config.min_child_weight || hr < config.min_child_weight {
@@ -199,40 +277,84 @@ fn build_tree(
             }
             let gain =
                 gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda) - parent_score;
-            if best.is_none_or(|(bg, _, _)| gain > bg) && gain > 1e-9 {
-                let threshold = 0.5 * (xs[sorted[w]][f] + xs[sorted[w + 1]][f]);
-                best = Some((gain, f, threshold));
+            if best.is_none_or(|(bg, _)| gain > bg) && gain > 1e-9 {
+                let threshold = 0.5 * (xs[i][f] + xs[sorted_f[w + 1] as usize][f]);
+                best = Some((gain, threshold));
             }
         }
+        best
     }
 
-    match best {
-        None => leaf(),
-        Some((_, feature, threshold)) => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                idx.iter().partition(|&&i| xs[i][feature] < threshold);
-            if left_idx.is_empty() || right_idx.is_empty() {
-                return leaf();
+    fn build(
+        &self,
+        idx: &[u32],
+        sorted: &[Vec<u32>],
+        depth_left: usize,
+        in_left: &mut Vec<bool>,
+    ) -> Node {
+        let config = self.config;
+        let xs = self.xs;
+        let g_sum: f64 = idx.iter().map(|&i| self.grad[i as usize]).sum();
+        let h_sum: f64 = idx.iter().map(|&i| self.hess[i as usize]).sum();
+        let leaf = || Node::Leaf(-g_sum / (h_sum + config.lambda));
+        if depth_left == 0 || idx.len() < 2 {
+            return leaf();
+        }
+
+        let dim = xs[0].len();
+        let parent_score = g_sum * g_sum / (h_sum + config.lambda);
+        // Each feature's candidate is independent; compute them fanned out,
+        // then reduce in ascending feature order with the same
+        // strictly-greater rule the sequential loop used, so the earliest
+        // feature still wins gain ties and the chosen split is identical.
+        let scan_workers = if idx.len() * dim >= PAR_SCAN_CELLS {
+            self.workers
+        } else {
+            1
+        };
+        let candidates = map_indexed(dim, scan_workers, |f| {
+            self.best_for_feature(f, &sorted[f], g_sum, h_sum, parent_score)
+        });
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for (f, cand) in candidates.into_iter().enumerate() {
+            if let Some((gain, threshold)) = cand {
+                if best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, threshold));
+                }
             }
-            Node::Split {
-                feature,
-                threshold,
-                left: Box::new(build_tree(
-                    config,
-                    xs,
-                    grad,
-                    hess,
-                    &left_idx,
-                    depth_left - 1,
-                )),
-                right: Box::new(build_tree(
-                    config,
-                    xs,
-                    grad,
-                    hess,
-                    &right_idx,
-                    depth_left - 1,
-                )),
+        }
+
+        match best {
+            None => leaf(),
+            Some((_, feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = idx
+                    .iter()
+                    .partition(|&&i| xs[i as usize][feature] < threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return leaf();
+                }
+                // Split every presorted column by membership, preserving
+                // order — equivalent to re-sorting each child's members.
+                for &i in &left_idx {
+                    in_left[i as usize] = true;
+                }
+                let mut left_sorted = Vec::with_capacity(dim);
+                let mut right_sorted = Vec::with_capacity(dim);
+                for lst in sorted {
+                    let (l, r): (Vec<u32>, Vec<u32>) =
+                        lst.iter().partition(|&&i| in_left[i as usize]);
+                    left_sorted.push(l);
+                    right_sorted.push(r);
+                }
+                for &i in &left_idx {
+                    in_left[i as usize] = false;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build(&left_idx, &left_sorted, depth_left - 1, in_left)),
+                    right: Box::new(self.build(&right_idx, &right_sorted, depth_left - 1, in_left)),
+                }
             }
         }
     }

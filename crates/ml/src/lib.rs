@@ -33,13 +33,14 @@ pub mod linalg;
 pub mod lstm;
 pub mod metrics;
 pub mod mlp;
+pub mod parallel;
 pub mod svm;
 
 pub use dataset::{Dataset, SequenceDataset, Standardizer};
 pub use gbdt::{Gbdt, GbdtConfig};
-pub use lstm::{Lstm, LstmConfig};
+pub use lstm::{Lstm, LstmConfig, LstmScratch};
 pub use metrics::ConfusionMatrix;
-pub use mlp::{Mlp, MlpConfig};
+pub use mlp::{Mlp, MlpConfig, MlpScratch};
 pub use svm::{LinearSvm, SvmConfig};
 
 /// A binary classifier over fixed-size feature vectors.
@@ -52,5 +53,23 @@ pub trait BinaryClassifier {
     /// Hard decision at the 0.5 threshold.
     fn classify(&self, x: &[f64]) -> bool {
         self.score(x) >= 0.5
+    }
+
+    /// Scores a whole batch into a caller-owned buffer.
+    ///
+    /// The default maps [`BinaryClassifier::score`]; models with a matrix
+    /// or tree-walk kernel override it with a batched path that is
+    /// bit-identical to the scalar one (property-pinned per model).
+    fn score_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|x| self.score(x)));
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`BinaryClassifier::score_batch_into`].
+    fn score_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(xs.len());
+        self.score_batch_into(xs, &mut out);
+        out
     }
 }

@@ -18,6 +18,13 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (useful as a scratch-buffer seed).
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -26,6 +33,15 @@ impl Matrix {
             cols,
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// Reshapes to `rows × cols` filled with zeros, reusing the backing
+    /// buffer — the resize path for caller-owned scratch matrices.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// A matrix with entries drawn uniformly from `[-scale, scale]`.
@@ -40,26 +56,31 @@ impl Matrix {
     ///
     /// # Panics
     ///
-    /// Panics if rows have differing lengths or no rows are given.
+    /// Panics if rows have differing lengths, no rows are given, or the rows
+    /// are zero-width. (A zero-width first row used to silently infer
+    /// `rows = 0` through `checked_div`, producing an empty matrix that
+    /// passed every later dimension check while holding no data.)
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
         assert!(!rows.is_empty(), "matrix needs at least one row");
         let cols = rows[0].len();
+        assert!(cols > 0, "matrix rows must be non-empty");
         assert!(
             rows.iter().all(|r| r.len() == cols),
             "all rows must have equal length"
         );
-        let data = rows.into_iter().flatten().collect();
-        Self {
-            rows: 0,
-            cols,
-            data,
-        }
-        .with_rows_inferred()
+        let n = rows.len();
+        let data: Vec<f64> = rows.into_iter().flatten().collect();
+        Self::from_flat(n, cols, data)
     }
 
-    fn with_rows_inferred(mut self) -> Self {
-        self.rows = self.data.len().checked_div(self.cols).unwrap_or(0);
-        self
+    /// Builds from an already-flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer must be rows × cols");
+        Self { rows, cols, data }
     }
 
     /// Number of rows.
@@ -80,6 +101,32 @@ impl Matrix {
     /// Mutable element access.
     pub fn get_mut(&mut self, r: usize, c: usize) -> &mut f64 {
         &mut self.data[r * self.cols + c]
+    }
+
+    /// The flat row-major backing buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major backing buffer.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
     }
 
     /// Matrix-vector product.
@@ -112,6 +159,108 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Matrix-vector product into a caller-owned buffer (no allocation).
+    ///
+    /// Bit-identical to [`Matrix::matvec`]: each output element is the same
+    /// left-to-right dot-product fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// Transposed matrix-vector product (`Mᵀ x`) into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn matvec_t_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        out.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &m) in out.iter_mut().zip(row) {
+                *o += m * xr;
+            }
+        }
+    }
+
+    /// Blocked matrix product `self · rhs` written row-major into `out`.
+    ///
+    /// Uses an i-k-j loop (unit stride over both `rhs` and `out` rows,
+    /// tiled over the output rows so `rhs` stays cache-hot). For every
+    /// output element the `k` accumulation runs in ascending order into a
+    /// single slot, so each element is bit-identical to the scalar
+    /// dot-product fold of [`Matrix::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == rhs.rows` and `out.len()` is
+    /// `self.rows * rhs.cols`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut [f64]) {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        assert_eq!(out.len(), self.rows * rhs.cols, "output size mismatch");
+        let m = rhs.cols;
+        out.fill(0.0);
+        const TILE: usize = 16;
+        for i0 in (0..self.rows).step_by(TILE) {
+            let i1 = (i0 + TILE).min(self.rows);
+            for i in i0..i1 {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let o_row = &mut out[i * m..(i + 1) * m];
+                for (k, &aik) in a_row.iter().enumerate() {
+                    let b_row = &rhs.data[k * m..(k + 1) * m];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += aik * b;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocked matrix product `self · rhsᵀ` written row-major into `out`.
+    ///
+    /// `rhs` is read untransposed (row-major), so both operands stream with
+    /// unit stride — the natural kernel when `rhs` holds one weight vector
+    /// per row. Each output element is the same left-to-right dot fold as
+    /// [`dot`], so results are bit-identical to per-row `matvec` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols == rhs.cols` and `out.len()` is
+    /// `self.rows * rhs.rows`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut [f64]) {
+        assert_eq!(self.cols, rhs.cols, "inner dimension mismatch");
+        assert_eq!(out.len(), self.rows * rhs.rows, "output size mismatch");
+        let m = rhs.rows;
+        const TILE: usize = 16;
+        for j0 in (0..m).step_by(TILE) {
+            let j1 = (j0 + TILE).min(m);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for j in j0..j1 {
+                    let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                    out[i * m + j] = a_row.iter().zip(b_row).map(|(a, b)| a * b).sum();
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Matrix::matmul_into`].
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = vec![0.0; self.rows * rhs.cols];
+        self.matmul_into(rhs, &mut out);
+        Matrix::from_flat(self.rows, rhs.cols, out)
     }
 
     /// `self += k · (a ⊗ b)` — rank-one update used by SGD.
@@ -200,5 +349,60 @@ mod tests {
     fn matvec_checks_dims() {
         let m = Matrix::zeros(2, 3);
         let _ = m.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix rows must be non-empty")]
+    fn from_rows_rejects_zero_width() {
+        // Used to silently infer rows = 0 via checked_div(..).unwrap_or(0).
+        let _ = Matrix::from_rows(vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = Matrix::random(7, 5, 1.0, &mut rng);
+        let x: Vec<f64> = (0..5).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let mut out = vec![0.0; 7];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x));
+        let y: Vec<f64> = (0..7).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let mut out_t = vec![0.0; 5];
+        m.matvec_t_into(&y, &mut out_t);
+        assert_eq!(out_t, m.matvec_t(&y));
+    }
+
+    /// The blocked kernels must be *bit-identical* to per-row matvec folds —
+    /// this is what lets batched inference reproduce scalar results exactly.
+    #[test]
+    fn matmul_kernels_are_bit_identical_to_matvec() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Sizes past the 16-wide tile to exercise the tile edges.
+        let a = Matrix::random(37, 21, 1.0, &mut rng);
+        let b = Matrix::random(21, 19, 1.0, &mut rng);
+        let prod = a.matmul(&b);
+        let bt = b.transposed();
+        let mut prod_nt = vec![0.0; 37 * 19];
+        a.matmul_nt_into(&bt, &mut prod_nt);
+        for i in 0..37 {
+            let row = a.row(i);
+            let col_prod = bt
+                .data()
+                .chunks(21)
+                .map(|w| dot(row, w))
+                .collect::<Vec<_>>();
+            for j in 0..19 {
+                assert_eq!(prod.get(i, j).to_bits(), col_prod[j].to_bits());
+                assert_eq!(prod_nt[i * 19 + j].to_bits(), col_prod[j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::random(4, 6, 1.0, &mut rng);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().get(5, 3), m.get(3, 5));
     }
 }

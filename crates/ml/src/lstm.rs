@@ -84,6 +84,29 @@ impl Gates {
     }
 }
 
+/// Inference-layout weights: the four gates' input/recurrent matrices
+/// stacked `[i|f|o|g]` along the output axis and stored *transposed*
+/// (`inputs × 4·hidden`), so one blocked matmul computes every gate
+/// pre-activation for a whole batch with unit-stride access.
+#[derive(Debug, Clone, Default)]
+struct GatePack {
+    wxt: Matrix, // inputs × 4·hidden
+    uht: Matrix, // hidden × 4·hidden
+    b: Vec<f64>, // 4·hidden
+}
+
+/// Reusable buffers for the no-cache forward pass. One scratch serves any
+/// batch size; buffers grow to the largest batch seen and stay allocated.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    x: Matrix,  // batch × inputs (current timestep)
+    z: Matrix,  // batch × 4·hidden (gate pre-activations, then activations)
+    uh: Matrix, // batch × 4·hidden (recurrent contribution)
+    h: Matrix,  // batch × hidden
+    c: Matrix,  // batch × hidden
+    order: Vec<usize>,
+}
+
 #[derive(Debug, Clone, Default)]
 struct StepCache {
     x: Vec<f64>,
@@ -119,6 +142,7 @@ pub struct Lstm {
     gg: Gates,
     wy: Vec<f64>,
     by: f64,
+    pack: GatePack,
 }
 
 impl Lstm {
@@ -149,6 +173,7 @@ impl Lstm {
             gg: Gates::random(h, d, &mut rng),
             wy: (0..h).map(|_| (rng.gen::<f64>() - 0.5) * 0.2).collect(),
             by: 0.0,
+            pack: GatePack::default(),
         };
         let mut order: Vec<usize> = (0..seqs.len()).collect();
         for _ in 0..config.epochs {
@@ -160,17 +185,161 @@ impl Lstm {
                 net.bptt_step(&seqs[idx], labels[idx]);
             }
         }
+        net.pack = net.build_pack();
         net
+    }
+
+    /// Stacks and transposes the trained gate weights into the inference
+    /// layout (see [`GatePack`]). Pure re-arrangement — no arithmetic.
+    fn build_pack(&self) -> GatePack {
+        let h = self.config.hidden;
+        let d = self.config.inputs;
+        let mut wxt = Matrix::zeros(d, 4 * h);
+        let mut uht = Matrix::zeros(h, 4 * h);
+        let mut b = vec![0.0; 4 * h];
+        for (gidx, g) in [&self.gi, &self.gf, &self.go, &self.gg].iter().enumerate() {
+            for r in 0..h {
+                for k in 0..d {
+                    *wxt.get_mut(k, gidx * h + r) = g.w.get(r, k);
+                }
+                for k in 0..h {
+                    *uht.get_mut(k, gidx * h + r) = g.u.get(r, k);
+                }
+                b[gidx * h + r] = g.b[r];
+            }
+        }
+        GatePack { wxt, uht, b }
+    }
+
+    /// One no-cache timestep for every row in the scratch batch: gate
+    /// pre-activations via the packed matmuls, then the elementwise cell
+    /// update. Arithmetic per element is identical to the per-gate
+    /// `pre_activation` + activation path of [`Lstm::forward`].
+    fn step_batch(&self, scratch: &mut LstmScratch) {
+        let h_dim = self.config.hidden;
+        let h4 = 4 * h_dim;
+        scratch.x.matmul_into(&self.pack.wxt, scratch.z.data_mut());
+        scratch.h.matmul_into(&self.pack.uht, scratch.uh.data_mut());
+        let n = scratch.x.rows();
+        let b = &self.pack.b;
+        let z = scratch.z.data_mut();
+        let uh = scratch.uh.data();
+        for r in 0..n {
+            let z = &mut z[r * h4..(r + 1) * h4];
+            let uh = &uh[r * h4..(r + 1) * h4];
+            for ((zi, &ui), &bi) in z.iter_mut().zip(uh).zip(b) {
+                *zi += ui + bi;
+            }
+            // [i|f|o] gates are sigmoids, [g] is tanh.
+            for zi in z[..3 * h_dim].iter_mut() {
+                *zi = sigmoid(*zi);
+            }
+            for zi in z[3 * h_dim..].iter_mut() {
+                *zi = zi.tanh();
+            }
+            let c = &mut scratch.c.data_mut()[r * h_dim..(r + 1) * h_dim];
+            let h = &mut scratch.h.data_mut()[r * h_dim..(r + 1) * h_dim];
+            for k in 0..h_dim {
+                c[k] = z[h_dim + k] * c[k] + z[k] * z[3 * h_dim + k];
+                h[k] = z[2 * h_dim + k] * c[k].tanh();
+            }
+        }
     }
 
     /// Probability that the sequence belongs to the positive class, using
     /// the hidden state after the final timestep.
+    ///
+    /// Runs the allocation-free no-cache forward (no `StepCache`, no
+    /// per-step clones); a small scratch is allocated per call — use
+    /// [`Lstm::predict_proba_with`] on hot paths to reuse one.
     pub fn predict_proba(&self, seq: &[Vec<f64>]) -> f64 {
-        let caches = self.forward(seq);
-        let h_last = caches
-            .last()
-            .map_or(vec![0.0; self.config.hidden], |c| c.h.clone());
-        sigmoid(dot(&self.wy, &h_last) + self.by)
+        let mut scratch = LstmScratch::default();
+        self.predict_proba_with(seq, &mut scratch)
+    }
+
+    /// [`Lstm::predict_proba`] with a caller-owned scratch (no allocation
+    /// once the scratch has warmed up).
+    pub fn predict_proba_with(&self, seq: &[Vec<f64>], scratch: &mut LstmScratch) -> f64 {
+        let h_dim = self.config.hidden;
+        scratch.h.reset(1, h_dim);
+        scratch.c.reset(1, h_dim);
+        scratch.x.reset(1, self.config.inputs);
+        scratch.z.reset(1, 4 * h_dim);
+        scratch.uh.reset(1, 4 * h_dim);
+        for x in seq {
+            scratch.x.data_mut().copy_from_slice(x);
+            self.step_batch(scratch);
+        }
+        sigmoid(dot(&self.wy, scratch.h.row(0)) + self.by)
+    }
+
+    /// Scores a whole batch of sequences (one probability per sequence).
+    ///
+    /// Sequences are grouped by length and each group advances through the
+    /// packed matmuls as one `(group × features)` matrix per timestep;
+    /// every output is bit-identical to [`Lstm::predict_proba`] on the
+    /// same sequence (property-pinned).
+    pub fn predict_batch(&self, seqs: &[Vec<Vec<f64>>]) -> Vec<f64> {
+        let mut scratch = LstmScratch::default();
+        let mut out = Vec::new();
+        self.predict_batch_with(seqs, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Lstm::predict_batch`] with caller-owned scratch and output buffers.
+    pub fn predict_batch_with(
+        &self,
+        seqs: &[Vec<Vec<f64>>],
+        scratch: &mut LstmScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(seqs.len(), 0.0);
+        let mut order = std::mem::take(&mut scratch.order);
+        order.clear();
+        order.extend(0..seqs.len());
+        order.sort_by_key(|&i| seqs[i].len());
+        let mut start = 0;
+        while start < order.len() {
+            let len = seqs[order[start]].len();
+            let mut end = start + 1;
+            while end < order.len() && seqs[order[end]].len() == len {
+                end += 1;
+            }
+            self.forward_group(seqs, &order[start..end], len, scratch, out);
+            start = end;
+        }
+        scratch.order = order;
+    }
+
+    /// Batched no-cache forward over same-length sequences; writes
+    /// `out[id]` for every id in the group.
+    fn forward_group(
+        &self,
+        seqs: &[Vec<Vec<f64>>],
+        ids: &[usize],
+        len: usize,
+        scratch: &mut LstmScratch,
+        out: &mut [f64],
+    ) {
+        let n = ids.len();
+        let d = self.config.inputs;
+        let h_dim = self.config.hidden;
+        scratch.h.reset(n, h_dim);
+        scratch.c.reset(n, h_dim);
+        scratch.x.reset(n, d);
+        scratch.z.reset(n, 4 * h_dim);
+        scratch.uh.reset(n, 4 * h_dim);
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..len {
+            for (row, &id) in ids.iter().enumerate() {
+                scratch.x.data_mut()[row * d..(row + 1) * d].copy_from_slice(&seqs[id][t]);
+            }
+            self.step_batch(scratch);
+        }
+        for (row, &id) in ids.iter().enumerate() {
+            out[id] = sigmoid(dot(&self.wy, scratch.h.row(row)) + self.by);
+        }
     }
 
     /// Hard decision at the 0.5 threshold.
@@ -403,5 +572,58 @@ mod tests {
     #[should_panic(expected = "one label per sequence")]
     fn mismatched_labels_panic() {
         let _ = Lstm::train(&LstmConfig::new(1, 2), &[vec![vec![0.0]]], &[]);
+    }
+
+    /// The no-cache inference path (packed transposed weights, no
+    /// `StepCache`, no per-step clones) must be bit-identical to the
+    /// training-time cached forward it replaced.
+    #[test]
+    fn no_cache_forward_is_bit_identical_to_cached_forward() {
+        for seed in [1u64, 7, 42] {
+            let (seqs, labels) = sign_sequences(24, 6, seed);
+            let lstm = Lstm::train(
+                &LstmConfig::new(1, 4).with_epochs(15).with_seed(seed),
+                &seqs,
+                &labels,
+            );
+            for s in &seqs {
+                let caches = lstm.forward(s);
+                let h_last = caches
+                    .last()
+                    .map_or(vec![0.0; lstm.config.hidden], |c| c.h.clone());
+                let old = sigmoid(dot(&lstm.wy, &h_last) + lstm.by);
+                let new = lstm.predict_proba(s);
+                assert_eq!(new.to_bits(), old.to_bits(), "{new:?} vs {old:?}");
+            }
+        }
+    }
+
+    /// Batched prediction groups sequences by length internally; every
+    /// output must match the scalar path bit-for-bit, including empty and
+    /// mixed-length sequences.
+    #[test]
+    fn predict_batch_matches_predict_proba_bitwise() {
+        let (seqs, labels) = sign_sequences(30, 9, 3);
+        let lstm = Lstm::train(&LstmConfig::new(1, 4).with_epochs(15), &seqs, &labels);
+        // Mixed lengths: prefixes of every length including zero.
+        let mixed: Vec<Vec<Vec<f64>>> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s[..i % (s.len() + 1)].to_vec())
+            .collect();
+        let batch = lstm.predict_batch(&mixed);
+        assert_eq!(batch.len(), mixed.len());
+        for (s, &p) in mixed.iter().zip(&batch) {
+            let scalar = lstm.predict_proba(s);
+            assert_eq!(p.to_bits(), scalar.to_bits(), "{p:?} vs {scalar:?}");
+        }
+        // Scratch reuse across differently-sized batches changes nothing.
+        let mut scratch = LstmScratch::default();
+        let mut out = Vec::new();
+        lstm.predict_batch_with(&mixed[..7], &mut scratch, &mut out);
+        lstm.predict_batch_with(&mixed, &mut scratch, &mut out);
+        for (a, b) in out.iter().zip(&batch) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

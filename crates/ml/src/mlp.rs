@@ -94,6 +94,23 @@ pub struct Mlp {
     biases: Vec<Vec<f64>>,
 }
 
+/// Reusable buffers for batched MLP inference (two ping-pong activation
+/// matrices). One scratch serves any batch size.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+/// Per-sample training buffers: one activation vector per layer plus the
+/// backpropagated delta and its upstream swap partner.
+#[derive(Debug, Clone, Default)]
+struct TrainScratch {
+    acts: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    up: Vec<f64>,
+}
+
 impl Mlp {
     /// Trains by plain SGD (one sample at a time) on binary cross-entropy.
     ///
@@ -119,6 +136,7 @@ impl Mlp {
         let mut net = Self { weights, biases };
 
         let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut scratch = TrainScratch::default();
         for _ in 0..config.epochs {
             // Fisher-Yates shuffle for SGD.
             for i in (1..order.len()).rev() {
@@ -126,53 +144,107 @@ impl Mlp {
                 order.swap(i, j);
             }
             for &idx in &order {
-                net.sgd_step(&xs[idx], ys[idx], config.learning_rate);
+                net.sgd_step(&xs[idx], ys[idx], config.learning_rate, &mut scratch);
             }
         }
         net
     }
 
-    /// Forward pass returning all layer activations (input first).
-    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
-        let mut acts = vec![x.to_vec()];
-        for (w, b) in self.weights.iter().zip(&self.biases) {
-            let mut z = w.matvec(acts.last().expect("at least the input"));
-            for (zi, bi) in z.iter_mut().zip(b) {
+    /// Forward pass into caller-owned per-layer activation buffers
+    /// (input first). Allocation-free once the buffers have warmed up.
+    fn forward_into(&self, x: &[f64], acts: &mut Vec<Vec<f64>>) {
+        acts.resize(self.weights.len() + 1, Vec::new());
+        acts[0].clear();
+        acts[0].extend_from_slice(x);
+        for l in 0..self.weights.len() {
+            let (prev, rest) = acts.split_at_mut(l + 1);
+            let z = &mut rest[0];
+            z.clear();
+            z.resize(self.weights[l].rows(), 0.0);
+            self.weights[l].matvec_into(&prev[l], z);
+            for (zi, bi) in z.iter_mut().zip(&self.biases[l]) {
                 *zi = sigmoid(*zi + bi);
             }
-            acts.push(z);
         }
-        acts
     }
 
-    fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64) {
-        let acts = self.forward(x);
-        let out = acts.last().expect("output layer")[0];
+    fn sgd_step(&mut self, x: &[f64], y: f64, lr: f64, scratch: &mut TrainScratch) {
+        self.forward_into(x, &mut scratch.acts);
+        let out = scratch.acts.last().expect("output layer")[0];
         // δ for sigmoid + cross-entropy output: (p - y).
-        let mut delta = vec![out - y];
+        scratch.delta.clear();
+        scratch.delta.push(out - y);
         for l in (0..self.weights.len()).rev() {
-            let upstream = if l > 0 {
-                let mut d = self.weights[l].matvec_t(&delta);
-                for (di, ai) in d.iter_mut().zip(&acts[l]) {
+            // Upstream delta is computed from the *pre-update* weights,
+            // exactly as before the scratch-reuse refactor.
+            let has_upstream = l > 0;
+            if has_upstream {
+                scratch.up.clear();
+                scratch.up.resize(self.weights[l].cols(), 0.0);
+                self.weights[l].matvec_t_into(&scratch.delta, &mut scratch.up);
+                for (di, ai) in scratch.up.iter_mut().zip(&scratch.acts[l]) {
                     *di *= ai * (1.0 - ai); // sigmoid'
                 }
-                Some(d)
-            } else {
-                None
-            };
-            self.weights[l].add_outer(-lr, &delta, &acts[l]);
-            for (bi, di) in self.biases[l].iter_mut().zip(&delta) {
+            }
+            self.weights[l].add_outer(-lr, &scratch.delta, &scratch.acts[l]);
+            for (bi, di) in self.biases[l].iter_mut().zip(&scratch.delta) {
                 *bi -= lr * di;
             }
-            if let Some(d) = upstream {
-                delta = d;
+            if has_upstream {
+                std::mem::swap(&mut scratch.delta, &mut scratch.up);
             }
         }
     }
 
     /// Probability that `x` belongs to the positive class.
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
-        self.forward(x).last().expect("output layer")[0]
+        let mut acts = Vec::new();
+        self.forward_into(x, &mut acts);
+        acts.last().expect("output layer")[0]
+    }
+
+    /// Positive-class probabilities for a whole batch.
+    ///
+    /// Each layer advances as one `(batch × width)` blocked matmul against
+    /// the untransposed weight matrix (`A · Wᵀ`, unit stride on both
+    /// operands); outputs are bit-identical to [`Mlp::predict_proba`].
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let mut scratch = MlpScratch::default();
+        let mut out = Vec::new();
+        self.predict_batch_with(xs, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Mlp::predict_batch`] with caller-owned scratch and output buffers.
+    pub fn predict_batch_with(
+        &self,
+        xs: &[Vec<f64>],
+        scratch: &mut MlpScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let n = xs.len();
+        if n == 0 {
+            return;
+        }
+        let d = self.weights[0].cols();
+        scratch.a.reset(n, d);
+        for (r, x) in xs.iter().enumerate() {
+            scratch.a.data_mut()[r * d..(r + 1) * d].copy_from_slice(x);
+        }
+        for (w, bias) in self.weights.iter().zip(&self.biases) {
+            let m = w.rows();
+            scratch.b.reset(n, m);
+            scratch.a.matmul_nt_into(w, scratch.b.data_mut());
+            for r in 0..n {
+                let row = &mut scratch.b.data_mut()[r * m..(r + 1) * m];
+                for (zi, bi) in row.iter_mut().zip(bias) {
+                    *zi = sigmoid(*zi + bi);
+                }
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+        }
+        out.extend_from_slice(scratch.a.data()); // final layer is batch × 1
     }
 
     /// Number of weight layers.
@@ -184,6 +256,11 @@ impl Mlp {
 impl BinaryClassifier for Mlp {
     fn score(&self, x: &[f64]) -> f64 {
         self.predict_proba(x)
+    }
+
+    fn score_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        let mut scratch = MlpScratch::default();
+        self.predict_batch_with(xs, &mut scratch, out);
     }
 }
 

@@ -1,0 +1,74 @@
+//! Scoped-thread fan-out for training loops, mirroring the pattern of
+//! `core::sharded`: chunk the work across the host's cores with
+//! `std::thread::scope`, and run inline when only one worker is available
+//! (there, spawns are pure loss — priced honestly in the benches).
+
+use std::sync::OnceLock;
+
+/// Cached `std::thread::available_parallelism()`.
+///
+/// The underlying syscall walks cgroup files on Linux and costs ~10 µs per
+/// call — far too slow to consult on a per-tree-node training path, so the
+/// answer is read once per process.
+pub fn host_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Applies `work` to every index in `0..n` and returns the results in index
+/// order, fanning out over up to `workers` scoped threads in contiguous
+/// chunks. `workers <= 1` (or a trivial `n`) runs inline with no spawns, so
+/// callers can pass the host core count unconditionally; results are
+/// identical either way because the reduction order never changes.
+pub fn map_indexed<T, F>(n: usize, workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(work).collect();
+    }
+    let threads = workers.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let work = &work;
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(work).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("ml worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_workers_is_positive_and_stable() {
+        let w = host_workers();
+        assert!(w >= 1);
+        assert_eq!(w, host_workers());
+    }
+
+    #[test]
+    fn map_indexed_preserves_order_across_worker_counts() {
+        let inline = map_indexed(37, 1, |i| i * i);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(map_indexed(37, workers, |i| i * i), inline);
+        }
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+}

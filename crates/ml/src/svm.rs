@@ -99,6 +99,22 @@ impl LinearSvm {
         dot(&self.weights, x) + self.bias
     }
 
+    /// Decision values for a whole batch into a caller-owned buffer.
+    ///
+    /// A linear model's per-sample dot is already a unit-stride kernel, so
+    /// the batched entry point is the scalar fold per row — it exists for
+    /// API symmetry with the other model families and to skip the per-call
+    /// `Vec` of mapped iterators.
+    pub fn decision_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|x| self.decision(x)));
+    }
+
+    /// Positive-class probabilities for a whole batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.score(x)).collect()
+    }
+
     /// The learned weight vector.
     pub fn weights(&self) -> &[f64] {
         &self.weights

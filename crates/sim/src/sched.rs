@@ -213,6 +213,38 @@ impl CfsScheduler {
         if total <= 0.0 {
             return;
         }
+        // Single-runnable fast path: the scan has exactly one candidate and
+        // `slice()` sees the same inputs every round, so both hoist out of
+        // the tick loop. The per-slice `min`/`max` clamps and the repeated
+        // vruntime additions replay the general loop's exact arithmetic
+        // sequence, so grants and vruntime stay bit-identical.
+        let mut sole = None;
+        for (i, e) in self.entities.iter().enumerate() {
+            if e.runnable {
+                if sole.is_some() {
+                    sole = None;
+                    break;
+                }
+                sole = Some(i);
+            }
+        }
+        if let Some(i) = sole {
+            let (base_weight, scale) = {
+                let e = &self.entities[i];
+                (e.base_weight, e.scale)
+            };
+            let slice = self.config.slice(base_weight, scale, total);
+            let e = &mut self.entities[i];
+            let per_tick = NICE_0_WEIGHT / e.weight();
+            let mut remaining = ticks;
+            while remaining > 0 {
+                let s = slice.min(remaining).max(1);
+                e.vruntime += s as f64 * per_tick;
+                e.granted += s;
+                remaining -= s;
+            }
+            return;
+        }
         let mut remaining = ticks;
         while remaining > 0 {
             // Pick the runnable entity with minimum vruntime; ties break

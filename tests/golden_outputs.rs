@@ -73,10 +73,57 @@ fn capture_fleet_scale() -> (usize, f64, u64, u64, u64, u64, u64, u64, u64, u64)
     )
 }
 
+/// One efficacy curve flattened to `(measurements, f1, fpr)` triples.
+fn curve_rows(curve: &valkyrie_core::EfficacyCurve) -> Vec<(u32, f64, f64)> {
+    curve
+        .points()
+        .iter()
+        .map(|p| (p.measurements, p.f1, p.fpr))
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn capture_fig1() -> Vec<(&'static str, Vec<(u32, f64, f64)>)> {
+    let r = x::fig1::run(&x::fig1::Fig1Config::quick());
+    vec![
+        ("small_ann", curve_rows(&r.small_ann)),
+        ("large_ann", curve_rows(&r.large_ann)),
+        ("svm", curve_rows(&r.svm)),
+        ("xgboost", curve_rows(&r.xgboost)),
+    ]
+}
+
+fn capture_fig5a() -> Vec<(String, u64, u64, bool)> {
+    let r = x::fig5::run_5a(&x::fig5::Fig5Config::quick());
+    assert!(r.mt_rows.is_empty(), "quick config is single-threaded only");
+    r.rows
+        .into_iter()
+        .map(|row| {
+            (
+                row.name,
+                row.baseline_epochs,
+                row.valkyrie_epochs,
+                row.terminated,
+            )
+        })
+        .collect()
+}
+
 /// Prints the current values as Rust literals (for regeneration).
 #[test]
 #[ignore]
 fn print_golden_values() {
+    println!("// --- fig1 quick curves ---");
+    for (name, rows) in capture_fig1() {
+        println!("    // {name}");
+        for (n, f1, fpr) in rows {
+            println!("    ({n}, {f1:?}, {fpr:?}),");
+        }
+    }
+    println!("// --- fig5a quick rows ---");
+    for (name, base, valk, term) in capture_fig5a() {
+        println!("    (\"{name}\", {base}, {valk}, {term}),");
+    }
     println!("// --- table2 quick rows ---");
     for (res, set, kb, sd) in capture_table2() {
         println!("    (\"{res}\", \"{set}\", {kb:?}, {sd:?}),");
@@ -266,4 +313,199 @@ fn multi_tenant_async_ingest_rates_are_bit_identical_to_seed() {
     assert_eq!(got.5, expected.5);
     assert_eq!(got.6, expected.6);
     assert_eq!(got.7, expected.7);
+}
+
+/// Fig. 1 efficacy curves (quick config) pinned before the batched/cached
+/// ML tier landed: every `predict_batch`, prefix-vote and model-cache path
+/// must reproduce these f1/fpr values bit-for-bit.
+#[test]
+fn fig1_quick_curves_are_bit_identical_to_seed() {
+    #[allow(clippy::type_complexity)]
+    let expected: &[(&str, &[(u32, f64, f64)])] = &[
+        (
+            "small_ann",
+            &[
+                (1, 0.5454545454545454, 0.25),
+                (3, 0.923076923076923, 0.0),
+                (5, 0.923076923076923, 0.0),
+                (7, 1.0, 0.0),
+                (9, 1.0, 0.0),
+                (11, 1.0, 0.0),
+                (13, 1.0, 0.0),
+                (15, 1.0, 0.0),
+                (17, 1.0, 0.0),
+                (19, 1.0, 0.0),
+                (21, 0.9333333333333333, 0.25),
+                (23, 0.9333333333333333, 0.25),
+                (25, 0.9333333333333333, 0.25),
+            ],
+        ),
+        (
+            "large_ann",
+            &[
+                (1, 0.5454545454545454, 0.25),
+                (3, 0.923076923076923, 0.0),
+                (5, 0.923076923076923, 0.0),
+                (7, 0.923076923076923, 0.0),
+                (9, 1.0, 0.0),
+                (11, 1.0, 0.0),
+                (13, 1.0, 0.0),
+                (15, 1.0, 0.0),
+                (17, 1.0, 0.0),
+                (19, 1.0, 0.0),
+                (21, 0.9333333333333333, 0.25),
+                (23, 0.9333333333333333, 0.25),
+                (25, 0.9333333333333333, 0.25),
+            ],
+        ),
+        (
+            "svm",
+            &[
+                (1, 0.6, 0.0),
+                (3, 0.6, 0.0),
+                (5, 0.7272727272727273, 0.0),
+                (7, 0.6, 0.0),
+                (9, 0.923076923076923, 0.0),
+                (11, 0.7272727272727273, 0.0),
+                (13, 0.6, 0.0),
+                (15, 0.7272727272727273, 0.0),
+                (17, 0.7272727272727273, 0.0),
+                (19, 0.6, 0.0),
+                (21, 0.6, 0.0),
+                (23, 0.7272727272727273, 0.0),
+                (25, 0.6, 0.0),
+            ],
+        ),
+        (
+            "xgboost",
+            &[
+                (1, 0.6, 0.0),
+                (3, 0.8333333333333333, 0.0),
+                (5, 0.8333333333333333, 0.0),
+                (7, 0.923076923076923, 0.0),
+                (9, 0.923076923076923, 0.0),
+                (11, 0.923076923076923, 0.0),
+                (13, 1.0, 0.0),
+                (15, 0.923076923076923, 0.0),
+                (17, 1.0, 0.0),
+                (19, 1.0, 0.0),
+                (21, 1.0, 0.0),
+                (23, 1.0, 0.0),
+                (25, 1.0, 0.0),
+            ],
+        ),
+    ];
+    let got = capture_fig1();
+    assert_eq!(got.len(), expected.len());
+    for ((name, rows), (ename, erows)) in got.iter().zip(expected) {
+        assert_eq!(name, ename);
+        assert_eq!(rows.len(), erows.len(), "{name}: point count");
+        for ((n, f1, fpr), (en, ef1, efpr)) in rows.iter().zip(*erows) {
+            assert_eq!(n, en, "{name}: grid point");
+            assert_eq!(
+                f1.to_bits(),
+                ef1.to_bits(),
+                "{name}@{n}: f1 {f1:?} vs {ef1:?}"
+            );
+            assert_eq!(
+                fpr.to_bits(),
+                efpr.to_bits(),
+                "{name}@{n}: fpr {fpr:?} vs {efpr:?}"
+            );
+        }
+    }
+}
+
+/// Fig. 5a per-benchmark epoch counts (quick config) pinned before the
+/// detector-cache / incremental-voting / batched-scoring changes: the
+/// response trajectory of all 77 benchmarks must stay bit-identical.
+#[test]
+fn fig5a_quick_rows_are_bit_identical_to_seed() {
+    let expected: &[(&str, u64, u64, bool)] = &[
+        ("perlbench", 49, 49, false),
+        ("bzip2", 42, 42, false),
+        ("gcc", 58, 58, false),
+        ("mcf", 79, 84, false),
+        ("gobmk", 123, 124, false),
+        ("hmmer", 48, 48, false),
+        ("sjeng", 40, 40, false),
+        ("libquantum", 79, 81, false),
+        ("h264ref", 127, 128, false),
+        ("omnetpp", 67, 71, false),
+        ("astar", 73, 73, false),
+        ("xalancbmk", 94, 95, false),
+        ("bwaves", 94, 97, false),
+        ("gamess", 119, 120, false),
+        ("milc", 112, 117, false),
+        ("zeusmp", 94, 95, false),
+        ("gromacs", 109, 110, false),
+        ("cactusADM", 72, 72, false),
+        ("leslie3d", 84, 87, false),
+        ("namd", 49, 49, false),
+        ("dealII", 73, 73, false),
+        ("soplex", 61, 61, false),
+        ("povray", 97, 98, false),
+        ("calculix", 75, 75, false),
+        ("GemsFDTD", 78, 80, false),
+        ("tonto", 83, 83, false),
+        ("lbm", 106, 110, false),
+        ("wrf", 42, 42, false),
+        ("sphinx3", 84, 84, false),
+        ("perlbench_r", 46, 46, false),
+        ("gcc_r", 130, 131, false),
+        ("mcf_r", 44, 45, false),
+        ("omnetpp_r", 107, 108, false),
+        ("xalancbmk_r", 89, 89, false),
+        ("x264_r", 77, 77, false),
+        ("deepsjeng_r", 76, 76, false),
+        ("leela_r", 130, 131, false),
+        ("exchange2_r", 119, 120, false),
+        ("xz_r", 81, 81, false),
+        ("bwaves_r", 43, 44, false),
+        ("cactuBSSN_r", 82, 82, false),
+        ("namd_r", 68, 68, false),
+        ("parest_r", 116, 117, false),
+        ("povray_r", 71, 72, false),
+        ("lbm_r", 116, 121, false),
+        ("wrf_r", 66, 66, false),
+        ("blender_r", 112, 160, false),
+        ("cam4_r", 105, 106, false),
+        ("imagick_r", 94, 95, false),
+        ("nab_r", 68, 68, false),
+        ("fotonik3d_r", 62, 63, false),
+        ("roms_r", 97, 108, false),
+        ("perlbench_s", 98, 98, false),
+        ("gcc_s", 82, 82, false),
+        ("mcf_s", 93, 96, false),
+        ("omnetpp_s", 58, 58, false),
+        ("xalancbmk_s", 41, 41, false),
+        ("x264_s", 126, 127, false),
+        ("deepsjeng_s", 128, 129, false),
+        ("leela_s", 82, 82, false),
+        ("exchange2_s", 71, 71, false),
+        ("xz_s", 129, 130, false),
+        ("lbm_s", 67, 70, false),
+        ("wrf_s", 117, 118, false),
+        ("3dsmax-06", 54, 55, false),
+        ("catia-05", 136, 138, false),
+        ("creo-02", 101, 104, false),
+        ("energy-02", 113, 115, false),
+        ("maya-05", 110, 112, false),
+        ("medical-02", 66, 67, false),
+        ("showcase-02", 42, 43, false),
+        ("snx-03", 127, 136, false),
+        ("sw-04", 56, 58, false),
+        ("stream-copy", 48, 49, false),
+        ("stream-scale", 82, 83, false),
+        ("stream-add", 79, 81, false),
+        ("stream-triad", 61, 62, false),
+    ];
+    let got = capture_fig5a();
+    assert_eq!(got.len(), expected.len());
+    for ((name, base, valk, term), (en, eb, ev, et)) in got.iter().zip(expected) {
+        assert_eq!(name, en);
+        assert_eq!(base, eb, "{name}: baseline epochs");
+        assert_eq!(valk, ev, "{name}: valkyrie epochs");
+        assert_eq!(term, et, "{name}: terminated");
+    }
 }

@@ -566,3 +566,107 @@ proptest! {
         prop_assert_eq!(b.filesystem().total_bytes(), template.total_bytes());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For the three fixed-vector model families (SVM, GBDT, MLP), the
+    /// batched scoring path is bit-identical to mapping the scalar path
+    /// over the batch — the invariant that lets detectors and experiment
+    /// drivers switch freely between `score` and `score_batch`.
+    #[test]
+    fn batched_scores_match_scalar_scores_bitwise(
+        seed in 0u64..1_000,
+        n in 1usize..24,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use valkyrie::ml::{
+            BinaryClassifier, Gbdt, GbdtConfig, LinearSvm, Mlp, MlpConfig, SvmConfig,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 6;
+        let train_xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let c = if i % 2 == 0 { 1.0 } else { -1.0 };
+                (0..dim).map(|_| c + rng.gen::<f64>()).collect()
+            })
+            .collect();
+        let train_ys: Vec<f64> = (0..40).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+        let batch: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect())
+            .collect();
+
+        let svm = LinearSvm::train(
+            &SvmConfig { epochs: 8, ..SvmConfig::default() },
+            &train_xs,
+            &train_ys,
+        );
+        let gbdt = Gbdt::train(
+            &GbdtConfig { rounds: 6, max_depth: 3, ..GbdtConfig::default() },
+            &train_xs,
+            &train_ys,
+        );
+        let mlp = Mlp::train(
+            &MlpConfig::new(vec![dim, 4, 1]).with_epochs(15),
+            &train_xs,
+            &train_ys,
+        );
+        let models: [(&str, &dyn BinaryClassifier); 3] =
+            [("svm", &svm), ("gbdt", &gbdt), ("mlp", &mlp)];
+        for (name, model) in models {
+            let batched = model.score_batch(&batch);
+            prop_assert_eq!(batched.len(), batch.len());
+            for (x, &b) in batch.iter().zip(&batched) {
+                prop_assert_eq!(
+                    model.score(x).to_bits(),
+                    b.to_bits(),
+                    "{} batched score diverged",
+                    name
+                );
+            }
+        }
+    }
+
+    /// The LSTM's batched sequence scoring (length-grouped matrix forward)
+    /// is bit-identical to the per-sequence scalar path, across mixed
+    /// sequence lengths.
+    #[test]
+    fn lstm_batched_scores_match_scalar_bitwise(
+        seed in 0u64..1_000,
+        lens in prop::collection::vec(1usize..12, 1..8),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use valkyrie::ml::{Lstm, LstmConfig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs = 4;
+        let mut mk_seq = |len: usize, c: f64| -> Vec<Vec<f64>> {
+            (0..len)
+                .map(|_| (0..inputs).map(|_| c + rng.gen::<f64>()).collect())
+                .collect()
+        };
+        let train_seqs: Vec<Vec<Vec<f64>>> = (0..12)
+            .map(|i| mk_seq(6, if i % 2 == 0 { 0.8 } else { -0.8 }))
+            .collect();
+        let train_ys: Vec<f64> = (0..12).map(|i| f64::from(u8::from(i % 2 == 0))).collect();
+        let lstm = Lstm::train(
+            &LstmConfig { epochs: 4, ..LstmConfig::new(inputs, 3) },
+            &train_seqs,
+            &train_ys,
+        );
+        let batch: Vec<Vec<Vec<f64>>> = lens
+            .iter()
+            .map(|&len| mk_seq(len, 0.0))
+            .collect();
+        let batched = lstm.predict_batch(&batch);
+        prop_assert_eq!(batched.len(), batch.len());
+        for (seq, &b) in batch.iter().zip(&batched) {
+            prop_assert_eq!(
+                lstm.predict_proba(seq).to_bits(),
+                b.to_bits(),
+                "lstm batched score diverged"
+            );
+        }
+    }
+}
