@@ -21,6 +21,11 @@
 //!   decoupling costs; the pool variants additionally route the drain
 //!   through the persistent workers (each draining its own shards in
 //!   place);
+//! * `fusion_xN` — the same workload carried as `Verdict`s through the
+//!   weighted-evidence fusion tier (`observe_verdict_batch`) under the
+//!   degenerate unit-weight/BINARY-ladder config. Against `sharded_xN` at
+//!   the same `N` this prices the per-process evidence-table hop (fuse +
+//!   escalate) the fused path adds over flat binary observation;
 //! * `fleet_xN` — the same fleet spread across 256 machines through the
 //!   hierarchical `FleetEngine` (`N` machine-sharded groups × 2 pid
 //!   shards, global pids packed with `ProcessId::from_parts`). Against
@@ -138,6 +143,43 @@ fn bench_fleet(c: &mut Criterion, label: &str, procs: u64) {
                 epoch += 1;
                 publisher.publish_batch(black_box(&ring[epoch % 7]));
                 black_box(engine.drain_batch())
+            });
+        });
+    }
+
+    // The fused-verdict path: the identical flag schedule carried as
+    // `Verdict`s (detector 0, confidence 0/1) through the weighted-evidence
+    // fusion tier with the degenerate unit-weight/BINARY-ladder config, so
+    // against `sharded_xN` at the same `N` this prices exactly the
+    // per-process evidence-table hop (fuse + escalate) over the flat
+    // binary observation path.
+    let verdict_ring: Vec<Vec<(ProcessId, Verdict)>> = ring
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .map(|&(pid, cls)| (pid, Verdict::from_classification(0, cls)))
+                .collect()
+        })
+        .collect();
+    for shards in [1usize, 4] {
+        group.bench_function(format!("fusion_x{shards}").as_str(), |b| {
+            let config = EngineConfig::builder()
+                .measurements_required(n_star)
+                .actuator(ShareActuator::scheduler_weight(0.1, 0.01))
+                .fusion(FusionConfig {
+                    weights: Vec::new(),
+                    default_weight: 1.0,
+                    stale_decay: 1.0,
+                    ladder: EscalationLadder::BINARY,
+                })
+                .build()
+                .unwrap();
+            let mut engine = ShardedEngine::with_capacity(config, shards, procs as usize);
+            let mut epoch = 0usize;
+            b.iter(|| {
+                epoch += 1;
+                black_box(engine.observe_verdict_batch(black_box(&verdict_ring[epoch % 7])))
             });
         });
     }

@@ -15,10 +15,11 @@ use crate::actuator::{Actuator, CompositeActuator, ShareActuator};
 use crate::efficacy::{EfficacyCurve, EfficacySpec};
 use crate::error::ValkyrieError;
 use crate::hash::FxBuildHasher;
-use crate::monitor::{Directive, Monitor};
+use crate::monitor::{Directive, EscalationLadder, EscalationLevel, Monitor, StepReport};
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
-use crate::threat::{AssessmentFn, Classification, ThreatIndex};
+use crate::telemetry::FusionStats;
+use crate::threat::{stale_weight, AssessmentFn, Classification, Evidence, ThreatIndex, Verdict};
 use std::collections::HashMap;
 
 /// The response action the embedder must enact after an epoch.
@@ -56,6 +57,49 @@ pub struct EngineResponse {
     pub action: Action,
 }
 
+/// Configuration of the verdict-fusion tier (see
+/// [`EngineShard::absorb_verdict`]).
+///
+/// `weights[detector_id]` is each ensemble member's fusion weight
+/// (`default_weight` for ids past the end of the table); `stale_decay`
+/// down-weights members whose last verdict outlived its cadence
+/// ([`stale_weight`]); `ladder` maps the fused evidence mass to the
+/// graduated escalation level each epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionConfig {
+    /// Per-detector fusion weights, indexed by detector id.
+    pub weights: Vec<f64>,
+    /// Weight for detector ids not covered by `weights`.
+    pub default_weight: f64,
+    /// Per-overdue-epoch weight multiplier for stale verdicts
+    /// (1.0 disables staleness decay).
+    pub stale_decay: f64,
+    /// The escalation ladder driven by the fused mass.
+    pub ladder: EscalationLadder,
+}
+
+impl Default for FusionConfig {
+    /// Unit weights, no staleness decay, the graduated ladder.
+    fn default() -> Self {
+        Self {
+            weights: Vec::new(),
+            default_weight: 1.0,
+            stale_decay: 1.0,
+            ladder: EscalationLadder::default(),
+        }
+    }
+}
+
+impl FusionConfig {
+    /// The fusion weight of a detector id.
+    pub fn weight_of(&self, detector: u32) -> f64 {
+        self.weights
+            .get(detector as usize)
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+}
+
 /// Configuration of a [`ValkyrieEngine`].
 ///
 /// Build one with [`EngineConfig::builder`]. `N*` can be given directly or
@@ -69,6 +113,7 @@ pub struct EngineConfig<A = CompositeActuator> {
     fc: AssessmentFn,
     actuator: A,
     cyclic: bool,
+    fusion: FusionConfig,
 }
 
 impl EngineConfig<CompositeActuator> {
@@ -104,6 +149,11 @@ impl<A: Actuator + Clone> EngineConfig<A> {
     pub fn is_cyclic(&self) -> bool {
         self.cyclic
     }
+
+    /// The verdict-fusion configuration.
+    pub fn fusion(&self) -> &FusionConfig {
+        &self.fusion
+    }
 }
 
 /// Builder for [`EngineConfig`] (see `C-BUILDER`).
@@ -134,6 +184,7 @@ pub struct EngineConfigBuilder {
     fc: AssessmentFn,
     parts: Vec<ShareActuator>,
     cyclic: bool,
+    fusion: FusionConfig,
 }
 
 impl EngineConfigBuilder {
@@ -191,6 +242,14 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Configures the verdict-fusion tier (weights, staleness decay and the
+    /// escalation ladder). Default: unit weights, no decay, the graduated
+    /// ladder.
+    pub fn fusion(mut self, fusion: FusionConfig) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Errors
@@ -217,6 +276,7 @@ impl EngineConfigBuilder {
             fc: self.fc,
             actuator: CompositeActuator::new(self.parts),
             cyclic: self.cyclic,
+            fusion: self.fusion,
         })
     }
 }
@@ -226,6 +286,9 @@ struct TrackedProcess<A> {
     monitor: Monitor,
     actuator: A,
     resources: ResourceVector,
+    /// Escalation rung of the previous step, for ladder-transition
+    /// telemetry.
+    level: EscalationLevel,
 }
 
 impl<A: Actuator + Clone> TrackedProcess<A> {
@@ -238,6 +301,7 @@ impl<A: Actuator + Clone> TrackedProcess<A> {
             },
             actuator: config.actuator.clone(),
             resources: ResourceVector::FULL,
+            level: EscalationLevel::Observe,
         }
     }
 }
@@ -249,8 +313,25 @@ fn step<A: Actuator>(
     pid: ProcessId,
     tracked: &mut TrackedProcess<A>,
     inference: Classification,
+    stats: &mut FusionStats,
 ) -> EngineResponse {
     let report = tracked.monitor.observe(inference);
+    enact(cyclic, pid, tracked, report, stats)
+}
+
+/// Turns a monitor step report into the response to enact, updating the
+/// tracked actuator state and the escalation-transition telemetry.
+fn enact<A: Actuator>(
+    cyclic: bool,
+    pid: ProcessId,
+    tracked: &mut TrackedProcess<A>,
+    report: StepReport,
+    stats: &mut FusionStats,
+) -> EngineResponse {
+    if report.level > tracked.level && report.level >= EscalationLevel::Throttle {
+        stats.escalations += 1;
+    }
+    tracked.level = report.level;
     let action = match report.directive {
         Directive::Continue => Action::None,
         Directive::Adjust { delta_threat } => {
@@ -310,6 +391,33 @@ fn step<A: Actuator>(
 pub struct EngineShard<A: Actuator + Clone = CompositeActuator> {
     config: EngineConfig<A>,
     procs: HashMap<ProcessId, TrackedProcess<A>, FxBuildHasher>,
+    /// Per-process fusion table: the latest evidence from each ensemble
+    /// member, kept across epochs so slow members stay represented.
+    evidence: HashMap<ProcessId, FusionCell, FxBuildHasher>,
+    /// Processes with fresh evidence since the last fuse, in first-arrival
+    /// order (the response order of [`EngineShard::fuse_step_into`]).
+    dirty: Vec<ProcessId>,
+    /// Fusion clock: one tick per fuse pass, for staleness accounting.
+    fusion_tick: u64,
+    fusion_stats: FusionStats,
+}
+
+/// The latest evidence one ensemble member supplied about a process.
+#[derive(Debug, Clone, Copy)]
+struct MemberEvidence {
+    detector: u32,
+    confidence: f64,
+    cadence: u32,
+    /// Fusion tick the verdict was absorbed into.
+    seen_tick: u64,
+}
+
+/// Per-process fusion state: one slot per ensemble member, plus the dirty
+/// flag keeping the pid at most once in the shard's dirty list.
+#[derive(Debug, Clone, Default)]
+struct FusionCell {
+    members: Vec<MemberEvidence>,
+    dirty: bool,
 }
 
 impl<A: Actuator + Clone> EngineShard<A> {
@@ -324,6 +432,10 @@ impl<A: Actuator + Clone> EngineShard<A> {
         Self {
             config,
             procs: HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            evidence: HashMap::default(),
+            dirty: Vec::new(),
+            fusion_tick: 0,
+            fusion_stats: FusionStats::default(),
         }
     }
 
@@ -369,14 +481,167 @@ impl<A: Actuator + Clone> EngineShard<A> {
     /// unknown pid falls into the registration path.
     pub fn observe(&mut self, pid: ProcessId, inference: Classification) -> EngineResponse {
         if let Some(tracked) = self.procs.get_mut(&pid) {
-            return step(self.config.cyclic, pid, tracked, inference);
+            return step(
+                self.config.cyclic,
+                pid,
+                tracked,
+                inference,
+                &mut self.fusion_stats,
+            );
         }
         let config = &self.config;
         let tracked = self
             .procs
             .entry(pid)
             .or_insert_with(|| TrackedProcess::new(config));
-        step(config.cyclic, pid, tracked, inference)
+        step(
+            config.cyclic,
+            pid,
+            tracked,
+            inference,
+            &mut self.fusion_stats,
+        )
+    }
+
+    /// Advances a process by one fused evidence mass under the configured
+    /// escalation ladder (the weighted-evidence sibling of
+    /// [`EngineShard::observe`]).
+    pub fn observe_mass(&mut self, pid: ProcessId, mass: f64) -> EngineResponse {
+        let ladder = self.config.fusion.ladder;
+        let cyclic = self.config.cyclic;
+        if let Some(tracked) = self.procs.get_mut(&pid) {
+            let report = tracked.monitor.observe_mass_with(ladder, mass);
+            return enact(cyclic, pid, tracked, report, &mut self.fusion_stats);
+        }
+        let config = &self.config;
+        let tracked = self
+            .procs
+            .entry(pid)
+            .or_insert_with(|| TrackedProcess::new(config));
+        let report = tracked.monitor.observe_mass_with(ladder, mass);
+        enact(cyclic, pid, tracked, report, &mut self.fusion_stats)
+    }
+
+    /// Absorbs one ensemble member's verdict into the fusion table without
+    /// advancing the monitor. The process is stepped (once, regardless of
+    /// how many members published) by the next
+    /// [`EngineShard::fuse_step_into`].
+    pub fn absorb_verdict(&mut self, pid: ProcessId, verdict: Verdict) {
+        self.fusion_stats.saw(verdict.detector);
+        let cell = self.evidence.entry(pid).or_default();
+        let seen_tick = self.fusion_tick + 1;
+        match cell
+            .members
+            .iter_mut()
+            .find(|m| m.detector == verdict.detector)
+        {
+            Some(m) => {
+                m.confidence = verdict.confidence;
+                m.cadence = verdict.cadence;
+                m.seen_tick = seen_tick;
+            }
+            None => cell.members.push(MemberEvidence {
+                detector: verdict.detector,
+                confidence: verdict.confidence,
+                cadence: verdict.cadence,
+                seen_tick,
+            }),
+        }
+        if !cell.dirty {
+            cell.dirty = true;
+            self.dirty.push(pid);
+        }
+    }
+
+    /// Fuses all pending evidence and advances each touched process by one
+    /// monitor step, appending one response per dirty process (first-arrival
+    /// order) to `out`.
+    ///
+    /// Members that last published longer ago than their cadence are
+    /// down-weighted by the configured staleness decay, so a wedged slow
+    /// member fades out instead of pinning the fused mass.
+    pub fn fuse_step_into(&mut self, out: &mut Vec<EngineResponse>) {
+        self.fusion_tick += 1;
+        let dirty = std::mem::take(&mut self.dirty);
+        out.reserve(dirty.len());
+        for pid in dirty {
+            if let Some(response) = self.fuse_one(pid) {
+                out.push(response);
+            }
+        }
+    }
+
+    /// Batch variant of [`EngineShard::fuse_step_into`].
+    pub fn fuse_step(&mut self) -> Vec<EngineResponse> {
+        let mut out = Vec::new();
+        self.fuse_step_into(&mut out);
+        out
+    }
+
+    /// Fuses the evidence of a single dirty process (no-op when the cell is
+    /// clean). `fusion_tick` must already be advanced by the caller.
+    fn fuse_one(&mut self, pid: ProcessId) -> Option<EngineResponse> {
+        let fusion = &self.config.fusion;
+        let cell = self.evidence.get_mut(&pid)?;
+        if !cell.dirty {
+            return None;
+        }
+        cell.dirty = false;
+        let mut ev = Evidence::new();
+        let mut stale = 0;
+        for m in &cell.members {
+            let age = self.fusion_tick.saturating_sub(m.seen_tick);
+            let decay = stale_weight(fusion.stale_decay, age, m.cadence);
+            if decay < 1.0 {
+                stale += 1;
+            }
+            ev.add(m.confidence, fusion.weight_of(m.detector) * decay);
+        }
+        self.fusion_stats.stale_decayed += stale;
+        Some(self.observe_mass(pid, ev.mass()))
+    }
+
+    /// Absorbs one verdict and immediately fuses the process's evidence:
+    /// the single-caller convenience path (one verdict per epoch). Batch
+    /// embedders absorb many verdicts and call
+    /// [`EngineShard::fuse_step_into`] once per tick instead.
+    pub fn observe_verdict(&mut self, pid: ProcessId, verdict: Verdict) -> EngineResponse {
+        self.absorb_verdict(pid, verdict);
+        self.fusion_tick += 1;
+        // `absorb_verdict` queued the pid; consume that entry here so the
+        // next batch fuse does not re-step the process.
+        if self.dirty.last() == Some(&pid) {
+            self.dirty.pop();
+        }
+        self.fuse_one(pid).expect("verdict was just absorbed")
+    }
+
+    /// Absorbs a batch of per-detector verdicts, then fuses once: one
+    /// response per *process* with fresh evidence (first-arrival order),
+    /// not one per verdict.
+    pub fn observe_verdict_batch_into(
+        &mut self,
+        batch: &[(ProcessId, Verdict)],
+        out: &mut Vec<EngineResponse>,
+    ) {
+        for &(pid, verdict) in batch {
+            self.absorb_verdict(pid, verdict);
+        }
+        self.fuse_step_into(out);
+    }
+
+    /// Batch variant of [`EngineShard::observe_verdict`]; see
+    /// [`EngineShard::observe_verdict_batch_into`].
+    pub fn observe_verdict_batch(&mut self, batch: &[(ProcessId, Verdict)]) -> Vec<EngineResponse> {
+        let mut out = Vec::new();
+        self.observe_verdict_batch_into(batch, &mut out);
+        out
+    }
+
+    /// Fusion-tier telemetry counters (escalation transitions included for
+    /// the binary observe path).
+    pub fn fusion_stats(&self) -> &FusionStats {
+        &self.fusion_stats
     }
 
     /// Feeds a batch of per-process inferences, appending one response per
@@ -413,9 +678,11 @@ impl<A: Actuator + Clone> EngineShard<A> {
         Ok(())
     }
 
-    /// Stops tracking a process and frees its bookkeeping.
+    /// Stops tracking a process and frees its bookkeeping (fusion evidence
+    /// included).
     pub fn forget(&mut self, pid: ProcessId) {
         self.procs.remove(&pid);
+        self.evidence.remove(&pid);
     }
 
     /// Evicts every terminated process, returning how many were dropped.
@@ -429,6 +696,13 @@ impl<A: Actuator + Clone> EngineShard<A> {
     pub fn purge_terminated(&mut self) -> usize {
         let before = self.procs.len();
         self.procs.retain(|_, p| p.monitor.state().is_live());
+        if before != self.procs.len() && !self.evidence.is_empty() {
+            // Fusion evidence of purged processes goes with them; dirty
+            // cells (fresh verdicts not yet fused) are kept.
+            let procs = &self.procs;
+            self.evidence
+                .retain(|pid, cell| cell.dirty || procs.contains_key(pid));
+        }
         before - self.procs.len()
     }
 
@@ -492,6 +766,7 @@ impl<A: Actuator + Clone> ValkyrieEngine<A> {
             fc,
             actuator,
             cyclic: false,
+            fusion: FusionConfig::default(),
         })
     }
 
@@ -535,6 +810,35 @@ impl<A: Actuator + Clone> ValkyrieEngine<A> {
     /// Batch variant of [`Self::observe`]; responses are in input order.
     pub fn observe_batch(&mut self, batch: &[(ProcessId, Classification)]) -> Vec<EngineResponse> {
         self.shard.observe_batch(batch)
+    }
+
+    /// Advances a process by one fused evidence mass (see
+    /// [`EngineShard::observe_mass`]).
+    pub fn observe_mass(&mut self, pid: ProcessId, mass: f64) -> EngineResponse {
+        self.shard.observe_mass(pid, mass)
+    }
+
+    /// Absorbs a per-detector verdict and immediately fuses the process's
+    /// evidence (see [`EngineShard::observe_verdict`]).
+    pub fn observe_verdict(&mut self, pid: ProcessId, verdict: Verdict) -> EngineResponse {
+        self.shard.observe_verdict(pid, verdict)
+    }
+
+    /// Absorbs a verdict without stepping the monitor (see
+    /// [`EngineShard::absorb_verdict`]).
+    pub fn absorb_verdict(&mut self, pid: ProcessId, verdict: Verdict) {
+        self.shard.absorb_verdict(pid, verdict)
+    }
+
+    /// Fuses all pending evidence: one monitor step and response per
+    /// process with fresh verdicts (see [`EngineShard::fuse_step_into`]).
+    pub fn fuse_step(&mut self) -> Vec<EngineResponse> {
+        self.shard.fuse_step()
+    }
+
+    /// Fusion-tier telemetry counters.
+    pub fn fusion_stats(&self) -> &FusionStats {
+        self.shard.fusion_stats()
     }
 
     /// Marks a process as completed (Fig. 3: completion terminates it).
@@ -827,5 +1131,165 @@ mod tests {
         let shard = e.into_shard();
         assert_eq!(shard.tracked(), 1);
         assert_eq!(shard.state(ProcessId(3)), Some(ProcessState::Suspicious));
+    }
+
+    fn fusion_engine(n_star: u64, fusion: FusionConfig) -> ValkyrieEngine {
+        let config = EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .fusion(fusion)
+            .build()
+            .unwrap();
+        ValkyrieEngine::new(config)
+    }
+
+    #[test]
+    fn binary_verdicts_through_fusion_match_binary_observe() {
+        // A single unit-weight member with full-confidence verdicts and the
+        // BINARY ladder must reproduce the legacy binary engine exactly.
+        let fusion = FusionConfig {
+            ladder: crate::monitor::EscalationLadder::BINARY,
+            ..FusionConfig::default()
+        };
+        let mut fused = fusion_engine(4, fusion);
+        let mut binary = engine(4);
+        let pid = ProcessId(1);
+        let stream = [
+            Malicious, Benign, Malicious, Malicious, Malicious, Malicious,
+        ];
+        for c in stream {
+            let want = binary.observe(pid, c);
+            let got = fused.observe_verdict(pid, Verdict::from_classification(0, c));
+            assert_eq!(got, want);
+        }
+        assert_eq!(fused.state(pid), Some(ProcessState::Terminated));
+        assert_eq!(fused.fusion_stats().verdicts, stream.len() as u64);
+    }
+
+    #[test]
+    fn fuse_step_advances_each_process_once_per_tick() {
+        // Three members publishing in the same tick must cost the process
+        // ONE monitor step, not three.
+        let mut e = fusion_engine(10, FusionConfig::default());
+        let pid = ProcessId(5);
+        e.absorb_verdict(pid, Verdict::new(0, 1.0));
+        e.absorb_verdict(pid, Verdict::new(1, 1.0));
+        e.absorb_verdict(pid, Verdict::new(2, 1.0));
+        let responses = e.fuse_step();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].action, Action::Throttle);
+        assert_eq!(e.fusion_stats().verdicts, 3);
+        assert_eq!(e.fusion_stats().per_detector, vec![1, 1, 1]);
+        // One step was taken: a monitor at measurement 1, not 3.
+        assert_eq!(e.threat(pid).unwrap().value(), 1.0);
+        // No pending evidence: an empty fuse produces no responses.
+        assert!(e.fuse_step().is_empty());
+    }
+
+    #[test]
+    fn fusion_weights_tilt_the_mass() {
+        // Detector 1 carries 4x the weight of detector 0. A malicious
+        // verdict from the heavy member against a benign one from the light
+        // member yields mass 0.8 → Throttle on the graduated ladder.
+        let fusion = FusionConfig {
+            weights: vec![1.0, 4.0],
+            ..FusionConfig::default()
+        };
+        let mut e = fusion_engine(10, fusion);
+        let pid = ProcessId(1);
+        e.absorb_verdict(pid, Verdict::new(0, 0.0));
+        e.absorb_verdict(pid, Verdict::new(1, 1.0));
+        let r = e.fuse_step();
+        assert_eq!(r[0].action, Action::Throttle);
+
+        // Flipped: the heavy member says benign → mass 0.2 → no throttle.
+        let fusion = FusionConfig {
+            weights: vec![1.0, 4.0],
+            ..FusionConfig::default()
+        };
+        let mut e = fusion_engine(10, fusion);
+        e.absorb_verdict(pid, Verdict::new(0, 1.0));
+        e.absorb_verdict(pid, Verdict::new(1, 0.0));
+        let r = e.fuse_step();
+        assert_eq!(r[0].action, Action::None);
+        assert_eq!(r[0].state, ProcessState::Normal);
+    }
+
+    #[test]
+    fn stale_slow_member_decays_out_of_the_mass() {
+        // A slow member (cadence 2) flags malicious once, then goes silent.
+        // With stale_decay 0.0 its verdict stops counting as soon as it is
+        // overdue, letting the fresh benign member dominate.
+        let fusion = FusionConfig {
+            stale_decay: 0.0,
+            ..FusionConfig::default()
+        };
+        let mut e = fusion_engine(100, fusion);
+        let pid = ProcessId(9);
+        e.absorb_verdict(pid, Verdict::new(1, 1.0).with_cadence(2));
+        e.absorb_verdict(pid, Verdict::new(0, 0.0));
+        let r = e.fuse_step();
+        // Tick 1: both fresh, mass 0.5 → Observe band on the graduated
+        // ladder → no action.
+        assert_eq!(r[0].action, Action::None);
+        // Ticks 2-4: only the fast benign member keeps publishing. At tick
+        // 4 the slow verdict is 3 ticks old (> cadence 2) and fully decays.
+        for _ in 0..3 {
+            e.absorb_verdict(pid, Verdict::new(0, 0.0));
+            e.fuse_step();
+        }
+        assert!(e.fusion_stats().stale_decayed > 0);
+        assert_eq!(e.state(pid), Some(ProcessState::Normal));
+        assert!(e.threat(pid).unwrap().is_zero());
+    }
+
+    #[test]
+    fn escalation_transitions_are_counted_on_the_binary_path() {
+        let mut e = engine(3);
+        let pid = ProcessId(1);
+        assert_eq!(e.fusion_stats().escalations, 0);
+        e.observe(pid, Malicious); // Observe -> Throttle: +1
+        e.observe(pid, Malicious); // Throttle -> Throttle: no transition
+        assert_eq!(e.fusion_stats().escalations, 1);
+        e.observe(pid, Benign); // Throttle -> Compensate: downward, no count
+                                // Terminable by now (3 measurements): a malicious verdict jumps
+                                // Compensate -> Kill, the second upward transition.
+        let r = e.observe(pid, Malicious);
+        assert_eq!(r.action, Action::Terminate);
+        assert_eq!(e.fusion_stats().escalations, 2);
+    }
+
+    #[test]
+    fn forget_and_purge_drop_fusion_evidence() {
+        let mut e = fusion_engine(1, FusionConfig::default());
+        let pid = ProcessId(1);
+        e.observe_verdict(pid, Verdict::new(0, 1.0));
+        let r = e.observe_verdict(pid, Verdict::new(0, 1.0));
+        assert_eq!(r.action, Action::Terminate);
+        assert_eq!(e.purge_terminated(), 1);
+        // The purged pid's evidence went with it: a fresh verdict registers
+        // a fresh process (a stale one would short-circuit with Terminate).
+        let r = e.observe_verdict(pid, Verdict::new(0, 0.0));
+        assert_eq!(r.action, Action::None);
+        assert_eq!(r.state, ProcessState::Terminable);
+    }
+
+    #[test]
+    fn observe_verdict_batch_orders_responses_by_first_arrival() {
+        let e = fusion_engine(10, FusionConfig::default());
+        let batch = vec![
+            (ProcessId(3), Verdict::new(0, 1.0)),
+            (ProcessId(1), Verdict::new(0, 0.0)),
+            (ProcessId(3), Verdict::new(1, 1.0)),
+        ];
+        let shard = {
+            let mut shard = e.into_shard();
+            let r = shard.observe_verdict_batch(&batch);
+            assert_eq!(r.len(), 2, "two processes, three verdicts");
+            assert_eq!(r[0].pid, ProcessId(3));
+            assert_eq!(r[1].pid, ProcessId(1));
+            shard
+        };
+        assert_eq!(shard.tracked(), 2);
     }
 }

@@ -56,8 +56,8 @@ use crate::sharded::{
     partition_by_into, scatter_to_input_order, shrink_slot, ExecutionMode, ShardedEngine,
 };
 use crate::state::ProcessState;
-use crate::telemetry::IngestStats;
-use crate::threat::{Classification, ThreatIndex};
+use crate::telemetry::{FusionStats, IngestStats};
+use crate::threat::{Classification, ThreatIndex, Verdict};
 
 /// A hierarchical response engine for cluster-scale fleets: machine groups
 /// of [`ShardedEngine`]s behind the same batch/tick API.
@@ -71,6 +71,8 @@ pub struct FleetEngine<A: Actuator + Clone = CompositeActuator> {
     /// inner engines' shard scratch).
     parts: Vec<Vec<(ProcessId, Classification)>>,
     origins: Vec<Vec<usize>>,
+    /// Per-group partition scratch for the fusion tier's verdict batches.
+    vparts: Vec<Vec<(ProcessId, Verdict)>>,
     epoch: u64,
 }
 
@@ -112,6 +114,7 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
                 .collect(),
             parts: vec![Vec::new(); groups],
             origins: vec![Vec::new(); groups],
+            vparts: vec![Vec::new(); groups],
             epoch: 0,
         }
     }
@@ -212,6 +215,48 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
         out
     }
 
+    /// Feeds one per-detector [`Verdict`] for one process through its
+    /// machine group's fusion tier.
+    pub fn observe_verdict(&mut self, pid: ProcessId, verdict: Verdict) -> EngineResponse {
+        let group = group_index(pid.machine(), self.groups.len());
+        self.groups[group].observe_verdict(pid, verdict)
+    }
+
+    /// Feeds one tick's per-detector verdicts for the whole fleet through
+    /// each group's fusion tier (see
+    /// [`ShardedEngine::observe_verdict_batch`]). Responses are one per
+    /// *process* with fresh evidence, concatenated in group order.
+    pub fn observe_verdict_batch(&mut self, batch: &[(ProcessId, Verdict)]) -> Vec<EngineResponse> {
+        let ngroups = self.groups.len();
+        if ngroups == 1 {
+            return self.groups[0].observe_verdict_batch(batch);
+        }
+        partition_by_into(
+            batch,
+            |pid| group_index(pid.machine(), ngroups),
+            &mut self.vparts,
+            &mut self.origins,
+        );
+        let mut out = Vec::new();
+        for (group, part) in self.groups.iter_mut().zip(&self.vparts) {
+            out.extend(group.observe_verdict_batch(part));
+        }
+        for part in &mut self.vparts {
+            let used = part.len();
+            shrink_slot(part, used);
+        }
+        out
+    }
+
+    /// The fusion counters merged over every group (see [`FusionStats`]).
+    pub fn fusion_stats(&self) -> FusionStats {
+        let mut stats = FusionStats::default();
+        for group in &self.groups {
+            stats.merge(&group.fusion_stats());
+        }
+        stats
+    }
+
     /// The fleet epoch driver: feeds one tick's batch, advances the fleet
     /// epoch counter, and evicts terminated processes in every group
     /// ([`ShardedEngine::tick`]'s contract, lifted to the fleet).
@@ -287,6 +332,67 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
         self.groups
             .iter()
             .map(ShardedEngine::ingest_stats)
+            .try_fold(IngestStats::default(), |acc, stats| {
+                let stats = stats?;
+                Some(IngestStats {
+                    published: acc.published + stats.published,
+                    drained: acc.drained + stats.drained,
+                    dropped: acc.dropped + stats.dropped,
+                    coalesced: acc.coalesced + stats.coalesced,
+                    queued: acc.queued + stats.queued,
+                })
+            })
+    }
+
+    /// Builds the fusion tier's verdict rings in every group and returns a
+    /// fleet-wide verdict publisher — the per-detector twin of
+    /// [`Self::enable_ingest`]. One [`Self::drain_tick`] serves both queue
+    /// sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_verdict_ingest(
+        &mut self,
+        capacity: usize,
+        policy: OverflowPolicy,
+    ) -> FleetPublisher<Verdict> {
+        let publishers = self
+            .groups
+            .iter_mut()
+            .map(|group| group.enable_verdict_ingest(capacity, policy))
+            .collect();
+        FleetPublisher {
+            publishers: Arc::new(publishers),
+        }
+    }
+
+    /// Whether [`Self::enable_verdict_ingest`] has built the verdict rings.
+    pub fn verdict_ingest_enabled(&self) -> bool {
+        self.groups
+            .iter()
+            .all(ShardedEngine::verdict_ingest_enabled)
+    }
+
+    /// A fresh fleet-wide publisher for the current verdict rings (`None`
+    /// before [`Self::enable_verdict_ingest`]).
+    pub fn verdict_publisher(&self) -> Option<FleetPublisher<Verdict>> {
+        let publishers: Option<Vec<IngestPublisher<Verdict>>> = self
+            .groups
+            .iter()
+            .map(ShardedEngine::verdict_publisher)
+            .collect();
+        publishers.map(|publishers| FleetPublisher {
+            publishers: Arc::new(publishers),
+        })
+    }
+
+    /// The verdict rings' counters summed over groups (`None` before
+    /// [`Self::enable_verdict_ingest`]).
+    pub fn verdict_ingest_stats(&self) -> Option<IngestStats> {
+        self.groups
+            .iter()
+            .map(ShardedEngine::verdict_ingest_stats)
             .try_fold(IngestStats::default(), |acc, stats| {
                 let stats = stats?;
                 Some(IngestStats {
@@ -377,27 +483,37 @@ impl<A: Actuator + Clone + Send + 'static> FleetEngine<A> {
 /// A cluster-wide publisher handle: routes each observation to its machine
 /// group's ingest rings (same machine-id rule as the engine, so publish
 /// and drain can never disagree on placement). Clone freely — clones share
-/// the underlying group publishers.
-#[derive(Debug, Clone)]
-pub struct FleetPublisher {
-    publishers: Arc<Vec<IngestPublisher>>,
+/// the underlying group publishers. Carries [`Classification`]s by default
+/// and per-detector [`Verdict`]s on the fusion path (see
+/// [`FleetEngine::enable_verdict_ingest`]).
+#[derive(Debug)]
+pub struct FleetPublisher<P = Classification> {
+    publishers: Arc<Vec<IngestPublisher<P>>>,
 }
 
-impl FleetPublisher {
-    /// Publishes one classification for `pid` into its group's rings.
+impl<P> Clone for FleetPublisher<P> {
+    fn clone(&self) -> Self {
+        Self {
+            publishers: Arc::clone(&self.publishers),
+        }
+    }
+}
+
+impl<P: Copy> FleetPublisher<P> {
+    /// Publishes one observation for `pid` into its group's rings.
     /// Returns `false` — discarding the observation — only when that
     /// group's engine has closed or replaced its rings.
-    pub fn publish(&self, pid: ProcessId, inference: Classification) -> bool {
+    pub fn publish(&self, pid: ProcessId, payload: P) -> bool {
         let group = group_index(pid.machine(), self.publishers.len());
-        self.publishers[group].publish(pid, inference)
+        self.publishers[group].publish(pid, payload)
     }
 
     /// Publishes a batch in order. Returns how many observations were
     /// accepted.
-    pub fn publish_batch(&self, batch: &[(ProcessId, Classification)]) -> usize {
+    pub fn publish_batch(&self, batch: &[(ProcessId, P)]) -> usize {
         let mut accepted = 0;
-        for &(pid, inference) in batch {
-            if self.publish(pid, inference) {
+        for &(pid, payload) in batch {
+            if self.publish(pid, payload) {
                 accepted += 1;
             }
         }
@@ -529,6 +645,45 @@ mod tests {
         // A mirror fleet fed synchronously reaches the same per-pid state.
         let mut mirror = FleetEngine::new(config(4), 3, 2);
         mirror.tick(&batch);
+        for &(pid, _) in &batch {
+            assert_eq!(fleet.state(pid), mirror.state(pid), "{pid}");
+            assert_eq!(fleet.threat(pid), mirror.threat(pid), "{pid}");
+        }
+    }
+
+    /// Verdicts published over the fleet's verdict rings reach the same
+    /// per-pid state as the synchronous fleet verdict batch, and the
+    /// fusion counters aggregate across groups.
+    #[test]
+    fn verdict_ingest_matches_verdict_batch_across_groups() {
+        let mut fleet = FleetEngine::new(config(2), 3, 2);
+        let publisher = fleet.enable_verdict_ingest(64, OverflowPolicy::Block);
+        let batch: Vec<(ProcessId, Verdict)> = (0..6u32)
+            .flat_map(|m| {
+                (1..=4u64).map(move |p| {
+                    let conf = if (u64::from(m) + p).is_multiple_of(3) {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    (ProcessId::from_parts(m, p), Verdict::new(0, conf))
+                })
+            })
+            .collect();
+        for _ in 0..2 {
+            assert_eq!(publisher.publish_batch(&batch), batch.len());
+            fleet.drain_tick();
+        }
+        assert_eq!(fleet.epoch(), 2);
+        assert_eq!(fleet.fusion_stats().verdicts, 2 * batch.len() as u64);
+        let stats = fleet.verdict_ingest_stats().expect("verdict ingest on");
+        assert_eq!(stats.published, stats.drained);
+
+        let mut mirror = FleetEngine::new(config(2), 3, 2);
+        for _ in 0..2 {
+            mirror.observe_verdict_batch(&batch);
+            mirror.purge_terminated();
+        }
         for &(pid, _) in &batch {
             assert_eq!(fleet.state(pid), mirror.state(pid), "{pid}");
             assert_eq!(fleet.threat(pid), mirror.threat(pid), "{pid}");

@@ -110,41 +110,65 @@ pub enum OverflowPolicy {
 
 /// One queued observation: the publish-order stamp plus the payload.
 #[derive(Debug, Clone, Copy)]
-struct QueuedObs {
+struct QueuedObs<P> {
     seq: u64,
     pid: ProcessId,
-    inference: Classification,
+    payload: P,
 }
 
 /// The lock-protected interior of one shard's ring.
-#[derive(Debug, Default)]
-struct RingState {
-    buf: VecDeque<QueuedObs>,
+#[derive(Debug)]
+struct RingState<P> {
+    buf: VecDeque<QueuedObs<P>>,
     /// Observations evicted by `DropOldest` (or `Coalesce`'s fallback).
     dropped: u64,
     /// Observations merged into an existing same-pid entry by `Coalesce`.
     coalesced: u64,
 }
 
+impl<P> Default for RingState<P> {
+    fn default() -> Self {
+        Self {
+            buf: VecDeque::new(),
+            dropped: 0,
+            coalesced: 0,
+        }
+    }
+}
+
 /// One shard's bounded ring: a mutex-backed `VecDeque` plus the condvar
 /// `Block`-mode publishers wait on.
-#[derive(Debug, Default)]
-struct ShardRing {
-    state: Mutex<RingState>,
+#[derive(Debug)]
+struct ShardRing<P> {
+    state: Mutex<RingState<P>>,
     space: Condvar,
+}
+
+impl<P> Default for ShardRing<P> {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(RingState::default()),
+            space: Condvar::new(),
+        }
+    }
 }
 
 /// All of one engine's ingest rings: one bounded MPSC ring per shard,
 /// shared (via `Arc`) between the engine, its pool workers and every
 /// [`IngestPublisher`] clone.
 ///
+/// Generic over the queued payload: the PR 5 binary path queues
+/// [`Classification`]s (the default), the fusion path queues
+/// [`Verdict`](crate::threat::Verdict)s — same rings, same overflow
+/// policies, same sequence-stamp merge discipline.
+///
 /// Constructed by
 /// [`ShardedEngine::enable_ingest`](crate::ShardedEngine::enable_ingest);
 /// embedders interact with it through the publisher and the engine's
 /// drain methods.
 #[derive(Debug)]
-pub struct IngestQueues {
-    rings: Vec<ShardRing>,
+pub struct IngestQueues<P = Classification> {
+    rings: Vec<ShardRing<P>>,
     capacity: usize,
     policy: OverflowPolicy,
     /// Global publish-order stamp. Allocated under the destination ring's
@@ -159,7 +183,7 @@ pub struct IngestQueues {
     closed: AtomicBool,
 }
 
-impl IngestQueues {
+impl<P: Copy> IngestQueues<P> {
     /// One ring per shard, each bounded to `capacity` observations.
     ///
     /// # Panics
@@ -197,7 +221,7 @@ impl IngestQueues {
     /// Publishes one observation to shard `shard`'s ring, applying the
     /// overflow policy if the ring is full. Returns `false` (observation
     /// discarded) only when the queue set has been closed.
-    pub(crate) fn push(&self, shard: usize, pid: ProcessId, inference: Classification) -> bool {
+    pub(crate) fn push(&self, shard: usize, pid: ProcessId, payload: P) -> bool {
         let ring = &self.rings[shard];
         let mut state = ring.state.lock().expect("ingest ring poisoned");
         if state.buf.len() >= self.capacity {
@@ -216,7 +240,7 @@ impl IngestQueues {
                         // Same pid already queued: keep its queue position,
                         // take the newer verdict and publish-order stamp.
                         slot.seq = self.seq.fetch_add(1, Ordering::Relaxed);
-                        slot.inference = inference;
+                        slot.payload = payload;
                         state.coalesced += 1;
                         self.published.fetch_add(1, Ordering::Relaxed);
                         return true;
@@ -236,11 +260,7 @@ impl IngestQueues {
             return false;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        state.buf.push_back(QueuedObs {
-            seq,
-            pid,
-            inference,
-        });
+        state.buf.push_back(QueuedObs { seq, pid, payload });
         self.published.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -250,7 +270,7 @@ impl IngestQueues {
     pub(crate) fn drain_shard_into(
         &self,
         shard: usize,
-        work: &mut Vec<(ProcessId, Classification)>,
+        work: &mut Vec<(ProcessId, P)>,
         seqs: &mut Vec<u64>,
     ) {
         let ring = &self.rings[shard];
@@ -259,7 +279,7 @@ impl IngestQueues {
         work.reserve(n);
         seqs.reserve(n);
         for obs in state.buf.drain(..) {
-            work.push((obs.pid, obs.inference));
+            work.push((obs.pid, obs.payload));
             seqs.push(obs.seq);
         }
         drop(state);
@@ -311,38 +331,49 @@ impl IngestQueues {
 }
 
 /// A cloneable, `Send + Sync` handle detector threads use to publish
-/// classifications into an engine's ingest rings.
+/// observations into an engine's ingest rings — binary
+/// [`Classification`]s by default, [`Verdict`](crate::threat::Verdict)s
+/// on the fusion path (each ensemble member clones its own publisher and
+/// publishes at its own cadence).
 ///
 /// Routing is by pid hash (identical to the batch path's shard placement),
 /// so concurrent publishers only contend when their pids share a shard.
 /// Obtain one from
 /// [`ShardedEngine::enable_ingest`](crate::ShardedEngine::enable_ingest)
 /// or [`ShardedEngine::publisher`](crate::ShardedEngine::publisher).
-#[derive(Debug, Clone)]
-pub struct IngestPublisher {
-    queues: Arc<IngestQueues>,
+#[derive(Debug)]
+pub struct IngestPublisher<P = Classification> {
+    queues: Arc<IngestQueues<P>>,
 }
 
-impl IngestPublisher {
-    pub(crate) fn new(queues: Arc<IngestQueues>) -> Self {
+impl<P> Clone for IngestPublisher<P> {
+    fn clone(&self) -> Self {
+        Self {
+            queues: Arc::clone(&self.queues),
+        }
+    }
+}
+
+impl<P: Copy> IngestPublisher<P> {
+    pub(crate) fn new(queues: Arc<IngestQueues<P>>) -> Self {
         Self { queues }
     }
 
-    /// Publishes one classification for `pid`. With
+    /// Publishes one observation for `pid`. With
     /// [`OverflowPolicy::Block`] this waits while the owning shard's ring
     /// is full. Returns `false` — and discards the observation — only when
     /// the engine has closed or replaced its ingest queues.
-    pub fn publish(&self, pid: ProcessId, inference: Classification) -> bool {
+    pub fn publish(&self, pid: ProcessId, payload: P) -> bool {
         let shard = crate::hash::shard_of(pid.0, self.queues.shards());
-        self.queues.push(shard, pid, inference)
+        self.queues.push(shard, pid, payload)
     }
 
     /// Publishes a batch in order. Returns how many observations were
     /// accepted (all of them unless the queues were closed mid-batch).
-    pub fn publish_batch(&self, batch: &[(ProcessId, Classification)]) -> usize {
+    pub fn publish_batch(&self, batch: &[(ProcessId, P)]) -> usize {
         let mut accepted = 0;
-        for &(pid, inference) in batch {
-            if self.publish(pid, inference) {
+        for &(pid, payload) in batch {
+            if self.publish(pid, payload) {
                 accepted += 1;
             }
         }
@@ -404,7 +435,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero capacity")]
     fn zero_capacity_is_rejected() {
-        let _ = IngestQueues::new(4, 0, OverflowPolicy::Block);
+        let _ = IngestQueues::<Classification>::new(4, 0, OverflowPolicy::Block);
     }
 
     #[test]

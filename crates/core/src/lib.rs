@@ -83,38 +83,40 @@ pub use actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
 pub use baselines::{ConsecutiveTermination, DramRefresh, PriorityReduction, WarningOnly};
 pub use efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
 pub use engine::{
-    Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, ValkyrieEngine,
+    Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, FusionConfig,
+    ValkyrieEngine,
 };
 pub use error::ValkyrieError;
 pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
 pub use fleet::{FleetEngine, FleetPublisher};
 pub use ingest::{IngestPublisher, IngestQueues, OverflowPolicy};
 pub use migration::{migration_progress, MigrationPolicy};
-pub use monitor::{Directive, Monitor, StepReport};
+pub use monitor::{Directive, EscalationLadder, EscalationLevel, Monitor, StepReport};
 pub use pool::ShardPool;
 pub use resource::{ProcessId, ResourceKind, ResourceVector};
 pub use sharded::{host_parallelism, ExecutionMode, ShardedEngine};
 pub use slowdown::{simulate_response, slowdown_percent, ResponseTrace};
 pub use state::ProcessState;
-pub use telemetry::{IngestStats, LogEntry, ProcessSummary, ResponseLog};
-pub use threat::{AssessmentFn, Classification, ThreatIndex};
+pub use telemetry::{FusionStats, IngestStats, LogEntry, ProcessSummary, ResponseLog};
+pub use threat::{stale_weight, AssessmentFn, Classification, Evidence, ThreatIndex, Verdict};
 
 /// Convenient glob import of the crate's primary types.
 pub mod prelude {
     pub use crate::actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
     pub use crate::efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
     pub use crate::engine::{
-        Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, ValkyrieEngine,
+        Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, FusionConfig,
+        ValkyrieEngine,
     };
     pub use crate::error::ValkyrieError;
     pub use crate::fleet::{FleetEngine, FleetPublisher};
     pub use crate::ingest::{IngestPublisher, OverflowPolicy};
-    pub use crate::monitor::{Directive, Monitor, StepReport};
+    pub use crate::monitor::{Directive, EscalationLadder, EscalationLevel, Monitor, StepReport};
     pub use crate::pool::ShardPool;
     pub use crate::resource::{ProcessId, ResourceKind, ResourceVector};
     pub use crate::sharded::{ExecutionMode, ShardedEngine};
     pub use crate::slowdown::{simulate_response, slowdown_percent};
     pub use crate::state::ProcessState;
-    pub use crate::telemetry::IngestStats;
-    pub use crate::threat::{AssessmentFn, Classification, ThreatIndex};
+    pub use crate::telemetry::{FusionStats, IngestStats};
+    pub use crate::threat::{AssessmentFn, Classification, Evidence, ThreatIndex, Verdict};
 }

@@ -29,6 +29,102 @@ pub enum Directive {
     Terminate,
 }
 
+/// Rung of the graduated escalation ladder: how hard the response layer
+/// leans on a process this epoch.
+///
+/// The binary path maps onto the ladder's extremes (a malicious epoch is a
+/// `Throttle`/`Kill`, a benign one a `Compensate`); the weighted-evidence
+/// path ([`Monitor::observe_mass`]) can also park a process at `Observe`
+/// when the fused evidence is inconclusive. Ordering follows response
+/// intensity, so `a > b` means `a` is the harder response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EscalationLevel {
+    /// Evidence inconclusive: hold every metric, take no action.
+    Observe,
+    /// Evidence low: run the compensation arm (recover resources).
+    Compensate,
+    /// Evidence high: run the penalty arm (throttle resources).
+    Throttle,
+    /// Evidence overwhelming: terminate once `N*` is met.
+    Kill,
+}
+
+impl EscalationLevel {
+    /// The level the legacy binary path implies for a directive (used to
+    /// stamp [`StepReport::level`] on [`Monitor::observe`] steps).
+    pub fn from_directive(directive: Directive) -> Self {
+        match directive {
+            Directive::Terminate => EscalationLevel::Kill,
+            Directive::Adjust { delta_threat } if delta_threat > 0.0 => EscalationLevel::Throttle,
+            Directive::Adjust { delta_threat } if delta_threat < 0.0 => EscalationLevel::Compensate,
+            Directive::Adjust { .. } | Directive::Continue => EscalationLevel::Observe,
+            Directive::ResetToNormal | Directive::Restore => EscalationLevel::Compensate,
+        }
+    }
+}
+
+/// Maps fused evidence mass to an [`EscalationLevel`] — the graduated
+/// observe → compensate → throttle → kill ladder of the fusion tier.
+///
+/// Thresholds partition `[0, 1]`: mass strictly above `kill_above` kills,
+/// strictly above `throttle_above` throttles, strictly below
+/// `compensate_below` compensates, and anything in between is observed.
+/// Invariant: `compensate_below <= throttle_above <= kill_above`.
+///
+/// [`EscalationLadder::BINARY`] sets every threshold to 0.5, collapsing the
+/// ladder to the paper's binary behaviour: mass 1.0 is a malicious epoch,
+/// mass 0.0 a benign one, and the observe band is empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EscalationLadder {
+    /// Mass strictly above this terminates (once `N*` is met).
+    pub kill_above: f64,
+    /// Mass strictly above this runs the penalty arm.
+    pub throttle_above: f64,
+    /// Mass strictly below this runs the compensation arm.
+    pub compensate_below: f64,
+}
+
+impl EscalationLadder {
+    /// The degenerate binary ladder: every threshold 0.5, no observe band.
+    /// Driving it with masses in `{0.0, 1.0}` reproduces the legacy binary
+    /// path bit-for-bit.
+    pub const BINARY: Self = Self {
+        kill_above: 0.5,
+        throttle_above: 0.5,
+        compensate_below: 0.5,
+    };
+
+    /// A graduated ladder with a real observe band: kill above 0.85,
+    /// throttle above 0.6, compensate below 0.35.
+    pub fn graduated() -> Self {
+        Self {
+            kill_above: 0.85,
+            throttle_above: 0.6,
+            compensate_below: 0.35,
+        }
+    }
+
+    /// The ladder rung for a fused evidence mass.
+    pub fn level(&self, mass: f64) -> EscalationLevel {
+        if mass > self.kill_above {
+            EscalationLevel::Kill
+        } else if mass > self.throttle_above {
+            EscalationLevel::Throttle
+        } else if mass < self.compensate_below {
+            EscalationLevel::Compensate
+        } else {
+            EscalationLevel::Observe
+        }
+    }
+}
+
+impl Default for EscalationLadder {
+    /// The graduated ladder (see [`EscalationLadder::graduated`]).
+    fn default() -> Self {
+        Self::graduated()
+    }
+}
+
 /// The outcome of feeding one epoch's inference into a [`Monitor`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
@@ -42,6 +138,9 @@ pub struct StepReport {
     pub delta_threat: f64,
     /// What the response layer should do.
     pub directive: Directive,
+    /// The escalation rung this step landed on (ladder-derived on the
+    /// weighted-evidence path, directive-derived on the binary path).
+    pub level: EscalationLevel,
 }
 
 /// Per-process implementation of Algorithm 1.
@@ -175,6 +274,128 @@ impl Monitor {
         }
     }
 
+    /// Feeds one epoch's *fused evidence mass* (in `[0, 1]`) and advances
+    /// Algorithm 1 under the default graduated [`EscalationLadder`].
+    ///
+    /// See [`Monitor::observe_mass_with`].
+    pub fn observe_mass(&mut self, mass: f64) -> StepReport {
+        self.observe_mass_with(EscalationLadder::default(), mass)
+    }
+
+    /// Feeds one epoch's fused evidence mass under an explicit ladder.
+    ///
+    /// The ladder picks the escalation rung; the rung picks the Algorithm 1
+    /// arm. `Throttle`/`Kill` run the penalty arm with the assessment-step
+    /// scaled by the mass, `Compensate` runs the compensation arm scaled by
+    /// `1 - mass`, and `Observe` holds every metric. In the terminable
+    /// state, `Kill` terminates, `Compensate` restores (recycling under
+    /// cyclic monitoring) and the middle rungs hold the decision open.
+    ///
+    /// The extremes are degenerate by construction: mass exactly `1.0`
+    /// executes the same arithmetic as a `Malicious` observation and mass
+    /// exactly `0.0` the same as a `Benign` one, so a binary detector
+    /// driven through this path (with [`EscalationLadder::BINARY`]) is
+    /// bit-for-bit the legacy [`Monitor::observe`].
+    pub fn observe_mass_with(&mut self, ladder: EscalationLadder, mass: f64) -> StepReport {
+        let mass = mass.clamp(0.0, 1.0);
+        if self.state == ProcessState::Terminated {
+            return self.report_leveled(0.0, Directive::Terminate, EscalationLevel::Kill);
+        }
+        self.epoch += 1;
+        let level = ladder.level(mass);
+
+        if self.measurements < self.n_star {
+            let mut report = self.observe_mass_pre_efficacy(mass, level);
+            if self.measurements >= self.n_star && self.state != ProcessState::Terminated {
+                self.state = ProcessState::Terminable;
+                report.state = self.state;
+            }
+            report
+        } else {
+            self.observe_mass_terminable(level)
+        }
+    }
+
+    fn observe_mass_pre_efficacy(&mut self, mass: f64, level: EscalationLevel) -> StepReport {
+        self.measurements += 1;
+        let prev_threat = self.threat;
+        match level {
+            EscalationLevel::Throttle | EscalationLevel::Kill => {
+                self.state = ProcessState::Suspicious;
+                if mass == 1.0 {
+                    // Degenerate full-confidence evidence: the exact legacy
+                    // Malicious arithmetic (scaling by 1.0 is not an IEEE754
+                    // no-op, so the branch is load-bearing).
+                    self.penalty = self.fp.next(self.penalty, self.epoch);
+                    self.threat = self.threat.penalized(self.penalty);
+                } else {
+                    let next = self.fp.next(self.penalty, self.epoch);
+                    self.penalty += (next - self.penalty) * mass;
+                    self.threat = self.threat.penalized(self.penalty * mass);
+                }
+            }
+            EscalationLevel::Compensate => {
+                if self.state == ProcessState::Suspicious {
+                    if mass == 0.0 {
+                        // Degenerate zero-evidence: the exact legacy Benign
+                        // arithmetic.
+                        self.compensation = self.fc.next(self.compensation, self.epoch);
+                        self.threat = self.threat.compensated(self.compensation);
+                    } else {
+                        let next = self.fc.next(self.compensation, self.epoch);
+                        self.compensation += (next - self.compensation) * (1.0 - mass);
+                        self.threat = self.threat.compensated(self.compensation * (1.0 - mass));
+                    }
+                }
+            }
+            EscalationLevel::Observe => {}
+        }
+        let delta = self.threat.value() - prev_threat.value();
+        if self.threat.is_zero() && self.state == ProcessState::Suspicious {
+            self.state = ProcessState::Normal;
+            return self.report_leveled(delta, Directive::ResetToNormal, level);
+        }
+        let directive = if self.state == ProcessState::Suspicious {
+            Directive::Adjust {
+                delta_threat: delta,
+            }
+        } else {
+            Directive::Continue
+        };
+        self.report_leveled(delta, directive, level)
+    }
+
+    fn observe_mass_terminable(&mut self, level: EscalationLevel) -> StepReport {
+        match level {
+            EscalationLevel::Kill => {
+                self.state = ProcessState::Terminated;
+                self.report_leveled(0.0, Directive::Terminate, level)
+            }
+            EscalationLevel::Compensate => {
+                if self.cyclic {
+                    self.state = ProcessState::Normal;
+                    self.threat = ThreatIndex::zero();
+                    self.penalty = 0.0;
+                    self.compensation = 0.0;
+                    self.measurements = 0;
+                    self.restored = false;
+                    return self.report_leveled(0.0, Directive::Restore, level);
+                }
+                if self.restored {
+                    self.report_leveled(0.0, Directive::Continue, level)
+                } else {
+                    self.restored = true;
+                    self.report_leveled(0.0, Directive::Restore, level)
+                }
+            }
+            // The terminable decision stays open while the evidence sits in
+            // the middle of the ladder.
+            EscalationLevel::Observe | EscalationLevel::Throttle => {
+                self.report_leveled(0.0, Directive::Continue, level)
+            }
+        }
+    }
+
     /// Marks the process as finished (Fig. 3: completion also moves the
     /// process to *terminated*).
     pub fn complete(&mut self) {
@@ -247,12 +468,22 @@ impl Monitor {
     }
 
     fn report(&self, delta: f64, directive: Directive) -> StepReport {
+        self.report_leveled(delta, directive, EscalationLevel::from_directive(directive))
+    }
+
+    fn report_leveled(
+        &self,
+        delta: f64,
+        directive: Directive,
+        level: EscalationLevel,
+    ) -> StepReport {
         StepReport {
             epoch: self.epoch,
             state: self.state,
             threat: self.threat,
             delta_threat: delta,
             directive,
+            level,
         }
     }
 }
@@ -409,6 +640,159 @@ mod tests {
     #[should_panic(expected = "N*")]
     fn zero_n_star_panics() {
         let _ = monitor(0);
+    }
+
+    #[test]
+    fn binary_ladder_mass_path_is_bit_identical_to_observe() {
+        // The migration guarantee behind the whole fusion refactor: masses
+        // in {0.0, 1.0} through the BINARY ladder reproduce the legacy
+        // binary path exactly — states, threat values, directives, epochs.
+        let streams: [&[Classification]; 4] = [
+            &[Malicious; 12],
+            &[Benign; 12],
+            &[
+                Malicious, Malicious, Benign, Benign, Malicious, Benign, Benign, Benign, Malicious,
+                Malicious, Malicious, Benign,
+            ],
+            &[
+                Benign, Malicious, Benign, Malicious, Malicious, Benign, Benign, Malicious,
+            ],
+        ];
+        for n_star in [1, 3, 7] {
+            for (cyclic, stream) in [(false, streams), (true, streams)]
+                .into_iter()
+                .flat_map(|(c, ss)| ss.into_iter().map(move |s| (c, s)))
+            {
+                let make = || {
+                    if cyclic {
+                        Monitor::new_cyclic(
+                            n_star,
+                            AssessmentFn::incremental(),
+                            AssessmentFn::incremental(),
+                        )
+                    } else {
+                        monitor(n_star)
+                    }
+                };
+                let mut binary = make();
+                let mut mass = make();
+                for &c in stream {
+                    let want = binary.observe(c);
+                    let got = mass.observe_mass_with(
+                        EscalationLadder::BINARY,
+                        if c.is_malicious() { 1.0 } else { 0.0 },
+                    );
+                    assert_eq!(
+                        (
+                            got.epoch,
+                            got.state,
+                            got.threat,
+                            got.delta_threat,
+                            got.directive
+                        ),
+                        (
+                            want.epoch,
+                            want.state,
+                            want.threat,
+                            want.delta_threat,
+                            want.directive
+                        ),
+                        "n_star={n_star} cyclic={cyclic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_maps_mass_bands_to_levels() {
+        let ladder = EscalationLadder::graduated();
+        assert_eq!(ladder.level(0.9), EscalationLevel::Kill);
+        assert_eq!(ladder.level(0.7), EscalationLevel::Throttle);
+        assert_eq!(ladder.level(0.5), EscalationLevel::Observe);
+        assert_eq!(ladder.level(0.35), EscalationLevel::Observe);
+        assert_eq!(ladder.level(0.1), EscalationLevel::Compensate);
+        // The binary ladder has no observe band.
+        assert_eq!(EscalationLadder::BINARY.level(1.0), EscalationLevel::Kill);
+        assert_eq!(
+            EscalationLadder::BINARY.level(0.0),
+            EscalationLevel::Compensate
+        );
+        // A tie at exactly 0.5 on the binary ladder observes — and never
+        // occurs on the degenerate {0, 1} mass stream.
+        assert_eq!(
+            EscalationLadder::BINARY.level(0.5),
+            EscalationLevel::Observe
+        );
+    }
+
+    #[test]
+    fn partial_mass_scales_the_penalty_arm() {
+        // Mass 0.7 through the graduated ladder throttles but accumulates
+        // threat slower than full-confidence evidence.
+        let mut strong = monitor(100);
+        let mut partial = monitor(100);
+        for _ in 0..5 {
+            strong.observe_mass(1.0);
+            partial.observe_mass(0.7);
+        }
+        assert_eq!(strong.state(), ProcessState::Suspicious);
+        assert_eq!(partial.state(), ProcessState::Suspicious);
+        assert!(strong.threat().value() > partial.threat().value());
+        assert!(partial.threat().value() > 0.0);
+    }
+
+    #[test]
+    fn observe_band_holds_every_metric() {
+        let mut m = monitor(100);
+        m.observe_mass(1.0);
+        let (threat, penalty) = (m.threat(), m.penalty());
+        // Inconclusive evidence: nothing moves, but the measurement counts.
+        let r = m.observe_mass(0.5);
+        assert_eq!(r.level, EscalationLevel::Observe);
+        assert_eq!(m.threat(), threat);
+        assert_eq!(m.penalty(), penalty);
+        assert_eq!(m.measurements(), 2);
+    }
+
+    #[test]
+    fn terminable_middle_rungs_hold_the_decision_open() {
+        let mut m = monitor(2);
+        m.observe_mass(1.0);
+        m.observe_mass(1.0);
+        assert_eq!(m.state(), ProcessState::Terminable);
+        // Observe and Throttle hold; only Kill terminates.
+        let r = m.observe_mass(0.5);
+        assert_eq!(r.directive, Directive::Continue);
+        let r = m.observe_mass(0.7);
+        assert_eq!(r.directive, Directive::Continue);
+        assert_eq!(m.state(), ProcessState::Terminable);
+        let r = m.observe_mass(0.95);
+        assert_eq!(r.directive, Directive::Terminate);
+    }
+
+    #[test]
+    fn terminable_low_mass_restores_and_recycles_cyclically() {
+        let mut m =
+            Monitor::new_cyclic(2, AssessmentFn::incremental(), AssessmentFn::incremental());
+        m.observe_mass(1.0);
+        m.observe_mass(1.0);
+        let r = m.observe_mass(0.1);
+        assert_eq!(r.directive, Directive::Restore);
+        assert_eq!(m.state(), ProcessState::Normal);
+        assert_eq!(m.measurements(), 0);
+    }
+
+    #[test]
+    fn legacy_observe_reports_directive_derived_levels() {
+        let mut m = monitor(3);
+        let r = m.observe(Malicious);
+        assert_eq!(r.level, EscalationLevel::Throttle);
+        let r = m.observe(Benign);
+        assert_eq!(r.level, EscalationLevel::Compensate);
+        m.observe(Benign); // terminable at N* = 3
+        let r = m.observe(Malicious);
+        assert_eq!(r.level, EscalationLevel::Kill);
     }
 
     #[test]

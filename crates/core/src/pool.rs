@@ -39,7 +39,8 @@ use crate::error::ValkyrieError;
 use crate::ingest::IngestQueues;
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
-use crate::threat::{Classification, ThreatIndex};
+use crate::telemetry::FusionStats;
+use crate::threat::{Classification, ThreatIndex, Verdict};
 use std::fmt;
 use std::ops::Range;
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -48,6 +49,9 @@ use std::thread::JoinHandle;
 
 /// One shard's partitioned work list for a tick.
 pub(crate) type ShardWork = Vec<(ProcessId, Classification)>;
+
+/// One shard's partitioned per-detector verdict list (the fusion path).
+pub(crate) type VerdictWork = Vec<(ProcessId, Verdict)>;
 
 /// What the engine asks a worker to do. One request always produces
 /// exactly one [`Reply`], which keeps the channels in lockstep without any
@@ -65,6 +69,19 @@ enum Request {
         pid: ProcessId,
         inference: Classification,
     },
+    /// One tick's per-detector verdicts, one work list per owned shard (in
+    /// shard order). Each shard absorbs its whole list, then fuses every
+    /// touched process once (see
+    /// [`EngineShard::observe_verdict_batch`]).
+    ObserveVerdicts {
+        work: Vec<VerdictWork>,
+    },
+    /// The single-verdict fusion path, routed to one shard.
+    ObserveVerdictOne {
+        shard: usize,
+        pid: ProcessId,
+        verdict: Verdict,
+    },
     /// Hand the worker the engine's ingest rings plus the global index of
     /// its first shard, so later [`Request::Drain`]s can be served from
     /// the worker's own thread.
@@ -72,10 +89,21 @@ enum Request {
         queues: Arc<IngestQueues>,
         base: usize,
     },
+    /// The fusion-path twin of [`Request::InstallIngest`]: the engine's
+    /// verdict rings plus the worker's first global shard index.
+    InstallVerdictIngest {
+        queues: Arc<IngestQueues<Verdict>>,
+        base: usize,
+    },
     /// Drain each owned shard's ingest ring in place and answer the
     /// drained observations (async-tick counterpart of
     /// [`Request::Observe`]; no work list crosses the channel).
     Drain,
+    /// Drain each owned shard's *verdict* ring in place, absorb the
+    /// verdicts and answer one fused response per touched process.
+    DrainVerdicts,
+    /// Collect every owned shard's fusion counters, merged.
+    FusionStats,
     /// Evict terminated processes from every owned shard.
     Purge,
     Complete {
@@ -112,9 +140,16 @@ enum Reply<A: Actuator + Clone> {
         responses: Vec<Vec<EngineResponse>>,
         work: Vec<ShardWork>,
     },
+    ObservedVerdicts {
+        responses: Vec<Vec<EngineResponse>>,
+        work: Vec<VerdictWork>,
+    },
     /// One `(sequence stamps, responses)` pair per owned shard, aligned
     /// index-for-index, in shard order.
     Drained(Vec<(Vec<u64>, Vec<EngineResponse>)>),
+    /// One fused-response list per owned shard, in shard order.
+    DrainedVerdicts(Vec<Vec<EngineResponse>>),
+    Fusion(FusionStats),
     Response(EngineResponse),
     Purged(usize),
     Completed(Result<(), ValkyrieError>),
@@ -138,6 +173,8 @@ fn worker_loop<A: Actuator + Clone>(
     // Installed by [`Request::InstallIngest`]: the engine's ingest rings
     // plus the global index of this worker's first shard.
     let mut ingest: Option<(Arc<IngestQueues>, usize)> = None;
+    // The fusion path's twin, installed by [`Request::InstallVerdictIngest`].
+    let mut verdict_ingest: Option<(Arc<IngestQueues<Verdict>>, usize)> = None;
     while let Ok(request) = requests.recv() {
         let reply = match request {
             Request::Observe { work } => {
@@ -148,13 +185,30 @@ fn worker_loop<A: Actuator + Clone>(
                     .collect();
                 Reply::Observed { responses, work }
             }
+            Request::ObserveVerdicts { work } => {
+                let responses = shards
+                    .iter_mut()
+                    .zip(&work)
+                    .map(|(shard, part)| shard.observe_verdict_batch(part))
+                    .collect();
+                Reply::ObservedVerdicts { responses, work }
+            }
             Request::ObserveOne {
                 shard,
                 pid,
                 inference,
             } => Reply::Response(shards[shard].observe(pid, inference)),
+            Request::ObserveVerdictOne {
+                shard,
+                pid,
+                verdict,
+            } => Reply::Response(shards[shard].observe_verdict(pid, verdict)),
             Request::InstallIngest { queues, base } => {
                 ingest = Some((queues, base));
+                Reply::Done
+            }
+            Request::InstallVerdictIngest { queues, base } => {
+                verdict_ingest = Some((queues, base));
                 Reply::Done
             }
             Request::Drain => {
@@ -187,6 +241,37 @@ fn worker_loop<A: Actuator + Clone>(
                     })
                     .collect();
                 Reply::Drained(parts)
+            }
+            Request::DrainVerdicts => {
+                // Same discipline as Drain: empty every owned verdict ring
+                // before any fuse work runs, so blocked publishers wake
+                // first. Fused responses are per-process (not
+                // per-observation), so no sequence stamps travel back.
+                let mut drained: Vec<VerdictWork> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let mut work = Vec::new();
+                        let mut seqs = Vec::new();
+                        if let Some((queues, base)) = &verdict_ingest {
+                            queues.drain_shard_into(base + i, &mut work, &mut seqs);
+                        }
+                        work
+                    })
+                    .collect();
+                let parts = shards
+                    .iter_mut()
+                    .zip(drained.iter_mut())
+                    .map(|(shard, work)| shard.observe_verdict_batch(work))
+                    .collect();
+                Reply::DrainedVerdicts(parts)
+            }
+            Request::FusionStats => {
+                let mut stats = FusionStats::default();
+                for shard in &shards {
+                    stats.merge(shard.fusion_stats());
+                }
+                Reply::Fusion(stats)
             }
             Request::Purge => Reply::Purged(
                 shards
@@ -370,6 +455,36 @@ impl<A: Actuator + Clone> ShardPool<A> {
         all
     }
 
+    /// The fusion twin of [`ShardPool::observe_parts`]: `parts[i]` is the
+    /// per-detector verdict list for global shard `i`; returns one fused
+    /// response list per shard, in shard order.
+    pub(crate) fn observe_verdict_parts(
+        &mut self,
+        parts: &mut [VerdictWork],
+    ) -> Vec<Vec<EngineResponse>> {
+        debug_assert_eq!(parts.len(), self.nshards);
+        for worker in &self.workers {
+            let work: Vec<VerdictWork> = parts[worker.shard_range.clone()]
+                .iter_mut()
+                .map(std::mem::take)
+                .collect();
+            worker.send(Request::ObserveVerdicts { work });
+        }
+        let mut all = Vec::with_capacity(self.nshards);
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::ObservedVerdicts { responses, work } => {
+                    for (slot, buf) in parts[worker.shard_range.clone()].iter_mut().zip(work) {
+                        *slot = buf;
+                    }
+                    all.extend(responses);
+                }
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+        all
+    }
+
     /// Hands every worker the engine's ingest rings (see
     /// [`crate::ingest`]) so [`ShardPool::drain_parts`] can be served by
     /// the shard owners themselves. Idempotent: re-installing replaces the
@@ -377,6 +492,23 @@ impl<A: Actuator + Clone> ShardPool<A> {
     pub(crate) fn install_ingest(&self, queues: &Arc<IngestQueues>) {
         for worker in &self.workers {
             worker.send(Request::InstallIngest {
+                queues: Arc::clone(queues),
+                base: worker.shard_range.start,
+            });
+        }
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Done => {}
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+    }
+
+    /// Hands every worker the engine's *verdict* rings; the fusion twin of
+    /// [`ShardPool::install_ingest`].
+    pub(crate) fn install_verdict_ingest(&self, queues: &Arc<IngestQueues<Verdict>>) {
+        for worker in &self.workers {
+            worker.send(Request::InstallVerdictIngest {
                 queues: Arc::clone(queues),
                 base: worker.shard_range.start,
             });
@@ -407,6 +539,55 @@ impl<A: Actuator + Clone> ShardPool<A> {
             }
         }
         all
+    }
+
+    /// Asks every worker to drain its own shards' verdict rings in place,
+    /// fuse the absorbed evidence and answer one response per touched
+    /// process, shard by shard in shard order.
+    pub(crate) fn drain_verdict_parts(&mut self) -> Vec<Vec<EngineResponse>> {
+        for worker in &self.workers {
+            worker.send(Request::DrainVerdicts);
+        }
+        let mut all = Vec::with_capacity(self.nshards);
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::DrainedVerdicts(parts) => all.extend(parts),
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+        all
+    }
+
+    /// The fusion counters merged across every shard.
+    pub fn fusion_stats(&self) -> FusionStats {
+        for worker in &self.workers {
+            worker.send(Request::FusionStats);
+        }
+        let mut stats = FusionStats::default();
+        for worker in &self.workers {
+            match worker.recv() {
+                Reply::Fusion(part) => stats.merge(&part),
+                _ => unreachable!("worker broke the request/reply protocol"),
+            }
+        }
+        stats
+    }
+
+    /// Single-verdict fusion path, routed to one shard.
+    pub fn observe_verdict_one(
+        &mut self,
+        shard: usize,
+        pid: ProcessId,
+        verdict: Verdict,
+    ) -> EngineResponse {
+        match self.ask(shard, |s| Request::ObserveVerdictOne {
+            shard: s,
+            pid,
+            verdict,
+        }) {
+            Reply::Response(response) => response,
+            _ => unreachable!("worker broke the request/reply protocol"),
+        }
     }
 
     /// Single-observation compatibility path.

@@ -84,8 +84,8 @@ use crate::ingest::{merge_by_seq, IngestPublisher, IngestQueues, OverflowPolicy}
 use crate::pool::ShardPool;
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
-use crate::telemetry::IngestStats;
-use crate::threat::{Classification, ThreatIndex};
+use crate::telemetry::{FusionStats, IngestStats};
+use crate::threat::{Classification, ThreatIndex, Verdict};
 use std::sync::{Arc, OnceLock};
 
 /// Cached [`std::thread::available_parallelism`] (1 on error).
@@ -170,6 +170,16 @@ pub struct ShardedEngine<A: Actuator + Clone = CompositeActuator> {
     /// Per-shard sequence-stamp scratch for [`ShardedEngine::drain_batch`]
     /// (empty until ingest is enabled; same shrink policy as `parts`).
     seqs: Vec<Vec<u64>>,
+    /// The fusion tier's verdict rings, once
+    /// [`ShardedEngine::enable_verdict_ingest`] has built them. A separate
+    /// queue set from `ingest`: binary classifications and per-detector
+    /// verdicts can flow side by side and are drained by the same
+    /// [`ShardedEngine::drain_tick`].
+    verdicts: Option<Arc<IngestQueues<Verdict>>>,
+    /// Per-shard partition/drain scratch for the verdict path (empty until
+    /// verdict ingest or a verdict batch is used; same shrink policy).
+    vparts: Vec<Vec<(ProcessId, Verdict)>>,
+    vseqs: Vec<Vec<u64>>,
 }
 
 /// The owning shard for `pid` among `nshards`: a pure function of the pid,
@@ -184,19 +194,19 @@ pub(crate) fn shard_index(pid: ProcessId, nshards: usize) -> usize {
 /// function, remembering each observation's position in the input batch.
 /// Free-standing so an engine can split-borrow its scratch next to its
 /// backend; the fleet tier reuses it with machine-id routing.
-pub(crate) fn partition_by_into(
-    batch: &[(ProcessId, Classification)],
+pub(crate) fn partition_by_into<T: Copy>(
+    batch: &[(ProcessId, T)],
     route: impl Fn(ProcessId) -> usize,
-    parts: &mut [Vec<(ProcessId, Classification)>],
+    parts: &mut [Vec<(ProcessId, T)>],
     origins: &mut [Vec<usize>],
 ) {
     for (part, origin) in parts.iter_mut().zip(origins.iter_mut()) {
         part.clear();
         origin.clear();
     }
-    for (i, &(pid, inference)) in batch.iter().enumerate() {
+    for (i, &(pid, payload)) in batch.iter().enumerate() {
         let part = route(pid);
-        parts[part].push((pid, inference));
+        parts[part].push((pid, payload));
         origins[part].push(i);
     }
 }
@@ -345,6 +355,9 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
             origins: vec![Vec::new(); shards],
             ingest: None,
             seqs: Vec::new(),
+            verdicts: None,
+            vparts: Vec::new(),
+            vseqs: Vec::new(),
         }
     }
 
@@ -468,6 +481,83 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         match &mut self.backend {
             Backend::Scoped(shards) => shards[shard].observe(pid, inference),
             Backend::Pool(pool) => pool.observe_one(shard, pid, inference),
+        }
+    }
+
+    /// Feeds one per-detector [`Verdict`] for one process through the
+    /// fusion tier of its owning shard (see
+    /// [`EngineShard::observe_verdict`]).
+    pub fn observe_verdict(&mut self, pid: ProcessId, verdict: Verdict) -> EngineResponse {
+        let shard = shard_index(pid, self.nshards);
+        match &mut self.backend {
+            Backend::Scoped(shards) => shards[shard].observe_verdict(pid, verdict),
+            Backend::Pool(pool) => pool.observe_verdict_one(shard, pid, verdict),
+        }
+    }
+
+    /// Feeds one tick's per-detector verdicts for the whole fleet. Each
+    /// shard absorbs its verdicts in batch order, then fuses every touched
+    /// process **once** — so a process with three members reporting this
+    /// tick takes one monitor step, not three. Returns one response per
+    /// *process* with fresh evidence, grouped shard by shard (within a
+    /// shard: first-arrival order). Deterministic for a fixed batch and
+    /// shard count in both execution modes.
+    pub fn observe_verdict_batch(&mut self, batch: &[(ProcessId, Verdict)]) -> Vec<EngineResponse> {
+        let nshards = self.nshards;
+        if self.vparts.len() != nshards {
+            self.vparts = vec![Vec::new(); nshards];
+        }
+        let out = match self.backend {
+            Backend::Scoped(ref mut shards) => {
+                if nshards == 1 {
+                    return shards[0].observe_verdict_batch(batch);
+                }
+                partition_by_into(
+                    batch,
+                    |pid| shard_index(pid, nshards),
+                    &mut self.vparts,
+                    &mut self.origins,
+                );
+                let mut out = Vec::new();
+                for (shard, part) in shards.iter_mut().zip(&self.vparts) {
+                    shard.observe_verdict_batch_into(part, &mut out);
+                }
+                out
+            }
+            Backend::Pool(ref mut pool) => {
+                partition_by_into(
+                    batch,
+                    |pid| shard_index(pid, nshards),
+                    &mut self.vparts,
+                    &mut self.origins,
+                );
+                let mut out = Vec::new();
+                for responses in pool.observe_verdict_parts(&mut self.vparts) {
+                    out.extend(responses);
+                }
+                out
+            }
+        };
+        for part in &mut self.vparts {
+            let used = part.len();
+            shrink_slot(part, used);
+        }
+        out
+    }
+
+    /// The fusion counters merged across every shard (see
+    /// [`FusionStats`]): verdicts absorbed per detector, stale verdicts
+    /// decayed, escalation transitions enacted.
+    pub fn fusion_stats(&self) -> FusionStats {
+        match &self.backend {
+            Backend::Scoped(shards) => {
+                let mut stats = FusionStats::default();
+                for shard in shards {
+                    stats.merge(shard.fusion_stats());
+                }
+                stats
+            }
+            Backend::Pool(pool) => pool.fusion_stats(),
         }
     }
 
@@ -671,6 +761,73 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         self.ingest.as_ref().map(|queues| queues.stats())
     }
 
+    /// Builds the fusion tier's async verdict rings — the per-detector
+    /// twin of [`Self::enable_ingest`] — and returns a publisher handle.
+    /// Each ensemble member clones the publisher and publishes
+    /// [`Verdict`]s at its own cadence; the next [`Self::drain_tick`]
+    /// absorbs whatever has arrived and fuses each touched process once.
+    ///
+    /// A separate queue set from the binary rings: both can be enabled at
+    /// once (e.g. legacy detectors publishing classifications next to
+    /// fusion members publishing verdicts) and one drain serves both.
+    /// Calling this again replaces — and closes — the previous verdict
+    /// rings, exactly like [`Self::enable_ingest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_verdict_ingest(
+        &mut self,
+        capacity: usize,
+        policy: OverflowPolicy,
+    ) -> IngestPublisher<Verdict> {
+        if let Some(old) = self.verdicts.take() {
+            old.close();
+        }
+        let queues = IngestQueues::new(self.nshards, capacity, policy);
+        if let Backend::Pool(pool) = &self.backend {
+            pool.install_verdict_ingest(&queues);
+        }
+        self.vparts = vec![Vec::new(); self.nshards];
+        self.vseqs = vec![Vec::new(); self.nshards];
+        self.verdicts = Some(Arc::clone(&queues));
+        IngestPublisher::new(queues)
+    }
+
+    /// Whether [`Self::enable_verdict_ingest`] has built the verdict rings.
+    pub fn verdict_ingest_enabled(&self) -> bool {
+        self.verdicts.is_some()
+    }
+
+    /// A fresh publisher handle for the current verdict rings (`None`
+    /// before [`Self::enable_verdict_ingest`]).
+    pub fn verdict_publisher(&self) -> Option<IngestPublisher<Verdict>> {
+        self.verdicts
+            .as_ref()
+            .map(|queues| IngestPublisher::new(Arc::clone(queues)))
+    }
+
+    /// Publishes one per-detector verdict into the verdict rings from the
+    /// driver side. Returns `false` only when the rings have been replaced
+    /// or closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if verdict ingest was never enabled.
+    pub fn ingest_verdict(&self, pid: ProcessId, verdict: Verdict) -> bool {
+        let queues = self
+            .verdicts
+            .as_ref()
+            .expect("call enable_verdict_ingest before ShardedEngine::ingest_verdict");
+        queues.push(shard_index(pid, self.nshards), pid, verdict)
+    }
+
+    /// The verdict rings' counters (`None` before
+    /// [`Self::enable_verdict_ingest`]).
+    pub fn verdict_ingest_stats(&self) -> Option<IngestStats> {
+        self.verdicts.as_ref().map(|queues| queues.stats())
+    }
+
     /// Drains every ingest ring and answers the drained observations, in
     /// **publish order** (per publisher; concurrent publishers are merged
     /// in sequence-stamp order, one valid global serialization). The
@@ -689,14 +846,37 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
     /// observations to [`Self::observe_batch`] (pinned by
     /// `tests/ingest.rs`).
     ///
+    /// When verdict ingest is enabled too (or instead — see
+    /// [`Self::enable_verdict_ingest`]), the verdict rings are drained
+    /// after the binary rings and each touched process's evidence is fused
+    /// once; those per-process responses are appended after the
+    /// per-observation binary responses.
+    ///
     /// # Panics
     ///
-    /// Panics if ingest was never enabled.
+    /// Panics if neither ingest tier was ever enabled.
     pub fn drain_batch(&mut self) -> Vec<EngineResponse> {
+        assert!(
+            self.ingest.is_some() || self.verdicts.is_some(),
+            "call enable_ingest or enable_verdict_ingest before ShardedEngine::drain_batch"
+        );
+        let mut out = if self.ingest.is_some() {
+            self.drain_binary_batch()
+        } else {
+            Vec::new()
+        };
+        if self.verdicts.is_some() {
+            self.drain_verdicts_into(&mut out);
+        }
+        out
+    }
+
+    /// The binary half of [`Self::drain_batch`] (the PR 5 path, verbatim).
+    fn drain_binary_batch(&mut self) -> Vec<EngineResponse> {
         let queues = Arc::clone(
             self.ingest
                 .as_ref()
-                .expect("call enable_ingest before ShardedEngine::drain_batch"),
+                .expect("drain_binary_batch requires enabled ingest"),
         );
         let nshards = self.nshards;
         let out = match self.backend {
@@ -742,6 +922,45 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         };
         self.shrink_drain_scratch();
         out
+    }
+
+    /// The verdict half of [`Self::drain_batch`]: empties every verdict
+    /// ring, absorbs the verdicts and appends one fused response per
+    /// touched process (shard by shard; within a shard, first-arrival
+    /// order). Rings are emptied — and blocked publishers released —
+    /// before any fuse work runs, mirroring the binary drain.
+    fn drain_verdicts_into(&mut self, out: &mut Vec<EngineResponse>) {
+        let queues = Arc::clone(
+            self.verdicts
+                .as_ref()
+                .expect("drain_verdicts_into requires enabled verdict ingest"),
+        );
+        let nshards = self.nshards;
+        match self.backend {
+            Backend::Scoped(ref mut shards) => {
+                for shard in 0..nshards {
+                    self.vparts[shard].clear();
+                    self.vseqs[shard].clear();
+                    queues.drain_shard_into(shard, &mut self.vparts[shard], &mut self.vseqs[shard]);
+                }
+                for (shard, part) in shards.iter_mut().zip(&self.vparts) {
+                    shard.observe_verdict_batch_into(part, out);
+                }
+            }
+            Backend::Pool(ref mut pool) => {
+                for responses in pool.drain_verdict_parts() {
+                    out.extend(responses);
+                }
+            }
+        }
+        for part in &mut self.vparts {
+            let used = part.len();
+            shrink_slot(part, used);
+        }
+        for seqs in &mut self.vseqs {
+            let used = seqs.len();
+            shrink_slot(seqs, used);
+        }
     }
 
     /// The async epoch driver: drains the ingest rings
@@ -857,6 +1076,9 @@ impl<A: Actuator + Clone + Send + 'static> ShardedEngine<A> {
                 if let Some(queues) = &self.ingest {
                     pool.install_ingest(queues);
                 }
+                if let Some(queues) = &self.verdicts {
+                    pool.install_verdict_ingest(queues);
+                }
                 Backend::Pool(pool)
             }
             // Demotion needs no ingest hand-off: the scoped drain path
@@ -878,6 +1100,9 @@ impl<A: Actuator + Clone + Send + 'static> ShardedEngine<A> {
         if let Some(queues) = &self.ingest {
             pool.install_ingest(queues);
         }
+        if let Some(queues) = &self.verdicts {
+            pool.install_verdict_ingest(queues);
+        }
         self.backend = Backend::Pool(pool);
     }
 }
@@ -889,6 +1114,9 @@ impl<A: Actuator + Clone> Drop for ShardedEngine<A> {
     /// from then on.
     fn drop(&mut self) {
         if let Some(queues) = &self.ingest {
+            queues.close();
+        }
+        if let Some(queues) = &self.verdicts {
             queues.close();
         }
     }
@@ -1273,6 +1501,105 @@ mod tests {
         drop(e);
         assert!(second.is_closed());
         assert!(!second.publish(ProcessId(4), Malicious));
+    }
+
+    /// The sharded verdict path must agree with a single shard fed the
+    /// same batch, in both execution modes: same fused responses (modulo
+    /// shard grouping), same fusion counters.
+    #[test]
+    fn verdict_batch_matches_single_shard_in_both_modes() {
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            let mut sharded = ShardedEngine::with_mode(config(3), 5, 0, mode);
+            let mut single = crate::engine::EngineShard::new(config(3));
+            for epoch in 0..5u64 {
+                let batch: Vec<(ProcessId, Verdict)> = (0..40)
+                    .flat_map(|pid| {
+                        let fast = f64::from(u32::from((pid + epoch) % 3 == 0));
+                        let slow = f64::from(u32::from(pid % 5 == 0));
+                        [
+                            (ProcessId(pid), Verdict::new(0, fast)),
+                            (ProcessId(pid), Verdict::new(1, slow).with_cadence(2)),
+                        ]
+                    })
+                    .collect();
+                let mut got = sharded.observe_verdict_batch(&batch);
+                let mut want = single.observe_verdict_batch(&batch);
+                got.sort_by_key(|r| r.pid.0);
+                want.sort_by_key(|r| r.pid.0);
+                assert_eq!(got, want, "epoch {epoch}, {mode:?}");
+            }
+            assert_eq!(sharded.fusion_stats(), single.fusion_stats().clone());
+            assert_eq!(sharded.fusion_stats().verdicts, 5 * 40 * 2);
+        }
+    }
+
+    /// Verdicts published over their own rings and drained by the epoch
+    /// driver match the synchronous verdict batch path.
+    #[test]
+    fn verdict_drain_tick_matches_verdict_batch_in_both_modes() {
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            let mut sync = ShardedEngine::with_mode(config(3), 5, 0, mode);
+            let mut async_ = ShardedEngine::with_mode(config(3), 5, 0, mode);
+            let publisher = async_.enable_verdict_ingest(1024, OverflowPolicy::Block);
+            for epoch in 0..6u64 {
+                let batch: Vec<(ProcessId, Verdict)> = (0..50)
+                    .map(|pid| {
+                        let conf = if (pid + epoch) % 7 == 0 { 1.0 } else { 0.25 };
+                        (ProcessId(pid), Verdict::new(0, conf))
+                    })
+                    .collect();
+                assert_eq!(publisher.publish_batch(&batch), batch.len());
+                let mut got = async_.drain_tick();
+                let mut want = sync.observe_verdict_batch(&batch);
+                sync.epoch += 1;
+                sync.purge_terminated();
+                got.sort_by_key(|r| r.pid.0);
+                want.sort_by_key(|r| r.pid.0);
+                assert_eq!(got, want, "epoch {epoch}, {mode:?}");
+            }
+            assert_eq!(async_.epoch(), sync.epoch());
+            let stats = async_.verdict_ingest_stats().unwrap();
+            assert_eq!(stats.dropped, 0, "{mode:?}");
+            assert_eq!(stats.published, stats.drained, "{mode:?}");
+        }
+    }
+
+    /// Binary and verdict rings drain side by side: one drain serves both,
+    /// binary responses first.
+    #[test]
+    fn dual_ingest_drains_binary_then_verdicts() {
+        let mut e = ShardedEngine::new(config(10), 4);
+        let binary = e.enable_ingest(64, OverflowPolicy::Block);
+        let fused = e.enable_verdict_ingest(64, OverflowPolicy::Block);
+        binary.publish(ProcessId(1), Malicious);
+        fused.publish(ProcessId(2), Verdict::new(0, 1.0));
+        let responses = e.drain_tick();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].pid, ProcessId(1));
+        assert_eq!(responses[1].pid, ProcessId(2));
+        assert_eq!(e.fusion_stats().verdicts, 1);
+        // Verdict-only ingest also drains (no binary rings required).
+        let mut e = ShardedEngine::new(config(10), 4);
+        let fused = e.enable_verdict_ingest(64, OverflowPolicy::Block);
+        fused.publish(ProcessId(3), Verdict::new(0, 1.0));
+        assert_eq!(e.drain_tick().len(), 1);
+    }
+
+    /// Mode switches carry the verdict rings along, like the binary rings.
+    #[test]
+    fn mode_round_trip_preserves_queued_verdicts() {
+        let mut e = ShardedEngine::new(config(100), 7);
+        let publisher = e.enable_verdict_ingest(64, OverflowPolicy::Block);
+        publisher.publish(ProcessId(1), Verdict::new(0, 1.0));
+        e.set_execution_mode(ExecutionMode::Pool);
+        publisher.publish(ProcessId(2), Verdict::new(1, 0.0));
+        assert_eq!(e.drain_tick().len(), 2);
+        e.set_execution_mode(ExecutionMode::ScopedSpawn);
+        publisher.publish(ProcessId(3), Verdict::new(0, 1.0));
+        assert_eq!(e.drain_tick().len(), 1);
+        assert!(!publisher.is_closed());
+        drop(e);
+        assert!(publisher.is_closed());
     }
 
     #[test]

@@ -71,6 +71,52 @@ impl IngestStats {
     }
 }
 
+/// Counters of the verdict-fusion tier: how much per-detector evidence the
+/// engine absorbed, how often slow members went stale, and how often the
+/// escalation ladder was climbed.
+///
+/// Escalation transitions are counted on *both* observation paths — a
+/// binary `observe` that moves a process from no action to throttling (or
+/// to termination) climbs the ladder just like a fused mass does — so the
+/// counter is meaningful for legacy deployments too.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FusionStats {
+    /// Per-detector verdicts absorbed by the fusion table.
+    pub verdicts: u64,
+    /// Member contributions down-weighted because their verdict outlived
+    /// its cadence (one count per stale member per fused epoch).
+    pub stale_decayed: u64,
+    /// Upward escalation-ladder transitions into `Throttle` or `Kill`.
+    pub escalations: u64,
+    /// Verdicts absorbed per detector id (index = detector id).
+    pub per_detector: Vec<u64>,
+}
+
+impl FusionStats {
+    /// Records one absorbed verdict from `detector`.
+    pub fn saw(&mut self, detector: u32) {
+        self.verdicts += 1;
+        let idx = detector as usize;
+        if self.per_detector.len() <= idx {
+            self.per_detector.resize(idx + 1, 0);
+        }
+        self.per_detector[idx] += 1;
+    }
+
+    /// Folds another shard's counters into this one.
+    pub fn merge(&mut self, other: &FusionStats) {
+        self.verdicts += other.verdicts;
+        self.stale_decayed += other.stale_decayed;
+        self.escalations += other.escalations;
+        if self.per_detector.len() < other.per_detector.len() {
+            self.per_detector.resize(other.per_detector.len(), 0);
+        }
+        for (mine, theirs) in self.per_detector.iter_mut().zip(&other.per_detector) {
+            *mine += theirs;
+        }
+    }
+}
+
 /// One recorded `(epoch, process)` response.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogEntry {
@@ -347,5 +393,24 @@ mod tests {
     fn fresh_summary_mean_share_defaults_to_full() {
         let s = ProcessSummary::new();
         assert_eq!(s.mean_cpu_share(), 1.0);
+    }
+
+    #[test]
+    fn fusion_stats_count_per_detector_and_merge() {
+        let mut a = FusionStats::default();
+        a.saw(0);
+        a.saw(2);
+        a.saw(2);
+        assert_eq!(a.verdicts, 3);
+        assert_eq!(a.per_detector, vec![1, 0, 2]);
+        let mut b = FusionStats::default();
+        b.saw(1);
+        b.escalations = 4;
+        b.stale_decayed = 2;
+        a.merge(&b);
+        assert_eq!(a.verdicts, 4);
+        assert_eq!(a.per_detector, vec![1, 1, 2]);
+        assert_eq!(a.escalations, 4);
+        assert_eq!(a.stale_decayed, 2);
     }
 }

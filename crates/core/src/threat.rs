@@ -38,6 +38,130 @@ pub fn clamp_metric(x: f64) -> f64 {
     x.clamp(ThreatIndex::MIN, ThreatIndex::MAX)
 }
 
+/// One detector's weighted evidence about a process for one epoch.
+///
+/// Where [`Classification`] is the paper's binary `D(t, i)`, a `Verdict`
+/// carries what a heterogeneous ensemble member actually knows: *which*
+/// detector spoke (`detector` indexes the fusion weights), *how sure* it is
+/// (`confidence` in `[0, 1]`, `1.0` = certainly malicious) and *how often*
+/// it speaks (`cadence` in epochs-per-inference, so the fusion layer can
+/// tell a slow member from a wedged one).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Stable detector id within its ensemble (indexes fusion weights).
+    pub detector: u32,
+    /// Malicious confidence in `[0, 1]`; `1.0` means certainly malicious.
+    pub confidence: f64,
+    /// Epochs between this detector's publications (at least 1).
+    pub cadence: u32,
+}
+
+impl Verdict {
+    /// A verdict from `detector` with the given confidence and cadence 1.
+    ///
+    /// The confidence is clamped into `[0, 1]`.
+    pub fn new(detector: u32, confidence: f64) -> Self {
+        Self {
+            detector,
+            confidence: confidence.clamp(0.0, 1.0),
+            cadence: 1,
+        }
+    }
+
+    /// Sets the cadence (epochs between publications).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    #[must_use]
+    pub fn with_cadence(mut self, cadence: u32) -> Self {
+        assert!(cadence >= 1, "cadence is at least one epoch");
+        self.cadence = cadence;
+        self
+    }
+
+    /// Lifts a binary classification into a full-confidence verdict
+    /// (`Malicious` → 1.0, `Benign` → 0.0) at cadence 1.
+    pub fn from_classification(detector: u32, c: Classification) -> Self {
+        Self::new(detector, if c.is_malicious() { 1.0 } else { 0.0 })
+    }
+
+    /// Collapses the verdict back to the binary classification the legacy
+    /// path would have seen (malicious iff confidence strictly above 0.5).
+    pub fn classification(&self) -> Classification {
+        if self.confidence > 0.5 {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+/// Weighted-evidence accumulator: folds per-detector confidences into one
+/// evidence *mass* in `[0, 1]`.
+///
+/// The mass is the weighted mean of the contributed confidences. With unit
+/// weights and binary confidences it reduces to the vote fraction
+/// `malicious / total`, which is why the legacy combination rules are a
+/// degenerate configuration of the fusion layer (see
+/// `valkyrie_detect::FusionEngine`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Evidence {
+    weighted: f64,
+    total: f64,
+}
+
+impl Evidence {
+    /// An empty accumulator (mass 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one detector's confidence with the given weight. Non-positive
+    /// weights contribute nothing (a fully-decayed stale verdict).
+    pub fn add(&mut self, confidence: f64, weight: f64) {
+        if weight > 0.0 {
+            self.weighted += confidence * weight;
+            self.total += weight;
+        }
+    }
+
+    /// The fused evidence mass: weighted mean confidence in `[0, 1]`
+    /// (`0.0` when nothing was accumulated).
+    pub fn mass(&self) -> f64 {
+        if self.total > 0.0 {
+            self.weighted / self.total
+        } else {
+            0.0
+        }
+    }
+
+    /// Total weight accumulated so far.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// True when no evidence carried weight.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+}
+
+/// Staleness decay for a verdict `age` epochs old from a detector that
+/// publishes every `cadence` epochs: `decay^(age - cadence)` once the
+/// verdict is overdue, `1.0` while it is still within its cadence.
+///
+/// `decay = 1.0` disables staleness (a slow member keeps full weight
+/// forever); `decay = 0.0` drops an overdue member entirely.
+pub fn stale_weight(decay: f64, age: u64, cadence: u32) -> f64 {
+    let overdue = age.saturating_sub(u64::from(cadence));
+    if overdue == 0 {
+        1.0
+    } else {
+        decay.powi(overdue.min(i32::MAX as u64) as i32)
+    }
+}
+
 /// Bounded threat index of a process (`T_i^t ∈ [0, 100]`).
 ///
 /// `0` means no restrictions on system resources; `100` means maximum
@@ -250,6 +374,74 @@ mod tests {
     fn custom_function_is_used() {
         let f = AssessmentFn::Custom(|prev, _| prev * 2.0 + 0.5);
         assert_eq!(f.next(1.0, 9), 2.5);
+    }
+
+    #[test]
+    fn verdict_clamps_confidence_and_round_trips_classification() {
+        let v = Verdict::new(3, 1.7);
+        assert_eq!(v.confidence, 1.0);
+        assert_eq!(v.classification(), Classification::Malicious);
+        let v = Verdict::new(0, -0.2);
+        assert_eq!(v.confidence, 0.0);
+        assert_eq!(v.classification(), Classification::Benign);
+        // Exactly 0.5 is benign, matching the legacy majority tie rule.
+        assert_eq!(
+            Verdict::new(1, 0.5).classification(),
+            Classification::Benign
+        );
+        let v = Verdict::from_classification(2, Classification::Malicious).with_cadence(4);
+        assert_eq!((v.detector, v.confidence, v.cadence), (2, 1.0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_panics() {
+        let _ = Verdict::new(0, 1.0).with_cadence(0);
+    }
+
+    #[test]
+    fn evidence_mass_is_weighted_mean() {
+        let mut e = Evidence::new();
+        assert!(e.is_empty());
+        assert_eq!(e.mass(), 0.0);
+        e.add(1.0, 1.0);
+        e.add(0.0, 3.0);
+        assert_eq!(e.mass(), 0.25);
+        assert_eq!(e.total_weight(), 4.0);
+        // Non-positive weights contribute nothing.
+        e.add(1.0, 0.0);
+        e.add(1.0, -2.0);
+        assert_eq!(e.mass(), 0.25);
+    }
+
+    #[test]
+    fn unit_weight_evidence_reduces_to_vote_fraction() {
+        // The migration guarantee: m malicious votes out of n members give
+        // mass m/n exactly, so `mass > 0.5` is `2m > n` bit-for-bit.
+        for n in [1_usize, 3, 5] {
+            for m in 0..=n {
+                let mut e = Evidence::new();
+                for i in 0..n {
+                    e.add(if i < m { 1.0 } else { 0.0 }, 1.0);
+                }
+                assert_eq!(e.mass(), m as f64 / n as f64);
+                assert_eq!(e.mass() > 0.5, 2 * m > n, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_weight_kicks_in_past_the_cadence() {
+        // Fresh or within cadence: no decay.
+        assert_eq!(stale_weight(0.5, 0, 1), 1.0);
+        assert_eq!(stale_weight(0.5, 3, 3), 1.0);
+        // One epoch overdue halves the weight, two quarter it.
+        assert_eq!(stale_weight(0.5, 4, 3), 0.5);
+        assert_eq!(stale_weight(0.5, 5, 3), 0.25);
+        // decay = 1.0 disables staleness entirely.
+        assert_eq!(stale_weight(1.0, 100, 1), 1.0);
+        // decay = 0.0 drops an overdue member.
+        assert_eq!(stale_weight(0.0, 2, 1), 0.0);
     }
 
     #[test]

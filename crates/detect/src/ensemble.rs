@@ -160,6 +160,13 @@ impl Detector for EnsembleDetector {
         let (malicious, total) = self.poll(pid, window);
         self.rule.decide(malicious, total)
     }
+
+    /// Confidence = the malicious vote fraction — the expert disagreement
+    /// the combination rule collapses to one bit.
+    fn infer_confidence(&mut self, pid: ProcessId, window: &SampleWindow) -> f64 {
+        let (malicious, total) = self.poll(pid, window);
+        malicious as f64 / total as f64
+    }
 }
 
 /// A two-level detector: a cheap screen runs every epoch, and an expensive
@@ -294,6 +301,42 @@ mod tests {
     #[test]
     fn all_rule_on_empty_vote_count_is_benign() {
         assert_eq!(CombinationRule::All.decide(0, 0), Benign);
+    }
+
+    /// Pins the degenerate corners of every rule on an empty vote count
+    /// (`total == 0`) — the fusion threshold mapping must reproduce these.
+    #[test]
+    fn degenerate_empty_totals_per_rule() {
+        assert_eq!(CombinationRule::Any.decide(0, 0), Benign);
+        assert_eq!(CombinationRule::All.decide(0, 0), Benign);
+        assert_eq!(CombinationRule::Majority.decide(0, 0), Benign);
+        // AtLeast(0) is vacuously satisfied — even with no members.
+        assert_eq!(CombinationRule::AtLeast(0).decide(0, 0), Malicious);
+        assert_eq!(CombinationRule::AtLeast(1).decide(0, 0), Benign);
+    }
+
+    /// Pins exact-tie behaviour: a split panel never condemns under
+    /// Majority, and `AtLeast(k)` fires at exactly `k` votes (closed
+    /// boundary).
+    #[test]
+    fn degenerate_exact_ties_per_rule() {
+        // Even panels splitting evenly: strictly-more-than-half is false.
+        assert_eq!(CombinationRule::Majority.decide(1, 2), Benign);
+        assert_eq!(CombinationRule::Majority.decide(3, 6), Benign);
+        assert_eq!(CombinationRule::Majority.decide(50, 100), Benign);
+        // One vote past the tie flips it.
+        assert_eq!(CombinationRule::Majority.decide(4, 6), Malicious);
+        // AtLeast at its exact boundary (>= is closed below).
+        assert_eq!(CombinationRule::AtLeast(3).decide(3, 3), Malicious);
+        assert_eq!(CombinationRule::AtLeast(3).decide(2, 3), Benign);
+        // k beyond the panel size can never fire.
+        assert_eq!(CombinationRule::AtLeast(4).decide(3, 3), Benign);
+        // Single-member panels: Majority needs the whole panel.
+        assert_eq!(CombinationRule::Majority.decide(0, 1), Benign);
+        assert_eq!(CombinationRule::Majority.decide(1, 1), Malicious);
+        // All on a single member is that member's vote.
+        assert_eq!(CombinationRule::All.decide(1, 1), Malicious);
+        assert_eq!(CombinationRule::All.decide(0, 1), Benign);
     }
 
     #[test]

@@ -1,0 +1,607 @@
+//! Weighted-evidence fusion over heterogeneous detector ensembles.
+//!
+//! [`EnsembleDetector`](crate::EnsembleDetector) folds member votes into a
+//! single bit per epoch; every member runs every epoch and carries the same
+//! weight. The [`FusionEngine`] generalises that along three axes the
+//! paper's ensemble discussion (Section VII) leaves open:
+//!
+//! * **confidence** — members emit [`Detector::infer_confidence`] scores in
+//!   `[0, 1]` instead of one bit, so a barely-over-threshold vote weighs
+//!   less than a saturated one;
+//! * **cadence** — each member publishes every `cadence` epochs (a slow
+//!   heavyweight model next to a fast cheap screen), and between
+//!   publications its last confidence is *decayed* by
+//!   [`valkyrie_core::stale_weight`] rather than dropped;
+//! * **weight** — members carry configurable fusion weights, with
+//!   per-member `N*` (measurement-count) accounting so callers can tell
+//!   which members have reached their efficacy target.
+//!
+//! The legacy [`CombinationRule`] is a degenerate configuration: unit
+//! weights, cadence 1, binary confidences — [`FusionEngine::from_rule`]
+//! builds exactly that, and the majority variant is property-pinned
+//! bit-for-bit against `EnsembleDetector` in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_detect::{Detector, FusionEngine, FusionMember, ScriptedDetector};
+//! use valkyrie_core::{Classification, ProcessId};
+//! use valkyrie_hpc::SampleWindow;
+//!
+//! // A fast weak screen fused with a slow strong confirmer.
+//! let mut fusion = FusionEngine::new(
+//!     "fast+slow",
+//!     vec![
+//!         FusionMember::new(Box::new(ScriptedDetector::constant(Classification::Malicious))),
+//!         FusionMember::new(Box::new(ScriptedDetector::constant(Classification::Benign)))
+//!             .weight(3.0)
+//!             .cadence(2),
+//!     ],
+//!     0.5,
+//! );
+//! let w = SampleWindow::new(4);
+//! // The heavyweight benign member dominates the mass.
+//! assert_eq!(fusion.infer(ProcessId(1), &w), Classification::Benign);
+//! ```
+
+use crate::{CombinationRule, Detector};
+use std::collections::HashMap;
+use std::fmt;
+use valkyrie_core::{stale_weight, Classification, Evidence, ProcessId, Verdict};
+use valkyrie_hpc::SampleWindow;
+
+/// One member of a [`FusionEngine`]: a detector plus its fusion policy.
+pub struct FusionMember {
+    detector: Box<dyn Detector>,
+    weight: f64,
+    cadence: u32,
+    n_star: u64,
+}
+
+impl FusionMember {
+    /// Wraps a detector with unit weight, cadence 1 and `N* = 1`.
+    pub fn new(detector: Box<dyn Detector>) -> Self {
+        Self {
+            detector,
+            weight: 1.0,
+            cadence: 1,
+            n_star: 1,
+        }
+    }
+
+    /// Sets the member's fusion weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn weight(mut self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "fusion weight must be finite and positive, got {weight}"
+        );
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the member's publication cadence: it runs on epochs where
+    /// `(epoch - 1) % cadence == 0`, so every member publishes on epoch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn cadence(mut self, cadence: u32) -> Self {
+        assert!(cadence > 0, "fusion cadence must be at least 1");
+        self.cadence = cadence;
+        self
+    }
+
+    /// Sets the member's `N*`: the number of measurements it needs before
+    /// its evidence is considered efficacious (see
+    /// [`FusionEngine::saturated`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_star` is zero.
+    pub fn n_star(mut self, n_star: u64) -> Self {
+        assert!(n_star > 0, "fusion n_star must be at least 1");
+        self.n_star = n_star;
+        self
+    }
+}
+
+impl fmt::Debug for FusionMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FusionMember")
+            .field("detector", &self.detector.name())
+            .field("weight", &self.weight)
+            .field("cadence", &self.cadence)
+            .field("n_star", &self.n_star)
+            .finish()
+    }
+}
+
+/// Per-process, per-member fusion state.
+#[derive(Debug, Clone, Copy)]
+struct MemberState {
+    /// Last confidence the member published for this process.
+    last_confidence: f64,
+    /// Epoch of that publication.
+    last_epoch: u64,
+    /// Measurements (publications) the member has made for this process.
+    measurements: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PidState {
+    /// Epochs this process has been fused (first call → epoch 1).
+    epoch: u64,
+    /// One slot per member; `None` until the member first publishes.
+    members: Vec<Option<MemberState>>,
+}
+
+/// Fuses per-member evidence streams into one weighted mass per epoch.
+///
+/// Each epoch the engine runs the members whose cadence is due, records
+/// their confidences, and folds all remembered confidences into an
+/// [`Evidence`] mass with effective weight
+/// `weight × stale_weight(decay, age, cadence)` — a member that stops
+/// publishing decays out of the mass instead of pinning it.
+///
+/// As a [`Detector`], `infer` compares the mass against the fusion
+/// threshold and `infer_confidence` returns the mass itself. The
+/// [`FusionEngine::verdicts`] path instead *emits* the due members'
+/// [`Verdict`]s for the engine-side fusion tier, letting each member
+/// publish over its own ingest queue at its own cadence.
+pub struct FusionEngine {
+    name: String,
+    members: Vec<FusionMember>,
+    threshold: f64,
+    stale_decay: f64,
+    state: HashMap<ProcessId, PidState>,
+}
+
+impl FusionEngine {
+    /// Builds a fusion engine over owned members.
+    ///
+    /// `threshold` is the mass above which (strictly) the fused inference
+    /// is malicious.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `threshold` is not finite.
+    pub fn new(name: impl Into<String>, members: Vec<FusionMember>, threshold: f64) -> Self {
+        assert!(!members.is_empty(), "fusion needs at least one member");
+        assert!(threshold.is_finite(), "fusion threshold must be finite");
+        Self {
+            name: name.into(),
+            members,
+            threshold,
+            stale_decay: 1.0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Builds the degenerate unit-weight configuration equivalent to an
+    /// [`EnsembleDetector`](crate::EnsembleDetector) with `rule`: every
+    /// detector gets weight 1, cadence 1 and the rule becomes a mass
+    /// threshold. With binary member confidences the decisions match
+    /// [`CombinationRule::decide`] bit-for-bit.
+    pub fn from_rule(
+        name: impl Into<String>,
+        detectors: Vec<Box<dyn Detector>>,
+        rule: CombinationRule,
+    ) -> Self {
+        assert!(!detectors.is_empty(), "fusion needs at least one member");
+        let total = detectors.len() as f64;
+        // mass = malicious / total; pick thresholds so `mass > threshold`
+        // reproduces each rule's integer comparison exactly.
+        let threshold = match rule {
+            // malicious >= 1  ⇔  mass > 0
+            CombinationRule::Any => 0.0,
+            // malicious == total  ⇔  mass > (total - 0.5) / total
+            CombinationRule::All => (total - 0.5) / total,
+            // 2·malicious > total  ⇔  mass > 0.5
+            CombinationRule::Majority => 0.5,
+            // malicious >= k  ⇔  mass > (k - 0.5) / total
+            // (k = 0 gives a negative threshold: always malicious, like
+            // the legacy rule's `malicious >= 0`.)
+            CombinationRule::AtLeast(k) => (k as f64 - 0.5) / total,
+        };
+        let members = detectors.into_iter().map(FusionMember::new).collect();
+        Self::new(name, members, threshold)
+    }
+
+    /// Sets the staleness decay applied per epoch past a member's cadence
+    /// (see [`stale_weight`]). `1.0` (the default) never decays; `0.0`
+    /// drops a member's evidence the epoch after its cadence lapses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `[0, 1]`.
+    pub fn stale_decay(mut self, decay: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&decay),
+            "stale decay must be in [0, 1], got {decay}"
+        );
+        self.stale_decay = decay;
+        self
+    }
+
+    /// Number of member detectors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false: the constructor rejects empty member lists.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The fusion threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Per-member measurement counts for `pid` (the `N*` accounting):
+    /// `counts[i]` is how many times member `i` has published for this
+    /// process. Empty if the process has never been fused.
+    pub fn measurements(&self, pid: ProcessId) -> Vec<u64> {
+        self.state
+            .get(&pid)
+            .map(|s| {
+                s.members
+                    .iter()
+                    .map(|m| m.map_or(0, |m| m.measurements))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// True once *every* member has published at least its `N*`
+    /// measurements for `pid` — the fused verdict has reached each
+    /// member's efficacy target.
+    pub fn saturated(&self, pid: ProcessId) -> bool {
+        self.state.get(&pid).is_some_and(|s| {
+            self.members
+                .iter()
+                .zip(&s.members)
+                .all(|(member, st)| st.is_some_and(|st| st.measurements >= member.n_star))
+        })
+    }
+
+    /// Drops all fusion state for `pid` (e.g. after process exit).
+    pub fn forget(&mut self, pid: ProcessId) {
+        self.state.remove(&pid);
+    }
+
+    /// Advances `pid` by one epoch: runs the due members, records their
+    /// confidences, returns the per-member publications as
+    /// `(member_index, confidence)` pairs appended to `out`.
+    fn step_into(
+        members: &mut [FusionMember],
+        state: &mut HashMap<ProcessId, PidState>,
+        pid: ProcessId,
+        window: &SampleWindow,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        let st = state.entry(pid).or_default();
+        st.members.resize(members.len(), None);
+        st.epoch += 1;
+        let epoch = st.epoch;
+        for (idx, member) in members.iter_mut().enumerate() {
+            if !(epoch - 1).is_multiple_of(u64::from(member.cadence)) {
+                continue;
+            }
+            let confidence = member.detector.infer_confidence(pid, window);
+            let slot = &mut st.members[idx];
+            let measurements = slot.map_or(0, |m| m.measurements) + 1;
+            *slot = Some(MemberState {
+                last_confidence: confidence,
+                last_epoch: epoch,
+                measurements,
+            });
+            out.push((idx, confidence));
+        }
+    }
+
+    /// The fused evidence mass for `pid` at its current epoch, folding
+    /// every remembered member confidence with its staleness-decayed
+    /// weight. `0.0` for a process with no evidence.
+    pub fn mass(&self, pid: ProcessId) -> f64 {
+        let Some(st) = self.state.get(&pid) else {
+            return 0.0;
+        };
+        let mut evidence = Evidence::new();
+        for (member, slot) in self.members.iter().zip(&st.members) {
+            let Some(m) = slot else { continue };
+            let age = st.epoch - m.last_epoch;
+            let w = member.weight * stale_weight(self.stale_decay, age, member.cadence);
+            evidence.add(m.last_confidence, w);
+        }
+        evidence.mass()
+    }
+
+    /// Advances one epoch and emits a [`Verdict`] per member that
+    /// published this epoch, appended to `out`. The verdict's detector id
+    /// is the member's index and its cadence the member's cadence — ready
+    /// to publish over a per-member ingest queue into the engine-side
+    /// fusion tier.
+    ///
+    /// Returns the number of verdicts emitted.
+    pub fn verdicts(
+        &mut self,
+        pid: ProcessId,
+        window: &SampleWindow,
+        out: &mut Vec<Verdict>,
+    ) -> usize {
+        let mut published = Vec::new();
+        Self::step_into(
+            &mut self.members,
+            &mut self.state,
+            pid,
+            window,
+            &mut published,
+        );
+        let n = published.len();
+        out.extend(published.into_iter().map(|(idx, confidence)| {
+            Verdict::new(idx as u32, confidence).with_cadence(self.members[idx].cadence)
+        }));
+        n
+    }
+
+    /// Advances one epoch and returns the fused mass (the confidence path
+    /// [`Detector::infer_confidence`] takes).
+    pub fn fuse(&mut self, pid: ProcessId, window: &SampleWindow) -> f64 {
+        let mut published = Vec::new();
+        Self::step_into(
+            &mut self.members,
+            &mut self.state,
+            pid,
+            window,
+            &mut published,
+        );
+        self.mass(pid)
+    }
+}
+
+impl fmt::Debug for FusionEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FusionEngine")
+            .field("name", &self.name)
+            .field("members", &self.members)
+            .field("threshold", &self.threshold)
+            .field("stale_decay", &self.stale_decay)
+            .finish()
+    }
+}
+
+impl Detector for FusionEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification {
+        if self.fuse(pid, window) > self.threshold {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+
+    fn infer_confidence(&mut self, pid: ProcessId, window: &SampleWindow) -> f64 {
+        self.fuse(pid, window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnsembleDetector, ScriptedDetector};
+
+    fn constant(c: Classification) -> Box<dyn Detector> {
+        Box::new(ScriptedDetector::constant(c))
+    }
+
+    fn window() -> SampleWindow {
+        SampleWindow::new(4)
+    }
+
+    #[test]
+    fn from_rule_matches_legacy_decision_for_every_rule() {
+        let w = window();
+        let rules = [
+            CombinationRule::Any,
+            CombinationRule::All,
+            CombinationRule::Majority,
+            CombinationRule::AtLeast(0),
+            CombinationRule::AtLeast(2),
+            CombinationRule::AtLeast(5),
+        ];
+        for total in 1..=5usize {
+            for malicious in 0..=total {
+                for rule in rules {
+                    let detectors: Vec<Box<dyn Detector>> = (0..total)
+                        .map(|i| {
+                            constant(if i < malicious {
+                                Classification::Malicious
+                            } else {
+                                Classification::Benign
+                            })
+                        })
+                        .collect();
+                    let mut fusion = FusionEngine::from_rule("f", detectors, rule);
+                    assert_eq!(
+                        fusion.infer(ProcessId(1), &w),
+                        rule.decide(malicious, total),
+                        "rule {rule:?} with {malicious}/{total} votes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weight_majority_tracks_ensemble_over_time() {
+        let w = window();
+        let scripts = |_: usize| {
+            vec![
+                Classification::Malicious,
+                Classification::Benign,
+                Classification::Malicious,
+                Classification::Malicious,
+                Classification::Benign,
+            ]
+        };
+        let members = |n: usize| -> Vec<Box<dyn Detector>> {
+            (0..n)
+                .map(|i| {
+                    let mut seq = scripts(i);
+                    let shift = i % seq.len();
+                    seq.rotate_left(shift);
+                    Box::new(ScriptedDetector::cycle(seq)) as Box<dyn Detector>
+                })
+                .collect()
+        };
+        for n in [1usize, 3, 5] {
+            let mut legacy = EnsembleDetector::new("e", members(n), CombinationRule::Majority);
+            let mut fusion = FusionEngine::from_rule("f", members(n), CombinationRule::Majority);
+            for epoch in 0..10 {
+                let pid = ProcessId(7);
+                assert_eq!(
+                    fusion.infer(pid, &w),
+                    legacy.infer(pid, &w),
+                    "size {n} epoch {epoch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_tilt_the_fused_mass() {
+        let w = window();
+        let mut fusion = FusionEngine::new(
+            "tilted",
+            vec![
+                FusionMember::new(constant(Classification::Malicious)),
+                FusionMember::new(constant(Classification::Benign)).weight(4.0),
+            ],
+            0.5,
+        );
+        // Mass = 1·1 / (1 + 4) = 0.2 → benign despite the malicious vote.
+        assert_eq!(fusion.infer(ProcessId(1), &w), Classification::Benign);
+        assert!((fusion.mass(ProcessId(1)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_member_holds_then_decays() {
+        let w = window();
+        // Slow strong malicious member (cadence 3, weight 3) against a fast
+        // benign screen. With no decay its held confidence keeps the mass
+        // at 0.75 between publications.
+        let mut fusion = FusionEngine::new(
+            "held",
+            vec![
+                FusionMember::new(constant(Classification::Benign)),
+                FusionMember::new(constant(Classification::Malicious))
+                    .weight(3.0)
+                    .cadence(3),
+            ],
+            0.5,
+        );
+        let pid = ProcessId(9);
+        for _ in 0..5 {
+            assert_eq!(fusion.infer(pid, &w), Classification::Malicious);
+        }
+
+        // With decay 0.0 the held confidence vanishes the epoch after the
+        // cadence lapses: epochs 1..=3 are within cadence (age < 3), epoch
+        // 4 republished, so probe epochs 5 and 6 (ages 1, 2) stay held and
+        // epoch 7 republishes again — use cadence 4 to see the drop.
+        let mut fusion = FusionEngine::new(
+            "decayed",
+            vec![
+                FusionMember::new(constant(Classification::Benign)),
+                FusionMember::new(constant(Classification::Malicious))
+                    .weight(3.0)
+                    .cadence(4),
+            ],
+            0.5,
+        )
+        .stale_decay(0.0);
+        let pid = ProcessId(10);
+        // Epoch 1: both publish → mass 0.75.
+        assert_eq!(fusion.infer(pid, &w), Classification::Malicious);
+        // Epochs 2–4: ages 1–3 ≤ cadence 4 → still held.
+        for _ in 0..3 {
+            assert_eq!(fusion.infer(pid, &w), Classification::Malicious);
+        }
+        // Epoch 5 republishes (cadence 4: epochs 1, 5, 9, …) → held.
+        assert_eq!(fusion.infer(pid, &w), Classification::Malicious);
+        // Force the member silent by replacing it would need mutation;
+        // instead check stale_weight drops a *past-cadence* age directly.
+        assert_eq!(stale_weight(0.0, 5, 4), 0.0);
+        assert_eq!(stale_weight(0.0, 4, 4), 1.0);
+    }
+
+    #[test]
+    fn verdicts_emit_per_member_cadence() {
+        let w = window();
+        let mut fusion = FusionEngine::new(
+            "emit",
+            vec![
+                FusionMember::new(constant(Classification::Malicious)),
+                FusionMember::new(constant(Classification::Benign)).cadence(3),
+            ],
+            0.5,
+        );
+        let pid = ProcessId(3);
+        let mut out = Vec::new();
+        // Epoch 1: both due.
+        assert_eq!(fusion.verdicts(pid, &w, &mut out), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].detector, 0);
+        assert_eq!(out[0].confidence, 1.0);
+        assert_eq!(out[1].detector, 1);
+        assert_eq!(out[1].confidence, 0.0);
+        assert_eq!(out[1].cadence, 3);
+        // Epochs 2, 3: only the fast member.
+        out.clear();
+        assert_eq!(fusion.verdicts(pid, &w, &mut out), 1);
+        assert_eq!(fusion.verdicts(pid, &w, &mut out), 1);
+        // Epoch 4: slow member due again.
+        out.clear();
+        assert_eq!(fusion.verdicts(pid, &w, &mut out), 2);
+        // N* accounting: fast member published 4×, slow member 2×.
+        assert_eq!(fusion.measurements(pid), vec![4, 2]);
+        assert!(fusion.saturated(pid));
+    }
+
+    #[test]
+    fn n_star_accounting_gates_saturation() {
+        let w = window();
+        let mut fusion = FusionEngine::new(
+            "nstar",
+            vec![
+                FusionMember::new(constant(Classification::Malicious)).n_star(1),
+                FusionMember::new(constant(Classification::Malicious))
+                    .cadence(2)
+                    .n_star(3),
+            ],
+            0.5,
+        );
+        let pid = ProcessId(5);
+        // Slow member publishes on epochs 1, 3, 5 → needs 5 epochs for 3
+        // measurements.
+        for epoch in 1..=4u64 {
+            fusion.fuse(pid, &w);
+            assert!(!fusion.saturated(pid), "epoch {epoch}");
+        }
+        fusion.fuse(pid, &w);
+        assert!(fusion.saturated(pid));
+        assert_eq!(fusion.measurements(pid), vec![5, 3]);
+
+        fusion.forget(pid);
+        assert!(fusion.measurements(pid).is_empty());
+        assert!(!fusion.saturated(pid));
+    }
+}

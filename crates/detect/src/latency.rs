@@ -16,23 +16,63 @@ use valkyrie_core::{Classification, ProcessId};
 use valkyrie_hpc::SampleWindow;
 
 /// One delayed verdict: available once the process's local tick counter
-/// reaches `ready_at`.
+/// reaches `ready_at`. Generic over the payload so the binary and the
+/// confidence inference paths share one delay mechanism.
 #[derive(Debug, Clone, Copy)]
-struct Pending {
+struct Pending<T> {
     ready_at: u64,
-    verdict: Classification,
+    verdict: T,
 }
 
 /// Per-process delay pipeline state.
-#[derive(Debug, Clone, Default)]
-struct Pipeline {
+#[derive(Debug, Clone)]
+struct Pipeline<T> {
     /// Ticks this process has been inferred on (its local clock).
     tick: u64,
     /// Verdicts in flight, in computation order (`ready_at` ascending —
     /// enforced at push, so delivery can never reorder verdicts).
-    in_flight: Vec<Pending>,
+    in_flight: Vec<Pending<T>>,
     /// The verdict delivered most recently (held between deliveries).
-    last_delivered: Option<Classification>,
+    last_delivered: Option<T>,
+}
+
+// Manual impl: a derive would needlessly require `T: Default`.
+impl<T> Default for Pipeline<T> {
+    fn default() -> Self {
+        Self {
+            tick: 0,
+            in_flight: Vec::new(),
+            last_delivered: None,
+        }
+    }
+}
+
+/// Pushes this tick's verdict into the pipeline and returns the newest
+/// matured verdict (`None` until the first one matures). One tick of the
+/// in-order delayed-delivery mechanism, shared by both inference paths.
+fn deliver<T: Copy>(pipeline: &mut Pipeline<T>, delay: u64, extra: u64, verdict: T) -> Option<T> {
+    let mut ready_at = pipeline.tick + delay + extra;
+    // In-order delivery: jitter may stretch latency, never reorder.
+    if let Some(last) = pipeline.in_flight.last() {
+        ready_at = ready_at.max(last.ready_at);
+    }
+    pipeline.in_flight.push(Pending { ready_at, verdict });
+
+    // Deliver everything that has matured by this tick; the newest
+    // matured verdict wins (cyclic monitoring consumes one verdict per
+    // tick, and only the freshest matters).
+    let now = pipeline.tick;
+    pipeline.tick += 1;
+    let matured = pipeline
+        .in_flight
+        .iter()
+        .take_while(|p| p.ready_at <= now)
+        .count();
+    if matured > 0 {
+        pipeline.last_delivered = Some(pipeline.in_flight[matured - 1].verdict);
+        pipeline.in_flight.drain(..matured);
+    }
+    pipeline.last_delivered
 }
 
 /// Wraps a detector and delays each verdict by `delay` ticks, with
@@ -77,7 +117,10 @@ pub struct LatencyModel<D> {
     delay: u64,
     jitter: u64,
     fill: Classification,
-    pipelines: HashMap<ProcessId, Pipeline>,
+    pipelines: HashMap<ProcessId, Pipeline<Classification>>,
+    /// Separate pipeline for the confidence path: callers use `infer` *or*
+    /// `infer_confidence` per epoch, and each advances only its own clock.
+    conf_pipelines: HashMap<ProcessId, Pipeline<f64>>,
     name: String,
 }
 
@@ -97,6 +140,7 @@ impl<D: Detector> LatencyModel<D> {
             jitter,
             fill: Classification::Benign,
             pipelines: HashMap::new(),
+            conf_pipelines: HashMap::new(),
             name,
         }
     }
@@ -145,28 +189,22 @@ impl<D: Detector> Detector for LatencyModel<D> {
         let verdict = self.inner.infer(pid, window);
         let extra = self.jitter_for(pid, self.pipelines.get(&pid).map_or(0, |p| p.tick));
         let pipeline = self.pipelines.entry(pid).or_default();
-        let mut ready_at = pipeline.tick + self.delay + extra;
-        // In-order delivery: jitter may stretch latency, never reorder.
-        if let Some(last) = pipeline.in_flight.last() {
-            ready_at = ready_at.max(last.ready_at);
-        }
-        pipeline.in_flight.push(Pending { ready_at, verdict });
+        deliver(pipeline, self.delay, extra, verdict).unwrap_or(self.fill)
+    }
 
-        // Deliver everything that has matured by this tick; the newest
-        // matured verdict wins (cyclic monitoring consumes one verdict per
-        // tick, and only the freshest matters).
-        let now = pipeline.tick;
-        pipeline.tick += 1;
-        let matured = pipeline
-            .in_flight
-            .iter()
-            .take_while(|p| p.ready_at <= now)
-            .count();
-        if matured > 0 {
-            pipeline.last_delivered = Some(pipeline.in_flight[matured - 1].verdict);
-            pipeline.in_flight.drain(..matured);
-        }
-        pipeline.last_delivered.unwrap_or(self.fill)
+    /// The inner detector's confidence, delayed through the same in-order
+    /// latency model (same delay, same deterministic per-tick jitter).
+    /// Until the first confidence matures, the fill classification's
+    /// extreme (`0.0` / `1.0`) is reported.
+    fn infer_confidence(&mut self, pid: ProcessId, window: &SampleWindow) -> f64 {
+        let confidence = self.inner.infer_confidence(pid, window);
+        let extra = self.jitter_for(pid, self.conf_pipelines.get(&pid).map_or(0, |p| p.tick));
+        let pipeline = self.conf_pipelines.entry(pid).or_default();
+        let fill = match self.fill {
+            Classification::Malicious => 1.0,
+            Classification::Benign => 0.0,
+        };
+        deliver(pipeline, self.delay, extra, confidence).unwrap_or(fill)
     }
 }
 

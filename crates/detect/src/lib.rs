@@ -36,6 +36,7 @@
 
 pub mod efficacy;
 pub mod ensemble;
+pub mod fusion;
 pub mod latency;
 pub mod ml_backed;
 pub mod scripted;
@@ -44,6 +45,7 @@ pub mod voting;
 
 pub use efficacy::{measure_efficacy, measure_efficacy_votes, EfficacyGrid};
 pub use ensemble::{CombinationRule, EnsembleDetector, MultiLevelDetector};
+pub use fusion::{FusionEngine, FusionMember};
 pub use latency::LatencyModel;
 pub use ml_backed::{LstmDetector, MajorityVoteDetector, PooledDetector};
 pub use scripted::ScriptedDetector;
@@ -64,4 +66,21 @@ pub trait Detector {
 
     /// Classifies the process behaviour for this epoch.
     fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification;
+
+    /// Classifies the process behaviour for this epoch **with a
+    /// confidence** in `[0, 1]` — the evidence the fusion tier weighs
+    /// (`0.0` = certainly benign, `1.0` = certainly malicious).
+    ///
+    /// The default maps [`Detector::infer`] to the extremes, so every
+    /// binary detector is a degenerate confidence emitter; families with a
+    /// native score (vote fractions, z-score margins, model
+    /// probabilities) override it. Like `infer`, this *advances* the
+    /// detector's per-epoch state — call one or the other per epoch, not
+    /// both.
+    fn infer_confidence(&mut self, pid: ProcessId, window: &SampleWindow) -> f64 {
+        match self.infer(pid, window) {
+            Classification::Malicious => 1.0,
+            Classification::Benign => 0.0,
+        }
+    }
 }

@@ -85,6 +85,24 @@ impl<C: BinaryClassifier> Detector for MajorityVoteDetector<C> {
             Classification::Benign
         }
     }
+
+    /// Confidence = the fraction of the window's measurements classified
+    /// malicious (the vote margin the binary path collapses to one bit).
+    fn infer_confidence(&mut self, _pid: ProcessId, window: &SampleWindow) -> f64 {
+        if window.is_empty() {
+            return 0.0;
+        }
+        self.feats.clear();
+        self.feats.extend(
+            window
+                .samples()
+                .iter()
+                .map(|s| self.standardizer.transform(s.as_features())),
+        );
+        self.model.score_batch_into(&self.feats, &mut self.scores);
+        let malicious = self.scores.iter().filter(|&&s| s >= 0.5).count();
+        malicious as f64 / window.len() as f64
+    }
 }
 
 /// Mean-pooled classification (feed-forward ANN style): the window's
@@ -130,6 +148,12 @@ impl<C: BinaryClassifier> Detector for PooledDetector<C> {
         } else {
             Classification::Benign
         }
+    }
+
+    /// Confidence = the model's pooled score, clamped to `[0, 1]` (tree
+    /// ensembles can step slightly outside it).
+    fn infer_confidence(&mut self, _pid: ProcessId, window: &SampleWindow) -> f64 {
+        self.pooled_score(window).clamp(0.0, 1.0)
     }
 }
 
@@ -201,6 +225,14 @@ impl Detector for LstmDetector {
         } else {
             Classification::Benign
         }
+    }
+
+    /// Confidence = the LSTM's sigmoid output (already a probability).
+    fn infer_confidence(&mut self, _pid: ProcessId, window: &SampleWindow) -> f64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let p = self.probability_with(window, &mut scratch);
+        self.scratch = scratch;
+        p.clamp(0.0, 1.0)
     }
 }
 

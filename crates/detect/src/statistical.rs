@@ -159,6 +159,19 @@ impl Detector for StatisticalDetector {
             _ => Classification::Benign,
         }
     }
+
+    /// Confidence = the anomaly margin `s / (s + threshold)`: `0.5` exactly
+    /// at the decision boundary, approaching `1.0` as the score dwarfs the
+    /// threshold. `0.0` when the window is empty.
+    fn infer_confidence(&mut self, _pid: ProcessId, window: &SampleWindow) -> f64 {
+        match window.latest() {
+            Some(sample) => {
+                let s = self.score(sample);
+                s / (s + self.threshold)
+            }
+            None => 0.0,
+        }
+    }
 }
 
 #[cfg(test)]

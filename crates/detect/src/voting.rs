@@ -102,33 +102,20 @@ impl<C: SampleClassifier> VotingDetector<C> {
         &self.inner
     }
 
-    /// Majority vote over the window (malicious iff strictly more than half
-    /// of the retained samples classify malicious).
-    pub fn majority(&self, window: &SampleWindow) -> Classification {
-        let malicious = window
-            .samples()
-            .iter()
-            .filter(|s| self.inner.classify_sample(s) == Classification::Malicious)
-            .count();
-        if 2 * malicious > window.len() {
-            Classification::Malicious
-        } else {
-            Classification::Benign
-        }
-    }
-}
-
-impl<C: SampleClassifier> Detector for VotingDetector<C> {
-    fn name(&self) -> &str {
-        "majority-voting"
-    }
-
-    fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification {
+    /// Rolls the cached vote state forward for this epoch and returns
+    /// `(total_observed, latest_flag, malicious, ring_len)`; `None` on an
+    /// empty window (stale state dropped). Shared by the binary and the
+    /// confidence inference paths.
+    fn observe_window(
+        &mut self,
+        pid: ProcessId,
+        window: &SampleWindow,
+    ) -> Option<(u64, bool, usize, usize)> {
         let Some(latest) = window.latest() else {
             // A fresh (possibly reset) window: drop any stale vote state so
             // the next sample rebuilds from scratch.
             self.votes.remove(&pid);
-            return Classification::Benign;
+            return None;
         };
         let total = window.total_observed();
         let state = self.votes.entry(pid).or_default();
@@ -156,17 +143,64 @@ impl<C: SampleClassifier> Detector for VotingDetector<C> {
             }
         }
         state.observed = total;
+        let latest_flag = *state.flags.back().expect("window is non-empty");
+        Some((total, latest_flag, state.malicious, state.flags.len()))
+    }
+
+    /// Majority vote over the window (malicious iff strictly more than half
+    /// of the retained samples classify malicious).
+    pub fn majority(&self, window: &SampleWindow) -> Classification {
+        let malicious = window
+            .samples()
+            .iter()
+            .filter(|s| self.inner.classify_sample(s) == Classification::Malicious)
+            .count();
+        if 2 * malicious > window.len() {
+            Classification::Malicious
+        } else {
+            Classification::Benign
+        }
+    }
+}
+
+impl<C: SampleClassifier> Detector for VotingDetector<C> {
+    fn name(&self) -> &str {
+        "majority-voting"
+    }
+
+    fn infer(&mut self, pid: ProcessId, window: &SampleWindow) -> Classification {
+        let Some((total, latest_flag, malicious, len)) = self.observe_window(pid, window) else {
+            return Classification::Benign;
+        };
         if total < self.vote_after {
             // Pre-vote pass-through: the verdict on the latest sample alone.
-            if *state.flags.back().expect("window is non-empty") {
+            if latest_flag {
                 Classification::Malicious
             } else {
                 Classification::Benign
             }
-        } else if 2 * state.malicious > state.flags.len() {
+        } else if 2 * malicious > len {
             Classification::Malicious
         } else {
             Classification::Benign
+        }
+    }
+
+    /// Confidence = the malicious fraction of the retained vote ring once
+    /// voting has started; before `vote_after` it is the latest sample's
+    /// binary verdict (matching the pass-through phase of `infer`).
+    fn infer_confidence(&mut self, pid: ProcessId, window: &SampleWindow) -> f64 {
+        let Some((total, latest_flag, malicious, len)) = self.observe_window(pid, window) else {
+            return 0.0;
+        };
+        if total < self.vote_after {
+            if latest_flag {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            malicious as f64 / len as f64
         }
     }
 }

@@ -1,5 +1,22 @@
-//! Runs the two-level detection study (Section VII recommendation).
+//! Runs the two-level detection study (Section VII recommendation) and
+//! the heterogeneous-cadence fusion sweep built on top of it.
+//!
+//! `--quick` runs both at the reduced scale used by the test suite and
+//! the CI smoke (same code paths, smaller fleet and horizon).
+use valkyrie_experiments::ensemble;
+
 fn main() {
-    let cfg = valkyrie_experiments::ensemble::EnsembleConfig::default();
-    println!("{}", valkyrie_experiments::ensemble::run(&cfg).report);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        ensemble::EnsembleConfig::quick()
+    } else {
+        ensemble::EnsembleConfig::default()
+    };
+    println!("{}", ensemble::run(&cfg).report);
+    let sweep = if quick {
+        ensemble::FusionSweepConfig::quick()
+    } else {
+        ensemble::FusionSweepConfig::default()
+    };
+    println!("{}", ensemble::run_fusion(&sweep).report);
 }

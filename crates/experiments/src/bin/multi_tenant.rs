@@ -10,6 +10,13 @@
 //! has arrived with `drain_tick` — demonstrating that detector latency
 //! costs detection lag (compare the "mean epochs to kill" row against a
 //! synchronous run), never a stalled response tick.
+//!
+//! `--fused` swaps the detector tier for the heterogeneous fused
+//! ensemble: a weakened fast member (TPR 0.70) publishing every epoch
+//! plus a slow-strong member publishing every 4th epoch with dropout,
+//! combined by the engine's weighted-evidence fusion under the
+//! graduated escalation ladder. Mutually exclusive with
+//! `--async-ingest`.
 use valkyrie_core::ExecutionMode;
 use valkyrie_experiments::multi_tenant;
 
@@ -24,9 +31,21 @@ fn main() {
     } else {
         None
     };
+    let fusion = if std::env::args().any(|a| a == "--fused") {
+        Some(multi_tenant::FusionTier::default())
+    } else {
+        None
+    };
+    let tpr = if fusion.is_some() {
+        0.70
+    } else {
+        multi_tenant::MultiTenantConfig::default().tpr
+    };
     let result = multi_tenant::run(&multi_tenant::MultiTenantConfig {
         execution,
         ingest,
+        fusion,
+        tpr,
         ..multi_tenant::MultiTenantConfig::default()
     });
     println!("{}", result.report);

@@ -21,7 +21,8 @@
 //! makes the expensive model deployable.
 
 use crate::harness::{fmt, pct, TextTable};
-use valkyrie_core::EfficacyCurve;
+use crate::multi_tenant::{self, FusionTier, MultiTenantConfig};
+use valkyrie_core::{EfficacyCurve, FusionStats};
 use valkyrie_detect::efficacy::{measure_efficacy, EfficacyGrid};
 use valkyrie_ml::{BinaryClassifier, Standardizer};
 
@@ -229,6 +230,190 @@ fn render(
     )
 }
 
+/// The heterogeneous-cadence fusion sweep (the weighted-evidence follow-up
+/// to the two-level pipeline above).
+///
+/// A fast-**weak** member answers every epoch; a slow-**strong** member
+/// answers every [`FusionTier::slow_cadence`] epochs over its own publisher
+/// and occasionally drops a window. The sweep varies the slow member's
+/// fusion weight and reports epochs-to-kill and wrongful terminations per
+/// weight, against a single fast-weak binary detector as the baseline —
+/// quantifying what weighted-evidence fusion buys over trusting the cheap
+/// detector alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionSweepConfig {
+    /// Machine shape and the fast member's rates (`tpr` is the fast-weak
+    /// per-epoch TPR). `ingest`/`fusion` are overwritten per sweep point.
+    pub base: MultiTenantConfig,
+    /// The slow-strong member; `slow_weight` is overwritten per point.
+    pub tier: FusionTier,
+    /// Slow-member fusion weights swept (the fast member stays at 1.0).
+    pub slow_weights: [f64; 4],
+    /// Terminable-verdict FPR of the *baseline* single fast-weak detector
+    /// (its per-epoch weakness carried into the kill decision).
+    pub baseline_verdict_fpr: f64,
+}
+
+impl Default for FusionSweepConfig {
+    fn default() -> Self {
+        Self {
+            base: MultiTenantConfig {
+                tpr: 0.70,
+                ..MultiTenantConfig::default()
+            },
+            tier: FusionTier::default(),
+            slow_weights: [0.5, 1.0, 2.0, 4.0],
+            baseline_verdict_fpr: 0.20,
+        }
+    }
+}
+
+impl FusionSweepConfig {
+    /// A scaled-down sweep for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            base: MultiTenantConfig {
+                tpr: 0.70,
+                ..MultiTenantConfig::quick()
+            },
+            tier: FusionTier {
+                capacity: 1024,
+                ..FusionTier::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// One sweep point's outcome (`slow_weight` is `None` for the baseline
+/// single fast-weak detector).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionPoint {
+    /// Fusion weight of the slow member; `None` = unfused baseline.
+    pub slow_weight: Option<f64>,
+    /// Attacks terminated (out of the configured count).
+    pub attacks_terminated: usize,
+    /// Mean epochs from an attack's arrival to its termination.
+    pub mean_epochs_to_kill: f64,
+    /// Benign processes wrongfully terminated, % of the fleet.
+    pub benign_killed_pct: f64,
+    /// Benign processes that ran to completion within the horizon.
+    pub benign_completed: usize,
+    /// Fusion-tier counters for this run.
+    pub fusion: FusionStats,
+}
+
+/// Outcome of the whole weight sweep.
+#[derive(Debug, Clone)]
+pub struct FusionSweepResult {
+    /// The single fast-weak binary detector (no fusion).
+    pub baseline: FusionPoint,
+    /// One point per entry in [`FusionSweepConfig::slow_weights`].
+    pub points: Vec<FusionPoint>,
+    /// Rendered report.
+    pub report: String,
+}
+
+fn sweep_point(slow_weight: Option<f64>, r: &multi_tenant::MultiTenantResult) -> FusionPoint {
+    FusionPoint {
+        slow_weight,
+        attacks_terminated: r.attacks_terminated,
+        mean_epochs_to_kill: r.mean_epochs_to_kill,
+        benign_killed_pct: r.benign_killed_pct,
+        benign_completed: r.benign_completed,
+        fusion: r.fusion_stats.clone(),
+    }
+}
+
+/// Runs the heterogeneous-cadence fusion sweep.
+pub fn run_fusion(cfg: &FusionSweepConfig) -> FusionSweepResult {
+    // The baseline trusts the fast-weak member alone: its per-epoch rates
+    // feed the legacy binary path, and its verdict-time efficacy is just
+    // as weak (that is the point of needing the slow member).
+    let baseline_cfg = MultiTenantConfig {
+        verdict_tpr: cfg.base.tpr,
+        verdict_fpr: cfg.baseline_verdict_fpr,
+        ingest: None,
+        fusion: None,
+        ..cfg.base
+    };
+    let baseline = sweep_point(None, &multi_tenant::run(&baseline_cfg));
+
+    let points: Vec<FusionPoint> = cfg
+        .slow_weights
+        .iter()
+        .map(|&w| {
+            let run_cfg = MultiTenantConfig {
+                ingest: None,
+                fusion: Some(FusionTier {
+                    slow_weight: w,
+                    ..cfg.tier
+                }),
+                ..cfg.base
+            };
+            sweep_point(Some(w), &multi_tenant::run(&run_cfg))
+        })
+        .collect();
+
+    let report = render_fusion(cfg, &baseline, &points);
+    FusionSweepResult {
+        baseline,
+        points,
+        report,
+    }
+}
+
+fn render_fusion(
+    cfg: &FusionSweepConfig,
+    baseline: &FusionPoint,
+    points: &[FusionPoint],
+) -> String {
+    let mut t = TextTable::new(vec![
+        "slow weight",
+        "attacks killed",
+        "epochs to kill",
+        "benign killed",
+        "completed",
+        "verdicts",
+        "stale-decayed",
+        "escalations",
+    ]);
+    let mut row = |p: &FusionPoint| {
+        t.row(vec![
+            p.slow_weight
+                .map_or_else(|| "(baseline)".into(), |w| format!("{w}")),
+            format!("{}/{}", p.attacks_terminated, cfg.base.attacks),
+            fmt(p.mean_epochs_to_kill, 1),
+            pct(p.benign_killed_pct),
+            p.benign_completed.to_string(),
+            p.fusion.verdicts.to_string(),
+            p.fusion.stale_decayed.to_string(),
+            p.fusion.escalations.to_string(),
+        ]);
+    };
+    row(baseline);
+    for p in points {
+        row(p);
+    }
+    format!(
+        "Heterogeneous-cadence fusion sweep — fast-weak (TPR {:.2}, w=1) + \
+         slow-strong (TPR {:.2} / FPR {:.2} every {} epochs, {:.0}% dropout, \
+         stale decay {})\n\
+         machine: {} benign + {} attacks over {} epochs, N* = {}\n\n{}",
+        cfg.base.tpr,
+        cfg.tier.slow_tpr,
+        cfg.tier.slow_fpr,
+        cfg.tier.slow_cadence,
+        100.0 * cfg.tier.slow_dropout,
+        cfg.tier.stale_decay,
+        cfg.base.benign_procs,
+        cfg.base.attacks,
+        cfg.base.epochs,
+        cfg.base.n_star,
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +447,74 @@ mod tests {
         let r = run(&EnsembleConfig::quick());
         for key in ["screen", "confirmer", "two-level", "panel", "duty"] {
             assert!(r.report.contains(key), "missing {key}");
+        }
+    }
+
+    /// The acceptance bar of the fusion tier: the heterogeneous ensemble
+    /// kills every staged attack at every swept weight...
+    #[test]
+    fn fusion_sweep_kills_every_attack_at_every_weight() {
+        let r = run_fusion(&FusionSweepConfig::quick());
+        for p in &r.points {
+            assert_eq!(
+                p.attacks_terminated, 3,
+                "slow weight {:?} missed an attack",
+                p.slow_weight
+            );
+            assert!(p.mean_epochs_to_kill.is_finite());
+            assert!(p.fusion.verdicts > 0);
+        }
+    }
+
+    /// ...at a wrongful-response rate no worse than trusting the fast-weak
+    /// detector alone — at *every* weight, not just the best one.
+    #[test]
+    fn fused_wrongful_rate_never_exceeds_the_fast_weak_baseline() {
+        let r = run_fusion(&FusionSweepConfig::quick());
+        assert!(
+            r.baseline.benign_killed_pct > 0.0,
+            "the fast-weak baseline should be visibly trigger-happy"
+        );
+        for p in &r.points {
+            assert!(
+                p.benign_killed_pct <= r.baseline.benign_killed_pct,
+                "slow weight {:?}: fused {}% vs baseline {}%",
+                p.slow_weight,
+                p.benign_killed_pct,
+                r.baseline.benign_killed_pct
+            );
+        }
+    }
+
+    /// Up-weighting the precise slow member shifts kill authority away
+    /// from fast-member bursts: the heaviest weight must wrongfully kill
+    /// no more than the lightest.
+    #[test]
+    fn heavier_slow_weight_does_not_cost_more_benign_kills() {
+        let r = run_fusion(&FusionSweepConfig::quick());
+        let first = r.points.first().expect("non-empty sweep");
+        let last = r.points.last().expect("non-empty sweep");
+        assert!(last.benign_killed_pct <= first.benign_killed_pct);
+    }
+
+    #[test]
+    fn fusion_sweep_is_deterministic() {
+        let cfg = FusionSweepConfig::quick();
+        let a = run_fusion(&cfg);
+        let b = run_fusion(&cfg);
+        assert_eq!(a.baseline, b.baseline);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn fusion_sweep_report_renders() {
+        let r = run_fusion(&FusionSweepConfig::quick());
+        assert!(r.report.contains("Heterogeneous-cadence fusion sweep"));
+        assert!(r.report.contains("(baseline)"));
+        assert_eq!(r.points.len(), 4);
+        for w in ["0.5", "1", "2", "4"] {
+            assert!(r.report.contains(w), "missing weight {w}");
         }
     }
 }

@@ -174,6 +174,10 @@ pub struct FleetScaleResult {
     pub substrate_machines: usize,
     /// Mean cost of booting one machine against the shared corpus, µs.
     pub substrate_boot_us: f64,
+    /// Fusion-tier counters merged across every machine's engine (the
+    /// binary detector tier absorbs no verdicts, so only the
+    /// escalation-ladder transitions are non-zero here).
+    pub fusion_stats: valkyrie_core::FusionStats,
     /// Rendered report.
     pub report: String,
 }
@@ -503,6 +507,14 @@ pub fn run(cfg: &FleetScaleConfig) -> FleetScaleResult {
         "engine throughput".into(),
         format!("{:.2} Mobs/s", observations_per_sec / 1e6),
     ]);
+    let fusion_stats = fleet.fusion_stats();
+    t.row(vec![
+        "fusion verdicts/stale-decayed/escalations".into(),
+        format!(
+            "{}/{}/{}",
+            fusion_stats.verdicts, fusion_stats.stale_decayed, fusion_stats.escalations
+        ),
+    ]);
     t.row(vec![
         "substrate boot".into(),
         format!(
@@ -550,6 +562,7 @@ pub fn run(cfg: &FleetScaleConfig) -> FleetScaleResult {
         observations_per_sec,
         substrate_machines: cfg.substrate_machines,
         substrate_boot_us,
+        fusion_stats,
         report,
     }
 }

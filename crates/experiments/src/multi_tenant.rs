@@ -34,8 +34,9 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use valkyrie_core::hash::jitter64;
 use valkyrie_core::{
-    Action, AssessmentFn, Classification, EngineConfig, ExecutionMode, IngestStats, OverflowPolicy,
-    ProcessId, ProcessState, ShardedEngine, ShareActuator,
+    Action, AssessmentFn, Classification, EngineConfig, EscalationLadder, ExecutionMode,
+    FusionConfig, FusionStats, IngestStats, OverflowPolicy, ProcessId, ProcessState, ShardedEngine,
+    ShareActuator, Verdict,
 };
 use valkyrie_workloads::fleet_roster;
 
@@ -70,6 +71,17 @@ pub struct MultiTenantConfig {
     /// verdict publication through the ingest rings); `None` keeps the
     /// synchronous batch-per-tick driver. See the [module docs](self).
     pub ingest: Option<AsyncIngest>,
+    /// `Some` replaces the single binary detector with a **fused
+    /// heterogeneous pair**: the fast-weak per-epoch stream (detector 0,
+    /// raw `tpr`/`burst_prob` rates, no verdict-grade sharpening) plus a
+    /// slow-strong member (detector 1) publishing every
+    /// [`FusionTier::slow_cadence`] epochs. Each member publishes
+    /// [`Verdict`]s over its own [`IngestPublisher`] and the engine fuses
+    /// them under the graduated escalation ladder. Mutually exclusive with
+    /// `ingest`.
+    ///
+    /// [`IngestPublisher`]: valkyrie_core::IngestPublisher
+    pub fusion: Option<FusionTier>,
 }
 
 /// The async detector tier's shape: how late verdicts are published, and
@@ -101,6 +113,49 @@ impl Default for AsyncIngest {
     }
 }
 
+/// The fused heterogeneous detector pair: a fast-weak member answering
+/// every epoch and a slow-strong member answering every `slow_cadence`
+/// epochs (occasionally skipping a window entirely), combined by the
+/// engine's weighted-evidence fusion under the graduated escalation
+/// ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionTier {
+    /// Fusion weight of the fast-weak per-epoch member (detector 0).
+    pub fast_weight: f64,
+    /// Fusion weight of the slow-strong member (detector 1).
+    pub slow_weight: f64,
+    /// Epochs between the slow member's publications.
+    pub slow_cadence: u32,
+    /// Per-window probability that the slow member flags an attack.
+    pub slow_tpr: f64,
+    /// Per-window probability that the slow member flags a benign process.
+    pub slow_fpr: f64,
+    /// Probability the slow member skips a publication window outright
+    /// (model overload / preemption). Its held verdict then outlives its
+    /// cadence and is staleness-decayed by the fusion table.
+    pub slow_dropout: f64,
+    /// Per-epoch decay applied to a member's weight once its verdict is
+    /// older than its cadence ([`valkyrie_core::stale_weight`]).
+    pub stale_decay: f64,
+    /// Verdict-ingest ring capacity, in verdicts per shard.
+    pub capacity: usize,
+}
+
+impl Default for FusionTier {
+    fn default() -> Self {
+        Self {
+            fast_weight: 1.0,
+            slow_weight: 2.0,
+            slow_cadence: 4,
+            slow_tpr: 0.95,
+            slow_fpr: 0.02,
+            slow_dropout: 0.15,
+            stale_decay: 0.5,
+            capacity: 4096,
+        }
+    }
+}
+
 impl Default for MultiTenantConfig {
     fn default() -> Self {
         Self {
@@ -115,6 +170,7 @@ impl Default for MultiTenantConfig {
             seed: 0x007E_4A47,
             execution: ExecutionMode::ScopedSpawn,
             ingest: None,
+            fusion: None,
         }
     }
 }
@@ -137,6 +193,16 @@ impl MultiTenantConfig {
     pub fn quick_async() -> Self {
         Self {
             ingest: Some(AsyncIngest::default()),
+            ..Self::quick()
+        }
+    }
+
+    /// [`Self::quick`] with a fast-**weak** per-epoch member (70% TPR)
+    /// fused with the default slow-strong member.
+    pub fn quick_fused() -> Self {
+        Self {
+            tpr: 0.70,
+            fusion: Some(FusionTier::default()),
             ..Self::quick()
         }
     }
@@ -167,6 +233,10 @@ pub struct MultiTenantResult {
     pub observations_per_sec: f64,
     /// Ingest-tier counters (async runs only).
     pub ingest: Option<IngestStats>,
+    /// Fusion-tier counters: per-detector verdicts absorbed, staleness
+    /// decays and escalation-ladder transitions. All zero except
+    /// `escalations` when the run is binary (no [`FusionTier`]).
+    pub fusion_stats: FusionStats,
     /// Rendered report.
     pub report: String,
 }
@@ -204,14 +274,25 @@ struct AttackProc {
 
 /// Runs the multi-tenant machine.
 pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
-    let config = EngineConfig::builder()
+    assert!(
+        cfg.ingest.is_none() || cfg.fusion.is_none(),
+        "the async and fused detector tiers are mutually exclusive"
+    );
+    let mut builder = EngineConfig::builder()
         .measurements_required(cfg.n_star)
         .penalty(AssessmentFn::incremental())
         .compensation(AssessmentFn::incremental())
         .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
-        .cyclic(true)
-        .build()
-        .expect("valid multi-tenant config");
+        .cyclic(true);
+    if let Some(ft) = cfg.fusion {
+        builder = builder.fusion(FusionConfig {
+            weights: vec![ft.fast_weight, ft.slow_weight],
+            default_weight: 1.0,
+            stale_decay: ft.stale_decay,
+            ladder: EscalationLadder::graduated(),
+        });
+    }
+    let config = builder.build().expect("valid multi-tenant config");
     let mut engine = ShardedEngine::with_mode(
         config,
         cfg.shards.max(1),
@@ -254,6 +335,15 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
     let publisher = cfg
         .ingest
         .map(|ai| engine.enable_ingest(ai.capacity, ai.policy));
+    // The fused tier: each member publishes over its **own** publisher
+    // handle into the shared verdict rings, at its own cadence.
+    let fusion_pubs = cfg.fusion.map(|ft| {
+        let fast = engine.enable_verdict_ingest(ft.capacity, OverflowPolicy::Block);
+        let slow = engine
+            .verdict_publisher()
+            .expect("verdict ingest just enabled");
+        (fast, slow)
+    });
     let mut pending: Vec<Vec<ProcessId>> = cfg
         .ingest
         .map(|ai| vec![Vec::new(); (ai.delay + ai.jitter + 1) as usize])
@@ -310,50 +400,90 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
 
         let purged_before = engine.purged_total();
         let t0 = Instant::now();
-        let responses = match (&publisher, cfg.ingest) {
-            (Some(publisher), Some(ai)) => {
-                // Schedule this epoch's measurements for late, jittery
-                // verdict publication...
-                for &pid in &measured {
-                    let idx = pid.0 as usize;
-                    let at = (epoch + ai.delay + publish_jitter(pid, epoch, ai.jitter))
-                        .max(next_pub[idx]);
-                    next_pub[idx] = at + 1;
-                    let slot = (at % pending.len() as u64) as usize;
-                    pending[slot].push(pid);
-                }
-                // ...finalise and publish the verdicts whose inference
-                // latency has elapsed (skipping processes that died or
-                // completed while the measurement was in flight)...
-                let due = (epoch % pending.len() as u64) as usize;
-                let due_pids = std::mem::take(&mut pending[due]);
-                for &pid in &due_pids {
-                    let idx = pid.0 as usize;
-                    let live = if idx < benign.len() {
-                        !benign[idx].killed && !benign[idx].completed
-                    } else {
-                        attacks[idx - benign.len()].killed_at.is_none()
-                    };
-                    if live {
-                        let inference = verdict(pid, &benign, &attacks, &mut rng);
-                        publisher.publish(pid, inference);
-                    }
-                }
-                pending[due] = {
-                    let mut reclaimed = due_pids;
-                    reclaimed.clear();
-                    reclaimed
+        let responses = if let (Some((fast_pub, slow_pub)), Some(ft)) = (&fusion_pubs, cfg.fusion) {
+            // The fast-weak member answers every epoch with its raw rates
+            // (no verdict-grade sharpening — accumulating efficacy is the
+            // slow member's job); the slow-strong member answers on its own
+            // cadence and occasionally drops a window, leaving its held
+            // verdict to staleness-decay inside the fusion table.
+            let slow_window = epoch.is_multiple_of(u64::from(ft.slow_cadence.max(1)));
+            for &pid in &measured {
+                let idx = pid.0 as usize;
+                let fast_prob = if idx < benign.len() {
+                    benign[idx].burst_prob
+                } else {
+                    cfg.tpr
                 };
-                // ...and tick on schedule, whatever has arrived.
-                engine.drain_tick()
-            }
-            _ => {
-                batch.clear();
-                for &pid in &measured {
-                    let inference = verdict(pid, &benign, &attacks, &mut rng);
-                    batch.push((pid, inference));
+                let fast_conf = if rng.gen::<f64>() < fast_prob {
+                    1.0
+                } else {
+                    0.0
+                };
+                fast_pub.publish(pid, Verdict::new(0, fast_conf));
+                if slow_window && rng.gen::<f64>() >= ft.slow_dropout {
+                    let slow_prob = if idx < benign.len() {
+                        ft.slow_fpr
+                    } else {
+                        ft.slow_tpr
+                    };
+                    let slow_conf = if rng.gen::<f64>() < slow_prob {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    slow_pub.publish(
+                        pid,
+                        Verdict::new(1, slow_conf).with_cadence(ft.slow_cadence),
+                    );
                 }
-                engine.tick(&batch)
+            }
+            engine.drain_tick()
+        } else {
+            match (&publisher, cfg.ingest) {
+                (Some(publisher), Some(ai)) => {
+                    // Schedule this epoch's measurements for late, jittery
+                    // verdict publication...
+                    for &pid in &measured {
+                        let idx = pid.0 as usize;
+                        let at = (epoch + ai.delay + publish_jitter(pid, epoch, ai.jitter))
+                            .max(next_pub[idx]);
+                        next_pub[idx] = at + 1;
+                        let slot = (at % pending.len() as u64) as usize;
+                        pending[slot].push(pid);
+                    }
+                    // ...finalise and publish the verdicts whose inference
+                    // latency has elapsed (skipping processes that died or
+                    // completed while the measurement was in flight)...
+                    let due = (epoch % pending.len() as u64) as usize;
+                    let due_pids = std::mem::take(&mut pending[due]);
+                    for &pid in &due_pids {
+                        let idx = pid.0 as usize;
+                        let live = if idx < benign.len() {
+                            !benign[idx].killed && !benign[idx].completed
+                        } else {
+                            attacks[idx - benign.len()].killed_at.is_none()
+                        };
+                        if live {
+                            let inference = verdict(pid, &benign, &attacks, &mut rng);
+                            publisher.publish(pid, inference);
+                        }
+                    }
+                    pending[due] = {
+                        let mut reclaimed = due_pids;
+                        reclaimed.clear();
+                        reclaimed
+                    };
+                    // ...and tick on schedule, whatever has arrived.
+                    engine.drain_tick()
+                }
+                _ => {
+                    batch.clear();
+                    for &pid in &measured {
+                        let inference = verdict(pid, &benign, &attacks, &mut rng);
+                        batch.push((pid, inference));
+                    }
+                    engine.tick(&batch)
+                }
             }
         };
         engine_time += t0.elapsed();
@@ -454,12 +584,44 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
             format!("{}/{}", stats.dropped, stats.coalesced),
         ]);
     }
-    let detector_tier = match cfg.ingest {
-        Some(ai) => format!(
-            "async detectors: {} + 0..={} epochs latency, {:?} rings of {}/shard",
-            ai.delay, ai.jitter, ai.policy, ai.capacity
+    let fusion_stats = engine.fusion_stats();
+    t.row(vec![
+        "fusion verdicts/stale-decayed/escalations".into(),
+        format!(
+            "{}/{}/{}",
+            fusion_stats.verdicts, fusion_stats.stale_decayed, fusion_stats.escalations
         ),
-        None => "synchronous detectors".to_string(),
+    ]);
+    if cfg.fusion.is_some() {
+        t.row(vec![
+            "fusion verdicts per detector".into(),
+            fusion_stats
+                .per_detector
+                .iter()
+                .enumerate()
+                .map(|(id, n)| format!("d{id}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    let detector_tier = if let Some(ft) = cfg.fusion {
+        format!(
+            "fused detectors: fast w={} every epoch + slow w={} every {} epochs \
+             ({:.0}% dropout, stale decay {})",
+            ft.fast_weight,
+            ft.slow_weight,
+            ft.slow_cadence,
+            100.0 * ft.slow_dropout,
+            ft.stale_decay
+        )
+    } else {
+        match cfg.ingest {
+            Some(ai) => format!(
+                "async detectors: {} + 0..={} epochs latency, {:?} rings of {}/shard",
+                ai.delay, ai.jitter, ai.policy, ai.capacity
+            ),
+            None => "synchronous detectors".to_string(),
+        }
     };
     let report = format!(
         "Multi-tenant machine — {} benign + {} attacks over {} epochs, \
@@ -472,7 +634,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         cfg.execution,
         cfg.n_star,
         observations,
-        if cfg.ingest.is_some() {
+        if cfg.ingest.is_some() || cfg.fusion.is_some() {
             "drain_tick"
         } else {
             "tick"
@@ -493,6 +655,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         observations,
         observations_per_sec,
         ingest: ingest_stats,
+        fusion_stats,
         report,
     }
 }
@@ -639,6 +802,72 @@ mod tests {
         assert_eq!(scoped.observations, pooled.observations);
         assert_eq!(scoped.purged, pooled.purged);
         assert_eq!(scoped.ingest, pooled.ingest);
+    }
+
+    /// The fused pair: a fast-weak member (70% TPR, bursty-benign FPR)
+    /// alone would be unusable, but fused with the slow-strong member it
+    /// still kills every attack — and the graduated ladder only kills when
+    /// the weighted evidence mass is overwhelming.
+    #[test]
+    fn fused_tier_kills_every_attack() {
+        let r = run(&MultiTenantConfig::quick_fused());
+        assert_eq!(r.attacks_terminated, 3);
+        assert!(r.fusion_stats.verdicts > 0);
+        assert!(r.fusion_stats.per_detector.len() >= 2);
+        // The slow member publishes every 4th window, minus dropouts.
+        assert!(r.fusion_stats.per_detector[1] < r.fusion_stats.per_detector[0]);
+        assert!(
+            r.fusion_stats.stale_decayed > 0,
+            "dropout windows must age some held verdicts past their cadence"
+        );
+        assert!(r.fusion_stats.escalations > 0);
+        assert!(r.report.contains("fused detectors"));
+        assert!(r.report.contains("fusion verdicts per detector"));
+    }
+
+    /// Requiring corroborated evidence mass (> 0.85 under the graduated
+    /// ladder) means a fast-member burst alone can never kill: the fused
+    /// wrongful-termination rate stays far below the fast member's FPR.
+    #[test]
+    fn fused_tier_protects_the_fleet() {
+        let r = run(&MultiTenantConfig::quick_fused());
+        assert!(r.benign_killed_pct < 5.0, "{}", r.benign_killed_pct);
+    }
+
+    #[test]
+    fn fused_tier_is_deterministic() {
+        let cfg = MultiTenantConfig::quick_fused();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.attacks_terminated, b.attacks_terminated);
+        assert_eq!(a.mean_epochs_to_kill, b.mean_epochs_to_kill);
+        assert_eq!(a.benign_killed_pct, b.benign_killed_pct);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.fusion_stats, b.fusion_stats);
+    }
+
+    #[test]
+    fn fused_tier_outcome_is_execution_mode_invariant() {
+        let base = MultiTenantConfig::quick_fused();
+        let scoped = run(&base);
+        let pooled = run(&MultiTenantConfig {
+            execution: ExecutionMode::Pool,
+            ..base
+        });
+        assert_eq!(scoped.attacks_terminated, pooled.attacks_terminated);
+        assert_eq!(scoped.mean_epochs_to_kill, pooled.mean_epochs_to_kill);
+        assert_eq!(scoped.benign_killed_pct, pooled.benign_killed_pct);
+        assert_eq!(scoped.fusion_stats, pooled.fusion_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn fused_and_async_tiers_cannot_be_combined() {
+        let cfg = MultiTenantConfig {
+            fusion: Some(FusionTier::default()),
+            ..MultiTenantConfig::quick_async()
+        };
+        let _ = run(&cfg);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use valkyrie_core::hash::FxBuildHasher;
 use valkyrie_core::ProcessId;
 use valkyrie_core::{
     Action, Classification, EngineConfig, EngineResponse, ExecutionMode, OverflowPolicy,
-    ProcessState, ShardedEngine,
+    ProcessState, ShardedEngine, Verdict,
 };
 use valkyrie_detect::Detector;
 use valkyrie_hpc::SampleWindow;
@@ -77,6 +77,14 @@ pub struct ScenarioConfig {
     /// [`OverflowPolicy::Block`] and adequate capacity the histories are
     /// bit-for-bit identical to the synchronous path.
     pub ingest: Option<IngestOptions>,
+    /// When `true`, each epoch's inference is the detector's *confidence*
+    /// ([`valkyrie_detect::Detector::infer_confidence`]) carried as a
+    /// [`Verdict`] (detector id 0) into the engine's weighted-evidence
+    /// fusion path — weights, staleness decay and the escalation ladder
+    /// come from the [`EngineConfig`]'s fusion settings. With the binary
+    /// ladder and a detector reporting extreme confidences, histories are
+    /// bit-for-bit identical to the classification path.
+    pub confidence: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -87,6 +95,7 @@ impl Default for ScenarioConfig {
             shards: 1,
             execution: ExecutionMode::ScopedSpawn,
             ingest: None,
+            confidence: false,
         }
     }
 }
@@ -117,6 +126,7 @@ pub struct AugmentedRun<D: Detector> {
     history: HashMap<Pid, Vec<EpochRecord>, FxBuildHasher>,
     /// Per-epoch scratch, reused across steps.
     batch: Vec<(ProcessId, Classification)>,
+    verdict_batch: Vec<(ProcessId, Verdict)>,
     progress: Vec<(Pid, f64, bool)>,
     reports: Vec<(Pid, EpochReport)>,
     responses: Vec<EngineResponse>,
@@ -138,7 +148,11 @@ impl<D: Detector> AugmentedRun<D> {
         let mut engine =
             ShardedEngine::with_mode(engine_config, config.shards.max(1), 0, config.execution);
         if let Some(opts) = config.ingest {
-            let _ = engine.enable_ingest(opts.capacity, opts.policy);
+            if config.confidence {
+                let _ = engine.enable_verdict_ingest(opts.capacity, opts.policy);
+            } else {
+                let _ = engine.enable_ingest(opts.capacity, opts.policy);
+            }
         }
         Self {
             machine,
@@ -148,6 +162,7 @@ impl<D: Detector> AugmentedRun<D> {
             windows: HashMap::default(),
             history: HashMap::default(),
             batch: Vec::new(),
+            verdict_batch: Vec::new(),
             progress: Vec::new(),
             reports: Vec::new(),
             responses: Vec::new(),
@@ -202,8 +217,10 @@ impl<D: Detector> AugmentedRun<D> {
         self.machine.run_epoch_into(&mut reports);
 
         // Detection phase: one inference per watched live process, in
-        // deterministic (ascending pid) order.
+        // deterministic (ascending pid) order — a binary classification,
+        // or (confidence mode) a weighted-evidence verdict.
         self.batch.clear();
+        self.verdict_batch.clear();
         self.progress.clear();
         for &(pid, ref report) in &reports {
             let Some(window) = self.windows.get_mut(&pid) else {
@@ -214,8 +231,14 @@ impl<D: Detector> AugmentedRun<D> {
             // enactment phase below — every reported pid is still alive or
             // has just completed.
             window.push(report.hpc);
-            let inference = self.detector.infer(pid.into(), window);
-            self.batch.push((pid.into(), inference));
+            if self.config.confidence {
+                let confidence = self.detector.infer_confidence(pid.into(), window);
+                self.verdict_batch
+                    .push((pid.into(), Verdict::new(0, confidence)));
+            } else {
+                let inference = self.detector.infer(pid.into(), window);
+                self.batch.push((pid.into(), inference));
+            }
             self.progress.push((pid, report.progress, report.completed));
         }
 
@@ -224,7 +247,19 @@ impl<D: Detector> AugmentedRun<D> {
         // and drained back (same responses in publish order; see
         // `ScenarioConfig::ingest`).
         let mut responses = std::mem::take(&mut self.responses);
-        if self.engine.ingest_enabled() {
+        if self.config.confidence {
+            if self.engine.verdict_ingest_enabled() {
+                for &(pid, verdict) in &self.verdict_batch {
+                    let _ = self.engine.ingest_verdict(pid, verdict);
+                }
+                responses = self.engine.drain_batch();
+            } else {
+                responses = self.engine.observe_verdict_batch(&self.verdict_batch);
+            }
+            // Fused responses come back grouped shard-by-shard; the
+            // enactment cursor expects batch (ascending-pid) order.
+            responses.sort_unstable_by_key(|r| r.pid.0);
+        } else if self.engine.ingest_enabled() {
             for &(pid, inference) in &self.batch {
                 let _ = self.engine.ingest(pid, inference);
             }
@@ -500,5 +535,68 @@ mod tests {
         let ingest_pool = run_with(Some(IngestOptions::default()), ExecutionMode::Pool);
         assert_eq!(sync, ingest);
         assert_eq!(sync, ingest_pool);
+    }
+
+    /// The weighted-evidence plumbing degenerates exactly: confidence mode
+    /// with the binary escalation ladder and unit weights leaves histories
+    /// bit-for-bit identical to the classification path — synchronously
+    /// and through the verdict ingest rings.
+    #[test]
+    fn confidence_path_matches_the_binary_scenario() {
+        use valkyrie_core::{EscalationLadder, FusionConfig};
+        let run_with = |confidence: bool, ingest: Option<IngestOptions>| {
+            let machine = Machine::new(MachineConfig::default());
+            let detector = ScriptedDetector::cycle(vec![
+                Classification::Malicious,
+                Classification::Malicious,
+                Classification::Benign,
+            ]);
+            let mut config = EngineConfig::builder()
+                .measurements_required(8)
+                .penalty(AssessmentFn::incremental())
+                .compensation(AssessmentFn::incremental())
+                .actuator(ShareActuator::scheduler_weight(0.1, 0.01));
+            if confidence {
+                // Unit weights + binary ladder = the degenerate fusion
+                // config that pins legacy behaviour.
+                config = config.fusion(FusionConfig {
+                    weights: Vec::new(),
+                    default_weight: 1.0,
+                    stale_decay: 1.0,
+                    ladder: EscalationLadder::BINARY,
+                });
+            }
+            let mut run = AugmentedRun::new(
+                machine,
+                config.build().unwrap(),
+                detector,
+                ScenarioConfig {
+                    shards: 4,
+                    ingest,
+                    confidence,
+                    ..ScenarioConfig::default()
+                },
+            );
+            let attack = run.machine_mut().spawn(Box::new(Cryptominer::default()));
+            run.watch(attack);
+            let mut pids = vec![attack];
+            for mut spec in roster().into_iter().take(8) {
+                spec.epochs_to_complete = 30;
+                let pid = run
+                    .machine_mut()
+                    .spawn(Box::new(BenchmarkWorkload::new(spec)));
+                run.watch(pid);
+                pids.push(pid);
+            }
+            run.run(15);
+            pids.iter()
+                .map(|&pid| run.history(pid).to_vec())
+                .collect::<Vec<_>>()
+        };
+        let binary = run_with(false, None);
+        let fused = run_with(true, None);
+        let fused_ingest = run_with(true, Some(IngestOptions::default()));
+        assert_eq!(binary, fused);
+        assert_eq!(binary, fused_ingest);
     }
 }

@@ -73,6 +73,30 @@ fn capture_fleet_scale() -> (usize, f64, u64, u64, u64, u64, u64, u64, u64, u64)
     )
 }
 
+/// The fusion sweep flattened to one row per point (baseline first):
+/// `(slow_weight, attacks_terminated, mean_epochs_to_kill,
+/// benign_killed_pct, benign_completed, verdicts, stale_decayed,
+/// escalations)`.
+#[allow(clippy::type_complexity)]
+fn capture_fusion_sweep() -> Vec<(Option<f64>, usize, f64, f64, usize, u64, u64, u64)> {
+    let r = x::ensemble::run_fusion(&x::ensemble::FusionSweepConfig::quick());
+    std::iter::once(&r.baseline)
+        .chain(r.points.iter())
+        .map(|p| {
+            (
+                p.slow_weight,
+                p.attacks_terminated,
+                p.mean_epochs_to_kill,
+                p.benign_killed_pct,
+                p.benign_completed,
+                p.fusion.verdicts,
+                p.fusion.stale_decayed,
+                p.fusion.escalations,
+            )
+        })
+        .collect()
+}
+
 /// One efficacy curve flattened to `(measurements, f1, fpr)` triples.
 fn curve_rows(curve: &valkyrie_core::EfficacyCurve) -> Vec<(u32, f64, f64)> {
     curve
@@ -140,6 +164,10 @@ fn print_golden_values() {
     let fs = capture_fleet_scale();
     println!("// --- fleet_scale quick ---");
     println!("    {fs:?}");
+    println!("// --- fusion sweep quick (baseline first) ---");
+    for row in capture_fusion_sweep() {
+        println!("    {row:?},");
+    }
 }
 
 #[test]
@@ -313,6 +341,58 @@ fn multi_tenant_async_ingest_rates_are_bit_identical_to_seed() {
     assert_eq!(got.5, expected.5);
     assert_eq!(got.6, expected.6);
     assert_eq!(got.7, expected.7);
+}
+
+/// The heterogeneous-cadence fusion sweep's quick counters, pinned at the
+/// PR that introduced the weighted-evidence verdict path. The baseline row
+/// (`None`) is the single fast-weak binary detector: 77% of the benign
+/// fleet wrongfully killed at verdict FPR 0.20. Every fused point kills
+/// the same 3/3 attacks at a wrongful rate 30–60× lower — the
+/// fast-weak + slow-strong composition carrying the false-positive
+/// budget. All draws come from the seeded `StdRng` streams, so the
+/// counters are bit-stable across platforms, shard counts and execution
+/// modes.
+#[test]
+fn fusion_sweep_counters_are_bit_identical_to_seed() {
+    #[allow(clippy::type_complexity)]
+    let expected: &[(Option<f64>, usize, f64, f64, usize, u64, u64, u64)] = &[
+        (None, 3, 18.333333333333332, 77.0, 0, 0, 0, 637),
+        (Some(0.5), 3, 11.0, 2.0, 0, 28896, 2646, 715),
+        (
+            Some(1.0),
+            3,
+            11.666666666666666,
+            2.3333333333333335,
+            0,
+            28854,
+            2682,
+            96,
+        ),
+        (Some(2.0), 3, 11.0, 2.0, 0, 28865, 2682, 190),
+        (Some(4.0), 3, 11.0, 1.3333333333333333, 0, 28903, 2676, 168),
+    ];
+    let got = capture_fusion_sweep();
+    assert_eq!(got.len(), expected.len());
+    for ((w, killed, epochs, pct, done, verdicts, stale, esc), (ew, ek, ee, ep, ed, ev, es, ec)) in
+        got.iter().zip(expected)
+    {
+        assert_eq!(w, ew, "slow weight grid");
+        assert_eq!(killed, ek, "{w:?}: attacks terminated");
+        assert_eq!(
+            epochs.to_bits(),
+            ee.to_bits(),
+            "{w:?}: epochs to kill {epochs:?} vs {ee:?}"
+        );
+        assert_eq!(
+            pct.to_bits(),
+            ep.to_bits(),
+            "{w:?}: benign killed {pct:?} vs {ep:?}"
+        );
+        assert_eq!(done, ed, "{w:?}: benign completed");
+        assert_eq!(verdicts, ev, "{w:?}: fused verdicts");
+        assert_eq!(stale, es, "{w:?}: stale-decayed");
+        assert_eq!(esc, ec, "{w:?}: escalations");
+    }
 }
 
 /// Fig. 1 efficacy curves (quick config) pinned before the batched/cached

@@ -310,3 +310,84 @@ fn delayed_detector_does_not_stall_the_epoch_driver() {
     assert!(killed_delayed >= killed_instant);
     assert!(killed_delayed < EPOCHS, "detection lag, not a stall");
 }
+
+/// Per-detector cadence under async verdict ingest: a three-member fused
+/// ensemble where two fast members publish every epoch and one slow,
+/// heavily weighted member reports only every `CADENCE` epochs **through
+/// its own publisher handle**, with its verdicts additionally `delay`
+/// reports late (`LatencyModel`). The fused kill can only happen once the
+/// slow member's first malicious confidence lands, so the first Terminate
+/// response shifts by exactly the fusion-predicted lag:
+/// `max(N* + 1, delay × CADENCE + 1)`.
+#[test]
+fn slow_member_cadence_shifts_the_first_response_by_the_predicted_lag() {
+    use valkyrie::core::{EscalationLadder, FusionConfig, Verdict};
+    use valkyrie::detect::{Detector, ScriptedDetector};
+    use valkyrie::hpc::SampleWindow;
+
+    const N_STAR: u64 = 2;
+    const CADENCE: u64 = 3;
+    const HORIZON: u64 = 40;
+
+    let kill_epoch = |delay: u64| -> u64 {
+        let config = EngineConfig::builder()
+            .measurements_required(N_STAR)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .fusion(FusionConfig {
+                // Two fast unit-weight members + one slow member heavy
+                // enough (6) that the graduated Kill rung (mass > 0.85)
+                // is out of reach until the slow member corroborates:
+                // fast-only mass = 2/8 = 0.25.
+                weights: vec![1.0, 1.0, 6.0],
+                default_weight: 1.0,
+                stale_decay: 1.0,
+                ladder: EscalationLadder::graduated(),
+            })
+            .build()
+            .unwrap();
+        let mut engine = ShardedEngine::with_mode(config, 4, 1, ExecutionMode::ScopedSpawn);
+        let fast_a = engine.enable_verdict_ingest(64, OverflowPolicy::Block);
+        let fast_b = engine.verdict_publisher().expect("verdict ingest enabled");
+        let slow_pub = engine.verdict_publisher().expect("verdict ingest enabled");
+        // The slow member: always-malicious, but each confidence matures
+        // only `delay` member-local reports after it was computed.
+        let mut slow =
+            LatencyModel::new(ScriptedDetector::constant(Classification::Malicious), delay);
+        let window = SampleWindow::new(4);
+        let pid = ProcessId(9);
+
+        for epoch in 1..=HORIZON {
+            assert!(fast_a.publish(pid, Verdict::new(0, 1.0)));
+            assert!(fast_b.publish(pid, Verdict::new(1, 1.0)));
+            if (epoch - 1).is_multiple_of(CADENCE) {
+                let confidence = slow.infer_confidence(pid, &window);
+                assert!(slow_pub.publish(
+                    pid,
+                    Verdict::new(2, confidence).with_cadence(CADENCE as u32)
+                ));
+            }
+            let responses = engine.drain_tick();
+            if responses
+                .iter()
+                .any(|r| r.pid == pid && r.action == Action::Terminate)
+            {
+                return epoch;
+            }
+        }
+        panic!("attack never terminated with delay {delay}");
+    };
+
+    let baseline = kill_epoch(0);
+    assert_eq!(baseline, N_STAR + 1, "instant slow member kills at N*+1");
+    for delay in [1u64, 2, 3] {
+        // The slow member's `delay` late reports land only at its cadence:
+        // the first malicious confidence publishes at epoch
+        // `delay × CADENCE + 1`, and the kill follows the same epoch.
+        let predicted = (N_STAR + 1).max(delay * CADENCE + 1);
+        assert_eq!(
+            kill_epoch(delay),
+            predicted,
+            "delay {delay}: first response must shift by the fusion-predicted lag"
+        );
+    }
+}

@@ -445,6 +445,87 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fusing uniformly weighted binary verdicts with a majority threshold
+    /// reproduces `CombinationRule::Majority` **bit-for-bit**: the
+    /// `FusionEngine` answers exactly like the legacy `EnsembleDetector`
+    /// across ensemble sizes {1, 3, 5}, and carrying the fused decision
+    /// through the engine's weighted-evidence verdict path (unit weight,
+    /// binary escalation ladder) leaves every response — threat values
+    /// included — identical to the legacy classification path across shard
+    /// counts {1, 2, 7}.
+    #[test]
+    fn unit_weight_majority_fusion_matches_legacy_ensemble(
+        scripts in prop::collection::vec(classification_seq(12), 5),
+        size_idx in 0usize..3,
+        shard_idx in 0usize..3,
+        n_star in 1u64..8,
+    ) {
+        use valkyrie::core::{EscalationLadder, FusionConfig, ShardedEngine, Verdict};
+        use valkyrie::detect::{
+            CombinationRule, Detector, EnsembleDetector, FusionEngine, ScriptedDetector,
+        };
+        use valkyrie::hpc::SampleWindow;
+
+        let size = [1usize, 3, 5][size_idx];
+        let shards = [1usize, 2, 7][shard_idx];
+        let epochs = 12usize;
+
+        let members = || -> Vec<Box<dyn Detector>> {
+            scripts[..size]
+                .iter()
+                .map(|s| Box::new(ScriptedDetector::cycle(s.clone())) as Box<dyn Detector>)
+                .collect()
+        };
+        let mut legacy = EnsembleDetector::new("legacy", members(), CombinationRule::Majority);
+        let mut fused = FusionEngine::from_rule("fused", members(), CombinationRule::Majority);
+
+        // Detector level: identical decisions, epoch by epoch.
+        let window = SampleWindow::new(4);
+        let pid = ProcessId(1);
+        let mut decisions = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let want = legacy.infer(pid, &window);
+            let got = fused.infer(pid, &window);
+            prop_assert_eq!(got, want);
+            decisions.push(want);
+        }
+
+        // Engine level: the fused decision stream, lifted into unit-weight
+        // verdicts under the binary ladder, yields bit-identical responses
+        // to the legacy binary path — across processes spread over shards.
+        let build = |fusion: Option<FusionConfig>| {
+            let mut b = EngineConfig::builder()
+                .measurements_required(n_star)
+                .actuator(ShareActuator::cpu_percent_point(0.10, 0.01));
+            if let Some(f) = fusion {
+                b = b.fusion(f);
+            }
+            ShardedEngine::new(b.build().unwrap(), shards)
+        };
+        let mut binary_engine = build(None);
+        let mut verdict_engine = build(Some(FusionConfig {
+            weights: Vec::new(),
+            default_weight: 1.0,
+            stale_decay: 1.0,
+            ladder: EscalationLadder::BINARY,
+        }));
+        for e in 0..epochs {
+            let mut bin_batch = Vec::new();
+            let mut ver_batch = Vec::new();
+            for p in 0..5u64 {
+                let d = decisions[(e + p as usize) % epochs];
+                bin_batch.push((ProcessId(p), d));
+                ver_batch.push((ProcessId(p), Verdict::from_classification(0, d)));
+            }
+            let mut a = binary_engine.observe_batch(&bin_batch);
+            let mut b = verdict_engine.observe_verdict_batch(&ver_batch);
+            a.sort_by_key(|r| r.pid.0);
+            b.sort_by_key(|r| r.pid.0);
+            prop_assert_eq!(a, b, "epoch {} diverged", e);
+        }
+    }
+
     /// The SoA filesystem's incremental `total_bytes`/`encrypted_bytes`/
     /// `encrypted_files` counters equal full scans over `size_of`/
     /// `is_encrypted` under arbitrary `push`/`generate`/`uniform`/
