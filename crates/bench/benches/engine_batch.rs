@@ -32,6 +32,11 @@
 //!   `sharded_x2N` this prices the extra machine-level partition/scatter
 //!   hop the cluster tier adds per tick.
 //!
+//! A separate `core/engine_batch_flood` group (`flood_x{1,4}`) drives the
+//! same 10k fleet through undersized defended rings while a `NoiseFlood`
+//! decoy stream forces the overflow path — pricing the priority lane +
+//! fair-queueing bookkeeping at full eviction pressure.
+//!
 //! Every variant replays the identical workload: the full fleet observed
 //! each tick, one in seven processes flagged on a rotating schedule so
 //! monitors keep moving through throttle/recover transitions without
@@ -43,6 +48,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use valkyrie_core::prelude::*;
+use valkyrie_workloads::NoiseFlood;
 
 fn engine_config(n_star: u64) -> EngineConfig {
     EngineConfig::builder()
@@ -230,6 +236,56 @@ fn bench_engine_batch_100k(c: &mut Criterion) {
     bench_fleet(c, "core/engine_batch_100k", 100_000);
 }
 
+/// The ingest rings under the noise-flood defense: undersized `DropOldest`
+/// rings with the priority lane + per-publisher fair queueing armed, a
+/// legit publisher racing a decoy flood from a second handle every epoch.
+/// Each tick publishes the 10k-process fleet, then a `NoiseFlood` decoy
+/// burst at every shard, then drains — so the eviction path, the
+/// heaviest-publisher scan and the two-lane seq merge all run every
+/// iteration. Against `ingest_xN` in `core/engine_batch_10k` (lossless
+/// rings, no flood, no defense) this prices the defended overflow path at
+/// its worst: every decoy is an eviction decision.
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/engine_batch_flood");
+    let n_star = 1_u64 << 40;
+    const PROCS: u64 = 10_000;
+    let ring: Vec<Vec<(ProcessId, Classification)>> =
+        (0..7).map(|epoch| tick_batch(PROCS, epoch)).collect();
+    for shards in [1usize, 4] {
+        group.bench_function(format!("flood_x{shards}").as_str(), |b| {
+            let mut engine =
+                ShardedEngine::with_capacity(engine_config(n_star), shards, PROCS as usize);
+            // Per-shard capacity below a tick's worth of traffic: the
+            // flood forces overflow — and therefore the fair-queueing
+            // eviction scan — on every single tick.
+            let publisher = engine.enable_ingest_defended(
+                4_096,
+                OverflowPolicy::DropOldest,
+                IngestDefense::full(),
+            );
+            let flood_pub = publisher.clone();
+            let flood = NoiseFlood::new(0xF100D, shards, (0..shards).collect()).with_rate(2_048);
+            // Decoy batches are a pure function of the epoch; like the
+            // legit ring they are assembled outside the timed closure.
+            let decoy_ring: Vec<Vec<(ProcessId, Classification)>> = (0..8)
+                .map(|epoch| {
+                    let mut out = Vec::new();
+                    flood.decoys_into(epoch, &mut out);
+                    out
+                })
+                .collect();
+            let mut epoch = 0usize;
+            b.iter(|| {
+                epoch += 1;
+                publisher.publish_batch(black_box(&ring[epoch % 7]));
+                flood_pub.publish_batch(black_box(&decoy_ring[epoch % 8]));
+                black_box(engine.drain_batch())
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The epoch driver with churn: attacks terminate and are purged while
 /// fresh pids keep arriving, so the map is exercised under registration +
 /// eviction pressure, not just steady-state lookups — in both execution
@@ -281,6 +337,7 @@ criterion_group!(
     bench_engine_batch_1k,
     bench_engine_batch_10k,
     bench_engine_batch_100k,
+    bench_flood,
     bench_tick_with_churn,
 );
 criterion_main!(benches);

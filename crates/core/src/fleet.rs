@@ -50,7 +50,7 @@ use crate::actuator::{Actuator, CompositeActuator};
 use crate::engine::{EngineConfig, EngineResponse};
 use crate::error::ValkyrieError;
 use crate::hash::shard_of;
-use crate::ingest::{IngestPublisher, OverflowPolicy};
+use crate::ingest::{CoalesceKey, IngestDefense, IngestPublisher, OverflowPolicy};
 use crate::resource::{ProcessId, ResourceVector};
 use crate::sharded::{
     partition_by_into, scatter_to_input_order, shrink_slot, ExecutionMode, ShardedEngine,
@@ -301,10 +301,28 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
     ///
     /// Panics if `capacity` is zero.
     pub fn enable_ingest(&mut self, capacity: usize, policy: OverflowPolicy) -> FleetPublisher {
+        self.enable_ingest_defended(capacity, policy, IngestDefense::default())
+    }
+
+    /// [`Self::enable_ingest`] with the overload defense configured per
+    /// group (see [`ShardedEngine::enable_ingest_defended`]). Each group's
+    /// rings get their own [`crate::ingest::ThreatHints`] fed back by that
+    /// group's engine — hints never cross machine-group boundaries, which
+    /// is fine because neither do a pid's observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_ingest_defended(
+        &mut self,
+        capacity: usize,
+        policy: OverflowPolicy,
+        defense: IngestDefense,
+    ) -> FleetPublisher {
         let publishers = self
             .groups
             .iter_mut()
-            .map(|group| group.enable_ingest(capacity, policy))
+            .map(|group| group.enable_ingest_defended(capacity, policy, defense))
             .collect();
         FleetPublisher {
             publishers: Arc::new(publishers),
@@ -332,15 +350,9 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
         self.groups
             .iter()
             .map(ShardedEngine::ingest_stats)
-            .try_fold(IngestStats::default(), |acc, stats| {
-                let stats = stats?;
-                Some(IngestStats {
-                    published: acc.published + stats.published,
-                    drained: acc.drained + stats.drained,
-                    dropped: acc.dropped + stats.dropped,
-                    coalesced: acc.coalesced + stats.coalesced,
-                    queued: acc.queued + stats.queued,
-                })
+            .try_fold(IngestStats::default(), |mut acc, stats| {
+                acc.merge(&stats?);
+                Some(acc)
             })
     }
 
@@ -357,10 +369,25 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
         capacity: usize,
         policy: OverflowPolicy,
     ) -> FleetPublisher<Verdict> {
+        self.enable_verdict_ingest_defended(capacity, policy, IngestDefense::default())
+    }
+
+    /// [`Self::enable_verdict_ingest`] with the overload defense configured
+    /// per group (see [`ShardedEngine::enable_verdict_ingest_defended`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_verdict_ingest_defended(
+        &mut self,
+        capacity: usize,
+        policy: OverflowPolicy,
+        defense: IngestDefense,
+    ) -> FleetPublisher<Verdict> {
         let publishers = self
             .groups
             .iter_mut()
-            .map(|group| group.enable_verdict_ingest(capacity, policy))
+            .map(|group| group.enable_verdict_ingest_defended(capacity, policy, defense))
             .collect();
         FleetPublisher {
             publishers: Arc::new(publishers),
@@ -393,15 +420,9 @@ impl<A: Actuator + Clone + Send> FleetEngine<A> {
         self.groups
             .iter()
             .map(ShardedEngine::verdict_ingest_stats)
-            .try_fold(IngestStats::default(), |acc, stats| {
-                let stats = stats?;
-                Some(IngestStats {
-                    published: acc.published + stats.published,
-                    drained: acc.drained + stats.drained,
-                    dropped: acc.dropped + stats.dropped,
-                    coalesced: acc.coalesced + stats.coalesced,
-                    queued: acc.queued + stats.queued,
-                })
+            .try_fold(IngestStats::default(), |mut acc, stats| {
+                acc.merge(&stats?);
+                Some(acc)
             })
     }
 
@@ -499,7 +520,7 @@ impl<P> Clone for FleetPublisher<P> {
     }
 }
 
-impl<P: Copy> FleetPublisher<P> {
+impl<P: CoalesceKey> FleetPublisher<P> {
     /// Publishes one observation for `pid` into its group's rings.
     /// Returns `false` — discarding the observation — only when that
     /// group's engine has closed or replaced its rings.

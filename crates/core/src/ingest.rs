@@ -50,6 +50,34 @@
 //! Every lost observation is counted and exposed through
 //! [`IngestStats`] — overload is visible, never silent.
 //!
+//! # Overload defense
+//!
+//! Bounded rings create their own attack surface: an adversary who can
+//! publish benign-looking observations — a compromised ensemble member, a
+//! tenant spamming decoy processes — can flood the rings until the
+//! overflow policy evicts the *real* verdicts, masking an attack inside
+//! the dropped window (a noise-floor DoS on the monitor itself).
+//! [`IngestDefense`] hardens the rings with two orthogonal mechanisms:
+//!
+//! * **Priority lanes** ([`IngestDefense::priority_lane`]): each ring
+//!   gains a second lane for pids the engine's own evidence already marks
+//!   suspicious, fed back through a shared [`ThreatHints`] handle.
+//!   Priority entries are drained first and are never evicted by
+//!   normal-lane overflow — once a process is on the escalation ladder,
+//!   no flood can silence the verdicts that decide its fate.
+//! * **Per-publisher fair queueing** ([`IngestDefense::fair_queueing`]):
+//!   every [`IngestPublisher`] handle carries an id, and overflow
+//!   evictions are charged to whoever is hogging the ring: a publisher
+//!   pushing past its fair share (`capacity / publisher handles`) evicts
+//!   its *own* oldest entry, and otherwise the heaviest backlog holder
+//!   pays — so one flooding publisher destroys its own decoys, not the
+//!   other members' verdicts. Redirected evictions are counted as
+//!   [`IngestStats::evictions_deflected`].
+//!
+//! With the defense enabled but the rings never full, drained results are
+//! bit-for-bit identical to the undefended `Block`-mode path (pinned by
+//! `tests/ingest.rs`): both mechanisms only act at the overflow boundary.
+//!
 //! # Examples
 //!
 //! ```
@@ -80,10 +108,134 @@
 
 use crate::resource::ProcessId;
 use crate::telemetry::IngestStats;
-use crate::threat::Classification;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use crate::threat::{Classification, Verdict};
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// The sub-key [`OverflowPolicy::Coalesce`] merges on, within a pid: two
+/// queued entries coalesce only when both the pid *and* this key match.
+///
+/// Binary [`Classification`]s share a single key — cyclic monitoring
+/// consumes one classification per process per epoch, so pid-only
+/// coalescing is the faithful semantics. [`Verdict`]s key by their
+/// detector id: ensemble members publish independently, and a fast
+/// member's verdict must never overwrite a *different* detector's queued
+/// verdict for the same pid (the fusion table needs one entry per member,
+/// not one per process).
+pub trait CoalesceKey: Copy {
+    /// The merge sub-key (default: one shared key, pid-only coalescing).
+    fn coalesce_key(&self) -> u32 {
+        0
+    }
+}
+
+impl CoalesceKey for Classification {}
+
+impl CoalesceKey for Verdict {
+    fn coalesce_key(&self) -> u32 {
+        self.detector
+    }
+}
+
+/// Which pids the engine's evidence table currently marks suspicious —
+/// the feedback channel from the response tier to the ingest rings'
+/// priority lane.
+///
+/// Shared (via `Arc`) between a [`ShardedEngine`] and every defended
+/// queue set it builds: the engine refreshes the set from its own
+/// responses each tick (Suspicious/Terminable pids are marked, pids that
+/// return to Normal or terminate are cleared), and publishes for marked
+/// pids route into the priority lane that overload can never evict.
+///
+/// [`ShardedEngine`]: crate::ShardedEngine
+#[derive(Debug, Default)]
+pub struct ThreatHints {
+    hot: RwLock<HashSet<u64>>,
+}
+
+impl ThreatHints {
+    /// A fresh, empty hint set behind a shared handle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Whether `pid` is currently marked suspicious.
+    pub fn is_hot(&self, pid: ProcessId) -> bool {
+        self.hot
+            .read()
+            .expect("threat hints poisoned")
+            .contains(&pid.0)
+    }
+
+    /// Marks `pid` suspicious; returns whether it was newly marked.
+    pub fn mark(&self, pid: ProcessId) -> bool {
+        self.hot
+            .write()
+            .expect("threat hints poisoned")
+            .insert(pid.0)
+    }
+
+    /// Clears `pid`'s mark; returns whether it was marked.
+    pub fn clear(&self, pid: ProcessId) -> bool {
+        self.hot
+            .write()
+            .expect("threat hints poisoned")
+            .remove(&pid.0)
+    }
+
+    /// Applies a batch of `(pid, mark)` updates under one lock
+    /// acquisition (`true` marks, `false` clears).
+    pub fn update(&self, updates: impl IntoIterator<Item = (ProcessId, bool)>) {
+        let mut hot = self.hot.write().expect("threat hints poisoned");
+        for (pid, mark) in updates {
+            if mark {
+                hot.insert(pid.0);
+            } else {
+                hot.remove(&pid.0);
+            }
+        }
+    }
+
+    /// How many pids are currently marked.
+    pub fn len(&self) -> usize {
+        self.hot.read().expect("threat hints poisoned").len()
+    }
+
+    /// Whether no pid is currently marked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which overload-defense mechanisms a queue set runs with (see the
+/// [module docs](self)). The default is everything off — the undefended
+/// PR 5 rings, byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestDefense {
+    /// Route observations for [`ThreatHints`]-marked pids into a separate
+    /// priority lane: drained first, never evicted by normal-lane
+    /// overflow.
+    pub priority_lane: bool,
+    /// Charge overflow evictions to the publisher hogging the ring
+    /// instead of whoever queued first.
+    pub fair_queueing: bool,
+}
+
+impl IngestDefense {
+    /// Both mechanisms on — the recommended hardened configuration.
+    pub fn full() -> Self {
+        Self {
+            priority_lane: true,
+            fair_queueing: true,
+        }
+    }
+
+    /// Whether any mechanism is enabled.
+    pub fn enabled(&self) -> bool {
+        self.priority_lane || self.fair_queueing
+    }
+}
 
 /// What a full per-shard ring does with the next published observation.
 /// See the [module docs](self) for when each policy fits.
@@ -108,11 +260,13 @@ pub enum OverflowPolicy {
     Coalesce,
 }
 
-/// One queued observation: the publish-order stamp plus the payload.
+/// One queued observation: the publish-order stamp, the publisher handle
+/// it arrived through, and the payload.
 #[derive(Debug, Clone, Copy)]
 struct QueuedObs<P> {
     seq: u64,
     pid: ProcessId,
+    publisher: u32,
     payload: P,
 }
 
@@ -120,18 +274,67 @@ struct QueuedObs<P> {
 #[derive(Debug)]
 struct RingState<P> {
     buf: VecDeque<QueuedObs<P>>,
+    /// The priority lane: entries for [`ThreatHints`]-marked pids. Its own
+    /// capacity budget; normal-lane overflow can never evict from it.
+    prio: VecDeque<QueuedObs<P>>,
+    /// Normal-lane entries per publisher id (fair-queueing bookkeeping;
+    /// maintained only when the defense runs with fair queueing).
+    occupancy: Vec<u32>,
     /// Observations evicted by `DropOldest` (or `Coalesce`'s fallback).
     dropped: u64,
-    /// Observations merged into an existing same-pid entry by `Coalesce`.
+    /// Observations merged into an existing same-(pid, key) entry by
+    /// `Coalesce`.
     coalesced: u64,
+    /// Observations accepted into the priority lane.
+    priority_queued: u64,
+    /// Evictions fair queueing redirected away from the naive victim.
+    evictions_deflected: u64,
+    /// Evictions charged per publisher id.
+    dropped_by_pub: Vec<u64>,
 }
 
 impl<P> Default for RingState<P> {
     fn default() -> Self {
         Self {
             buf: VecDeque::new(),
+            prio: VecDeque::new(),
+            occupancy: Vec::new(),
             dropped: 0,
             coalesced: 0,
+            priority_queued: 0,
+            evictions_deflected: 0,
+            dropped_by_pub: Vec::new(),
+        }
+    }
+}
+
+impl<P> RingState<P> {
+    /// Books one eviction against `publisher`.
+    fn charge_drop(&mut self, publisher: u32) {
+        self.dropped += 1;
+        let idx = publisher as usize;
+        if self.dropped_by_pub.len() <= idx {
+            self.dropped_by_pub.resize(idx + 1, 0);
+        }
+        self.dropped_by_pub[idx] += 1;
+    }
+
+    /// Normal-lane entries currently held by `publisher`.
+    fn occ(&self, publisher: u32) -> usize {
+        self.occupancy.get(publisher as usize).copied().unwrap_or(0) as usize
+    }
+
+    fn occ_inc(&mut self, publisher: u32) {
+        let idx = publisher as usize;
+        if self.occupancy.len() <= idx {
+            self.occupancy.resize(idx + 1, 0);
+        }
+        self.occupancy[idx] += 1;
+    }
+
+    fn occ_dec(&mut self, publisher: u32) {
+        if let Some(o) = self.occupancy.get_mut(publisher as usize) {
+            *o = o.saturating_sub(1);
         }
     }
 }
@@ -159,7 +362,7 @@ impl<P> Default for ShardRing<P> {
 ///
 /// Generic over the queued payload: the PR 5 binary path queues
 /// [`Classification`]s (the default), the fusion path queues
-/// [`Verdict`](crate::threat::Verdict)s — same rings, same overflow
+/// [`Verdict`]s — same rings, same overflow
 /// policies, same sequence-stamp merge discipline.
 ///
 /// Constructed by
@@ -171,10 +374,17 @@ pub struct IngestQueues<P = Classification> {
     rings: Vec<ShardRing<P>>,
     capacity: usize,
     policy: OverflowPolicy,
+    /// The overload-defense configuration (fixed at construction).
+    defense: IngestDefense,
+    /// The engine-fed suspicious-pid set the priority lane routes on.
+    hints: Arc<ThreatHints>,
     /// Global publish-order stamp. Allocated under the destination ring's
     /// lock so per-ring sequences are strictly increasing in application
     /// order (the property the drain merge relies on).
     seq: AtomicU64,
+    /// The next publisher id to hand out. Starts at 1: id 0 is reserved
+    /// for the engine's driver-side pushes, publisher handles take 1...
+    next_publisher: AtomicU32,
     published: AtomicU64,
     drained: AtomicU64,
     /// Set when the owning engine replaces or drops the queue set; wakes
@@ -183,27 +393,73 @@ pub struct IngestQueues<P = Classification> {
     closed: AtomicBool,
 }
 
-impl<P: Copy> IngestQueues<P> {
-    /// One ring per shard, each bounded to `capacity` observations.
+impl<P> IngestQueues<P> {
+    /// Registers a new publisher handle and returns its id.
+    pub(crate) fn register_publisher(&self) -> u32 {
+        self.next_publisher.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Publisher handles registered so far (driver-side id 0 excluded).
+    fn publisher_handles(&self) -> usize {
+        (self.next_publisher.load(Ordering::Relaxed) as usize).saturating_sub(1)
+    }
+
+    /// One publisher's fair share of a ring: `capacity / handles`,
+    /// never below one entry.
+    pub(crate) fn fair_share(&self) -> usize {
+        (self.capacity / self.publisher_handles().max(1)).max(1)
+    }
+}
+
+impl<P: CoalesceKey> IngestQueues<P> {
+    /// One ring per shard, each bounded to `capacity` observations, with
+    /// the overload defense off.
     ///
     /// # Panics
     ///
     /// Panics if `nshards` or `capacity` is zero.
+    #[cfg(test)]
     pub(crate) fn new(nshards: usize, capacity: usize, policy: OverflowPolicy) -> Arc<Self> {
+        Self::with_defense(
+            nshards,
+            capacity,
+            policy,
+            IngestDefense::default(),
+            ThreatHints::new(),
+        )
+    }
+
+    /// One ring per shard, each bounded to `capacity` observations, with
+    /// an explicit defense configuration and the engine-shared
+    /// [`ThreatHints`] handle the priority lane routes on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` or `capacity` is zero.
+    pub(crate) fn with_defense(
+        nshards: usize,
+        capacity: usize,
+        policy: OverflowPolicy,
+        defense: IngestDefense,
+        hints: Arc<ThreatHints>,
+    ) -> Arc<Self> {
         assert!(nshards > 0, "ingest needs at least one shard");
         assert!(capacity > 0, "ingest rings need a non-zero capacity");
         Arc::new(Self {
             rings: (0..nshards).map(|_| ShardRing::default()).collect(),
             capacity,
             policy,
+            defense,
+            hints,
             seq: AtomicU64::new(0),
+            next_publisher: AtomicU32::new(1),
             published: AtomicU64::new(0),
             drained: AtomicU64::new(0),
             closed: AtomicBool::new(false),
         })
     }
 
-    /// Ring capacity, in observations **per shard**.
+    /// Ring capacity, in observations **per shard, per lane**.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -213,17 +469,32 @@ impl<P: Copy> IngestQueues<P> {
         self.policy
     }
 
+    /// The overload-defense configuration.
+    pub fn defense(&self) -> IngestDefense {
+        self.defense
+    }
+
     /// Number of per-shard rings.
     pub(crate) fn shards(&self) -> usize {
         self.rings.len()
     }
 
-    /// Publishes one observation to shard `shard`'s ring, applying the
-    /// overflow policy if the ring is full. Returns `false` (observation
-    /// discarded) only when the queue set has been closed.
-    pub(crate) fn push(&self, shard: usize, pid: ProcessId, payload: P) -> bool {
+    /// Publishes one observation from publisher `publisher` to shard
+    /// `shard`'s ring, applying the overflow policy if the destination
+    /// lane is full. Returns `false` (observation discarded) only when
+    /// the queue set has been closed.
+    pub(crate) fn push(&self, publisher: u32, shard: usize, pid: ProcessId, payload: P) -> bool {
         let ring = &self.rings[shard];
         let mut state = ring.state.lock().expect("ingest ring poisoned");
+        // A closed queue rejects the publish before any overflow
+        // handling: an eviction on behalf of an observation that is about
+        // to be discarded anyway would destroy queued data for nothing.
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        if self.defense.priority_lane && self.hints.is_hot(pid) {
+            return self.push_priority(ring, state, publisher, pid, payload);
+        }
         if state.buf.len() >= self.capacity {
             match self.policy {
                 OverflowPolicy::Block => {
@@ -232,15 +503,26 @@ impl<P: Copy> IngestQueues<P> {
                     }
                 }
                 OverflowPolicy::DropOldest => {
-                    state.buf.pop_front();
-                    state.dropped += 1;
+                    self.evict_normal(&mut state, publisher, false);
                 }
                 OverflowPolicy::Coalesce => {
-                    if let Some(slot) = state.buf.iter_mut().rev().find(|o| o.pid == pid) {
-                        // Same pid already queued: keep its queue position,
-                        // take the newer verdict and publish-order stamp.
-                        slot.seq = self.seq.fetch_add(1, Ordering::Relaxed);
-                        slot.payload = payload;
+                    let key = payload.coalesce_key();
+                    if let Some(i) = state
+                        .buf
+                        .iter()
+                        .rposition(|o| o.pid == pid && o.payload.coalesce_key() == key)
+                    {
+                        // Same (pid, key) already queued: keep its queue
+                        // position, take the newer verdict, publish-order
+                        // stamp and publisher attribution.
+                        let prev = state.buf[i].publisher;
+                        state.buf[i].seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                        state.buf[i].payload = payload;
+                        state.buf[i].publisher = publisher;
+                        if self.defense.fair_queueing && prev != publisher {
+                            state.occ_dec(prev);
+                            state.occ_inc(publisher);
+                        }
                         state.coalesced += 1;
                         self.published.fetch_add(1, Ordering::Relaxed);
                         return true;
@@ -249,9 +531,73 @@ impl<P: Copy> IngestQueues<P> {
                     // (minimum stamp — coalescing restamps entries in
                     // place, so the front of the ring is not necessarily
                     // the oldest observation).
-                    if let Some(stalest) = (0..state.buf.len()).min_by_key(|&i| state.buf[i].seq) {
-                        state.buf.remove(stalest);
-                        state.dropped += 1;
+                    self.evict_normal(&mut state, publisher, true);
+                }
+            }
+        }
+        if self.closed.load(Ordering::Acquire) {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.defense.fair_queueing {
+            state.occ_inc(publisher);
+        }
+        state.buf.push_back(QueuedObs {
+            seq,
+            pid,
+            publisher,
+            payload,
+        });
+        self.published.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// The priority-lane half of [`Self::push`]: its own capacity budget
+    /// and overflow handling, entirely insulated from the normal lane —
+    /// when *it* overflows (suspicious pids alone exceed a ring), the
+    /// policy applies within the lane, so even then a flood of normal
+    /// traffic cannot be the cause.
+    fn push_priority(
+        &self,
+        ring: &ShardRing<P>,
+        mut state: std::sync::MutexGuard<'_, RingState<P>>,
+        publisher: u32,
+        pid: ProcessId,
+        payload: P,
+    ) -> bool {
+        if state.prio.len() >= self.capacity {
+            match self.policy {
+                OverflowPolicy::Block => {
+                    while state.prio.len() >= self.capacity && !self.closed.load(Ordering::Acquire)
+                    {
+                        state = ring.space.wait(state).expect("ingest ring poisoned");
+                    }
+                }
+                OverflowPolicy::DropOldest => {
+                    if let Some(victim) = state.prio.pop_front() {
+                        state.charge_drop(victim.publisher);
+                    }
+                }
+                OverflowPolicy::Coalesce => {
+                    let key = payload.coalesce_key();
+                    if let Some(i) = state
+                        .prio
+                        .iter()
+                        .rposition(|o| o.pid == pid && o.payload.coalesce_key() == key)
+                    {
+                        state.prio[i].seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                        state.prio[i].payload = payload;
+                        state.prio[i].publisher = publisher;
+                        state.coalesced += 1;
+                        state.priority_queued += 1;
+                        self.published.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    if let Some(stalest) = (0..state.prio.len()).min_by_key(|&i| state.prio[i].seq)
+                    {
+                        if let Some(victim) = state.prio.remove(stalest) {
+                            state.charge_drop(victim.publisher);
+                        }
                     }
                 }
             }
@@ -260,13 +606,74 @@ impl<P: Copy> IngestQueues<P> {
             return false;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        state.buf.push_back(QueuedObs { seq, pid, payload });
+        state.prio.push_back(QueuedObs {
+            seq,
+            pid,
+            publisher,
+            payload,
+        });
+        state.priority_queued += 1;
         self.published.fetch_add(1, Ordering::Relaxed);
         true
     }
 
+    /// Evicts one normal-lane entry to make room. The naive victim is the
+    /// front (`DropOldest`) or the minimum-stamp entry (`Coalesce`'s
+    /// fallback, `stalest`); with fair queueing the eviction is instead
+    /// charged to `pusher` itself once it holds its fair share, and
+    /// otherwise to the heaviest backlog holder — redirections away from
+    /// the naive victim's publisher are counted as deflected.
+    fn evict_normal(&self, state: &mut RingState<P>, pusher: u32, stalest: bool) {
+        let naive = if stalest {
+            (0..state.buf.len()).min_by_key(|&i| state.buf[i].seq)
+        } else if state.buf.is_empty() {
+            None
+        } else {
+            Some(0)
+        };
+        let Some(naive) = naive else { return };
+        let mut idx = naive;
+        if self.defense.fair_queueing {
+            let victim_pub = if state.occ(pusher) >= self.fair_share() {
+                pusher
+            } else {
+                // The heaviest normal-lane backlog holder pays; ties go
+                // to the lowest id, deterministically.
+                let mut heaviest = state.buf[naive].publisher;
+                let mut max_occ = 0;
+                for p in 0..state.occupancy.len() as u32 {
+                    if state.occ(p) > max_occ {
+                        heaviest = p;
+                        max_occ = state.occ(p);
+                    }
+                }
+                heaviest
+            };
+            let owned = if stalest {
+                (0..state.buf.len())
+                    .filter(|&i| state.buf[i].publisher == victim_pub)
+                    .min_by_key(|&i| state.buf[i].seq)
+            } else {
+                (0..state.buf.len()).find(|&i| state.buf[i].publisher == victim_pub)
+            };
+            if let Some(i) = owned {
+                if state.buf[naive].publisher != victim_pub {
+                    state.evictions_deflected += 1;
+                }
+                idx = i;
+            }
+        }
+        if let Some(victim) = state.buf.remove(idx) {
+            if self.defense.fair_queueing {
+                state.occ_dec(victim.publisher);
+            }
+            state.charge_drop(victim.publisher);
+        }
+    }
+
     /// Empties shard `shard`'s ring into `work`/`seqs` (appending, aligned
-    /// index-for-index) and wakes any publishers blocked on it.
+    /// index-for-index; priority lane first) and wakes any publishers
+    /// blocked on it.
     pub(crate) fn drain_shard_into(
         &self,
         shard: usize,
@@ -275,13 +682,18 @@ impl<P: Copy> IngestQueues<P> {
     ) {
         let ring = &self.rings[shard];
         let mut state = ring.state.lock().expect("ingest ring poisoned");
-        let n = state.buf.len();
+        let n = state.prio.len() + state.buf.len();
         work.reserve(n);
         seqs.reserve(n);
+        for obs in state.prio.drain(..) {
+            work.push((obs.pid, obs.payload));
+            seqs.push(obs.seq);
+        }
         for obs in state.buf.drain(..) {
             work.push((obs.pid, obs.payload));
             seqs.push(obs.seq);
         }
+        state.occupancy.clear();
         drop(state);
         if n > 0 {
             self.drained.fetch_add(n as u64, Ordering::Relaxed);
@@ -311,28 +723,38 @@ impl<P: Copy> IngestQueues<P> {
     /// skew sums by in-flight observations — fine for telemetry, which is
     /// what this is for.
     pub fn stats(&self) -> IngestStats {
-        let mut dropped = 0;
-        let mut coalesced = 0;
-        let mut queued = 0;
-        for ring in &self.rings {
-            let state = ring.state.lock().expect("ingest ring poisoned");
-            dropped += state.dropped;
-            coalesced += state.coalesced;
-            queued += state.buf.len();
-        }
-        IngestStats {
+        let mut stats = IngestStats {
             published: self.published.load(Ordering::Relaxed),
             drained: self.drained.load(Ordering::Relaxed),
-            dropped,
-            coalesced,
-            queued,
+            ..IngestStats::default()
+        };
+        for ring in &self.rings {
+            let state = ring.state.lock().expect("ingest ring poisoned");
+            stats.dropped += state.dropped;
+            stats.coalesced += state.coalesced;
+            stats.queued += state.buf.len() + state.prio.len();
+            stats.priority_queued += state.priority_queued;
+            stats.evictions_deflected += state.evictions_deflected;
+            if stats.dropped_by_publisher.len() < state.dropped_by_pub.len() {
+                stats
+                    .dropped_by_publisher
+                    .resize(state.dropped_by_pub.len(), 0);
+            }
+            for (acc, n) in stats
+                .dropped_by_publisher
+                .iter_mut()
+                .zip(&state.dropped_by_pub)
+            {
+                *acc += n;
+            }
         }
+        stats
     }
 }
 
 /// A cloneable, `Send + Sync` handle detector threads use to publish
 /// observations into an engine's ingest rings — binary
-/// [`Classification`]s by default, [`Verdict`](crate::threat::Verdict)s
+/// [`Classification`]s by default, [`Verdict`]s
 /// on the fusion path (each ensemble member clones its own publisher and
 /// publishes at its own cadence).
 ///
@@ -344,19 +766,33 @@ impl<P: Copy> IngestQueues<P> {
 #[derive(Debug)]
 pub struct IngestPublisher<P = Classification> {
     queues: Arc<IngestQueues<P>>,
+    /// This handle's fair-queueing identity. Every clone registers a
+    /// fresh id, so each detector thread (or tenant) holding its own
+    /// handle is its own accounting unit.
+    id: u32,
 }
 
 impl<P> Clone for IngestPublisher<P> {
     fn clone(&self) -> Self {
         Self {
+            id: self.queues.register_publisher(),
             queues: Arc::clone(&self.queues),
         }
     }
 }
 
-impl<P: Copy> IngestPublisher<P> {
+impl<P: CoalesceKey> IngestPublisher<P> {
     pub(crate) fn new(queues: Arc<IngestQueues<P>>) -> Self {
-        Self { queues }
+        Self {
+            id: queues.register_publisher(),
+            queues,
+        }
+    }
+
+    /// This handle's publisher id (indexes
+    /// [`IngestStats::dropped_by_publisher`]).
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     /// Publishes one observation for `pid`. With
@@ -365,7 +801,7 @@ impl<P: Copy> IngestPublisher<P> {
     /// the engine has closed or replaced its ingest queues.
     pub fn publish(&self, pid: ProcessId, payload: P) -> bool {
         let shard = crate::hash::shard_of(pid.0, self.queues.shards());
-        self.queues.push(shard, pid, payload)
+        self.queues.push(self.id, shard, pid, payload)
     }
 
     /// Publishes a batch in order. Returns how many observations were
@@ -577,6 +1013,154 @@ mod tests {
         assert!(!publisher.publish(ProcessId(3), Malicious));
         assert!(publisher.is_closed());
         assert_eq!(queues.stats().queued, 1, "already-queued data survives");
+    }
+
+    /// Regression (PR 9): a publish against a closed queue must be
+    /// rejected *before* overflow handling runs — previously `DropOldest`
+    /// / `Coalesce` would evict a queued observation on behalf of a
+    /// publish that was about to be discarded anyway.
+    #[test]
+    fn closed_queue_publish_never_evicts_queued_data() {
+        for policy in [OverflowPolicy::DropOldest, OverflowPolicy::Coalesce] {
+            let queues = IngestQueues::new(1, 1, policy);
+            let publisher = IngestPublisher::new(queues.clone());
+            assert!(publisher.publish(ProcessId(1), Malicious));
+            queues.close();
+            assert!(!publisher.publish(ProcessId(2), Benign));
+            let stats = queues.stats();
+            assert_eq!(stats.dropped, 0, "{policy:?}: closed publish evicted");
+            assert_eq!(stats.queued, 1, "{policy:?}: queued data destroyed");
+            let drained = drain_all(&queues);
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].1, ProcessId(1));
+            assert_eq!(drained[0].2, Malicious);
+        }
+    }
+
+    /// Regression (PR 9): verdict coalescing keys by (pid, detector) — a
+    /// fast member's verdict must merge with its *own* queued verdict, not
+    /// overwrite a different detector's entry for the same pid.
+    #[test]
+    fn verdict_coalesce_keys_by_pid_and_detector() {
+        let queues = IngestQueues::<Verdict>::new(1, 2, OverflowPolicy::Coalesce);
+        let member_a = IngestPublisher::new(queues.clone());
+        let member_b = member_a.clone();
+        let pid = ProcessId(7);
+        assert!(member_a.publish(pid, Verdict::new(0, 0.2)));
+        assert!(member_b.publish(pid, Verdict::new(1, 0.9)));
+        // Ring full; detector 0 publishes again for the same pid. It must
+        // coalesce with the detector-0 entry and leave detector 1 queued.
+        assert!(member_a.publish(pid, Verdict::new(0, 0.8)));
+        let stats = queues.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.dropped, 0, "detector 1's verdict was destroyed");
+
+        let mut work = Vec::new();
+        let mut seqs = Vec::new();
+        queues.drain_shard_into(0, &mut work, &mut seqs);
+        let mut got: Vec<(u32, f64)> = work
+            .iter()
+            .map(|&(_, v)| (v.detector, v.confidence))
+            .collect();
+        got.sort_by_key(|a| a.0);
+        assert_eq!(got, vec![(0, 0.8), (1, 0.9)]);
+    }
+
+    /// Fair queueing charges overflow to the hog: a publisher past its
+    /// fair share evicts its own backlog, and the redirect away from the
+    /// naive (front-of-ring) victim is counted.
+    #[test]
+    fn fair_queueing_makes_the_flooding_publisher_pay() {
+        let defense = IngestDefense {
+            priority_lane: false,
+            fair_queueing: true,
+        };
+        let queues = IngestQueues::with_defense(
+            1,
+            4,
+            OverflowPolicy::DropOldest,
+            defense,
+            ThreatHints::new(),
+        );
+        let legit = IngestPublisher::new(queues.clone());
+        let flooder = legit.clone();
+        // Two handles share the ring: fair share = 4 / 2 = 2 entries.
+        assert!(legit.publish(ProcessId(1), Malicious));
+        assert!(legit.publish(ProcessId(2), Malicious));
+        assert!(flooder.publish(ProcessId(3), Benign));
+        assert!(flooder.publish(ProcessId(4), Benign));
+        // Ring full. Without the defense this would evict pid 1 (the
+        // front, legit's oldest). With fair queueing the flooder is at its
+        // share, so it evicts its own oldest instead.
+        assert!(flooder.publish(ProcessId(5), Benign));
+        let stats = queues.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.evictions_deflected, 1);
+        assert_eq!(
+            stats.dropped_by_publisher.get(flooder.id() as usize),
+            Some(&1),
+            "the eviction is charged to the flooder"
+        );
+        let drained = drain_all(&queues);
+        let pids: Vec<u64> = drained.iter().map(|&(_, pid, _)| pid.0).collect();
+        assert_eq!(pids, vec![1, 2, 4, 5], "legit's backlog survived intact");
+    }
+
+    /// The priority lane shields hint-marked pids: a normal-lane flood
+    /// can evict everything in its own lane but never touches the
+    /// suspicious pid's queued verdicts, and they drain first.
+    #[test]
+    fn priority_lane_is_immune_to_normal_lane_overflow() {
+        let hints = ThreatHints::new();
+        let defense = IngestDefense {
+            priority_lane: true,
+            fair_queueing: false,
+        };
+        let queues = IngestQueues::with_defense(
+            1,
+            2,
+            OverflowPolicy::DropOldest,
+            defense,
+            Arc::clone(&hints),
+        );
+        let publisher = IngestPublisher::new(queues.clone());
+        let suspect = ProcessId(7);
+        assert!(hints.mark(suspect));
+        assert!(publisher.publish(suspect, Malicious));
+        // Flood the normal lane far past capacity.
+        for pid in 100..110u64 {
+            assert!(publisher.publish(ProcessId(pid), Benign));
+        }
+        let stats = queues.stats();
+        assert_eq!(stats.priority_queued, 1);
+        assert_eq!(stats.dropped, 8, "flood evicted only normal-lane entries");
+        assert_eq!(stats.queued, 3);
+
+        let mut work = Vec::new();
+        let mut seqs = Vec::new();
+        queues.drain_shard_into(0, &mut work, &mut seqs);
+        assert_eq!(work[0].0, suspect, "priority lane drains first");
+        assert!(work.iter().filter(|&&(pid, _)| pid == suspect).count() == 1);
+
+        // Cleared pids fall back to the normal lane.
+        assert!(hints.clear(suspect));
+        assert!(!hints.is_hot(suspect));
+        assert!(publisher.publish(suspect, Malicious));
+        assert_eq!(queues.stats().priority_queued, 1, "no longer prioritized");
+    }
+
+    #[test]
+    fn threat_hints_update_marks_and_clears_in_one_pass() {
+        let hints = ThreatHints::new();
+        hints.update([
+            (ProcessId(1), true),
+            (ProcessId(2), true),
+            (ProcessId(1), false),
+        ]);
+        assert!(!hints.is_hot(ProcessId(1)));
+        assert!(hints.is_hot(ProcessId(2)));
+        assert_eq!(hints.len(), 1);
+        assert!(!hints.is_empty());
     }
 
     #[test]

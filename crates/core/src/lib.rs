@@ -89,7 +89,9 @@ pub use engine::{
 pub use error::ValkyrieError;
 pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
 pub use fleet::{FleetEngine, FleetPublisher};
-pub use ingest::{IngestPublisher, IngestQueues, OverflowPolicy};
+pub use ingest::{
+    CoalesceKey, IngestDefense, IngestPublisher, IngestQueues, OverflowPolicy, ThreatHints,
+};
 pub use migration::{migration_progress, MigrationPolicy};
 pub use monitor::{Directive, EscalationLadder, EscalationLevel, Monitor, StepReport};
 pub use pool::ShardPool;
@@ -110,7 +112,7 @@ pub mod prelude {
     };
     pub use crate::error::ValkyrieError;
     pub use crate::fleet::{FleetEngine, FleetPublisher};
-    pub use crate::ingest::{IngestPublisher, OverflowPolicy};
+    pub use crate::ingest::{IngestDefense, IngestPublisher, OverflowPolicy, ThreatHints};
     pub use crate::monitor::{Directive, EscalationLadder, EscalationLevel, Monitor, StepReport};
     pub use crate::pool::ShardPool;
     pub use crate::resource::{ProcessId, ResourceKind, ResourceVector};

@@ -80,7 +80,9 @@ use crate::actuator::{Actuator, CompositeActuator};
 use crate::engine::{EngineConfig, EngineResponse, EngineShard};
 use crate::error::ValkyrieError;
 use crate::hash::shard_of;
-use crate::ingest::{merge_by_seq, IngestPublisher, IngestQueues, OverflowPolicy};
+use crate::ingest::{
+    merge_by_seq, IngestDefense, IngestPublisher, IngestQueues, OverflowPolicy, ThreatHints,
+};
 use crate::pool::ShardPool;
 use crate::resource::{ProcessId, ResourceVector};
 use crate::state::ProcessState;
@@ -180,6 +182,14 @@ pub struct ShardedEngine<A: Actuator + Clone = CompositeActuator> {
     /// verdict ingest or a verdict batch is used; same shrink policy).
     vparts: Vec<Vec<(ProcessId, Verdict)>>,
     vseqs: Vec<Vec<u64>>,
+    /// The suspicious-pid feedback channel for defended queue sets
+    /// ([`crate::ingest::ThreatHints`]): shared with every queue set built
+    /// by the `*_defended` enable variants and refreshed from this
+    /// engine's own responses each tick/drain.
+    hints: Arc<ThreatHints>,
+    /// Whether any live queue set routes on the hints (skips the feedback
+    /// pass entirely for undefended engines).
+    hints_active: bool,
 }
 
 /// The owning shard for `pid` among `nshards`: a pure function of the pid,
@@ -358,6 +368,8 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
             verdicts: None,
             vparts: Vec::new(),
             vseqs: Vec::new(),
+            hints: ThreatHints::new(),
+            hints_active: false,
         }
     }
 
@@ -686,6 +698,7 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
     /// [`Self::observe_batch`] and purge on their own schedule.
     pub fn tick(&mut self, batch: &[(ProcessId, Classification)]) -> Vec<EngineResponse> {
         let responses = self.observe_batch(batch);
+        self.update_hints(&responses);
         self.epoch += 1;
         self.purge_terminated();
         responses
@@ -711,16 +724,74 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
     ///
     /// Panics if `capacity` is zero.
     pub fn enable_ingest(&mut self, capacity: usize, policy: OverflowPolicy) -> IngestPublisher {
+        self.enable_ingest_defended(capacity, policy, IngestDefense::default())
+    }
+
+    /// [`Self::enable_ingest`] with the overload defense: priority lanes
+    /// routed on this engine's [`ThreatHints`] (refreshed from its own
+    /// responses every tick/drain) and/or per-publisher fair queueing.
+    /// With both mechanisms off this is exactly [`Self::enable_ingest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_ingest_defended(
+        &mut self,
+        capacity: usize,
+        policy: OverflowPolicy,
+        defense: IngestDefense,
+    ) -> IngestPublisher {
         if let Some(old) = self.ingest.take() {
             old.close();
         }
-        let queues = IngestQueues::new(self.nshards, capacity, policy);
+        let queues = IngestQueues::with_defense(
+            self.nshards,
+            capacity,
+            policy,
+            defense,
+            Arc::clone(&self.hints),
+        );
         if let Backend::Pool(pool) = &self.backend {
             pool.install_ingest(&queues);
         }
         self.seqs = vec![Vec::new(); self.nshards];
         self.ingest = Some(Arc::clone(&queues));
+        self.refresh_hints_active();
         IngestPublisher::new(queues)
+    }
+
+    /// Whether any live queue set routes on the threat hints, recomputed
+    /// after a queue set is (re)built.
+    fn refresh_hints_active(&mut self) {
+        self.hints_active = self
+            .ingest
+            .as_ref()
+            .is_some_and(|q| q.defense().priority_lane)
+            || self
+                .verdicts
+                .as_ref()
+                .is_some_and(|q| q.defense().priority_lane);
+    }
+
+    /// The suspicious-pid feedback set shared with defended queue sets.
+    /// Mostly for tests and telemetry — the engine maintains it by itself.
+    pub fn threat_hints(&self) -> Arc<ThreatHints> {
+        Arc::clone(&self.hints)
+    }
+
+    /// Refreshes the threat hints from a tick's responses: pids the
+    /// escalation ladder holds at Suspicious/Terminable are marked for
+    /// the priority lane, pids back at Normal (or gone) are cleared.
+    fn update_hints(&self, responses: &[EngineResponse]) {
+        if !self.hints_active || responses.is_empty() {
+            return;
+        }
+        self.hints.update(responses.iter().map(|r| {
+            (
+                r.pid,
+                matches!(r.state, ProcessState::Suspicious | ProcessState::Terminable),
+            )
+        }));
     }
 
     /// Whether [`Self::enable_ingest`] has built the ingest tier.
@@ -752,7 +823,7 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
             .ingest
             .as_ref()
             .expect("call enable_ingest before ShardedEngine::ingest");
-        queues.push(shard_index(pid, self.nshards), pid, inference)
+        queues.push(0, shard_index(pid, self.nshards), pid, inference)
     }
 
     /// The ingest tier's counters (`None` before [`Self::enable_ingest`]);
@@ -781,16 +852,40 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         capacity: usize,
         policy: OverflowPolicy,
     ) -> IngestPublisher<Verdict> {
+        self.enable_verdict_ingest_defended(capacity, policy, IngestDefense::default())
+    }
+
+    /// [`Self::enable_verdict_ingest`] with the overload defense — the
+    /// verdict-ring twin of [`Self::enable_ingest_defended`], sharing the
+    /// same [`ThreatHints`] set. Under `Coalesce`, verdict entries merge
+    /// by (pid, detector), so the defense also cannot conflate members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_verdict_ingest_defended(
+        &mut self,
+        capacity: usize,
+        policy: OverflowPolicy,
+        defense: IngestDefense,
+    ) -> IngestPublisher<Verdict> {
         if let Some(old) = self.verdicts.take() {
             old.close();
         }
-        let queues = IngestQueues::new(self.nshards, capacity, policy);
+        let queues = IngestQueues::with_defense(
+            self.nshards,
+            capacity,
+            policy,
+            defense,
+            Arc::clone(&self.hints),
+        );
         if let Backend::Pool(pool) = &self.backend {
             pool.install_verdict_ingest(&queues);
         }
         self.vparts = vec![Vec::new(); self.nshards];
         self.vseqs = vec![Vec::new(); self.nshards];
         self.verdicts = Some(Arc::clone(&queues));
+        self.refresh_hints_active();
         IngestPublisher::new(queues)
     }
 
@@ -819,7 +914,7 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
             .verdicts
             .as_ref()
             .expect("call enable_verdict_ingest before ShardedEngine::ingest_verdict");
-        queues.push(shard_index(pid, self.nshards), pid, verdict)
+        queues.push(0, shard_index(pid, self.nshards), pid, verdict)
     }
 
     /// The verdict rings' counters (`None` before
@@ -868,6 +963,7 @@ impl<A: Actuator + Clone + Send> ShardedEngine<A> {
         if self.verdicts.is_some() {
             self.drain_verdicts_into(&mut out);
         }
+        self.update_hints(&out);
         out
     }
 

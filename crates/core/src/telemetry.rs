@@ -49,7 +49,7 @@ use std::fmt::Write as _;
 /// Dropped observations are never silent: a non-zero `dropped` (or a
 /// growing `coalesced`) is the signal to resize the rings or slow the
 /// detector tier down.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IngestStats {
     /// Observations accepted by the rings (coalesced ones included).
     pub published: u64,
@@ -57,10 +57,22 @@ pub struct IngestStats {
     pub drained: u64,
     /// Observations evicted by `DropOldest` (or `Coalesce`'s fallback).
     pub dropped: u64,
-    /// Observations merged into an existing same-pid entry by `Coalesce`.
+    /// Observations merged into an existing same-(pid, key) entry by
+    /// `Coalesce`.
     pub coalesced: u64,
-    /// Observations currently waiting in the rings.
+    /// Observations currently waiting in the rings (both lanes).
     pub queued: usize,
+    /// Observations routed through the priority lane because the engine's
+    /// threat hints marked their pid suspicious (defended rings only).
+    pub priority_queued: u64,
+    /// Overflow evictions that fair queueing redirected away from the
+    /// publisher the naive policy would have victimised — each one is an
+    /// observation a flooding publisher failed to destroy.
+    pub evictions_deflected: u64,
+    /// Evictions charged to each publisher handle (index = publisher id;
+    /// id 0 is the engine's driver-side handle, detector handles take
+    /// 1..). Empty until something is dropped.
+    pub dropped_by_publisher: Vec<u64>,
 }
 
 impl IngestStats {
@@ -68,6 +80,30 @@ impl IngestStats {
     /// observations *did* reach it, merged into their successor).
     pub fn lost(&self) -> u64 {
         self.dropped
+    }
+
+    /// Folds another queue set's counters into this one (per-publisher
+    /// tallies are summed index-aligned, as the fleet tier hands every
+    /// group the same publisher-id assignment order).
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.published += other.published;
+        self.drained += other.drained;
+        self.dropped += other.dropped;
+        self.coalesced += other.coalesced;
+        self.queued += other.queued;
+        self.priority_queued += other.priority_queued;
+        self.evictions_deflected += other.evictions_deflected;
+        if self.dropped_by_publisher.len() < other.dropped_by_publisher.len() {
+            self.dropped_by_publisher
+                .resize(other.dropped_by_publisher.len(), 0);
+        }
+        for (acc, n) in self
+            .dropped_by_publisher
+            .iter_mut()
+            .zip(&other.dropped_by_publisher)
+        {
+            *acc += n;
+        }
     }
 }
 

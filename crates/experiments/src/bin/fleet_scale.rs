@@ -5,14 +5,22 @@
 //! a million live services — through `FleetEngine::tick` every epoch and
 //! reports kill latency, wrongful-termination rate and engine throughput
 //! at that scale.
+//!
+//! `--async-ingest` routes every detector batch through the fleet's
+//! bounded ingest rings (Block policy, overload defense armed) and drains
+//! them with `drain_tick` — same security outcome, plus the per-lane and
+//! per-publisher ingest counters in the summary.
 use valkyrie_experiments::fleet_scale;
 
 fn main() {
-    let cfg = if std::env::args().any(|a| a == "--quick") {
+    let base = if std::env::args().any(|a| a == "--quick") {
         fleet_scale::FleetScaleConfig::quick()
     } else {
         fleet_scale::FleetScaleConfig::default()
     };
-    let result = fleet_scale::run(&cfg);
+    let result = fleet_scale::run(&fleet_scale::FleetScaleConfig {
+        async_ingest: std::env::args().any(|a| a == "--async-ingest"),
+        ..base
+    });
     println!("{}", result.report);
 }

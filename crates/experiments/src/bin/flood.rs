@@ -1,0 +1,17 @@
+//! Noise-flood sweep: the ingest DoS and its defense, across ring size ×
+//! overflow policy × flood rate.
+//!
+//! Every row is one multi-tenant run with a decoy flood aimed at the
+//! attack pids' shards, before ("off") and after ("lanes+fair") the
+//! overload defense. `--quick` runs the scaled-down grid used by the
+//! golden-output pins and the CI smoke step.
+use valkyrie_experiments::flood;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        flood::FloodSweepConfig::quick()
+    } else {
+        flood::FloodSweepConfig::default()
+    };
+    println!("{}", flood::run(&cfg).report);
+}

@@ -17,7 +17,13 @@
 //! combined by the engine's weighted-evidence fusion under the
 //! graduated escalation ladder. Mutually exclusive with
 //! `--async-ingest`.
-use valkyrie_core::ExecutionMode;
+//!
+//! `--flood` (implies `--async-ingest`) runs a noise-floor DoS against
+//! the ingest rings while the attacks run underneath: a second publisher
+//! handle spams benign-looking decoys at exactly the shards that own the
+//! attack pids. Add `--defend` to harden the rings with priority lanes +
+//! per-publisher fair queueing and watch the kills come back.
+use valkyrie_core::{ExecutionMode, IngestDefense};
 use valkyrie_experiments::multi_tenant;
 
 fn main() {
@@ -26,7 +32,20 @@ fn main() {
     } else {
         ExecutionMode::ScopedSpawn
     };
-    let ingest = if std::env::args().any(|a| a == "--async-ingest") {
+    let flood = if std::env::args().any(|a| a == "--flood") {
+        let defense = if std::env::args().any(|a| a == "--defend") {
+            IngestDefense::full()
+        } else {
+            IngestDefense::default()
+        };
+        Some(multi_tenant::FloodTier {
+            defense,
+            ..multi_tenant::FloodTier::default()
+        })
+    } else {
+        None
+    };
+    let ingest = if flood.is_some() || std::env::args().any(|a| a == "--async-ingest") {
         Some(multi_tenant::AsyncIngest::default())
     } else {
         None
@@ -45,6 +64,7 @@ fn main() {
         execution,
         ingest,
         fusion,
+        flood,
         tpr,
         ..multi_tenant::MultiTenantConfig::default()
     });

@@ -37,8 +37,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 use valkyrie_core::hash::{mix64, FxBuildHasher};
 use valkyrie_core::{
-    Action, AssessmentFn, Classification, EngineConfig, FleetEngine, ProcessId, ProcessState,
-    ShareActuator,
+    Action, AssessmentFn, Classification, EngineConfig, FleetEngine, IngestDefense, IngestStats,
+    OverflowPolicy, ProcessId, ProcessState, ShareActuator,
 };
 use valkyrie_sim::prelude::*;
 use valkyrie_workloads::{fleet_instance, place_attacks, BenchmarkWorkload, FleetChurn};
@@ -79,6 +79,12 @@ pub struct FleetScaleConfig {
     /// main loop models machine state statistically; this pass proves the
     /// `Cluster` slab's shared-corpus boot path at its measured cost).
     pub substrate_machines: usize,
+    /// Route the detector batch through the fleet's bounded ingest rings
+    /// (Block policy sized for the whole fleet, overload defense armed)
+    /// and answer with `drain_tick` instead of the synchronous `tick` —
+    /// same security outcome, but the per-lane/per-publisher
+    /// [`IngestStats`] counters appear in the summary.
+    pub async_ingest: bool,
 }
 
 impl Default for FleetScaleConfig {
@@ -104,6 +110,7 @@ impl Default for FleetScaleConfig {
                 machine_departure_prob: 0.0004,
             },
             substrate_machines: 2_000,
+            async_ingest: false,
         }
     }
 }
@@ -178,6 +185,10 @@ pub struct FleetScaleResult {
     /// binary detector tier absorbs no verdicts, so only the
     /// escalation-ladder transitions are non-zero here).
     pub fusion_stats: valkyrie_core::FusionStats,
+    /// Ingest-tier counters merged across every group's rings (`None`
+    /// unless [`FleetScaleConfig::async_ingest`] routed the run through
+    /// them).
+    pub ingest: Option<IngestStats>,
     /// Rendered report.
     pub report: String,
 }
@@ -316,6 +327,22 @@ pub fn run(cfg: &FleetScaleConfig) -> FleetScaleResult {
     let mut refs: Vec<(u32, u32)> = Vec::with_capacity(expected);
     let mut departing: Vec<usize> = Vec::new();
 
+    // The async path: the whole detector batch goes through the fleet's
+    // bounded rings (Block, sized for the fleet — lossless) and comes back
+    // out of `drain_tick` concatenated in *group* order, so responses are
+    // credited through a pid → (machine, service) map instead of `refs`.
+    let publisher = cfg.async_ingest.then(|| {
+        fleet.enable_ingest_defended(
+            expected.max(1),
+            OverflowPolicy::Block,
+            IngestDefense::full(),
+        )
+    });
+    let mut slot_of: HashMap<u64, (u32, u32), FxBuildHasher> = HashMap::with_capacity_and_hasher(
+        if cfg.async_ingest { expected } else { 0 },
+        FxBuildHasher::default(),
+    );
+
     let mut observations = 0u64;
     let mut peak_tracked = 0usize;
     let mut engine_time = std::time::Duration::ZERO;
@@ -411,15 +438,34 @@ pub fn run(cfg: &FleetScaleConfig) -> FleetScaleResult {
 
         let purged_before = fleet.purged_total();
         let t0 = Instant::now();
-        let responses = fleet.tick(&batch);
+        let responses = if let Some(publisher) = &publisher {
+            let accepted = publisher.publish_batch(&batch);
+            assert_eq!(accepted, batch.len(), "rings sized for the fleet");
+            fleet.drain_tick()
+        } else {
+            fleet.tick(&batch)
+        };
         engine_time += t0.elapsed();
         observations += responses.len() as u64;
         let purged_this_tick = (fleet.purged_total() - purged_before) as usize;
         peak_tracked = peak_tracked.max(fleet.tracked() + purged_this_tick);
 
-        // Credit responses back onto the fleet (responses are in batch
-        // order; `refs` maps each to its machine/service slot).
-        for (resp, &(mi, si)) in responses.iter().zip(&refs) {
+        // Credit responses back onto the fleet. The synchronous tick
+        // answers in batch order, so `refs` maps each response to its
+        // machine/service slot; the drained path concatenates groups, so
+        // slots are looked up by pid instead.
+        if publisher.is_some() {
+            slot_of.clear();
+            for (&(pid, _), &slot) in batch.iter().zip(&refs) {
+                slot_of.insert(pid.0, slot);
+            }
+        }
+        for (i, resp) in responses.iter().enumerate() {
+            let (mi, si) = if publisher.is_some() {
+                slot_of[&resp.pid.0]
+            } else {
+                refs[i]
+            };
             let m = &mut machines[mi as usize];
             let s = &mut m.services[si as usize];
             s.state = Some(resp.state);
@@ -515,6 +561,30 @@ pub fn run(cfg: &FleetScaleConfig) -> FleetScaleResult {
             fusion_stats.verdicts, fusion_stats.stale_decayed, fusion_stats.escalations
         ),
     ]);
+    let ingest = fleet.ingest_stats();
+    if let Some(stats) = &ingest {
+        t.row(vec![
+            "ingest published/dropped/priority/deflected".into(),
+            format!(
+                "{}/{}/{}/{}",
+                stats.published, stats.dropped, stats.priority_queued, stats.evictions_deflected
+            ),
+        ]);
+        let by_pub: Vec<String> = stats
+            .dropped_by_publisher
+            .iter()
+            .enumerate()
+            .map(|(id, n)| format!("p{id}:{n}"))
+            .collect();
+        t.row(vec![
+            "ingest dropped by publisher".into(),
+            if by_pub.is_empty() {
+                "none".into()
+            } else {
+                by_pub.join(" ")
+            },
+        ]);
+    }
     t.row(vec![
         "substrate boot".into(),
         format!(
@@ -563,6 +633,7 @@ pub fn run(cfg: &FleetScaleConfig) -> FleetScaleResult {
         substrate_machines: cfg.substrate_machines,
         substrate_boot_us,
         fusion_stats,
+        ingest,
         report,
     }
 }
@@ -633,6 +704,37 @@ mod tests {
         assert_eq!(one.observations, four.observations);
         assert_eq!(one.purged, four.purged);
         assert_eq!(one.final_tracked_live, four.final_tracked_live);
+    }
+
+    #[test]
+    fn async_ingest_path_matches_the_synchronous_outcome() {
+        let base = FleetScaleConfig::quick();
+        let sync = run(&base);
+        let drained = run(&FleetScaleConfig {
+            async_ingest: true,
+            ..base
+        });
+        // Lossless rings + per-pid crediting: the security outcome is
+        // bit-identical to the synchronous tick path.
+        assert_eq!(sync.attacks_terminated, drained.attacks_terminated);
+        assert_eq!(
+            sync.mean_epochs_to_kill.to_bits(),
+            drained.mean_epochs_to_kill.to_bits()
+        );
+        assert_eq!(sync.benign_killed, drained.benign_killed);
+        assert_eq!(sync.services_completed, drained.services_completed);
+        assert_eq!(sync.observations, drained.observations);
+        assert_eq!(sync.purged, drained.purged);
+        assert_eq!(sync.final_tracked_live, drained.final_tracked_live);
+        // And the ingest tier's counters surface in the drained summary.
+        assert!(sync.ingest.is_none());
+        let stats = drained.ingest.expect("async run surfaces ingest stats");
+        assert_eq!(stats.published, drained.observations);
+        assert_eq!(stats.drained, drained.observations);
+        assert_eq!(stats.dropped, 0);
+        assert!(drained
+            .report
+            .contains("ingest published/dropped/priority/deflected"));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The noise-flood sweep: quantifying the ingest DoS and its defense
+//! (ours; beyond the paper).
+//!
+//! PR 5's bounded ingest rings traded detector stalls for bounded loss —
+//! and bounded loss is an attack surface: a tenant that can publish
+//! benign-looking decoys can force `DropOldest`/`Coalesce` evictions in
+//! exactly the shards that own a real attack's pids, masking the attack
+//! inside the dropped window ([`valkyrie_workloads::NoiseFlood`]). This
+//! sweep drives the [`crate::multi_tenant`] machine across ring size ×
+//! overflow policy × flood rate, before and after the overload defense
+//! ([`valkyrie_core::IngestDefense`]: priority lanes + per-publisher fair
+//! queueing), and reports for every cell: attacks killed, mean epochs to
+//! kill, wrongful terminations, and the defense's own counters.
+//!
+//! The headline shape: at a fixed ring size, detection degrades with the
+//! flood rate — mild rates only evict stale benign verdicts, rates near
+//! the ring capacity start catching the attack's verdicts, and rates at
+//! or above it silence the targeted shards completely (zero kills).
+//! With the defense on, the flooding publisher is charged for its own
+//! decoys and escalated pids ride the priority lane, so kills return to
+//! the undisturbed async baseline with the flood still running.
+
+use crate::harness::{pct, TextTable};
+use crate::multi_tenant::{self, AsyncIngest, FloodTier, MultiTenantConfig};
+use valkyrie_core::{IngestDefense, OverflowPolicy};
+
+/// The sweep grid: every `capacity × policy × rate × {undefended,
+/// defended}` cell runs one full [`multi_tenant::run`].
+#[derive(Debug, Clone)]
+pub struct FloodSweepConfig {
+    /// The machine every cell shares (must carry both the async ingest
+    /// and the flood tier; the sweep overrides capacity, policy, rate and
+    /// defense per cell).
+    pub base: MultiTenantConfig,
+    /// Ring capacities to sweep (observations per shard).
+    pub capacities: Vec<usize>,
+    /// Overflow policies to sweep.
+    pub policies: Vec<OverflowPolicy>,
+    /// Flood rates to sweep (decoys per target shard per epoch).
+    pub rates: Vec<u32>,
+}
+
+impl FloodSweepConfig {
+    /// The scaled-down grid used by tests and the `--quick` smoke run:
+    /// one ring size, both lossy policies, rates below / near / above the
+    /// ring capacity.
+    pub fn quick() -> Self {
+        Self {
+            base: MultiTenantConfig::quick_flood(IngestDefense::default()),
+            capacities: vec![128],
+            policies: vec![OverflowPolicy::DropOldest, OverflowPolicy::Coalesce],
+            rates: vec![64, 112, 160],
+        }
+    }
+}
+
+impl Default for FloodSweepConfig {
+    /// The full-scale grid: the 4k-process machine under both lossy
+    /// policies, two ring sizes, flood rates below and above capacity.
+    fn default() -> Self {
+        Self {
+            base: MultiTenantConfig {
+                ingest: Some(AsyncIngest {
+                    policy: OverflowPolicy::DropOldest,
+                    ..AsyncIngest::default()
+                }),
+                flood: Some(FloodTier::default()),
+                ..MultiTenantConfig::default()
+            },
+            capacities: vec![512, 1024],
+            policies: vec![OverflowPolicy::DropOldest, OverflowPolicy::Coalesce],
+            rates: vec![512, 1152],
+        }
+    }
+}
+
+/// One sweep cell's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodCell {
+    /// Ring capacity (observations per shard).
+    pub capacity: usize,
+    /// Overflow policy of the rings.
+    pub policy: OverflowPolicy,
+    /// Flood rate (decoys per target shard per epoch).
+    pub rate: u32,
+    /// Whether the overload defense was on ([`IngestDefense::full`]).
+    pub defended: bool,
+    /// Attacks terminated within the horizon.
+    pub attacks_terminated: usize,
+    /// Attacks launched.
+    pub attacks_total: usize,
+    /// Mean epochs from arrival to kill (`NaN` when nothing was killed).
+    pub mean_epochs_to_kill: f64,
+    /// Benign processes wrongfully terminated, % of the fleet.
+    pub benign_killed_pct: f64,
+    /// Observations evicted by the overflow policy.
+    pub dropped: u64,
+    /// Observations routed through the priority lane.
+    pub priority_queued: u64,
+    /// Evictions fair queueing redirected onto the hogging publisher.
+    pub evictions_deflected: u64,
+}
+
+/// Outcome of the whole sweep.
+#[derive(Debug, Clone)]
+pub struct FloodSweepResult {
+    /// One cell per `capacity × policy × rate × defense` combination, in
+    /// sweep order (defense off before on).
+    pub cells: Vec<FloodCell>,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the sweep.
+///
+/// # Panics
+///
+/// Panics if `cfg.base` lacks the async ingest or flood tier.
+pub fn run(cfg: &FloodSweepConfig) -> FloodSweepResult {
+    let base_ai = cfg
+        .base
+        .ingest
+        .expect("the flood sweep needs the async tier");
+    let base_ft = cfg
+        .base
+        .flood
+        .expect("the flood sweep needs the flood tier");
+    let mut cells = Vec::new();
+    let mut t = TextTable::new(vec![
+        "ring",
+        "policy",
+        "rate/shard",
+        "defense",
+        "kills",
+        "epochs to kill",
+        "benign killed",
+        "dropped",
+        "priority",
+        "deflected",
+    ]);
+    for &capacity in &cfg.capacities {
+        for &policy in &cfg.policies {
+            for &rate in &cfg.rates {
+                for defended in [false, true] {
+                    let defense = if defended {
+                        IngestDefense::full()
+                    } else {
+                        IngestDefense::default()
+                    };
+                    let r = multi_tenant::run(&MultiTenantConfig {
+                        ingest: Some(AsyncIngest {
+                            capacity,
+                            policy,
+                            ..base_ai
+                        }),
+                        flood: Some(FloodTier {
+                            rate,
+                            defense,
+                            ..base_ft
+                        }),
+                        ..cfg.base
+                    });
+                    let stats = r.ingest.expect("flood runs expose ingest stats");
+                    let cell = FloodCell {
+                        capacity,
+                        policy,
+                        rate,
+                        defended,
+                        attacks_terminated: r.attacks_terminated,
+                        attacks_total: cfg.base.attacks,
+                        mean_epochs_to_kill: r.mean_epochs_to_kill,
+                        benign_killed_pct: r.benign_killed_pct,
+                        dropped: stats.dropped,
+                        priority_queued: stats.priority_queued,
+                        evictions_deflected: stats.evictions_deflected,
+                    };
+                    t.row(vec![
+                        cell.capacity.to_string(),
+                        format!("{:?}", cell.policy),
+                        cell.rate.to_string(),
+                        if defended { "lanes+fair" } else { "off" }.to_string(),
+                        format!("{}/{}", cell.attacks_terminated, cell.attacks_total),
+                        if cell.mean_epochs_to_kill.is_nan() {
+                            "never".to_string()
+                        } else {
+                            format!("{:.1}", cell.mean_epochs_to_kill)
+                        },
+                        pct(cell.benign_killed_pct),
+                        cell.dropped.to_string(),
+                        cell.priority_queued.to_string(),
+                        cell.evictions_deflected.to_string(),
+                    ]);
+                    cells.push(cell);
+                }
+            }
+        }
+    }
+    let report = format!(
+        "Noise-flood sweep — {} benign + {} attacks over {} epochs, {} shards; \
+         flood bursts x{} every {} epochs, decoy churn every {} epochs\n\
+         (every row is one multi-tenant run; \"defense\" = priority lanes + \
+         per-publisher fair queueing)\n\n{}",
+        cfg.base.benign_procs,
+        cfg.base.attacks,
+        cfg.base.epochs,
+        cfg.base.shards,
+        base_ft.burst,
+        base_ft.burst_period,
+        base_ft.churn,
+        t.render()
+    );
+    FloodSweepResult { cells, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_cell_grid(rate: u32) -> FloodSweepConfig {
+        FloodSweepConfig {
+            base: MultiTenantConfig::quick_flood(IngestDefense::default()),
+            capacities: vec![128],
+            policies: vec![OverflowPolicy::DropOldest],
+            rates: vec![rate],
+        }
+    }
+
+    /// The headline pair: at a flood rate past the ring capacity the
+    /// undefended machine loses every kill, and the defense restores all
+    /// of them with the flood still running.
+    #[test]
+    fn defense_restores_kills_the_flood_suppressed() {
+        let r = run(&one_cell_grid(160));
+        assert_eq!(r.cells.len(), 2);
+        let (off, on) = (&r.cells[0], &r.cells[1]);
+        assert!(!off.defended && on.defended);
+        assert_eq!(off.attacks_terminated, 0, "undefended: attack masked");
+        assert!(off.mean_epochs_to_kill.is_nan());
+        assert_eq!(on.attacks_terminated, on.attacks_total);
+        assert!(on.priority_queued > 0);
+        assert!(on.evictions_deflected > 0);
+        assert!(r.report.contains("Noise-flood sweep"));
+        assert!(r.report.contains("never"));
+    }
+
+    /// Below the overflow threshold the flood is harmless — both cells
+    /// kill everything, and nothing is deflected when nothing overflows
+    /// beyond the decoys' own backlog.
+    #[test]
+    fn mild_flood_rates_do_not_mask_the_attack() {
+        let r = run(&one_cell_grid(16));
+        assert_eq!(r.cells[0].attacks_terminated, r.cells[0].attacks_total);
+        assert_eq!(r.cells[1].attacks_terminated, r.cells[1].attacks_total);
+    }
+}

@@ -23,6 +23,7 @@
 //! | Two-level detection (ours) | [`ensemble::run`] | `ensemble` |
 //! | Multi-tenant machine (ours) | [`multi_tenant::run`] | `multi_tenant` |
 //! | Fleet-scale cluster (ours) | [`fleet_scale::run`] | `fleet_scale` |
+//! | Noise-flood sweep (ours) | [`flood::run`] | `flood` |
 
 pub mod ablations;
 pub mod analytic;
@@ -34,6 +35,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fleet_scale;
+pub mod flood;
 pub mod harness;
 pub mod multi_tenant;
 pub mod responses;

@@ -35,10 +35,10 @@ use std::time::Instant;
 use valkyrie_core::hash::jitter64;
 use valkyrie_core::{
     Action, AssessmentFn, Classification, EngineConfig, EscalationLadder, ExecutionMode,
-    FusionConfig, FusionStats, IngestStats, OverflowPolicy, ProcessId, ProcessState, ShardedEngine,
-    ShareActuator, Verdict,
+    FusionConfig, FusionStats, IngestDefense, IngestStats, OverflowPolicy, ProcessId, ProcessState,
+    ShardedEngine, ShareActuator, Verdict,
 };
-use valkyrie_workloads::fleet_roster;
+use valkyrie_workloads::{fleet_roster, NoiseFlood};
 
 /// Multi-tenant machine shape and detector quality.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +82,13 @@ pub struct MultiTenantConfig {
     ///
     /// [`IngestPublisher`]: valkyrie_core::IngestPublisher
     pub fusion: Option<FusionTier>,
+    /// `Some` runs a [`NoiseFlood`] against the async ingest rings while
+    /// the staggered attacks run underneath: a second publisher handle
+    /// spams benign-looking decoy observations at exactly the shards that
+    /// own the attack pids, forcing overflow evictions that mask the real
+    /// verdicts. Requires `ingest`; mutually exclusive with `fusion`. The
+    /// [`FloodTier::defense`] field decides whether the rings fight back.
+    pub flood: Option<FloodTier>,
 }
 
 /// The async detector tier's shape: how late verdicts are published, and
@@ -156,6 +163,40 @@ impl Default for FusionTier {
     }
 }
 
+/// The noise-floor DoS tier: a [`NoiseFlood`] aimed at the attack pids'
+/// shards, published through its own [`IngestPublisher`] clone so the
+/// fair-queueing defense has a tenant to charge.
+///
+/// [`IngestPublisher`]: valkyrie_core::IngestPublisher
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodTier {
+    /// Decoys per target shard per epoch, steady state. Suppression is
+    /// sharp around the ring capacity: once the post-verdict decoy volume
+    /// reaches it, every real verdict in the shard is evicted.
+    pub rate: u32,
+    /// Rate multiplier on burst epochs.
+    pub burst: u32,
+    /// Every `burst_period`-th epoch bursts (`0` disables bursts).
+    pub burst_period: u64,
+    /// Decoy pid population rotation period ([`NoiseFlood::with_churn`]).
+    pub churn: u64,
+    /// The rings' overload defense ([`valkyrie_core::ingest`]); default
+    /// off, [`IngestDefense::full`] for the hardened run.
+    pub defense: IngestDefense,
+}
+
+impl Default for FloodTier {
+    fn default() -> Self {
+        Self {
+            rate: 1_152,
+            burst: 2,
+            burst_period: 16,
+            churn: 16,
+            defense: IngestDefense::default(),
+        }
+    }
+}
+
 impl Default for MultiTenantConfig {
     fn default() -> Self {
         Self {
@@ -171,6 +212,7 @@ impl Default for MultiTenantConfig {
             execution: ExecutionMode::ScopedSpawn,
             ingest: None,
             fusion: None,
+            flood: None,
         }
     }
 }
@@ -206,6 +248,27 @@ impl MultiTenantConfig {
             ..Self::quick()
         }
     }
+
+    /// [`Self::quick_async`] under a noise flood: small `DropOldest`
+    /// rings (128/shard against ~75 legit verdicts per shard per epoch)
+    /// and a 160/shard/epoch decoy stream at the attack pids' shards —
+    /// enough to evict every real verdict there once the decoys land. The
+    /// `defense` decides whether the rings fight back.
+    pub fn quick_flood(defense: IngestDefense) -> Self {
+        Self {
+            ingest: Some(AsyncIngest {
+                capacity: 128,
+                policy: OverflowPolicy::DropOldest,
+                ..AsyncIngest::default()
+            }),
+            flood: Some(FloodTier {
+                rate: 160,
+                defense,
+                ..FloodTier::default()
+            }),
+            ..Self::quick()
+        }
+    }
 }
 
 /// Outcome of one multi-tenant run.
@@ -233,6 +296,8 @@ pub struct MultiTenantResult {
     pub observations_per_sec: f64,
     /// Ingest-tier counters (async runs only).
     pub ingest: Option<IngestStats>,
+    /// Decoy observations the flood tier published (flood runs only).
+    pub flood_decoys: u64,
     /// Fusion-tier counters: per-detector verdicts absorbed, staleness
     /// decays and escalation-ladder transitions. All zero except
     /// `escalations` when the run is binary (no [`FusionTier`]).
@@ -277,6 +342,10 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
     assert!(
         cfg.ingest.is_none() || cfg.fusion.is_none(),
         "the async and fused detector tiers are mutually exclusive"
+    );
+    assert!(
+        cfg.flood.is_none() || (cfg.ingest.is_some() && cfg.fusion.is_none()),
+        "the flood tier rides on the async ingest rings"
     );
     let mut builder = EngineConfig::builder()
         .measurements_required(cfg.n_star)
@@ -332,9 +401,26 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
     // published at `e + delay + jitter(pid, e)` (clamped to stay in
     // per-process order). The ring of pending publications is indexed by
     // target epoch modulo its length — one slot per possible lag.
-    let publisher = cfg
-        .ingest
-        .map(|ai| engine.enable_ingest(ai.capacity, ai.policy));
+    let publisher = cfg.ingest.map(|ai| {
+        let defense = cfg.flood.map(|f| f.defense).unwrap_or_default();
+        engine.enable_ingest_defended(ai.capacity, ai.policy, defense)
+    });
+    // The flood tier: a deterministic decoy stream aimed at exactly the
+    // shards that own the attack pids, published through its own handle
+    // (the defense's per-publisher accounting needs a tenant to charge).
+    let flood = cfg.flood.map(|f| {
+        let attack_pids: Vec<ProcessId> = attacks.iter().map(|a| a.pid).collect();
+        NoiseFlood::masking(cfg.seed ^ 0xF100D, cfg.shards.max(1), &attack_pids)
+            .with_rate(f.rate)
+            .with_burst(f.burst, f.burst_period)
+            .with_churn(f.churn)
+    });
+    let flood_pub = match (&publisher, &flood) {
+        (Some(publisher), Some(_)) => Some(publisher.clone()),
+        _ => None,
+    };
+    let mut decoys: Vec<(ProcessId, Classification)> = Vec::new();
+    let mut flood_decoys = 0u64;
     // The fused tier: each member publishes over its **own** publisher
     // handle into the shared verdict rings, at its own cadence.
     let fusion_pubs = cfg.fusion.map(|ft| {
@@ -473,6 +559,18 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
                         reclaimed.clear();
                         reclaimed
                     };
+                    // ...let the flood land its decoys *after* the real
+                    // verdicts (the attacker's winning move: with the ring
+                    // full, `DropOldest`/`Coalesce` evict from the front,
+                    // which is exactly where the legit verdicts sit)...
+                    if let (Some(flood_pub), Some(flood)) = (&flood_pub, &flood) {
+                        decoys.clear();
+                        flood.decoys_into(epoch, &mut decoys);
+                        for &(pid, cls) in &decoys {
+                            flood_pub.publish(pid, cls);
+                        }
+                        flood_decoys += decoys.len() as u64;
+                    }
                     // ...and tick on schedule, whatever has arrived.
                     engine.drain_tick()
                 }
@@ -494,6 +592,9 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
 
         for resp in &responses {
             let idx = resp.pid.0 as usize;
+            if idx >= benign.len() + attacks.len() {
+                continue; // a flood decoy: tracked by the engine, no tenant to credit
+            }
             if idx < benign.len() {
                 let proc = &mut benign[idx];
                 if proc.killed || proc.completed {
@@ -583,6 +684,30 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
             "ingest dropped/coalesced".into(),
             format!("{}/{}", stats.dropped, stats.coalesced),
         ]);
+        if cfg.flood.is_some() {
+            t.row(vec![
+                "flood decoys published".into(),
+                flood_decoys.to_string(),
+            ]);
+            t.row(vec![
+                "ingest priority/deflected".into(),
+                format!("{}/{}", stats.priority_queued, stats.evictions_deflected),
+            ]);
+            t.row(vec![
+                "ingest dropped by publisher".into(),
+                if stats.dropped_by_publisher.is_empty() {
+                    "-".into()
+                } else {
+                    stats
+                        .dropped_by_publisher
+                        .iter()
+                        .enumerate()
+                        .map(|(id, n)| format!("p{id}:{n}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                },
+            ]);
+        }
     }
     let fusion_stats = engine.fusion_stats();
     t.row(vec![
@@ -616,10 +741,25 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         )
     } else {
         match cfg.ingest {
-            Some(ai) => format!(
-                "async detectors: {} + 0..={} epochs latency, {:?} rings of {}/shard",
-                ai.delay, ai.jitter, ai.policy, ai.capacity
-            ),
+            Some(ai) => {
+                let mut tier = format!(
+                    "async detectors: {} + 0..={} epochs latency, {:?} rings of {}/shard",
+                    ai.delay, ai.jitter, ai.policy, ai.capacity
+                );
+                if let (Some(ft), Some(flood)) = (cfg.flood, &flood) {
+                    tier.push_str(&format!(
+                        "; noise flood: {}/shard/epoch (x{} burst every {}) at shards {:?}, \
+                         defense priority_lane={} fair_queueing={}",
+                        ft.rate,
+                        ft.burst,
+                        ft.burst_period,
+                        flood.target_shards(),
+                        ft.defense.priority_lane,
+                        ft.defense.fair_queueing
+                    ));
+                }
+                tier
+            }
             None => "synchronous detectors".to_string(),
         }
     };
@@ -655,6 +795,7 @@ pub fn run(cfg: &MultiTenantConfig) -> MultiTenantResult {
         observations,
         observations_per_sec,
         ingest: ingest_stats,
+        flood_decoys,
         fusion_stats,
         report,
     }
@@ -866,6 +1007,73 @@ mod tests {
         let cfg = MultiTenantConfig {
             fusion: Some(FusionTier::default()),
             ..MultiTenantConfig::quick_async()
+        };
+        let _ = run(&cfg);
+    }
+
+    /// The noise-floor DoS: with the rings undefended, a decoy flood at
+    /// the attack pids' shards evicts every real verdict there — no
+    /// attack is ever killed, and the loss shows up only in the counters.
+    #[test]
+    fn noise_flood_masks_the_attack_when_undefended() {
+        let r = run(&MultiTenantConfig::quick_flood(IngestDefense::default()));
+        assert_eq!(r.attacks_terminated, 0, "every attack verdict evicted");
+        assert!(r.mean_epochs_to_kill.is_nan());
+        assert!(r.flood_decoys > 0);
+        let stats = r.ingest.expect("flood runs expose ingest stats");
+        assert!(stats.dropped > 0);
+        // Publisher 1 (the legit detector tier) loses verdicts wholesale;
+        // no defense means no priority lane and no deflections.
+        assert!(stats.dropped_by_publisher.get(1).copied().unwrap_or(0) > 0);
+        assert_eq!(stats.priority_queued, 0);
+        assert_eq!(stats.evictions_deflected, 0);
+        assert!(r.report.contains("noise flood"));
+        assert!(r.report.contains("ingest dropped by publisher"));
+    }
+
+    /// The overload defense (priority lanes + per-publisher fair
+    /// queueing) restores every kill at the undisturbed async baseline's
+    /// latency — with the flood still running at full rate.
+    #[test]
+    fn overload_defense_restores_kills_under_flood() {
+        let baseline = run(&MultiTenantConfig::quick_async());
+        let r = run(&MultiTenantConfig::quick_flood(IngestDefense::full()));
+        assert_eq!(r.attacks_terminated, 3);
+        assert!(
+            r.mean_epochs_to_kill <= baseline.mean_epochs_to_kill + 2.0,
+            "defended flood {} vs baseline {}",
+            r.mean_epochs_to_kill,
+            baseline.mean_epochs_to_kill
+        );
+        let stats = r.ingest.expect("flood runs expose ingest stats");
+        assert!(stats.priority_queued > 0, "escalated pids rode the lane");
+        assert!(stats.evictions_deflected > 0);
+        // Fair queueing charges the flood for its own decoys: the flood
+        // publisher (id 2) pays an order of magnitude more than legit.
+        let legit = stats.dropped_by_publisher.get(1).copied().unwrap_or(0);
+        let flood = stats.dropped_by_publisher.get(2).copied().unwrap_or(0);
+        assert!(flood > 10 * legit.max(1), "flood {flood} vs legit {legit}");
+    }
+
+    #[test]
+    fn flood_run_is_deterministic() {
+        let cfg = MultiTenantConfig::quick_flood(IngestDefense::full());
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.attacks_terminated, b.attacks_terminated);
+        assert_eq!(a.mean_epochs_to_kill, b.mean_epochs_to_kill);
+        assert_eq!(a.benign_killed_pct, b.benign_killed_pct);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.flood_decoys, b.flood_decoys);
+        assert_eq!(a.ingest, b.ingest);
+    }
+
+    #[test]
+    #[should_panic(expected = "rides on the async ingest rings")]
+    fn flood_without_async_ingest_is_rejected() {
+        let cfg = MultiTenantConfig {
+            ingest: None,
+            ..MultiTenantConfig::quick_flood(IngestDefense::default())
         };
         let _ = run(&cfg);
     }

@@ -1,0 +1,269 @@
+//! `NoiseFlood`: a deterministic noise-floor DoS workload against the
+//! ingest rings.
+//!
+//! The paper's threat model has the attacker evading the *detector*; PR 5's
+//! bounded ingest rings opened a second front — attack the *monitor's
+//! plumbing*. A tenant (or a compromised ensemble member) that can publish
+//! benign-looking observations can flood the per-shard rings until the
+//! overflow policy evicts the real verdicts, masking a concurrent attack
+//! inside the dropped window. This module models that attacker: a
+//! hash-driven decoy generator that targets **chosen shards** (the ones
+//! that own the real attack's pids) with a configurable steady rate,
+//! periodic bursts, and decoy-pid churn (fresh pid populations defeat
+//! `Coalesce` merging — a brand-new pid can never coalesce, so every decoy
+//! costs a queued entry).
+//!
+//! Everything is a pure function of `(seed, epoch, slot)` via
+//! [`mix64`], so flood runs are bit-for-bit reproducible and the
+//! experiments' counters can be golden-pinned.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_workloads::NoiseFlood;
+//! use valkyrie_core::hash::shard_of;
+//!
+//! let flood = NoiseFlood::new(0xF100D, 8, vec![2, 5]).with_rate(4);
+//! let mut decoys = Vec::new();
+//! flood.decoys_into(0, &mut decoys);
+//! assert_eq!(decoys.len(), 2 * 4 * flood.burst as usize); // epoch 0 bursts
+//! for &(pid, _) in &decoys {
+//!     let shard = shard_of(pid.0, 8);
+//!     assert!(shard == 2 || shard == 5, "decoys hit only targeted shards");
+//! }
+//! ```
+
+use valkyrie_core::hash::{mix64, shard_of};
+use valkyrie_core::{Classification, ProcessId};
+
+/// Decoy pids live far above any real process id so the experiments can
+/// tell tenants from noise ([`NoiseFlood::is_decoy`]).
+pub const DECOY_PID_BASE: u64 = 1 << 32;
+
+/// A deterministic, hash-driven flooding workload: benign-looking decoy
+/// observations aimed at chosen engine shards while a real attack runs
+/// underneath. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoiseFlood {
+    /// Decoys published per **target shard** per epoch, steady state.
+    pub rate: u32,
+    /// Rate multiplier on burst epochs.
+    pub burst: u32,
+    /// Every `burst_period`-th epoch bursts (`0` disables bursts).
+    pub burst_period: u64,
+    /// The decoy pid population rotates every `churn` epochs (`0` keeps
+    /// one fixed population). Fresh pids defeat `Coalesce` merging.
+    pub churn: u64,
+    /// Decoy pid namespace floor (defaults to [`DECOY_PID_BASE`]).
+    pub pid_base: u64,
+    /// Stream seed: same seed, same decoys, forever.
+    pub seed: u64,
+    target_shards: Vec<usize>,
+    nshards: usize,
+}
+
+impl NoiseFlood {
+    /// A flood against `target_shards` of an `nshards`-shard engine, with
+    /// the default shape (64/shard/epoch steady, 4x bursts every 16
+    /// epochs, pid churn every 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` is zero, `target_shards` is empty, or any
+    /// target is out of range.
+    pub fn new(seed: u64, nshards: usize, target_shards: Vec<usize>) -> Self {
+        assert!(nshards > 0, "a flood needs an engine to aim at");
+        assert!(!target_shards.is_empty(), "a flood needs target shards");
+        assert!(
+            target_shards.iter().all(|&s| s < nshards),
+            "target shards must exist"
+        );
+        Self {
+            rate: 64,
+            burst: 4,
+            burst_period: 16,
+            churn: 8,
+            pid_base: DECOY_PID_BASE,
+            seed,
+            target_shards,
+            nshards,
+        }
+    }
+
+    /// The flood that masks `attack_pids`: targets exactly the shards that
+    /// own them (deduplicated), i.e. the informed attacker who knows the
+    /// workspace routing rule [`shard_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nshards` is zero or `attack_pids` is empty.
+    pub fn masking(seed: u64, nshards: usize, attack_pids: &[ProcessId]) -> Self {
+        let mut targets: Vec<usize> = attack_pids
+            .iter()
+            .map(|pid| shard_of(pid.0, nshards))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        Self::new(seed, nshards, targets)
+    }
+
+    /// Sets the steady per-target-shard rate.
+    #[must_use]
+    pub fn with_rate(mut self, rate: u32) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Sets the burst multiplier and period (`period == 0` disables).
+    #[must_use]
+    pub fn with_burst(mut self, burst: u32, period: u64) -> Self {
+        self.burst = burst;
+        self.burst_period = period;
+        self
+    }
+
+    /// Sets the decoy-pid churn period (`0` keeps one fixed population).
+    #[must_use]
+    pub fn with_churn(mut self, churn: u64) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// The shards this flood aims at.
+    pub fn target_shards(&self) -> &[usize] {
+        &self.target_shards
+    }
+
+    /// Decoys per target shard at `epoch` (the steady rate, multiplied on
+    /// burst epochs).
+    pub fn emission(&self, epoch: u64) -> u32 {
+        if self.burst_period > 0 && epoch.is_multiple_of(self.burst_period) {
+            self.rate.saturating_mul(self.burst.max(1))
+        } else {
+            self.rate
+        }
+    }
+
+    /// The decoy-pid generation at `epoch` (bumps every `churn` epochs).
+    fn generation(&self, epoch: u64) -> u64 {
+        epoch.checked_div(self.churn).unwrap_or(0)
+    }
+
+    /// The decoy pid for `(shard, generation, slot)`: a hash-seeded probe
+    /// that walks forward until the workspace routing rule lands it on the
+    /// target shard (expected `nshards` steps). Pure, so the same
+    /// coordinates always name the same decoy.
+    fn decoy_pid(&self, shard: usize, generation: u64, slot: u32) -> ProcessId {
+        let salt = self.seed
+            ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ((shard as u64) << 40)
+            ^ u64::from(slot);
+        let mut candidate = self.pid_base + (mix64(salt) >> 33);
+        while shard_of(candidate, self.nshards) != shard {
+            candidate += 1;
+        }
+        ProcessId(candidate)
+    }
+
+    /// Appends `epoch`'s decoy observations — [`Classification::Benign`],
+    /// that is the whole point — to `out`, cycling over the target shards.
+    pub fn decoys_into(&self, epoch: u64, out: &mut Vec<(ProcessId, Classification)>) {
+        let emission = self.emission(epoch);
+        let generation = self.generation(epoch);
+        out.reserve(self.target_shards.len() * emission as usize);
+        for &shard in &self.target_shards {
+            for slot in 0..emission {
+                out.push((
+                    self.decoy_pid(shard, generation, slot),
+                    Classification::Benign,
+                ));
+            }
+        }
+    }
+
+    /// Whether `pid` is one of this flood's decoys (namespace check).
+    pub fn is_decoy(&self, pid: ProcessId) -> bool {
+        pid.0 >= self.pid_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flood() -> NoiseFlood {
+        NoiseFlood::new(0xF100D, 8, vec![1, 6]).with_rate(8)
+    }
+
+    #[test]
+    #[should_panic(expected = "target shards must exist")]
+    fn out_of_range_target_is_rejected() {
+        let _ = NoiseFlood::new(1, 4, vec![4]);
+    }
+
+    #[test]
+    fn decoys_are_deterministic_and_benign() {
+        let f = flood();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        f.decoys_into(3, &mut a);
+        f.decoys_into(3, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(_, cls)| cls == Classification::Benign));
+        assert!(a.iter().all(|&(pid, _)| f.is_decoy(pid)));
+    }
+
+    #[test]
+    fn decoys_land_only_on_target_shards() {
+        let f = flood();
+        let mut out = Vec::new();
+        for epoch in 0..24 {
+            f.decoys_into(epoch, &mut out);
+        }
+        for &(pid, _) in &out {
+            let shard = shard_of(pid.0, 8);
+            assert!(shard == 1 || shard == 6, "decoy on shard {shard}");
+        }
+    }
+
+    #[test]
+    fn bursts_multiply_the_emission() {
+        let f = flood().with_burst(4, 16);
+        assert_eq!(f.emission(0), 32, "epoch 0 is a burst epoch");
+        assert_eq!(f.emission(1), 8);
+        assert_eq!(f.emission(16), 32);
+        let quiet = flood().with_burst(4, 0);
+        assert_eq!(quiet.emission(0), 8, "period 0 disables bursts");
+    }
+
+    #[test]
+    fn churn_rotates_the_decoy_population() {
+        let f = flood().with_churn(4).with_burst(1, 0);
+        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        f.decoys_into(0, &mut a);
+        f.decoys_into(3, &mut b);
+        f.decoys_into(4, &mut c);
+        assert_eq!(a, b, "same generation, same decoys");
+        let pids_a: std::collections::HashSet<u64> = a.iter().map(|&(p, _)| p.0).collect();
+        let fresh = c.iter().filter(|&&(p, _)| !pids_a.contains(&p.0)).count();
+        assert!(
+            fresh * 2 > c.len(),
+            "a new generation is mostly fresh pids ({fresh}/{})",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn masking_targets_the_attacks_shards() {
+        let attacks = [ProcessId(300), ProcessId(301), ProcessId(302)];
+        let f = NoiseFlood::masking(7, 4, &attacks);
+        let expected: std::collections::HashSet<usize> =
+            attacks.iter().map(|p| shard_of(p.0, 4)).collect();
+        assert_eq!(
+            f.target_shards()
+                .iter()
+                .copied()
+                .collect::<std::collections::HashSet<_>>(),
+            expected
+        );
+    }
+}

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod fleet;
+pub mod flood;
 pub mod multithread;
 pub mod roster;
 pub mod workload;
@@ -34,6 +35,7 @@ pub use fleet::{
     fleet_instance, fleet_roster, place_attacks, AttackPlacement, FleetChurn, ServiceArchetype,
     SERVICE_ARCHETYPES,
 };
+pub use flood::{NoiseFlood, DECOY_PID_BASE};
 pub use multithread::{spawn_team, TeamHandle};
 pub use roster::{multithreaded_roster, roster, BenchmarkSpec, Family, Suite};
 pub use workload::BenchmarkWorkload;

@@ -56,6 +56,30 @@ fn capture_multi_tenant_async() -> (usize, f64, f64, f64, usize, u64, u64, u64) 
     )
 }
 
+/// One noise-flood run's counters: `(attacks_terminated,
+/// mean_epochs_to_kill, benign_killed_pct, flood_decoys, published,
+/// dropped, priority_queued, evictions_deflected, dropped_by_publisher)`.
+/// Publisher 0 is the driver-side slot (unused here), 1 the legit
+/// detector handle, 2 the flooder.
+#[allow(clippy::type_complexity)]
+fn capture_multi_tenant_flood(
+    defense: valkyrie_core::IngestDefense,
+) -> (usize, f64, f64, u64, u64, u64, u64, u64, Vec<u64>) {
+    let r = x::multi_tenant::run(&x::multi_tenant::MultiTenantConfig::quick_flood(defense));
+    let stats = r.ingest.expect("flood runs expose ingest stats");
+    (
+        r.attacks_terminated,
+        r.mean_epochs_to_kill,
+        r.benign_killed_pct,
+        r.flood_decoys,
+        stats.published,
+        stats.dropped,
+        stats.priority_queued,
+        stats.evictions_deflected,
+        stats.dropped_by_publisher,
+    )
+}
+
 #[allow(clippy::type_complexity)]
 fn capture_fleet_scale() -> (usize, f64, u64, u64, u64, u64, u64, u64, u64, u64) {
     let r = x::fleet_scale::run(&x::fleet_scale::FleetScaleConfig::quick());
@@ -161,6 +185,12 @@ fn print_golden_values() {
     let mta = capture_multi_tenant_async();
     println!("// --- multi_tenant quick_async ---");
     println!("    {mta:?}");
+    let undefended = capture_multi_tenant_flood(valkyrie_core::IngestDefense::default());
+    println!("// --- multi_tenant quick_flood (undefended) ---");
+    println!("    {undefended:?}");
+    let defended = capture_multi_tenant_flood(valkyrie_core::IngestDefense::full());
+    println!("// --- multi_tenant quick_flood (defended) ---");
+    println!("    {defended:?}");
     let fs = capture_fleet_scale();
     println!("// --- fleet_scale quick ---");
     println!("    {fs:?}");
@@ -341,6 +371,57 @@ fn multi_tenant_async_ingest_rates_are_bit_identical_to_seed() {
     assert_eq!(got.5, expected.5);
     assert_eq!(got.6, expected.6);
     assert_eq!(got.7, expected.7);
+}
+
+/// The noise-flood DoS, pinned at the PR that introduced it: with small
+/// `DropOldest` rings and a decoy stream out-publishing the legit
+/// detector at the attack pids' shards, **every** attack survives — the
+/// flood evicts the real verdicts before the driver can drain them. The
+/// per-publisher breakdown shows the collateral: publisher 1 (the legit
+/// handle) loses 10 986 verdicts, most of the drops.
+#[test]
+fn multi_tenant_flood_counters_are_bit_identical_to_seed() {
+    let got = capture_multi_tenant_flood(valkyrie_core::IngestDefense::default());
+    assert_eq!(got.0, 0, "no attack terminated under the flood");
+    assert!(got.1.is_nan(), "no kills, no kill latency: {:?}", got.1);
+    let pct = 3.3333333333333335f64;
+    assert_eq!(got.2.to_bits(), pct.to_bits(), "{:?} vs {:?}", got.2, pct);
+    assert_eq!(got.3, 27200, "decoys published");
+    assert_eq!(got.4, 49477, "published (legit + decoys)");
+    assert_eq!(got.5, 17706, "evicted by overflow");
+    assert_eq!(got.6, 0, "no priority lane without the defense");
+    assert_eq!(got.7, 0, "no deflections without the defense");
+    assert_eq!(got.8, vec![0, 10986, 6720], "drops by publisher");
+}
+
+/// The same flood with the overload defense armed (priority lane +
+/// per-publisher fair queueing): the kill rate, kill latency and wrongful
+/// terminations return **bit-for-bit** to the flood-free `quick_async`
+/// values (3 kills at 16.0 mean epochs) while the flood is still running
+/// at full rate. The counters show how: 2 966 verdicts re-routed through
+/// the priority lane once their pids turned suspicious, and 14 402
+/// evictions deflected from the legit publisher onto the flooder, which
+/// now absorbs 14 914 of the 15 630 drops — it mostly evicts itself.
+#[test]
+fn multi_tenant_defended_flood_counters_are_bit_identical_to_seed() {
+    let got = capture_multi_tenant_flood(valkyrie_core::IngestDefense::full());
+    assert_eq!(got.0, 3, "every attack terminated despite the flood");
+    let mean = 16.0f64;
+    assert_eq!(got.1.to_bits(), mean.to_bits(), "{:?} vs {mean:?}", got.1);
+    let pct = 4.666666666666667f64;
+    assert_eq!(got.2.to_bits(), pct.to_bits(), "{:?} vs {pct:?}", got.2);
+    assert_eq!(got.3, 27200, "same decoy stream as the undefended run");
+    assert_eq!(got.4, 49255, "published (legit + decoys)");
+    assert_eq!(got.5, 15630, "evicted by overflow");
+    assert_eq!(got.6, 2966, "priority-lane verdicts");
+    assert!(got.6 > 0, "the priority lane must carry verdicts");
+    assert_eq!(got.7, 14402, "evictions deflected onto the flooder");
+    assert!(got.7 > 0, "fair queueing must deflect evictions");
+    assert_eq!(got.8, vec![0, 716, 14914], "drops by publisher");
+    assert!(
+        got.8[2] > 10 * got.8[1],
+        "the flooder pays for its own flood"
+    );
 }
 
 /// The heterogeneous-cadence fusion sweep's quick counters, pinned at the

@@ -77,7 +77,9 @@ fn tick_reference(
 /// The async run: each batch published through the ingest rings (Block
 /// policy, capacity covering the whole run — lossless by construction),
 /// then answered by one `drain_tick`. `force_spawns` additionally drives
-/// the scoped mode's threaded path on single-core hosts.
+/// the scoped mode's threaded path on single-core hosts; `defense`
+/// optionally arms the overload defense (priority lane + fair queueing).
+#[allow(clippy::too_many_arguments)]
 fn ingest_run(
     observations: &[(ProcessId, Classification)],
     shards: usize,
@@ -86,12 +88,14 @@ fn ingest_run(
     cyclic: bool,
     force_spawns: bool,
     mode: ExecutionMode,
+    defense: IngestDefense,
 ) -> TickTrace {
     let mut engine = ShardedEngine::with_mode(engine_config(n_star, cyclic), shards, 0, mode);
     if force_spawns {
         engine.set_parallel_threshold(0);
     }
-    let publisher = engine.enable_ingest(observations.len().max(1), OverflowPolicy::Block);
+    let publisher =
+        engine.enable_ingest_defended(observations.len().max(1), OverflowPolicy::Block, defense);
     let ticks = observations
         .chunks(chunk.max(1))
         .map(|batch| {
@@ -124,7 +128,16 @@ proptest! {
         for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
             for shards in SHARD_COUNTS {
                 let want = tick_reference(&obs, shards, chunk, n_star, cyclic, mode);
-                let got = ingest_run(&obs, shards, chunk, n_star, cyclic, false, mode);
+                let got = ingest_run(
+                    &obs,
+                    shards,
+                    chunk,
+                    n_star,
+                    cyclic,
+                    false,
+                    mode,
+                    IngestDefense::default(),
+                );
                 prop_assert_eq!(
                     &got, &want,
                     "shards={}, chunk={}, n_star={}, cyclic={}, mode={:?}",
@@ -145,8 +158,61 @@ proptest! {
     ) {
         for shards in SHARD_COUNTS {
             let want = tick_reference(&obs, shards, chunk, n_star, true, ExecutionMode::ScopedSpawn);
-            let got = ingest_run(&obs, shards, chunk, n_star, true, true, ExecutionMode::ScopedSpawn);
+            let got = ingest_run(
+                &obs,
+                shards,
+                chunk,
+                n_star,
+                true,
+                true,
+                ExecutionMode::ScopedSpawn,
+                IngestDefense::default(),
+            );
             prop_assert_eq!(&got, &want, "shards={}, chunk={}", shards, chunk);
+        }
+    }
+
+    /// The overload-defense no-overload invariant: with the priority lane
+    /// and per-publisher fair queueing armed but the rings never full
+    /// (Block policy, capacity covering the whole run), drained results
+    /// stay bit-for-bit equal to the undefended Block-mode ingest — even
+    /// though suspicious pids *are* marked hot mid-run and re-routed
+    /// through the priority lane, the seq-stamp merge reconstructs publish
+    /// order exactly. Shards {1, 2, 7} × both execution modes.
+    #[test]
+    fn defended_never_full_ingest_matches_block_mode_bit_for_bit(
+        obs in interleaving(200),
+        chunk in 1usize..64,
+        n_star in 1u64..16,
+    ) {
+        for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
+            for shards in [1usize, 2, 7] {
+                let want = ingest_run(
+                    &obs,
+                    shards,
+                    chunk,
+                    n_star,
+                    true,
+                    false,
+                    mode,
+                    IngestDefense::default(),
+                );
+                let got = ingest_run(
+                    &obs,
+                    shards,
+                    chunk,
+                    n_star,
+                    true,
+                    false,
+                    mode,
+                    IngestDefense::full(),
+                );
+                prop_assert_eq!(
+                    &got, &want,
+                    "shards={}, chunk={}, n_star={}, mode={:?}",
+                    shards, chunk, n_star, mode
+                );
+            }
         }
     }
 }
@@ -168,8 +234,26 @@ fn identical_ingest_runs_are_deterministic() {
         })
         .collect();
     for mode in [ExecutionMode::ScopedSpawn, ExecutionMode::Pool] {
-        let first = ingest_run(&observations, 7, 500, 7, true, true, mode);
-        let second = ingest_run(&observations, 7, 500, 7, true, true, mode);
+        let first = ingest_run(
+            &observations,
+            7,
+            500,
+            7,
+            true,
+            true,
+            mode,
+            IngestDefense::full(),
+        );
+        let second = ingest_run(
+            &observations,
+            7,
+            500,
+            7,
+            true,
+            true,
+            mode,
+            IngestDefense::full(),
+        );
         assert_eq!(first, second, "{mode:?}");
         // And identical to the synchronous reference.
         let reference = tick_reference(&observations, 7, 500, 7, true, mode);
