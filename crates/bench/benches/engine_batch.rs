@@ -332,6 +332,30 @@ fn bench_tick_with_churn(c: &mut Criterion) {
     group.finish();
 }
 
+/// The adaptive evasion loop end-to-end: one `run_adaptive` replay of a
+/// probing attacker (a `LawProbe` burst feeding an `IntensityModulator`)
+/// against the default percent-point law over a 120-epoch horizon. This is
+/// the unit of work the best-response search re-evaluates hundreds of times
+/// per ranked law, so its cost bounds the `adaptive` experiment's runtime.
+fn bench_adaptive(c: &mut Criterion) {
+    use valkyrie_core::evasion::{
+        run_adaptive, AdaptiveScenario, DetectorModel, IntensityModulator, LawProbe,
+    };
+    let mut group = c.benchmark_group("core/engine_batch_adaptive");
+    group.bench_function("adaptive_x1", |b| {
+        let config = EngineConfig::builder()
+            .measurements_required(30)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let detector = DetectorModel::new(0.9, 0.04).unwrap();
+        let scenario = AdaptiveScenario::new(detector, 120);
+        let mut strategy = LawProbe::new(3, IntensityModulator::new(1.0, 0.3, 0.8, 30, 0.0));
+        b.iter(|| black_box(run_adaptive(&config, black_box(&scenario), &mut strategy)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_engine_batch_1k,
@@ -339,5 +363,6 @@ criterion_group!(
     bench_engine_batch_100k,
     bench_flood,
     bench_tick_with_churn,
+    bench_adaptive,
 );
 criterion_main!(benches);

@@ -74,7 +74,104 @@ pub enum ThrottleLaw {
     },
 }
 
+/// The shape of a [`ThrottleLaw`], stripped of its parameter.
+///
+/// Used as ground truth for the adaptive tier's law probe
+/// ([`crate::evasion::LawProbe`] estimates the family and parameter of the
+/// deployed law from observed share responses, and the `adaptive` experiment
+/// scores the estimate against this introspection) and as a stable label for
+/// per-law rankings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LawFamily {
+    /// [`ThrottleLaw::PercentPointPerUnit`].
+    PercentPoint,
+    /// [`ThrottleLaw::MultiplicativePerUnit`].
+    MultiplicativePerUnit,
+    /// [`ThrottleLaw::MultiplicativePerEvent`].
+    MultiplicativePerEvent,
+    /// [`ThrottleLaw::HalvePerEvent`].
+    Halve,
+    /// [`ThrottleLaw::SchedulerWeight`].
+    SchedulerWeight,
+}
+
+impl LawFamily {
+    /// All five families, in a stable order.
+    pub const ALL: [LawFamily; 5] = [
+        LawFamily::PercentPoint,
+        LawFamily::SchedulerWeight,
+        LawFamily::MultiplicativePerUnit,
+        LawFamily::Halve,
+        LawFamily::MultiplicativePerEvent,
+    ];
+
+    /// Short stable label (used in experiment tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LawFamily::PercentPoint => "percent-point/unit",
+            LawFamily::MultiplicativePerUnit => "multiplicative/unit",
+            LawFamily::MultiplicativePerEvent => "multiplicative/event",
+            LawFamily::Halve => "halve/event",
+            LawFamily::SchedulerWeight => "scheduler-weight",
+        }
+    }
+}
+
+impl fmt::Display for LawFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl ThrottleLaw {
+    /// The family this law belongs to.
+    pub fn family(&self) -> LawFamily {
+        match self {
+            ThrottleLaw::PercentPointPerUnit { .. } => LawFamily::PercentPoint,
+            ThrottleLaw::MultiplicativePerUnit { .. } => LawFamily::MultiplicativePerUnit,
+            ThrottleLaw::MultiplicativePerEvent { .. } => LawFamily::MultiplicativePerEvent,
+            ThrottleLaw::HalvePerEvent => LawFamily::Halve,
+            ThrottleLaw::SchedulerWeight { .. } => LawFamily::SchedulerWeight,
+        }
+    }
+
+    /// The law's scalar parameter (`step`, `factor` or `gamma`;
+    /// [`ThrottleLaw::HalvePerEvent`] reports its fixed factor `0.5`).
+    pub fn parameter(&self) -> f64 {
+        match *self {
+            ThrottleLaw::PercentPointPerUnit { step } => step,
+            ThrottleLaw::MultiplicativePerUnit { factor } => factor,
+            ThrottleLaw::MultiplicativePerEvent { factor } => factor,
+            ThrottleLaw::HalvePerEvent => 0.5,
+            ThrottleLaw::SchedulerWeight { gamma } => gamma,
+        }
+    }
+
+    /// Rebuilds a law from a family and a parameter (the inverse of
+    /// [`ThrottleLaw::family`] + [`ThrottleLaw::parameter`]; the parameter is
+    /// ignored for [`LawFamily::Halve`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use valkyrie_core::ThrottleLaw;
+    /// let law = ThrottleLaw::SchedulerWeight { gamma: 0.1 };
+    /// assert_eq!(ThrottleLaw::with_parameter(law.family(), law.parameter()), law);
+    /// ```
+    pub fn with_parameter(family: LawFamily, parameter: f64) -> Self {
+        match family {
+            LawFamily::PercentPoint => ThrottleLaw::PercentPointPerUnit { step: parameter },
+            LawFamily::MultiplicativePerUnit => {
+                ThrottleLaw::MultiplicativePerUnit { factor: parameter }
+            }
+            LawFamily::MultiplicativePerEvent => {
+                ThrottleLaw::MultiplicativePerEvent { factor: parameter }
+            }
+            LawFamily::Halve => ThrottleLaw::HalvePerEvent,
+            LawFamily::SchedulerWeight => ThrottleLaw::SchedulerWeight { gamma: parameter },
+        }
+    }
+
     /// Applies the law to a single share for a threat change `delta`.
     ///
     /// The result is clamped to `[0, 1]`; the caller applies resource floors.
@@ -323,6 +420,28 @@ mod tests {
         assert_eq!(law.step_share(1.0, 5.0), 0.5);
         assert_eq!(law.step_share(0.5, -1.0), 1.0);
         assert_eq!(law.step_share(0.9, -2.0), 1.0); // clamped at one
+    }
+
+    #[test]
+    fn law_family_round_trips_through_introspection() {
+        for law in [
+            ThrottleLaw::PercentPointPerUnit { step: 0.1 },
+            ThrottleLaw::MultiplicativePerUnit { factor: 0.9 },
+            ThrottleLaw::MultiplicativePerEvent { factor: 0.7 },
+            ThrottleLaw::HalvePerEvent,
+            ThrottleLaw::SchedulerWeight { gamma: 0.1 },
+        ] {
+            let rebuilt = ThrottleLaw::with_parameter(law.family(), law.parameter());
+            assert_eq!(rebuilt, law);
+        }
+        assert_eq!(LawFamily::ALL.len(), 5);
+        assert_eq!(ThrottleLaw::HalvePerEvent.parameter(), 0.5);
+    }
+
+    #[test]
+    fn every_family_has_a_distinct_name() {
+        let names: std::collections::HashSet<_> = LawFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), LawFamily::ALL.len());
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub mod state;
 pub mod telemetry;
 pub mod threat;
 
-pub use actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
+pub use actuator::{Actuator, CompositeActuator, LawFamily, ShareActuator, ThrottleLaw};
 pub use baselines::{ConsecutiveTermination, DramRefresh, PriorityReduction, WarningOnly};
 pub use efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
 pub use engine::{
@@ -87,7 +87,12 @@ pub use engine::{
     ValkyrieEngine,
 };
 pub use error::ValkyrieError;
-pub use evasion::{run_evasion, AttackerStrategy, DetectorModel, EvasionOutcome, EvasionScenario};
+pub use evasion::{
+    fit_throttle_law, run_adaptive, run_adaptive_mass, run_evasion, AdaptiveScenario,
+    AdaptiveStrategy, AttackerStrategy, ConstantIntensity, DetectorModel, EvasionOutcome,
+    EvasionScenario, IntensityModulator, LawEstimate, LawProbe, MassRider, PeriodicIntensity,
+    StepDown,
+};
 pub use fleet::{FleetEngine, FleetPublisher};
 pub use ingest::{
     CoalesceKey, IngestDefense, IngestPublisher, IngestQueues, OverflowPolicy, ThreatHints,
@@ -104,7 +109,7 @@ pub use threat::{stale_weight, AssessmentFn, Classification, Evidence, ThreatInd
 
 /// Convenient glob import of the crate's primary types.
 pub mod prelude {
-    pub use crate::actuator::{Actuator, CompositeActuator, ShareActuator, ThrottleLaw};
+    pub use crate::actuator::{Actuator, CompositeActuator, LawFamily, ShareActuator, ThrottleLaw};
     pub use crate::efficacy::{EfficacyCurve, EfficacyPoint, EfficacySpec};
     pub use crate::engine::{
         Action, EngineConfig, EngineConfigBuilder, EngineResponse, EngineShard, FusionConfig,

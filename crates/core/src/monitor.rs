@@ -104,6 +104,46 @@ impl EscalationLadder {
         }
     }
 
+    /// The mass strictly above which `level` engages, if the level is
+    /// entered from above ([`EscalationLevel::Kill`] and
+    /// [`EscalationLevel::Throttle`]; the other rungs have no upper
+    /// boundary an attacker could ride under).
+    ///
+    /// This is the boundary query the adaptive tier's attackers use: a
+    /// mass-riding strategy holds its expected evidence just below the rung
+    /// it wants to avoid (see `valkyrie_core::evasion::MassRider`).
+    pub fn engages_above(&self, level: EscalationLevel) -> Option<f64> {
+        match level {
+            EscalationLevel::Kill => Some(self.kill_above),
+            EscalationLevel::Throttle => Some(self.throttle_above),
+            EscalationLevel::Compensate | EscalationLevel::Observe => None,
+        }
+    }
+
+    /// The largest mass that stays `margin` below the boundary at which
+    /// `level` engages, clamped into `[0, 1]`. Levels without an upper
+    /// boundary ride at the compensation boundary instead.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use valkyrie_core::{EscalationLadder, EscalationLevel};
+    /// let ladder = EscalationLadder::graduated();
+    /// let mass = ladder.ride_below(EscalationLevel::Throttle, 0.02);
+    /// assert!((mass - 0.58).abs() < 1e-12);
+    /// // Riding there never escalates past the observe band.
+    /// assert_eq!(ladder.level(mass), EscalationLevel::Observe);
+    /// ```
+    pub fn ride_below(&self, level: EscalationLevel, margin: f64) -> f64 {
+        let margin = if margin.is_finite() {
+            margin.max(0.0)
+        } else {
+            0.0
+        };
+        let boundary = self.engages_above(level).unwrap_or(self.compensate_below);
+        (boundary - margin).clamp(0.0, 1.0)
+    }
+
     /// The ladder rung for a fused evidence mass.
     pub fn level(&self, mass: f64) -> EscalationLevel {
         if mass > self.kill_above {
@@ -724,6 +764,34 @@ mod tests {
             EscalationLadder::BINARY.level(0.5),
             EscalationLevel::Observe
         );
+    }
+
+    #[test]
+    fn ladder_boundary_queries_expose_the_rung_edges() {
+        let ladder = EscalationLadder::graduated();
+        assert_eq!(ladder.engages_above(EscalationLevel::Kill), Some(0.85));
+        assert_eq!(ladder.engages_above(EscalationLevel::Throttle), Some(0.6));
+        assert_eq!(ladder.engages_above(EscalationLevel::Observe), None);
+        assert_eq!(ladder.engages_above(EscalationLevel::Compensate), None);
+
+        // Riding below a rung never reaches it.
+        for (level, margin) in [
+            (EscalationLevel::Kill, 0.01),
+            (EscalationLevel::Throttle, 0.05),
+        ] {
+            let mass = ladder.ride_below(level, margin);
+            assert_ne!(ladder.level(mass), EscalationLevel::Kill);
+            if level == EscalationLevel::Throttle {
+                assert_ne!(ladder.level(mass), EscalationLevel::Throttle);
+            }
+        }
+        // Levels without an upper boundary ride at the compensation edge.
+        assert!((ladder.ride_below(EscalationLevel::Compensate, 0.0) - 0.35).abs() < 1e-12);
+        // Margins are sanitised: non-finite or negative margins ride at the
+        // boundary itself, and the result stays in [0, 1].
+        assert_eq!(ladder.ride_below(EscalationLevel::Kill, f64::NAN), 0.85);
+        assert_eq!(ladder.ride_below(EscalationLevel::Kill, -3.0), 0.85);
+        assert_eq!(ladder.ride_below(EscalationLevel::Throttle, 2.0), 0.0);
     }
 
     #[test]

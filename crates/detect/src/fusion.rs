@@ -47,7 +47,9 @@
 use crate::{CombinationRule, Detector};
 use std::collections::HashMap;
 use std::fmt;
-use valkyrie_core::{stale_weight, Classification, Evidence, ProcessId, Verdict};
+use valkyrie_core::{
+    stale_weight, Classification, EscalationLadder, EscalationLevel, Evidence, ProcessId, Verdict,
+};
 use valkyrie_hpc::SampleWindow;
 
 /// One member of a [`FusionEngine`]: a detector plus its fusion policy.
@@ -321,6 +323,39 @@ impl FusionEngine {
         evidence.mass()
     }
 
+    /// The signed distance between a ladder-rung boundary and `pid`'s
+    /// current fused mass: how much more evidence the ensemble would need
+    /// before `level` engages (negative when the rung is already engaged).
+    ///
+    /// This is the detect-side boundary query of the adaptive tier — the
+    /// defender's view of the same edge a mass-riding attacker targets with
+    /// [`EscalationLadder::ride_below`]. Rungs without an upper boundary
+    /// measure against the compensation edge, mirroring `ride_below`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use valkyrie_core::{Classification, EscalationLadder, EscalationLevel, ProcessId};
+    /// use valkyrie_detect::{FusionEngine, FusionMember, ScriptedDetector};
+    /// let engine = FusionEngine::new(
+    ///     "solo",
+    ///     vec![FusionMember::new(Box::new(ScriptedDetector::constant(Classification::Benign)))],
+    ///     0.5,
+    /// );
+    /// let ladder = EscalationLadder::graduated();
+    /// // No evidence yet: the full throttle boundary remains.
+    /// let headroom = engine.ladder_headroom(ProcessId(1), ladder, EscalationLevel::Throttle);
+    /// assert_eq!(headroom, 0.6);
+    /// ```
+    pub fn ladder_headroom(
+        &self,
+        pid: ProcessId,
+        ladder: EscalationLadder,
+        level: EscalationLevel,
+    ) -> f64 {
+        ladder.ride_below(level, 0.0) - self.mass(pid)
+    }
+
     /// Advances one epoch and emits a [`Verdict`] per member that
     /// published this epoch, appended to `out`. The verdict's detector id
     /// is the member's index and its cadence the member's cadence — ready
@@ -404,6 +439,31 @@ mod tests {
 
     fn window() -> SampleWindow {
         SampleWindow::new(4)
+    }
+
+    #[test]
+    fn ladder_headroom_tracks_the_fused_mass() {
+        let mut fusion = FusionEngine::new(
+            "one",
+            vec![FusionMember::new(constant(Classification::Malicious))],
+            0.5,
+        );
+        let ladder = EscalationLadder::graduated();
+        let pid = ProcessId(7);
+        // No evidence: the whole boundary remains.
+        assert_eq!(
+            fusion.ladder_headroom(pid, ladder, EscalationLevel::Throttle),
+            0.6
+        );
+        // A saturated malicious member spends all the headroom and more.
+        let w = window();
+        fusion.fuse(pid, &w);
+        let after = fusion.ladder_headroom(pid, ladder, EscalationLevel::Throttle);
+        assert!(after < 0.0, "rung should be engaged, headroom {after}");
+        // The kill rung sits higher, so its headroom is exactly the rung gap
+        // above the throttle headroom.
+        let kill = fusion.ladder_headroom(pid, ladder, EscalationLevel::Kill);
+        assert!((kill - after - 0.25).abs() < 1e-12);
     }
 
     #[test]

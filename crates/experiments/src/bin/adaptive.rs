@@ -1,0 +1,15 @@
+//! Adaptive best-response study: rank every response law by its efficacy
+//! floor against a learning attacker (law probe + intensity modulation on
+//! the binary path, rung riding on the mass path), next to the strongest
+//! fixed strategy from the evasion roster. `--quick` runs the scaled-down
+//! search used by the golden-output pins and the CI smoke step.
+use valkyrie_experiments::adaptive;
+
+fn main() {
+    let cfg = if std::env::args().any(|a| a == "--quick") {
+        adaptive::AdaptiveConfig::quick()
+    } else {
+        adaptive::AdaptiveConfig::default()
+    };
+    println!("{}", adaptive::run(&cfg).report);
+}

@@ -39,6 +39,10 @@ fn main() {
     );
     println!(
         "{}",
+        x::adaptive::run(&x::adaptive::AdaptiveConfig::default()).report
+    );
+    println!(
+        "{}",
         x::ensemble::run(&x::ensemble::EnsembleConfig::default()).report
     );
     println!(

@@ -90,7 +90,7 @@ fn engine_config(n_star: u64, fp: AssessmentFn) -> EngineConfig {
         .expect("static config is valid")
 }
 
-fn label(strategy: AttackerStrategy) -> String {
+pub(crate) fn label(strategy: AttackerStrategy) -> String {
     match strategy {
         AttackerStrategy::AlwaysActive => "always active".into(),
         AttackerStrategy::DutyCycle { active, dormant } => {

@@ -24,8 +24,10 @@
 //! | Multi-tenant machine (ours) | [`multi_tenant::run`] | `multi_tenant` |
 //! | Fleet-scale cluster (ours) | [`fleet_scale::run`] | `fleet_scale` |
 //! | Noise-flood sweep (ours) | [`flood::run`] | `flood` |
+//! | Adaptive best-response ranking (ours) | [`adaptive::run`] | `adaptive` |
 
 pub mod ablations;
+pub mod adaptive;
 pub mod analytic;
 pub mod cache;
 pub mod ensemble;

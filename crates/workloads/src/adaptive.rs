@@ -1,0 +1,262 @@
+//! Deterministic best-response search over adaptive-attacker parameters.
+//!
+//! The adaptive tier asks, per response law: *what is the most progress any
+//! attacker in a strategy family can extract?* That is an optimisation over
+//! the family's parameter vector, and because every evaluation is a seeded
+//! replay, the search must be exactly reproducible: same spec, same
+//! objective, same result, debug or release.
+//!
+//! [`best_response`] runs an exhaustive [`grid_search`] over the cartesian
+//! product of the per-parameter grids, then sharpens the winner with
+//! [`refine`] — a fixed-schedule coordinate descent that tries half-grid
+//! steps around the incumbent, halving the step each round. Ties keep the
+//! first candidate in iteration order, non-finite objective values lose to
+//! everything, and no randomness is involved anywhere, so golden tests can
+//! pin the found optimum bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use valkyrie_workloads::adaptive::{best_response, ParamSpec};
+//! // Maximise -(x-0.3)^2 - (y-0.7)^2 over a coarse grid + refinement.
+//! let specs = [
+//!     ParamSpec::new("x", vec![0.0, 0.5, 1.0]),
+//!     ParamSpec::new("y", vec![0.0, 0.5, 1.0]),
+//! ];
+//! let found = best_response(&specs, 3, &mut |p: &[f64]| {
+//!     -(p[0] - 0.3).powi(2) - (p[1] - 0.7).powi(2)
+//! });
+//! assert!((found.params[0] - 0.3).abs() < 0.15);
+//! assert!((found.params[1] - 0.7).abs() < 0.15);
+//! ```
+
+/// One searchable parameter: a name (for reports) and its grid values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpec {
+    /// Stable label used in strategy descriptions.
+    pub name: &'static str,
+    /// Grid values, in evaluation order. Must be non-empty; refinement
+    /// steps stay within `[min, max]` of this grid.
+    pub grid: Vec<f64>,
+}
+
+impl ParamSpec {
+    /// A parameter with the given grid (panics if empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grid` is empty — a parameter with no candidate values
+    /// cannot be searched.
+    pub fn new(name: &'static str, grid: Vec<f64>) -> Self {
+        assert!(!grid.is_empty(), "parameter {name} has an empty grid");
+        Self { name, grid }
+    }
+
+    fn min(&self) -> f64 {
+        self.grid.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn max(&self) -> f64 {
+        self.grid.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Half the widest adjacent gap in the grid — the initial refinement
+    /// step. Zero for single-point grids (those parameters are pinned).
+    fn initial_step(&self) -> f64 {
+        let mut widest = 0.0f64;
+        for pair in self.grid.windows(2) {
+            widest = widest.max((pair[1] - pair[0]).abs());
+        }
+        widest * 0.5
+    }
+}
+
+/// The best parameter vector a search found, with its objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestResponse {
+    /// The winning parameter vector (same order as the specs).
+    pub params: Vec<f64>,
+    /// Objective value at the winner (higher is better).
+    pub score: f64,
+    /// Number of objective evaluations spent.
+    pub evaluations: u64,
+}
+
+fn score_of(eval: &mut dyn FnMut(&[f64]) -> f64, params: &[f64]) -> f64 {
+    let s = eval(params);
+    if s.is_finite() {
+        s
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Exhaustively evaluates the cartesian product of the grids and returns
+/// the (first) maximiser.
+pub fn grid_search(specs: &[ParamSpec], eval: &mut dyn FnMut(&[f64]) -> f64) -> BestResponse {
+    assert!(!specs.is_empty(), "nothing to search");
+    let mut index = vec![0usize; specs.len()];
+    let mut params: Vec<f64> = specs.iter().map(|s| s.grid[0]).collect();
+    let mut best = BestResponse {
+        params: params.clone(),
+        score: f64::NEG_INFINITY,
+        evaluations: 0,
+    };
+    loop {
+        let score = score_of(eval, &params);
+        best.evaluations += 1;
+        if score > best.score {
+            best.score = score;
+            best.params = params.clone();
+        }
+        // Odometer increment over the grid indices.
+        let mut carry = true;
+        for (slot, spec) in index.iter_mut().zip(specs) {
+            if !carry {
+                break;
+            }
+            *slot += 1;
+            if *slot < spec.grid.len() {
+                carry = false;
+            } else {
+                *slot = 0;
+            }
+        }
+        for ((p, slot), spec) in params.iter_mut().zip(&index).zip(specs) {
+            *p = spec.grid[*slot];
+        }
+        if carry {
+            return best;
+        }
+    }
+}
+
+/// Coordinate descent around `start`: for `rounds` rounds, each parameter in
+/// turn tries ± the current step (clamped to the grid's range), keeping
+/// strict improvements; the step halves between rounds.
+pub fn refine(
+    specs: &[ParamSpec],
+    start: BestResponse,
+    rounds: u32,
+    eval: &mut dyn FnMut(&[f64]) -> f64,
+) -> BestResponse {
+    let mut best = start;
+    let mut steps: Vec<f64> = specs.iter().map(ParamSpec::initial_step).collect();
+    for _ in 0..rounds {
+        for (i, spec) in specs.iter().enumerate() {
+            if steps[i] <= 0.0 {
+                continue;
+            }
+            for dir in [-1.0, 1.0] {
+                let candidate_value =
+                    (best.params[i] + dir * steps[i]).clamp(spec.min(), spec.max());
+                if candidate_value == best.params[i] {
+                    continue;
+                }
+                let mut candidate = best.params.clone();
+                candidate[i] = candidate_value;
+                let score = score_of(eval, &candidate);
+                best.evaluations += 1;
+                if score > best.score {
+                    best.score = score;
+                    best.params = candidate;
+                }
+            }
+        }
+        for step in &mut steps {
+            *step *= 0.5;
+        }
+    }
+    best
+}
+
+/// Grid search followed by `rounds` of coordinate refinement.
+pub fn best_response(
+    specs: &[ParamSpec],
+    rounds: u32,
+    eval: &mut dyn FnMut(&[f64]) -> f64,
+) -> BestResponse {
+    let coarse = grid_search(specs, eval);
+    refine(specs, coarse, rounds, eval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<ParamSpec> {
+        vec![
+            ParamSpec::new("a", vec![0.0, 0.5, 1.0]),
+            ParamSpec::new("b", vec![0.0, 1.0]),
+        ]
+    }
+
+    #[test]
+    fn grid_search_visits_the_whole_product() {
+        let mut seen = Vec::new();
+        let best = grid_search(&specs(), &mut |p: &[f64]| {
+            seen.push((p[0], p[1]));
+            p[0] + p[1]
+        });
+        assert_eq!(best.evaluations, 6);
+        assert_eq!(seen.len(), 6);
+        assert_eq!(best.params, vec![1.0, 1.0]);
+        assert_eq!(best.score, 2.0);
+    }
+
+    #[test]
+    fn ties_keep_the_first_candidate_in_grid_order() {
+        let best = grid_search(&specs(), &mut |_: &[f64]| 1.0);
+        assert_eq!(best.params, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_scores_lose_to_everything() {
+        let best = grid_search(&specs(), &mut |p: &[f64]| {
+            if p[0] == 0.0 {
+                f64::NAN
+            } else {
+                -p[0]
+            }
+        });
+        assert_eq!(best.params[0], 0.5);
+    }
+
+    #[test]
+    fn refinement_moves_off_grid_toward_the_optimum() {
+        let spec = vec![ParamSpec::new("x", vec![0.0, 0.5, 1.0])];
+        let mut objective = |p: &[f64]| -(p[0] - 0.6).powi(2);
+        let found = best_response(&spec, 4, &mut objective);
+        assert!(
+            (found.params[0] - 0.6).abs() < 0.07,
+            "found {}",
+            found.params[0]
+        );
+        // Refinement never leaves the grid's range.
+        assert!(found.params[0] <= 1.0 && found.params[0] >= 0.0);
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let mut objective = |p: &[f64]| -(p[0] - 0.3).powi(2) - (p[1] - 0.2).powi(2);
+        let a = best_response(&specs(), 3, &mut objective);
+        let b = best_response(&specs(), 3, &mut objective);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_point_grids_are_pinned() {
+        let spec = vec![
+            ParamSpec::new("fixed", vec![0.25]),
+            ParamSpec::new("free", vec![0.0, 1.0]),
+        ];
+        let found = best_response(&spec, 3, &mut |p: &[f64]| -(p[1] - 0.4).powi(2) + p[0]);
+        assert_eq!(found.params[0], 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let _ = ParamSpec::new("broken", vec![]);
+    }
+}

@@ -25,12 +25,14 @@
 //! assert!(machine.is_alive(pid));
 //! ```
 
+pub mod adaptive;
 pub mod fleet;
 pub mod flood;
 pub mod multithread;
 pub mod roster;
 pub mod workload;
 
+pub use adaptive::{best_response, grid_search, refine, BestResponse, ParamSpec};
 pub use fleet::{
     fleet_instance, fleet_roster, place_attacks, AttackPlacement, FleetChurn, ServiceArchetype,
     SERVICE_ARCHETYPES,

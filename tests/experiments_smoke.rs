@@ -114,6 +114,31 @@ fn ensemble_quick_runs() {
 }
 
 #[test]
+fn adaptive_quick_runs() {
+    let r = x::adaptive::run(&x::adaptive::AdaptiveConfig::quick());
+    // 5 throttle laws × 2 penalty functions + 2 escalation ladders.
+    assert_eq!(r.rows.len(), 12);
+    assert_eq!(r.probe.len(), 5);
+    for key in ["Worst-case ranking", "Law probe", "ladder graduated"] {
+        assert!(r.report.contains(key), "missing {key}");
+    }
+    // The probe re-identifies every deployed law family.
+    for row in &r.probe {
+        assert!(
+            row.hit,
+            "probe missed {}: estimated {}",
+            row.label, row.family
+        );
+    }
+    // Acceptance: the best-response attacker measurably beats every fixed
+    // strategy on at least one law.
+    assert!(
+        r.rows.iter().any(|row| row.gap_pts > 5.0),
+        "no defense shows a meaningful adaptive gap"
+    );
+}
+
+#[test]
 fn evasion_quick_runs() {
     let r = x::evasion::run(&x::evasion::EvasionConfig {
         trials: 3,

@@ -121,6 +121,52 @@ fn capture_fusion_sweep() -> Vec<(Option<f64>, usize, f64, f64, usize, u64, u64,
         .collect()
 }
 
+/// The adaptive best-response ranking (quick config), one row per defense:
+/// `(label, worst_floor_pct, adaptive_progress, killed_pct,
+/// mean_kill_epoch, fixed_best_floor_pct, gap_pts)`. A never-killed best
+/// response reports `mean_kill_epoch = -1.0` (the NaN sentinel), so the
+/// pins stay comparable via `to_bits`.
+#[allow(clippy::type_complexity)]
+fn capture_adaptive() -> Vec<(String, f64, f64, f64, f64, f64, f64)> {
+    x::adaptive::run(&x::adaptive::AdaptiveConfig::quick())
+        .rows
+        .into_iter()
+        .map(|r| {
+            (
+                r.label,
+                r.worst_floor_pct,
+                r.adaptive_progress,
+                r.killed_pct,
+                if r.mean_kill_epoch.is_nan() {
+                    -1.0
+                } else {
+                    r.mean_kill_epoch
+                },
+                r.fixed_best_floor_pct,
+                r.gap_pts,
+            )
+        })
+        .collect()
+}
+
+/// The law-probe table (quick config):
+/// `(label, estimated_family, estimated_param, hit, closed_loop_floor_pct)`.
+fn capture_adaptive_probe() -> Vec<(String, String, f64, bool, f64)> {
+    x::adaptive::run(&x::adaptive::AdaptiveConfig::quick())
+        .probe
+        .into_iter()
+        .map(|r| {
+            (
+                r.label,
+                r.family,
+                r.estimated,
+                r.hit,
+                r.closed_loop_floor_pct,
+            )
+        })
+        .collect()
+}
+
 /// One efficacy curve flattened to `(measurements, f1, fpr)` triples.
 fn curve_rows(curve: &valkyrie_core::EfficacyCurve) -> Vec<(u32, f64, f64)> {
     curve
@@ -197,6 +243,16 @@ fn print_golden_values() {
     println!("// --- fusion sweep quick (baseline first) ---");
     for row in capture_fusion_sweep() {
         println!("    {row:?},");
+    }
+    println!("// --- adaptive ranking quick ---");
+    for (label, floor, prog, killed, epoch, fixed, gap) in capture_adaptive() {
+        println!(
+            "    (\"{label}\", {floor:?}, {prog:?}, {killed:?}, {epoch:?}, {fixed:?}, {gap:?}),"
+        );
+    }
+    println!("// --- adaptive probe quick ---");
+    for (label, family, est, hit, floor) in capture_adaptive_probe() {
+        println!("    (\"{label}\", \"{family}\", {est:?}, {hit}, {floor:?}),");
     }
 }
 
@@ -473,6 +529,221 @@ fn fusion_sweep_counters_are_bit_identical_to_seed() {
         assert_eq!(verdicts, ev, "{w:?}: fused verdicts");
         assert_eq!(stale, es, "{w:?}: stale-decayed");
         assert_eq!(esc, ec, "{w:?}: escalations");
+    }
+}
+
+/// The adaptive best-response ranking (quick config), pinned at the PR
+/// that introduced it. The whole study — fixed-roster baselines, the
+/// grid + coordinate-descent search, and the winning strategy's replay —
+/// is seeded-StdRng deterministic, so every floor, progress and gap value
+/// is bit-stable, debug or release. The two ladder rows at the bottom are
+/// the headline: a mass rider holding its expected fused confidence just
+/// below the throttle rung is never killed and shaves 39–50 efficacy
+/// points off the fixed-roster floor.
+#[test]
+fn adaptive_ranking_is_bit_identical_to_seed() {
+    #[allow(clippy::type_complexity)]
+    let expected: &[(&str, f64, f64, f64, f64, f64, f64)] = &[
+        (
+            "sched g=0.10 + exp2",
+            95.0275,
+            3.9779999999999993,
+            100.0,
+            32.666666666666664,
+            97.26666666666667,
+            2.2391666666666623,
+        ),
+        (
+            "mult 0.90/unit + exp2",
+            94.12498406286657,
+            4.700012749706744,
+            100.0,
+            32.666666666666664,
+            97.12756828958334,
+            3.0025842267167633,
+        ),
+        (
+            "pp 0.10/unit + exp2",
+            93.00625,
+            5.594999999999999,
+            100.0,
+            32.333333333333336,
+            96.20416666666667,
+            3.1979166666666714,
+        ),
+        (
+            "pp 0.10/unit + inc",
+            90.1525,
+            7.8779999999999974,
+            100.0,
+            32.333333333333336,
+            92.26458333333333,
+            2.112083333333331,
+        ),
+        (
+            "sched g=0.10 + inc",
+            90.13865,
+            7.889079999999999,
+            100.0,
+            32.333333333333336,
+            92.26666666666668,
+            2.1280166666666815,
+        ),
+        (
+            "halve/event + inc",
+            88.65625,
+            9.075,
+            100.0,
+            32.166666666666664,
+            89.0625,
+            0.40625,
+        ),
+        (
+            "mult 0.90/unit + inc",
+            88.44837555756392,
+            9.241299553948869,
+            100.0,
+            32.333333333333336,
+            89.25902606555893,
+            0.8106505079950068,
+        ),
+        (
+            "mult 0.70/event + inc",
+            86.180125,
+            11.0559,
+            100.0,
+            32.5,
+            85.52083333333333,
+            -0.6592916666666753,
+        ),
+        (
+            "halve/event + exp2",
+            82.23958333333334,
+            14.20833333333333,
+            100.0,
+            36.0,
+            89.0625,
+            6.822916666666657,
+        ),
+        (
+            "mult 0.70/event + exp2",
+            75.83375,
+            19.333,
+            100.0,
+            36.0,
+            85.4375,
+            9.603750000000005,
+        ),
+        (
+            "ladder binary",
+            53.48837209302319,
+            37.209302325581454,
+            0.0,
+            -1.0,
+            92.86440677324893,
+            39.37603468022574,
+        ),
+        (
+            "ladder graduated",
+            42.50187436485052,
+            45.998500508119584,
+            0.0,
+            -1.0,
+            92.86440677324893,
+            50.36253240839841,
+        ),
+    ];
+    let got = capture_adaptive();
+    assert_eq!(got.len(), expected.len());
+    for ((label, floor, prog, killed, epoch, fixed, gap), (el, ef, ep, ek, ee, efx, eg)) in
+        got.iter().zip(expected)
+    {
+        assert_eq!(label, el, "ranking order");
+        assert_eq!(
+            floor.to_bits(),
+            ef.to_bits(),
+            "{label}: worst floor {floor:?} vs {ef:?}"
+        );
+        assert_eq!(
+            prog.to_bits(),
+            ep.to_bits(),
+            "{label}: progress {prog:?} vs {ep:?}"
+        );
+        assert_eq!(
+            killed.to_bits(),
+            ek.to_bits(),
+            "{label}: killed {killed:?} vs {ek:?}"
+        );
+        assert_eq!(
+            epoch.to_bits(),
+            ee.to_bits(),
+            "{label}: kill epoch {epoch:?} vs {ee:?}"
+        );
+        assert_eq!(
+            fixed.to_bits(),
+            efx.to_bits(),
+            "{label}: fixed floor {fixed:?} vs {efx:?}"
+        );
+        assert_eq!(
+            gap.to_bits(),
+            eg.to_bits(),
+            "{label}: gap {gap:?} vs {eg:?}"
+        );
+    }
+}
+
+/// The law-probe identification table (quick config): a three-epoch
+/// calibrated burst re-derives every deployed family and parameter, and
+/// the closed-loop (probe → calibrate → modulate) floors are pinned too.
+#[test]
+fn adaptive_probe_is_bit_identical_to_seed() {
+    let expected: &[(&str, &str, f64, bool, f64)] = &[
+        (
+            "pp 0.10/unit",
+            "percent-point/unit",
+            0.10000000000000002,
+            true,
+            93.18125,
+        ),
+        (
+            "mult 0.90/unit",
+            "multiplicative/unit",
+            0.9,
+            true,
+            90.34310557849435,
+        ),
+        (
+            "mult 0.70/event",
+            "multiplicative/event",
+            0.7,
+            true,
+            88.39270833333333,
+        ),
+        ("halve/event", "halve/event", 0.5, true, 90.18229166666667),
+        (
+            "sched g=0.10",
+            "scheduler-weight",
+            0.09999999999999999,
+            true,
+            93.02833333333334,
+        ),
+    ];
+    let got = capture_adaptive_probe();
+    assert_eq!(got.len(), expected.len());
+    for ((label, family, est, hit, floor), (el, efam, ee, eh, efl)) in got.iter().zip(expected) {
+        assert_eq!(label, el);
+        assert_eq!(family, efam, "{label}: family");
+        assert_eq!(
+            est.to_bits(),
+            ee.to_bits(),
+            "{label}: estimate {est:?} vs {ee:?}"
+        );
+        assert_eq!(hit, eh, "{label}: hit");
+        assert_eq!(
+            floor.to_bits(),
+            efl.to_bits(),
+            "{label}: closed-loop floor {floor:?} vs {efl:?}"
+        );
     }
 }
 

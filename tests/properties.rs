@@ -649,6 +649,105 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Degenerate adaptive strategies replay the fixed roster **bit-for-bit**:
+    /// constant intensity 1.0 is `AlwaysActive`, a 1.0/0.0 periodic schedule
+    /// is `DutyCycle`, and a 1.0→0.0 step-down is `Sprint` — across seeds,
+    /// detector qualities and measurement requirements. This pins the graded
+    /// evasion path (`run_adaptive`) as a strict generalisation of the
+    /// binary one (`run_evasion`): same RNG draws, same share arithmetic.
+    #[test]
+    fn degenerate_adaptive_strategies_replay_fixed_ones_bitwise(
+        which in 0usize..3,
+        active in 1u32..6,
+        dormant in 0u32..6,
+        sprint in 0u64..40,
+        tpr in 0.1f64..1.0,
+        fpr in 0.0f64..0.5,
+        n_star in 2u64..40,
+        seed in 0u64..1_000,
+    ) {
+        use valkyrie::core::evasion::{
+            run_adaptive, run_evasion, AdaptiveScenario, AdaptiveStrategy, AttackerStrategy,
+            ConstantIntensity, DetectorModel, EvasionScenario, PeriodicIntensity, StepDown,
+        };
+        let config = EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let detector = DetectorModel::new(tpr, fpr).unwrap();
+        let (fixed, mut graded): (AttackerStrategy, Box<dyn AdaptiveStrategy>) = match which {
+            0 => (
+                AttackerStrategy::AlwaysActive,
+                Box::new(ConstantIntensity(1.0)),
+            ),
+            1 => (
+                AttackerStrategy::DutyCycle { active, dormant },
+                Box::new(PeriodicIntensity {
+                    active,
+                    dormant,
+                    high: 1.0,
+                    low: 0.0,
+                }),
+            ),
+            _ => (
+                AttackerStrategy::Sprint { active_epochs: sprint },
+                Box::new(StepDown {
+                    active_epochs: sprint,
+                    high: 1.0,
+                    low: 0.0,
+                }),
+            ),
+        };
+        let want =
+            run_evasion(&config, &EvasionScenario::new(fixed, detector, 80).with_seed(seed));
+        let got = run_adaptive(
+            &config,
+            &AdaptiveScenario::new(detector, 80).with_seed(seed),
+            graded.as_mut(),
+        );
+        prop_assert_eq!(want.progress.to_bits(), got.progress.to_bits());
+        prop_assert_eq!(want.unimpeded.to_bits(), got.unimpeded.to_bits());
+        prop_assert_eq!(want.terminated_at, got.terminated_at);
+        prop_assert_eq!(want.active_epochs, got.active_epochs);
+    }
+
+    /// The `AttackerStrategy → AdaptiveStrategy` adapter (fixed strategies
+    /// lifted to intensities {0.0, 1.0}) is bit-identical to the binary
+    /// runner for **every** fixed strategy, not just the three families with
+    /// hand-written graded twins.
+    #[test]
+    fn attacker_strategy_adapter_is_bit_identical(
+        strategy in evasion_strategy(),
+        tpr in 0.1f64..1.0,
+        fpr in 0.0f64..0.5,
+        n_star in 2u64..40,
+        seed in 0u64..1_000,
+    ) {
+        use valkyrie::core::evasion::{
+            run_adaptive, run_evasion, AdaptiveScenario, DetectorModel, EvasionScenario,
+        };
+        let config = EngineConfig::builder()
+            .measurements_required(n_star)
+            .actuator(ShareActuator::cpu_percent_point(0.10, 0.01))
+            .build()
+            .unwrap();
+        let detector = DetectorModel::new(tpr, fpr).unwrap();
+        let want =
+            run_evasion(&config, &EvasionScenario::new(strategy, detector, 80).with_seed(seed));
+        let mut adapter = strategy;
+        let got = run_adaptive(
+            &config,
+            &AdaptiveScenario::new(detector, 80).with_seed(seed),
+            &mut adapter,
+        );
+        prop_assert_eq!(want, got);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// For the three fixed-vector model families (SVM, GBDT, MLP), the
